@@ -1,0 +1,273 @@
+//! The paper's §5.1 experiment-topology derivation pipeline.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use bgp_types::Asn;
+
+use crate::{AsGraph, AsRole};
+
+/// Error from [`derive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeriveError {
+    /// The input graph has no stub ASes to sample.
+    NoStubs,
+    /// Pruning removed everything (e.g. a degenerate input graph).
+    Degenerate,
+    /// The pipeline's final inspection failed: the result is not connected.
+    Disconnected,
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeriveError::NoStubs => "input graph has no stub ASes to sample",
+            DeriveError::Degenerate => "pruning removed every AS",
+            DeriveError::Disconnected => "derived topology is not connected",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for DeriveError {}
+
+/// Derives an experiment topology the way §5.1 does:
+///
+/// 1. randomly select `stub_fraction` of the stub ASes;
+/// 2. construct a topology containing these stubs **and their ISP peers**,
+///    "with the peering relations among all the selected ASes completely
+///    preserved";
+/// 3. iteratively prune transit ASes left with at most one peer ("if a
+///    transit AS has only one peer left after the initial selection, we prune
+///    it from the topology... the pruning needs to be done iteratively");
+/// 4. inspect the result to make sure it is a connected graph.
+///
+/// Stubs whose providers were all pruned away are removed with them (they
+/// would otherwise be isolated), and if the final graph is disconnected only
+/// the largest component survives the paper's inspection step — callers that
+/// need the strict behaviour can treat [`DeriveError::Disconnected`] from
+/// [`derive_strict`] as a resample signal.
+///
+/// # Errors
+///
+/// Returns [`DeriveError::NoStubs`] when the input has no stub ASes and
+/// [`DeriveError::Degenerate`] when nothing survives pruning.
+pub fn derive(graph: &AsGraph, stub_fraction: f64, seed: u64) -> Result<AsGraph, DeriveError> {
+    let candidate = derive_raw(graph, stub_fraction, seed)?;
+    if candidate.is_connected() {
+        return Ok(candidate);
+    }
+    // Keep the largest connected component, then re-apply the pruning rule
+    // (removing components can strand degree-1 transit nodes again).
+    let mut best: BTreeSet<Asn> = BTreeSet::new();
+    let mut remaining: BTreeSet<Asn> = candidate.asns().collect();
+    while let Some(&start) = remaining.iter().next() {
+        let component = candidate.reachable_from(start);
+        for asn in &component {
+            remaining.remove(asn);
+        }
+        if component.len() > best.len() {
+            best = component;
+        }
+    }
+    let mut result = candidate.induced_subgraph(&best);
+    prune(&mut result);
+    if result.is_empty() {
+        return Err(DeriveError::Degenerate);
+    }
+    debug_assert!(result.is_connected());
+    Ok(result)
+}
+
+/// Like [`derive`] but fails instead of repairing when the sampled topology
+/// is disconnected — the literal reading of the paper's "inspect" step.
+///
+/// # Errors
+///
+/// [`DeriveError::Disconnected`] when inspection fails, plus the same errors
+/// as [`derive`].
+pub fn derive_strict(
+    graph: &AsGraph,
+    stub_fraction: f64,
+    seed: u64,
+) -> Result<AsGraph, DeriveError> {
+    let candidate = derive_raw(graph, stub_fraction, seed)?;
+    if candidate.is_connected() {
+        Ok(candidate)
+    } else {
+        Err(DeriveError::Disconnected)
+    }
+}
+
+fn derive_raw(graph: &AsGraph, stub_fraction: f64, seed: u64) -> Result<AsGraph, DeriveError> {
+    let stubs = graph.stub_asns();
+    if stubs.is_empty() {
+        return Err(DeriveError::NoStubs);
+    }
+    let fraction = stub_fraction.clamp(0.0, 1.0);
+    let mut rng = sim_engine::rng::from_seed(seed);
+    let take = ((stubs.len() as f64) * fraction).round().max(1.0) as usize;
+    let selected_stubs = sim_engine::rng::sample_distinct(&mut rng, &stubs, take);
+
+    // Selected stubs plus their ISP peers; peering among kept ASes preserved
+    // by taking the induced subgraph.
+    let mut keep: BTreeSet<Asn> = selected_stubs.iter().copied().collect();
+    for &stub in &selected_stubs {
+        for peer in graph.neighbors(stub) {
+            keep.insert(peer);
+        }
+    }
+    let mut result = graph.induced_subgraph(&keep);
+    prune(&mut result);
+    if result.is_empty() {
+        return Err(DeriveError::Degenerate);
+    }
+    Ok(result)
+}
+
+/// Iteratively removes transit ASes with degree <= 1, and any stubs left
+/// isolated by those removals.
+fn prune(graph: &mut AsGraph) {
+    loop {
+        let doomed: Vec<Asn> = graph
+            .asns()
+            .filter(|&asn| match graph.role(asn) {
+                Some(AsRole::Transit) => graph.degree(asn) <= 1,
+                Some(AsRole::Stub) => graph.degree(asn) == 0,
+                None => true,
+            })
+            .collect();
+        // A lone surviving AS is legitimate only in the degenerate
+        // single-node case; guard against erasing the entire graph when the
+        // graph is exactly one transit AS.
+        if doomed.is_empty() || doomed.len() == graph.len() && graph.len() == 1 {
+            break;
+        }
+        for asn in doomed {
+            graph.remove_as(asn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{infer_graph, InternetModel, RouteTable};
+
+    fn sample_input(seed: u64) -> AsGraph {
+        let truth = InternetModel::new().transit_count(12).stub_count(80).build(seed);
+        let table = RouteTable::synthesize(&truth, &[0, 4, 8], seed);
+        infer_graph(table.entries())
+    }
+
+    #[test]
+    fn derived_topology_is_connected() {
+        for seed in 0..8 {
+            let g = derive(&sample_input(3), 0.3, seed).unwrap();
+            assert!(g.is_connected(), "seed {seed}");
+            assert!(!g.is_empty());
+        }
+    }
+
+    #[test]
+    fn transit_nodes_keep_at_least_two_peers() {
+        let g = derive(&sample_input(5), 0.4, 1).unwrap();
+        if g.len() > 1 {
+            for asn in g.transit_asns() {
+                assert!(g.degree(asn) >= 2, "{asn} degree {}", g.degree(asn));
+            }
+        }
+    }
+
+    #[test]
+    fn no_isolated_stubs_survive() {
+        let g = derive(&sample_input(7), 0.2, 2).unwrap();
+        for asn in g.stub_asns() {
+            assert!(g.degree(asn) >= 1);
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic_in_seed() {
+        let input = sample_input(9);
+        assert_eq!(derive(&input, 0.3, 4).unwrap(), derive(&input, 0.3, 4).unwrap());
+        // Different sampling seeds generally give different topologies.
+        assert_ne!(derive(&input, 0.3, 4).unwrap(), derive(&input, 0.3, 5).unwrap());
+    }
+
+    #[test]
+    fn larger_fraction_gives_larger_topology() {
+        let input = sample_input(11);
+        let small = derive(&input, 0.1, 1).unwrap();
+        let large = derive(&input, 0.9, 1).unwrap();
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn no_stubs_is_an_error() {
+        let mut g = AsGraph::new();
+        g.add_as(Asn(1), AsRole::Transit);
+        g.add_as(Asn(2), AsRole::Transit);
+        g.add_link(Asn(1), Asn(2));
+        assert_eq!(derive(&g, 0.5, 1), Err(DeriveError::NoStubs));
+    }
+
+    #[test]
+    fn pruning_cascades() {
+        // chain: stub 10 - transit 1 - transit 2 - transit 3 - stub 11,
+        // plus a triangle 3-4-5 with stub 12 on 4.
+        let mut g = AsGraph::new();
+        for t in [1, 2, 3, 4, 5] {
+            g.add_as(Asn(t), AsRole::Transit);
+        }
+        for s in [10, 11, 12] {
+            g.add_as(Asn(s), AsRole::Stub);
+        }
+        for (a, b) in [(10, 1), (1, 2), (2, 3), (3, 11), (3, 4), (4, 5), (5, 3), (4, 12)] {
+            g.add_link(Asn(a), Asn(b));
+        }
+        // Select only stub 12: keep = {12, 4}; transit 4 has 1 peer -> pruned;
+        // stub 12 isolated -> pruned; cascade empties... Degenerate.
+        let mut only_12 = g.clone();
+        only_12.remove_as(Asn(10));
+        only_12.remove_as(Asn(11));
+        // With all three stubs available, a tiny fraction picks exactly one.
+        // Use the full graph and fraction high enough to keep the triangle.
+        let derived = derive(&g, 1.0, 1).unwrap();
+        assert!(derived.is_connected());
+        for asn in derived.transit_asns() {
+            assert!(derived.degree(asn) >= 2);
+        }
+    }
+
+    #[test]
+    fn strict_mode_reports_disconnection() {
+        // Two disjoint provider islands: sampling both sides disconnects.
+        let mut g = AsGraph::new();
+        for t in [1, 2, 3, 4] {
+            g.add_as(Asn(t), AsRole::Transit);
+        }
+        g.add_link(Asn(1), Asn(2));
+        g.add_link(Asn(3), Asn(4));
+        for (s, p) in [(10, 1), (11, 2), (12, 3), (13, 4)] {
+            g.add_as(Asn(s), AsRole::Stub);
+            g.add_link(Asn(s), Asn(p));
+        }
+        match derive_strict(&g, 1.0, 1) {
+            Err(DeriveError::Disconnected) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // The repairing variant returns one island.
+        let repaired = derive(&g, 1.0, 1).unwrap();
+        assert!(repaired.is_connected());
+        assert!(repaired.len() < g.len());
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let input = sample_input(13);
+        assert!(derive(&input, 7.5, 1).is_ok());
+        assert!(derive(&input, -1.0, 1).is_ok()); // takes at least one stub
+    }
+}

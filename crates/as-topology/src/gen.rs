@@ -1,0 +1,306 @@
+//! Synthetic Internet-like ground-truth topology generation.
+
+use bgp_types::Asn;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{AsGraph, AsRelationships, AsRole};
+
+/// Builder for an Internet-like ground-truth AS topology.
+///
+/// The paper's robustness argument rests on the structural facts it cites
+/// from Huston's analysis of the 2001 BGP table [13]: a small clique of
+/// tier-1 providers, many regional transit ISPs hanging off them with
+/// lateral peerings (the "richly interconnected mesh" of §1), and stub
+/// networks at the edges, frequently multi-homed. This generator reproduces
+/// that two-tier hierarchy:
+///
+/// * a near-clique **tier-1 core** (at most [`TIER1_MAX`] ASes);
+/// * **regional transit** ASes, each with two uplinks into the existing
+///   transit fabric plus lateral peer links to other regionals with
+///   probability [`peer_link_prob`](InternetModel::peer_link_prob);
+/// * **stubs** attached mostly to regionals, dual-homed with probability
+///   [`multihome_prob`](InternetModel::multihome_prob).
+///
+/// Transit ASes are numbered from 1 (tier-1 first), stubs after them, so
+/// ASNs are dense and deterministic.
+///
+/// # Example
+///
+/// ```
+/// use as_topology::InternetModel;
+///
+/// let g = InternetModel::new()
+///     .transit_count(15)
+///     .stub_count(60)
+///     .multihome_prob(0.4)
+///     .build(7);
+/// assert_eq!(g.len(), 75);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InternetModel {
+    transit_count: usize,
+    stub_count: usize,
+    multihome_prob: f64,
+    peer_link_prob: f64,
+}
+
+/// Maximum size of the tier-1 clique; the remaining transit ASes are
+/// regional ISPs.
+pub const TIER1_MAX: usize = 5;
+
+impl Default for InternetModel {
+    fn default() -> Self {
+        InternetModel {
+            transit_count: 35,
+            stub_count: 220,
+            multihome_prob: 0.8,
+            peer_link_prob: 0.15,
+        }
+    }
+}
+
+impl InternetModel {
+    /// Creates a builder with defaults sized and wired like a small
+    /// Route Views-derived study (35 transit ASes — 5 tier-1 plus 30
+    /// regionals — and 220 stubs, heavily multi-homed as 2001 edge networks
+    /// were).
+    #[must_use]
+    pub fn new() -> Self {
+        InternetModel::default()
+    }
+
+    /// Total number of transit ASes (tier-1 plus regional). Values below 1
+    /// are clamped to 1 at build time.
+    #[must_use]
+    pub fn transit_count(mut self, n: usize) -> Self {
+        self.transit_count = n;
+        self
+    }
+
+    /// Number of stub (edge) ASes.
+    #[must_use]
+    pub fn stub_count(mut self, n: usize) -> Self {
+        self.stub_count = n;
+        self
+    }
+
+    /// Probability that a stub is dual-homed to two providers.
+    #[must_use]
+    pub fn multihome_prob(mut self, p: f64) -> Self {
+        self.multihome_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability of a lateral peer link between each pair of regional
+    /// transit ASes; richer values model the increasing interconnectivity
+    /// the detection scheme leans on (§4.1).
+    #[must_use]
+    pub fn peer_link_prob(mut self, p: f64) -> Self {
+        self.peer_link_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the ground-truth graph from a seed. The result is always
+    /// connected.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> AsGraph {
+        self.build_with_relationships(seed).0
+    }
+
+    /// Like [`InternetModel::build`], but also returns the ground-truth
+    /// business relationships: uplinks are customer-provider links, tier-1
+    /// interconnects and regional lateral links are peerings. Used by the
+    /// valley-free policy-routing ablation and as the reference for scoring
+    /// [`infer_relationships`](crate::infer_relationships).
+    #[must_use]
+    pub fn build_with_relationships(&self, seed: u64) -> (AsGraph, AsRelationships) {
+        let transit_count = self.transit_count.max(1);
+        let tier1_count = transit_count.min(TIER1_MAX);
+        let mut rng = sim_engine::rng::from_seed(seed);
+        let mut graph = AsGraph::new();
+        let mut rels = AsRelationships::new();
+
+        // Tier-1 core: a chain guarantees connectivity, then a near-clique.
+        // Tier-1s interconnect as settlement-free peers.
+        let tier1: Vec<Asn> = (1..=tier1_count as u32).map(Asn).collect();
+        for &asn in &tier1 {
+            graph.add_as(asn, AsRole::Transit);
+        }
+        for i in 1..tier1.len() {
+            graph.add_link(tier1[i - 1], tier1[i]);
+            rels.add_peer(tier1[i - 1], tier1[i]);
+        }
+        for i in 0..tier1.len() {
+            for j in (i + 2)..tier1.len() {
+                if rng.gen::<f64>() < 0.9 {
+                    graph.add_link(tier1[i], tier1[j]);
+                    rels.add_peer(tier1[i], tier1[j]);
+                }
+            }
+        }
+
+        // Regional transits: two uplinks into the existing fabric, plus
+        // lateral peerings.
+        let mut transit: Vec<Asn> = tier1.clone();
+        let mut regionals: Vec<Asn> = Vec::new();
+        for k in 0..transit_count - tier1_count {
+            let asn = Asn((tier1_count + 1 + k) as u32);
+            graph.add_as(asn, AsRole::Transit);
+            let mut uplinks = transit.clone();
+            uplinks.shuffle(&mut rng);
+            graph.add_link(asn, uplinks[0]);
+            rels.add_transit(uplinks[0], asn);
+            if uplinks.len() > 1 {
+                graph.add_link(asn, uplinks[1]);
+                rels.add_transit(uplinks[1], asn);
+            }
+            for &other in &regionals {
+                if rng.gen::<f64>() < self.peer_link_prob {
+                    graph.add_link(asn, other);
+                    rels.add_peer(asn, other);
+                }
+            }
+            transit.push(asn);
+            regionals.push(asn);
+        }
+
+        // Stubs: mostly customers of regionals, dual-homed per the model.
+        for i in 0..self.stub_count {
+            let asn = Asn((transit_count + 1 + i) as u32);
+            graph.add_as(asn, AsRole::Stub);
+            let pool: &[Asn] = if !regionals.is_empty() && rng.gen::<f64>() < 0.85 {
+                &regionals
+            } else {
+                &tier1
+            };
+            let first = pool[rng.gen_range(0..pool.len())];
+            graph.add_link(asn, first);
+            rels.add_transit(first, asn);
+            if transit.len() > 1 && sim_engine::rng::coin(&mut rng, self.multihome_prob) {
+                let second = loop {
+                    let candidate = transit[rng.gen_range(0..transit.len())];
+                    if candidate != first {
+                        break candidate;
+                    }
+                };
+                graph.add_link(asn, second);
+                rels.add_transit(second, asn);
+            }
+        }
+
+        debug_assert!(graph.is_connected());
+        (graph, rels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let m = InternetModel::new().transit_count(10).stub_count(50);
+        assert_eq!(m.build(5), m.build(5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = InternetModel::new().transit_count(10).stub_count(50);
+        assert_ne!(m.build(5), m.build(6));
+    }
+
+    #[test]
+    fn counts_and_roles() {
+        let g = InternetModel::new().transit_count(12).stub_count(34).build(1);
+        assert_eq!(g.transit_asns().len(), 12);
+        assert_eq!(g.stub_asns().len(), 34);
+        assert_eq!(g.len(), 46);
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..10 {
+            let g = InternetModel::new().transit_count(8).stub_count(40).build(seed);
+            assert!(g.is_connected(), "seed {seed} produced disconnected graph");
+        }
+    }
+
+    #[test]
+    fn stubs_attach_only_to_transit() {
+        let g = InternetModel::new().transit_count(6).stub_count(30).build(2);
+        for stub in g.stub_asns() {
+            for peer in g.neighbors(stub) {
+                assert_eq!(g.role(peer), Some(AsRole::Transit));
+            }
+            let d = g.degree(stub);
+            assert!((1..=2).contains(&d), "stub degree {d}");
+        }
+    }
+
+    #[test]
+    fn multihoming_fraction_tracks_probability() {
+        let g = InternetModel::new()
+            .transit_count(10)
+            .stub_count(400)
+            .multihome_prob(0.5)
+            .build(3);
+        let dual = g.stub_asns().iter().filter(|&&s| g.degree(s) == 2).count();
+        assert!((120..=280).contains(&dual), "dual-homed = {dual}");
+    }
+
+    #[test]
+    fn zero_multihome_prob_gives_single_homing() {
+        let g = InternetModel::new()
+            .transit_count(5)
+            .stub_count(50)
+            .multihome_prob(0.0)
+            .build(4);
+        assert!(g.stub_asns().iter().all(|&s| g.degree(s) == 1));
+    }
+
+    #[test]
+    fn single_transit_degenerate_case() {
+        let g = InternetModel::new().transit_count(1).stub_count(10).build(1);
+        assert!(g.is_connected());
+        assert_eq!(g.transit_asns().len(), 1);
+    }
+
+    #[test]
+    fn peer_links_enrich_the_regional_mesh() {
+        let sparse = InternetModel::new()
+            .transit_count(25)
+            .stub_count(0)
+            .peer_link_prob(0.0)
+            .build(7);
+        let dense = InternetModel::new()
+            .transit_count(25)
+            .stub_count(0)
+            .peer_link_prob(0.5)
+            .build(7);
+        assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    fn tier1_forms_a_connected_core() {
+        let g = InternetModel::new().transit_count(5).stub_count(0).build(9);
+        assert!(g.is_connected());
+        // 5 transits and at most TIER1_MAX tier-1s: all are tier-1; chain
+        // plus near-clique gives at least n-1 links.
+        assert!(g.link_count() >= 4);
+    }
+
+    #[test]
+    fn regional_uplinks_give_min_degree_two() {
+        let g = InternetModel::new()
+            .transit_count(20)
+            .stub_count(0)
+            .peer_link_prob(0.0)
+            .build(11);
+        // Every regional has two uplinks even with no lateral peerings.
+        for asn in g.transit_asns().iter().skip(TIER1_MAX) {
+            assert!(g.degree(*asn) >= 2, "{asn} degree {}", g.degree(*asn));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Peering inference from AS paths (§5.1).
+
+use std::collections::BTreeSet;
+
+use bgp_types::Asn;
+
+use crate::{AsGraph, AsRole, RouteTableEntry};
+
+/// Infers the AS-level topology from routing-table rows, exactly as §5.1
+/// describes:
+///
+/// > "we infer BGP peering relations based on the AS Path attribute in the
+/// > collected BGP routes. For example, if a route to a prefix p has the AS
+/// > Path `10 6453 4621`, we consider AS 6453 to have two BGP peers, AS 10
+/// > and AS 4621. We also mark AS 6453 as a transit AS since packets to and
+/// > from AS 4621 may traverse through it. If an AS does not appear to be a
+/// > transit AS in any of the routes, we consider it a stub AS."
+///
+/// # Example
+///
+/// ```
+/// use as_topology::{infer_graph, AsRole, RouteTableEntry};
+/// use bgp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rows = vec![RouteTableEntry {
+///     prefix: "10.0.0.0/16".parse()?,
+///     path: "10 6453 4621".parse()?,
+/// }];
+/// let g = infer_graph(&rows);
+/// assert!(g.has_link(Asn(10), Asn(6453)));
+/// assert!(g.has_link(Asn(6453), Asn(4621)));
+/// assert_eq!(g.role(Asn(6453)), Some(AsRole::Transit));
+/// assert_eq!(g.role(Asn(4621)), Some(AsRole::Stub));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn infer_graph(entries: &[RouteTableEntry]) -> AsGraph {
+    let mut graph = AsGraph::new();
+    let mut transit: BTreeSet<Asn> = BTreeSet::new();
+
+    for entry in entries {
+        for asn in entry.path.iter() {
+            if !graph.contains(asn) {
+                graph.add_as(asn, AsRole::Stub);
+            }
+        }
+        for (a, b) in entry.path.adjacent_pairs() {
+            graph.add_link(a, b);
+        }
+        transit.extend(entry.path.transit_asns());
+    }
+
+    for asn in transit {
+        graph.set_role(asn, AsRole::Transit);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InternetModel, RouteTable};
+
+    fn entry(prefix: &str, path: &str) -> RouteTableEntry {
+        RouteTableEntry {
+            prefix: prefix.parse().unwrap(),
+            path: path.parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn empty_table_empty_graph() {
+        let g = infer_graph(&[]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn endpoints_are_stubs_until_seen_in_transit() {
+        let g = infer_graph(&[entry("10.0.0.0/16", "1 2 3")]);
+        assert_eq!(g.role(Asn(1)), Some(AsRole::Stub));
+        assert_eq!(g.role(Asn(2)), Some(AsRole::Transit));
+        assert_eq!(g.role(Asn(3)), Some(AsRole::Stub));
+    }
+
+    #[test]
+    fn transit_marking_is_sticky_across_rows() {
+        // AS 3 is an endpoint in one path but mid-path in another: transit.
+        let g = infer_graph(&[
+            entry("10.0.0.0/16", "1 2 3"),
+            entry("10.1.0.0/16", "2 3 4"),
+        ]);
+        assert_eq!(g.role(Asn(3)), Some(AsRole::Transit));
+    }
+
+    #[test]
+    fn single_hop_paths_create_no_links() {
+        let g = infer_graph(&[entry("10.0.0.0/16", "7")]);
+        assert!(g.contains(Asn(7)));
+        assert_eq!(g.link_count(), 0);
+        assert_eq!(g.role(Asn(7)), Some(AsRole::Stub));
+    }
+
+    #[test]
+    fn prepending_does_not_create_self_links() {
+        let g = infer_graph(&[entry("10.0.0.0/16", "1 2 2 2 3")]);
+        assert!(!g.has_link(Asn(2), Asn(2)));
+        assert_eq!(g.link_count(), 2);
+    }
+
+    #[test]
+    fn inference_recovers_used_links_of_ground_truth() {
+        let truth = InternetModel::new().transit_count(10).stub_count(60).build(11);
+        let table = RouteTable::synthesize(&truth, &[0, 3, 6], 11);
+        let inferred = infer_graph(table.entries());
+        // Every inferred link must exist in ground truth (inference is sound).
+        for (a, b) in inferred.links() {
+            assert!(truth.has_link(a, b), "phantom link {a}-{b}");
+        }
+        // Every inferred transit AS is transit in ground truth (stubs never
+        // appear mid-path because they have no customers).
+        for asn in inferred.transit_asns() {
+            assert_eq!(truth.role(asn), Some(AsRole::Transit), "{asn}");
+        }
+        // And inference sees a substantial, connected part of the truth.
+        assert!(inferred.len() > truth.len() / 2);
+        assert!(inferred.is_connected());
+    }
+}

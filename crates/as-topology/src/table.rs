@@ -1,0 +1,295 @@
+//! Route Views-style routing tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bgp_types::{AsPath, Asn, Ipv4Prefix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::AsGraph;
+
+/// One `(prefix, AS path)` row of a BGP routing table, as archived by the
+/// Oregon Route Views server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RouteTableEntry {
+    /// The destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// The AS path the collector observed, neighbor-first.
+    pub path: AsPath,
+}
+
+impl fmt::Display for RouteTableEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.prefix, self.path)
+    }
+}
+
+/// A full BGP routing table: the input to the paper's topology-derivation
+/// pipeline and to the MOAS measurement study.
+///
+/// # Example
+///
+/// ```
+/// use as_topology::{InternetModel, RouteTable};
+///
+/// let truth = InternetModel::new().transit_count(10).stub_count(30).build(1);
+/// let table = RouteTable::synthesize(&truth, &[0], 1);
+/// assert!(!table.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RouteTable {
+    entries: Vec<RouteTableEntry>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// Builds a table from entries.
+    #[must_use]
+    pub fn from_entries<I: IntoIterator<Item = RouteTableEntry>>(entries: I) -> Self {
+        RouteTable {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Adds one row.
+    pub fn push(&mut self, entry: RouteTableEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The rows of the table.
+    #[must_use]
+    pub fn entries(&self) -> &[RouteTableEntry] {
+        &self.entries
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Groups origins seen per prefix — the raw material of MOAS detection.
+    /// Returns, for each prefix, the distinct origin ASes observed across all
+    /// rows for that prefix.
+    #[must_use]
+    pub fn origins_by_prefix(&self) -> BTreeMap<Ipv4Prefix, Vec<Asn>> {
+        let mut map: BTreeMap<Ipv4Prefix, Vec<Asn>> = BTreeMap::new();
+        for entry in &self.entries {
+            if let Some(origin) = entry.path.origin() {
+                let origins = map.entry(entry.prefix).or_default();
+                if !origins.contains(&origin) {
+                    origins.push(origin);
+                }
+            }
+        }
+        map
+    }
+
+    /// Prefixes announced by more than one origin AS: the MOAS cases visible
+    /// in this table.
+    #[must_use]
+    pub fn moas_prefixes(&self) -> Vec<Ipv4Prefix> {
+        self.origins_by_prefix()
+            .into_iter()
+            .filter(|(_, origins)| origins.len() > 1)
+            .map(|(prefix, _)| prefix)
+            .collect()
+    }
+
+    /// Synthesizes the table a Route Views-style collector would record for a
+    /// ground-truth topology.
+    ///
+    /// Every stub AS originates one prefix (deterministically assigned from
+    /// its ASN); each `vantage` index selects a transit AS (modulo the number
+    /// of transit ASes) acting as a collector peer, and the collector records
+    /// the shortest AS path from that vantage to every origin. `seed` jitters
+    /// path tie-breaking so different vantages do not see artificially
+    /// identical tables.
+    ///
+    /// This substitutes for the real Route Views archive: it produces tables
+    /// with the same structural properties the paper's pipeline consumes
+    /// (adjacency pairs revealing peering, mid-path ASes revealing transit
+    /// roles).
+    #[must_use]
+    pub fn synthesize(truth: &AsGraph, vantages: &[usize], seed: u64) -> RouteTable {
+        let transit = truth.transit_asns();
+        let mut rng = sim_engine::rng::from_seed(seed);
+        let mut table = RouteTable::new();
+        if transit.is_empty() {
+            return table;
+        }
+        for &v in vantages {
+            let vantage = transit[v % transit.len()];
+            for stub in truth.stub_asns() {
+                let prefix = prefix_for_asn(stub);
+                if let Some(path) = shortest_path_jittered(truth, vantage, stub, &mut rng) {
+                    table.push(RouteTableEntry {
+                        prefix,
+                        path: AsPath::from_sequence(path),
+                    });
+                }
+            }
+        }
+        table
+    }
+}
+
+impl FromIterator<RouteTableEntry> for RouteTable {
+    fn from_iter<I: IntoIterator<Item = RouteTableEntry>>(iter: I) -> Self {
+        RouteTable::from_entries(iter)
+    }
+}
+
+impl Extend<RouteTableEntry> for RouteTable {
+    fn extend<I: IntoIterator<Item = RouteTableEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+/// The deterministic prefix originated by an AS in synthetic workloads: each
+/// AS gets a distinct /16 (its ASN shifted into the high bits), so prefixes
+/// of different ASes never overlap.
+#[must_use]
+pub fn prefix_for_asn(asn: Asn) -> Ipv4Prefix {
+    Ipv4Prefix::new(asn.0 << 16, 16)
+}
+
+/// BFS shortest path with randomized neighbor order, so equal-length paths
+/// are sampled rather than always resolving toward low ASNs.
+///
+/// Stub ASes never appear mid-path: edge networks do not provide transit, so
+/// a stub is only expanded when it is the destination itself. This keeps the
+/// synthesized tables consistent with the role semantics §5.1 infers from
+/// them.
+fn shortest_path_jittered<R: Rng>(
+    graph: &AsGraph,
+    from: Asn,
+    to: Asn,
+    rng: &mut R,
+) -> Option<Vec<Asn>> {
+    use std::collections::{BTreeMap, VecDeque};
+    use crate::AsRole;
+    if !graph.contains(from) || !graph.contains(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: BTreeMap<Asn, Asn> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(asn) = queue.pop_front() {
+        let mut peers: Vec<Asn> = graph.neighbors(asn).collect();
+        peers.shuffle(rng);
+        for peer in peers {
+            if peer != from && !parent.contains_key(&peer) {
+                parent.insert(peer, asn);
+                if peer == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                // Stubs do not carry traffic for third parties.
+                if graph.role(peer) != Some(AsRole::Stub) {
+                    queue.push_back(peer);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsRole, InternetModel};
+
+    fn entry(prefix: &str, path: &str) -> RouteTableEntry {
+        RouteTableEntry {
+            prefix: prefix.parse().unwrap(),
+            path: path.parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn origins_by_prefix_deduplicates() {
+        let table = RouteTable::from_entries([
+            entry("10.0.0.0/16", "1 2 4"),
+            entry("10.0.0.0/16", "3 4"),
+            entry("10.0.0.0/16", "3 226"),
+        ]);
+        let origins = table.origins_by_prefix();
+        assert_eq!(origins[&"10.0.0.0/16".parse().unwrap()], vec![Asn(4), Asn(226)]);
+    }
+
+    #[test]
+    fn moas_prefixes_finds_conflicts_only() {
+        let table = RouteTable::from_entries([
+            entry("10.0.0.0/16", "1 4"),
+            entry("10.0.0.0/16", "2 52"),
+            entry("10.1.0.0/16", "1 4"),
+            entry("10.1.0.0/16", "2 4"),
+        ]);
+        assert_eq!(table.moas_prefixes(), vec!["10.0.0.0/16".parse().unwrap()]);
+    }
+
+    #[test]
+    fn synthesized_table_covers_all_stubs() {
+        let truth = InternetModel::new().transit_count(8).stub_count(40).build(3);
+        let table = RouteTable::synthesize(&truth, &[0, 1, 2], 3);
+        // Each vantage sees every stub (the generator guarantees connectivity).
+        assert_eq!(table.len(), 3 * truth.stub_asns().len());
+        // No MOAS in a fault-free table: one origin per prefix.
+        assert!(table.moas_prefixes().is_empty());
+    }
+
+    #[test]
+    fn synthesized_paths_end_at_origin_stub() {
+        let truth = InternetModel::new().transit_count(6).stub_count(20).build(9);
+        let table = RouteTable::synthesize(&truth, &[0], 9);
+        for row in table.entries() {
+            let origin = row.path.origin().unwrap();
+            assert_eq!(row.prefix, prefix_for_asn(origin));
+            assert_eq!(truth.role(origin), Some(AsRole::Stub));
+        }
+    }
+
+    #[test]
+    fn prefix_for_asn_is_injective_for_16bit() {
+        let a = prefix_for_asn(Asn(1));
+        let b = prefix_for_asn(Asn(2));
+        assert_ne!(a, b);
+        assert!(!a.overlaps(b));
+    }
+
+    #[test]
+    fn empty_truth_gives_empty_table() {
+        let table = RouteTable::synthesize(&AsGraph::new(), &[0], 1);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut table: RouteTable = [entry("10.0.0.0/16", "1 4")].into_iter().collect();
+        table.extend([entry("10.1.0.0/16", "1 5")]);
+        assert_eq!(table.len(), 2);
+    }
+}

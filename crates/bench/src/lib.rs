@@ -1,0 +1,21 @@
+//! Shared helpers for the figure-regeneration benchmarks.
+//!
+//! Each bench target regenerates one table/figure of the paper's evaluation:
+//! it prints the reproduced series once (the rows EXPERIMENTS.md records) and
+//! then benchmarks the underlying computation with Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Once;
+
+/// Prints a reproduction banner plus body exactly once per process, so
+/// Criterion's repeated calls don't spam the log.
+pub fn print_figure_once(once: &'static Once, header: &str, body: &str) {
+    once.call_once(|| {
+        println!("\n================================================================");
+        println!("{header}");
+        println!("================================================================");
+        println!("{body}");
+    });
+}

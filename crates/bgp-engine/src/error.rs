@@ -1,0 +1,59 @@
+//! Engine error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// The simulation failed to reach quiescence within the event budget.
+///
+/// BGP with loop suppression and a stable decision process always converges,
+/// so hitting this limit indicates either a pathological configuration or a
+/// deliberately tiny budget passed to
+/// [`Network::run_with_limit`](crate::Network::run_with_limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceError {
+    pub(crate) processed: u64,
+    pub(crate) pending: usize,
+}
+
+impl ConvergenceError {
+    /// Number of events processed before giving up.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still queued when the budget ran out.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+impl fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation did not converge: {} events processed, {} still pending",
+            self.processed, self.pending
+        )
+    }
+}
+
+impl Error for ConvergenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let e = ConvergenceError {
+            processed: 10,
+            pending: 3,
+        };
+        assert_eq!(e.processed(), 10);
+        assert_eq!(e.pending(), 3);
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,129 @@
+//! The route-monitor extension point.
+
+use bgp_types::{Asn, Route};
+
+/// Everything a monitor can see when a router imports a route.
+#[derive(Debug)]
+pub struct ImportContext<'a> {
+    /// The AS doing the importing.
+    pub local: Asn,
+    /// The peer the route arrived from.
+    pub from_peer: Asn,
+    /// The arriving route (AS path already includes `from_peer`).
+    pub route: &'a Route,
+    /// Routes currently held for the same prefix: the locally originated
+    /// route (peer `None`) and Adj-RIB-In entries from *other* peers
+    /// (peer `Some`). The previous route from `from_peer`, if any, is being
+    /// replaced and is not included.
+    pub existing: &'a [(Option<Asn>, Route)],
+}
+
+/// What a monitor decided about an import.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ImportDecision {
+    /// Reject the arriving route instead of installing it.
+    pub reject: bool,
+    /// Evict these peers' existing Adj-RIB-In entries for the prefix —
+    /// used when a conflict reveals a previously installed route as false.
+    pub evict_peers: Vec<Asn>,
+}
+
+impl ImportDecision {
+    /// Accept the route, touch nothing else. This is plain BGP behaviour.
+    #[must_use]
+    pub fn accept() -> Self {
+        ImportDecision::default()
+    }
+
+    /// Reject the arriving route.
+    #[must_use]
+    pub fn reject() -> Self {
+        ImportDecision {
+            reject: true,
+            evict_peers: Vec::new(),
+        }
+    }
+
+    /// Also evict the existing entry learned from `peer`.
+    #[must_use]
+    pub fn with_eviction(mut self, peer: Asn) -> Self {
+        self.evict_peers.push(peer);
+        self
+    }
+}
+
+/// Observes and filters route imports and exports on every router.
+///
+/// One monitor instance serves the whole network; the `local` AS is passed to
+/// every hook, so per-AS behaviour (e.g. which ASes deployed MOAS checking)
+/// lives inside the monitor. The MOAS-list validator in `moas-core`
+/// implements this trait; adversarial behaviours (community-stripping
+/// transits) do too.
+pub trait RouteMonitor {
+    /// Called before a received route is installed in the Adj-RIB-In.
+    ///
+    /// The default accepts everything, which together with the default
+    /// `on_export` reproduces unmodified BGP-4.
+    fn on_import(&mut self, ctx: &ImportContext<'_>) -> ImportDecision {
+        let _ = ctx;
+        ImportDecision::accept()
+    }
+
+    /// Called for each peer a route is exported to, after AS-path prepending.
+    /// `learned_from` is the peer the route was learned from (`None` for a
+    /// locally originated route) — policy monitors such as
+    /// [`ValleyFree`](crate::ValleyFree) use it to apply export rules.
+    /// Return a (possibly modified) route to send, or `None` to suppress the
+    /// advertisement to that peer.
+    fn on_export(
+        &mut self,
+        local: Asn,
+        to_peer: Asn,
+        learned_from: Option<Asn>,
+        route: Route,
+    ) -> Option<Route> {
+        let _ = (local, to_peer, learned_from);
+        Some(route)
+    }
+}
+
+/// The identity monitor: unmodified BGP-4, the paper's "Normal BGP" baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopMonitor;
+
+impl RouteMonitor for NoopMonitor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Ipv4Prefix};
+
+    #[test]
+    fn default_decision_accepts() {
+        let d = ImportDecision::accept();
+        assert!(!d.reject);
+        assert!(d.evict_peers.is_empty());
+    }
+
+    #[test]
+    fn reject_and_evict_builders() {
+        let d = ImportDecision::reject().with_eviction(Asn(9)).with_eviction(Asn(7));
+        assert!(d.reject);
+        assert_eq!(d.evict_peers, vec![Asn(9), Asn(7)]);
+    }
+
+    #[test]
+    fn noop_monitor_accepts_and_forwards() {
+        let mut m = NoopMonitor;
+        let prefix: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        let route = Route::new(prefix, AsPath::origination(Asn(4)));
+        let ctx = ImportContext {
+            local: Asn(1),
+            from_peer: Asn(2),
+            route: &route,
+            existing: &[],
+        };
+        assert_eq!(m.on_import(&ctx), ImportDecision::accept());
+        assert_eq!(m.on_export(Asn(1), Asn(2), None, route.clone()), Some(route));
+    }
+}

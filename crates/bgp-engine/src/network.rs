@@ -1,0 +1,671 @@
+//! The event-driven BGP network.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use as_topology::AsGraph;
+use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route, Update};
+use rand::Rng;
+use sim_engine::{EventQueue, SimTime};
+
+use crate::error::ConvergenceError;
+use crate::monitor::{NoopMonitor, RouteMonitor};
+use crate::router::Router;
+
+/// An event in the network's discrete-event queue.
+#[derive(Debug, Clone)]
+enum NetEvent {
+    /// A message in flight between two peering routers.
+    Deliver {
+        from: Asn,
+        to: Asn,
+        update: Update,
+    },
+    /// An MRAI window for a directed session expired: flush pending updates.
+    MraiFlush { from: Asn, to: Asn },
+}
+
+/// Counters accumulated while the simulation runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Announcement messages delivered.
+    pub announcements: u64,
+    /// Withdrawal messages delivered.
+    pub withdrawals: u64,
+    /// Updates superseded inside an MRAI window before ever being sent.
+    pub mrai_coalesced: u64,
+    /// Messages dropped because their link failed while they were in flight.
+    pub dropped_on_failed_links: u64,
+    /// Simulated time when the network last went quiescent.
+    pub converged_at: SimTime,
+}
+
+impl NetworkStats {
+    /// Total update messages delivered.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.announcements + self.withdrawals
+    }
+}
+
+/// An AS-level BGP network over an [`AsGraph`], driven to quiescence by a
+/// deterministic discrete-event queue.
+///
+/// The monitor type parameter injects route validation: [`NoopMonitor`] for
+/// the "Normal BGP" baseline, or the MOAS monitor from `moas-core` for the
+/// paper's mechanism.
+///
+/// # Example
+///
+/// ```
+/// use as_topology::InternetModel;
+/// use bgp_engine::Network;
+/// use bgp_types::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = InternetModel::new().transit_count(5).stub_count(20).build(1);
+/// let victim = graph.stub_asns()[0];
+/// let prefix = as_topology::prefix_for_asn(victim);
+///
+/// let mut net = Network::new(&graph);
+/// net.originate(victim, prefix, None);
+/// net.run()?;
+///
+/// // Every AS converged on the true origin.
+/// assert!(graph.asns().all(|asn| net.best_origin(asn, prefix) == Some(victim)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Network<M = NoopMonitor> {
+    routers: BTreeMap<Asn, Router>,
+    queue: EventQueue<NetEvent>,
+    delays: BTreeMap<(Asn, Asn), u64>,
+    monitor: M,
+    stats: NetworkStats,
+    /// Minimum route advertisement interval per directed session; 0 = off.
+    mrai: u64,
+    /// Per directed session: the earliest time the next batch may be sent.
+    mrai_gate: BTreeMap<(Asn, Asn), SimTime>,
+    /// Updates held back by an open MRAI window, newest per prefix.
+    mrai_pending: BTreeMap<(Asn, Asn), BTreeMap<Ipv4Prefix, Update>>,
+    /// Links currently failed (stored with endpoints ordered low-high).
+    failed_links: BTreeSet<(Asn, Asn)>,
+}
+
+/// Default event budget for [`Network::run`]: far beyond what any experiment
+/// in the reproduction needs, while still catching runaway configurations.
+const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+impl Network<NoopMonitor> {
+    /// Builds a plain BGP network (no validation) with unit link delays.
+    #[must_use]
+    pub fn new(graph: &AsGraph) -> Self {
+        Network::with_monitor(graph, NoopMonitor)
+    }
+}
+
+impl<M: RouteMonitor> Network<M> {
+    /// Builds a network whose routers consult `monitor` on every import and
+    /// export. All links have unit delay.
+    #[must_use]
+    pub fn with_monitor(graph: &AsGraph, monitor: M) -> Self {
+        let routers: BTreeMap<Asn, Router> = graph
+            .asns()
+            .map(|asn| (asn, Router::new(asn, graph.neighbors(asn).collect())))
+            .collect();
+        Network {
+            routers,
+            queue: EventQueue::new(),
+            delays: BTreeMap::new(),
+            monitor,
+            stats: NetworkStats::default(),
+            mrai: 0,
+            mrai_gate: BTreeMap::new(),
+            mrai_pending: BTreeMap::new(),
+            failed_links: BTreeSet::new(),
+        }
+    }
+
+    /// Like [`Network::with_monitor`], but each directed link gets an
+    /// independent delay drawn uniformly from `1..=max_delay`, seeded so the
+    /// timing pattern is reproducible. Varying delays explore different
+    /// propagation races, which is what makes Monte Carlo runs meaningful.
+    #[must_use]
+    pub fn with_monitor_and_jitter(graph: &AsGraph, monitor: M, seed: u64, max_delay: u64) -> Self {
+        let mut net = Network::with_monitor(graph, monitor);
+        let max_delay = max_delay.max(1);
+        let mut rng = sim_engine::rng::from_seed(seed);
+        for (a, b) in graph.links() {
+            net.delays.insert((a, b), rng.gen_range(1..=max_delay));
+            net.delays.insert((b, a), rng.gen_range(1..=max_delay));
+        }
+        net
+    }
+
+    /// The monitor, for reading alarms and other accumulated state.
+    #[must_use]
+    pub fn monitor(&self) -> &M {
+        &self.monitor
+    }
+
+    /// Mutable access to the monitor (e.g. to reconfigure between phases).
+    #[must_use]
+    pub fn monitor_mut(&mut self) -> &mut M {
+        &mut self.monitor
+    }
+
+    /// Message counters.
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The ASes in the network, ascending.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.routers.keys().copied()
+    }
+
+    /// Read access to a router.
+    #[must_use]
+    pub fn router(&self, asn: Asn) -> Option<&Router> {
+        self.routers.get(&asn)
+    }
+
+    /// The best route an AS holds for `prefix`.
+    #[must_use]
+    pub fn best_route(&self, asn: Asn, prefix: Ipv4Prefix) -> Option<&Route> {
+        self.routers.get(&asn)?.best_route(prefix)
+    }
+
+    /// The origin AS of the best route an AS holds for `prefix`.
+    #[must_use]
+    pub fn best_origin(&self, asn: Asn, prefix: Ipv4Prefix) -> Option<Asn> {
+        self.routers.get(&asn)?.best_origin(prefix)
+    }
+
+    /// Makes `asn` originate `prefix`, optionally attaching a MOAS list to
+    /// its announcements (§4.2: origins of a multi-homed prefix attach the
+    /// full list; `None` models pre-deployment behaviour — receivers then
+    /// apply the implicit `{origin}` rule).
+    ///
+    /// Events are queued; call [`Network::run`] to propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not in the network.
+    pub fn originate(&mut self, asn: Asn, prefix: Ipv4Prefix, moas_list: Option<MoasList>) {
+        let mut route = Route::new(prefix, AsPath::new());
+        if let Some(list) = moas_list {
+            route = route.with_moas_list(list);
+        }
+        self.originate_route(asn, route);
+    }
+
+    /// Makes `asn` originate an arbitrary pre-built route (the path should be
+    /// empty; the router prepends its own ASN on export). Used by attacker
+    /// models that forge attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not in the network.
+    pub fn originate_route(&mut self, asn: Asn, route: Route) {
+        let router = self.routers.get_mut(&asn).expect("originating AS not in network");
+        let updates = router.originate(route, &mut self.monitor);
+        self.enqueue(asn, updates);
+    }
+
+    /// Makes `asn` stop originating `prefix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not in the network.
+    pub fn withdraw(&mut self, asn: Asn, prefix: Ipv4Prefix) {
+        let router = self.routers.get_mut(&asn).expect("withdrawing AS not in network");
+        let updates = router.withdraw_origin(prefix, &mut self.monitor);
+        self.enqueue(asn, updates);
+    }
+
+    /// Runs the simulation until no messages remain in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvergenceError`] if the default event budget is exhausted,
+    /// which indicates a pathological configuration.
+    pub fn run(&mut self) -> Result<SimTime, ConvergenceError> {
+        self.run_with_limit(DEFAULT_EVENT_LIMIT)
+    }
+
+    /// Runs until quiescence or until `max_events` messages have been
+    /// delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvergenceError`] when the budget runs out first.
+    pub fn run_with_limit(&mut self, max_events: u64) -> Result<SimTime, ConvergenceError> {
+        let mut processed = 0u64;
+        while let Some((_, event)) = self.queue.pop() {
+            processed += 1;
+            if processed > max_events {
+                return Err(ConvergenceError {
+                    processed,
+                    pending: self.queue.len(),
+                });
+            }
+            match event {
+                NetEvent::Deliver { from, to, update } => {
+                    if self.link_is_down(from, to) {
+                        self.stats.dropped_on_failed_links += 1;
+                        continue;
+                    }
+                    match &update {
+                        Update::Announce(_) => self.stats.announcements += 1,
+                        Update::Withdraw(_) => self.stats.withdrawals += 1,
+                    }
+                    let Some(router) = self.routers.get_mut(&to) else {
+                        continue;
+                    };
+                    let updates = router.handle_update(from, update, &mut self.monitor);
+                    self.enqueue(to, updates);
+                }
+                NetEvent::MraiFlush { from, to } => {
+                    let pending = self
+                        .mrai_pending
+                        .remove(&(from, to))
+                        .unwrap_or_default();
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    self.mrai_gate
+                        .insert((from, to), self.queue.now() + self.mrai);
+                    let delay = self.delays.get(&(from, to)).copied().unwrap_or(1);
+                    for (_, update) in pending {
+                        self.queue
+                            .schedule_after(delay, NetEvent::Deliver { from, to, update });
+                    }
+                }
+            }
+        }
+        self.stats.converged_at = self.queue.now();
+        Ok(self.queue.now())
+    }
+
+    // ------------------------------------------------------------------
+    // MRAI and failure injection
+    // ------------------------------------------------------------------
+
+    /// Enables the minimum route advertisement interval: after a router sends
+    /// an update to a peer, further updates for that peer are held and
+    /// coalesced (newest per prefix wins) until `ticks` have elapsed
+    /// (RFC 4271 §9.2.1.1; SSFnet enables a 30s MRAI by default). Pass 0 to
+    /// disable. Takes effect for updates emitted after the call.
+    pub fn set_mrai(&mut self, ticks: u64) {
+        self.mrai = ticks;
+    }
+
+    /// Tears down the link between `a` and `b`: both routers treat every
+    /// route learned over it as withdrawn and reconverge; messages already in
+    /// flight on the link are lost. No-op for unknown or already-failed
+    /// links.
+    pub fn fail_link(&mut self, a: Asn, b: Asn) {
+        if !self.failed_links.insert(Self::link_key(a, b)) {
+            return;
+        }
+        self.mrai_pending.remove(&(a, b));
+        self.mrai_pending.remove(&(b, a));
+        for (local, peer) in [(a, b), (b, a)] {
+            if let Some(router) = self.routers.get_mut(&local) {
+                let updates = router.peer_down(peer, &mut self.monitor);
+                self.enqueue(local, updates);
+            }
+        }
+    }
+
+    /// Restores a previously failed link: both routers re-advertise their
+    /// current best routes to each other. No-op if the link is up.
+    pub fn restore_link(&mut self, a: Asn, b: Asn) {
+        if !self.failed_links.remove(&Self::link_key(a, b)) {
+            return;
+        }
+        for (local, peer) in [(a, b), (b, a)] {
+            if let Some(router) = self.routers.get_mut(&local) {
+                let updates = router.refresh_peer(peer, &mut self.monitor);
+                self.enqueue(local, updates);
+            }
+        }
+    }
+
+    /// Returns `true` while the link between `a` and `b` is failed.
+    #[must_use]
+    pub fn link_is_down(&self, a: Asn, b: Asn) -> bool {
+        self.failed_links.contains(&Self::link_key(a, b))
+    }
+
+    fn link_key(a: Asn, b: Asn) -> (Asn, Asn) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn enqueue(&mut self, from: Asn, updates: Vec<(Asn, Update)>) {
+        for (to, update) in updates {
+            if self.link_is_down(from, to) {
+                continue;
+            }
+            if self.mrai == 0 {
+                let delay = self.delays.get(&(from, to)).copied().unwrap_or(1);
+                self.queue
+                    .schedule_after(delay, NetEvent::Deliver { from, to, update });
+                continue;
+            }
+            let now = self.queue.now();
+            let gate = self.mrai_gate.get(&(from, to)).copied().unwrap_or(SimTime::ZERO);
+            if now >= gate && !self.mrai_pending.contains_key(&(from, to)) {
+                // Window open: send immediately and start a new window.
+                self.mrai_gate.insert((from, to), now + self.mrai);
+                let delay = self.delays.get(&(from, to)).copied().unwrap_or(1);
+                self.queue
+                    .schedule_after(delay, NetEvent::Deliver { from, to, update });
+            } else {
+                // Window closed: coalesce, newest update per prefix wins.
+                let pending = self.mrai_pending.entry((from, to)).or_default();
+                if pending.insert(update.prefix(), update).is_some() {
+                    self.stats.mrai_coalesced += 1;
+                }
+                // Schedule the flush the first time the batch forms.
+                if pending.len() == 1 {
+                    let wait = gate.ticks().saturating_sub(now.ticks()).max(1);
+                    self.queue.schedule_after(wait, NetEvent::MraiFlush { from, to });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::{AsRole, InternetModel};
+
+    fn figure1_graph() -> AsGraph {
+        // AS 4 originates; AS Y (=2) and AS Z (=3) transit to AS X (=1).
+        let mut g = AsGraph::new();
+        g.add_as(Asn(4), AsRole::Stub);
+        for t in [1, 2, 3] {
+            g.add_as(Asn(t), AsRole::Transit);
+        }
+        g.add_link(Asn(4), Asn(2));
+        g.add_link(Asn(4), Asn(3));
+        g.add_link(Asn(2), Asn(1));
+        g.add_link(Asn(3), Asn(1));
+        g
+    }
+
+    fn p() -> Ipv4Prefix {
+        "208.8.0.0/16".parse().unwrap()
+    }
+
+    #[test]
+    fn figure1_all_ases_reach_origin() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        for asn in [1, 2, 3, 4] {
+            assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(4)), "AS {asn}");
+        }
+        // AS X learned via the lower-numbered peer on the tie.
+        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "2 4");
+    }
+
+    #[test]
+    fn convergence_on_generated_internet() {
+        let graph = InternetModel::new().transit_count(10).stub_count(50).build(7);
+        let victim = graph.stub_asns()[3];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let mut net = Network::with_monitor_and_jitter(&graph, NoopMonitor, 7, 5);
+        net.originate(victim, prefix, None);
+        net.run().unwrap();
+        for asn in graph.asns() {
+            assert_eq!(net.best_origin(asn, prefix), Some(victim), "{asn}");
+            let best = net.best_route(asn, prefix).unwrap();
+            if asn != victim {
+                // The path must be loop-free and end at the victim.
+                assert_eq!(best.origin_as(), Some(victim));
+                let hops: Vec<Asn> = best.as_path().iter().collect();
+                let unique: std::collections::BTreeSet<Asn> = hops.iter().copied().collect();
+                assert_eq!(hops.len(), unique.len(), "loop in path of {asn}");
+            }
+        }
+        assert!(net.stats().total_messages() > 0);
+    }
+
+    #[test]
+    fn withdrawal_clears_the_network() {
+        let graph = figure1_graph();
+        let mut net = Network::new(&graph);
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        net.withdraw(Asn(4), p());
+        net.run().unwrap();
+        for asn in [1, 2, 3, 4] {
+            assert!(net.best_route(Asn(asn), p()).is_none(), "AS {asn}");
+        }
+        assert!(net.stats().withdrawals > 0);
+    }
+
+    #[test]
+    fn two_valid_origins_split_the_network() {
+        // Figure 2: prefix originated by AS 4 and AS 226 (multi-homing).
+        let mut g = figure1_graph();
+        g.add_as(Asn(226), AsRole::Stub);
+        g.add_link(Asn(226), Asn(3));
+        let mut net = Network::new(&g);
+        let list: MoasList = [Asn(4), Asn(226)].into_iter().collect();
+        net.originate(Asn(4), p(), Some(list.clone()));
+        net.originate(Asn(226), p(), Some(list));
+        net.run().unwrap();
+        // Every AS reaches one of the two legitimate origins.
+        for asn in [1, 2, 3, 4, 226] {
+            let origin = net.best_origin(Asn(asn), p()).unwrap();
+            assert!(origin == Asn(4) || origin == Asn(226), "AS {asn} -> {origin}");
+        }
+        // AS 3 peers with both origins directly; the deterministic tiebreak
+        // picks the lower peer ASN. AS 226 itself keeps its local route.
+        assert_eq!(net.best_origin(Asn(3), p()), Some(Asn(4)));
+        assert_eq!(net.best_origin(Asn(226), p()), Some(Asn(226)));
+    }
+
+    #[test]
+    fn attacker_hijacks_shorter_path_under_normal_bgp() {
+        // Figure 3: AS 52 (attacker) peers directly with AS X (=1); the
+        // legitimate origin AS 4 is two hops away. Normal BGP adopts the
+        // attacker's shorter route.
+        let mut g = figure1_graph();
+        g.add_as(Asn(52), AsRole::Stub);
+        g.add_link(Asn(52), Asn(1));
+        let mut net = Network::new(&g);
+        net.originate(Asn(4), p(), None);
+        net.originate(Asn(52), p(), None);
+        net.run().unwrap();
+        assert_eq!(net.best_origin(Asn(1), p()), Some(Asn(52)), "AS X hijacked");
+        // ASes adjacent to the true origin keep the true route.
+        assert_eq!(net.best_origin(Asn(2), p()), Some(Asn(4)));
+        assert_eq!(net.best_origin(Asn(3), p()), Some(Asn(4)));
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let graph = InternetModel::new().transit_count(8).stub_count(30).build(3);
+        let victim = graph.stub_asns()[0];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let run = |seed| {
+            let mut net = Network::with_monitor_and_jitter(&graph, NoopMonitor, seed, 4);
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            let origins: Vec<Option<Asn>> =
+                graph.asns().map(|a| net.best_origin(a, prefix)).collect();
+            (origins, *net.stats())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let graph = InternetModel::new().transit_count(10).stub_count(50).build(1);
+        let victim = graph.stub_asns()[0];
+        let mut net = Network::new(&graph);
+        net.originate(victim, as_topology::prefix_for_asn(victim), None);
+        let err = net.run_with_limit(3).unwrap_err();
+        assert!(err.processed() >= 3);
+    }
+
+    #[test]
+    fn stats_track_announcements() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        assert!(net.stats().announcements >= 4);
+        assert_eq!(net.stats().withdrawals, 0);
+        assert!(net.stats().converged_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn moas_list_travels_with_routes() {
+        let mut net = Network::new(&figure1_graph());
+        let list: MoasList = [Asn(4), Asn(226)].into_iter().collect();
+        net.originate(Asn(4), p(), Some(list.clone()));
+        net.run().unwrap();
+        let at_x = net.best_route(Asn(1), p()).unwrap();
+        assert_eq!(at_x.moas_list(), Some(list));
+    }
+
+    #[test]
+    fn link_failure_reroutes_to_alternate_path() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "2 4");
+        net.fail_link(Asn(1), Asn(2));
+        net.run().unwrap();
+        // AS 1 falls back to the path via AS 3.
+        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "3 4");
+        assert!(net.link_is_down(Asn(2), Asn(1)));
+    }
+
+    #[test]
+    fn partitioning_the_origin_withdraws_everywhere() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        net.fail_link(Asn(4), Asn(2));
+        net.fail_link(Asn(4), Asn(3));
+        net.run().unwrap();
+        for asn in [1, 2, 3] {
+            assert!(net.best_route(Asn(asn), p()).is_none(), "AS {asn}");
+        }
+        // The origin keeps its own local route.
+        assert_eq!(net.best_origin(Asn(4), p()), Some(Asn(4)));
+    }
+
+    #[test]
+    fn restore_link_reconverges_to_original_state() {
+        let mut reference = Network::new(&figure1_graph());
+        reference.originate(Asn(4), p(), None);
+        reference.run().unwrap();
+
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        net.fail_link(Asn(1), Asn(2));
+        net.run().unwrap();
+        net.restore_link(Asn(1), Asn(2));
+        net.run().unwrap();
+        for asn in [1, 2, 3, 4] {
+            assert_eq!(
+                net.best_origin(Asn(asn), p()),
+                reference.best_origin(Asn(asn), p()),
+                "AS {asn}"
+            );
+        }
+        // The restored session carries a route again (either direction may
+        // win the tie at AS 1 depending on arrival order, but reachability
+        // is identical).
+        assert!(net.best_route(Asn(1), p()).is_some());
+    }
+
+    #[test]
+    fn failing_unknown_or_failed_link_is_a_noop() {
+        let mut net = Network::new(&figure1_graph());
+        net.fail_link(Asn(1), Asn(2));
+        net.fail_link(Asn(2), Asn(1)); // already down
+        net.restore_link(Asn(1), Asn(2));
+        net.restore_link(Asn(1), Asn(2)); // already up
+        net.fail_link(Asn(77), Asn(88)); // not a link at all: only marks state
+        assert!(net.run().is_ok());
+    }
+
+    #[test]
+    fn in_flight_messages_are_lost_on_failed_links() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        // Fail the 4-2 link while the origination is still in flight.
+        net.fail_link(Asn(4), Asn(2));
+        net.run().unwrap();
+        assert!(net.stats().dropped_on_failed_links > 0);
+        // Reachability via AS 3 only.
+        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "3 4");
+    }
+
+    #[test]
+    fn mrai_preserves_outcome_and_coalesces_churn() {
+        let graph = InternetModel::new().transit_count(10).stub_count(40).build(21);
+        let victim = graph.stub_asns()[0];
+        let prefix = as_topology::prefix_for_asn(victim);
+
+        let run = |mrai: u64| {
+            let mut net = Network::new(&graph);
+            net.set_mrai(mrai);
+            // Flap twice to generate churn, then settle.
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            net.withdraw(victim, prefix);
+            net.run().unwrap();
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            let origins: Vec<Option<Asn>> =
+                graph.asns().map(|a| net.best_origin(a, prefix)).collect();
+            (origins, *net.stats())
+        };
+
+        let (plain_origins, plain_stats) = run(0);
+        let (mrai_origins, mrai_stats) = run(50);
+        assert_eq!(plain_origins, mrai_origins, "MRAI must not change the outcome");
+        assert_eq!(plain_stats.mrai_coalesced, 0);
+        assert!(
+            mrai_stats.total_messages() <= plain_stats.total_messages(),
+            "MRAI should not increase message count ({} > {})",
+            mrai_stats.total_messages(),
+            plain_stats.total_messages()
+        );
+    }
+
+    #[test]
+    fn mrai_delays_but_delivers() {
+        let mut net = Network::new(&figure1_graph());
+        net.set_mrai(100);
+        net.originate(Asn(4), p(), None);
+        let converged = net.run().unwrap();
+        for asn in [1, 2, 3] {
+            assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(4)), "AS {asn}");
+        }
+        assert!(converged >= SimTime::from_ticks(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in network")]
+    fn originating_from_unknown_as_panics() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(999), p(), None);
+    }
+}

@@ -1,0 +1,670 @@
+//! A single AS-level BGP speaker.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgp_types::{Asn, Ipv4Prefix, Route, Update};
+
+use crate::monitor::{ImportContext, ImportDecision, RouteMonitor};
+
+/// The chosen best route for a prefix and where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BestEntry {
+    route: Route,
+    /// `None` when the best route is locally originated.
+    learned_from: Option<Asn>,
+}
+
+/// One AS-level BGP router: per-peer Adj-RIB-In, locally originated routes,
+/// a Loc-RIB of best routes, and split-horizon advertisement state.
+///
+/// Routers are driven by [`Network`](crate::Network); the public surface
+/// here is read-only inspection, which the experiment harness uses to census
+/// which ASes adopted a false route.
+#[derive(Debug, Clone)]
+pub struct Router {
+    asn: Asn,
+    peers: Vec<Asn>,
+    originated: BTreeMap<Ipv4Prefix, Route>,
+    adj_in: BTreeMap<Ipv4Prefix, BTreeMap<Asn, RibEntry>>,
+    best: BTreeMap<Ipv4Prefix, BestEntry>,
+    advertised: BTreeMap<Ipv4Prefix, BTreeSet<Asn>>,
+    /// Monotonic counter stamping Adj-RIB-In installations, for the
+    /// oldest-route tiebreak.
+    age_clock: u64,
+}
+
+/// An Adj-RIB-In entry: the route plus its installation stamp. A peer's
+/// re-announcement of the *identical* route keeps the original stamp; a
+/// changed route counts as a fresh installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RibEntry {
+    route: Route,
+    installed_at: u64,
+}
+
+impl Router {
+    pub(crate) fn new(asn: Asn, mut peers: Vec<Asn>) -> Self {
+        peers.sort_unstable();
+        peers.dedup();
+        Router {
+            asn,
+            peers,
+            originated: BTreeMap::new(),
+            adj_in: BTreeMap::new(),
+            best: BTreeMap::new(),
+            advertised: BTreeMap::new(),
+            age_clock: 0,
+        }
+    }
+
+    /// This router's AS number.
+    #[must_use]
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// The router's BGP peers, ascending.
+    #[must_use]
+    pub fn peers(&self) -> &[Asn] {
+        &self.peers
+    }
+
+    /// The best (Loc-RIB) route for a prefix, if any.
+    #[must_use]
+    pub fn best_route(&self, prefix: Ipv4Prefix) -> Option<&Route> {
+        self.best.get(&prefix).map(|e| &e.route)
+    }
+
+    /// The peer the best route was learned from (`None` when locally
+    /// originated or when there is no route).
+    #[must_use]
+    pub fn best_learned_from(&self, prefix: Ipv4Prefix) -> Option<Asn> {
+        self.best.get(&prefix).and_then(|e| e.learned_from)
+    }
+
+    /// The origin AS of the best route: the AS-path origin, or this router's
+    /// own ASN for a locally originated route.
+    #[must_use]
+    pub fn best_origin(&self, prefix: Ipv4Prefix) -> Option<Asn> {
+        let entry = self.best.get(&prefix)?;
+        match entry.learned_from {
+            None => Some(self.asn),
+            Some(_) => entry.route.origin_as(),
+        }
+    }
+
+    /// Returns `true` if this router originates `prefix` itself.
+    #[must_use]
+    pub fn originates(&self, prefix: Ipv4Prefix) -> bool {
+        self.originated.contains_key(&prefix)
+    }
+
+    /// All prefixes with a best route.
+    pub fn prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.best.keys().copied()
+    }
+
+    /// The Adj-RIB-In entries for a prefix, as `(peer, route)` pairs.
+    pub fn adj_rib_in(&self, prefix: Ipv4Prefix) -> impl Iterator<Item = (Asn, &Route)> + '_ {
+        self.adj_in
+            .get(&prefix)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&peer, entry)| (peer, &entry.route)))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (crate-internal, driven by Network)
+    // ------------------------------------------------------------------
+
+    /// Starts originating a route; returns the updates to send.
+    pub(crate) fn originate<M: RouteMonitor>(
+        &mut self,
+        route: Route,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        let prefix = route.prefix();
+        self.originated.insert(prefix, route);
+        self.reselect(prefix, monitor)
+    }
+
+    /// Stops originating a prefix; returns the updates to send.
+    pub(crate) fn withdraw_origin<M: RouteMonitor>(
+        &mut self,
+        prefix: Ipv4Prefix,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        if self.originated.remove(&prefix).is_none() {
+            return Vec::new();
+        }
+        self.reselect(prefix, monitor)
+    }
+
+    /// The peering session to `peer` went down: every route learned from it
+    /// is implicitly withdrawn, and our advertisement state toward it is
+    /// forgotten. Returns the updates to send to the *other* peers.
+    pub(crate) fn peer_down<M: RouteMonitor>(
+        &mut self,
+        peer: Asn,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        let mut affected: Vec<Ipv4Prefix> = Vec::new();
+        for (&prefix, rib) in &mut self.adj_in {
+            if rib.remove(&peer).is_some() {
+                affected.push(prefix);
+            }
+        }
+        for advertised in self.advertised.values_mut() {
+            advertised.remove(&peer);
+        }
+        let mut out = Vec::new();
+        for prefix in affected {
+            out.extend(
+                self.reselect(prefix, monitor)
+                    .into_iter()
+                    .filter(|(to, _)| *to != peer),
+            );
+        }
+        out
+    }
+
+    /// The peering session to `peer` came (back) up: re-advertise every
+    /// current best route to it, as a BGP session establishment would.
+    pub(crate) fn refresh_peer<M: RouteMonitor>(
+        &mut self,
+        peer: Asn,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        if !self.peers.contains(&peer) {
+            return Vec::new();
+        }
+        let prefixes: Vec<Ipv4Prefix> = self.best.keys().copied().collect();
+        let mut out = Vec::new();
+        for prefix in prefixes {
+            let entry = self.best.get(&prefix).expect("key just listed").clone();
+            if entry.learned_from == Some(peer) {
+                continue; // split horizon
+            }
+            let outbound = entry.route.propagated_by(self.asn);
+            if let Some(route) = monitor.on_export(self.asn, peer, entry.learned_from, outbound) {
+                self.advertised.entry(prefix).or_default().insert(peer);
+                out.push((peer, Update::announce(route)));
+            }
+        }
+        out
+    }
+
+    /// Processes an update from a peer; returns the updates to send onward.
+    pub(crate) fn handle_update<M: RouteMonitor>(
+        &mut self,
+        from: Asn,
+        update: Update,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        let prefix = update.prefix();
+        match update {
+            Update::Withdraw(_) => {
+                let removed = self
+                    .adj_in
+                    .get_mut(&prefix)
+                    .and_then(|m| m.remove(&from))
+                    .is_some();
+                if !removed {
+                    return Vec::new();
+                }
+            }
+            Update::Announce(route) => {
+                // Loop suppression: never accept a path containing ourselves.
+                // The announcement still supersedes the peer's previous route
+                // (treat-as-withdraw), otherwise two routers can hold stale
+                // routes through each other forever.
+                if route.as_path().contains(self.asn) {
+                    let removed = self
+                        .adj_in
+                        .get_mut(&prefix)
+                        .and_then(|m| m.remove(&from))
+                        .is_some();
+                    if !removed {
+                        return Vec::new();
+                    }
+                    return self.reselect(prefix, monitor);
+                }
+                let decision = self.consult_monitor(from, &route, monitor);
+                self.apply_evictions(prefix, from, &decision);
+                self.age_clock += 1;
+                let stamp = self.age_clock;
+                let rib = self.adj_in.entry(prefix).or_default();
+                if decision.reject {
+                    // The newest word from this peer supersedes its previous
+                    // announcement even when we refuse to install it.
+                    rib.remove(&from);
+                } else {
+                    match rib.get_mut(&from) {
+                        // Identical re-announcement: keep the original age.
+                        Some(entry) if entry.route == route => {}
+                        Some(entry) => {
+                            entry.route = route;
+                            entry.installed_at = stamp;
+                        }
+                        None => {
+                            rib.insert(
+                                from,
+                                RibEntry {
+                                    route,
+                                    installed_at: stamp,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.reselect(prefix, monitor)
+    }
+
+    fn consult_monitor<M: RouteMonitor>(
+        &self,
+        from: Asn,
+        route: &Route,
+        monitor: &mut M,
+    ) -> ImportDecision {
+        let mut existing: Vec<(Option<Asn>, Route)> = Vec::new();
+        if let Some(own) = self.originated.get(&route.prefix()) {
+            existing.push((None, own.clone()));
+        }
+        if let Some(rib) = self.adj_in.get(&route.prefix()) {
+            for (&peer, held) in rib {
+                if peer != from {
+                    existing.push((Some(peer), held.route.clone()));
+                }
+            }
+        }
+        monitor.on_import(&ImportContext {
+            local: self.asn,
+            from_peer: from,
+            route,
+            existing: &existing,
+        })
+    }
+
+    fn apply_evictions(&mut self, prefix: Ipv4Prefix, from: Asn, decision: &ImportDecision) {
+        if decision.evict_peers.is_empty() {
+            return;
+        }
+        if let Some(rib) = self.adj_in.get_mut(&prefix) {
+            for &peer in &decision.evict_peers {
+                if peer != from {
+                    rib.remove(&peer);
+                }
+            }
+        }
+    }
+
+    /// Re-runs the decision process for a prefix and computes the updates to
+    /// send to peers if the best route changed.
+    fn reselect<M: RouteMonitor>(
+        &mut self,
+        prefix: Ipv4Prefix,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        let new_best = self.decide(prefix);
+        let old_best = self.best.get(&prefix);
+        if old_best == new_best.as_ref() {
+            return Vec::new();
+        }
+        match new_best {
+            Some(entry) => {
+                self.best.insert(prefix, entry.clone());
+                self.export(prefix, &entry, monitor)
+            }
+            None => {
+                self.best.remove(&prefix);
+                let previously = self.advertised.remove(&prefix).unwrap_or_default();
+                previously
+                    .into_iter()
+                    .map(|peer| (peer, Update::withdraw(prefix)))
+                    .collect()
+            }
+        }
+    }
+
+    /// The BGP decision process: highest `LOCAL_PREF`, then shortest AS path
+    /// (locally originated routes have an empty path and win). Exact ties
+    /// keep the currently selected route ("prefer oldest", the stability
+    /// practice SSFnet and most deployed implementations follow); a tie with
+    /// no incumbent breaks deterministically toward the lowest peer ASN.
+    ///
+    /// The prefer-current rule matters for the experiments: an attacker's
+    /// equally-long route must not displace a valid route that is already
+    /// installed, exactly as in the paper's converged-network attack model.
+    fn decide(&self, prefix: Ipv4Prefix) -> Option<BestEntry> {
+        let mut candidates: Vec<(BestEntry, u64)> = Vec::new();
+        if let Some(own) = self.originated.get(&prefix) {
+            candidates.push((
+                BestEntry {
+                    route: own.clone(),
+                    learned_from: None,
+                },
+                0,
+            ));
+        }
+        if let Some(rib) = self.adj_in.get(&prefix) {
+            for (&peer, entry) in rib {
+                candidates.push((
+                    BestEntry {
+                        route: entry.route.clone(),
+                        learned_from: Some(peer),
+                    },
+                    entry.installed_at,
+                ));
+            }
+        }
+        candidates
+            .into_iter()
+            .min_by_key(|(entry, installed_at)| {
+                (
+                    Reverse(entry.route.local_pref()),
+                    entry.route.as_path().selection_len(),
+                    entry.learned_from.is_some(),
+                    *installed_at,
+                    entry.learned_from,
+                )
+            })
+            .map(|(entry, _)| entry)
+    }
+
+    /// Builds the per-peer announcements for a newly selected best route,
+    /// plus withdrawals for peers that previously heard from us but are now
+    /// excluded (split horizon toward the route's source).
+    fn export<M: RouteMonitor>(
+        &mut self,
+        prefix: Ipv4Prefix,
+        entry: &BestEntry,
+        monitor: &mut M,
+    ) -> Vec<(Asn, Update)> {
+        let outbound = entry.route.propagated_by(self.asn);
+        let mut sent_to: BTreeSet<Asn> = BTreeSet::new();
+        let mut updates = Vec::new();
+        for &peer in &self.peers {
+            if Some(peer) == entry.learned_from {
+                continue;
+            }
+            match monitor.on_export(self.asn, peer, entry.learned_from, outbound.clone()) {
+                Some(route) => {
+                    sent_to.insert(peer);
+                    updates.push((peer, Update::announce(route)));
+                }
+                None => {}
+            }
+        }
+        let previously = self.advertised.insert(prefix, sent_to.clone()).unwrap_or_default();
+        for peer in previously.difference(&sent_to) {
+            updates.push((*peer, Update::withdraw(prefix)));
+        }
+        updates
+    }
+}
+
+// AS-path sanity helper shared by tests.
+#[cfg(test)]
+pub(crate) fn announced(origin: Asn, prefix: Ipv4Prefix) -> Route {
+    Route::new(prefix, bgp_types::AsPath::origination(origin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::NoopMonitor;
+    use bgp_types::AsPath;
+
+    fn prefix() -> Ipv4Prefix {
+        "10.0.0.0/16".parse().unwrap()
+    }
+
+    fn router() -> Router {
+        Router::new(Asn(1), vec![Asn(2), Asn(3), Asn(4)])
+    }
+
+    #[test]
+    fn origination_exports_to_all_peers() {
+        let mut r = router();
+        let updates = r.originate(Route::new(prefix(), AsPath::new()), &mut NoopMonitor);
+        assert_eq!(updates.len(), 3);
+        for (_, update) in &updates {
+            let route = update.route().unwrap();
+            assert_eq!(route.as_path().to_string(), "1");
+            assert_eq!(route.origin_as(), Some(Asn(1)));
+        }
+        assert_eq!(r.best_origin(prefix()), Some(Asn(1)));
+        assert!(r.originates(prefix()));
+    }
+
+    #[test]
+    fn received_route_is_installed_and_propagated_with_split_horizon() {
+        let mut r = router();
+        let incoming = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        let updates = r.handle_update(Asn(2), Update::announce(incoming), &mut NoopMonitor);
+        // Sent to peers 3 and 4, not back to 2.
+        let targets: Vec<Asn> = updates.iter().map(|(p, _)| *p).collect();
+        assert_eq!(targets, vec![Asn(3), Asn(4)]);
+        let route = updates[0].1.route().unwrap();
+        assert_eq!(route.as_path().to_string(), "1 2 9");
+        assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
+        assert_eq!(r.best_learned_from(prefix()), Some(Asn(2)));
+    }
+
+    #[test]
+    fn looped_path_is_dropped() {
+        let mut r = router();
+        let mut looped = announced(Asn(9), prefix());
+        looped = looped.propagated_by(Asn(1)).propagated_by(Asn(2));
+        let updates = r.handle_update(Asn(2), Update::announce(looped), &mut NoopMonitor);
+        assert!(updates.is_empty());
+        assert!(r.best_route(prefix()).is_none());
+    }
+
+    #[test]
+    fn shorter_path_wins() {
+        let mut r = router();
+        let long = announced(Asn(9), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(2));
+        let short = announced(Asn(9), prefix()).propagated_by(Asn(3));
+        r.handle_update(Asn(2), Update::announce(long), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(3), Update::announce(short), &mut NoopMonitor);
+        assert_eq!(r.best_learned_from(prefix()), Some(Asn(3)));
+        assert!(!updates.is_empty());
+    }
+
+    #[test]
+    fn equal_paths_keep_the_incumbent() {
+        // "Prefer current" stability: an equally good route from another
+        // peer must not displace the installed one.
+        let mut r = router();
+        let via4 = announced(Asn(9), prefix()).propagated_by(Asn(4));
+        let via3 = announced(Asn(9), prefix()).propagated_by(Asn(3));
+        r.handle_update(Asn(4), Update::announce(via4), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
+        assert_eq!(r.best_learned_from(prefix()), Some(Asn(4)));
+        assert!(updates.is_empty(), "no churn on an ignored tie");
+    }
+
+    #[test]
+    fn tie_without_incumbent_breaks_to_lowest_peer() {
+        // When the incumbent disappears and two equal routes remain, the
+        // deterministic tiebreak picks the lowest peer ASN.
+        let mut r = router();
+        let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        let via3 = announced(Asn(8), prefix()).propagated_by(Asn(7)).propagated_by(Asn(3));
+        let via4 = announced(Asn(8), prefix()).propagated_by(Asn(7)).propagated_by(Asn(4));
+        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
+        r.handle_update(Asn(4), Update::announce(via4), &mut NoopMonitor);
+        assert_eq!(r.best_learned_from(prefix()), Some(Asn(2)));
+        r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        assert_eq!(r.best_learned_from(prefix()), Some(Asn(3)));
+    }
+
+    #[test]
+    fn local_origination_beats_learned_routes() {
+        let mut r = router();
+        let learned = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        r.handle_update(Asn(2), Update::announce(learned), &mut NoopMonitor);
+        r.originate(Route::new(prefix(), AsPath::new()), &mut NoopMonitor);
+        assert_eq!(r.best_origin(prefix()), Some(Asn(1)));
+        assert_eq!(r.best_learned_from(prefix()), None);
+    }
+
+    #[test]
+    fn higher_local_pref_wins_over_shorter_path() {
+        let mut r = router();
+        let short = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        let long_preferred = announced(Asn(9), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(3))
+            .with_local_pref(200);
+        r.handle_update(Asn(2), Update::announce(short), &mut NoopMonitor);
+        r.handle_update(Asn(3), Update::announce(long_preferred), &mut NoopMonitor);
+        assert_eq!(r.best_learned_from(prefix()), Some(Asn(3)));
+    }
+
+    #[test]
+    fn withdrawal_falls_back_to_next_best() {
+        let mut r = router();
+        let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        let via3 = announced(Asn(8), prefix()).propagated_by(Asn(7)).propagated_by(Asn(3));
+        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
+        assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
+        let updates = r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        assert_eq!(r.best_origin(prefix()), Some(Asn(8)));
+        assert!(!updates.is_empty());
+    }
+
+    #[test]
+    fn last_withdrawal_sends_withdraw_to_advertised_peers() {
+        let mut r = router();
+        let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        assert!(r.best_route(prefix()).is_none());
+        let withdraw_targets: BTreeSet<Asn> = updates
+            .iter()
+            .filter(|(_, u)| u.is_withdrawal())
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(withdraw_targets, BTreeSet::from([Asn(3), Asn(4)]));
+    }
+
+    #[test]
+    fn duplicate_announcement_is_silent() {
+        let mut r = router();
+        let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        r.handle_update(Asn(2), Update::announce(via2.clone()), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        assert!(updates.is_empty(), "implicit replacement with identical route must not re-export");
+    }
+
+    #[test]
+    fn spurious_withdrawal_is_silent() {
+        let mut r = router();
+        let updates = r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn best_switch_to_new_peer_sends_withdraw_to_that_peer() {
+        // When the best route moves to peer 3, split horizon excludes 3 from
+        // the announcement; 3 previously got our announcement, so it must
+        // receive a withdraw.
+        let mut r = router();
+        let via2 = announced(Asn(9), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(2));
+        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        let via3 = announced(Asn(9), prefix()).propagated_by(Asn(3));
+        let updates = r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
+        let to3: Vec<&Update> = updates
+            .iter()
+            .filter(|(p, _)| *p == Asn(3))
+            .map(|(_, u)| u)
+            .collect();
+        assert_eq!(to3.len(), 1);
+        assert!(to3[0].is_withdrawal());
+    }
+
+    #[test]
+    fn rejecting_monitor_blocks_installation() {
+        struct RejectAll;
+        impl RouteMonitor for RejectAll {
+            fn on_import(&mut self, _ctx: &ImportContext<'_>) -> ImportDecision {
+                ImportDecision::reject()
+            }
+        }
+        let mut r = router();
+        let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        let updates = r.handle_update(Asn(2), Update::announce(via2), &mut RejectAll);
+        assert!(updates.is_empty());
+        assert!(r.best_route(prefix()).is_none());
+    }
+
+    #[test]
+    fn eviction_removes_previously_installed_route() {
+        struct EvictTwo;
+        impl RouteMonitor for EvictTwo {
+            fn on_import(&mut self, ctx: &ImportContext<'_>) -> ImportDecision {
+                if ctx.from_peer == Asn(3) {
+                    ImportDecision::accept().with_eviction(Asn(2))
+                } else {
+                    ImportDecision::accept()
+                }
+            }
+        }
+        let mut r = router();
+        let false_route = announced(Asn(66), prefix()).propagated_by(Asn(2));
+        r.handle_update(Asn(2), Update::announce(false_route), &mut EvictTwo);
+        assert_eq!(r.best_origin(prefix()), Some(Asn(66)));
+        let valid = announced(Asn(9), prefix()).propagated_by(Asn(7)).propagated_by(Asn(3));
+        r.handle_update(Asn(3), Update::announce(valid), &mut EvictTwo);
+        assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
+        assert_eq!(r.adj_rib_in(prefix()).count(), 1);
+    }
+
+    #[test]
+    fn suppressing_export_monitor_sends_nothing() {
+        struct Mute;
+        impl RouteMonitor for Mute {
+            fn on_export(
+                &mut self,
+                _local: Asn,
+                _to: Asn,
+                _learned_from: Option<Asn>,
+                _route: Route,
+            ) -> Option<Route> {
+                None
+            }
+        }
+        let mut r = router();
+        let updates = r.originate(Route::new(prefix(), AsPath::new()), &mut Mute);
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn monitor_sees_existing_routes_except_replaced_peer() {
+        struct Census(Vec<usize>);
+        impl RouteMonitor for Census {
+            fn on_import(&mut self, ctx: &ImportContext<'_>) -> ImportDecision {
+                self.0.push(ctx.existing.len());
+                ImportDecision::accept()
+            }
+        }
+        let mut monitor = Census(Vec::new());
+        let mut r = router();
+        r.originate(Route::new(prefix(), AsPath::new()), &mut monitor);
+        let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
+        r.handle_update(Asn(2), Update::announce(via2.clone()), &mut monitor);
+        // Re-announcement from the same peer: its own old entry excluded.
+        r.handle_update(Asn(2), Update::announce(via2), &mut monitor);
+        assert_eq!(monitor.0, vec![1, 1]);
+    }
+}

@@ -1,0 +1,451 @@
+//! AS paths.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseAsPathError;
+use crate::Asn;
+
+/// One segment of an AS path.
+///
+/// BGP-4 AS paths are lists of segments. A `Sequence` segment is an ordered
+/// list of the ASes a route traversed; a `Set` segment is an unordered
+/// collection produced by route aggregation (footnote 1 of the paper: "in the
+/// case of route aggregation, an element in the AS path may include a set of
+/// ASes").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AsPathSegment {
+    /// An ordered `AS_SEQUENCE` of traversed ASes, most recent first.
+    Sequence(Vec<Asn>),
+    /// An unordered `AS_SET` produced by aggregation.
+    Set(Vec<Asn>),
+}
+
+impl AsPathSegment {
+    /// The ASes in this segment, in stored order.
+    #[must_use]
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v,
+        }
+    }
+
+    /// Returns `true` if the segment mentions `asn`.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.asns().contains(&asn)
+    }
+}
+
+/// A BGP AS path attribute.
+///
+/// The first AS in the path is the neighbor the route was learned from; the
+/// last is the **origin AS** that announced the prefix into BGP. An AS path of
+/// `10 2 3` for prefix `d` means "AS 10 learned the path from AS 2, AS 2
+/// learned it from AS 3, and AS 3 originated the route to `d`" (§1.1).
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::{AsPath, Asn};
+///
+/// let mut path = AsPath::origination(Asn(4));
+/// path.prepend(Asn(700)); // AS 700 propagates the route
+/// assert_eq!(path.origin(), Some(Asn(4)));
+/// assert_eq!(path.first(), Some(Asn(700)));
+/// assert_eq!(path.hop_len(), 2);
+/// assert!(path.contains(Asn(4)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AsPath {
+    segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// The empty AS path (a route announced inside its own AS).
+    #[must_use]
+    pub fn new() -> Self {
+        AsPath::default()
+    }
+
+    /// The path carried by a freshly originated route: a single-element
+    /// sequence holding the origin AS, as in Figure 1 of the paper.
+    #[must_use]
+    pub fn origination(origin: Asn) -> Self {
+        AsPath {
+            segments: vec![AsPathSegment::Sequence(vec![origin])],
+        }
+    }
+
+    /// Builds a pure-`AS_SEQUENCE` path from neighbor-first order.
+    #[must_use]
+    pub fn from_sequence<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let v: Vec<Asn> = asns.into_iter().collect();
+        if v.is_empty() {
+            AsPath::new()
+        } else {
+            AsPath {
+                segments: vec![AsPathSegment::Sequence(v)],
+            }
+        }
+    }
+
+    /// Builds a path from explicit segments.
+    ///
+    /// The result is canonical: empty segments are dropped and adjacent
+    /// `AS_SEQUENCE` segments are merged, since they are semantically one
+    /// sequence.
+    #[must_use]
+    pub fn from_segments<I: IntoIterator<Item = AsPathSegment>>(segments: I) -> Self {
+        let mut out: Vec<AsPathSegment> = Vec::new();
+        for segment in segments.into_iter().filter(|s| !s.asns().is_empty()) {
+            match (out.last_mut(), segment) {
+                (Some(AsPathSegment::Sequence(tail)), AsPathSegment::Sequence(next)) => {
+                    tail.extend(next);
+                }
+                (_, segment) => out.push(segment),
+            }
+        }
+        AsPath { segments: out }
+    }
+
+    /// The segments of the path.
+    #[must_use]
+    pub fn segments(&self) -> &[AsPathSegment] {
+        &self.segments
+    }
+
+    /// Returns `true` for the empty path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The **origin AS**: the last AS of the last `AS_SEQUENCE` segment.
+    ///
+    /// Returns `None` for an empty path, or when the path ends in an `AS_SET`
+    /// (an aggregate has no single well-defined origin; §1.1 footnote 1). The
+    /// MOAS definition in the paper compares exactly these origins: prefixes
+    /// with paths `(p1..pn)` and `(q1..qm)` form a MOAS when `pn != qm`.
+    #[must_use]
+    pub fn origin(&self) -> Option<Asn> {
+        match self.segments.last()? {
+            AsPathSegment::Sequence(v) => v.last().copied(),
+            AsPathSegment::Set(_) => None,
+        }
+    }
+
+    /// All ASes that may have originated the route: the single origin for a
+    /// sequence-terminated path, or every member of a trailing `AS_SET`.
+    #[must_use]
+    pub fn possible_origins(&self) -> Vec<Asn> {
+        match self.segments.last() {
+            None => Vec::new(),
+            Some(AsPathSegment::Sequence(v)) => v.last().map(|&a| vec![a]).unwrap_or_default(),
+            Some(AsPathSegment::Set(v)) => v.clone(),
+        }
+    }
+
+    /// The first (most recently prepended) AS, i.e. the neighbor a receiver
+    /// learned the route from.
+    #[must_use]
+    pub fn first(&self) -> Option<Asn> {
+        match self.segments.first()? {
+            AsPathSegment::Sequence(v) => v.first().copied(),
+            AsPathSegment::Set(v) => v.first().copied(),
+        }
+    }
+
+    /// Prepends an AS, as done by each AS that propagates the route to an
+    /// external peer.
+    pub fn prepend(&mut self, asn: Asn) {
+        match self.segments.first_mut() {
+            Some(AsPathSegment::Sequence(v)) => v.insert(0, asn),
+            _ => self
+                .segments
+                .insert(0, AsPathSegment::Sequence(vec![asn])),
+        }
+    }
+
+    /// Returns a copy of the path with `asn` prepended.
+    #[must_use]
+    pub fn prepended(&self, asn: Asn) -> Self {
+        let mut out = self.clone();
+        out.prepend(asn);
+        out
+    }
+
+    /// Path length used by the BGP decision process: each `AS_SEQUENCE`
+    /// element counts 1 and each `AS_SET` segment counts 1 in total (RFC 4271
+    /// §9.1.2.2 semantics).
+    #[must_use]
+    pub fn selection_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                AsPathSegment::Sequence(v) => v.len(),
+                AsPathSegment::Set(_) => 1,
+            })
+            .sum()
+    }
+
+    /// Total number of AS hops mentioned, counting every member of every
+    /// segment. Useful for statistics, not for route selection.
+    #[must_use]
+    pub fn hop_len(&self) -> usize {
+        self.segments.iter().map(|s| s.asns().len()).sum()
+    }
+
+    /// Returns `true` if the path mentions `asn` anywhere.
+    ///
+    /// This is BGP's loop-prevention check: an AS rejects routes whose path
+    /// already contains its own number.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| s.contains(asn))
+    }
+
+    /// Iterates over every AS mentioned, in path order.
+    pub fn iter(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied())
+    }
+
+    /// Consecutive `(left, right)` pairs of a pure-sequence path: the peering
+    /// edges this route reveals. This is exactly the inference the paper's §5.1
+    /// applies to Route Views tables ("if a route has AS path 10 6453 4621 we
+    /// consider AS 6453 to have two BGP peers").
+    ///
+    /// Pairs are only produced inside `AS_SEQUENCE` segments and across
+    /// sequence-sequence boundaries; `AS_SET` members reveal no ordered
+    /// adjacency and are skipped.
+    #[must_use]
+    pub fn adjacent_pairs(&self) -> Vec<(Asn, Asn)> {
+        let mut pairs = Vec::new();
+        let mut prev: Option<Asn> = None;
+        for segment in &self.segments {
+            match segment {
+                AsPathSegment::Sequence(v) => {
+                    for &asn in v {
+                        if let Some(p) = prev {
+                            if p != asn {
+                                pairs.push((p, asn));
+                            }
+                        }
+                        prev = Some(asn);
+                    }
+                }
+                AsPathSegment::Set(_) => prev = None,
+            }
+        }
+        pairs
+    }
+
+    /// The ASes strictly between the first and the origin in a pure-sequence
+    /// path — the transit ASes this route reveals (§5.1).
+    #[must_use]
+    pub fn transit_asns(&self) -> Vec<Asn> {
+        let flat: Vec<Asn> = self.iter().collect();
+        if flat.len() <= 2 {
+            Vec::new()
+        } else {
+            flat[1..flat.len() - 1].to_vec()
+        }
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Formats like a looking-glass: `701 1239 4621`, with sets in braces:
+    /// `701 {4621 4622}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for segment in &self.segments {
+            match segment {
+                AsPathSegment::Sequence(v) => {
+                    for asn in v {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", asn.0)?;
+                        first = false;
+                    }
+                }
+                AsPathSegment::Set(v) => {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{{")?;
+                    for (i, asn) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", asn.0)?;
+                    }
+                    write!(f, "}}")?;
+                    first = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = ParseAsPathError;
+
+    /// Parses the looking-glass format produced by [`fmt::Display`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseAsPathError { input: s.to_owned() };
+        let mut segments = Vec::new();
+        let mut seq: Vec<Asn> = Vec::new();
+        let mut rest = s.trim();
+        while !rest.is_empty() {
+            if let Some(after) = rest.strip_prefix('{') {
+                if !seq.is_empty() {
+                    segments.push(AsPathSegment::Sequence(std::mem::take(&mut seq)));
+                }
+                let (inside, tail) = after.split_once('}').ok_or_else(err)?;
+                let set: Result<Vec<Asn>, _> =
+                    inside.split_whitespace().map(str::parse::<Asn>).collect();
+                let set = set.map_err(|_| err())?;
+                if set.is_empty() {
+                    return Err(err());
+                }
+                segments.push(AsPathSegment::Set(set));
+                rest = tail.trim_start();
+            } else {
+                let (token, tail) = match rest.split_once(char::is_whitespace) {
+                    Some((t, rest)) => (t, rest.trim_start()),
+                    None => (rest, ""),
+                };
+                if token.starts_with('}') {
+                    return Err(err());
+                }
+                seq.push(token.parse::<Asn>().map_err(|_| err())?);
+                rest = tail;
+            }
+        }
+        if !seq.is_empty() {
+            segments.push(AsPathSegment::Sequence(seq));
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn origination_has_single_origin() {
+        let p = AsPath::origination(Asn(4));
+        assert_eq!(p.origin(), Some(Asn(4)));
+        assert_eq!(p.first(), Some(Asn(4)));
+        assert_eq!(p.selection_len(), 1);
+    }
+
+    #[test]
+    fn prepend_builds_neighbor_first_order() {
+        let mut p = AsPath::origination(Asn(3));
+        p.prepend(Asn(2));
+        p.prepend(Asn(10));
+        assert_eq!(p.to_string(), "10 2 3");
+        assert_eq!(p.origin(), Some(Asn(3)));
+        assert_eq!(p.first(), Some(Asn(10)));
+    }
+
+    #[test]
+    fn prepend_on_empty_path_creates_sequence() {
+        let mut p = AsPath::new();
+        p.prepend(Asn(9));
+        assert_eq!(p.origin(), Some(Asn(9)));
+    }
+
+    #[test]
+    fn prepend_after_leading_set_adds_new_segment() {
+        let mut p = AsPath::from_segments([AsPathSegment::Set(vec![Asn(1), Asn(2)])]);
+        p.prepend(Asn(7));
+        assert_eq!(p.segments().len(), 2);
+        assert_eq!(p.first(), Some(Asn(7)));
+    }
+
+    #[test]
+    fn origin_of_aggregate_is_none_but_possible_origins_listed() {
+        let p = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(701)]),
+            AsPathSegment::Set(vec![Asn(4), Asn(226)]),
+        ]);
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.possible_origins(), vec![Asn(4), Asn(226)]);
+    }
+
+    #[test]
+    fn selection_len_counts_sets_once() {
+        let p = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(1), Asn(2)]),
+            AsPathSegment::Set(vec![Asn(3), Asn(4), Asn(5)]),
+        ]);
+        assert_eq!(p.selection_len(), 3);
+        assert_eq!(p.hop_len(), 5);
+    }
+
+    #[test]
+    fn loop_detection_contains() {
+        let p = path("6453 1239 4621");
+        assert!(p.contains(Asn(1239)));
+        assert!(!p.contains(Asn(7007)));
+    }
+
+    #[test]
+    fn adjacent_pairs_matches_paper_inference() {
+        // Paper §5.1: path "10 6453 4621" ⇒ 6453 peers with 1239... our example:
+        let p = path("10 6453 4621");
+        assert_eq!(
+            p.adjacent_pairs(),
+            vec![(Asn(10), Asn(6453)), (Asn(6453), Asn(4621))]
+        );
+        assert_eq!(p.transit_asns(), vec![Asn(6453)]);
+    }
+
+    #[test]
+    fn adjacent_pairs_skips_prepending_duplicates_and_sets() {
+        let p = path("10 10 20 {30 40} 50");
+        assert_eq!(p.adjacent_pairs(), vec![(Asn(10), Asn(20))]);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for s in ["", "4", "701 1239 4621", "701 {4 226}", "{1 2} 3 {4}"] {
+            let p = path(s);
+            assert_eq!(path(&p.to_string()), p, "round-trip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("70x 1".parse::<AsPath>().is_err());
+        assert!("{1 2".parse::<AsPath>().is_err());
+        assert!("1 } 2".parse::<AsPath>().is_err());
+        assert!("{}".parse::<AsPath>().is_err());
+    }
+
+    #[test]
+    fn empty_path_properties() {
+        let p = AsPath::new();
+        assert!(p.is_empty());
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.first(), None);
+        assert_eq!(p.selection_len(), 0);
+        assert!(p.adjacent_pairs().is_empty());
+    }
+
+    #[test]
+    fn from_sequence_of_empty_is_empty() {
+        assert!(AsPath::from_sequence([]).is_empty());
+    }
+}

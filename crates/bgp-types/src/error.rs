@@ -1,0 +1,79 @@
+//! Error types for parsing BGP primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an [`Asn`](crate::Asn) from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsnError {
+    pub(crate) input: String,
+}
+
+impl fmt::Display for ParseAsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS number syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseAsnError {}
+
+/// Error returned when parsing an [`Ipv4Prefix`](crate::Ipv4Prefix) fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// The string was not of the form `a.b.c.d/len`.
+    Syntax(String),
+    /// The prefix length was greater than 32.
+    LengthOutOfRange(u8),
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::Syntax(s) => write!(f, "invalid IPv4 prefix syntax: {s:?}"),
+            ParsePrefixError::LengthOutOfRange(len) => {
+                write!(f, "prefix length {len} exceeds 32")
+            }
+        }
+    }
+}
+
+impl Error for ParsePrefixError {}
+
+/// Error returned when parsing an [`AsPath`](crate::AsPath) fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsPathError {
+    pub(crate) input: String,
+}
+
+impl fmt::Display for ParseAsPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS path syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseAsPathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ParseAsnError { input: "x".into() };
+        assert!(e.to_string().starts_with("invalid AS number"));
+        let e = ParsePrefixError::Syntax("nope".into());
+        assert!(e.to_string().contains("nope"));
+        let e = ParsePrefixError::LengthOutOfRange(40);
+        assert!(e.to_string().contains("40"));
+        let e = ParseAsPathError { input: "a b".into() };
+        assert!(e.to_string().contains("a b"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParseAsnError>();
+        assert_err::<ParsePrefixError>();
+        assert_err::<ParseAsPathError>();
+    }
+}

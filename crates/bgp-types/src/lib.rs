@@ -1,0 +1,53 @@
+//! BGP primitives for the MOAS reproduction.
+//!
+//! This crate provides the data model shared by every other crate in the
+//! workspace: autonomous-system numbers ([`Asn`]), IPv4 address prefixes
+//! ([`Ipv4Prefix`]), AS paths ([`AsPath`]) with `AS_SEQUENCE`/`AS_SET`
+//! segments, BGP community attributes ([`Community`]), the MOAS list
+//! ([`MoasList`]) proposed by the paper, and route/update message types
+//! ([`Route`], [`Update`]).
+//!
+//! The types follow the wire-level semantics of BGP-4 (RFC 1771/4271) at the
+//! granularity needed for AS-level simulation: attribute octets are modeled,
+//! but TCP sessions and finite-state machines are not.
+//!
+//! # Example
+//!
+//! ```
+//! use bgp_types::{Asn, AsPath, Ipv4Prefix, MoasList, Route};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prefix: Ipv4Prefix = "10.2.0.0/16".parse()?;
+//! let path = AsPath::from_sequence([Asn(40), Asn(2260)]);
+//! assert_eq!(path.origin(), Some(Asn(2260)));
+//!
+//! // A prefix multi-homed to AS 40 and AS 2260 carries a MOAS list naming both.
+//! let list = MoasList::from_iter([Asn(40), Asn(2260)]);
+//! let route = Route::new(prefix, path).with_moas_list(list);
+//! assert!(route.moas_list().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asn;
+mod as_path;
+mod community;
+mod error;
+mod moas_list;
+mod prefix;
+mod route;
+mod trie;
+mod update;
+
+pub use asn::Asn;
+pub use as_path::{AsPath, AsPathSegment};
+pub use community::{Community, MOAS_LIST_VALUE};
+pub use error::{ParseAsnError, ParseAsPathError, ParsePrefixError};
+pub use moas_list::MoasList;
+pub use prefix::Ipv4Prefix;
+pub use route::{Route, RouteOrigin};
+pub use trie::PrefixTrie;
+pub use update::Update;

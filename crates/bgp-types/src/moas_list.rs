@@ -1,0 +1,240 @@
+//! The MOAS list: the paper's core data structure.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Asn, Community};
+
+/// The set of ASes entitled to originate a particular prefix (§4.1).
+///
+/// Every AS that legitimately originates a multi-origin prefix attaches an
+/// *identical* MOAS list to its announcements, encoded as one
+/// `(X : MLVal)` community per member AS. Receivers compare the lists from
+/// different announcements **as sets** — "the order in the list may differ,
+/// but the set of ASes included in each route announcement must be identical"
+/// (§4.2) — and raise an alarm on any inconsistency.
+///
+/// The internal representation is an ordered set, so equality *is* the
+/// paper's consistency check.
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::{Asn, MoasList};
+///
+/// let from_as1: MoasList = [Asn(1), Asn(2)].into_iter().collect();
+/// let from_as2: MoasList = [Asn(2), Asn(1)].into_iter().collect();
+/// assert_eq!(from_as1, from_as2); // order-insensitive
+///
+/// let forged: MoasList = [Asn(1), Asn(2), Asn(666)].into_iter().collect();
+/// assert_ne!(from_as1, forged); // inconsistency ⇒ alarm
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MoasList {
+    members: BTreeSet<Asn>,
+}
+
+impl MoasList {
+    /// The empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        MoasList::default()
+    }
+
+    /// The implicit list of a route that carries no MOAS communities.
+    ///
+    /// Footnote 3 of the paper: "if a route does not contain a MOAS list, it
+    /// will be treated as if it carries a MOAS list containing the origin AS."
+    #[must_use]
+    pub fn implicit(origin: Asn) -> Self {
+        let mut members = BTreeSet::new();
+        members.insert(origin);
+        MoasList { members }
+    }
+
+    /// Adds a member, returning `true` if it was newly inserted.
+    pub fn insert(&mut self, asn: Asn) -> bool {
+        self.members.insert(asn)
+    }
+
+    /// Removes a member, returning `true` if it was present.
+    pub fn remove(&mut self, asn: Asn) -> bool {
+        self.members.remove(&asn)
+    }
+
+    /// Returns `true` if `asn` is entitled to originate the prefix.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.members.contains(&asn)
+    }
+
+    /// Number of member ASes. The paper's measurements found 99% of MOAS
+    /// cases involve 3 or fewer origins, so lists stay short in practice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the list has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Set-equality consistency check from §4.2.
+    ///
+    /// Two announcements for the same prefix are consistent exactly when
+    /// their lists contain the same set of ASes. This is just `==`, but the
+    /// named method keeps call sites readable and mirrors the paper's text.
+    #[must_use]
+    pub fn is_consistent_with(&self, other: &MoasList) -> bool {
+        self == other
+    }
+
+    /// Iterates over members in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Encodes the list as `(X : MLVal)` communities, one per member (§4.2,
+    /// Figure 7).
+    ///
+    /// AS 65535 is IANA-reserved and its encoding collides with the RFC 1997
+    /// well-known community range; such a member would not survive a decode
+    /// round-trip. Real origin ASes can never carry that number.
+    #[must_use]
+    pub fn to_communities(&self) -> Vec<Community> {
+        self.members.iter().map(|&a| Community::moas_member(a)).collect()
+    }
+
+    /// Decodes a MOAS list from the MOAS-member communities attached to a
+    /// route. Returns `None` when no MOAS communities are present, which
+    /// callers must distinguish from an *empty* advertised list (absence
+    /// triggers the implicit-list rule instead).
+    #[must_use]
+    pub fn from_communities(communities: &[Community]) -> Option<Self> {
+        let members: BTreeSet<Asn> = communities
+            .iter()
+            .filter(|c| c.is_moas_member())
+            .map(|c| c.asn())
+            .collect();
+        if members.is_empty() {
+            None
+        } else {
+            Some(MoasList { members })
+        }
+    }
+}
+
+impl FromIterator<Asn> for MoasList {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        MoasList {
+            members: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Asn> for MoasList {
+    fn extend<I: IntoIterator<Item = Asn>>(&mut self, iter: I) {
+        self.members.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a MoasList {
+    type Item = Asn;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Asn>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+impl fmt::Display for MoasList {
+    /// Formats as `{AS1, AS2}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, asn) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{asn}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_is_set_equality() {
+        let a: MoasList = [Asn(1), Asn(2)].into_iter().collect();
+        let b: MoasList = [Asn(2), Asn(1), Asn(2)].into_iter().collect();
+        assert!(a.is_consistent_with(&b));
+        let c: MoasList = [Asn(1)].into_iter().collect();
+        assert!(!a.is_consistent_with(&c));
+    }
+
+    #[test]
+    fn implicit_list_contains_only_origin() {
+        let l = MoasList::implicit(Asn(52));
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(Asn(52)));
+    }
+
+    #[test]
+    fn community_round_trip() {
+        let l: MoasList = [Asn(1), Asn(2), Asn(226)].into_iter().collect();
+        let communities = l.to_communities();
+        assert_eq!(communities.len(), 3);
+        let back = MoasList::from_communities(&communities).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn from_communities_ignores_non_moas_values() {
+        let mixed = vec![
+            Community::new(Asn(701), 120),
+            Community::moas_member(Asn(4)),
+            Community::NO_EXPORT,
+        ];
+        let l = MoasList::from_communities(&mixed).unwrap();
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(Asn(4)));
+    }
+
+    #[test]
+    fn from_communities_none_when_no_moas_markers() {
+        assert!(MoasList::from_communities(&[Community::new(Asn(701), 120)]).is_none());
+        assert!(MoasList::from_communities(&[]).is_none());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut l = MoasList::new();
+        assert!(l.is_empty());
+        assert!(l.insert(Asn(4)));
+        assert!(!l.insert(Asn(4)));
+        assert!(l.contains(Asn(4)));
+        assert!(l.remove(Asn(4)));
+        assert!(!l.remove(Asn(4)));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn display_is_sorted_and_nonempty() {
+        let l: MoasList = [Asn(226), Asn(4)].into_iter().collect();
+        assert_eq!(l.to_string(), "{AS4, AS226}");
+        assert_eq!(MoasList::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn forged_superset_is_inconsistent() {
+        // §4.1: attacker AS 3 attaches {1, 2, 3}; honest list is {1, 2}.
+        let honest: MoasList = [Asn(1), Asn(2)].into_iter().collect();
+        let forged: MoasList = [Asn(1), Asn(2), Asn(3)].into_iter().collect();
+        assert!(!honest.is_consistent_with(&forged));
+    }
+}

@@ -1,0 +1,323 @@
+//! A binary prefix trie with longest-match lookup.
+
+use crate::Ipv4Prefix;
+
+/// A longest-prefix-match table: the data structure behind an IP forwarding
+/// table (FIB).
+///
+/// The §4.3 limitation — a hijacker announcing a *more-specific* prefix wins
+/// forwarding even though the victim's covering route is intact — is a
+/// longest-match phenomenon, so reproducing it end-to-end needs a real FIB.
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::{Ipv4Prefix, PrefixTrie};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fib: PrefixTrie<&str> = PrefixTrie::new();
+/// let covering: Ipv4Prefix = "208.8.0.0/16".parse()?;
+/// let hijacked: Ipv4Prefix = "208.8.0.0/17".parse()?;
+/// fib.insert(covering, "victim");
+/// fib.insert(hijacked, "attacker");
+///
+/// // 208.8.1.1 falls in the /17: longest match goes to the attacker.
+/// let addr = u32::from(std::net::Ipv4Addr::new(208, 8, 1, 1));
+/// assert_eq!(fib.longest_match(addr), Some((hijacked, &"attacker")));
+///
+/// // 208.8.200.1 only matches the /16.
+/// let addr = u32::from(std::net::Ipv4Addr::new(208, 8, 200, 1));
+/// assert_eq!(fib.longest_match(addr), Some((covering, &"victim")));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+
+    fn is_empty_leaf(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no prefixes are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i` (0 = most significant) of an address.
+    fn bit(addr: u32, i: u8) -> usize {
+        ((addr >> (31 - i)) & 1) as usize
+    }
+
+    /// Inserts (or replaces) the value for a prefix, returning the previous
+    /// value if the prefix was present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = Self::bit(prefix.network(), i);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a prefix, returning its value if present. Empty branches are
+    /// pruned so the trie does not leak nodes under churn.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
+        fn go<T>(node: &mut Node<T>, addr: u32, depth: u8, len: u8) -> Option<T> {
+            if depth == len {
+                return node.value.take();
+            }
+            let b = PrefixTrie::<T>::bit(addr, depth);
+            let child = node.children[b].as_mut()?;
+            let out = go(child, addr, depth + 1, len);
+            if child.is_empty_leaf() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = go(&mut self.root, prefix.network(), 0, prefix.len());
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// The value stored for exactly this prefix.
+    #[must_use]
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            node = node.children[Self::bit(prefix.network(), i)].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match for a 32-bit destination address: the most
+    /// specific stored prefix containing it, with its value.
+    #[must_use]
+    pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(Ipv4Prefix, &T)> = None;
+        for depth in 0..=32u8 {
+            if let Some(value) = node.value.as_ref() {
+                best = Some((Ipv4Prefix::new(addr, depth), value));
+            }
+            if depth == 32 {
+                break;
+            }
+            match node.children[Self::bit(addr, depth)].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes with their values, most-specific-last within each
+    /// branch (pre-order).
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<'a, T>(
+            node: &'a Node<T>,
+            addr: u32,
+            depth: u8,
+            out: &mut Vec<(Ipv4Prefix, &'a T)>,
+        ) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Ipv4Prefix::new(addr, depth), v));
+            }
+            if depth == 32 {
+                return;
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                walk(child, addr, depth + 1, out);
+            }
+            if let Some(child) = node.children[1].as_deref() {
+                walk(child, addr | (1 << (31 - depth)), depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (prefix, value) in iter {
+            trie.insert(prefix, value);
+        }
+        trie
+    }
+}
+
+impl<T> Extend<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn extend<I: IntoIterator<Item = (Ipv4Prefix, T)>>(&mut self, iter: I) {
+        for (prefix, value) in iter {
+            self.insert(prefix, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/16")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, "default");
+        assert_eq!(t.longest_match(0), Some((Ipv4Prefix::DEFAULT, &"default")));
+        assert_eq!(
+            t.longest_match(u32::MAX),
+            Some((Ipv4Prefix::DEFAULT, &"default"))
+        );
+    }
+
+    #[test]
+    fn longest_match_prefers_more_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("208.8.0.0/16"), "victim");
+        t.insert(p("208.8.0.0/17"), "attacker");
+        let low = p("208.8.1.0/24").network();
+        let high = p("208.8.200.0/24").network();
+        assert_eq!(t.longest_match(low).unwrap().1, &"attacker");
+        assert_eq!(t.longest_match(high).unwrap().1, &"victim");
+    }
+
+    #[test]
+    fn no_match_outside_coverage() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        assert!(t.longest_match(p("11.0.0.0/8").network()).is_none());
+    }
+
+    #[test]
+    fn remove_prunes_and_uncovers() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        assert_eq!(t.remove(p("10.1.0.0/16")), Some(16));
+        assert_eq!(t.remove(p("10.1.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+        let addr = p("10.1.2.0/24").network();
+        assert_eq!(t.longest_match(addr).unwrap().1, &8);
+    }
+
+    #[test]
+    fn host_routes_work() {
+        let mut t = PrefixTrie::new();
+        let host = p("1.2.3.4/32");
+        t.insert(host, "host");
+        assert_eq!(t.longest_match(host.network()).unwrap().1, &"host");
+        assert!(t.longest_match(host.network() + 1).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let entries = [(p("0.0.0.0/0"), 0), (p("10.0.0.0/8"), 1), (p("10.128.0.0/9"), 2)];
+        let t: PrefixTrie<i32> = entries.into_iter().collect();
+        let got: Vec<(Ipv4Prefix, i32)> = t.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(got.len(), 3);
+        for e in entries {
+            assert!(got.contains(&e));
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_reference() {
+        // Differential check against a brute-force implementation.
+        let prefixes = [
+            p("0.0.0.0/0"),
+            p("10.0.0.0/8"),
+            p("10.0.0.0/16"),
+            p("10.0.128.0/17"),
+            p("192.168.0.0/16"),
+            p("192.168.1.0/24"),
+            p("192.168.1.128/25"),
+        ];
+        let mut t = PrefixTrie::new();
+        for (i, &prefix) in prefixes.iter().enumerate() {
+            t.insert(prefix, i);
+        }
+        let probes = [
+            "10.0.0.1/32",
+            "10.0.200.1/32",
+            "10.9.9.9/32",
+            "192.168.1.200/32",
+            "192.168.1.1/32",
+            "192.168.2.1/32",
+            "8.8.8.8/32",
+        ];
+        for probe in probes {
+            let addr = p(probe).network();
+            let expected = prefixes
+                .iter()
+                .enumerate()
+                .filter(|(_, pre)| pre.contains(p(probe)))
+                .max_by_key(|(_, pre)| pre.len())
+                .map(|(i, &pre)| (pre, i));
+            let got = t.longest_match(addr).map(|(pre, &i)| (pre, i));
+            assert_eq!(got, expected, "probe {probe}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! BGP UPDATE messages.
+
+use std::fmt;
+
+use crate::{Ipv4Prefix, Route};
+
+/// A BGP UPDATE message exchanged between peers.
+///
+/// Normalized to one prefix per message: either an announcement carrying a
+/// [`Route`], or a withdrawal of a previously announced prefix.
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::{AsPath, Asn, Ipv4Prefix, Route, Update};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prefix: Ipv4Prefix = "208.8.0.0/16".parse()?;
+/// let announce = Update::announce(Route::new(prefix, AsPath::origination(Asn(4))));
+/// assert_eq!(announce.prefix(), prefix);
+/// assert!(announce.route().is_some());
+///
+/// let withdraw = Update::withdraw(prefix);
+/// assert!(withdraw.is_withdrawal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Update {
+    /// Announce (or replace) a route to the contained prefix.
+    Announce(Route),
+    /// Withdraw reachability to the prefix.
+    Withdraw(Ipv4Prefix),
+}
+
+impl Update {
+    /// Builds an announcement update.
+    #[must_use]
+    pub fn announce(route: Route) -> Self {
+        Update::Announce(route)
+    }
+
+    /// Builds a withdrawal update.
+    #[must_use]
+    pub fn withdraw(prefix: Ipv4Prefix) -> Self {
+        Update::Withdraw(prefix)
+    }
+
+    /// The prefix the update concerns.
+    #[must_use]
+    pub fn prefix(&self) -> Ipv4Prefix {
+        match self {
+            Update::Announce(route) => route.prefix(),
+            Update::Withdraw(prefix) => *prefix,
+        }
+    }
+
+    /// The announced route, or `None` for a withdrawal.
+    #[must_use]
+    pub fn route(&self) -> Option<&Route> {
+        match self {
+            Update::Announce(route) => Some(route),
+            Update::Withdraw(_) => None,
+        }
+    }
+
+    /// Returns `true` for a withdrawal.
+    #[must_use]
+    pub fn is_withdrawal(&self) -> bool {
+        matches!(self, Update::Withdraw(_))
+    }
+}
+
+impl From<Route> for Update {
+    fn from(route: Route) -> Self {
+        Update::Announce(route)
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::Announce(route) => write!(f, "announce {route}"),
+            Update::Withdraw(prefix) => write!(f, "withdraw {prefix}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsPath, Asn};
+
+    fn prefix() -> Ipv4Prefix {
+        "192.0.2.0/24".parse().unwrap()
+    }
+
+    #[test]
+    fn announce_carries_route() {
+        let u = Update::announce(Route::new(prefix(), AsPath::origination(Asn(1))));
+        assert!(!u.is_withdrawal());
+        assert_eq!(u.prefix(), prefix());
+        assert_eq!(u.route().unwrap().origin_as(), Some(Asn(1)));
+    }
+
+    #[test]
+    fn withdraw_has_no_route() {
+        let u = Update::withdraw(prefix());
+        assert!(u.is_withdrawal());
+        assert_eq!(u.prefix(), prefix());
+        assert!(u.route().is_none());
+    }
+
+    #[test]
+    fn from_route_is_announce() {
+        let u: Update = Route::new(prefix(), AsPath::origination(Asn(1))).into();
+        assert!(!u.is_withdrawal());
+    }
+
+    #[test]
+    fn display_distinguishes_kinds() {
+        let a = Update::announce(Route::new(prefix(), AsPath::origination(Asn(1))));
+        let w = Update::withdraw(prefix());
+        assert!(a.to_string().starts_with("announce"));
+        assert!(w.to_string().starts_with("withdraw"));
+    }
+}

@@ -1,0 +1,482 @@
+//! Ablations probing the §4.3 limitations and design choices.
+
+use std::collections::BTreeSet;
+
+use as_topology::{AsGraph, InternetModel};
+use bgp_engine::{ForwardingPlane, Network, ValleyFree};
+use bgp_types::{Asn, MoasList};
+use moas_core::{
+    Deployment, ListForgery, MoasConfig, MoasMonitor, RegistryVerifier, SubPrefixHijack,
+    UnresolvedPolicy,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::mean;
+use crate::trial::{run_trial, TrialConfig};
+
+/// Outcome of the sub-prefix hijack ablation on one topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubPrefixAblation {
+    /// Mean % of remaining ASes whose best route for the *hijacked
+    /// sub-prefix* points at the attacker, under full MOAS deployment.
+    pub subprefix_adoption_pct: f64,
+    /// Mean % adopting the false route when the attacker instead announces
+    /// the exact victim prefix (same runs, same full deployment).
+    pub exact_prefix_adoption_pct: f64,
+    /// Mean alarms raised during the sub-prefix runs (expected: 0 — the
+    /// mechanism never sees a conflict).
+    pub subprefix_alarms: f64,
+    /// Mean % of ASes whose *data-plane traffic* to an address inside the
+    /// hijacked half lands at the attacker (longest-match forwarding over
+    /// the converged FIBs). This is the §4.3 damage the control-plane census
+    /// cannot see.
+    pub subprefix_traffic_capture_pct: f64,
+}
+
+/// The §4.3 boundary: full MOAS deployment against a more-specific-prefix
+/// hijacker. Expected result — reproduced here — is that detection never
+/// fires and the hijack succeeds everywhere, while the same attacker
+/// announcing the exact prefix is caught.
+#[must_use]
+pub fn subprefix_ablation(graph: &AsGraph, runs: usize, seed: u64) -> SubPrefixAblation {
+    let stubs = graph.stub_asns();
+    let victim_prefix: bgp_types::Ipv4Prefix =
+        crate::VICTIM_PREFIX.parse().expect("victim prefix constant");
+
+    let mut sub_adoption = Vec::new();
+    let mut sub_alarms = Vec::new();
+    let mut exact_adoption = Vec::new();
+    let mut traffic_capture = Vec::new();
+
+    for run in 0..runs {
+        let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+        let mut rng = sim_engine::rng::from_seed(run_seed);
+        let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+        let (victim, attacker) = (picked[0], picked[1]);
+        let valid_list = MoasList::implicit(victim);
+
+        // Sub-prefix run: attacker announces the more-specific half.
+        let mut registry = RegistryVerifier::new();
+        registry.register(victim_prefix, valid_list.clone());
+        let monitor = MoasMonitor::full(registry);
+        let mut net = Network::with_monitor_and_jitter(graph, monitor, run_seed, 4);
+        net.originate(victim, victim_prefix, Some(valid_list.clone()));
+        let sub = SubPrefixHijack::new().launch(&mut net, attacker, victim_prefix);
+        net.run().expect("ablation networks converge");
+
+        let eligible = graph.len() - 1; // exclude the attacker
+        let fooled = graph
+            .asns()
+            .filter(|&asn| asn != attacker)
+            .filter(|&asn| net.best_origin(asn, sub) == Some(attacker))
+            .count();
+        sub_adoption.push(100.0 * fooled as f64 / eligible as f64);
+        sub_alarms.push(net.monitor().alarms().len() as f64);
+
+        // Data plane: where do packets addressed inside the hijacked half go?
+        let plane = ForwardingPlane::snapshot(&net);
+        let exclude: std::collections::BTreeSet<Asn> = [attacker].into_iter().collect();
+        let (_, to_attacker_or_other, _) = plane.capture_census(sub.network(), victim, &exclude);
+        traffic_capture.push(100.0 * to_attacker_or_other as f64 / eligible as f64);
+
+        // Exact-prefix control run with the same parties.
+        let control = TrialConfig {
+            seed: run_seed,
+            ..TrialConfig::new(vec![victim], vec![attacker], Deployment::Full)
+        };
+        let outcome = run_trial(graph, &control);
+        exact_adoption.push(100.0 * outcome.adoption_fraction());
+    }
+
+    SubPrefixAblation {
+        subprefix_adoption_pct: mean(&sub_adoption),
+        exact_prefix_adoption_pct: mean(&exact_adoption),
+        subprefix_alarms: mean(&sub_alarms),
+        subprefix_traffic_capture_pct: mean(&traffic_capture),
+    }
+}
+
+/// Outcome of the valley-free policy-routing ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValleyFreePoint {
+    /// `"policy-free"` (the paper's model) or `"valley-free"`.
+    pub routing: String,
+    /// Mean % adoption under Normal BGP (no detection).
+    pub normal_adoption_pct: f64,
+    /// Mean % adoption under full MOAS detection.
+    pub moas_adoption_pct: f64,
+    /// Mean advertisements suppressed by the export policy per run.
+    pub mean_suppressed: f64,
+}
+
+/// Evaluates the MOAS mechanism under Gao-Rexford policy routing — the
+/// realism the paper's simulation abstracts away. Valley-free export
+/// restricts where both valid *and* false routes travel, so this measures
+/// whether the paper's conclusions survive policy routing.
+///
+/// Runs on a fresh `InternetModel` ground-truth topology (policy routing
+/// needs the relationship annotations, which the §5.1 sampling pipeline does
+/// not preserve).
+#[must_use]
+pub fn valley_free_ablation(runs: usize, seed: u64) -> Vec<ValleyFreePoint> {
+    let (graph, rels) = InternetModel::new()
+        .transit_count(15)
+        .stub_count(60)
+        .build_with_relationships(seed);
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX.parse().expect("constant");
+
+    let mut out = Vec::new();
+    for policy_on in [false, true] {
+        let mut normal = Vec::new();
+        let mut moas = Vec::new();
+        let mut suppressed = Vec::new();
+        for run in 0..runs {
+            let run_seed = sim_engine::rng::derive_seed(seed, (run * 2 + usize::from(policy_on)) as u64);
+            let mut rng = sim_engine::rng::from_seed(run_seed);
+            let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
+            let victim = picked[0];
+            let candidates: Vec<Asn> = asns.iter().copied().filter(|&a| a != victim).collect();
+            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
+            let valid = MoasList::implicit(victim);
+
+            for deployment in [Deployment::None, Deployment::Full] {
+                let mut registry = RegistryVerifier::new();
+                registry.register(prefix, valid.clone());
+                let monitor = MoasMonitor::new(
+                    MoasConfig {
+                        deployment: deployment.clone(),
+                        ..MoasConfig::default()
+                    },
+                    registry,
+                );
+                let rels_for_run = if policy_on {
+                    rels.clone()
+                } else {
+                    as_topology::AsRelationships::new()
+                };
+                let mut net = Network::with_monitor_and_jitter(
+                    &graph,
+                    ValleyFree::wrapping(rels_for_run, monitor),
+                    run_seed,
+                    4,
+                );
+                net.originate(victim, prefix, Some(valid.clone()));
+                net.run().expect("converges");
+                let attack = moas_core::FalseOriginAttack::new(ListForgery::IncludeSelf);
+                for &attacker in &attackers {
+                    attack.launch(&mut net, attacker, prefix, &valid);
+                }
+                net.run().expect("converges");
+
+                let attacker_set: std::collections::BTreeSet<Asn> =
+                    attackers.iter().copied().collect();
+                let eligible = graph.len() - attackers.len();
+                let fooled = graph
+                    .asns()
+                    .filter(|a| !attacker_set.contains(a))
+                    .filter(|&a| {
+                        net.best_origin(a, prefix)
+                            .is_some_and(|o| attacker_set.contains(&o))
+                    })
+                    .count();
+                let pct = 100.0 * fooled as f64 / eligible as f64;
+                match deployment {
+                    Deployment::Full => moas.push(pct),
+                    _ => normal.push(pct),
+                }
+                suppressed.push(net.monitor().suppressed_count() as f64);
+            }
+        }
+        out.push(ValleyFreePoint {
+            routing: if policy_on { "valley-free" } else { "policy-free" }.into(),
+            normal_adoption_pct: mean(&normal),
+            moas_adoption_pct: mean(&moas),
+            mean_suppressed: mean(&suppressed),
+        });
+    }
+    out
+}
+
+/// Outcome of the community-stripping ablation at one stripping fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrippingPoint {
+    /// Fraction of ASes that drop community attributes on export.
+    pub stripper_fraction: f64,
+    /// Mean % of remaining ASes adopting the false route.
+    pub mean_adoption_pct: f64,
+    /// Mean false alarms per run (§4.3: stripped lists on valid routes).
+    pub mean_false_alarms: f64,
+    /// Mean confirmed alarms per run.
+    pub mean_confirmed_alarms: f64,
+}
+
+/// §4.3's community-dropping hazard, quantified: sweep the fraction of
+/// stripper ASes and measure false alarms and protection. The paper's claim
+/// ("dropping the MOAS community value... should not cause an invalid case
+/// to be considered valid") shows up as adoption staying low while false
+/// alarms rise.
+#[must_use]
+pub fn stripping_ablation(
+    graph: &AsGraph,
+    fractions: &[f64],
+    runs: usize,
+    seed: u64,
+) -> Vec<StrippingPoint> {
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let mut out = Vec::new();
+
+    for (fx, &fraction) in fractions.iter().enumerate() {
+        let mut adoption = Vec::new();
+        let mut false_alarms = Vec::new();
+        let mut confirmed = Vec::new();
+        for run in 0..runs {
+            let run_seed = sim_engine::rng::derive_seed(seed, (fx * 1000 + run) as u64);
+            let mut rng = sim_engine::rng::from_seed(run_seed);
+            // Two origins so valid announcements carry a meaningful list.
+            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+            let candidates: Vec<Asn> = asns
+                .iter()
+                .copied()
+                .filter(|a| !origins.contains(a))
+                .collect();
+            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
+            let stripper_count = ((asns.len() as f64) * fraction).round() as usize;
+            let strippers: BTreeSet<Asn> = sim_engine::rng::sample_distinct(
+                &mut rng,
+                &candidates,
+                stripper_count,
+            )
+            .into_iter()
+            .collect();
+
+            let trial = TrialConfig {
+                strippers,
+                seed: run_seed,
+                ..TrialConfig::new(origins, attackers, Deployment::Full)
+            };
+            let outcome = run_trial(graph, &trial);
+            adoption.push(100.0 * outcome.adoption_fraction());
+            false_alarms.push(outcome.false_alarms as f64);
+            confirmed.push(outcome.confirmed_alarms as f64);
+        }
+        out.push(StrippingPoint {
+            stripper_fraction: fraction,
+            mean_adoption_pct: mean(&adoption),
+            mean_false_alarms: mean(&false_alarms),
+            mean_confirmed_alarms: mean(&confirmed),
+        });
+    }
+    out
+}
+
+/// Outcome of the list-forgery ablation for one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForgeryPoint {
+    /// The strategy, as a display string.
+    pub forgery: String,
+    /// Mean % of remaining ASes adopting the false route (full deployment).
+    pub mean_adoption_pct: f64,
+    /// Mean alarms per run.
+    pub mean_alarms: f64,
+}
+
+/// Compares attacker list-forgery strategies under full deployment: none of
+/// them should beat the mechanism, but they trip different checks
+/// (implicit-list mismatch, superset mismatch, origin-not-in-list).
+#[must_use]
+pub fn forgery_ablation(graph: &AsGraph, runs: usize, seed: u64) -> Vec<ForgeryPoint> {
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let mut out = Vec::new();
+
+    for forgery in [ListForgery::None, ListForgery::IncludeSelf, ListForgery::CopyValid] {
+        let mut adoption = Vec::new();
+        let mut alarms = Vec::new();
+        for run in 0..runs {
+            let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+            let mut rng = sim_engine::rng::from_seed(run_seed);
+            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+            let candidates: Vec<Asn> = asns
+                .iter()
+                .copied()
+                .filter(|a| !origins.contains(a))
+                .collect();
+            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
+            let trial = TrialConfig {
+                forgery,
+                seed: run_seed,
+                ..TrialConfig::new(origins, attackers, Deployment::Full)
+            };
+            let outcome = run_trial(graph, &trial);
+            adoption.push(100.0 * outcome.adoption_fraction());
+            alarms.push(outcome.alarms as f64);
+        }
+        out.push(ForgeryPoint {
+            forgery: forgery.to_string(),
+            mean_adoption_pct: mean(&adoption),
+            mean_alarms: mean(&alarms),
+        });
+    }
+    out
+}
+
+/// Compares the two unresolved-verification policies when the verifier is
+/// empty (no `MOASRR` record published): conservative `Accept` keeps
+/// reachability but loses protection; `RejectIncoming` keeps protection at
+/// the risk of rejecting valid routes on false alarms.
+#[must_use]
+pub fn unresolved_policy_ablation(graph: &AsGraph, runs: usize, seed: u64) -> Vec<(String, f64)> {
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let mut out = Vec::new();
+    for policy in [UnresolvedPolicy::Accept, UnresolvedPolicy::RejectIncoming] {
+        let mut adoption = Vec::new();
+        for run in 0..runs {
+            let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+            let mut rng = sim_engine::rng::from_seed(run_seed);
+            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
+            let candidates: Vec<Asn> = asns
+                .iter()
+                .copied()
+                .filter(|a| !origins.contains(a))
+                .collect();
+            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
+            // Empty registry: every conflict is unresolved.
+            let monitor = MoasMonitor::new(
+                MoasConfig {
+                    deployment: Deployment::Full,
+                    on_unresolved: policy,
+                    ..MoasConfig::default()
+                },
+                RegistryVerifier::new(),
+            );
+            let prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX.parse().unwrap();
+            let valid_list: MoasList = origins.iter().copied().collect();
+            let mut net = Network::with_monitor_and_jitter(graph, monitor, run_seed, 4);
+            for &origin in &origins {
+                net.originate(origin, prefix, Some(valid_list.clone()));
+            }
+            let attack = moas_core::FalseOriginAttack::new(ListForgery::IncludeSelf);
+            for &attacker in &attackers {
+                attack.launch(&mut net, attacker, prefix, &valid_list);
+            }
+            net.run().expect("converges");
+            let attacker_set: BTreeSet<Asn> = attackers.iter().copied().collect();
+            let eligible = graph.len() - attackers.len();
+            let fooled = graph
+                .asns()
+                .filter(|a| !attacker_set.contains(a))
+                .filter(|&a| {
+                    net.best_origin(a, prefix)
+                        .is_some_and(|o| attacker_set.contains(&o))
+                })
+                .count();
+            adoption.push(100.0 * fooled as f64 / eligible as f64);
+        }
+        let label = match policy {
+            UnresolvedPolicy::Accept => "accept-on-unresolved",
+            UnresolvedPolicy::RejectIncoming => "reject-on-unresolved",
+        };
+        out.push((label.to_string(), mean(&adoption)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::paper::PaperTopology;
+
+    #[test]
+    fn subprefix_hijack_beats_moas_but_exact_does_not() {
+        let graph = PaperTopology::As25.graph();
+        let result = subprefix_ablation(graph, 3, 11);
+        assert_eq!(result.subprefix_alarms, 0.0, "no conflict is ever visible");
+        assert!(
+            result.subprefix_adoption_pct > 90.0,
+            "hijack should win everywhere, got {:.1}%",
+            result.subprefix_adoption_pct
+        );
+        assert!(
+            result.exact_prefix_adoption_pct < result.subprefix_adoption_pct,
+            "exact-prefix attack must fare worse under detection"
+        );
+    }
+
+    #[test]
+    fn stripping_increases_false_alarms_not_adoption() {
+        let graph = PaperTopology::As25.graph();
+        let points = stripping_ablation(graph, &[0.0, 0.4], 4, 13);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].mean_false_alarms, 0.0);
+        assert!(
+            points[1].mean_false_alarms > 0.0,
+            "strippers must cause false alarms"
+        );
+        // §4.3: dropping lists must not make false routes accepted as valid.
+        assert!(points[1].mean_adoption_pct <= points[0].mean_adoption_pct + 5.0);
+    }
+
+    #[test]
+    fn every_forgery_is_contained() {
+        let graph = PaperTopology::As25.graph();
+        let points = forgery_ablation(graph, 3, 17);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.mean_alarms > 0.0, "{} raised no alarms", p.forgery);
+            assert!(
+                p.mean_adoption_pct < 20.0,
+                "{} adoption {:.1}%",
+                p.forgery,
+                p.mean_adoption_pct
+            );
+        }
+    }
+
+    #[test]
+    fn valley_free_policy_does_not_break_detection() {
+        let points = valley_free_ablation(3, 23);
+        assert_eq!(points.len(), 2);
+        let policy_free = &points[0];
+        let valley_free = &points[1];
+        assert_eq!(policy_free.routing, "policy-free");
+        assert_eq!(policy_free.mean_suppressed, 0.0);
+        assert!(valley_free.mean_suppressed > 0.0, "policy must bite");
+        // Detection keeps working under policy routing.
+        assert!(
+            valley_free.moas_adoption_pct < valley_free.normal_adoption_pct,
+            "valley-free: {:.1}% !< {:.1}%",
+            valley_free.moas_adoption_pct,
+            valley_free.normal_adoption_pct
+        );
+        assert!(policy_free.moas_adoption_pct < policy_free.normal_adoption_pct);
+    }
+
+    #[test]
+    fn subprefix_traffic_capture_exceeds_control_plane_view() {
+        let graph = PaperTopology::As25.graph();
+        let result = subprefix_ablation(graph, 3, 11);
+        // The data plane confirms the §4.3 damage: traffic inside the
+        // hijacked half is captured at (at least) the rate the control
+        // plane shows for the sub-prefix itself.
+        assert!(
+            result.subprefix_traffic_capture_pct >= result.subprefix_adoption_pct - 5.0,
+            "traffic {:.1}% vs control {:.1}%",
+            result.subprefix_traffic_capture_pct,
+            result.subprefix_adoption_pct
+        );
+        assert!(result.subprefix_traffic_capture_pct > 90.0);
+    }
+
+    #[test]
+    fn reject_policy_protects_more_when_verifier_is_blind() {
+        let graph = PaperTopology::As25.graph();
+        let results = unresolved_policy_ablation(graph, 3, 19);
+        let accept = results[0].1;
+        let reject = results[1].1;
+        assert!(reject <= accept, "reject {reject} !<= accept {accept}");
+    }
+}

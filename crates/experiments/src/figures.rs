@@ -1,0 +1,159 @@
+//! The paper's three experiments, one function per figure.
+
+use as_topology::paper::PaperTopology;
+
+use crate::report::{FigureReport, SeriesReport};
+use crate::sweep::{run_sweep, SweepConfig};
+
+/// Experiment 1 (Figure 9): effectiveness of the MOAS list on the 46-AS
+/// topology, comparing Normal BGP against Full MOAS Detection, with
+/// `origin_count` ∈ {1, 2}.
+///
+/// Pass [`SweepConfig::paper`] for the full 15-runs-per-point protocol or
+/// [`SweepConfig::quick`] for a fast smoke version; `origin_count`,
+/// `deployment_fraction` and `forgery` in the passed config are overridden
+/// per the experiment's definition.
+#[must_use]
+pub fn experiment1(origin_count: usize, base: &SweepConfig) -> FigureReport {
+    let graph = PaperTopology::As46.graph();
+    let normal = run_sweep(
+        graph,
+        &base.clone().origin_count(origin_count).deployment_fraction(0.0),
+    );
+    let full = run_sweep(
+        graph,
+        &base.clone().origin_count(origin_count).deployment_fraction(1.0),
+    );
+    FigureReport::new(
+        format!("fig9{}", if origin_count == 1 { "a" } else { "b" }),
+        format!(
+            "Spoof-resilience of the MOAS scheme in the 46-AS topology ({origin_count} origin AS{})",
+            if origin_count == 1 { "" } else { "es" }
+        ),
+        vec![
+            SeriesReport {
+                label: "Normal BGP".into(),
+                points: normal,
+            },
+            SeriesReport {
+                label: "Full MOAS Detection".into(),
+                points: full,
+            },
+        ],
+    )
+}
+
+/// Experiment 2 (Figure 10): topology-size comparison — 25, 46 and 63 AS
+/// topologies, Normal BGP vs Full MOAS Detection, for `origin_count` ∈ {1, 2}.
+#[must_use]
+pub fn experiment2(origin_count: usize, base: &SweepConfig) -> FigureReport {
+    let mut series = Vec::new();
+    for deployment in [0.0, 1.0] {
+        for topology in PaperTopology::ALL {
+            let points = run_sweep(
+                topology.graph(),
+                &base
+                    .clone()
+                    .origin_count(origin_count)
+                    .deployment_fraction(deployment),
+            );
+            let mode = if deployment == 0.0 {
+                "Normal BGP"
+            } else {
+                "Full MOAS Detection"
+            };
+            series.push(SeriesReport {
+                label: format!("{topology} {mode}"),
+                points,
+            });
+        }
+    }
+    FigureReport::new(
+        format!("fig10{}", if origin_count == 1 { "a" } else { "b" }),
+        format!(
+            "Comparison between 25-AS, 46-AS and 63-AS topologies ({origin_count} origin AS{})",
+            if origin_count == 1 { "" } else { "es" }
+        ),
+        series,
+    )
+}
+
+/// Experiment 3 (Figure 11): partial deployment — none / half / full MOAS
+/// detection on one of the paper's topologies (the paper shows 46-AS and
+/// 63-AS panels).
+#[must_use]
+pub fn experiment3(topology: PaperTopology, base: &SweepConfig) -> FigureReport {
+    let graph = topology.graph();
+    let mut series = Vec::new();
+    for (fraction, label) in [
+        (0.0, "Normal BGP"),
+        (0.5, "Half MOAS Detection"),
+        (1.0, "Full MOAS Detection"),
+    ] {
+        series.push(SeriesReport {
+            label: label.into(),
+            points: run_sweep(graph, &base.clone().deployment_fraction(fraction)),
+        });
+    }
+    FigureReport::new(
+        format!("fig11-{}", topology.size()),
+        format!("Partial vs complete deployment of MOAS detection ({topology} topology)"),
+        series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        let mut c = SweepConfig::quick();
+        c.attacker_fractions = vec![0.1, 0.3];
+        c.origin_set_count = 1;
+        c.attacker_set_count = 2;
+        c
+    }
+
+    #[test]
+    fn experiment1_structure_and_ordering() {
+        let fig = experiment1(1, &tiny());
+        assert_eq!(fig.id, "fig9a");
+        assert_eq!(fig.series.len(), 2);
+        let normal = &fig.series[0];
+        let full = &fig.series[1];
+        assert_eq!(normal.points.len(), 2);
+        // The mechanism must not make things worse at any point.
+        for (n, f) in normal.points.iter().zip(&full.points) {
+            assert!(f.mean_adoption_pct <= n.mean_adoption_pct + 1e-9);
+        }
+    }
+
+    #[test]
+    fn experiment1_two_origins_id() {
+        let fig = experiment1(2, &tiny());
+        assert_eq!(fig.id, "fig9b");
+        assert!(fig.title.contains("2 origin ASes"));
+    }
+
+    #[test]
+    fn experiment2_has_six_series() {
+        let fig = experiment2(1, &tiny());
+        assert_eq!(fig.series.len(), 6);
+        assert!(fig.series.iter().any(|s| s.label == "25-AS Normal BGP"));
+        assert!(fig.series.iter().any(|s| s.label == "63-AS Full MOAS Detection"));
+    }
+
+    #[test]
+    fn experiment3_has_three_deployment_levels() {
+        let fig = experiment3(PaperTopology::As25, &tiny());
+        assert_eq!(fig.id, "fig11-25");
+        assert_eq!(fig.series.len(), 3);
+        // Half deployment sits between none and full (within noise we only
+        // require it to be no worse than Normal BGP).
+        let normal = &fig.series[0].points;
+        let half = &fig.series[1].points;
+        for (n, h) in normal.iter().zip(half) {
+            assert!(h.mean_adoption_pct <= n.mean_adoption_pct + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's simulation study (§5), as a reusable experiment harness.
+//!
+//! §5.1's protocol: origin ASes are drawn from the stub ASes, attackers from
+//! all ASes; each data point averages 15 runs — 3 origin sets × 5 attacker
+//! sets; the metric is the percentage of remaining (non-attacker) ASes that
+//! adopt a false route. This crate implements:
+//!
+//! * [`run_trial`] — one simulation run on any topology/deployment;
+//! * [`run_sweep`] — the 15-run averaged sweep over attacker fractions;
+//! * [`experiment1`], [`experiment2`], [`experiment3`] — Figures 9, 10 and
+//!   11 exactly as the paper frames them;
+//! * [`subprefix_ablation`], [`stripping_ablation`], [`forgery_ablation`] —
+//!   the §4.3 limitation studies;
+//! * [`FigureReport`] — plain-text tables and JSON for EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use as_topology::paper::PaperTopology;
+//! use experiments::{run_sweep, SweepConfig};
+//! use moas_core::Deployment;
+//!
+//! let mut config = SweepConfig::quick(); // reduced runs for examples/tests
+//! config.attacker_fractions = vec![0.1];
+//! let graph = PaperTopology::As25.graph();
+//!
+//! let normal = run_sweep(graph, &config.clone().deployment_fraction(0.0));
+//! let full = run_sweep(graph, &config.deployment_fraction(1.0));
+//! assert!(full[0].mean_adoption_pct <= normal[0].mean_adoption_pct);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablation;
+mod figures;
+mod overhead;
+mod report;
+mod stats;
+mod sweep;
+mod trial;
+
+pub use ablation::{
+    forgery_ablation, stripping_ablation, subprefix_ablation, unresolved_policy_ablation,
+    valley_free_ablation, ForgeryPoint, StrippingPoint, SubPrefixAblation, ValleyFreePoint,
+};
+pub use figures::{experiment1, experiment2, experiment3};
+pub use overhead::{moas_list_overhead, OverheadReport, WireModel};
+pub use report::{FigureReport, SeriesReport};
+pub use stats::{mean, stddev};
+pub use sweep::{run_sweep, SweepConfig, SweepPoint};
+pub use trial::{run_trial, TrialConfig, TrialOutcome};
+
+/// The prefix under attack in every experiment (Figure 1's example prefix).
+pub const VICTIM_PREFIX: &str = "208.8.0.0/16";

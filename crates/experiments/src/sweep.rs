@@ -1,0 +1,309 @@
+//! Attacker-fraction sweeps with the paper's 15-run averaging protocol.
+
+use std::collections::BTreeSet;
+
+use as_topology::AsGraph;
+use bgp_types::Asn;
+use moas_core::{Deployment, ListForgery, UnresolvedPolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{mean, stddev};
+use crate::trial::{run_trial, TrialConfig, TrialOutcome};
+
+/// Configuration of one sweep (one curve of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Number of legitimate origin ASes (the paper uses 1 and 2; it does not
+    /// simulate more because 96.14% of real MOAS cases involve two ASes).
+    pub origin_count: usize,
+    /// Fraction of ASes that deploy MOAS checking: 0.0 = Normal BGP,
+    /// 1.0 = Full MOAS Detection, 0.5 = the §5.4 partial deployment.
+    pub deployment_fraction: f64,
+    /// Attacker list-forgery strategy.
+    #[serde(with = "forgery_serde")]
+    pub forgery: ListForgery,
+    /// X axis: attacker counts as fractions of the topology size.
+    pub attacker_fractions: Vec<f64>,
+    /// "we first select 3 sets of origin ASes from the stub ASes" (§5.2).
+    pub origin_set_count: usize,
+    /// "Then we select 5 sets of attackers for each set of origin ASes."
+    pub attacker_set_count: usize,
+    /// Maximum per-link delay jitter.
+    pub max_link_delay: u64,
+    /// Master seed; all trial seeds derive from it.
+    pub seed: u64,
+}
+
+// ListForgery lives in moas-core without serde; serialize via a local shim.
+mod forgery_serde {
+    use super::ListForgery;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    enum Repr {
+        None,
+        IncludeSelf,
+        CopyValid,
+    }
+
+    pub fn serialize<S: Serializer>(v: &ListForgery, s: S) -> Result<S::Ok, S::Error> {
+        let repr = match v {
+            ListForgery::None => Repr::None,
+            ListForgery::IncludeSelf => Repr::IncludeSelf,
+            ListForgery::CopyValid => Repr::CopyValid,
+        };
+        repr.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ListForgery, D::Error> {
+        Ok(match Repr::deserialize(d)? {
+            Repr::None => ListForgery::None,
+            Repr::IncludeSelf => ListForgery::IncludeSelf,
+            Repr::CopyValid => ListForgery::CopyValid,
+        })
+    }
+}
+
+impl SweepConfig {
+    /// The paper's protocol: 15 runs per point (3 origin sets × 5 attacker
+    /// sets), attacker fractions up to 40%, one origin AS, full deployment.
+    #[must_use]
+    pub fn paper() -> Self {
+        SweepConfig {
+            origin_count: 1,
+            deployment_fraction: 1.0,
+            forgery: ListForgery::IncludeSelf,
+            attacker_fractions: vec![0.02, 0.04, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35, 0.40],
+            origin_set_count: 3,
+            attacker_set_count: 5,
+            max_link_delay: 4,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A reduced protocol (2×2 runs, 3 fractions) for tests and doc examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        SweepConfig {
+            origin_set_count: 2,
+            attacker_set_count: 2,
+            attacker_fractions: vec![0.05, 0.15, 0.30],
+            ..SweepConfig::paper()
+        }
+    }
+
+    /// Sets the origin count (builder style).
+    #[must_use]
+    pub fn origin_count(mut self, n: usize) -> Self {
+        self.origin_count = n;
+        self
+    }
+
+    /// Sets the deployment fraction (builder style).
+    #[must_use]
+    pub fn deployment_fraction(mut self, fraction: f64) -> Self {
+        self.deployment_fraction = fraction;
+        self
+    }
+
+    /// Sets the forgery strategy (builder style).
+    #[must_use]
+    pub fn forgery(mut self, forgery: ListForgery) -> Self {
+        self.forgery = forgery;
+        self
+    }
+
+    /// Total runs per data point.
+    #[must_use]
+    pub fn runs_per_point(&self) -> usize {
+        self.origin_set_count * self.attacker_set_count
+    }
+}
+
+/// One averaged data point of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The attacker fraction this point was requested at (the sweep's X
+    /// coordinate; `attacker_count` is this fraction rounded to whole ASes).
+    pub requested_fraction: f64,
+    /// Number of attacker ASes injected.
+    pub attacker_count: usize,
+    /// Attackers as a percentage of all ASes (the X axis of Figures 9-11).
+    pub attacker_pct: f64,
+    /// Mean percentage of remaining ASes adopting a false route (Y axis).
+    pub mean_adoption_pct: f64,
+    /// Sample standard deviation of the adoption percentage.
+    pub stddev_adoption_pct: f64,
+    /// Mean alarms per run.
+    pub mean_alarms: f64,
+    /// Mean verifier queries per run.
+    pub mean_queries: f64,
+    /// Mean BGP messages per run.
+    pub mean_messages: f64,
+}
+
+/// Runs a full sweep on `graph`: for every attacker fraction, the 15-run
+/// protocol of §5.2, returning one averaged point per fraction.
+///
+/// Origins are drawn from stub ASes and attackers from all remaining ASes,
+/// exactly as §5.1 prescribes; every random draw derives deterministically
+/// from `config.seed`.
+#[must_use]
+pub fn run_sweep(graph: &AsGraph, config: &SweepConfig) -> Vec<SweepPoint> {
+    let stubs = graph.stub_asns();
+    let n = graph.len();
+    assert!(
+        stubs.len() >= config.origin_count,
+        "topology has too few stubs for {} origins",
+        config.origin_count
+    );
+
+    let asns: Vec<Asn> = graph.asns().collect();
+    let mut points = Vec::with_capacity(config.attacker_fractions.len());
+
+    for (fx, &fraction) in config.attacker_fractions.iter().enumerate() {
+        let attacker_count = ((n as f64) * fraction).round().max(1.0) as usize;
+        let mut adoption = Vec::new();
+        let mut alarms = Vec::new();
+        let mut queries = Vec::new();
+        let mut messages = Vec::new();
+
+        for oi in 0..config.origin_set_count {
+            let origin_seed = sim_engine::rng::derive_seed(config.seed, (fx * 100 + oi) as u64);
+            let mut rng = sim_engine::rng::from_seed(origin_seed);
+            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, config.origin_count);
+            let origin_set: BTreeSet<Asn> = origins.iter().copied().collect();
+            let candidates: Vec<Asn> = asns
+                .iter()
+                .copied()
+                .filter(|a| !origin_set.contains(a))
+                .collect();
+
+            for ai in 0..config.attacker_set_count {
+                let trial_seed = sim_engine::rng::derive_seed(
+                    config.seed,
+                    ((fx * 100 + oi) * 100 + ai + 7) as u64,
+                );
+                let mut rng = sim_engine::rng::from_seed(trial_seed);
+                let attackers =
+                    sim_engine::rng::sample_distinct(&mut rng, &candidates, attacker_count);
+                let deployment =
+                    Deployment::sample(&asns, config.deployment_fraction, trial_seed ^ 0xDE9107);
+
+                let trial = TrialConfig {
+                    forgery: config.forgery,
+                    strippers: BTreeSet::new(),
+                    unresolved: UnresolvedPolicy::Accept,
+                    max_link_delay: config.max_link_delay,
+                    seed: trial_seed,
+                    ..TrialConfig::new(origins.clone(), attackers, deployment)
+                };
+                let outcome: TrialOutcome = run_trial(graph, &trial);
+                adoption.push(100.0 * outcome.adoption_fraction());
+                alarms.push(outcome.alarms as f64);
+                queries.push(outcome.verifier_queries as f64);
+                messages.push(outcome.messages as f64);
+            }
+        }
+
+        points.push(SweepPoint {
+            requested_fraction: fraction,
+            attacker_count,
+            attacker_pct: 100.0 * attacker_count as f64 / n as f64,
+            mean_adoption_pct: mean(&adoption),
+            stddev_adoption_pct: stddev(&adoption),
+            mean_alarms: mean(&alarms),
+            mean_queries: mean(&queries),
+            mean_messages: mean(&messages),
+        });
+    }
+    points
+}
+
+// Hook the shim into the derive.
+impl SweepConfig {
+    /// Serializes to pretty JSON (for EXPERIMENTS.md provenance).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde_json fails on this plain data type, which cannot
+    /// happen.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain struct serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::paper::PaperTopology;
+
+    #[test]
+    fn paper_protocol_is_15_runs() {
+        assert_eq!(SweepConfig::paper().runs_per_point(), 15);
+    }
+
+    #[test]
+    fn sweep_has_one_point_per_fraction() {
+        let graph = PaperTopology::As25.graph();
+        let config = SweepConfig::quick();
+        let points = run_sweep(graph, &config);
+        assert_eq!(points.len(), config.attacker_fractions.len());
+        for p in &points {
+            assert!(p.attacker_count >= 1);
+            assert!(p.mean_adoption_pct >= 0.0);
+            assert!(p.mean_adoption_pct <= 100.0);
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let graph = PaperTopology::As25.graph();
+        let config = SweepConfig::quick();
+        assert_eq!(run_sweep(graph, &config), run_sweep(graph, &config));
+    }
+
+    #[test]
+    fn more_attackers_fool_more_ases_under_normal_bgp() {
+        let graph = PaperTopology::As46.graph();
+        let mut config = SweepConfig::quick().deployment_fraction(0.0);
+        config.attacker_fractions = vec![0.04, 0.40];
+        let points = run_sweep(graph, &config);
+        assert!(
+            points[1].mean_adoption_pct > points[0].mean_adoption_pct,
+            "{} !> {}",
+            points[1].mean_adoption_pct,
+            points[0].mean_adoption_pct
+        );
+    }
+
+    #[test]
+    fn full_deployment_raises_alarms_and_queries() {
+        let graph = PaperTopology::As25.graph();
+        let mut config = SweepConfig::quick();
+        config.attacker_fractions = vec![0.2];
+        let points = run_sweep(graph, &config);
+        assert!(points[0].mean_alarms > 0.0);
+        assert!(points[0].mean_queries > 0.0);
+    }
+
+    #[test]
+    fn config_json_round_trips() {
+        let config = SweepConfig::paper();
+        let json = config.to_json();
+        let back: SweepConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.origin_count, config.origin_count);
+        assert_eq!(back.attacker_fractions, config.attacker_fractions);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few stubs")]
+    fn sweep_panics_without_enough_stubs() {
+        let mut g = AsGraph::new();
+        g.add_as(Asn(1), as_topology::AsRole::Transit);
+        g.add_as(Asn(2), as_topology::AsRole::Transit);
+        g.add_link(Asn(1), Asn(2));
+        let _ = run_sweep(&g, &SweepConfig::quick());
+    }
+}

@@ -1,0 +1,258 @@
+//! One simulation run.
+
+use std::collections::BTreeSet;
+
+use as_topology::AsGraph;
+use bgp_engine::Network;
+use bgp_types::{Asn, Ipv4Prefix, MoasList};
+use moas_core::{
+    Deployment, FalseOriginAttack, ListForgery, MoasConfig, MoasMonitor, OriginVerifier,
+    RegistryVerifier, UnresolvedPolicy,
+};
+
+/// Configuration of a single run: who originates, who attacks, who checks.
+#[derive(Debug, Clone)]
+pub struct TrialConfig {
+    /// Legitimate origin ASes of the victim prefix (1 or 2 in the paper).
+    pub origins: Vec<Asn>,
+    /// Compromised ASes that each falsely originate the victim prefix.
+    pub attackers: Vec<Asn>,
+    /// Which ASes run MOAS checking.
+    pub deployment: Deployment,
+    /// The attackers' list-forgery strategy.
+    pub forgery: ListForgery,
+    /// ASes that strip community attributes on export (§4.3 hazard).
+    pub strippers: BTreeSet<Asn>,
+    /// Behaviour when the verifier cannot adjudicate.
+    pub unresolved: UnresolvedPolicy,
+    /// Maximum per-link message delay (jitter explores propagation races).
+    pub max_link_delay: u64,
+    /// RNG seed for link delays.
+    pub seed: u64,
+    /// The disputed prefix.
+    pub prefix: Ipv4Prefix,
+}
+
+impl TrialConfig {
+    /// A trial with the given parties and defaults matching §5.2: full
+    /// detection semantics are governed by `deployment`; attackers attach the
+    /// forged list including themselves (the strongest §4.1 adversary).
+    #[must_use]
+    pub fn new(origins: Vec<Asn>, attackers: Vec<Asn>, deployment: Deployment) -> Self {
+        TrialConfig {
+            origins,
+            attackers,
+            deployment,
+            forgery: ListForgery::IncludeSelf,
+            strippers: BTreeSet::new(),
+            unresolved: UnresolvedPolicy::Accept,
+            max_link_delay: 4,
+            seed: 0,
+            prefix: crate::VICTIM_PREFIX.parse().expect("victim prefix constant"),
+        }
+    }
+}
+
+/// What happened in one run, as counted after quiescence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrialOutcome {
+    /// Non-attacker ASes (the paper's "remaining ASes").
+    pub eligible: usize,
+    /// Of those, how many ended with a best route originated by an attacker.
+    pub adopted_false: usize,
+    /// Total alarms raised.
+    pub alarms: usize,
+    /// Alarms the verifier confirmed as real false origins.
+    pub confirmed_alarms: usize,
+    /// Alarms that turned out to be dropped-list false positives.
+    pub false_alarms: usize,
+    /// Verifier lookups performed (§4.4 argues this stays small).
+    pub verifier_queries: u64,
+    /// BGP update messages delivered.
+    pub messages: u64,
+}
+
+impl TrialOutcome {
+    /// Fraction of remaining ASes that adopted a false route — the Y axis of
+    /// Figures 9-11.
+    #[must_use]
+    pub fn adoption_fraction(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            self.adopted_false as f64 / self.eligible as f64
+        }
+    }
+}
+
+/// Runs one trial: originate the victim prefix (with its MOAS list) from
+/// every legitimate origin and run BGP to quiescence; then inject every
+/// attacker's false announcement into the converged network (the paper's
+/// attack model), run to quiescence again, and census who adopted which
+/// origin.
+///
+/// # Panics
+///
+/// Panics if any origin or attacker is not in `graph`, or if the simulation
+/// exceeds its (enormous) event budget.
+#[must_use]
+pub fn run_trial(graph: &AsGraph, config: &TrialConfig) -> TrialOutcome {
+    let valid_list: MoasList = config.origins.iter().copied().collect();
+
+    // §4.4: the verifier knows the true origin set (oracle registry, as the
+    // paper's experiments assume for "checking with DNS").
+    let mut registry = RegistryVerifier::new();
+    registry.register(config.prefix, valid_list.clone());
+
+    let monitor = MoasMonitor::new(
+        MoasConfig {
+            deployment: config.deployment.clone(),
+            strippers: config.strippers.clone(),
+            on_unresolved: config.unresolved,
+        },
+        registry,
+    );
+
+    let mut net =
+        Network::with_monitor_and_jitter(graph, monitor, config.seed, config.max_link_delay);
+
+    // The paper's attack model: false announcements are injected into a
+    // running network, so the valid routes converge first and the attackers
+    // must displace them.
+    for &origin in &config.origins {
+        net.originate(origin, config.prefix, Some(valid_list.clone()));
+    }
+    net.run().expect("experiment networks always converge");
+    let attack = FalseOriginAttack::new(config.forgery);
+    for &attacker in &config.attackers {
+        attack.launch(&mut net, attacker, config.prefix, &valid_list);
+    }
+    net.run().expect("experiment networks always converge");
+
+    let attacker_set: BTreeSet<Asn> = config.attackers.iter().copied().collect();
+    let mut eligible = 0usize;
+    let mut adopted_false = 0usize;
+    for asn in graph.asns() {
+        if attacker_set.contains(&asn) {
+            continue;
+        }
+        eligible += 1;
+        if let Some(origin) = net.best_origin(asn, config.prefix) {
+            if attacker_set.contains(&origin) {
+                adopted_false += 1;
+            }
+        }
+    }
+
+    let alarms = net.monitor().alarms();
+    TrialOutcome {
+        eligible,
+        adopted_false,
+        alarms: alarms.len(),
+        confirmed_alarms: alarms.confirmed_count(),
+        false_alarms: alarms.false_alarm_count(),
+        verifier_queries: net.monitor().verifier().query_count(),
+        messages: net.stats().total_messages(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_topology::paper::PaperTopology;
+    use as_topology::InternetModel;
+
+    fn graph() -> AsGraph {
+        InternetModel::new().transit_count(10).stub_count(40).build(5)
+    }
+
+    fn pick(graph: &AsGraph, seed: u64, origins: usize, attackers: usize) -> (Vec<Asn>, Vec<Asn>) {
+        let mut rng = sim_engine::rng::from_seed(seed);
+        let stubs = graph.stub_asns();
+        let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, origins);
+        let all: Vec<Asn> = graph.asns().filter(|a| !origins.contains(a)).collect();
+        let attackers = sim_engine::rng::sample_distinct(&mut rng, &all, attackers);
+        (origins, attackers)
+    }
+
+    #[test]
+    fn no_attackers_means_no_adoption_and_no_alarms() {
+        let g = graph();
+        let (origins, _) = pick(&g, 1, 2, 0);
+        let outcome = run_trial(&g, &TrialConfig::new(origins, vec![], Deployment::Full));
+        assert_eq!(outcome.adopted_false, 0);
+        assert_eq!(outcome.alarms, 0);
+        assert_eq!(outcome.verifier_queries, 0);
+        assert_eq!(outcome.eligible, g.len());
+        assert!(outcome.messages > 0);
+    }
+
+    #[test]
+    fn normal_bgp_lets_false_routes_spread() {
+        let g = graph();
+        let (origins, attackers) = pick(&g, 2, 1, 5);
+        let outcome = run_trial(&g, &TrialConfig::new(origins, attackers, Deployment::None));
+        assert!(outcome.adopted_false > 0, "some ASes must be fooled");
+        assert_eq!(outcome.alarms, 0, "nobody checks under Normal BGP");
+    }
+
+    #[test]
+    fn full_deployment_suppresses_adoption() {
+        let g = graph();
+        let (origins, attackers) = pick(&g, 2, 1, 5);
+        let normal = run_trial(
+            &g,
+            &TrialConfig::new(origins.clone(), attackers.clone(), Deployment::None),
+        );
+        let protected = run_trial(&g, &TrialConfig::new(origins, attackers, Deployment::Full));
+        assert!(
+            protected.adopted_false < normal.adopted_false,
+            "protected {} !< normal {}",
+            protected.adopted_false,
+            normal.adopted_false
+        );
+        assert!(protected.confirmed_alarms > 0);
+    }
+
+    #[test]
+    fn full_deployment_with_oracle_protects_connected_ases() {
+        // With full deployment, every AS that still hears the valid route
+        // rejects/evicts the false one. Attackers are stubs here, so they
+        // cannot cut anyone off: adoption must drop to zero.
+        let g = graph();
+        let mut rng = sim_engine::rng::from_seed(7);
+        let stubs = g.stub_asns();
+        let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 4);
+        let origins = vec![picked[0]];
+        let attackers = picked[1..].to_vec();
+        let outcome = run_trial(&g, &TrialConfig::new(origins, attackers, Deployment::Full));
+        assert_eq!(outcome.adopted_false, 0);
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let g = PaperTopology::As25.graph();
+        let (origins, attackers) = pick(g, 3, 1, 3);
+        let config = TrialConfig::new(origins, attackers, Deployment::Full);
+        assert_eq!(run_trial(g, &config), run_trial(g, &config));
+    }
+
+    #[test]
+    fn adoption_fraction_bounds() {
+        let outcome = TrialOutcome {
+            eligible: 40,
+            adopted_false: 10,
+            ..TrialOutcome::default()
+        };
+        assert!((outcome.adoption_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(TrialOutcome::default().adoption_fraction(), 0.0);
+    }
+
+    #[test]
+    fn eligible_excludes_attackers() {
+        let g = graph();
+        let (origins, attackers) = pick(&g, 4, 1, 6);
+        let outcome = run_trial(&g, &TrialConfig::new(origins, attackers, Deployment::None));
+        assert_eq!(outcome.eligible, g.len() - 6);
+    }
+}

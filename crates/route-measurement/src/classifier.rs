@@ -1,0 +1,310 @@
+//! Heuristic valid/invalid classification of observed MOAS cases.
+//!
+//! §3 of the paper separates MOAS causes by observable signatures: long
+//! duration suggests legitimate multi-homing; "a large number of MOAS cases
+//! in a single day are most likely caused by faults", especially when the
+//! same AS appears across many of them (AS 8584 in 1998, AS 15412 in 2001).
+//! This module turns those observations into an executable classifier and —
+//! because the synthetic timeline carries ground-truth causes — lets the
+//! reproduction *measure* how well the paper's reasoning separates the two
+//! populations.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use bgp_types::{Asn, Ipv4Prefix};
+
+use crate::dump::DailyDump;
+use crate::timeline::{CaseRecord, Cause};
+
+/// The classifier's verdict for one observed MOAS case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Judged a legitimate (multi-homing style) MOAS.
+    Valid,
+    /// Judged a fault or attack.
+    Invalid,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Valid => "valid",
+            Verdict::Invalid => "invalid",
+        })
+    }
+}
+
+/// Tunable thresholds of the §3 heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierConfig {
+    /// Cases lasting at least this many days are presumed legitimate
+    /// ("valid MOAS due to multi-homing tend to be long lasting").
+    pub long_lived_days: u32,
+    /// An origin AS involved in at least this many cases that all began on
+    /// the same day marks those cases as a mass fault (the AS 8584 /
+    /// AS 15412 signature).
+    pub mass_fault_threshold: usize,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            long_lived_days: 30,
+            mass_fault_threshold: 20,
+        }
+    }
+}
+
+/// One classified case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedCase {
+    /// The prefix of the case.
+    pub prefix: Ipv4Prefix,
+    /// Total days observed in MOAS state.
+    pub duration: u32,
+    /// First day observed in MOAS state.
+    pub first_day: u32,
+    /// All origins observed while in MOAS state.
+    pub origins: BTreeSet<Asn>,
+    /// The classifier's verdict.
+    pub verdict: Verdict,
+}
+
+/// Classifies every MOAS case visible in the dumps.
+#[must_use]
+pub fn classify(dumps: &[DailyDump], config: &ClassifierConfig) -> Vec<ClassifiedCase> {
+    // Gather per-prefix observations.
+    struct Obs {
+        days: u32,
+        first_day: u32,
+        origins: BTreeSet<Asn>,
+    }
+    let mut observations: BTreeMap<Ipv4Prefix, Obs> = BTreeMap::new();
+    for dump in dumps {
+        for (prefix, origins) in dump.moas_cases() {
+            let obs = observations.entry(prefix).or_insert(Obs {
+                days: 0,
+                first_day: dump.day(),
+                origins: BTreeSet::new(),
+            });
+            obs.days += 1;
+            obs.origins.extend(origins.iter().copied());
+        }
+    }
+
+    // Mass-fault detection: (origin, first_day) pairs covering many cases.
+    let mut per_origin_day: BTreeMap<(Asn, u32), usize> = BTreeMap::new();
+    for obs in observations.values() {
+        for &origin in &obs.origins {
+            *per_origin_day.entry((origin, obs.first_day)).or_insert(0) += 1;
+        }
+    }
+    let mass_faulters: BTreeSet<(Asn, u32)> = per_origin_day
+        .into_iter()
+        .filter(|&(_, count)| count >= config.mass_fault_threshold)
+        .map(|(key, _)| key)
+        .collect();
+
+    observations
+        .into_iter()
+        .map(|(prefix, obs)| {
+            let mass = obs
+                .origins
+                .iter()
+                .any(|&origin| mass_faulters.contains(&(origin, obs.first_day)));
+            let verdict = if mass {
+                Verdict::Invalid
+            } else if obs.days >= config.long_lived_days {
+                Verdict::Valid
+            } else {
+                // Short-lived and not part of a mass event: §3 considers
+                // these "unintended behavior" — lean invalid.
+                Verdict::Invalid
+            };
+            ClassifiedCase {
+                prefix,
+                duration: obs.days,
+                first_day: obs.first_day,
+                origins: obs.origins,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// Accuracy of a classification against generator ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifierScore {
+    /// Cases whose verdict matched the ground-truth cause validity.
+    pub correct: usize,
+    /// All scored cases.
+    pub total: usize,
+    /// Invalid cases correctly flagged / all truly invalid cases.
+    pub invalid_recall: f64,
+    /// Correctly flagged invalid / all flagged invalid.
+    pub invalid_precision: f64,
+}
+
+impl ClassifierScore {
+    /// Overall accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for ClassifierScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accuracy {:.1}% ({} of {}), invalid precision {:.1}% recall {:.1}%",
+            100.0 * self.accuracy(),
+            self.correct,
+            self.total,
+            100.0 * self.invalid_precision,
+            100.0 * self.invalid_recall
+        )
+    }
+}
+
+/// Scores a classification against the generator's ground-truth causes.
+/// Cases absent from the ground truth are skipped.
+#[must_use]
+pub fn score(classified: &[ClassifiedCase], truth: &[CaseRecord]) -> ClassifierScore {
+    let truth_by_prefix: BTreeMap<Ipv4Prefix, &CaseRecord> =
+        truth.iter().map(|c| (c.prefix, c)).collect();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut true_invalid = 0usize;
+    let mut flagged_invalid = 0usize;
+    let mut hit_invalid = 0usize;
+
+    for case in classified {
+        let Some(record) = truth_by_prefix.get(&case.prefix) else {
+            continue;
+        };
+        total += 1;
+        let actually_invalid = !record.cause.is_valid() || record.cause == Cause::Churn;
+        let judged_invalid = case.verdict == Verdict::Invalid;
+        if actually_invalid {
+            true_invalid += 1;
+        }
+        if judged_invalid {
+            flagged_invalid += 1;
+        }
+        if actually_invalid == judged_invalid {
+            correct += 1;
+            if actually_invalid {
+                hit_invalid += 1;
+            }
+        }
+    }
+    ClassifierScore {
+        correct,
+        total,
+        invalid_recall: hit_invalid as f64 / true_invalid.max(1) as f64,
+        invalid_precision: hit_invalid as f64 / flagged_invalid.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{generate_timeline, FaultEvent, TimelineConfig};
+
+    fn test_timeline() -> crate::timeline::GeneratedTimeline {
+        generate_timeline(&TimelineConfig {
+            days: 200,
+            active_start: 120,
+            active_end: 140,
+            presence_prob: 1.0,
+            churn_prob: 0.3,
+            background_prefixes: 10,
+            events: vec![FaultEvent {
+                day: 100,
+                faulty_as: Asn(8584),
+                prefix_count: 60,
+                duration_days: 1,
+            }],
+            seed: 17,
+        })
+    }
+
+    #[test]
+    fn mass_fault_cases_are_flagged_invalid() {
+        let timeline = test_timeline();
+        let classified = classify(&timeline.dumps, &ClassifierConfig::default());
+        let fault_prefixes: BTreeSet<Ipv4Prefix> = timeline
+            .cases
+            .iter()
+            .filter(|c| matches!(c.cause, Cause::Fault(_)))
+            .map(|c| c.prefix)
+            .collect();
+        for case in classified.iter().filter(|c| fault_prefixes.contains(&c.prefix)) {
+            assert_eq!(case.verdict, Verdict::Invalid, "{}", case.prefix);
+        }
+    }
+
+    #[test]
+    fn long_lived_multihoming_is_judged_valid() {
+        let timeline = test_timeline();
+        let classified = classify(&timeline.dumps, &ClassifierConfig::default());
+        let long_valid = classified
+            .iter()
+            .filter(|c| c.duration >= 100)
+            .collect::<Vec<_>>();
+        assert!(!long_valid.is_empty());
+        for case in long_valid {
+            assert_eq!(case.verdict, Verdict::Valid, "{}", case.prefix);
+        }
+    }
+
+    #[test]
+    fn classifier_separates_the_populations_well() {
+        let timeline = test_timeline();
+        let classified = classify(&timeline.dumps, &ClassifierConfig::default());
+        let s = score(&classified, &timeline.cases);
+        assert!(s.total > 100, "scored {} cases", s.total);
+        assert!(s.accuracy() > 0.85, "{s}");
+        assert!(s.invalid_recall > 0.9, "{s}");
+        assert!(s.invalid_precision > 0.85, "{s}");
+    }
+
+    #[test]
+    fn thresholds_change_verdicts() {
+        let timeline = test_timeline();
+        let strict = classify(
+            &timeline.dumps,
+            &ClassifierConfig {
+                long_lived_days: 1_000_000,
+                mass_fault_threshold: 20,
+            },
+        );
+        // With an unreachable long-lived bar, nothing is judged valid.
+        assert!(strict.iter().all(|c| c.verdict == Verdict::Invalid));
+    }
+
+    #[test]
+    fn empty_input_scores_perfectly() {
+        let s = score(&[], &[]);
+        assert_eq!(s.accuracy(), 1.0);
+        assert_eq!(s.total, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Verdict::Valid.to_string(), "valid");
+        let s = ClassifierScore {
+            correct: 9,
+            total: 10,
+            invalid_recall: 1.0,
+            invalid_precision: 0.9,
+        };
+        assert!(s.to_string().contains("90.0%"));
+    }
+}

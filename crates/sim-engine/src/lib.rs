@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! The paper evaluates the MOAS-list mechanism on a modified SSFnet BGP
+//! simulator. This crate provides the substrate that plays SSFnet's role in
+//! the reproduction: a deterministic discrete-event queue ([`EventQueue`]),
+//! simulated time ([`SimTime`]), and seeded random-number helpers
+//! ([`rng`]) so every experiment is exactly reproducible from a `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::{EventQueue, SimTime};
+//!
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.schedule(SimTime::from_ticks(10), "second");
+//! queue.schedule(SimTime::ZERO, "first");
+//!
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!((t, e), (SimTime::ZERO, "first"));
+//! assert_eq!(queue.now(), SimTime::ZERO);
+//!
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!((t, e), (SimTime::from_ticks(10), "second"));
+//! assert!(queue.pop().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+pub mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use time::SimTime;

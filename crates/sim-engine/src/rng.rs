@@ -1,0 +1,139 @@
+//! Seeded random-number helpers.
+//!
+//! Every stochastic choice in the reproduction (topology generation, origin
+//! selection, attacker selection, deployment sampling) flows through these
+//! helpers so that a single `u64` master seed fully determines an experiment.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut a = sim_engine::rng::from_seed(7);
+/// let mut b = sim_engine::rng::from_seed(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[must_use]
+pub fn from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derives an independent stream seed from a base seed and a stream index
+/// using the SplitMix64 finalizer.
+///
+/// Used to give each simulation run (origin-set index, attacker-set index)
+/// its own well-separated RNG without correlated streams.
+#[must_use]
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples `k` distinct elements from `items`, in selection order.
+///
+/// Returns all of `items` (shuffled) when `k >= items.len()`.
+///
+/// # Example
+///
+/// ```
+/// let mut rng = sim_engine::rng::from_seed(1);
+/// let picked = sim_engine::rng::sample_distinct(&mut rng, &[1, 2, 3, 4, 5], 2);
+/// assert_eq!(picked.len(), 2);
+/// assert_ne!(picked[0], picked[1]);
+/// ```
+#[must_use]
+pub fn sample_distinct<T: Clone, R: Rng>(rng: &mut R, items: &[T], k: usize) -> Vec<T> {
+    let mut indices: Vec<usize> = (0..items.len()).collect();
+    indices.shuffle(rng);
+    indices
+        .into_iter()
+        .take(k)
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+#[must_use]
+pub fn coin<R: Rng>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = from_seed(42);
+        let mut b = from_seed(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = from_seed(1);
+        let mut b = from_seed(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(5, 0), derive_seed(5, 0));
+        let seeds: HashSet<u64> = (0..100).map(|i| derive_seed(5, i)).collect();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let mut rng = from_seed(3);
+        let items: Vec<u32> = (0..50).collect();
+        let picked = sample_distinct(&mut rng, &items, 20);
+        assert_eq!(picked.len(), 20);
+        let set: HashSet<u32> = picked.iter().copied().collect();
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_population() {
+        let mut rng = from_seed(3);
+        let picked = sample_distinct(&mut rng, &[1, 2, 3], 10);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sample_distinct_zero_is_empty() {
+        let mut rng = from_seed(3);
+        assert!(sample_distinct(&mut rng, &[1, 2, 3], 0).is_empty());
+    }
+
+    #[test]
+    fn coin_extremes() {
+        let mut rng = from_seed(9);
+        assert!(!coin(&mut rng, 0.0));
+        assert!(coin(&mut rng, 1.0));
+        assert!(coin(&mut rng, 2.0)); // clamped
+        assert!(!coin(&mut rng, -1.0)); // clamped
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut rng = from_seed(11);
+        let heads = (0..10_000).filter(|_| coin(&mut rng, 0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

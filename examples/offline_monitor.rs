@@ -1,0 +1,52 @@
+//! The §4.2 incremental-deployment path: an off-line monitoring process that
+//! periodically collects routes from several vantage ASes and checks MOAS
+//! list consistency — no router modification required.
+//!
+//! Run with: `cargo run --release --example offline_monitor`
+
+use moas::bgp::Network;
+use moas::detection::{FalseOriginAttack, ListForgery, OfflineMonitor};
+use moas::topology::InternetModel;
+use moas::types::{Asn, MoasList};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 60-AS synthetic Internet running *unmodified* BGP.
+    let graph = InternetModel::new().transit_count(10).stub_count(50).build(2024);
+    let stubs = graph.stub_asns();
+    let victim = stubs[0];
+    let attacker = stubs[25];
+    let prefix = moas::topology::prefix_for_asn(victim);
+    let valid = MoasList::implicit(victim);
+
+    println!("victim {victim} originates {prefix}; attacker {attacker} misoriginates it");
+    let mut net = Network::new(&graph);
+    net.originate(victim, prefix, Some(valid.clone()));
+    FalseOriginAttack::new(ListForgery::IncludeSelf).launch(&mut net, attacker, prefix, &valid);
+    net.run()?;
+
+    let fooled = graph
+        .asns()
+        .filter(|&a| a != attacker && net.best_origin(a, prefix) == Some(attacker))
+        .count();
+    println!("plain BGP: {fooled} of {} ASes adopted the false route", graph.len() - 1);
+
+    // The offline monitor peers with a handful of transit ASes, like the
+    // Route Views collector, and periodically checks what they see.
+    let vantages: Vec<Asn> = graph.transit_asns().into_iter().take(5).collect();
+    println!("offline monitor collecting from vantages: {vantages:?}");
+    let findings = OfflineMonitor::new().scan_network(&net, &vantages, prefix);
+
+    match findings.as_slice() {
+        [] => println!("no conflict visible from these vantages (try more peers)"),
+        findings => {
+            for finding in findings {
+                println!("FINDING: {finding}");
+                println!(
+                    "  origins {:?} — operator follow-up (e.g. a MOASRR lookup) identifies {} as bogus",
+                    finding.origins, attacker
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! MOAS detection under Gao-Rexford policy routing: the realism ablation.
+//!
+//! The paper's simulator lets every AS exchange every route; real BGP export
+//! follows business relationships (valley-free). This example infers
+//! relationships from synthesized tables with Gao's degree heuristic, scores
+//! the inference against ground truth, and compares the MOAS mechanism's
+//! effectiveness with and without the export policy.
+//!
+//! Run with: `cargo run --release --example valley_free_policy`
+
+use moas::experiments::valley_free_ablation;
+use moas::topology::{infer_graph, infer_relationships, InternetModel, RouteTable};
+
+fn main() {
+    // 1. Relationship inference accuracy.
+    let (truth_graph, truth_rels) = InternetModel::new()
+        .transit_count(20)
+        .stub_count(120)
+        .build_with_relationships(42);
+    let table = RouteTable::synthesize(&truth_graph, &[0, 5, 10, 15], 42);
+    let observed = infer_graph(table.entries());
+    let inferred = infer_relationships(&observed, table.entries(), 1.5);
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (a, b, kind) in inferred.iter() {
+        total += 1;
+        if truth_rels.kind(a, b) == Some(kind) {
+            correct += 1;
+        }
+    }
+    println!(
+        "Gao-heuristic relationship inference: {}/{} links correct ({:.1}%)",
+        correct,
+        total,
+        100.0 * correct as f64 / total as f64
+    );
+
+    // 2. Does the MOAS mechanism survive policy routing?
+    println!("\nMOAS detection with and without valley-free export (75-AS ground truth, 3 attackers):");
+    println!("  routing        Normal BGP   Full MOAS   suppressed advertisements");
+    for p in valley_free_ablation(10, 7) {
+        println!(
+            "  {:<13} {:>9.2}% {:>10.2}% {:>14.0}",
+            p.routing, p.normal_adoption_pct, p.moas_adoption_pct, p.mean_suppressed
+        );
+    }
+    println!("\nValley-free export narrows where routes travel — both the false ones and the");
+    println!("valid ones the detection depends on — yet the mechanism's advantage persists.");
+}

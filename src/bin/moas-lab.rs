@@ -1,0 +1,255 @@
+//! `moas-lab` — command-line front end for the MOAS reproduction.
+//!
+//! Every figure and study in the repository is reachable from here without
+//! writing code:
+//!
+//! ```console
+//! $ moas-lab figures --quick     # Experiments 1-3 (Figures 9-11)
+//! $ moas-lab measure             # The §3 study (Figures 4-5)
+//! $ moas-lab topology 46         # Inspect a canonical topology
+//! $ moas-lab trial --attackers 5 # One simulation run, in detail
+//! $ moas-lab ablations           # §4.3 limitation studies
+//! $ moas-lab overhead            # §4.3 list-size overhead
+//! ```
+
+use std::process::ExitCode;
+
+use moas::detection::Deployment;
+use moas::experiments::{
+    experiment1, experiment2, experiment3, forgery_ablation, moas_list_overhead, run_trial,
+    stripping_ablation, subprefix_ablation, valley_free_ablation, SweepConfig, TrialConfig,
+    WireModel,
+};
+use moas::measurement::{
+    daily_moas_counts, generate_timeline, median, MeasurementSummary, TimelineConfig,
+};
+use moas::topology::paper::PaperTopology;
+use moas::topology::GraphMetrics;
+use moas::types::Asn;
+
+const USAGE: &str = "\
+moas-lab — reproduction of 'Detection of Invalid Routing Announcement in the Internet' (DSN 2002)
+
+USAGE:
+    moas-lab <COMMAND> [OPTIONS]
+
+COMMANDS:
+    figures [--quick]               Regenerate Figures 9-11 (default: full paper protocol)
+    measure [--days N]              Run the §3 measurement study (Figures 4-5)
+    topology <25|46|63>             Show a canonical experiment topology
+    trial [--topology N] [--attackers N] [--origins N] [--deployment full|half|none] [--seed S]
+                                    Run one simulation trial and print the outcome
+    ablations                       Run the §4.3 limitation studies
+    overhead                        Measure the MOAS-list table overhead
+    help                            Show this message
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "figures" => figures(&args),
+        "measure" => measure(&args),
+        "topology" => topology(&args),
+        "trial" => trial(&args),
+        "ablations" => ablations(),
+        "overhead" => overhead(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn option<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let idx = args.iter().position(|a| a == name)?;
+    args.get(idx + 1)?.parse().ok()
+}
+
+fn figures(args: &[String]) -> ExitCode {
+    let config = if flag(args, "--quick") {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper()
+    };
+    println!(
+        "Protocol: {} runs per point, fractions {:?}\n",
+        config.runs_per_point(),
+        config.attacker_fractions
+    );
+    for origins in [1, 2] {
+        println!("{}", experiment1(origins, &config));
+    }
+    for origins in [1, 2] {
+        println!("{}", experiment2(origins, &config));
+    }
+    for topology in [PaperTopology::As46, PaperTopology::As63] {
+        println!("{}", experiment3(topology, &config));
+    }
+    ExitCode::SUCCESS
+}
+
+fn measure(args: &[String]) -> ExitCode {
+    let mut config = TimelineConfig::paper();
+    if let Some(days) = option::<u32>(args, "--days") {
+        config = config.with_days(days);
+    }
+    println!("Generating {} daily dumps...", config.days);
+    let timeline = generate_timeline(&config);
+    let counts = daily_moas_counts(&timeline.dumps);
+    let year = 365.min(counts.len());
+    println!(
+        "daily MOAS count: median {:.0} (first {year} days) -> {:.0} (last {year} days)",
+        median(&counts[..year]),
+        median(&counts[counts.len() - year..])
+    );
+    println!("{}", MeasurementSummary::compute(&timeline.dumps));
+    ExitCode::SUCCESS
+}
+
+fn parse_topology(size: &str) -> Option<PaperTopology> {
+    match size {
+        "25" => Some(PaperTopology::As25),
+        "46" => Some(PaperTopology::As46),
+        "63" => Some(PaperTopology::As63),
+        _ => None,
+    }
+}
+
+fn topology(args: &[String]) -> ExitCode {
+    let Some(topology) = args.get(1).and_then(|s| parse_topology(s)) else {
+        eprintln!("usage: moas-lab topology <25|46|63>");
+        return ExitCode::FAILURE;
+    };
+    let graph = topology.graph();
+    println!("{topology} topology: {}", GraphMetrics::compute(graph));
+    println!("transit ASes: {:?}", graph.transit_asns());
+    println!("stub ASes:    {:?}", graph.stub_asns());
+    println!("links:");
+    for (a, b) in graph.links() {
+        println!("  {a} <-> {b}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn trial(args: &[String]) -> ExitCode {
+    let topology = args
+        .iter()
+        .position(|a| a == "--topology")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| parse_topology(s))
+        .unwrap_or(PaperTopology::As46);
+    let graph = topology.graph();
+    let attackers: usize = option(args, "--attackers").unwrap_or(2);
+    let origins: usize = option(args, "--origins").unwrap_or(1);
+    let seed: u64 = option(args, "--seed").unwrap_or(1);
+    let deployment = match args
+        .iter()
+        .position(|a| a == "--deployment")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("none") => Deployment::None,
+        Some("half") => {
+            let asns: Vec<Asn> = graph.asns().collect();
+            Deployment::sample(&asns, 0.5, seed)
+        }
+        _ => Deployment::Full,
+    };
+
+    let stubs = graph.stub_asns();
+    let mut rng = moas::sim::rng::from_seed(seed);
+    let origin_set = moas::sim::rng::sample_distinct(&mut rng, &stubs, origins);
+    let candidates: Vec<Asn> = graph.asns().filter(|a| !origin_set.contains(a)).collect();
+    let attacker_set = moas::sim::rng::sample_distinct(&mut rng, &candidates, attackers);
+
+    println!("{topology} topology, {deployment}");
+    println!("origins:   {origin_set:?}");
+    println!("attackers: {attacker_set:?}");
+
+    let config = TrialConfig {
+        seed,
+        ..TrialConfig::new(origin_set, attacker_set, deployment)
+    };
+    let outcome = run_trial(graph, &config);
+    println!(
+        "\n{} of {} remaining ASes adopted a false route ({:.2}%)",
+        outcome.adopted_false,
+        outcome.eligible,
+        100.0 * outcome.adoption_fraction()
+    );
+    println!(
+        "alarms: {} ({} confirmed, {} false); verifier queries: {}; messages: {}",
+        outcome.alarms,
+        outcome.confirmed_alarms,
+        outcome.false_alarms,
+        outcome.verifier_queries,
+        outcome.messages
+    );
+    ExitCode::SUCCESS
+}
+
+fn ablations() -> ExitCode {
+    let graph = PaperTopology::As46.graph();
+
+    let sub = subprefix_ablation(graph, 10, 0xAB1);
+    println!("sub-prefix hijack (full MOAS deployment):");
+    println!(
+        "  control-plane adoption {:.1}%, data-plane traffic capture {:.1}%, alarms {:.1}",
+        sub.subprefix_adoption_pct, sub.subprefix_traffic_capture_pct, sub.subprefix_alarms
+    );
+    println!(
+        "  same attacker on the exact prefix: {:.1}% adoption\n",
+        sub.exact_prefix_adoption_pct
+    );
+
+    println!("community stripping:");
+    for p in stripping_ablation(graph, &[0.0, 0.25, 0.5], 8, 0xAB2) {
+        println!(
+            "  {:>3.0}% strippers: adoption {:.2}%, false alarms {:.1}, confirmed {:.1}",
+            100.0 * p.stripper_fraction,
+            p.mean_adoption_pct,
+            p.mean_false_alarms,
+            p.mean_confirmed_alarms
+        );
+    }
+
+    println!("\nlist forgery strategies:");
+    for p in forgery_ablation(graph, 8, 0xAB3) {
+        println!(
+            "  {:<24} adoption {:.2}%, alarms {:.1}",
+            p.forgery, p.mean_adoption_pct, p.mean_alarms
+        );
+    }
+
+    println!("\nvalley-free policy routing:");
+    for p in valley_free_ablation(8, 0xAB5) {
+        println!(
+            "  {:<12} normal {:.2}% / full MOAS {:.2}% (suppressed ads {:.0})",
+            p.routing, p.normal_adoption_pct, p.moas_adoption_pct, p.mean_suppressed
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn overhead() -> ExitCode {
+    let timeline = generate_timeline(&TimelineConfig::paper().with_days(30));
+    let report = moas_list_overhead(
+        timeline.dumps.last().expect("timeline has dumps"),
+        WireModel::default(),
+    );
+    println!("{report}");
+    println!(
+        "against a 100k-route 2001 table: {:.4}% added",
+        100.0 * report.added_bytes as f64 / (100_000.0 * 36.0)
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,96 @@
+//! # moas — Detection of Invalid Routing Announcements in the Internet
+//!
+//! A full reproduction of the DSN 2002 paper *"Detection of Invalid Routing
+//! Announcement in the Internet"* (Zhao, Pei, Wang, Massey, Mankin, Wu,
+//! Zhang): the MOAS-list mechanism that lets BGP routers distinguish
+//! legitimate Multiple-Origin-AS conflicts from bogus route announcements,
+//! together with every substrate the paper's evaluation depends on — an
+//! AS-level BGP simulator, Route Views-style topology derivation, the §3
+//! MOAS measurement study, and the §5 experiment harness.
+//!
+//! This facade crate re-exports the workspace's public API so applications
+//! can depend on a single crate:
+//!
+//! * [`types`] — BGP primitives: prefixes, AS paths, communities, MOAS lists;
+//! * [`sim`] — the deterministic discrete-event engine;
+//! * [`topology`] — AS graphs, synthetic Internet generation, the §5.1
+//!   derivation pipeline, and the canonical 25/46/63-AS topologies;
+//! * [`bgp`] — the AS-level BGP protocol engine with monitor hooks;
+//! * [`detection`] — the MOAS monitor, verifiers, attacker models and the
+//!   offline monitor (the paper's contribution);
+//! * [`measurement`] — the Figures 4-5 measurement study;
+//! * [`experiments`] — the Figures 9-11 experiment harness and ablations.
+//!
+//! # Quickstart
+//!
+//! Reproduce Figure 3's traffic hijack and stop it with the MOAS list:
+//!
+//! ```
+//! use moas::bgp::Network;
+//! use moas::detection::{MoasMonitor, RegistryVerifier};
+//! use moas::topology::{AsGraph, AsRole};
+//! use moas::types::{Asn, MoasList};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = AsGraph::new();
+//! g.add_as(Asn(4), AsRole::Stub);   // legitimate origin
+//! g.add_as(Asn(52), AsRole::Stub);  // attacker
+//! for t in [1, 2, 3] { g.add_as(Asn(t), AsRole::Transit); }
+//! for (a, b) in [(4, 2), (4, 3), (2, 1), (3, 1), (52, 1)] {
+//!     g.add_link(Asn(a), Asn(b));
+//! }
+//!
+//! let prefix = "208.8.0.0/16".parse()?;
+//! let valid = MoasList::implicit(Asn(4));
+//! let mut registry = RegistryVerifier::new();
+//! registry.register(prefix, valid.clone());
+//!
+//! let mut net = Network::with_monitor(&g, MoasMonitor::full(registry));
+//! net.originate(Asn(4), prefix, Some(valid));
+//! net.originate(Asn(52), prefix, None); // the false origin
+//! net.run()?;
+//!
+//! // AS 1 would adopt AS 52's shorter route under plain BGP; with the MOAS
+//! // list the conflict is detected and the bogus route rejected.
+//! assert_eq!(net.best_origin(Asn(1), prefix), Some(Asn(4)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// BGP primitives ([`bgp_types`]).
+pub mod types {
+    pub use bgp_types::*;
+}
+
+/// Deterministic discrete-event simulation ([`sim_engine`]).
+pub mod sim {
+    pub use sim_engine::*;
+}
+
+/// AS-level topologies ([`as_topology`]).
+pub mod topology {
+    pub use as_topology::*;
+}
+
+/// The AS-level BGP protocol engine ([`bgp_engine`]).
+pub mod bgp {
+    pub use bgp_engine::*;
+}
+
+/// The MOAS-list detection mechanism ([`moas_core`]).
+pub mod detection {
+    pub use moas_core::*;
+}
+
+/// The §3 measurement study ([`route_measurement`]).
+pub mod measurement {
+    pub use route_measurement::*;
+}
+
+/// The §5 experiment harness ([`experiments`] crate).
+pub mod experiments {
+    pub use experiments::*;
+}

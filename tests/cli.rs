@@ -1,0 +1,90 @@
+//! End-to-end tests of the `moas-lab` command-line interface.
+
+use std::process::Command;
+
+fn moas_lab(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_moas-lab"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = moas_lab(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("figures"));
+}
+
+#[test]
+fn no_arguments_defaults_to_help() {
+    let out = moas_lab(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = moas_lab(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn topology_command_lists_structure() {
+    let out = moas_lab(&["topology", "25"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("25-AS topology"));
+    assert!(text.contains("transit ASes"));
+    assert!(text.contains("<->"));
+}
+
+#[test]
+fn topology_command_rejects_bad_size() {
+    let out = moas_lab(&["topology", "99"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn trial_with_and_without_detection() {
+    let none = moas_lab(&["trial", "--attackers", "4", "--deployment", "none", "--seed", "3"]);
+    assert!(none.status.success());
+    let none_text = String::from_utf8_lossy(&none.stdout).to_string();
+    assert!(none_text.contains("adopted a false route"));
+    assert!(none_text.contains("alarms: 0"));
+
+    let full = moas_lab(&["trial", "--attackers", "4", "--deployment", "full", "--seed", "3"]);
+    assert!(full.status.success());
+    let full_text = String::from_utf8_lossy(&full.stdout).to_string();
+    assert!(full_text.contains("confirmed"));
+
+    let pct = |text: &str| -> f64 {
+        let start = text.find('(').unwrap();
+        let end = text[start..].find("%)").unwrap() + start;
+        text[start + 1..end].parse().unwrap()
+    };
+    let none_line = none_text.lines().find(|l| l.contains("adopted")).unwrap();
+    let full_line = full_text.lines().find(|l| l.contains("adopted")).unwrap();
+    assert!(pct(full_line) <= pct(none_line), "{full_line} vs {none_line}");
+}
+
+#[test]
+fn measure_short_period_reports_medians() {
+    let out = moas_lab(&["measure", "--days", "60"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("daily MOAS count"));
+    assert!(text.contains("MOAS cases"));
+}
+
+#[test]
+fn overhead_reports_costs() {
+    let out = moas_lab(&["overhead"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bytes added"));
+    assert!(text.contains("100k-route"));
+}
