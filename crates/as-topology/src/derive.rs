@@ -156,7 +156,10 @@ mod tests {
     use crate::{infer_graph, InternetModel, RouteTable};
 
     fn sample_input(seed: u64) -> AsGraph {
-        let truth = InternetModel::new().transit_count(12).stub_count(80).build(seed);
+        let truth = InternetModel::new()
+            .transit_count(12)
+            .stub_count(80)
+            .build(seed);
         let table = RouteTable::synthesize(&truth, &[0, 4, 8], seed);
         infer_graph(table.entries())
     }
@@ -191,9 +194,15 @@ mod tests {
     #[test]
     fn derivation_is_deterministic_in_seed() {
         let input = sample_input(9);
-        assert_eq!(derive(&input, 0.3, 4).unwrap(), derive(&input, 0.3, 4).unwrap());
+        assert_eq!(
+            derive(&input, 0.3, 4).unwrap(),
+            derive(&input, 0.3, 4).unwrap()
+        );
         // Different sampling seeds generally give different topologies.
-        assert_ne!(derive(&input, 0.3, 4).unwrap(), derive(&input, 0.3, 5).unwrap());
+        assert_ne!(
+            derive(&input, 0.3, 4).unwrap(),
+            derive(&input, 0.3, 5).unwrap()
+        );
     }
 
     #[test]
@@ -224,7 +233,16 @@ mod tests {
         for s in [10, 11, 12] {
             g.add_as(Asn(s), AsRole::Stub);
         }
-        for (a, b) in [(10, 1), (1, 2), (2, 3), (3, 11), (3, 4), (4, 5), (5, 3), (4, 12)] {
+        for (a, b) in [
+            (10, 1),
+            (1, 2),
+            (2, 3),
+            (3, 11),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (4, 12),
+        ] {
             g.add_link(Asn(a), Asn(b));
         }
         // Select only stub 12: keep = {12, 4}; transit 4 has 1 peer -> pruned;

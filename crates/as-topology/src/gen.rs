@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn counts_and_roles() {
-        let g = InternetModel::new().transit_count(12).stub_count(34).build(1);
+        let g = InternetModel::new()
+            .transit_count(12)
+            .stub_count(34)
+            .build(1);
         assert_eq!(g.transit_asns().len(), 12);
         assert_eq!(g.stub_asns().len(), 34);
         assert_eq!(g.len(), 46);
@@ -222,14 +225,20 @@ mod tests {
     #[test]
     fn always_connected() {
         for seed in 0..10 {
-            let g = InternetModel::new().transit_count(8).stub_count(40).build(seed);
+            let g = InternetModel::new()
+                .transit_count(8)
+                .stub_count(40)
+                .build(seed);
             assert!(g.is_connected(), "seed {seed} produced disconnected graph");
         }
     }
 
     #[test]
     fn stubs_attach_only_to_transit() {
-        let g = InternetModel::new().transit_count(6).stub_count(30).build(2);
+        let g = InternetModel::new()
+            .transit_count(6)
+            .stub_count(30)
+            .build(2);
         for stub in g.stub_asns() {
             for peer in g.neighbors(stub) {
                 assert_eq!(g.role(peer), Some(AsRole::Transit));
@@ -262,7 +271,10 @@ mod tests {
 
     #[test]
     fn single_transit_degenerate_case() {
-        let g = InternetModel::new().transit_count(1).stub_count(10).build(1);
+        let g = InternetModel::new()
+            .transit_count(1)
+            .stub_count(10)
+            .build(1);
         assert!(g.is_connected());
         assert_eq!(g.transit_asns().len(), 1);
     }

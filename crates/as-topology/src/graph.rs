@@ -11,7 +11,6 @@ use bgp_types::Asn;
 /// networks at the edges of the Internet such as commercial companies and
 /// universities."
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AsRole {
     /// Carries traffic between other ASes (appears mid-path).
     Transit,
@@ -46,7 +45,6 @@ impl fmt::Display for AsRole {
 /// assert!(g.is_connected());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AsGraph {
     adjacency: BTreeMap<Asn, BTreeSet<Asn>>,
     roles: BTreeMap<Asn, AsRole>,
@@ -382,7 +380,10 @@ mod tests {
     fn shortest_path_prefers_fewer_hops() {
         let mut g = line(4);
         g.add_link(Asn(1), Asn(4));
-        assert_eq!(g.shortest_path(Asn(1), Asn(4)).unwrap(), vec![Asn(1), Asn(4)]);
+        assert_eq!(
+            g.shortest_path(Asn(1), Asn(4)).unwrap(),
+            vec![Asn(1), Asn(4)]
+        );
     }
 
     #[test]

@@ -87,10 +87,7 @@ mod tests {
     #[test]
     fn transit_marking_is_sticky_across_rows() {
         // AS 3 is an endpoint in one path but mid-path in another: transit.
-        let g = infer_graph(&[
-            entry("10.0.0.0/16", "1 2 3"),
-            entry("10.1.0.0/16", "2 3 4"),
-        ]);
+        let g = infer_graph(&[entry("10.0.0.0/16", "1 2 3"), entry("10.1.0.0/16", "2 3 4")]);
         assert_eq!(g.role(Asn(3)), Some(AsRole::Transit));
     }
 
@@ -111,7 +108,10 @@ mod tests {
 
     #[test]
     fn inference_recovers_used_links_of_ground_truth() {
-        let truth = InternetModel::new().transit_count(10).stub_count(60).build(11);
+        let truth = InternetModel::new()
+            .transit_count(10)
+            .stub_count(60)
+            .build(11);
         let table = RouteTable::synthesize(&truth, &[0, 3, 6], 11);
         let inferred = infer_graph(table.entries());
         // Every inferred link must exist in ground truth (inference is sound).

@@ -23,7 +23,6 @@ use crate::AsGraph;
 /// assert!(m.diameter >= 2);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphMetrics {
     /// Number of ASes.
     pub node_count: usize,
@@ -89,8 +88,8 @@ fn diameter(graph: &AsGraph) -> usize {
             let d = dist[&asn];
             best = best.max(d);
             for peer in graph.neighbors(asn) {
-                if !dist.contains_key(&peer) {
-                    dist.insert(peer, d + 1);
+                if let std::collections::btree_map::Entry::Vacant(entry) = dist.entry(peer) {
+                    entry.insert(d + 1);
                     queue.push_back(peer);
                 }
             }

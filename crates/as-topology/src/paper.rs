@@ -103,7 +103,9 @@ fn derive_all_exact() -> [AsGraph; 3] {
             for seed in (seed_block * 10)..(seed_block * 10 + 10) {
                 let seed =
                     sim_engine::rng::derive_seed(BASE_SEED, seed * 1000 + (pct * 100.0) as u64);
-                let Ok(g) = derive(source, pct, seed) else { continue };
+                let Ok(g) = derive(source, pct, seed) else {
+                    continue;
+                };
                 if let Some(slot) = targets.iter().position(|&t| t == g.len()) {
                     if found[slot].is_none() && g.is_connected() {
                         found[slot] = Some(g);

@@ -18,7 +18,6 @@ use crate::{AsGraph, RouteTableEntry};
 
 /// The kind of a peering link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LinkKind {
     /// A transit (customer-provider) link; the payload is the **provider**.
     Transit {
@@ -67,7 +66,6 @@ impl fmt::Display for Relationship {
 /// assert_eq!(rels.relationship(Asn(701), Asn(1239)), Some(Relationship::Peer));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AsRelationships {
     links: BTreeMap<(Asn, Asn), LinkKind>,
 }
@@ -90,8 +88,10 @@ impl AsRelationships {
     /// Records a transit link: `provider` sells transit to `customer`.
     /// Replaces any previous annotation of the link.
     pub fn add_transit(&mut self, provider: Asn, customer: Asn) {
-        self.links
-            .insert(Self::key(provider, customer), LinkKind::Transit { provider });
+        self.links.insert(
+            Self::key(provider, customer),
+            LinkKind::Transit { provider },
+        );
     }
 
     /// Records a settlement-free peering. Replaces any previous annotation.
@@ -233,9 +233,18 @@ mod tests {
     fn relationship_lookup_both_directions() {
         let mut rels = AsRelationships::new();
         rels.add_transit(Asn(1), Asn(2));
-        assert_eq!(rels.kind(Asn(2), Asn(1)), Some(LinkKind::Transit { provider: Asn(1) }));
-        assert_eq!(rels.relationship(Asn(2), Asn(1)), Some(Relationship::Provider));
-        assert_eq!(rels.relationship(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert_eq!(
+            rels.kind(Asn(2), Asn(1)),
+            Some(LinkKind::Transit { provider: Asn(1) })
+        );
+        assert_eq!(
+            rels.relationship(Asn(2), Asn(1)),
+            Some(Relationship::Provider)
+        );
+        assert_eq!(
+            rels.relationship(Asn(1), Asn(2)),
+            Some(Relationship::Customer)
+        );
         assert_eq!(rels.relationship(Asn(1), Asn(3)), None);
     }
 
@@ -258,13 +267,18 @@ mod tests {
         b.add_transit(Asn(1), Asn(3));
         assert!((a.agreement_with(&b) - 0.5).abs() < 1e-9);
         assert_eq!(a.agreement_with(&a), 1.0);
-        assert_eq!(AsRelationships::new().agreement_with(&AsRelationships::new()), 1.0);
+        assert_eq!(
+            AsRelationships::new().agreement_with(&AsRelationships::new()),
+            1.0
+        );
     }
 
     #[test]
     fn inference_recovers_most_ground_truth_transit_links() {
-        let (truth_graph, truth_rels) =
-            InternetModel::new().transit_count(20).stub_count(120).build_with_relationships(5);
+        let (truth_graph, truth_rels) = InternetModel::new()
+            .transit_count(20)
+            .stub_count(120)
+            .build_with_relationships(5);
         let table = RouteTable::synthesize(&truth_graph, &[0, 5, 10, 15], 5);
         let observed = infer_graph(table.entries());
         let inferred = infer_relationships(&observed, table.entries(), 1.5);

@@ -12,7 +12,6 @@ use crate::AsGraph;
 /// One `(prefix, AS path)` row of a BGP routing table, as archived by the
 /// Oregon Route Views server.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RouteTableEntry {
     /// The destination prefix.
     pub prefix: Ipv4Prefix,
@@ -39,7 +38,6 @@ impl fmt::Display for RouteTableEntry {
 /// assert!(!table.is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RouteTable {
     entries: Vec<RouteTableEntry>,
 }
@@ -181,8 +179,8 @@ fn shortest_path_jittered<R: Rng>(
     to: Asn,
     rng: &mut R,
 ) -> Option<Vec<Asn>> {
-    use std::collections::{BTreeMap, VecDeque};
     use crate::AsRole;
+    use std::collections::{BTreeMap, VecDeque};
     if !graph.contains(from) || !graph.contains(to) {
         return None;
     }
@@ -237,7 +235,10 @@ mod tests {
             entry("10.0.0.0/16", "3 226"),
         ]);
         let origins = table.origins_by_prefix();
-        assert_eq!(origins[&"10.0.0.0/16".parse().unwrap()], vec![Asn(4), Asn(226)]);
+        assert_eq!(
+            origins[&"10.0.0.0/16".parse().unwrap()],
+            vec![Asn(4), Asn(226)]
+        );
     }
 
     #[test]
@@ -253,7 +254,10 @@ mod tests {
 
     #[test]
     fn synthesized_table_covers_all_stubs() {
-        let truth = InternetModel::new().transit_count(8).stub_count(40).build(3);
+        let truth = InternetModel::new()
+            .transit_count(8)
+            .stub_count(40)
+            .build(3);
         let table = RouteTable::synthesize(&truth, &[0, 1, 2], 3);
         // Each vantage sees every stub (the generator guarantees connectivity).
         assert_eq!(table.len(), 3 * truth.stub_asns().len());
@@ -263,7 +267,10 @@ mod tests {
 
     #[test]
     fn synthesized_paths_end_at_origin_stub() {
-        let truth = InternetModel::new().transit_count(6).stub_count(20).build(9);
+        let truth = InternetModel::new()
+            .transit_count(6)
+            .stub_count(20)
+            .build(9);
         let table = RouteTable::synthesize(&truth, &[0], 9);
         for row in table.entries() {
             let origin = row.path.origin().unwrap();

@@ -18,7 +18,9 @@ fn regenerate_tables() -> String {
     let mut out = String::new();
 
     let sub = subprefix_ablation(graph, 10, 0xAB1);
-    out.push_str("## ablation-subprefix — §4.3 limitation: more-specific prefix hijack (full deployment)\n");
+    out.push_str(
+        "## ablation-subprefix — §4.3 limitation: more-specific prefix hijack (full deployment)\n",
+    );
     out.push_str(&format!(
         "   sub-prefix hijack adoption: {:>6.1}%   alarms: {:.1}  (detection blind, as §4.3 predicts)\n",
         sub.subprefix_adoption_pct, sub.subprefix_alarms

@@ -37,10 +37,14 @@ fn bench_fig11(c: &mut Criterion) {
     group.sample_size(20);
     for fraction in [0.0, 0.5, 1.0] {
         let deployment = Deployment::sample(&asns, fraction, 42);
-        group.bench_function(format!("trial_63as_deploy_{:.0}pct", fraction * 100.0), |b| {
-            let config = TrialConfig::new(origins.clone(), attackers.clone(), deployment.clone());
-            b.iter(|| run_trial(graph, &config));
-        });
+        group.bench_function(
+            format!("trial_63as_deploy_{:.0}pct", fraction * 100.0),
+            |b| {
+                let config =
+                    TrialConfig::new(origins.clone(), attackers.clone(), deployment.clone());
+                b.iter(|| run_trial(graph, &config));
+            },
+        );
     }
     group.finish();
 }

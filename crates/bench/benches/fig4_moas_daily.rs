@@ -16,7 +16,9 @@ fn regenerate_figure() -> String {
 
     let mut out = String::new();
     out.push_str("## fig4 — Daily MOAS conflict counts (1279-day synthetic Route Views period)\n");
-    out.push_str("   day window        median    min    max   (paper: median 683 in 1998 -> 1294 in 2001)\n");
+    out.push_str(
+        "   day window        median    min    max   (paper: median 683 in 1998 -> 1294 in 2001)\n",
+    );
     for (label, range) in [
         ("1997-11..1998-11", 0..365usize),
         ("1998-11..1999-11", 365..730),

@@ -73,7 +73,10 @@ fn bench_topology_pipeline(c: &mut Criterion) {
 }
 
 fn bench_convergence(c: &mut Criterion) {
-    let graph = InternetModel::new().transit_count(15).stub_count(85).build(3);
+    let graph = InternetModel::new()
+        .transit_count(15)
+        .stub_count(85)
+        .build(3);
     let victim = graph.stub_asns()[0];
     let prefix = as_topology::prefix_for_asn(victim);
     c.bench_function("bgp_convergence_100as_single_origin", |b| {

@@ -223,7 +223,10 @@ mod tests {
         net.originate(Asn(4), p(), None);
         net.run().unwrap();
         let plane = ForwardingPlane::snapshot(&net);
-        let outcome = plane.trace(Asn(1), "9.9.9.9/32".parse::<Ipv4Prefix>().unwrap().network());
+        let outcome = plane.trace(
+            Asn(1),
+            "9.9.9.9/32".parse::<Ipv4Prefix>().unwrap().network(),
+        );
         assert_eq!(outcome, ForwardOutcome::Blackholed { path: vec![Asn(1)] });
     }
 

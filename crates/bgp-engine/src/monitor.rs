@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn reject_and_evict_builders() {
-        let d = ImportDecision::reject().with_eviction(Asn(9)).with_eviction(Asn(7));
+        let d = ImportDecision::reject()
+            .with_eviction(Asn(9))
+            .with_eviction(Asn(7));
         assert!(d.reject);
         assert_eq!(d.evict_peers, vec![Asn(9), Asn(7)]);
     }
@@ -124,6 +126,9 @@ mod tests {
             existing: &[],
         };
         assert_eq!(m.on_import(&ctx), ImportDecision::accept());
-        assert_eq!(m.on_export(Asn(1), Asn(2), None, route.clone()), Some(route));
+        assert_eq!(
+            m.on_export(Asn(1), Asn(2), None, route.clone()),
+            Some(route)
+        );
     }
 }

@@ -15,11 +15,7 @@ use crate::router::Router;
 #[derive(Debug, Clone)]
 enum NetEvent {
     /// A message in flight between two peering routers.
-    Deliver {
-        from: Asn,
-        to: Asn,
-        update: Update,
-    },
+    Deliver { from: Asn, to: Asn, update: Update },
     /// An MRAI window for a directed session expired: flush pending updates.
     MraiFlush { from: Asn, to: Asn },
 }
@@ -209,7 +205,10 @@ impl<M: RouteMonitor> Network<M> {
     ///
     /// Panics if `asn` is not in the network.
     pub fn originate_route(&mut self, asn: Asn, route: Route) {
-        let router = self.routers.get_mut(&asn).expect("originating AS not in network");
+        let router = self
+            .routers
+            .get_mut(&asn)
+            .expect("originating AS not in network");
         let updates = router.originate(route, &mut self.monitor);
         self.enqueue(asn, updates);
     }
@@ -220,7 +219,10 @@ impl<M: RouteMonitor> Network<M> {
     ///
     /// Panics if `asn` is not in the network.
     pub fn withdraw(&mut self, asn: Asn, prefix: Ipv4Prefix) {
-        let router = self.routers.get_mut(&asn).expect("withdrawing AS not in network");
+        let router = self
+            .routers
+            .get_mut(&asn)
+            .expect("withdrawing AS not in network");
         let updates = router.withdraw_origin(prefix, &mut self.monitor);
         self.enqueue(asn, updates);
     }
@@ -268,10 +270,7 @@ impl<M: RouteMonitor> Network<M> {
                     self.enqueue(to, updates);
                 }
                 NetEvent::MraiFlush { from, to } => {
-                    let pending = self
-                        .mrai_pending
-                        .remove(&(from, to))
-                        .unwrap_or_default();
+                    let pending = self.mrai_pending.remove(&(from, to)).unwrap_or_default();
                     if pending.is_empty() {
                         continue;
                     }
@@ -360,7 +359,11 @@ impl<M: RouteMonitor> Network<M> {
                 continue;
             }
             let now = self.queue.now();
-            let gate = self.mrai_gate.get(&(from, to)).copied().unwrap_or(SimTime::ZERO);
+            let gate = self
+                .mrai_gate
+                .get(&(from, to))
+                .copied()
+                .unwrap_or(SimTime::ZERO);
             if now >= gate && !self.mrai_pending.contains_key(&(from, to)) {
                 // Window open: send immediately and start a new window.
                 self.mrai_gate.insert((from, to), now + self.mrai);
@@ -376,7 +379,8 @@ impl<M: RouteMonitor> Network<M> {
                 // Schedule the flush the first time the batch forms.
                 if pending.len() == 1 {
                     let wait = gate.ticks().saturating_sub(now.ticks()).max(1);
-                    self.queue.schedule_after(wait, NetEvent::MraiFlush { from, to });
+                    self.queue
+                        .schedule_after(wait, NetEvent::MraiFlush { from, to });
                 }
             }
         }
@@ -415,12 +419,18 @@ mod tests {
             assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(4)), "AS {asn}");
         }
         // AS X learned via the lower-numbered peer on the tie.
-        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "2 4");
+        assert_eq!(
+            net.best_route(Asn(1), p()).unwrap().as_path().to_string(),
+            "2 4"
+        );
     }
 
     #[test]
     fn convergence_on_generated_internet() {
-        let graph = InternetModel::new().transit_count(10).stub_count(50).build(7);
+        let graph = InternetModel::new()
+            .transit_count(10)
+            .stub_count(50)
+            .build(7);
         let victim = graph.stub_asns()[3];
         let prefix = as_topology::prefix_for_asn(victim);
         let mut net = Network::with_monitor_and_jitter(&graph, NoopMonitor, 7, 5);
@@ -468,7 +478,10 @@ mod tests {
         // Every AS reaches one of the two legitimate origins.
         for asn in [1, 2, 3, 4, 226] {
             let origin = net.best_origin(Asn(asn), p()).unwrap();
-            assert!(origin == Asn(4) || origin == Asn(226), "AS {asn} -> {origin}");
+            assert!(
+                origin == Asn(4) || origin == Asn(226),
+                "AS {asn} -> {origin}"
+            );
         }
         // AS 3 peers with both origins directly; the deterministic tiebreak
         // picks the lower peer ASN. AS 226 itself keeps its local route.
@@ -496,7 +509,10 @@ mod tests {
 
     #[test]
     fn run_is_deterministic() {
-        let graph = InternetModel::new().transit_count(8).stub_count(30).build(3);
+        let graph = InternetModel::new()
+            .transit_count(8)
+            .stub_count(30)
+            .build(3);
         let victim = graph.stub_asns()[0];
         let prefix = as_topology::prefix_for_asn(victim);
         let run = |seed| {
@@ -512,7 +528,10 @@ mod tests {
 
     #[test]
     fn event_budget_is_enforced() {
-        let graph = InternetModel::new().transit_count(10).stub_count(50).build(1);
+        let graph = InternetModel::new()
+            .transit_count(10)
+            .stub_count(50)
+            .build(1);
         let victim = graph.stub_asns()[0];
         let mut net = Network::new(&graph);
         net.originate(victim, as_topology::prefix_for_asn(victim), None);
@@ -545,11 +564,17 @@ mod tests {
         let mut net = Network::new(&figure1_graph());
         net.originate(Asn(4), p(), None);
         net.run().unwrap();
-        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "2 4");
+        assert_eq!(
+            net.best_route(Asn(1), p()).unwrap().as_path().to_string(),
+            "2 4"
+        );
         net.fail_link(Asn(1), Asn(2));
         net.run().unwrap();
         // AS 1 falls back to the path via AS 3.
-        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "3 4");
+        assert_eq!(
+            net.best_route(Asn(1), p()).unwrap().as_path().to_string(),
+            "3 4"
+        );
         assert!(net.link_is_down(Asn(2), Asn(1)));
     }
 
@@ -614,12 +639,18 @@ mod tests {
         net.run().unwrap();
         assert!(net.stats().dropped_on_failed_links > 0);
         // Reachability via AS 3 only.
-        assert_eq!(net.best_route(Asn(1), p()).unwrap().as_path().to_string(), "3 4");
+        assert_eq!(
+            net.best_route(Asn(1), p()).unwrap().as_path().to_string(),
+            "3 4"
+        );
     }
 
     #[test]
     fn mrai_preserves_outcome_and_coalesces_churn() {
-        let graph = InternetModel::new().transit_count(10).stub_count(40).build(21);
+        let graph = InternetModel::new()
+            .transit_count(10)
+            .stub_count(40)
+            .build(21);
         let victim = graph.stub_asns()[0];
         let prefix = as_topology::prefix_for_asn(victim);
 
@@ -640,7 +671,10 @@ mod tests {
 
         let (plain_origins, plain_stats) = run(0);
         let (mrai_origins, mrai_stats) = run(50);
-        assert_eq!(plain_origins, mrai_origins, "MRAI must not change the outcome");
+        assert_eq!(
+            plain_origins, mrai_origins,
+            "MRAI must not change the outcome"
+        );
         assert_eq!(plain_stats.mrai_coalesced, 0);
         assert!(
             mrai_stats.total_messages() <= plain_stats.total_messages(),

@@ -389,15 +389,17 @@ impl Router {
             if Some(peer) == entry.learned_from {
                 continue;
             }
-            match monitor.on_export(self.asn, peer, entry.learned_from, outbound.clone()) {
-                Some(route) => {
-                    sent_to.insert(peer);
-                    updates.push((peer, Update::announce(route)));
-                }
-                None => {}
+            if let Some(route) =
+                monitor.on_export(self.asn, peer, entry.learned_from, outbound.clone())
+            {
+                sent_to.insert(peer);
+                updates.push((peer, Update::announce(route)));
             }
         }
-        let previously = self.advertised.insert(prefix, sent_to.clone()).unwrap_or_default();
+        let previously = self
+            .advertised
+            .insert(prefix, sent_to.clone())
+            .unwrap_or_default();
         for peer in previously.difference(&sent_to) {
             updates.push((*peer, Update::withdraw(prefix)));
         }
@@ -495,8 +497,12 @@ mod tests {
         // deterministic tiebreak picks the lowest peer ASN.
         let mut r = router();
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        let via3 = announced(Asn(8), prefix()).propagated_by(Asn(7)).propagated_by(Asn(3));
-        let via4 = announced(Asn(8), prefix()).propagated_by(Asn(7)).propagated_by(Asn(4));
+        let via3 = announced(Asn(8), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(3));
+        let via4 = announced(Asn(8), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(4));
         r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
         r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
         r.handle_update(Asn(4), Update::announce(via4), &mut NoopMonitor);
@@ -532,7 +538,9 @@ mod tests {
     fn withdrawal_falls_back_to_next_best() {
         let mut r = router();
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        let via3 = announced(Asn(8), prefix()).propagated_by(Asn(7)).propagated_by(Asn(3));
+        let via3 = announced(Asn(8), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(3));
         r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
         r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
         assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
@@ -562,7 +570,10 @@ mod tests {
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
         r.handle_update(Asn(2), Update::announce(via2.clone()), &mut NoopMonitor);
         let updates = r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
-        assert!(updates.is_empty(), "implicit replacement with identical route must not re-export");
+        assert!(
+            updates.is_empty(),
+            "implicit replacement with identical route must not re-export"
+        );
     }
 
     #[test]
@@ -624,7 +635,9 @@ mod tests {
         let false_route = announced(Asn(66), prefix()).propagated_by(Asn(2));
         r.handle_update(Asn(2), Update::announce(false_route), &mut EvictTwo);
         assert_eq!(r.best_origin(prefix()), Some(Asn(66)));
-        let valid = announced(Asn(9), prefix()).propagated_by(Asn(7)).propagated_by(Asn(3));
+        let valid = announced(Asn(9), prefix())
+            .propagated_by(Asn(7))
+            .propagated_by(Asn(3));
         r.handle_update(Asn(3), Update::announce(valid), &mut EvictTwo);
         assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
         assert_eq!(r.adj_rib_in(prefix()).count(), 1);

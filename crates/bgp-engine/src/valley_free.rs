@@ -203,7 +203,10 @@ mod tests {
             assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(2)), "AS {asn}");
         }
         // AS 5's route came over its own peering with AS 2, not via AS 1.
-        assert_eq!(net.router(Asn(5)).unwrap().best_learned_from(p()), Some(Asn(2)));
+        assert_eq!(
+            net.router(Asn(5)).unwrap().best_learned_from(p()),
+            Some(Asn(2))
+        );
     }
 
     #[test]
@@ -219,8 +222,14 @@ mod tests {
         net.run().unwrap();
         assert_eq!(net.best_origin(Asn(2), p()), Some(Asn(4)));
         assert_eq!(net.best_origin(Asn(1), p()), Some(Asn(4)));
-        assert!(net.best_route(Asn(5), p()).is_none(), "valley route leaked to AS 5");
-        assert!(net.best_route(Asn(6), p()).is_none(), "valley route leaked to AS 6");
+        assert!(
+            net.best_route(Asn(5), p()).is_none(),
+            "valley route leaked to AS 5"
+        );
+        assert!(
+            net.best_route(Asn(6), p()).is_none(),
+            "valley route leaked to AS 6"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@ use crate::Asn;
 /// case of route aggregation, an element in the AS path may include a set of
 /// ASes").
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AsPathSegment {
     /// An ordered `AS_SEQUENCE` of traversed ASes, most recent first.
     Sequence(Vec<Asn>),
@@ -58,7 +57,6 @@ impl AsPathSegment {
 /// assert!(path.contains(Asn(4)));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AsPath {
     segments: Vec<AsPathSegment>,
 }
@@ -163,9 +161,7 @@ impl AsPath {
     pub fn prepend(&mut self, asn: Asn) {
         match self.segments.first_mut() {
             Some(AsPathSegment::Sequence(v)) => v.insert(0, asn),
-            _ => self
-                .segments
-                .insert(0, AsPathSegment::Sequence(vec![asn])),
+            _ => self.segments.insert(0, AsPathSegment::Sequence(vec![asn])),
         }
     }
 
@@ -296,7 +292,9 @@ impl FromStr for AsPath {
 
     /// Parses the looking-glass format produced by [`fmt::Display`].
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseAsPathError { input: s.to_owned() };
+        let err = || ParseAsPathError {
+            input: s.to_owned(),
+        };
         let mut segments = Vec::new();
         let mut seq: Vec<Asn> = Vec::new();
         let mut rest = s.trim();

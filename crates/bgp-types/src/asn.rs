@@ -27,8 +27,6 @@ use crate::error::ParseAsnError;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct Asn(pub u32);
 
 impl Asn {
@@ -94,10 +92,9 @@ impl FromStr for Asn {
     /// Parses either a bare number (`"1239"`) or the display form (`"AS1239"`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let digits = s.strip_prefix("AS").unwrap_or(s);
-        digits
-            .parse::<u32>()
-            .map(Asn)
-            .map_err(|_| ParseAsnError { input: s.to_owned() })
+        digits.parse::<u32>().map(Asn).map_err(|_| ParseAsnError {
+            input: s.to_owned(),
+        })
     }
 }
 

@@ -32,7 +32,6 @@ pub const MOAS_LIST_VALUE: u16 = 0x4d4c; // "ML"
 /// assert_eq!(c.to_string(), format!("226:{}", MOAS_LIST_VALUE));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Community(pub u32);
 
 impl Community {

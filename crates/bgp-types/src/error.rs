@@ -65,7 +65,9 @@ mod tests {
         assert!(e.to_string().contains("nope"));
         let e = ParsePrefixError::LengthOutOfRange(40);
         assert!(e.to_string().contains("40"));
-        let e = ParseAsPathError { input: "a b".into() };
+        let e = ParseAsPathError {
+            input: "a b".into(),
+        };
         assert!(e.to_string().contains("a b"));
     }
 

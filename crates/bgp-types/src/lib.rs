@@ -32,8 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod asn;
 mod as_path;
+mod asn;
 mod community;
 mod error;
 mod moas_list;
@@ -42,10 +42,10 @@ mod route;
 mod trie;
 mod update;
 
-pub use asn::Asn;
 pub use as_path::{AsPath, AsPathSegment};
+pub use asn::Asn;
 pub use community::{Community, MOAS_LIST_VALUE};
-pub use error::{ParseAsnError, ParseAsPathError, ParsePrefixError};
+pub use error::{ParseAsPathError, ParseAsnError, ParsePrefixError};
 pub use moas_list::MoasList;
 pub use prefix::Ipv4Prefix;
 pub use route::{Route, RouteOrigin};

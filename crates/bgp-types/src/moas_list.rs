@@ -30,7 +30,6 @@ use crate::{Asn, Community};
 /// assert_ne!(from_as1, forged); // inconsistency ⇒ alarm
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MoasList {
     members: BTreeSet<Asn>,
 }
@@ -105,7 +104,10 @@ impl MoasList {
     /// round-trip. Real origin ASes can never carry that number.
     #[must_use]
     pub fn to_communities(&self) -> Vec<Community> {
-        self.members.iter().map(|&a| Community::moas_member(a)).collect()
+        self.members
+            .iter()
+            .map(|&a| Community::moas_member(a))
+            .collect()
     }
 
     /// Decodes a MOAS list from the MOAS-member communities attached to a

@@ -28,7 +28,6 @@ use crate::error::ParsePrefixError;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ipv4Prefix {
     addr: u32,
     len: u8,
@@ -81,6 +80,9 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length in bits.
+    // `len` is the CIDR mask width, not a collection size; an `is_empty`
+    // counterpart would be meaningless.
+    #[allow(clippy::len_without_is_empty)]
     #[must_use]
     pub fn len(self) -> u8 {
         self.len

@@ -7,7 +7,6 @@ use crate::{AsPath, Asn, Community, Ipv4Prefix, MoasList};
 /// The value of the BGP `ORIGIN` attribute: how the originating AS learned
 /// the prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RouteOrigin {
     /// Learned from an interior gateway protocol (`ORIGIN=IGP`).
     #[default]
@@ -52,7 +51,6 @@ impl fmt::Display for RouteOrigin {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Route {
     prefix: Ipv4Prefix,
     as_path: AsPath,

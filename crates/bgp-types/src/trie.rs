@@ -274,7 +274,11 @@ mod tests {
 
     #[test]
     fn iter_yields_all_entries() {
-        let entries = [(p("0.0.0.0/0"), 0), (p("10.0.0.0/8"), 1), (p("10.128.0.0/9"), 2)];
+        let entries = [
+            (p("0.0.0.0/0"), 0),
+            (p("10.0.0.0/8"), 1),
+            (p("10.128.0.0/9"), 2),
+        ];
         let t: PrefixTrie<i32> = entries.into_iter().collect();
         let got: Vec<(Ipv4Prefix, i32)> = t.iter().map(|(k, &v)| (k, v)).collect();
         assert_eq!(got.len(), 3);

@@ -26,7 +26,6 @@ use crate::{Ipv4Prefix, Route};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Update {
     /// Announce (or replace) a route to the contained prefix.
     Announce(Route),

@@ -1,0 +1,774 @@
+//! RFC 4271 BGP UPDATE messages, with RFC 1997 communities.
+//!
+//! The encoder and decoder cover exactly the attributes the MOAS study
+//! needs: `ORIGIN`, `AS_PATH` (2- and 4-octet), `NEXT_HOP`, `LOCAL_PREF`,
+//! and `COMMUNITIES` — the attribute that carries the paper's MOAS list
+//! (one `asn:0x4d4c` community per list member, see
+//! [`bgp_types::Community::moas_member`]).
+//!
+//! Decoding is panic-free on arbitrary bytes: every length field is
+//! bounds-checked and failures come back as [`WireError`] with the byte
+//! offset of the problem.
+
+use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, Route, RouteOrigin, Update};
+
+use crate::error::{WireError, WireErrorKind};
+
+/// BGP message type code for UPDATE.
+pub const MESSAGE_TYPE_UPDATE: u8 = 2;
+/// Size of the fixed BGP message header (marker + length + type).
+pub const HEADER_LEN: usize = 19;
+/// Largest BGP message RFC 4271 allows.
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_COMMUNITIES: u8 = 8;
+
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXTENDED_LENGTH: u8 = 0x10;
+
+const SEGMENT_AS_SET: u8 = 1;
+const SEGMENT_AS_SEQUENCE: u8 = 2;
+
+/// How ASNs are laid out inside `AS_PATH`.
+///
+/// Classic BGP carries 2-octet ASNs; RFC 6793 speakers carry 4 octets
+/// (`AS4_PATH` semantics folded into `AS_PATH`, as MRT's `AS4` subtypes do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AsnEncoding {
+    /// 2-octet ASNs; encoding an ASN above 65535 fails with
+    /// [`WireErrorKind::AsnTooWide`].
+    TwoOctet,
+    /// 4-octet ASNs.
+    #[default]
+    FourOctet,
+}
+
+/// The path attributes this crate round-trips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathAttributes {
+    /// `ORIGIN` (type 1).
+    pub origin: RouteOrigin,
+    /// `AS_PATH` (type 2).
+    pub as_path: AsPath,
+    /// `NEXT_HOP` (type 3), as a raw IPv4 address. The simulator routes at
+    /// AS granularity and has no router addresses, so exports synthesize
+    /// one; see [`PathAttributes::synthetic_next_hop`].
+    pub next_hop: u32,
+    /// `LOCAL_PREF` (type 5), when present.
+    pub local_pref: Option<u32>,
+    /// `COMMUNITIES` (type 8); carries the MOAS list members.
+    pub communities: Vec<Community>,
+}
+
+impl PathAttributes {
+    /// Captures a simulator route's attributes.
+    #[must_use]
+    pub fn from_route(route: &Route) -> Self {
+        PathAttributes {
+            origin: route.origin(),
+            as_path: route.as_path().clone(),
+            next_hop: Self::synthetic_next_hop(route.as_path().first()),
+            local_pref: Some(route.local_pref()),
+            communities: route.communities().to_vec(),
+        }
+    }
+
+    /// The next-hop address exports fabricate for a route learned from
+    /// `neighbor`: `10.x.y.z` built from the neighbor's ASN, or `10.0.0.1`
+    /// for locally originated routes. Purely cosmetic — the import path
+    /// never reads it back.
+    #[must_use]
+    pub fn synthetic_next_hop(neighbor: Option<Asn>) -> u32 {
+        match neighbor {
+            Some(asn) => (10 << 24) | (asn.0 & 0x00FF_FFFF),
+            None => (10 << 24) | 1,
+        }
+    }
+
+    /// Rebuilds a simulator route for `prefix` from these attributes.
+    #[must_use]
+    pub fn to_route(&self, prefix: Ipv4Prefix) -> Route {
+        let mut route = Route::new(prefix, self.as_path.clone()).with_origin(self.origin);
+        if let Some(lp) = self.local_pref {
+            route = route.with_local_pref(lp);
+        }
+        for &community in &self.communities {
+            route = route.with_community(community);
+        }
+        route
+    }
+}
+
+/// A BGP UPDATE message: withdrawals, shared path attributes, and the
+/// prefixes (NLRI) announced with them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateMessage {
+    /// Withdrawn routes.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Attributes shared by every announced prefix. `None` for pure
+    /// withdrawals; mandatory whenever `nlri` is non-empty.
+    pub attrs: Option<PathAttributes>,
+    /// Announced prefixes.
+    pub nlri: Vec<Ipv4Prefix>,
+}
+
+impl UpdateMessage {
+    /// An UPDATE announcing one simulator route.
+    #[must_use]
+    pub fn announce(route: &Route) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(PathAttributes::from_route(route)),
+            nlri: vec![route.prefix()],
+        }
+    }
+
+    /// An UPDATE withdrawing one prefix.
+    #[must_use]
+    pub fn withdraw(prefix: Ipv4Prefix) -> Self {
+        UpdateMessage {
+            withdrawn: vec![prefix],
+            attrs: None,
+            nlri: Vec::new(),
+        }
+    }
+
+    /// An UPDATE for a simulator [`Update`].
+    #[must_use]
+    pub fn from_update(update: &Update) -> Self {
+        match update {
+            Update::Announce(route) => UpdateMessage::announce(route),
+            Update::Withdraw(prefix) => UpdateMessage::withdraw(*prefix),
+        }
+    }
+
+    /// Expands the message back into simulator [`Update`]s (withdrawals
+    /// first, then one announcement per NLRI prefix, as RFC 4271 orders the
+    /// message body).
+    #[must_use]
+    pub fn updates(&self) -> Vec<Update> {
+        let mut out: Vec<Update> = self
+            .withdrawn
+            .iter()
+            .copied()
+            .map(Update::withdraw)
+            .collect();
+        if let Some(attrs) = &self.attrs {
+            out.extend(
+                self.nlri
+                    .iter()
+                    .map(|&p| Update::announce(attrs.to_route(p))),
+            );
+        }
+        out
+    }
+
+    /// Encodes the full message, marker and header included.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`WireErrorKind::AsnTooWide`] if a path ASN does not fit
+    /// `encoding`, [`WireErrorKind::MissingAttribute`] if NLRI is present
+    /// without attributes, or [`WireErrorKind::BadMessageLength`] if the
+    /// result would exceed RFC 4271's 4096-byte cap.
+    pub fn encode(&self, encoding: AsnEncoding) -> Result<Vec<u8>, WireError> {
+        if self.attrs.is_none() && !self.nlri.is_empty() {
+            return Err(WireError::new(
+                WireErrorKind::MissingAttribute("AS_PATH"),
+                0,
+            ));
+        }
+
+        let mut withdrawn = Vec::new();
+        for &prefix in &self.withdrawn {
+            encode_prefix(&mut withdrawn, prefix);
+        }
+        let mut attrs = Vec::new();
+        if let Some(pa) = &self.attrs {
+            encode_attributes(&mut attrs, pa, encoding)?;
+        }
+        let mut nlri = Vec::new();
+        for &prefix in &self.nlri {
+            encode_prefix(&mut nlri, prefix);
+        }
+
+        let body_len = 2 + withdrawn.len() + 2 + attrs.len() + nlri.len();
+        let total = HEADER_LEN + body_len;
+        if total > MAX_MESSAGE_LEN || withdrawn.len() > usize::from(u16::MAX) {
+            return Err(WireError::new(
+                WireErrorKind::BadMessageLength(total.min(usize::from(u16::MAX)) as u16),
+                0,
+            ));
+        }
+
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&[0xFF; 16]);
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.push(MESSAGE_TYPE_UPDATE);
+        out.extend_from_slice(&(withdrawn.len() as u16).to_be_bytes());
+        out.extend_from_slice(&withdrawn);
+        out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        out.extend_from_slice(&attrs);
+        out.extend_from_slice(&nlri);
+        Ok(out)
+    }
+
+    /// Decodes one full message (marker and header included) from the start
+    /// of `bytes`, requiring that nothing follows it.
+    ///
+    /// # Errors
+    ///
+    /// Never panics; returns a [`WireError`] locating the first problem.
+    pub fn decode(bytes: &[u8], encoding: AsnEncoding) -> Result<UpdateMessage, WireError> {
+        let (message, used) = Self::decode_prefix_of(bytes, encoding)?;
+        if used != bytes.len() {
+            return Err(WireError::new(
+                WireErrorKind::TrailingBytes {
+                    remaining: bytes.len() - used,
+                },
+                used as u64,
+            ));
+        }
+        Ok(message)
+    }
+
+    /// Decodes one message from the start of `bytes`, returning it and the
+    /// number of bytes it occupied (for reading back-to-back messages).
+    ///
+    /// # Errors
+    ///
+    /// Never panics; returns a [`WireError`] locating the first problem.
+    pub fn decode_prefix_of(
+        bytes: &[u8],
+        encoding: AsnEncoding,
+    ) -> Result<(UpdateMessage, usize), WireError> {
+        let mut cur = Cursor::new(bytes);
+        let marker = cur.take(16)?;
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(cur.error_at(0, WireErrorKind::BadMarker));
+        }
+        let total = usize::from(cur.u16()?);
+        let msg_type = cur.u8()?;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+            return Err(cur.error_at(16, WireErrorKind::BadMessageLength(total as u16)));
+        }
+        if msg_type != MESSAGE_TYPE_UPDATE {
+            return Err(cur.error_at(18, WireErrorKind::UnsupportedMessageType(msg_type)));
+        }
+        let body = cur.take(total - HEADER_LEN)?;
+
+        let mut body_cur = Cursor::with_base(body, HEADER_LEN as u64);
+        let withdrawn_len = usize::from(body_cur.u16()?);
+        let withdrawn_bytes = body_cur.take(withdrawn_len)?;
+        let withdrawn = decode_prefix_run(withdrawn_bytes, body_cur.base + 2)?;
+
+        let attrs_len = usize::from(body_cur.u16()?);
+        let attrs_base = body_cur.position();
+        let attr_bytes = body_cur.take(attrs_len)?;
+        let nlri_base = body_cur.position();
+        let nlri = decode_prefix_run(body_cur.rest(), nlri_base)?;
+
+        let attrs = decode_attributes(attr_bytes, attrs_base, encoding)?;
+        if attrs.is_none() && !nlri.is_empty() {
+            return Err(WireError::new(
+                WireErrorKind::MissingAttribute("AS_PATH"),
+                nlri_base,
+            ));
+        }
+
+        Ok((
+            UpdateMessage {
+                withdrawn,
+                attrs,
+                nlri,
+            },
+            total,
+        ))
+    }
+}
+
+/// A bounds-checked reader over a byte slice, tracking the absolute offset
+/// (`base` + local position) for error reporting.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base: u64,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            base: 0,
+        }
+    }
+
+    pub(crate) fn with_base(bytes: &'a [u8], base: u64) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            base,
+        }
+    }
+
+    pub(crate) fn position(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let rest = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        rest
+    }
+
+    fn error_at(&self, local: u64, kind: WireErrorKind) -> WireError {
+        WireError::new(kind, self.base + local)
+    }
+
+    pub(crate) fn truncated(&self, needed: usize) -> WireError {
+        WireError::new(
+            WireErrorKind::Truncated {
+                needed: needed - self.remaining(),
+            },
+            self.position(),
+        )
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(self.truncated(n));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Writes one RFC 4271 `<length, prefix>` tuple.
+pub(crate) fn encode_prefix(out: &mut Vec<u8>, prefix: Ipv4Prefix) {
+    out.push(prefix.len());
+    let octets = prefix.network().to_be_bytes();
+    out.extend_from_slice(&octets[..prefix_octets(prefix.len())]);
+}
+
+pub(crate) fn prefix_octets(bits: u8) -> usize {
+    usize::from(bits).div_ceil(8)
+}
+
+/// Reads one `<length, prefix>` tuple from a cursor.
+pub(crate) fn decode_one_prefix(cur: &mut Cursor<'_>) -> Result<Ipv4Prefix, WireError> {
+    let at = cur.position();
+    let bits = cur.u8()?;
+    if bits > 32 {
+        return Err(WireError::new(WireErrorKind::BadPrefixLength(bits), at));
+    }
+    let body = cur.take(prefix_octets(bits))?;
+    let mut octets = [0u8; 4];
+    octets[..body.len()].copy_from_slice(body);
+    // try_new cannot fail (bits <= 32 was checked), but stay panic-free.
+    Ipv4Prefix::try_new(u32::from_be_bytes(octets), bits)
+        .map_err(|_| WireError::new(WireErrorKind::BadPrefixLength(bits), at))
+}
+
+/// Decodes a back-to-back run of `<length, prefix>` tuples filling `bytes`.
+fn decode_prefix_run(bytes: &[u8], base: u64) -> Result<Vec<Ipv4Prefix>, WireError> {
+    let mut cur = Cursor::with_base(bytes, base);
+    let mut out = Vec::new();
+    while cur.remaining() > 0 {
+        out.push(decode_one_prefix(&mut cur)?);
+    }
+    Ok(out)
+}
+
+fn push_attr(out: &mut Vec<u8>, flags: u8, type_code: u8, body: &[u8]) {
+    if body.len() > 255 {
+        out.push(flags | FLAG_EXTENDED_LENGTH);
+        out.push(type_code);
+        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    } else {
+        out.push(flags);
+        out.push(type_code);
+        out.push(body.len() as u8);
+    }
+    out.extend_from_slice(body);
+}
+
+fn encode_asn(out: &mut Vec<u8>, asn: Asn, encoding: AsnEncoding) -> Result<(), WireError> {
+    match encoding {
+        AsnEncoding::TwoOctet => {
+            let narrow = u16::try_from(asn.0)
+                .map_err(|_| WireError::new(WireErrorKind::AsnTooWide(asn.0), 0))?;
+            out.extend_from_slice(&narrow.to_be_bytes());
+        }
+        AsnEncoding::FourOctet => out.extend_from_slice(&asn.0.to_be_bytes()),
+    }
+    Ok(())
+}
+
+/// Encodes the attribute block (without the leading total-length field).
+pub(crate) fn encode_attributes(
+    out: &mut Vec<u8>,
+    attrs: &PathAttributes,
+    encoding: AsnEncoding,
+) -> Result<(), WireError> {
+    let origin_code = match attrs.origin {
+        RouteOrigin::Igp => 0u8,
+        RouteOrigin::Egp => 1,
+        RouteOrigin::Incomplete => 2,
+    };
+    push_attr(out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin_code]);
+
+    let mut path = Vec::new();
+    for segment in attrs.as_path.segments() {
+        let (seg_type, asns) = match segment {
+            AsPathSegment::Sequence(asns) => (SEGMENT_AS_SEQUENCE, asns),
+            AsPathSegment::Set(asns) => (SEGMENT_AS_SET, asns),
+        };
+        // RFC 4271 caps a segment at 255 ASNs; split longer ones.
+        for chunk in asns.chunks(255) {
+            path.push(seg_type);
+            path.push(chunk.len() as u8);
+            for &asn in chunk {
+                encode_asn(&mut path, asn, encoding)?;
+            }
+        }
+    }
+    push_attr(out, FLAG_TRANSITIVE, ATTR_AS_PATH, &path);
+    push_attr(
+        out,
+        FLAG_TRANSITIVE,
+        ATTR_NEXT_HOP,
+        &attrs.next_hop.to_be_bytes(),
+    );
+    if let Some(lp) = attrs.local_pref {
+        push_attr(out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+    }
+    if !attrs.communities.is_empty() {
+        let mut body = Vec::with_capacity(4 * attrs.communities.len());
+        for community in &attrs.communities {
+            body.extend_from_slice(&community.0.to_be_bytes());
+        }
+        push_attr(
+            out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITIES,
+            &body,
+        );
+    }
+    Ok(())
+}
+
+/// Decodes an attribute block. Returns `None` when the block is empty (a
+/// pure withdrawal).
+pub(crate) fn decode_attributes(
+    bytes: &[u8],
+    base: u64,
+    encoding: AsnEncoding,
+) -> Result<Option<PathAttributes>, WireError> {
+    if bytes.is_empty() {
+        return Ok(None);
+    }
+    let mut cur = Cursor::with_base(bytes, base);
+    let mut origin = None;
+    let mut as_path = None;
+    let mut next_hop = None;
+    let mut local_pref = None;
+    let mut communities = Vec::new();
+
+    while cur.remaining() > 0 {
+        let flags = cur.u8()?;
+        let type_code = cur.u8()?;
+        let len = if flags & FLAG_EXTENDED_LENGTH != 0 {
+            usize::from(cur.u16()?)
+        } else {
+            usize::from(cur.u8()?)
+        };
+        let at = cur.position();
+        let body = cur.take(len)?;
+        let bad_len = || {
+            WireError::new(
+                WireErrorKind::BadAttributeLength {
+                    type_code,
+                    length: len,
+                },
+                at,
+            )
+        };
+        match type_code {
+            ATTR_ORIGIN => {
+                let &[code] = body else { return Err(bad_len()) };
+                origin = Some(match code {
+                    0 => RouteOrigin::Igp,
+                    1 => RouteOrigin::Egp,
+                    2 => RouteOrigin::Incomplete,
+                    other => {
+                        return Err(WireError::new(WireErrorKind::BadOrigin(other), at));
+                    }
+                });
+            }
+            ATTR_AS_PATH => as_path = Some(decode_as_path(body, at, encoding)?),
+            ATTR_NEXT_HOP => {
+                let Ok(octets) = <[u8; 4]>::try_from(body) else {
+                    return Err(bad_len());
+                };
+                next_hop = Some(u32::from_be_bytes(octets));
+            }
+            ATTR_LOCAL_PREF => {
+                let Ok(octets) = <[u8; 4]>::try_from(body) else {
+                    return Err(bad_len());
+                };
+                local_pref = Some(u32::from_be_bytes(octets));
+            }
+            ATTR_COMMUNITIES => {
+                if body.len() % 4 != 0 {
+                    return Err(bad_len());
+                }
+                for chunk in body.chunks_exact(4) {
+                    communities.push(Community(u32::from_be_bytes([
+                        chunk[0], chunk[1], chunk[2], chunk[3],
+                    ])));
+                }
+            }
+            // Unrecognized attributes are skipped, as BGP speakers do with
+            // optional attributes they do not implement.
+            _ => {}
+        }
+    }
+
+    let end = cur.position();
+    let missing = |name| WireError::new(WireErrorKind::MissingAttribute(name), end);
+    Ok(Some(PathAttributes {
+        origin: origin.ok_or_else(|| missing("ORIGIN"))?,
+        as_path: as_path.ok_or_else(|| missing("AS_PATH"))?,
+        next_hop: next_hop.ok_or_else(|| missing("NEXT_HOP"))?,
+        local_pref,
+        communities,
+    }))
+}
+
+fn decode_as_path(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<AsPath, WireError> {
+    let mut cur = Cursor::with_base(bytes, base);
+    let mut segments = Vec::new();
+    while cur.remaining() > 0 {
+        let at = cur.position();
+        let seg_type = cur.u8()?;
+        let count = usize::from(cur.u8()?);
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let asn = match encoding {
+                AsnEncoding::TwoOctet => u32::from(cur.u16()?),
+                AsnEncoding::FourOctet => cur.u32()?,
+            };
+            asns.push(Asn(asn));
+        }
+        segments.push(match seg_type {
+            SEGMENT_AS_SEQUENCE => AsPathSegment::Sequence(asns),
+            SEGMENT_AS_SET => AsPathSegment::Set(asns),
+            other => return Err(WireError::new(WireErrorKind::BadSegmentType(other), at)),
+        });
+    }
+    // Merge adjacent same-type segments the way the encoder may have split
+    // them; AsPath::from_segments keeps them as given, which round-trips for
+    // paths under 255 hops (the simulator never exceeds that).
+    Ok(AsPath::from_segments(segments))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::MoasList;
+
+    fn sample_route() -> Route {
+        let mut list = MoasList::new();
+        list.insert(Asn(4));
+        list.insert(Asn(226));
+        Route::new(
+            "208.8.0.0/16".parse().unwrap(),
+            AsPath::from_sequence([Asn(701), Asn(1239), Asn(4)]),
+        )
+        .with_origin(RouteOrigin::Incomplete)
+        .with_local_pref(120)
+        .with_moas_list(list)
+    }
+
+    #[test]
+    fn announce_round_trips_in_both_encodings() {
+        let route = sample_route();
+        for encoding in [AsnEncoding::TwoOctet, AsnEncoding::FourOctet] {
+            let msg = UpdateMessage::announce(&route);
+            let bytes = msg.encode(encoding).unwrap();
+            let back = UpdateMessage::decode(&bytes, encoding).unwrap();
+            assert_eq!(back, msg);
+            let updates = back.updates();
+            assert_eq!(updates.len(), 1);
+            let Update::Announce(decoded) = &updates[0] else {
+                panic!("expected announcement");
+            };
+            assert_eq!(decoded, &route);
+        }
+    }
+
+    #[test]
+    fn moas_list_survives_the_wire() {
+        let route = sample_route();
+        let bytes = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap();
+        let attrs = back.attrs.unwrap();
+        let list = MoasList::from_communities(&attrs.communities).unwrap();
+        assert!(list.contains(Asn(4)));
+        assert!(list.contains(Asn(226)));
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn withdrawal_round_trips() {
+        let msg = UpdateMessage::withdraw("10.1.0.0/16".parse().unwrap());
+        let bytes = msg.encode(AsnEncoding::FourOctet).unwrap();
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap();
+        assert_eq!(back, msg);
+        assert!(back.updates()[0].is_withdrawal());
+    }
+
+    #[test]
+    fn as_set_segments_round_trip() {
+        let route = Route::new(
+            "10.2.0.0/16".parse().unwrap(),
+            AsPath::from_segments([
+                AsPathSegment::Sequence(vec![Asn(1), Asn(2)]),
+                AsPathSegment::Set(vec![Asn(7), Asn(9)]),
+            ]),
+        );
+        let bytes = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::TwoOctet)
+            .unwrap();
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::TwoOctet).unwrap();
+        assert_eq!(back.attrs.unwrap().as_path, *route.as_path());
+    }
+
+    #[test]
+    fn wide_asn_rejected_by_two_octet_encoding() {
+        let route = Route::new(
+            "10.0.0.0/8".parse().unwrap(),
+            AsPath::from_sequence([Asn(70_000)]),
+        );
+        let err = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::TwoOctet)
+            .unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::AsnTooWide(70_000));
+        assert!(UpdateMessage::announce(&route)
+            .encode(AsnEncoding::FourOctet)
+            .is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = UpdateMessage::announce(&sample_route())
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        for cut in 0..bytes.len() {
+            let err = UpdateMessage::decode(&bytes[..cut], AsnEncoding::FourOctet).unwrap_err();
+            assert!(
+                err.offset <= cut as u64,
+                "offset {} past cut {cut}",
+                err.offset
+            );
+        }
+    }
+
+    #[test]
+    fn bad_marker_and_type_are_rejected() {
+        let mut bytes = UpdateMessage::withdraw("10.0.0.0/8".parse().unwrap())
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        let mut broken = bytes.clone();
+        broken[3] = 0;
+        let err = UpdateMessage::decode(&broken, AsnEncoding::FourOctet).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::BadMarker);
+        bytes[18] = 1; // OPEN
+        let err = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::UnsupportedMessageType(1));
+        assert_eq!(err.offset, 18);
+    }
+
+    #[test]
+    fn prefix_length_over_32_is_rejected_with_offset() {
+        let msg = UpdateMessage::withdraw("10.0.0.0/8".parse().unwrap());
+        let mut bytes = msg.encode(AsnEncoding::FourOctet).unwrap();
+        bytes[21] = 33; // the withdrawn prefix's length byte
+        let err = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::BadPrefixLength(33));
+        assert_eq!(err.offset, 21);
+    }
+
+    #[test]
+    fn nlri_without_attributes_is_rejected() {
+        // Hand-build: empty withdrawn, empty attrs, one NLRI prefix.
+        let mut body = vec![0u8, 0, 0, 0];
+        body.push(8);
+        body.push(10);
+        let total = HEADER_LEN + body.len();
+        let mut bytes = vec![0xFF; 16];
+        bytes.extend_from_slice(&(total as u16).to_be_bytes());
+        bytes.push(MESSAGE_TYPE_UPDATE);
+        bytes.extend_from_slice(&body);
+        let err = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::MissingAttribute("AS_PATH"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = UpdateMessage::withdraw("10.0.0.0/8".parse().unwrap())
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        bytes.push(0);
+        let err = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn unknown_attributes_are_skipped() {
+        let route = Route::new("10.0.0.0/8".parse().unwrap(), AsPath::origination(Asn(7)));
+        let msg = UpdateMessage::announce(&route);
+        let mut bytes = msg.encode(AsnEncoding::FourOctet).unwrap();
+        // Splice in an unknown optional attribute (type 99, 2 bytes) by
+        // rebuilding the message body around the existing attribute block.
+        let attrs_len = usize::from(u16::from_be_bytes([bytes[21], bytes[22]]));
+        let insert_at = 23 + attrs_len;
+        let extra = [FLAG_OPTIONAL | FLAG_TRANSITIVE, 99, 2, 0xAB, 0xCD];
+        for (i, b) in extra.iter().enumerate() {
+            bytes.insert(insert_at + i, *b);
+        }
+        let new_attrs_len = (attrs_len + extra.len()) as u16;
+        bytes[21..23].copy_from_slice(&new_attrs_len.to_be_bytes());
+        let new_total = (bytes.len() as u16).to_be_bytes();
+        bytes[16..18].copy_from_slice(&new_total);
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap();
+        assert_eq!(back.attrs.unwrap().as_path, *route.as_path());
+    }
+}

@@ -1,0 +1,281 @@
+//! Decoding MRT streams into the measurement pipeline's types.
+//!
+//! Table-dump records regroup by timestamp into per-day
+//! [`DailyDump`]s — the same structures the simulated Route Views collector
+//! produces — and into full [`Route`]s for the offline monitor
+//! (`moas_core::OfflineMonitor::scan`). `BGP4MP` records decode back into
+//! simulator [`Update`]s.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use bgp_types::{Asn, Route, Update};
+use route_measurement::DailyDump;
+
+use crate::error::{WireError, WireErrorKind};
+use crate::mrt::{MrtBody, MrtReader, PeerIndexTable};
+use crate::timestamp_to_day;
+
+/// Everything a table-dump import recovers.
+#[derive(Debug, Clone, Default)]
+pub struct ImportedTables {
+    /// Per-day origin observations, sorted by day — feed these to
+    /// `route_measurement::origin_events` / `daily_moas_counts`.
+    pub dumps: Vec<DailyDump>,
+    /// Every RIB route, with the day it was dumped on — feed these to
+    /// `moas_core::OfflineMonitor::scan`.
+    pub routes: Vec<(u32, Route)>,
+    /// `BGP4MP` records encountered (and skipped) along the way.
+    pub skipped_messages: usize,
+}
+
+impl ImportedTables {
+    /// Total number of daily MOAS cases, summed over days (the quantity the
+    /// round-trip tests compare against the exporting simulation).
+    #[must_use]
+    pub fn total_moas_count(&self) -> usize {
+        self.dumps.iter().map(DailyDump::moas_count).sum()
+    }
+}
+
+/// Reads a whole MRT stream of table dumps.
+///
+/// Records regroup by timestamp, so a stream holding several daily
+/// snapshots (each introduced by its own `PEER_INDEX_TABLE`) comes back as
+/// one [`DailyDump`] per day. Origins are taken from each RIB entry's
+/// `AS_PATH`; entries whose path has no well-defined origin (empty, or
+/// ending in an `AS_SET`) fall back to the owning peer's ASN.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] with stream offset on the first malformed
+/// record, a RIB record preceding any peer table, or a RIB entry naming a
+/// peer index outside the table.
+pub fn import_table_dumps<R: io::Read>(reader: R) -> Result<ImportedTables, WireError> {
+    let mut mrt = MrtReader::new(reader);
+    let mut peer_table: Option<PeerIndexTable> = None;
+    let mut dumps: BTreeMap<u32, DailyDump> = BTreeMap::new();
+    let mut routes = Vec::new();
+    let mut skipped_messages = 0;
+
+    while let Some(record) = mrt.next_record()? {
+        match record.body {
+            MrtBody::PeerIndexTable(table) => peer_table = Some(table),
+            MrtBody::RibIpv4Unicast(rib) => {
+                let table = peer_table
+                    .as_ref()
+                    .ok_or_else(|| WireError::new(WireErrorKind::MissingPeerIndexTable, 0))?;
+                let day = timestamp_to_day(record.timestamp);
+                let dump = dumps.entry(day).or_insert_with(|| DailyDump::new(day));
+                for entry in rib.entries {
+                    let peer = table
+                        .peers
+                        .get(usize::from(entry.peer_index))
+                        .ok_or_else(|| {
+                            WireError::new(WireErrorKind::BadPeerIndex(entry.peer_index), 0)
+                        })?;
+                    let route = entry.attrs.to_route(rib.prefix);
+                    let origin = route.origin_as().unwrap_or(peer.asn);
+                    dump.observe(rib.prefix, origin);
+                    routes.push((day, route));
+                }
+            }
+            MrtBody::Bgp4mpMessage(_) => skipped_messages += 1,
+        }
+    }
+
+    Ok(ImportedTables {
+        dumps: dumps.into_values().collect(),
+        routes,
+        skipped_messages,
+    })
+}
+
+/// Reads a `BGP4MP` stream back into simulator updates, each tagged with
+/// its day and sending peer. Table-dump records in the stream are skipped.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] with stream offset on the first malformed
+/// record.
+pub fn import_update_stream<R: io::Read>(reader: R) -> Result<Vec<(u32, Asn, Update)>, WireError> {
+    let mut mrt = MrtReader::new(reader);
+    let mut out = Vec::new();
+    while let Some(record) = mrt.next_record()? {
+        if let MrtBody::Bgp4mpMessage(msg) = record.body {
+            let day = timestamp_to_day(record.timestamp);
+            out.extend(
+                msg.message
+                    .updates()
+                    .into_iter()
+                    .map(|update| (day, msg.peer_asn, update)),
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::{PathAttributes, UpdateMessage};
+    use crate::export::{export_update_stream, peer_table};
+    use crate::mrt::{Bgp4mpMessage, MrtRecord, MrtWriter, RibEntry, RibIpv4Unicast};
+    use crate::{day_to_timestamp, COLLECTOR_ASN};
+    use bgp_types::{AsPath, Ipv4Prefix, MoasList};
+
+    fn rib_record(day: u32, prefix: Ipv4Prefix, origins: &[Asn]) -> MrtRecord {
+        let entries = origins
+            .iter()
+            .enumerate()
+            .map(|(i, &origin)| RibEntry {
+                peer_index: (i % 2) as u16,
+                originated_time: day_to_timestamp(day),
+                attrs: PathAttributes::from_route(&Route::new(
+                    prefix,
+                    AsPath::from_sequence([Asn(1000 + i as u32), origin]),
+                )),
+            })
+            .collect();
+        MrtRecord {
+            timestamp: day_to_timestamp(day),
+            body: crate::mrt::MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: 0,
+                prefix,
+                entries,
+            }),
+        }
+    }
+
+    fn table_record(day: u32) -> MrtRecord {
+        MrtRecord {
+            timestamp: day_to_timestamp(day),
+            body: crate::mrt::MrtBody::PeerIndexTable(peer_table(&[Asn(701), Asn(1239)])),
+        }
+    }
+
+    #[test]
+    fn multi_day_stream_groups_into_daily_dumps() {
+        let p1: Ipv4Prefix = "208.8.0.0/16".parse().unwrap();
+        let p2: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut writer = MrtWriter::new(Vec::new());
+        for day in 0..2u32 {
+            writer.write_record(&table_record(day)).unwrap();
+            writer
+                .write_record(&rib_record(day, p1, &[Asn(4), Asn(226)]))
+                .unwrap();
+            writer
+                .write_record(&rib_record(day, p2, &[Asn(701)]))
+                .unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        let imported = import_table_dumps(&bytes[..]).unwrap();
+        assert_eq!(imported.dumps.len(), 2);
+        for (day, dump) in imported.dumps.iter().enumerate() {
+            assert_eq!(dump.day(), day as u32);
+            assert_eq!(dump.prefix_count(), 2);
+            assert_eq!(dump.moas_count(), 1, "only p1 is MOAS");
+        }
+        assert_eq!(imported.total_moas_count(), 2);
+        assert_eq!(imported.routes.len(), 6);
+    }
+
+    #[test]
+    fn rib_before_peer_table_is_rejected() {
+        let mut writer = MrtWriter::new(Vec::new());
+        writer
+            .write_record(&rib_record(0, "10.0.0.0/8".parse().unwrap(), &[Asn(1)]))
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        let err = import_table_dumps(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::MissingPeerIndexTable);
+    }
+
+    #[test]
+    fn out_of_range_peer_index_is_rejected() {
+        let mut writer = MrtWriter::new(Vec::new());
+        writer.write_record(&table_record(0)).unwrap();
+        let mut rib = rib_record(0, "10.0.0.0/8".parse().unwrap(), &[Asn(1)]);
+        if let crate::mrt::MrtBody::RibIpv4Unicast(r) = &mut rib.body {
+            r.entries[0].peer_index = 40;
+        }
+        writer.write_record(&rib).unwrap();
+        let bytes = writer.finish().unwrap();
+        let err = import_table_dumps(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::BadPeerIndex(40));
+    }
+
+    #[test]
+    fn moas_list_communities_survive_import() {
+        let prefix: Ipv4Prefix = "208.8.0.0/16".parse().unwrap();
+        let mut list = MoasList::new();
+        list.insert(Asn(4));
+        list.insert(Asn(226));
+        let route = Route::new(prefix, AsPath::from_sequence([Asn(701), Asn(4)]))
+            .with_moas_list(list.clone());
+        let mut writer = MrtWriter::new(Vec::new());
+        writer.write_record(&table_record(0)).unwrap();
+        writer
+            .write_record(&MrtRecord {
+                timestamp: day_to_timestamp(0),
+                body: crate::mrt::MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                    sequence: 0,
+                    prefix,
+                    entries: vec![RibEntry {
+                        peer_index: 0,
+                        originated_time: 0,
+                        attrs: PathAttributes::from_route(&route),
+                    }],
+                }),
+            })
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        let imported = import_table_dumps(&bytes[..]).unwrap();
+        assert_eq!(imported.routes.len(), 1);
+        assert_eq!(imported.routes[0].1.moas_list(), Some(list));
+    }
+
+    #[test]
+    fn update_streams_round_trip_through_bgp4mp() {
+        let route = Route::new(
+            "208.8.0.0/16".parse().unwrap(),
+            AsPath::from_sequence([Asn(70_000), Asn(4)]),
+        );
+        let updates = [
+            (Asn(4), Update::announce(route.clone())),
+            (Asn(70_000), Update::withdraw(route.prefix())),
+        ];
+        let mut writer = MrtWriter::new(Vec::new());
+        export_update_stream(&mut writer, 5, updates.iter().map(|(a, u)| (*a, u))).unwrap();
+        let bytes = writer.finish().unwrap();
+        let back = import_update_stream(&bytes[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], (5, Asn(4), updates[0].1.clone()));
+        assert_eq!(back[1], (5, Asn(70_000), updates[1].1.clone()));
+    }
+
+    #[test]
+    fn import_skips_interleaved_message_records() {
+        let mut writer = MrtWriter::new(Vec::new());
+        writer.write_record(&table_record(0)).unwrap();
+        writer
+            .write_record(&MrtRecord {
+                timestamp: day_to_timestamp(0),
+                body: crate::mrt::MrtBody::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_asn: Asn(4),
+                    local_asn: COLLECTOR_ASN,
+                    peer_addr: 0,
+                    local_addr: 0,
+                    message: UpdateMessage::withdraw("10.0.0.0/8".parse().unwrap()),
+                }),
+            })
+            .unwrap();
+        writer
+            .write_record(&rib_record(0, "10.0.0.0/8".parse().unwrap(), &[Asn(1)]))
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        let imported = import_table_dumps(&bytes[..]).unwrap();
+        assert_eq!(imported.skipped_messages, 1);
+        assert_eq!(imported.dumps.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! BGP and MRT wire codecs bridging the simulator and the measurement
+//! pipeline.
+//!
+//! The paper's measurement study (§2) runs over Route Views archives —
+//! BGP routing tables and update streams on disk in MRT format. This crate
+//! gives the reproduction the same boundary: simulated networks export
+//! their tables as real MRT bytes, and the measurement pipeline imports MRT
+//! bytes (ours or anyone's IPv4 table dumps) back into its native
+//! structures.
+//!
+//! Three layers:
+//!
+//! * [`bgp`] — RFC 4271 UPDATE messages with the RFC 1997 `COMMUNITIES`
+//!   attribute. The paper's MOAS list rides in communities (one
+//!   `asn:0x4d4c` value per list member), so a list attached by
+//!   `bgp_types::Route::with_moas_list` survives a trip through real BGP
+//!   bytes and back.
+//! * [`mrt`] — RFC 6396 record framing: `TABLE_DUMP_V2`
+//!   (`PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST`) for table snapshots and
+//!   `BGP4MP` (`MESSAGE`, `MESSAGE_AS4`) for update streams, over any
+//!   `io::Read`/`io::Write`.
+//! * [`export`] / [`import`] — the bridges: `bgp-engine` Loc-RIBs out to
+//!   MRT, MRT back in to `route_measurement::DailyDump` streams and
+//!   routes for the offline monitor.
+//!
+//! Decoding is panic-free on arbitrary input: every failure is a typed
+//! [`WireError`] carrying the byte offset of the problem.
+//!
+//! # Example
+//!
+//! ```
+//! use bgp_types::{AsPath, Asn, MoasList, Route};
+//! use bgp_wire::bgp::{AsnEncoding, UpdateMessage};
+//!
+//! let mut list = MoasList::new();
+//! list.insert(Asn(4));
+//! list.insert(Asn(226));
+//! let route = Route::new(
+//!     "208.8.0.0/16".parse().unwrap(),
+//!     AsPath::from_sequence([Asn(701), Asn(4)]),
+//! )
+//! .with_moas_list(list.clone());
+//!
+//! let bytes = UpdateMessage::announce(&route)
+//!     .encode(AsnEncoding::FourOctet)
+//!     .unwrap();
+//! let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap();
+//! let decoded = back.updates().remove(0).route().unwrap().clone();
+//! assert_eq!(decoded.moas_list(), Some(list));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+mod error;
+pub mod export;
+pub mod import;
+pub mod mrt;
+
+pub use error::{WireError, WireErrorKind};
+pub use export::{export_rib_snapshot, export_update_stream, ExportSummary};
+pub use import::{import_table_dumps, import_update_stream, ImportedTables};
+
+use bgp_types::Asn;
+
+/// The private ASN the synthetic collector peers under.
+pub const COLLECTOR_ASN: Asn = Asn(64512);
+
+/// Unix timestamp of simulated day 0: 2001-01-01T00:00:00Z, the start of
+/// the paper's measurement window.
+pub const DAY_ZERO_UNIX: u32 = 978_307_200;
+
+/// Seconds per simulated day.
+const SECONDS_PER_DAY: u32 = 86_400;
+
+/// The MRT timestamp encoding simulated day `day`.
+#[must_use]
+pub fn day_to_timestamp(day: u32) -> u32 {
+    DAY_ZERO_UNIX.saturating_add(day.saturating_mul(SECONDS_PER_DAY))
+}
+
+/// The simulated day an MRT timestamp falls on. Timestamps before day 0
+/// (foreign archives predating the window) clamp to day 0.
+#[must_use]
+pub fn timestamp_to_day(timestamp: u32) -> u32 {
+    timestamp.saturating_sub(DAY_ZERO_UNIX) / SECONDS_PER_DAY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_codec_round_trips() {
+        for day in [0, 1, 29, 365, 10_000] {
+            assert_eq!(timestamp_to_day(day_to_timestamp(day)), day);
+        }
+        // Mid-day timestamps land on the same day.
+        assert_eq!(timestamp_to_day(day_to_timestamp(3) + 4000), 3);
+        // Pre-window timestamps clamp instead of wrapping.
+        assert_eq!(timestamp_to_day(0), 0);
+    }
+}

@@ -1,0 +1,694 @@
+//! RFC 6396 MRT record framing.
+//!
+//! Covers the records the MOAS pipeline consumes and produces:
+//!
+//! * `TABLE_DUMP_V2` / `PEER_INDEX_TABLE` — the collector's peer roster;
+//! * `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST` — one prefix with the route each
+//!   peer held for it (a daily Route Views table snapshot);
+//! * `BGP4MP` / `MESSAGE` and `MESSAGE_AS4` — individual BGP UPDATEs in
+//!   flight, wrapping the [`crate::bgp`] codec.
+//!
+//! [`MrtReader`] and [`MrtWriter`] work over any [`io::Read`] /
+//! [`io::Write`]. Reading arbitrary bytes never panics; errors carry the
+//! absolute byte offset within the stream.
+
+use std::io;
+
+use bgp_types::Asn;
+use bgp_types::Ipv4Prefix;
+
+use crate::bgp::{self, AsnEncoding, Cursor, PathAttributes, UpdateMessage};
+use crate::error::{WireError, WireErrorKind};
+
+/// MRT type `TABLE_DUMP_V2`.
+pub const TYPE_TABLE_DUMP_V2: u16 = 13;
+/// MRT type `BGP4MP`.
+pub const TYPE_BGP4MP: u16 = 16;
+/// `TABLE_DUMP_V2` subtype `PEER_INDEX_TABLE`.
+pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
+/// `TABLE_DUMP_V2` subtype `RIB_IPV4_UNICAST`.
+pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+/// `BGP4MP` subtype `BGP4MP_MESSAGE` (2-octet ASNs).
+pub const SUBTYPE_BGP4MP_MESSAGE: u16 = 1;
+/// `BGP4MP` subtype `BGP4MP_MESSAGE_AS4` (4-octet ASNs).
+pub const SUBTYPE_BGP4MP_MESSAGE_AS4: u16 = 4;
+
+/// Largest MRT record body this reader accepts (matches the BGP message cap
+/// plus generous framing headroom; real TABLE_DUMP_V2 records are far
+/// smaller). Keeps a corrupt length field from provoking a huge allocation.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// One peer in a `PEER_INDEX_TABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// The peer's BGP identifier.
+    pub bgp_id: u32,
+    /// The peer's IPv4 address.
+    pub addr: u32,
+    /// The peer's AS number.
+    pub asn: Asn,
+}
+
+/// A `PEER_INDEX_TABLE` record: the roster RIB entries index into.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeerIndexTable {
+    /// The collector's BGP identifier.
+    pub collector_id: u32,
+    /// The optional view name (empty for the default view).
+    pub view_name: String,
+    /// The peers, in index order.
+    pub peers: Vec<PeerEntry>,
+}
+
+/// One peer's route inside a [`RibIpv4Unicast`] record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Index into the current [`PeerIndexTable`].
+    pub peer_index: u16,
+    /// When the route was originated (seconds, same clock as the record
+    /// timestamp).
+    pub originated_time: u32,
+    /// The route's path attributes (always 4-octet ASNs, per RFC 6396).
+    pub attrs: PathAttributes,
+}
+
+/// A `RIB_IPV4_UNICAST` record: every peer's route for one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibIpv4Unicast {
+    /// Record sequence number.
+    pub sequence: u32,
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// One entry per peer that held a route.
+    pub entries: Vec<RibEntry>,
+}
+
+/// A `BGP4MP_MESSAGE` / `BGP4MP_MESSAGE_AS4` record: one BGP message as
+/// exchanged between two peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// The sending peer's AS.
+    pub peer_asn: Asn,
+    /// The receiving (collector-side) AS.
+    pub local_asn: Asn,
+    /// The sending peer's IPv4 address.
+    pub peer_addr: u32,
+    /// The receiving side's IPv4 address.
+    pub local_addr: u32,
+    /// The BGP UPDATE carried in the record.
+    pub message: UpdateMessage,
+}
+
+impl Bgp4mpMessage {
+    /// Whether the record needs the `_AS4` subtype (any ASN above 16 bits).
+    #[must_use]
+    pub fn needs_as4(&self) -> bool {
+        fn wide(asn: Asn) -> bool {
+            asn.0 > u32::from(u16::MAX)
+        }
+        wide(self.peer_asn)
+            || wide(self.local_asn)
+            || self
+                .message
+                .attrs
+                .as_ref()
+                .is_some_and(|a| a.as_path.iter().any(wide))
+    }
+}
+
+/// The body of one MRT record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtBody {
+    /// `TABLE_DUMP_V2` / `PEER_INDEX_TABLE`.
+    PeerIndexTable(PeerIndexTable),
+    /// `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST`.
+    RibIpv4Unicast(RibIpv4Unicast),
+    /// `BGP4MP` / `MESSAGE` or `MESSAGE_AS4` (chosen on encode by
+    /// [`Bgp4mpMessage::needs_as4`]).
+    Bgp4mpMessage(Bgp4mpMessage),
+}
+
+/// One MRT record: a timestamp and a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// Seconds since the Unix epoch (exports encode simulated days; see
+    /// [`crate::DAY_ZERO_UNIX`]).
+    pub timestamp: u32,
+    /// The record body.
+    pub body: MrtBody,
+}
+
+impl MrtRecord {
+    /// Encodes the record, MRT header included.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a contained BGP message fails to encode (e.g. a
+    /// 2-octet `BGP4MP_MESSAGE` with a wide ASN, which the writer avoids by
+    /// selecting `_AS4` automatically).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let (mrt_type, subtype, body) = match &self.body {
+            MrtBody::PeerIndexTable(table) => (
+                TYPE_TABLE_DUMP_V2,
+                SUBTYPE_PEER_INDEX_TABLE,
+                encode_peer_index_table(table),
+            ),
+            MrtBody::RibIpv4Unicast(rib) => (
+                TYPE_TABLE_DUMP_V2,
+                SUBTYPE_RIB_IPV4_UNICAST,
+                encode_rib(rib)?,
+            ),
+            MrtBody::Bgp4mpMessage(msg) => {
+                let as4 = msg.needs_as4();
+                let subtype = if as4 {
+                    SUBTYPE_BGP4MP_MESSAGE_AS4
+                } else {
+                    SUBTYPE_BGP4MP_MESSAGE
+                };
+                (TYPE_BGP4MP, subtype, encode_bgp4mp(msg, as4)?)
+            }
+        };
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        out.extend_from_slice(&mrt_type.to_be_bytes());
+        out.extend_from_slice(&subtype.to_be_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+}
+
+fn encode_peer_index_table(table: &PeerIndexTable) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&table.collector_id.to_be_bytes());
+    let name = table.view_name.as_bytes();
+    out.extend_from_slice(&(name.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(table.peers.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+    for peer in &table.peers {
+        // Peer type 0x02: IPv4 address, 4-octet AS number.
+        out.push(0x02);
+        out.extend_from_slice(&peer.bgp_id.to_be_bytes());
+        out.extend_from_slice(&peer.addr.to_be_bytes());
+        out.extend_from_slice(&peer.asn.0.to_be_bytes());
+    }
+    out
+}
+
+fn encode_rib(rib: &RibIpv4Unicast) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&rib.sequence.to_be_bytes());
+    bgp::encode_prefix(&mut out, rib.prefix);
+    out.extend_from_slice(&(rib.entries.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+    for entry in &rib.entries {
+        out.extend_from_slice(&entry.peer_index.to_be_bytes());
+        out.extend_from_slice(&entry.originated_time.to_be_bytes());
+        let mut attrs = Vec::new();
+        // RFC 6396 §4.3.4: TABLE_DUMP_V2 attributes always use 4-octet ASNs.
+        bgp::encode_attributes(&mut attrs, &entry.attrs, AsnEncoding::FourOctet)?;
+        out.extend_from_slice(&(attrs.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+        out.extend_from_slice(&attrs);
+    }
+    Ok(out)
+}
+
+fn encode_bgp4mp(msg: &Bgp4mpMessage, as4: bool) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    if as4 {
+        out.extend_from_slice(&msg.peer_asn.0.to_be_bytes());
+        out.extend_from_slice(&msg.local_asn.0.to_be_bytes());
+    } else {
+        out.extend_from_slice(&(msg.peer_asn.0 as u16).to_be_bytes());
+        out.extend_from_slice(&(msg.local_asn.0 as u16).to_be_bytes());
+    }
+    out.extend_from_slice(&0u16.to_be_bytes()); // interface index
+    out.extend_from_slice(&1u16.to_be_bytes()); // AFI: IPv4
+    out.extend_from_slice(&msg.peer_addr.to_be_bytes());
+    out.extend_from_slice(&msg.local_addr.to_be_bytes());
+    let encoding = if as4 {
+        AsnEncoding::FourOctet
+    } else {
+        AsnEncoding::TwoOctet
+    };
+    out.extend_from_slice(&msg.message.encode(encoding)?);
+    Ok(out)
+}
+
+fn decode_peer_index_table(body: &[u8], base: u64) -> Result<PeerIndexTable, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let collector_id = cur.u32()?;
+    let name_len = usize::from(cur.u16()?);
+    let name_bytes = cur.take(name_len)?;
+    let view_name = String::from_utf8_lossy(name_bytes).into_owned();
+    let peer_count = usize::from(cur.u16()?);
+    let mut peers = Vec::with_capacity(peer_count.min(1024));
+    for _ in 0..peer_count {
+        let at = cur.position();
+        let peer_type = cur.u8()?;
+        // Bit 0: IPv6 address; bit 1: 4-octet ASN. Only IPv4 is supported.
+        if peer_type & 0x01 != 0 {
+            return Err(WireError::new(
+                WireErrorKind::UnsupportedPeerType(peer_type),
+                at,
+            ));
+        }
+        let bgp_id = cur.u32()?;
+        let addr = cur.u32()?;
+        let asn = if peer_type & 0x02 != 0 {
+            cur.u32()?
+        } else {
+            u32::from(cur.u16()?)
+        };
+        peers.push(PeerEntry {
+            bgp_id,
+            addr,
+            asn: Asn(asn),
+        });
+    }
+    expect_consumed(&cur)?;
+    Ok(PeerIndexTable {
+        collector_id,
+        view_name,
+        peers,
+    })
+}
+
+fn decode_rib(body: &[u8], base: u64) -> Result<RibIpv4Unicast, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let sequence = cur.u32()?;
+    let prefix = bgp::decode_one_prefix(&mut cur)?;
+    let entry_count = usize::from(cur.u16()?);
+    let mut entries = Vec::with_capacity(entry_count.min(1024));
+    for _ in 0..entry_count {
+        let peer_index = cur.u16()?;
+        let originated_time = cur.u32()?;
+        let attr_len = usize::from(cur.u16()?);
+        let attrs_base = cur.position();
+        let attr_bytes = cur.take(attr_len)?;
+        let attrs = bgp::decode_attributes(attr_bytes, attrs_base, AsnEncoding::FourOctet)?
+            .ok_or_else(|| {
+                WireError::new(WireErrorKind::MissingAttribute("AS_PATH"), attrs_base)
+            })?;
+        entries.push(RibEntry {
+            peer_index,
+            originated_time,
+            attrs,
+        });
+    }
+    expect_consumed(&cur)?;
+    Ok(RibIpv4Unicast {
+        sequence,
+        prefix,
+        entries,
+    })
+}
+
+fn decode_bgp4mp(body: &[u8], base: u64, as4: bool) -> Result<Bgp4mpMessage, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let (peer_asn, local_asn) = if as4 {
+        (cur.u32()?, cur.u32()?)
+    } else {
+        (u32::from(cur.u16()?), u32::from(cur.u16()?))
+    };
+    let _interface = cur.u16()?;
+    let afi_at = cur.position();
+    let afi = cur.u16()?;
+    if afi != 1 {
+        return Err(WireError::new(
+            WireErrorKind::UnsupportedPeerType(afi as u8),
+            afi_at,
+        ));
+    }
+    let peer_addr = cur.u32()?;
+    let local_addr = cur.u32()?;
+    let msg_base = cur.position();
+    let encoding = if as4 {
+        AsnEncoding::FourOctet
+    } else {
+        AsnEncoding::TwoOctet
+    };
+    let message = UpdateMessage::decode(cur.rest(), encoding).map_err(|e| e.at_base(msg_base))?;
+    Ok(Bgp4mpMessage {
+        peer_asn: Asn(peer_asn),
+        local_asn: Asn(local_asn),
+        peer_addr,
+        local_addr,
+        message,
+    })
+}
+
+fn expect_consumed(cur: &Cursor<'_>) -> Result<(), WireError> {
+    if cur.remaining() > 0 {
+        return Err(WireError::new(
+            WireErrorKind::TrailingBytes {
+                remaining: cur.remaining(),
+            },
+            cur.position(),
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes one record from a complete in-memory body.
+///
+/// `base` is the absolute offset of the record header in the stream, used
+/// for error reporting.
+fn decode_record(
+    timestamp: u32,
+    mrt_type: u16,
+    subtype: u16,
+    body: &[u8],
+    base: u64,
+) -> Result<MrtRecord, WireError> {
+    let body_base = base + 12;
+    let body = match (mrt_type, subtype) {
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => {
+            MrtBody::PeerIndexTable(decode_peer_index_table(body, body_base)?)
+        }
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
+            MrtBody::RibIpv4Unicast(decode_rib(body, body_base)?)
+        }
+        (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE) => {
+            MrtBody::Bgp4mpMessage(decode_bgp4mp(body, body_base, false)?)
+        }
+        (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4) => {
+            MrtBody::Bgp4mpMessage(decode_bgp4mp(body, body_base, true)?)
+        }
+        _ => {
+            return Err(WireError::new(
+                WireErrorKind::UnsupportedMrtType { mrt_type, subtype },
+                base + 4,
+            ));
+        }
+    };
+    Ok(MrtRecord { timestamp, body })
+}
+
+/// Streams MRT records out of any reader.
+///
+/// Iterate it directly; iteration ends at clean end-of-file and yields an
+/// `Err` (then stops) on the first malformed record.
+#[derive(Debug)]
+pub struct MrtReader<R> {
+    inner: R,
+    offset: u64,
+    failed: bool,
+}
+
+impl<R: io::Read> MrtReader<R> {
+    /// Wraps a reader positioned at the start of an MRT stream.
+    pub fn new(inner: R) -> Self {
+        MrtReader {
+            inner,
+            offset: 0,
+            failed: false,
+        }
+    }
+
+    /// Reads the next record; `Ok(None)` at clean end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] (with stream offset) on I/O failure or a
+    /// malformed record. After an error the reader refuses further reads,
+    /// since record boundaries are lost.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, WireError> {
+        if self.failed {
+            return Ok(None);
+        }
+        match self.try_next() {
+            Ok(record) => Ok(record),
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<MrtRecord>, WireError> {
+        let mut header = [0u8; 12];
+        match read_exact_or_eof(&mut self.inner, &mut header) {
+            Ok(0) => return Ok(None),
+            Ok(n) if n < header.len() => {
+                return Err(WireError::new(
+                    WireErrorKind::Truncated {
+                        needed: header.len() - n,
+                    },
+                    self.offset + n as u64,
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return Err(WireError::new(WireErrorKind::Io(e.kind()), self.offset));
+            }
+        }
+        let timestamp = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        let mrt_type = u16::from_be_bytes([header[4], header[5]]);
+        let subtype = u16::from_be_bytes([header[6], header[7]]);
+        let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+        if length > MAX_RECORD_LEN {
+            return Err(WireError::new(
+                WireErrorKind::BadFieldLength {
+                    length: length as usize,
+                    available: MAX_RECORD_LEN as usize,
+                },
+                self.offset + 8,
+            ));
+        }
+        let mut body = vec![0u8; length as usize];
+        match read_exact_or_eof(&mut self.inner, &mut body) {
+            Ok(n) if n < body.len() => {
+                return Err(WireError::new(
+                    WireErrorKind::Truncated {
+                        needed: body.len() - n,
+                    },
+                    self.offset + 12 + n as u64,
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return Err(WireError::new(
+                    WireErrorKind::Io(e.kind()),
+                    self.offset + 12,
+                ));
+            }
+        }
+        let record = decode_record(timestamp, mrt_type, subtype, &body, self.offset)?;
+        self.offset += 12 + u64::from(length);
+        Ok(Some(record))
+    }
+}
+
+impl<R: io::Read> Iterator for MrtReader<R> {
+    type Item = Result<MrtRecord, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Reads until `buf` is full or EOF; returns bytes read.
+fn read_exact_or_eof<R: io::Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Writes MRT records to any writer.
+#[derive(Debug)]
+pub struct MrtWriter<W> {
+    inner: W,
+    records: u64,
+}
+
+impl<W: io::Write> MrtWriter<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        MrtWriter { inner, records: 0 }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on encode or I/O failure.
+    pub fn write_record(&mut self, record: &MrtRecord) -> Result<(), WireError> {
+        let bytes = record.encode()?;
+        self.inner.write_all(&bytes)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the flush fails.
+    pub fn finish(mut self) -> Result<W, WireError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::{AsPath, Route};
+
+    fn sample_records() -> Vec<MrtRecord> {
+        let table = PeerIndexTable {
+            collector_id: 0x0A00_0001,
+            view_name: "moas-lab".into(),
+            peers: vec![
+                PeerEntry {
+                    bgp_id: 1,
+                    addr: 0x0A00_0001,
+                    asn: Asn(701),
+                },
+                PeerEntry {
+                    bgp_id: 2,
+                    addr: 0x0A00_0002,
+                    asn: Asn(70_000),
+                },
+            ],
+        };
+        let route = Route::new(
+            "208.8.0.0/16".parse().unwrap(),
+            AsPath::from_sequence([Asn(701), Asn(4)]),
+        );
+        let rib = RibIpv4Unicast {
+            sequence: 0,
+            prefix: route.prefix(),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated_time: 100,
+                attrs: PathAttributes::from_route(&route),
+            }],
+        };
+        let bgp4mp = Bgp4mpMessage {
+            peer_asn: Asn(701),
+            local_asn: Asn(65_000),
+            peer_addr: 0x0A00_0001,
+            local_addr: 0x0A00_00FE,
+            message: UpdateMessage::announce(&route),
+        };
+        vec![
+            MrtRecord {
+                timestamp: 1000,
+                body: MrtBody::PeerIndexTable(table),
+            },
+            MrtRecord {
+                timestamp: 1000,
+                body: MrtBody::RibIpv4Unicast(rib),
+            },
+            MrtRecord {
+                timestamp: 1001,
+                body: MrtBody::Bgp4mpMessage(bgp4mp),
+            },
+        ]
+    }
+
+    fn write_all(records: &[MrtRecord]) -> Vec<u8> {
+        let mut writer = MrtWriter::new(Vec::new());
+        for record in records {
+            writer.write_record(record).unwrap();
+        }
+        assert_eq!(writer.records_written(), records.len() as u64);
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = sample_records();
+        let bytes = write_all(&records);
+        let back: Vec<MrtRecord> = MrtReader::new(&bytes[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn written_streams_are_byte_stable() {
+        let records = sample_records();
+        assert_eq!(write_all(&records), write_all(&records));
+    }
+
+    #[test]
+    fn as4_subtype_selected_for_wide_asns() {
+        let route = Route::new(
+            "10.0.0.0/8".parse().unwrap(),
+            AsPath::from_sequence([Asn(70_000)]),
+        );
+        let msg = Bgp4mpMessage {
+            peer_asn: Asn(70_000),
+            local_asn: Asn(1),
+            peer_addr: 0,
+            local_addr: 0,
+            message: UpdateMessage::announce(&route),
+        };
+        assert!(msg.needs_as4());
+        let bytes = MrtRecord {
+            timestamp: 0,
+            body: MrtBody::Bgp4mpMessage(msg),
+        }
+        .encode()
+        .unwrap();
+        let subtype = u16::from_be_bytes([bytes[6], bytes[7]]);
+        assert_eq!(subtype, SUBTYPE_BGP4MP_MESSAGE_AS4);
+    }
+
+    #[test]
+    fn truncated_streams_error_with_offset() {
+        let bytes = write_all(&sample_records());
+        for cut in [1, 11, 13, bytes.len() - 1] {
+            let result: Result<Vec<MrtRecord>, WireError> = MrtReader::new(&bytes[..cut]).collect();
+            let err = result.unwrap_err();
+            assert!(
+                matches!(err.kind, WireErrorKind::Truncated { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_record_types_are_rejected_not_panicked() {
+        let mut bytes = write_all(&sample_records()[..1]);
+        bytes[5] = 99; // type
+        let result: Result<Vec<MrtRecord>, WireError> = MrtReader::new(&bytes[..]).collect();
+        let err = result.unwrap_err();
+        assert!(matches!(err.kind, WireErrorKind::UnsupportedMrtType { .. }));
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_without_allocation() {
+        let mut bytes = write_all(&sample_records()[..1]);
+        bytes[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        let result: Result<Vec<MrtRecord>, WireError> = MrtReader::new(&bytes[..]).collect();
+        let err = result.unwrap_err();
+        assert!(matches!(err.kind, WireErrorKind::BadFieldLength { .. }));
+    }
+
+    #[test]
+    fn reader_stops_after_first_error() {
+        let good = write_all(&sample_records());
+        let mut bytes = vec![0xAAu8; 7]; // garbage shorter than a header
+        bytes.extend_from_slice(&good);
+        let mut reader = MrtReader::new(&bytes[..]);
+        assert!(reader.next_record().is_err());
+        assert!(reader.next_record().unwrap().is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! Property tests for the wire codecs: encode→decode is the identity on
+//! well-formed messages, and decoding never panics on corrupted bytes.
+
+use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, RouteOrigin};
+use bgp_wire::bgp::{AsnEncoding, PathAttributes, UpdateMessage};
+use bgp_wire::mrt::{
+    Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
+    RibIpv4Unicast,
+};
+use proptest::prelude::*;
+
+// --- strategies -----------------------------------------------------------
+
+/// An ASN that fits the 2-octet encoding (and RFC 1997 communities).
+fn asn16() -> impl Strategy<Value = Asn> + Clone {
+    (1u32..0x1_0000).prop_map(Asn)
+}
+
+/// Any non-zero 4-octet ASN.
+fn asn32() -> impl Strategy<Value = Asn> + Clone {
+    (1u32..u32::MAX).prop_map(Asn)
+}
+
+/// A canonical (host-bits-masked) IPv4 prefix.
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len))
+}
+
+/// An AS path: a sequence of 1-4 hops, sometimes followed by an AS_SET.
+fn as_path(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = AsPath> {
+    (
+        prop::collection::vec(asn.clone(), 1..5),
+        prop::collection::btree_set(asn, 0..3),
+    )
+        .prop_map(|(seq, set)| {
+            AsPath::from_segments([
+                AsPathSegment::Sequence(seq),
+                AsPathSegment::Set(set.into_iter().collect()),
+            ])
+        })
+}
+
+fn origin() -> impl Strategy<Value = RouteOrigin> {
+    prop_oneof![
+        Just(RouteOrigin::Igp),
+        Just(RouteOrigin::Egp),
+        Just(RouteOrigin::Incomplete),
+    ]
+}
+
+fn attrs(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = PathAttributes> {
+    (
+        origin(),
+        as_path(asn),
+        any::<u32>(),
+        prop_oneof![Just(None), (0u32..1000).prop_map(Some)],
+        prop::collection::vec(
+            (asn16(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)),
+            0..4,
+        ),
+    )
+        .prop_map(
+            |(origin, as_path, next_hop, local_pref, communities)| PathAttributes {
+                origin,
+                as_path,
+                next_hop,
+                local_pref,
+                communities,
+            },
+        )
+}
+
+/// A well-formed UPDATE: NLRI only rides along when attributes are present.
+fn update(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = UpdateMessage> {
+    (
+        prop::collection::vec(prefix(), 0..4),
+        attrs(asn),
+        prop::collection::vec(prefix(), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(withdrawn, attrs, nlri, announce)| {
+            if announce {
+                UpdateMessage {
+                    withdrawn,
+                    attrs: Some(attrs),
+                    nlri,
+                }
+            } else {
+                UpdateMessage {
+                    withdrawn,
+                    attrs: None,
+                    nlri: Vec::new(),
+                }
+            }
+        })
+}
+
+fn rib_record() -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prefix(),
+        prop::collection::vec((0u16..64, any::<u32>(), attrs(asn32())), 0..4),
+    )
+        .prop_map(|(timestamp, sequence, prefix, raw_entries)| MrtRecord {
+            timestamp,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence,
+                prefix,
+                entries: raw_entries
+                    .into_iter()
+                    .map(|(peer_index, originated_time, attrs)| RibEntry {
+                        peer_index,
+                        originated_time,
+                        attrs,
+                    })
+                    .collect(),
+            }),
+        })
+}
+
+fn peer_index_record() -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec((any::<u32>(), any::<u32>(), asn32()), 0..5),
+    )
+        .prop_map(|(timestamp, collector_id, peers)| MrtRecord {
+            timestamp,
+            body: MrtBody::PeerIndexTable(PeerIndexTable {
+                collector_id,
+                view_name: String::from("props"),
+                peers: peers
+                    .into_iter()
+                    .map(|(bgp_id, addr, asn)| PeerEntry { bgp_id, addr, asn })
+                    .collect(),
+            }),
+        })
+}
+
+fn bgp4mp_record(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        asn.clone(),
+        asn.clone(),
+        any::<u32>(),
+        any::<u32>(),
+        update(asn),
+    )
+        .prop_map(
+            |(timestamp, peer_asn, local_asn, peer_addr, local_addr, message)| MrtRecord {
+                timestamp,
+                body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_asn,
+                    local_asn,
+                    peer_addr,
+                    local_addr,
+                    message,
+                }),
+            },
+        )
+}
+
+fn mrt_record() -> impl Strategy<Value = MrtRecord> {
+    prop_oneof![
+        rib_record(),
+        peer_index_record(),
+        bgp4mp_record(asn16()),
+        bgp4mp_record(asn32()),
+    ]
+}
+
+// --- round-trip identity --------------------------------------------------
+
+proptest! {
+    #[test]
+    fn update_round_trips_four_octet(msg in update(asn32())) {
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn update_round_trips_two_octet(msg in update(asn16())) {
+        let bytes = msg.encode(AsnEncoding::TwoOctet).expect("encodes");
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::TwoOctet).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn mrt_record_round_trips(record in mrt_record()) {
+        let bytes = record.encode().expect("encodes");
+        let mut reader = MrtReader::new(bytes.as_slice());
+        let back = reader.next_record().expect("decodes").expect("one record");
+        prop_assert_eq!(back, record);
+        prop_assert_eq!(reader.next_record().expect("clean EOF"), None);
+    }
+
+    #[test]
+    fn mrt_stream_round_trips(records in prop::collection::vec(mrt_record(), 1..5)) {
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&record.encode().expect("encodes"));
+        }
+        let mut reader = MrtReader::new(bytes.as_slice());
+        let mut back = Vec::new();
+        while let Some(record) = reader.next_record().expect("decodes") {
+            back.push(record);
+        }
+        prop_assert_eq!(back, records);
+    }
+}
+
+// --- decoder never panics -------------------------------------------------
+
+proptest! {
+    #[test]
+    fn truncated_update_errors_not_panics(msg in update(asn32()), cut in 0usize..1000) {
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        let cut = cut % bytes.len().max(1);
+        // Every proper prefix of a valid message must fail cleanly.
+        prop_assert!(UpdateMessage::decode(&bytes[..cut], AsnEncoding::FourOctet).is_err());
+    }
+
+    #[test]
+    fn mutated_update_never_panics(
+        msg in update(asn32()),
+        position in 0usize..1000,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        let position = position % bytes.len().max(1);
+        bytes[position] = value;
+        // Any outcome is fine — Ok if the flip was benign, Err otherwise —
+        // as long as the decoder returns instead of panicking.
+        let _ = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet);
+    }
+
+    #[test]
+    fn truncated_mrt_errors_not_panics(record in mrt_record(), cut in 0usize..4000) {
+        let bytes = record.encode().expect("encodes");
+        let cut = cut % bytes.len().max(1);
+        if cut == 0 {
+            // An empty stream is a clean EOF, not an error.
+            let mut reader = MrtReader::new(&bytes[..0]);
+            prop_assert_eq!(reader.next_record().expect("EOF"), None);
+        } else {
+            let mut reader = MrtReader::new(&bytes[..cut]);
+            prop_assert!(reader.next_record().is_err());
+        }
+    }
+
+    #[test]
+    fn mutated_mrt_never_panics(
+        record in mrt_record(),
+        position in 0usize..4000,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = record.encode().expect("encodes");
+        let position = position % bytes.len().max(1);
+        bytes[position] = value;
+        let mut reader = MrtReader::new(bytes.as_slice());
+        while let Ok(Some(_)) = reader.next_record() {}
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet);
+        let _ = UpdateMessage::decode(&bytes, AsnEncoding::TwoOctet);
+        let mut reader = MrtReader::new(bytes.as_slice());
+        while let Ok(Some(_)) = reader.next_record() {}
+    }
+}

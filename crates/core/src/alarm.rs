@@ -119,8 +119,7 @@ impl AlarmLog {
 
     /// Distinct ASes that raised at least one alarm, ascending.
     pub fn observers(&self) -> impl Iterator<Item = Asn> {
-        let set: std::collections::BTreeSet<Asn> =
-            self.alarms.iter().map(|a| a.observer).collect();
+        let set: std::collections::BTreeSet<Asn> = self.alarms.iter().map(|a| a.observer).collect();
         set.into_iter()
     }
 
@@ -143,7 +142,10 @@ impl AlarmLog {
     }
 
     fn count_with(&self, resolution: Resolution) -> usize {
-        self.alarms.iter().filter(|a| a.resolution == resolution).count()
+        self.alarms
+            .iter()
+            .filter(|a| a.resolution == resolution)
+            .count()
     }
 
     /// Discards all alarms (e.g. between experiment phases).
@@ -231,7 +233,10 @@ mod tests {
     #[test]
     fn extend_and_iterate() {
         let mut log = AlarmLog::new();
-        log.extend([alarm(1, Resolution::Confirmed), alarm(2, Resolution::Confirmed)]);
+        log.extend([
+            alarm(1, Resolution::Confirmed),
+            alarm(2, Resolution::Confirmed),
+        ]);
         assert_eq!((&log).into_iter().count(), 2);
         assert_eq!(log.iter().count(), 2);
     }

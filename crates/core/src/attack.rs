@@ -199,7 +199,11 @@ mod tests {
 
     #[test]
     fn all_forgeries_are_caught_by_full_deployment() {
-        for forgery in [ListForgery::None, ListForgery::IncludeSelf, ListForgery::CopyValid] {
+        for forgery in [
+            ListForgery::None,
+            ListForgery::IncludeSelf,
+            ListForgery::CopyValid,
+        ] {
             let g = diamond_with_attacker();
             let valid = MoasList::implicit(Asn(4));
             let mut registry = RegistryVerifier::new();

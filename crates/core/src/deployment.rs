@@ -108,8 +108,14 @@ mod tests {
     #[test]
     fn sample_is_deterministic() {
         let asns: Vec<Asn> = (1..=100).map(Asn).collect();
-        assert_eq!(Deployment::sample(&asns, 0.5, 9), Deployment::sample(&asns, 0.5, 9));
-        assert_ne!(Deployment::sample(&asns, 0.5, 9), Deployment::sample(&asns, 0.5, 10));
+        assert_eq!(
+            Deployment::sample(&asns, 0.5, 9),
+            Deployment::sample(&asns, 0.5, 9)
+        );
+        assert_ne!(
+            Deployment::sample(&asns, 0.5, 9),
+            Deployment::sample(&asns, 0.5, 10)
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub struct Conflict {
 
 impl fmt::Display for Conflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} (origin {:?})", self.prefix, self.kind, self.incoming_origin)
+        write!(
+            f,
+            "{}: {} (origin {:?})",
+            self.prefix, self.kind, self.incoming_origin
+        )
     }
 }
 
@@ -142,7 +146,10 @@ mod tests {
         let conflict = find_conflict(&false_route, &[(Some(Asn(9)), valid)]).unwrap();
         assert_eq!(conflict.kind, ConflictKind::InconsistentLists);
         assert_eq!(conflict.incoming_origin, Some(Asn(52)));
-        assert_eq!(conflict.conflicting_with, Some((Some(Asn(9)), Some(Asn(4)))));
+        assert_eq!(
+            conflict.conflicting_with,
+            Some((Some(Asn(9)), Some(Asn(4))))
+        );
     }
 
     #[test]
@@ -182,10 +189,7 @@ mod tests {
 
     #[test]
     fn different_prefix_entries_are_ignored() {
-        let other = Route::new(
-            "10.0.0.0/8".parse().unwrap(),
-            AsPath::origination(Asn(7)),
-        );
+        let other = Route::new("10.0.0.0/8".parse().unwrap(), AsPath::origination(Asn(7)));
         let incoming = route(4, None);
         assert!(find_conflict(&incoming, &[(Some(Asn(9)), other)]).is_none());
     }
@@ -200,7 +204,10 @@ mod tests {
             &[(Some(Asn(1)), same), (Some(Asn(2)), different)],
         )
         .unwrap();
-        assert_eq!(conflict.conflicting_with, Some((Some(Asn(2)), Some(Asn(5)))));
+        assert_eq!(
+            conflict.conflicting_with,
+            Some((Some(Asn(2)), Some(Asn(5))))
+        );
     }
 
     #[test]

@@ -183,7 +183,9 @@ impl<V: OriginVerifier> RouteMonitor for MoasMonitor<V> {
                     // origin is the local AS itself (this matters when the
                     // *local* AS is the bogus originator — its self-conflict
                     // is a confirmed detection, not a false alarm).
-                    let origin = held.origin_as().or_else(|| peer.is_none().then_some(ctx.local));
+                    let origin = held
+                        .origin_as()
+                        .or_else(|| peer.is_none().then_some(ctx.local));
                     let held_valid = origin.is_some_and(|o| valid.contains(o));
                     if !held_valid {
                         any_confirmed = true;
@@ -254,10 +256,7 @@ mod tests {
         reg
     }
 
-    fn ctx<'a>(
-        route: &'a Route,
-        existing: &'a [(Option<Asn>, Route)],
-    ) -> ImportContext<'a> {
+    fn ctx<'a>(route: &'a Route, existing: &'a [(Option<Asn>, Route)]) -> ImportContext<'a> {
         ImportContext {
             local: Asn(100),
             from_peer: Asn(200),
@@ -271,9 +270,16 @@ mod tests {
         let mut m = MoasMonitor::full(registry(&[1, 2]));
         let incoming = valid_route(1, &[1, 2]);
         let existing = vec![(Some(Asn(5)), valid_route(2, &[1, 2]))];
-        assert_eq!(m.on_import(&ctx(&incoming, &existing)), ImportDecision::accept());
+        assert_eq!(
+            m.on_import(&ctx(&incoming, &existing)),
+            ImportDecision::accept()
+        );
         assert!(m.alarms().is_empty());
-        assert_eq!(m.verifier().query_count(), 0, "no conflict, no lookup (§4.4)");
+        assert_eq!(
+            m.verifier().query_count(),
+            0,
+            "no conflict, no lookup (§4.4)"
+        );
     }
 
     #[test]
@@ -315,7 +321,10 @@ mod tests {
         let mut m = MoasMonitor::partial(BTreeSet::new(), registry(&[4]));
         let incoming = Route::new(p(), AsPath::origination(Asn(52)));
         let existing = vec![(Some(Asn(5)), Route::new(p(), AsPath::origination(Asn(4))))];
-        assert_eq!(m.on_import(&ctx(&incoming, &existing)), ImportDecision::accept());
+        assert_eq!(
+            m.on_import(&ctx(&incoming, &existing)),
+            ImportDecision::accept()
+        );
         assert!(m.alarms().is_empty());
     }
 
@@ -377,7 +386,8 @@ mod tests {
         let mut m = MoasMonitor::full(registry(&[4]));
         assert_eq!(m.config().deployment, Deployment::Full);
         m.alarms_mut().clear();
-        m.verifier_mut().register("10.0.0.0/8".parse().unwrap(), MoasList::implicit(Asn(1)));
+        m.verifier_mut()
+            .register("10.0.0.0/8".parse().unwrap(), MoasList::implicit(Asn(1)));
         assert_eq!(m.verifier().len(), 2);
     }
 }

@@ -169,11 +169,8 @@ mod tests {
 
     #[test]
     fn conflicting_origins_are_flagged_once_per_prefix() {
-        let findings = OfflineMonitor::new().scan([
-            route(4, None),
-            route(52, None),
-            route(4, None),
-        ]);
+        let findings =
+            OfflineMonitor::new().scan([route(4, None), route(52, None), route(4, None)]);
         assert_eq!(findings.len(), 1);
         let f = &findings[0];
         assert_eq!(f.kind, ConflictKind::InconsistentLists);
@@ -228,8 +225,7 @@ mod tests {
         net.originate(Asn(52), p(), None);
         net.run().unwrap();
 
-        let findings =
-            OfflineMonitor::new().scan_network(&net, &[Asn(1), Asn(2), Asn(3)], p());
+        let findings = OfflineMonitor::new().scan_network(&net, &[Asn(1), Asn(2), Asn(3)], p());
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].origins, vec![Asn(4), Asn(52)]);
     }

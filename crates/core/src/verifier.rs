@@ -209,8 +209,7 @@ mod tests {
 
     #[test]
     fn registry_from_iterator() {
-        let reg: RegistryVerifier =
-            [(p(), MoasList::implicit(Asn(4)))].into_iter().collect();
+        let reg: RegistryVerifier = [(p(), MoasList::implicit(Asn(4)))].into_iter().collect();
         assert_eq!(reg.len(), 1);
     }
 
@@ -220,7 +219,10 @@ mod tests {
         let mut stale = RegistryVerifier::new();
         stale.register(p(), MoasList::implicit(Asn(1)));
         let answer = stale.valid_origins(p()).unwrap();
-        assert!(!answer.contains(Asn(2)), "stale record blesses only the old origin");
+        assert!(
+            !answer.contains(Asn(2)),
+            "stale record blesses only the old origin"
+        );
     }
 
     #[test]
@@ -246,7 +248,9 @@ mod tests {
     fn dns_partial_availability_fails_sometimes() {
         let mut dns = DnsMoasVerifier::new(0.5, 3);
         dns.register(p(), MoasList::implicit(Asn(4)));
-        let ok = (0..1000).filter(|_| dns.valid_origins(p()).is_some()).count();
+        let ok = (0..1000)
+            .filter(|_| dns.valid_origins(p()).is_some())
+            .count();
         assert!((350..650).contains(&ok), "ok = {ok}");
         assert_eq!(dns.failed_lookups() as usize, 1000 - ok);
     }

@@ -9,13 +9,13 @@ use moas_core::{
     Deployment, ListForgery, MoasConfig, MoasMonitor, RegistryVerifier, SubPrefixHijack,
     UnresolvedPolicy,
 };
-use serde::{Deserialize, Serialize};
 
+use crate::json;
 use crate::stats::mean;
 use crate::trial::{run_trial, TrialConfig};
 
 /// Outcome of the sub-prefix hijack ablation on one topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubPrefixAblation {
     /// Mean % of remaining ASes whose best route for the *hijacked
     /// sub-prefix* points at the attacker, under full MOAS deployment.
@@ -33,6 +33,13 @@ pub struct SubPrefixAblation {
     pub subprefix_traffic_capture_pct: f64,
 }
 
+json::impl_json_struct!(SubPrefixAblation {
+    subprefix_adoption_pct,
+    exact_prefix_adoption_pct,
+    subprefix_alarms,
+    subprefix_traffic_capture_pct,
+});
+
 /// The §4.3 boundary: full MOAS deployment against a more-specific-prefix
 /// hijacker. Expected result — reproduced here — is that detection never
 /// fires and the hijack succeeds everywhere, while the same attacker
@@ -40,8 +47,9 @@ pub struct SubPrefixAblation {
 #[must_use]
 pub fn subprefix_ablation(graph: &AsGraph, runs: usize, seed: u64) -> SubPrefixAblation {
     let stubs = graph.stub_asns();
-    let victim_prefix: bgp_types::Ipv4Prefix =
-        crate::VICTIM_PREFIX.parse().expect("victim prefix constant");
+    let victim_prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX
+        .parse()
+        .expect("victim prefix constant");
 
     let mut sub_adoption = Vec::new();
     let mut sub_alarms = Vec::new();
@@ -97,7 +105,7 @@ pub fn subprefix_ablation(graph: &AsGraph, runs: usize, seed: u64) -> SubPrefixA
 }
 
 /// Outcome of the valley-free policy-routing ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValleyFreePoint {
     /// `"policy-free"` (the paper's model) or `"valley-free"`.
     pub routing: String,
@@ -108,6 +116,13 @@ pub struct ValleyFreePoint {
     /// Mean advertisements suppressed by the export policy per run.
     pub mean_suppressed: f64,
 }
+
+json::impl_json_struct!(ValleyFreePoint {
+    routing,
+    normal_adoption_pct,
+    moas_adoption_pct,
+    mean_suppressed,
+});
 
 /// Evaluates the MOAS mechanism under Gao-Rexford policy routing — the
 /// realism the paper's simulation abstracts away. Valley-free export
@@ -133,7 +148,8 @@ pub fn valley_free_ablation(runs: usize, seed: u64) -> Vec<ValleyFreePoint> {
         let mut moas = Vec::new();
         let mut suppressed = Vec::new();
         for run in 0..runs {
-            let run_seed = sim_engine::rng::derive_seed(seed, (run * 2 + usize::from(policy_on)) as u64);
+            let run_seed =
+                sim_engine::rng::derive_seed(seed, (run * 2 + usize::from(policy_on)) as u64);
             let mut rng = sim_engine::rng::from_seed(run_seed);
             let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
             let victim = picked[0];
@@ -190,7 +206,12 @@ pub fn valley_free_ablation(runs: usize, seed: u64) -> Vec<ValleyFreePoint> {
             }
         }
         out.push(ValleyFreePoint {
-            routing: if policy_on { "valley-free" } else { "policy-free" }.into(),
+            routing: if policy_on {
+                "valley-free"
+            } else {
+                "policy-free"
+            }
+            .into(),
             normal_adoption_pct: mean(&normal),
             moas_adoption_pct: mean(&moas),
             mean_suppressed: mean(&suppressed),
@@ -200,7 +221,7 @@ pub fn valley_free_ablation(runs: usize, seed: u64) -> Vec<ValleyFreePoint> {
 }
 
 /// Outcome of the community-stripping ablation at one stripping fraction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrippingPoint {
     /// Fraction of ASes that drop community attributes on export.
     pub stripper_fraction: f64,
@@ -211,6 +232,13 @@ pub struct StrippingPoint {
     /// Mean confirmed alarms per run.
     pub mean_confirmed_alarms: f64,
 }
+
+json::impl_json_struct!(StrippingPoint {
+    stripper_fraction,
+    mean_adoption_pct,
+    mean_false_alarms,
+    mean_confirmed_alarms,
+});
 
 /// §4.3's community-dropping hazard, quantified: sweep the fraction of
 /// stripper ASes and measure false alarms and protection. The paper's claim
@@ -244,13 +272,10 @@ pub fn stripping_ablation(
                 .collect();
             let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
             let stripper_count = ((asns.len() as f64) * fraction).round() as usize;
-            let strippers: BTreeSet<Asn> = sim_engine::rng::sample_distinct(
-                &mut rng,
-                &candidates,
-                stripper_count,
-            )
-            .into_iter()
-            .collect();
+            let strippers: BTreeSet<Asn> =
+                sim_engine::rng::sample_distinct(&mut rng, &candidates, stripper_count)
+                    .into_iter()
+                    .collect();
 
             let trial = TrialConfig {
                 strippers,
@@ -273,7 +298,7 @@ pub fn stripping_ablation(
 }
 
 /// Outcome of the list-forgery ablation for one strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForgeryPoint {
     /// The strategy, as a display string.
     pub forgery: String,
@@ -282,6 +307,12 @@ pub struct ForgeryPoint {
     /// Mean alarms per run.
     pub mean_alarms: f64,
 }
+
+json::impl_json_struct!(ForgeryPoint {
+    forgery,
+    mean_adoption_pct,
+    mean_alarms,
+});
 
 /// Compares attacker list-forgery strategies under full deployment: none of
 /// them should beat the mechanism, but they trip different checks
@@ -292,7 +323,11 @@ pub fn forgery_ablation(graph: &AsGraph, runs: usize, seed: u64) -> Vec<ForgeryP
     let asns: Vec<Asn> = graph.asns().collect();
     let mut out = Vec::new();
 
-    for forgery in [ListForgery::None, ListForgery::IncludeSelf, ListForgery::CopyValid] {
+    for forgery in [
+        ListForgery::None,
+        ListForgery::IncludeSelf,
+        ListForgery::CopyValid,
+    ] {
         let mut adoption = Vec::new();
         let mut alarms = Vec::new();
         for run in 0..runs {

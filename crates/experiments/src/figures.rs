@@ -18,11 +18,17 @@ pub fn experiment1(origin_count: usize, base: &SweepConfig) -> FigureReport {
     let graph = PaperTopology::As46.graph();
     let normal = run_sweep(
         graph,
-        &base.clone().origin_count(origin_count).deployment_fraction(0.0),
+        &base
+            .clone()
+            .origin_count(origin_count)
+            .deployment_fraction(0.0),
     );
     let full = run_sweep(
         graph,
-        &base.clone().origin_count(origin_count).deployment_fraction(1.0),
+        &base
+            .clone()
+            .origin_count(origin_count)
+            .deployment_fraction(1.0),
     );
     FigureReport::new(
         format!("fig9{}", if origin_count == 1 { "a" } else { "b" }),
@@ -140,7 +146,10 @@ mod tests {
         let fig = experiment2(1, &tiny());
         assert_eq!(fig.series.len(), 6);
         assert!(fig.series.iter().any(|s| s.label == "25-AS Normal BGP"));
-        assert!(fig.series.iter().any(|s| s.label == "63-AS Full MOAS Detection"));
+        assert!(fig
+            .series
+            .iter()
+            .any(|s| s.label == "63-AS Full MOAS Detection"));
     }
 
     #[test]

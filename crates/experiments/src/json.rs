@@ -1,0 +1,590 @@
+//! Dependency-free JSON encoding for experiment provenance.
+//!
+//! The experiment configs and figure reports are serialized to pretty JSON
+//! for EXPERIMENTS.md; with no crates.io access in the build environment this
+//! module replaces `serde`/`serde_json` with a small hand-rolled value type,
+//! printer, and parser covering exactly the shapes the reports need
+//! (objects, arrays, strings, finite numbers, booleans).
+//!
+//! Numbers round-trip exactly: they are printed with Rust's shortest
+//! round-trip `f64` formatting and parsed back with `str::parse::<f64>`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a JSON document failed to parse or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset the parser had reached (0 for decode errors).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn decode_err(message: impl Into<String>) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset: 0,
+    }
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing data after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        // Integral values print without an exponent or fraction.
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n:?}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| JsonError {
+            message: format!("invalid number '{text}'"),
+            offset: start,
+        })?;
+        if !n.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+/// Types encodable as JSON.
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json_value(&self) -> Json;
+}
+
+/// Types decodable from JSON.
+pub trait FromJson: Sized {
+    /// Builds from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on a shape or domain mismatch.
+    fn from_json_value(value: &Json) -> Result<Self, JsonError>;
+}
+
+/// Pretty-prints any encodable value.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> String {
+    value.to_json_value().pretty()
+}
+
+/// Parses and decodes any decodable value.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] if the document does not parse or decode.
+pub fn from_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    T::from_json_value(&Json::parse(input)?)
+}
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Num(n) => Ok(*n),
+            _ => Err(decode_err("expected number")),
+        }
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+                match value {
+                    Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= (<$t>::MAX as f64) => {
+                        Ok(*n as $t)
+                    }
+                    _ => Err(decode_err(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_json_int!(u32, u64, usize);
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(decode_err("expected boolean")),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(decode_err("expected string")),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Arr(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(decode_err("expected array")),
+        }
+    }
+}
+
+impl<K: ToJson + Ord + fmt::Display, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> FromJson for BTreeMap<K, V>
+where
+    K: FromJson + Ord + std::str::FromStr,
+    V: FromJson,
+{
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| decode_err(format!("bad map key '{k}'")))?;
+                    Ok((key, V::from_json_value(v)?))
+                })
+                .collect(),
+            _ => Err(decode_err("expected object")),
+        }
+    }
+}
+
+/// Derives [`ToJson`]/[`FromJson`] for a named-field struct.
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json_value(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(), self.$field.to_json_value())),+
+                ])
+            }
+        }
+
+        impl $crate::json::FromJson for $ty {
+            fn from_json_value(value: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok($ty {
+                    $($field: $crate::json::FromJson::from_json_value(
+                        value.get(stringify!($field)).ok_or_else(|| $crate::json::JsonError {
+                            message: format!(
+                                "missing field '{}' of {}",
+                                stringify!($field),
+                                stringify!($ty),
+                            ),
+                            offset: 0,
+                        })?,
+                    )?),+
+                })
+            }
+        }
+    };
+}
+
+pub(crate) use impl_json_struct;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for doc in ["0", "-12.5", "1e3", "true", "false", "null", "\"a b\\nc\""] {
+            let v = Json::parse(doc).unwrap();
+            assert_eq!(Json::parse(&v.pretty()).unwrap(), v, "{doc}");
+        }
+    }
+
+    #[test]
+    fn struct_shape_round_trips() {
+        let value = Json::Obj(vec![
+            ("name".into(), Json::Str("fig9a".into())),
+            (
+                "points".into(),
+                Json::Arr(vec![Json::Num(0.25), Json::Num(36.0)]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+            ("flag".into(), Json::Bool(true)),
+        ]);
+        let text = value.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), value);
+        assert!(text.contains("\"points\": [\n"));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [0.1, 1.0 / 3.0, 683.0, 1e-9, f64::MAX] {
+            let printed = Json::Num(n).pretty();
+            match Json::parse(&printed).unwrap() {
+                Json::Num(back) => assert_eq!(back, n, "{printed}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = Json::parse("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("[1] extra").is_err());
+        assert!(Json::parse("+inf").is_err());
+    }
+
+    #[test]
+    fn map_codec() {
+        let mut m = BTreeMap::new();
+        m.insert(2usize, 7usize);
+        m.insert(3usize, 1usize);
+        let back: BTreeMap<usize, usize> = from_str(&to_string_pretty(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_type_mismatch_fails() {
+        assert!(from_str::<f64>("\"nope\"").is_err());
+        assert!(from_str::<u64>("1.5").is_err());
+        assert!(from_str::<u64>("-3").is_err());
+        assert!(from_str::<Vec<f64>>("{}").is_err());
+    }
+}

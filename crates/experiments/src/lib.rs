@@ -34,6 +34,7 @@
 
 mod ablation;
 mod figures;
+pub mod json;
 mod overhead;
 mod report;
 mod stats;
@@ -45,7 +46,9 @@ pub use ablation::{
     valley_free_ablation, ForgeryPoint, StrippingPoint, SubPrefixAblation, ValleyFreePoint,
 };
 pub use figures::{experiment1, experiment2, experiment3};
-pub use overhead::{moas_list_overhead, OverheadReport, WireModel};
+pub use overhead::{
+    measure_moas_list_overhead, moas_list_overhead, OverheadReport, WireModel, MRT_FRAMING_BYTES,
+};
 pub use report::{FigureReport, SeriesReport};
 pub use stats::{mean, stddev};
 pub use sweep::{run_sweep, SweepConfig, SweepPoint};

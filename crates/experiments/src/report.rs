@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
+use crate::json;
 use crate::sweep::SweepPoint;
 
 /// One curve of a figure, e.g. "46-AS Normal BGP".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesReport {
     /// Human-readable curve label, matching the paper's legends.
     pub label: String,
@@ -15,8 +14,10 @@ pub struct SeriesReport {
     pub points: Vec<SweepPoint>,
 }
 
+json::impl_json_struct!(SeriesReport { label, points });
+
 /// A reproduced figure: several curves over the same X axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureReport {
     /// Identifier, e.g. `"fig9a"`.
     pub id: String,
@@ -25,6 +26,8 @@ pub struct FigureReport {
     /// The curves.
     pub series: Vec<SeriesReport>,
 }
+
+json::impl_json_struct!(FigureReport { id, title, series });
 
 impl FigureReport {
     /// Creates a figure report.
@@ -51,7 +54,12 @@ impl FigureReport {
         }
         out.push('\n');
 
-        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for row in 0..rows {
             let x = self
                 .series
@@ -74,14 +82,9 @@ impl FigureReport {
     }
 
     /// Serializes the full figure to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics only if serde_json fails on this plain data type, which cannot
-    /// happen.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain struct serializes")
+        json::to_string_pretty(self)
     }
 }
 
@@ -140,7 +143,7 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let fig = figure();
-        let back: FigureReport = serde_json::from_str(&fig.to_json()).unwrap();
+        let back: FigureReport = crate::json::from_str(&fig.to_json()).unwrap();
         assert_eq!(back, fig);
     }
 

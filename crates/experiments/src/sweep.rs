@@ -5,13 +5,13 @@ use std::collections::BTreeSet;
 use as_topology::AsGraph;
 use bgp_types::Asn;
 use moas_core::{Deployment, ListForgery, UnresolvedPolicy};
-use serde::{Deserialize, Serialize};
 
+use crate::json::{self, FromJson, Json, JsonError, ToJson};
 use crate::stats::{mean, stddev};
 use crate::trial::{run_trial, TrialConfig, TrialOutcome};
 
 /// Configuration of one sweep (one curve of a figure).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Number of legitimate origin ASes (the paper uses 1 and 2; it does not
     /// simulate more because 96.14% of real MOAS cases involve two ASes).
@@ -20,7 +20,6 @@ pub struct SweepConfig {
     /// 1.0 = Full MOAS Detection, 0.5 = the §5.4 partial deployment.
     pub deployment_fraction: f64,
     /// Attacker list-forgery strategy.
-    #[serde(with = "forgery_serde")]
     pub forgery: ListForgery,
     /// X axis: attacker counts as fractions of the topology size.
     pub attacker_fractions: Vec<f64>,
@@ -34,35 +33,45 @@ pub struct SweepConfig {
     pub seed: u64,
 }
 
-// ListForgery lives in moas-core without serde; serialize via a local shim.
-mod forgery_serde {
-    use super::ListForgery;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    enum Repr {
-        None,
-        IncludeSelf,
-        CopyValid,
-    }
-
-    pub fn serialize<S: Serializer>(v: &ListForgery, s: S) -> Result<S::Ok, S::Error> {
-        let repr = match v {
-            ListForgery::None => Repr::None,
-            ListForgery::IncludeSelf => Repr::IncludeSelf,
-            ListForgery::CopyValid => Repr::CopyValid,
-        };
-        repr.serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ListForgery, D::Error> {
-        Ok(match Repr::deserialize(d)? {
-            Repr::None => ListForgery::None,
-            Repr::IncludeSelf => ListForgery::IncludeSelf,
-            Repr::CopyValid => ListForgery::CopyValid,
-        })
+// ListForgery lives in moas-core without JSON support; encode it here as a
+// variant-name string.
+impl ToJson for ListForgery {
+    fn to_json_value(&self) -> Json {
+        Json::Str(
+            match self {
+                ListForgery::None => "None",
+                ListForgery::IncludeSelf => "IncludeSelf",
+                ListForgery::CopyValid => "CopyValid",
+            }
+            .to_string(),
+        )
     }
 }
+
+impl FromJson for ListForgery {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) if s == "None" => Ok(ListForgery::None),
+            Json::Str(s) if s == "IncludeSelf" => Ok(ListForgery::IncludeSelf),
+            Json::Str(s) if s == "CopyValid" => Ok(ListForgery::CopyValid),
+            _ => Err(JsonError {
+                message: "expected a ListForgery variant name".to_string(),
+                offset: 0,
+            }),
+        }
+    }
+}
+
+json::impl_json_struct!(SweepConfig {
+    origin_count,
+    deployment_fraction,
+    forgery,
+    attacker_fractions,
+    origin_set_count,
+    attacker_set_count,
+    max_link_delay,
+    seed,
+});
 
 impl SweepConfig {
     /// The paper's protocol: 15 runs per point (3 origin sets × 5 attacker
@@ -121,7 +130,7 @@ impl SweepConfig {
 }
 
 /// One averaged data point of a sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The attacker fraction this point was requested at (the sweep's X
     /// coordinate; `attacker_count` is this fraction rounded to whole ASes).
@@ -220,17 +229,22 @@ pub fn run_sweep(graph: &AsGraph, config: &SweepConfig) -> Vec<SweepPoint> {
     points
 }
 
-// Hook the shim into the derive.
+json::impl_json_struct!(SweepPoint {
+    requested_fraction,
+    attacker_count,
+    attacker_pct,
+    mean_adoption_pct,
+    stddev_adoption_pct,
+    mean_alarms,
+    mean_queries,
+    mean_messages,
+});
+
 impl SweepConfig {
     /// Serializes to pretty JSON (for EXPERIMENTS.md provenance).
-    ///
-    /// # Panics
-    ///
-    /// Panics only if serde_json fails on this plain data type, which cannot
-    /// happen.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain struct serializes")
+        json::to_string_pretty(self)
     }
 }
 
@@ -292,7 +306,7 @@ mod tests {
     fn config_json_round_trips() {
         let config = SweepConfig::paper();
         let json = config.to_json();
-        let back: SweepConfig = serde_json::from_str(&json).unwrap();
+        let back: SweepConfig = crate::json::from_str(&json).unwrap();
         assert_eq!(back.origin_count, config.origin_count);
         assert_eq!(back.attacker_fractions, config.attacker_fractions);
     }

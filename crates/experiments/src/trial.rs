@@ -48,7 +48,9 @@ impl TrialConfig {
             unresolved: UnresolvedPolicy::Accept,
             max_link_delay: 4,
             seed: 0,
-            prefix: crate::VICTIM_PREFIX.parse().expect("victim prefix constant"),
+            prefix: crate::VICTIM_PREFIX
+                .parse()
+                .expect("victim prefix constant"),
         }
     }
 }
@@ -163,7 +165,10 @@ mod tests {
     use as_topology::InternetModel;
 
     fn graph() -> AsGraph {
-        InternetModel::new().transit_count(10).stub_count(40).build(5)
+        InternetModel::new()
+            .transit_count(10)
+            .stub_count(40)
+            .build(5)
     }
 
     fn pick(graph: &AsGraph, seed: u64, origins: usize, attackers: usize) -> (Vec<Asn>, Vec<Asn>) {

@@ -245,7 +245,10 @@ mod tests {
             .filter(|c| matches!(c.cause, Cause::Fault(_)))
             .map(|c| c.prefix)
             .collect();
-        for case in classified.iter().filter(|c| fault_prefixes.contains(&c.prefix)) {
+        for case in classified
+            .iter()
+            .filter(|c| fault_prefixes.contains(&c.prefix))
+        {
             assert_eq!(case.verdict, Verdict::Invalid, "{}", case.prefix);
         }
     }

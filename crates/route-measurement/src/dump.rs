@@ -28,7 +28,6 @@ use bgp_types::{Asn, Ipv4Prefix};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DailyDump {
     day: u32,
     origins: BTreeMap<Ipv4Prefix, BTreeSet<Asn>>,

@@ -53,7 +53,6 @@ pub fn median(values: &[usize]) -> f64 {
 /// Aggregate statistics over a collection period, mirroring every §3.1
 /// number the paper reports.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MeasurementSummary {
     /// Distinct prefixes that were ever in MOAS state.
     pub total_cases: usize,
@@ -178,7 +177,11 @@ fn peak_spike(dumps: &[DailyDump]) -> u32 {
     let mut best_excess = 0isize;
     for i in 0..counts.len() {
         let prev = if i == 0 { counts[i] } else { counts[i - 1] };
-        let next = if i + 1 == counts.len() { counts[i] } else { counts[i + 1] };
+        let next = if i + 1 == counts.len() {
+            counts[i]
+        } else {
+            counts[i + 1]
+        };
         let baseline = prev.min(next);
         let excess = counts[i] as isize - baseline as isize;
         if excess > best_excess {

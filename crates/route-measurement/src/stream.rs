@@ -166,11 +166,19 @@ mod tests {
         let d1 = DailyDump::new(1); // everything withdrawn
         let events = origin_events(&[d0, d1]);
         assert_eq!(events.len(), 4);
-        let announced = events.iter().filter(|e| e.kind == OriginEventKind::Announced).count();
-        let withdrawn = events.iter().filter(|e| e.kind == OriginEventKind::Withdrawn).count();
+        let announced = events
+            .iter()
+            .filter(|e| e.kind == OriginEventKind::Announced)
+            .count();
+        let withdrawn = events
+            .iter()
+            .filter(|e| e.kind == OriginEventKind::Withdrawn)
+            .count();
         assert_eq!(announced, 2);
         assert_eq!(withdrawn, 2);
-        assert!(events.iter().any(|e| e.leaves_moas() || e.origins_after == 0));
+        assert!(events
+            .iter()
+            .any(|e| e.leaves_moas() || e.origins_after == 0));
     }
 
     #[test]

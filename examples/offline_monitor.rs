@@ -11,7 +11,10 @@ use moas::types::{Asn, MoasList};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 60-AS synthetic Internet running *unmodified* BGP.
-    let graph = InternetModel::new().transit_count(10).stub_count(50).build(2024);
+    let graph = InternetModel::new()
+        .transit_count(10)
+        .stub_count(50)
+        .build(2024);
     let stubs = graph.stub_asns();
     let victim = stubs[0];
     let attacker = stubs[25];
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .asns()
         .filter(|&a| a != attacker && net.best_origin(a, prefix) == Some(attacker))
         .count();
-    println!("plain BGP: {fooled} of {} ASes adopted the false route", graph.len() - 1);
+    println!(
+        "plain BGP: {fooled} of {} ASes adopted the false route",
+        graph.len() - 1
+    );
 
     // The offline monitor peers with a handful of transit ASes, like the
     // Route Views collector, and periodically checks what they see.

@@ -49,8 +49,18 @@ fn main() {
     println!("{summary}");
     println!(
         "  2-origin cases: {:.2}% (paper: 96.14%); 3-origin: {:.2}% (paper: 2.7%)",
-        100.0 * summary.origin_size_fractions.get(&2).copied().unwrap_or(0.0),
-        100.0 * summary.origin_size_fractions.get(&3).copied().unwrap_or(0.0),
+        100.0
+            * summary
+                .origin_size_fractions
+                .get(&2)
+                .copied()
+                .unwrap_or(0.0),
+        100.0
+            * summary
+                .origin_size_fractions
+                .get(&3)
+                .copied()
+                .unwrap_or(0.0),
     );
 
     // Ground-truth cause breakdown (available only in simulation).

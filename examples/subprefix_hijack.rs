@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .asns()
         .filter(|&a| net.best_origin(a, prefix) == Some(victim))
         .count();
-    println!("covering-route census: {intact}/{} ASes still route {prefix} to the victim", graph.len());
+    println!(
+        "covering-route census: {intact}/{} ASes still route {prefix} to the victim",
+        graph.len()
+    );
 
     // Data plane: traffic to the hijacked half flows to the attacker.
     let plane = ForwardingPlane::snapshot(&net);
@@ -59,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show one trace in full.
     let observer = graph.transit_asns()[0];
-    println!("\nexample trace from {observer}: {}", plane.trace(observer, sub.network()));
+    println!(
+        "\nexample trace from {observer}: {}",
+        plane.trace(observer, sub.network())
+    );
     println!("\nConclusion (§4.3): the MOAS list does not defend against more-specific hijacks;");
     println!("pair it with coverage checks or prefix-ownership validation for that threat.");
     Ok(())

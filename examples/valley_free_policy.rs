@@ -37,7 +37,9 @@ fn main() {
     );
 
     // 2. Does the MOAS mechanism survive policy routing?
-    println!("\nMOAS detection with and without valley-free export (75-AS ground truth, 3 attackers):");
+    println!(
+        "\nMOAS detection with and without valley-free export (75-AS ground truth, 3 attackers):"
+    );
     println!("  routing        Normal BGP   Full MOAS   suppressed advertisements");
     for p in valley_free_ablation(10, 7) {
         println!(

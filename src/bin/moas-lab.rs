@@ -10,22 +10,28 @@
 //! $ moas-lab trial --attackers 5 # One simulation run, in detail
 //! $ moas-lab ablations           # §4.3 limitation studies
 //! $ moas-lab overhead            # §4.3 list-size overhead
+//! $ moas-lab export-mrt --out d.mrt   # Simulate and export MRT table dumps
+//! $ moas-lab import-mrt d.mrt         # Re-analyze any IPv4 MRT table dump
 //! ```
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use moas::detection::Deployment;
+use moas::detection::{Deployment, OfflineMonitor};
 use moas::experiments::{
-    experiment1, experiment2, experiment3, forgery_ablation, moas_list_overhead, run_trial,
-    stripping_ablation, subprefix_ablation, valley_free_ablation, SweepConfig, TrialConfig,
-    WireModel,
+    experiment1, experiment2, experiment3, forgery_ablation, measure_moas_list_overhead,
+    moas_list_overhead, run_trial, stripping_ablation, subprefix_ablation, valley_free_ablation,
+    SweepConfig, TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, TimelineConfig,
 };
 use moas::topology::paper::PaperTopology;
 use moas::topology::GraphMetrics;
-use moas::types::Asn;
+use moas::types::{AsPath, Asn, Ipv4Prefix, MoasList, Route, Update};
+use moas::wire::mrt::MrtWriter;
+use moas::wire::{export_rib_snapshot, export_update_stream, import_table_dumps};
 
 const USAGE: &str = "\
 moas-lab — reproduction of 'Detection of Invalid Routing Announcement in the Internet' (DSN 2002)
@@ -41,6 +47,11 @@ COMMANDS:
                                     Run one simulation trial and print the outcome
     ablations                       Run the §4.3 limitation studies
     overhead                        Measure the MOAS-list table overhead
+    export-mrt --out FILE [--days N] [--topology N] [--seed S]
+                                    Simulate a network and export daily RIB snapshots
+                                    (and the day's update stream) as RFC 6396 MRT
+    import-mrt FILE [--offline-scan]
+                                    Import MRT table dumps and report daily MOAS counts
     help                            Show this message
 ";
 
@@ -54,6 +65,8 @@ fn main() -> ExitCode {
         "trial" => trial(&args),
         "ablations" => ablations(),
         "overhead" => overhead(),
+        "export-mrt" => export_mrt(&args),
+        "import-mrt" => import_mrt(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -240,16 +253,209 @@ fn ablations() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The prefix each stub AS originates in the exported scenario.
+fn stub_prefix(index: usize) -> Ipv4Prefix {
+    Ipv4Prefix::new((10 << 24) | ((index as u32 + 1) << 16), 16)
+}
+
+/// Simulates a multihoming scenario on a canonical topology and exports one
+/// MRT table snapshot per day, collected at every transit AS. Each stub
+/// originates its own prefix; every day a seeded subset of stubs is also
+/// announced by a partner stub (legitimate multihoming), so the collector
+/// observes a fluctuating daily MOAS population — the shape of Figure 4.
+fn export_mrt(args: &[String]) -> ExitCode {
+    let Some(path) = option::<String>(args, "--out") else {
+        eprintln!(
+            "usage: moas-lab export-mrt --out FILE [--days N] [--topology 25|46|63] [--seed S]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let days: u32 = option(args, "--days").unwrap_or(10);
+    let seed: u64 = option(args, "--seed").unwrap_or(7);
+    let topology = args
+        .iter()
+        .position(|a| a == "--topology")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| parse_topology(s))
+        .unwrap_or(PaperTopology::As46);
+    let graph = topology.graph();
+    let vantages = graph.transit_asns();
+    let stubs = graph.stub_asns();
+
+    let file = match File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = MrtWriter::new(BufWriter::new(file));
+    let mut previous_active: Vec<bool> = vec![false; stubs.len()];
+
+    for day in 0..days {
+        // Which stubs are multihomed today (announced by a partner too).
+        let mut rng = moas::sim::rng::from_seed(moas::sim::rng::derive_seed(seed, u64::from(day)));
+        let active: Vec<bool> = (0..stubs.len())
+            .map(|_| moas::sim::rng::coin(&mut rng, 0.3))
+            .collect();
+
+        let mut net = moas::bgp::Network::new(graph);
+        for (i, &stub) in stubs.iter().enumerate() {
+            let prefix = stub_prefix(i);
+            if active[i] {
+                let partner = stubs[(i + 1) % stubs.len()];
+                let mut list = MoasList::implicit(stub);
+                list.insert(partner);
+                net.originate(stub, prefix, Some(list.clone()));
+                net.originate(partner, prefix, Some(list));
+            } else {
+                net.originate(stub, prefix, None);
+            }
+        }
+        if net.run().is_err() {
+            eprintln!("day {day}: simulation failed to converge");
+            return ExitCode::FAILURE;
+        }
+
+        let summary = match export_rib_snapshot(&mut writer, &net, &vantages, day) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("day {day}: export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        // The day's update stream: multihoming changes since yesterday.
+        let mut updates: Vec<(Asn, Update)> = Vec::new();
+        for (i, &stub) in stubs.iter().enumerate() {
+            let partner = stubs[(i + 1) % stubs.len()];
+            let prefix = stub_prefix(i);
+            if active[i] && !previous_active[i] {
+                let mut list = MoasList::implicit(stub);
+                list.insert(partner);
+                let route = Route::new(prefix, AsPath::origination(partner)).with_moas_list(list);
+                updates.push((partner, Update::announce(route)));
+            } else if !active[i] && previous_active[i] {
+                updates.push((partner, Update::withdraw(prefix)));
+            }
+        }
+        if let Err(e) = export_update_stream(&mut writer, day, updates.iter().map(|(a, u)| (*a, u)))
+        {
+            eprintln!("day {day}: update export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        previous_active = active;
+
+        // The collector's view of today, for comparison with import-mrt.
+        let mut moas = 0usize;
+        let mut prefixes = 0usize;
+        for i in 0..stubs.len() {
+            let prefix = stub_prefix(i);
+            let origins: std::collections::BTreeSet<Asn> = vantages
+                .iter()
+                .filter_map(|&v| net.best_route(v, prefix))
+                .filter_map(|r| r.origin_as())
+                .collect();
+            if !origins.is_empty() {
+                prefixes += 1;
+            }
+            if origins.len() > 1 {
+                moas += 1;
+            }
+        }
+        println!(
+            "day {day}: {prefixes} prefixes, {moas} moas, {} rib entries, {} updates",
+            summary.entries,
+            updates.len()
+        );
+    }
+
+    match writer.finish() {
+        Ok(_) => {
+            println!("wrote {days} daily snapshots to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot finish {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Imports an MRT table-dump stream and reports the measurement pipeline's
+/// view of it: per-day MOAS counts, origin-change events, and (with
+/// `--offline-scan`) the offline monitor's findings.
+fn import_mrt(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: moas-lab import-mrt FILE [--offline-scan]");
+        return ExitCode::FAILURE;
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let imported = match import_table_dumps(BufReader::new(file)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot import {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for dump in &imported.dumps {
+        println!(
+            "day {}: {} prefixes, {} moas",
+            dump.day(),
+            dump.prefix_count(),
+            dump.moas_count()
+        );
+    }
+    let events = moas::measurement::origin_events(&imported.dumps);
+    println!(
+        "total: {} dumps, {} routes, {} origin events, {} skipped BGP4MP records",
+        imported.dumps.len(),
+        imported.routes.len(),
+        events.len(),
+        imported.skipped_messages
+    );
+
+    if flag(args, "--offline-scan") {
+        let monitor = OfflineMonitor::new();
+        let mut findings = 0usize;
+        for dump in &imported.dumps {
+            let day = dump.day();
+            let routes = imported
+                .routes
+                .iter()
+                .filter(|(d, _)| *d == day)
+                .map(|(_, r)| r.clone());
+            findings += monitor.scan(routes).len();
+        }
+        println!(
+            "offline monitor: {findings} findings across {} days",
+            imported.dumps.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn overhead() -> ExitCode {
     let timeline = generate_timeline(&TimelineConfig::paper().with_days(30));
-    let report = moas_list_overhead(
-        timeline.dumps.last().expect("timeline has dumps"),
-        WireModel::default(),
+    let dump = timeline.dumps.last().expect("timeline has dumps");
+    let analytic = moas_list_overhead(dump, WireModel::default());
+    let measured = measure_moas_list_overhead(dump);
+    println!("analytic: {analytic}");
+    println!("measured: {measured}");
+    println!(
+        "codec cross-check: added bytes agree exactly ({} == {})",
+        measured.added_bytes, analytic.added_bytes
     );
-    println!("{report}");
     println!(
         "against a 100k-route 2001 table: {:.4}% added",
-        100.0 * report.added_bytes as f64 / (100_000.0 * 36.0)
+        100.0 * measured.added_bytes as f64 / (100_000.0 * 36.0)
     );
     ExitCode::SUCCESS
 }

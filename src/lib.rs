@@ -19,7 +19,9 @@
 //! * [`detection`] — the MOAS monitor, verifiers, attacker models and the
 //!   offline monitor (the paper's contribution);
 //! * [`measurement`] — the Figures 4-5 measurement study;
-//! * [`experiments`] — the Figures 9-11 experiment harness and ablations.
+//! * [`experiments`] — the Figures 9-11 experiment harness and ablations;
+//! * [`wire`] — BGP UPDATE and MRT codecs bridging the simulator and the
+//!   measurement pipeline through real Route Views-style bytes.
 //!
 //! # Quickstart
 //!
@@ -93,4 +95,9 @@ pub mod measurement {
 /// The §5 experiment harness ([`experiments`] crate).
 pub mod experiments {
     pub use experiments::*;
+}
+
+/// RFC 4271/1997 BGP and RFC 6396 MRT wire codecs ([`bgp_wire`]).
+pub mod wire {
+    pub use bgp_wire::*;
 }

@@ -50,13 +50,29 @@ fn topology_command_rejects_bad_size() {
 
 #[test]
 fn trial_with_and_without_detection() {
-    let none = moas_lab(&["trial", "--attackers", "4", "--deployment", "none", "--seed", "3"]);
+    let none = moas_lab(&[
+        "trial",
+        "--attackers",
+        "4",
+        "--deployment",
+        "none",
+        "--seed",
+        "3",
+    ]);
     assert!(none.status.success());
     let none_text = String::from_utf8_lossy(&none.stdout).to_string();
     assert!(none_text.contains("adopted a false route"));
     assert!(none_text.contains("alarms: 0"));
 
-    let full = moas_lab(&["trial", "--attackers", "4", "--deployment", "full", "--seed", "3"]);
+    let full = moas_lab(&[
+        "trial",
+        "--attackers",
+        "4",
+        "--deployment",
+        "full",
+        "--seed",
+        "3",
+    ]);
     assert!(full.status.success());
     let full_text = String::from_utf8_lossy(&full.stdout).to_string();
     assert!(full_text.contains("confirmed"));
@@ -68,7 +84,10 @@ fn trial_with_and_without_detection() {
     };
     let none_line = none_text.lines().find(|l| l.contains("adopted")).unwrap();
     let full_line = full_text.lines().find(|l| l.contains("adopted")).unwrap();
-    assert!(pct(full_line) <= pct(none_line), "{full_line} vs {none_line}");
+    assert!(
+        pct(full_line) <= pct(none_line),
+        "{full_line} vs {none_line}"
+    );
 }
 
 #[test]
@@ -87,4 +106,105 @@ fn overhead_reports_costs() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("bytes added"));
     assert!(text.contains("100k-route"));
+    // Both the analytic model and the codec-measured numbers appear, and
+    // they agree on the added bytes.
+    assert!(text.contains("analytic:"));
+    assert!(text.contains("measured:"));
+    assert!(text.contains("added bytes agree exactly"));
+}
+
+#[test]
+fn usage_mentions_mrt_commands() {
+    let out = moas_lab(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("export-mrt"));
+    assert!(text.contains("import-mrt"));
+}
+
+#[test]
+fn export_mrt_requires_out_path() {
+    let out = moas_lab(&["export-mrt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn import_mrt_requires_a_file() {
+    let out = moas_lab(&["import-mrt"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn import_mrt_missing_file_fails_with_message() {
+    let out = moas_lab(&["import-mrt", "/nonexistent/no-such-archive.mrt"]);
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn import_mrt_garbage_file_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("moas-cli-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.mrt");
+    std::fs::write(&path, b"this is not an MRT archive at all............").unwrap();
+    let out = moas_lab(&["import-mrt", path.to_str().unwrap()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("at byte"),
+        "error should carry an offset: {err}"
+    );
+}
+
+#[test]
+fn export_import_round_trip_preserves_daily_moas_counts() {
+    let dir = std::env::temp_dir().join(format!("moas-cli-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sim.mrt");
+    let path_str = path.to_str().unwrap();
+
+    let exported = moas_lab(&[
+        "export-mrt",
+        "--out",
+        path_str,
+        "--days",
+        "4",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        exported.status.success(),
+        "{}",
+        String::from_utf8_lossy(&exported.stderr)
+    );
+    let exported_text = String::from_utf8_lossy(&exported.stdout).to_string();
+
+    let imported = moas_lab(&["import-mrt", path_str]);
+    assert!(
+        imported.status.success(),
+        "{}",
+        String::from_utf8_lossy(&imported.stderr)
+    );
+    let imported_text = String::from_utf8_lossy(&imported.stdout).to_string();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The per-day "prefixes, moas" counts printed by the exporter must come
+    // back identically from the importer.
+    let day_counts = |text: &str| -> Vec<(String, String)> {
+        text.lines()
+            .filter(|l| l.starts_with("day "))
+            .map(|l| {
+                let mut parts = l.split(", ");
+                let first = parts.next().unwrap(); // "day N: P prefixes"
+                let moas = parts.find(|p| p.contains("moas")).unwrap();
+                (first.to_string(), moas.to_string())
+            })
+            .collect()
+    };
+    let exported_days = day_counts(&exported_text);
+    let imported_days = day_counts(&imported_text);
+    assert_eq!(exported_days.len(), 4);
+    assert_eq!(exported_days, imported_days);
 }

@@ -10,21 +10,31 @@ use proptest::prelude::*;
 #[test]
 fn every_as_converges_to_the_single_origin() {
     for seed in 0..5 {
-        let graph = InternetModel::new().transit_count(12).stub_count(60).build(seed);
+        let graph = InternetModel::new()
+            .transit_count(12)
+            .stub_count(60)
+            .build(seed);
         let victim = graph.stub_asns()[seed as usize % 60];
         let prefix = prefix_for_asn(victim);
         let mut net = Network::new(&graph);
         net.originate(victim, prefix, None);
         net.run().unwrap();
         for asn in graph.asns() {
-            assert_eq!(net.best_origin(asn, prefix), Some(victim), "seed {seed}, {asn}");
+            assert_eq!(
+                net.best_origin(asn, prefix),
+                Some(victim),
+                "seed {seed}, {asn}"
+            );
         }
     }
 }
 
 #[test]
 fn withdrawal_after_convergence_clears_all_state() {
-    let graph = InternetModel::new().transit_count(10).stub_count(40).build(9);
+    let graph = InternetModel::new()
+        .transit_count(10)
+        .stub_count(40)
+        .build(9);
     let victim = graph.stub_asns()[0];
     let prefix = prefix_for_asn(victim);
     let mut net = Network::new(&graph);
@@ -40,7 +50,10 @@ fn withdrawal_after_convergence_clears_all_state() {
 
 #[test]
 fn flap_reconverges_to_the_same_state() {
-    let graph = InternetModel::new().transit_count(10).stub_count(40).build(11);
+    let graph = InternetModel::new()
+        .transit_count(10)
+        .stub_count(40)
+        .build(11);
     let victim = graph.stub_asns()[5];
     let prefix = prefix_for_asn(victim);
 
@@ -69,7 +82,10 @@ fn flap_reconverges_to_the_same_state() {
 fn message_complexity_is_bounded() {
     // A single origination in a quiescent network must cost O(links) + churn
     // from path exploration, not an explosion.
-    let graph = InternetModel::new().transit_count(10).stub_count(90).build(13);
+    let graph = InternetModel::new()
+        .transit_count(10)
+        .stub_count(90)
+        .build(13);
     let victim = graph.stub_asns()[0];
     let mut net = Network::new(&graph);
     net.originate(victim, prefix_for_asn(victim), None);

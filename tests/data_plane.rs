@@ -64,8 +64,7 @@ fn moas_detection_restores_data_plane_delivery() {
     let mut plain = Network::new(graph);
     plain.originate(victim, prefix(), Some(valid.clone()));
     plain.run().unwrap();
-    FalseOriginAttack::new(ListForgery::IncludeSelf)
-        .launch(&mut plain, attacker, prefix(), &valid);
+    FalseOriginAttack::new(ListForgery::IncludeSelf).launch(&mut plain, attacker, prefix(), &valid);
     plain.run().unwrap();
     let (plain_ok, plain_stolen, _) =
         ForwardingPlane::snapshot(&plain).capture_census(prefix().network(), victim, &exclude);
@@ -76,15 +75,25 @@ fn moas_detection_restores_data_plane_delivery() {
     let mut guarded = Network::with_monitor(graph, MoasMonitor::full(registry));
     guarded.originate(victim, prefix(), Some(valid.clone()));
     guarded.run().unwrap();
-    FalseOriginAttack::new(ListForgery::IncludeSelf)
-        .launch(&mut guarded, attacker, prefix(), &valid);
+    FalseOriginAttack::new(ListForgery::IncludeSelf).launch(
+        &mut guarded,
+        attacker,
+        prefix(),
+        &valid,
+    );
     guarded.run().unwrap();
     let (guarded_ok, guarded_stolen, _) =
         ForwardingPlane::snapshot(&guarded).capture_census(prefix().network(), victim, &exclude);
 
     assert!(guarded_ok >= plain_ok, "{guarded_ok} !>= {plain_ok}");
-    assert!(guarded_stolen <= plain_stolen, "{guarded_stolen} !<= {plain_stolen}");
-    assert_eq!(guarded_stolen, 0, "full deployment with stub attacker leaves no theft");
+    assert!(
+        guarded_stolen <= plain_stolen,
+        "{guarded_stolen} !<= {plain_stolen}"
+    );
+    assert_eq!(
+        guarded_stolen, 0,
+        "full deployment with stub attacker leaves no theft"
+    );
 }
 
 #[test]

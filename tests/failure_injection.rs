@@ -1,15 +1,19 @@
 //! Failure injection: community stripping in transit, unavailable DNS,
-//! stale registries — the operational hazards of §2 and §4.3, end to end.
+//! stale registries — the operational hazards of §2 and §4.3, end to end —
+//! plus corrupted MRT archives fed to the off-line monitor's import path.
 
 use std::collections::BTreeSet;
 
 use moas::bgp::Network;
 use moas::detection::{
-    DnsMoasVerifier, FalseOriginAttack, ListForgery, MoasConfig, MoasMonitor, RegistryVerifier,
-    UnresolvedPolicy,
+    DnsMoasVerifier, FalseOriginAttack, ListForgery, MoasConfig, MoasMonitor, OfflineMonitor,
+    RegistryVerifier, UnresolvedPolicy,
 };
 use moas::topology::{AsGraph, AsRole};
-use moas::types::{Asn, Ipv4Prefix, MoasList};
+use moas::types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
+use moas::wire::bgp::PathAttributes;
+use moas::wire::mrt::{MrtBody, MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibIpv4Unicast};
+use moas::wire::{day_to_timestamp, import_table_dumps, WireErrorKind};
 
 fn prefix() -> Ipv4Prefix {
     "208.8.0.0/16".parse().unwrap()
@@ -52,12 +56,18 @@ fn community_stripping_transit_causes_false_alarm_but_not_outage() {
     net.run().unwrap();
 
     let alarms = net.monitor().alarms();
-    assert!(alarms.false_alarm_count() > 0, "stripping must trip a false alarm");
+    assert!(
+        alarms.false_alarm_count() > 0,
+        "stripping must trip a false alarm"
+    );
     assert_eq!(alarms.confirmed_count(), 0);
     // No valid route was lost anywhere.
     for asn in [1, 2, 3, 4, 226] {
         let origin = net.best_origin(Asn(asn), prefix()).unwrap();
-        assert!(origin == Asn(4) || origin == Asn(226), "AS {asn} -> {origin}");
+        assert!(
+            origin == Asn(4) || origin == Asn(226),
+            "AS {asn} -> {origin}"
+        );
     }
 }
 
@@ -136,9 +146,17 @@ fn unavailable_dns_with_reject_policy_is_first_come_wins() {
     FalseOriginAttack::new(ListForgery::IncludeSelf).launch(&mut net, Asn(52), prefix(), &valid);
     net.run().unwrap();
 
-    assert_eq!(net.best_origin(Asn(1), prefix()), Some(Asn(52)), "first-come wins at AS 1");
+    assert_eq!(
+        net.best_origin(Asn(1), prefix()),
+        Some(Asn(52)),
+        "first-come wins at AS 1"
+    );
     for asn in [2, 3, 4, 226] {
-        assert_eq!(net.best_origin(Asn(asn), prefix()), Some(Asn(4)), "AS {asn}");
+        assert_eq!(
+            net.best_origin(Asn(asn), prefix()),
+            Some(Asn(4)),
+            "AS {asn}"
+        );
     }
     assert!(net.monitor().alarms().unresolved_count() > 0);
 }
@@ -155,12 +173,20 @@ fn stale_registry_blackholes_a_new_legitimate_origin() {
 
     let mut net = Network::with_monitor(&topology(), MoasMonitor::full(stale));
     net.originate(Asn(4), prefix(), Some(MoasList::implicit(Asn(4)))); // old list
-    net.originate(Asn(226), prefix(), Some([Asn(4), Asn(226)].into_iter().collect()));
+    net.originate(
+        Asn(226),
+        prefix(),
+        Some([Asn(4), Asn(226)].into_iter().collect()),
+    );
     net.run().unwrap();
 
     // Nobody except AS 226 itself routes to the new origin.
     for asn in [1, 2, 3, 4, 52] {
-        assert_eq!(net.best_origin(Asn(asn), prefix()), Some(Asn(4)), "AS {asn}");
+        assert_eq!(
+            net.best_origin(Asn(asn), prefix()),
+            Some(Asn(4)),
+            "AS {asn}"
+        );
     }
     assert!(
         net.monitor().alarms().confirmed_count() > 0,
@@ -183,7 +209,7 @@ fn flaky_dns_partially_protects() {
     net.run().unwrap();
 
     let alarms = net.monitor().alarms();
-    assert!(alarms.len() > 0);
+    assert!(!alarms.is_empty());
     let fooled: BTreeSet<Asn> = [1, 2, 3, 4, 226]
         .into_iter()
         .map(Asn)
@@ -191,4 +217,109 @@ fn flaky_dns_partially_protects() {
         .collect();
     // Plain BGP would fool exactly AS 1; flaky DNS can only do better or equal.
     assert!(fooled.is_subset(&[Asn(1)].into_iter().collect()));
+}
+
+/// A small MRT archive: one peer table, then one RIB record per route. The
+/// second prefix is a MOAS conflict — the attacker's route carries a list
+/// inconsistent with the victim's.
+fn archive_with_conflict() -> Vec<u8> {
+    let valid: MoasList = [Asn(4), Asn(226)].into_iter().collect();
+    let peer_table = MrtRecord {
+        timestamp: day_to_timestamp(0),
+        body: MrtBody::PeerIndexTable(PeerIndexTable {
+            collector_id: 1,
+            view_name: String::from("failure-injection"),
+            peers: vec![PeerEntry {
+                bgp_id: 1,
+                addr: (10 << 24) | 1,
+                asn: Asn(1),
+            }],
+        }),
+    };
+    let routes = [
+        Route::new(prefix(), AsPath::from_sequence([Asn(1), Asn(2), Asn(4)]))
+            .with_moas_list(valid.clone()),
+        Route::new(prefix(), AsPath::from_sequence([Asn(1), Asn(3), Asn(226)]))
+            .with_moas_list(valid),
+        Route::new(prefix(), AsPath::from_sequence([Asn(1), Asn(52)]))
+            .with_moas_list(MoasList::implicit(Asn(52))),
+    ];
+    let mut bytes = peer_table.encode().unwrap();
+    for (sequence, route) in routes.iter().enumerate() {
+        let record = MrtRecord {
+            timestamp: day_to_timestamp(0),
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: sequence as u32,
+                prefix: route.prefix(),
+                entries: vec![RibEntry {
+                    peer_index: 0,
+                    originated_time: day_to_timestamp(0),
+                    attrs: PathAttributes::from_route(route),
+                }],
+            }),
+        };
+        bytes.extend_from_slice(&record.encode().unwrap());
+    }
+    bytes
+}
+
+#[test]
+fn intact_archive_reaches_the_offline_monitor() {
+    // Baseline for the corruption tests: the clean archive imports, and the
+    // off-line monitor flags the inconsistent-list MOAS conflict.
+    let imported = import_table_dumps(archive_with_conflict().as_slice()).unwrap();
+    assert_eq!(imported.routes.len(), 3);
+    assert_eq!(imported.total_moas_count(), 1);
+    let findings =
+        OfflineMonitor::new().scan(imported.routes.iter().map(|(_, route)| route.clone()));
+    assert_eq!(findings.len(), 1, "the forged list must be flagged");
+    assert!(findings[0].origins.contains(&Asn(52)));
+}
+
+#[test]
+fn corrupt_mrt_archive_errors_cleanly_at_every_byte() {
+    // Flip every byte of the archive to every-other-bit garbage, one at a
+    // time. Import must either succeed (benign flip) or return a typed
+    // error — never panic, and never report an offset beyond the input.
+    let bytes = archive_with_conflict();
+    for position in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[position] ^= 0x55;
+        match import_table_dumps(mutated.as_slice()) {
+            Ok(imported) => assert!(imported.routes.len() <= 3),
+            Err(err) => assert!(
+                err.offset <= bytes.len() as u64 + 1,
+                "offset {} beyond archive at flipped byte {position}: {err}",
+                err.offset
+            ),
+        }
+    }
+}
+
+#[test]
+fn truncated_mrt_archive_errors_or_imports_the_intact_prefix() {
+    // A tape cut at a record boundary is a clean (shorter) archive; a cut
+    // mid-record must produce a Truncated error, not a panic.
+    let bytes = archive_with_conflict();
+    for cut in 0..bytes.len() {
+        match import_table_dumps(&bytes[..cut]) {
+            Ok(imported) => assert!(imported.routes.len() < 3),
+            Err(err) => assert!(
+                matches!(err.kind, WireErrorKind::Truncated { .. }),
+                "cut at {cut}: unexpected {err}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn rib_before_peer_table_is_a_typed_error() {
+    // Strip the leading PEER_INDEX_TABLE record: the RIB records then have
+    // no peer context and import must say so rather than fabricate origins.
+    let bytes = archive_with_conflict();
+    // The MRT record length field (bytes 8..12 of the header) gives the
+    // first record's full extent without re-encoding it.
+    let body_len = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let err = import_table_dumps(&bytes[12 + body_len..]).unwrap_err();
+    assert!(matches!(err.kind, WireErrorKind::MissingPeerIndexTable));
 }

@@ -115,8 +115,16 @@ fn fig5_histogram_has_short_mode_and_long_tail() {
 #[test]
 fn origin_set_size_split_matches_section31() {
     let summary = MeasurementSummary::compute(&duration_timeline().dumps);
-    let two = summary.origin_size_fractions.get(&2).copied().unwrap_or(0.0);
-    let three = summary.origin_size_fractions.get(&3).copied().unwrap_or(0.0);
+    let two = summary
+        .origin_size_fractions
+        .get(&2)
+        .copied()
+        .unwrap_or(0.0);
+    let three = summary
+        .origin_size_fractions
+        .get(&3)
+        .copied()
+        .unwrap_or(0.0);
     // Paper: 96.14% two-origin, 2.7% three-origin. The fault events are
     // all two-origin, pushing `two` slightly above the multihoming-only rate.
     assert!((0.93..0.99).contains(&two), "two-origin fraction {two:.4}");

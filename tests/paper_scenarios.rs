@@ -3,9 +3,7 @@
 //! facade.
 
 use moas::bgp::{Network, NoopMonitor};
-use moas::detection::{
-    find_conflict, ConflictKind, MoasMonitor, OfflineMonitor, RegistryVerifier,
-};
+use moas::detection::{find_conflict, ConflictKind, MoasMonitor, OfflineMonitor, RegistryVerifier};
 use moas::topology::{AsGraph, AsRole};
 use moas::types::{AsPath, Asn, Community, Ipv4Prefix, MoasList, Route, MOAS_LIST_VALUE};
 
@@ -119,7 +117,11 @@ fn figure3_hijack_stopped_by_moas_detection() {
 
     // Every non-attacker AS keeps the true origin.
     for asn in [1, 2, 3, 4, 226] {
-        assert_eq!(net.best_origin(Asn(asn), prefix()), Some(Asn(4)), "AS {asn}");
+        assert_eq!(
+            net.best_origin(Asn(asn), prefix()),
+            Some(Asn(4)),
+            "AS {asn}"
+        );
     }
     let alarms = net.monitor().alarms();
     assert!(alarms.confirmed_count() > 0);
