@@ -8,7 +8,7 @@ use bgp_types::Asn;
 
 use crate::{AsGraph, AsRole};
 
-/// Error from [`derive`].
+/// Error from [`fn@derive`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeriveError {
     /// The input graph has no stub ASes to sample.
@@ -80,13 +80,13 @@ pub fn derive(graph: &AsGraph, stub_fraction: f64, seed: u64) -> Result<AsGraph,
     Ok(result)
 }
 
-/// Like [`derive`] but fails instead of repairing when the sampled topology
+/// Like [`fn@derive`] but fails instead of repairing when the sampled topology
 /// is disconnected — the literal reading of the paper's "inspect" step.
 ///
 /// # Errors
 ///
 /// [`DeriveError::Disconnected`] when inspection fails, plus the same errors
-/// as [`derive`].
+/// as [`fn@derive`].
 pub fn derive_strict(
     graph: &AsGraph,
     stub_fraction: f64,

@@ -9,13 +9,13 @@ use crate::{AsGraph, AsRelationships, AsRole};
 /// Builder for an Internet-like ground-truth AS topology.
 ///
 /// The paper's robustness argument rests on the structural facts it cites
-/// from Huston's analysis of the 2001 BGP table [13]: a small clique of
+/// from Huston's analysis of the 2001 BGP table \[13\]: a small clique of
 /// tier-1 providers, many regional transit ISPs hanging off them with
 /// lateral peerings (the "richly interconnected mesh" of §1), and stub
 /// networks at the edges, frequently multi-homed. This generator reproduces
 /// that two-tier hierarchy:
 ///
-/// * a near-clique **tier-1 core** (at most [`TIER1_MAX`] ASes);
+/// * a near-clique **tier-1 core** (at most `TIER1_MAX` ASes);
 /// * **regional transit** ASes, each with two uplinks into the existing
 ///   transit fabric plus lateral peer links to other regionals with
 ///   probability [`peer_link_prob`](InternetModel::peer_link_prob);

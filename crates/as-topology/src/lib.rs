@@ -11,7 +11,7 @@
 //! the closest synthetic equivalent (per the reproduction's substitution
 //! rule): an Internet-like ground-truth generator ([`InternetModel`]) and a
 //! Route Views-style table synthesizer ([`RouteTable::synthesize`]) feeding
-//! the *same* derivation pipeline the paper used ([`derive`]). The pipeline
+//! the *same* derivation pipeline the paper used ([`fn@derive`]). The pipeline
 //! code is exactly the paper's procedure and would run unchanged on a real
 //! table dump.
 //!

@@ -34,6 +34,10 @@ const FLAG_EXTENDED_LENGTH: u8 = 0x10;
 const SEGMENT_AS_SET: u8 = 1;
 const SEGMENT_AS_SEQUENCE: u8 = 2;
 
+/// RFC 4271 caps an AS_PATH segment's ASN count at one byte; longer logical
+/// segments are split on encode and re-joined on decode.
+const MAX_SEGMENT_ASNS: usize = 255;
+
 /// How ASNs are laid out inside `AS_PATH`.
 ///
 /// Classic BGP carries 2-octet ASNs; RFC 6793 speakers carry 4 octets
@@ -177,6 +181,29 @@ impl UpdateMessage {
     /// without attributes, or [`WireErrorKind::BadMessageLength`] if the
     /// result would exceed RFC 4271's 4096-byte cap.
     pub fn encode(&self, encoding: AsnEncoding) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out, encoding)?;
+        Ok(out)
+    }
+
+    /// Appends the encoded message to `out` without intermediate
+    /// allocations: sections are written in place and their length fields
+    /// backpatched. On error `out` is restored to its previous length.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`UpdateMessage::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>, encoding: AsnEncoding) -> Result<(), WireError> {
+        let start = out.len();
+        self.encode_into_unguarded(out, encoding)
+            .inspect_err(|_| out.truncate(start))
+    }
+
+    fn encode_into_unguarded(
+        &self,
+        out: &mut Vec<u8>,
+        encoding: AsnEncoding,
+    ) -> Result<(), WireError> {
         if self.attrs.is_none() && !self.nlri.is_empty() {
             return Err(WireError::new(
                 WireErrorKind::MissingAttribute("AS_PATH"),
@@ -184,38 +211,44 @@ impl UpdateMessage {
             ));
         }
 
-        let mut withdrawn = Vec::new();
+        let start = out.len();
+        out.extend_from_slice(&[0xFF; 16]);
+        let total_at = reserve_u16(out);
+        out.push(MESSAGE_TYPE_UPDATE);
+
+        let withdrawn_at = reserve_u16(out);
         for &prefix in &self.withdrawn {
-            encode_prefix(&mut withdrawn, prefix);
+            encode_prefix(out, prefix);
         }
-        let mut attrs = Vec::new();
+        // Every length below is checked, never cast: a section that does not
+        // fit its length field is a typed error, not a silent truncation.
+        let withdrawn_len = checked_u16("withdrawn routes section", out.len() - withdrawn_at - 2)?;
+        patch_u16(out, withdrawn_at, withdrawn_len);
+
+        let attrs_at = reserve_u16(out);
         if let Some(pa) = &self.attrs {
-            encode_attributes(&mut attrs, pa, encoding)?;
+            encode_attributes(out, pa, encoding)?;
         }
-        let mut nlri = Vec::new();
+        let attrs_len = checked_u16("path attributes section", out.len() - attrs_at - 2)?;
+        patch_u16(out, attrs_at, attrs_len);
+
         for &prefix in &self.nlri {
-            encode_prefix(&mut nlri, prefix);
+            encode_prefix(out, prefix);
         }
 
-        let body_len = 2 + withdrawn.len() + 2 + attrs.len() + nlri.len();
-        let total = HEADER_LEN + body_len;
-        if total > MAX_MESSAGE_LEN || withdrawn.len() > usize::from(u16::MAX) {
+        let total = out.len() - start;
+        if total > MAX_MESSAGE_LEN {
             return Err(WireError::new(
-                WireErrorKind::BadMessageLength(total.min(usize::from(u16::MAX)) as u16),
+                WireErrorKind::LengthOverflow {
+                    field: "BGP message",
+                    length: total,
+                    max: MAX_MESSAGE_LEN,
+                },
                 0,
             ));
         }
-
-        let mut out = Vec::with_capacity(total);
-        out.extend_from_slice(&[0xFF; 16]);
-        out.extend_from_slice(&(total as u16).to_be_bytes());
-        out.push(MESSAGE_TYPE_UPDATE);
-        out.extend_from_slice(&(withdrawn.len() as u16).to_be_bytes());
-        out.extend_from_slice(&withdrawn);
-        out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
-        out.extend_from_slice(&attrs);
-        out.extend_from_slice(&nlri);
-        Ok(out)
+        patch_u16(out, total_at, checked_u16("BGP message", total)?);
+        Ok(())
     }
 
     /// Decodes one full message (marker and header included) from the start
@@ -404,17 +437,54 @@ fn decode_prefix_run(bytes: &[u8], base: u64) -> Result<Vec<Ipv4Prefix>, WireErr
     Ok(out)
 }
 
-fn push_attr(out: &mut Vec<u8>, flags: u8, type_code: u8, body: &[u8]) {
+/// Reserves a 2-byte length field in `out`, returning its offset for
+/// [`patch_u16`] once the section it describes has been written.
+pub(crate) fn reserve_u16(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0, 0]);
+    at
+}
+
+/// Backpatches a length field reserved by [`reserve_u16`].
+pub(crate) fn patch_u16(out: &mut [u8], at: usize, value: u16) {
+    out[at..at + 2].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Converts a length to `u16`, failing with a typed [`WireError`] instead of
+/// truncating when it does not fit the wire format's 2-byte length field.
+pub(crate) fn checked_u16(field: &'static str, length: usize) -> Result<u16, WireError> {
+    u16::try_from(length).map_err(|_| {
+        WireError::new(
+            WireErrorKind::LengthOverflow {
+                field,
+                length,
+                max: usize::from(u16::MAX),
+            },
+            0,
+        )
+    })
+}
+
+/// Writes one path attribute, selecting the extended-length form (2-byte
+/// length) whenever the body exceeds the 1-byte field.
+///
+/// Fails with [`WireErrorKind::LengthOverflow`] when the body exceeds even
+/// the extended 2-byte length field — an attribute that large cannot be
+/// represented in RFC 4271 at all, so truncating its length would corrupt
+/// the attribute block.
+fn push_attr(out: &mut Vec<u8>, flags: u8, type_code: u8, body: &[u8]) -> Result<(), WireError> {
     if body.len() > 255 {
+        let len = checked_u16("path attribute body", body.len())?;
         out.push(flags | FLAG_EXTENDED_LENGTH);
         out.push(type_code);
-        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
     } else {
         out.push(flags);
         out.push(type_code);
         out.push(body.len() as u8);
     }
     out.extend_from_slice(body);
+    Ok(())
 }
 
 fn encode_asn(out: &mut Vec<u8>, asn: Asn, encoding: AsnEncoding) -> Result<(), WireError> {
@@ -440,7 +510,7 @@ pub(crate) fn encode_attributes(
         RouteOrigin::Egp => 1,
         RouteOrigin::Incomplete => 2,
     };
-    push_attr(out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin_code]);
+    push_attr(out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin_code])?;
 
     let mut path = Vec::new();
     for segment in attrs.as_path.segments() {
@@ -448,8 +518,11 @@ pub(crate) fn encode_attributes(
             AsPathSegment::Sequence(asns) => (SEGMENT_AS_SEQUENCE, asns),
             AsPathSegment::Set(asns) => (SEGMENT_AS_SET, asns),
         };
-        // RFC 4271 caps a segment at 255 ASNs; split longer ones.
-        for chunk in asns.chunks(255) {
+        // RFC 4271 caps a segment at 255 ASNs; split longer ones into
+        // multiple segments of the same type (re-joined on decode, see
+        // `decode_as_path`). `chunks` yields at most 255 elements per
+        // chunk, so the count byte below cannot truncate.
+        for chunk in asns.chunks(MAX_SEGMENT_ASNS) {
             path.push(seg_type);
             path.push(chunk.len() as u8);
             for &asn in chunk {
@@ -457,15 +530,15 @@ pub(crate) fn encode_attributes(
             }
         }
     }
-    push_attr(out, FLAG_TRANSITIVE, ATTR_AS_PATH, &path);
+    push_attr(out, FLAG_TRANSITIVE, ATTR_AS_PATH, &path)?;
     push_attr(
         out,
         FLAG_TRANSITIVE,
         ATTR_NEXT_HOP,
         &attrs.next_hop.to_be_bytes(),
-    );
+    )?;
     if let Some(lp) = attrs.local_pref {
-        push_attr(out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+        push_attr(out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes())?;
     }
     if !attrs.communities.is_empty() {
         let mut body = Vec::with_capacity(4 * attrs.communities.len());
@@ -477,7 +550,7 @@ pub(crate) fn encode_attributes(
             FLAG_OPTIONAL | FLAG_TRANSITIVE,
             ATTR_COMMUNITIES,
             &body,
-        );
+        )?;
     }
     Ok(())
 }
@@ -572,7 +645,14 @@ pub(crate) fn decode_attributes(
 
 fn decode_as_path(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<AsPath, WireError> {
     let mut cur = Cursor::with_base(bytes, base);
-    let mut segments = Vec::new();
+    let mut segments: Vec<AsPathSegment> = Vec::new();
+    // Tracks whether the previous wire segment was full (exactly 255 ASNs):
+    // the encoder splits oversized logical segments into full chunks, so a
+    // full segment followed by one of the same type is re-joined here. A
+    // non-full predecessor is left alone — adjacent same-type segments can
+    // also appear legitimately (aggregated AS_SETs), and merging those
+    // would change path semantics.
+    let mut prev_full = false;
     while cur.remaining() > 0 {
         let at = cur.position();
         let seg_type = cur.u8()?;
@@ -585,15 +665,22 @@ fn decode_as_path(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<AsPa
             };
             asns.push(Asn(asn));
         }
-        segments.push(match seg_type {
+        let segment = match seg_type {
             SEGMENT_AS_SEQUENCE => AsPathSegment::Sequence(asns),
             SEGMENT_AS_SET => AsPathSegment::Set(asns),
             other => return Err(WireError::new(WireErrorKind::BadSegmentType(other), at)),
-        });
+        };
+        match (segments.last_mut(), prev_full, segment) {
+            (Some(AsPathSegment::Sequence(tail)), true, AsPathSegment::Sequence(next))
+            | (Some(AsPathSegment::Set(tail)), true, AsPathSegment::Set(next)) => {
+                tail.extend(next);
+            }
+            (_, _, segment) => segments.push(segment),
+        }
+        prev_full = count == MAX_SEGMENT_ASNS;
     }
-    // Merge adjacent same-type segments the way the encoder may have split
-    // them; AsPath::from_segments keeps them as given, which round-trips for
-    // paths under 255 hops (the simulator never exceeds that).
+    // from_segments canonicalizes (drops empties, merges adjacent
+    // sequences), matching what the simulator-side constructors produce.
     Ok(AsPath::from_segments(segments))
 }
 
@@ -764,9 +851,9 @@ mod tests {
         for (i, b) in extra.iter().enumerate() {
             bytes.insert(insert_at + i, *b);
         }
-        let new_attrs_len = (attrs_len + extra.len()) as u16;
+        let new_attrs_len = u16::try_from(attrs_len + extra.len()).unwrap();
         bytes[21..23].copy_from_slice(&new_attrs_len.to_be_bytes());
-        let new_total = (bytes.len() as u16).to_be_bytes();
+        let new_total = u16::try_from(bytes.len()).unwrap().to_be_bytes();
         bytes[16..18].copy_from_slice(&new_total);
         let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).unwrap();
         assert_eq!(back.attrs.unwrap().as_path, *route.as_path());

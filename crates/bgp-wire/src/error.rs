@@ -41,6 +41,17 @@ pub enum WireErrorKind {
     },
     /// An ASN does not fit the selected 2-octet encoding.
     AsnTooWide(u32),
+    /// An encoder was handed data whose length does not fit the wire
+    /// format's length field. Encoders fail with this instead of silently
+    /// truncating the length (which would corrupt the stream).
+    LengthOverflow {
+        /// What was being encoded (e.g. `"path attribute body"`).
+        field: &'static str,
+        /// The length that was requested.
+        length: usize,
+        /// The largest length the format can carry.
+        max: usize,
+    },
     /// An MRT record type/subtype pair this crate does not decode.
     UnsupportedMrtType {
         /// MRT type field.
@@ -121,6 +132,9 @@ impl fmt::Display for WireError {
             }
             WireErrorKind::AsnTooWide(asn) => {
                 write!(f, "AS{asn} does not fit a 2-octet AS_PATH")
+            }
+            WireErrorKind::LengthOverflow { field, length, max } => {
+                write!(f, "{field} of {length} byte(s) exceeds the format's {max}")
             }
             WireErrorKind::UnsupportedMrtType { mrt_type, subtype } => {
                 write!(

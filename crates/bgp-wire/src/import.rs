@@ -5,6 +5,17 @@
 //! produces — and into full [`Route`]s for the offline monitor
 //! (`moas_core::OfflineMonitor::scan`). `BGP4MP` records decode back into
 //! simulator [`Update`]s.
+//!
+//! Two consumption styles:
+//!
+//! * [`DailyDumpStream`] — constant-memory streaming: one [`DayImport`] is
+//!   yielded each time the record timestamps cross a day boundary, and the
+//!   importer never holds more than the day in progress. This is how
+//!   archives far larger than memory (years of Route Views dumps) are
+//!   processed.
+//! * [`import_table_dumps`] — whole-archive convenience built on the
+//!   stream: collects every day (merging same-day groups of an unordered
+//!   stream) into one [`ImportedTables`].
 
 use std::collections::BTreeMap;
 use std::io;
@@ -13,7 +24,7 @@ use bgp_types::{Asn, Route, Update};
 use route_measurement::DailyDump;
 
 use crate::error::{WireError, WireErrorKind};
-use crate::mrt::{MrtBody, MrtReader, PeerIndexTable};
+use crate::mrt::{MrtBody, MrtReader, MrtRecord, PeerIndexTable};
 use crate::timestamp_to_day;
 
 /// Everything a table-dump import recovers.
@@ -38,35 +49,145 @@ impl ImportedTables {
     }
 }
 
-/// Reads a whole MRT stream of table dumps.
-///
-/// Records regroup by timestamp, so a stream holding several daily
-/// snapshots (each introduced by its own `PEER_INDEX_TABLE`) comes back as
-/// one [`DailyDump`] per day. Origins are taken from each RIB entry's
-/// `AS_PATH`; entries whose path has no well-defined origin (empty, or
-/// ending in an `AS_SET`) fall back to the owning peer's ASN.
-///
-/// # Errors
-///
-/// Returns a [`WireError`] with stream offset on the first malformed
-/// record, a RIB record preceding any peer table, or a RIB entry naming a
-/// peer index outside the table.
-pub fn import_table_dumps<R: io::Read>(reader: R) -> Result<ImportedTables, WireError> {
-    let mut mrt = MrtReader::new(reader);
-    let mut peer_table: Option<PeerIndexTable> = None;
-    let mut dumps: BTreeMap<u32, DailyDump> = BTreeMap::new();
-    let mut routes = Vec::new();
-    let mut skipped_messages = 0;
+/// One day of a streamed table-dump archive.
+#[derive(Debug, Clone, Default)]
+pub struct DayImport {
+    /// The simulated day ([`crate::timestamp_to_day`] of the records).
+    pub day: u32,
+    /// The day's origin observations.
+    pub dump: DailyDump,
+    /// Number of RIB entries the day contributed (counted whether or not
+    /// routes are collected).
+    pub rib_entries: usize,
+    /// The day's full RIB routes, in stream order — empty unless the stream
+    /// was configured with [`DailyDumpStream::collect_routes`].
+    pub routes: Vec<Route>,
+}
 
-    while let Some(record) = mrt.next_record()? {
+/// Streams an MRT table-dump archive one day at a time, in constant memory.
+///
+/// Where [`import_table_dumps`] accumulates every day of the archive before
+/// returning, this iterator yields a [`DayImport`] each time record
+/// timestamps cross a day boundary and then drops the day — the working set
+/// is one day's table regardless of how many years the archive spans.
+/// Day grouping and origin extraction are identical to
+/// [`import_table_dumps`]: origins come from each RIB entry's `AS_PATH`,
+/// falling back to the owning peer's ASN when the path has no well-defined
+/// origin.
+///
+/// `BGP4MP` records are skipped (counted in
+/// [`DailyDumpStream::skipped_messages`]); a record whose timestamp falls on
+/// a different day than the day in progress — in either direction — closes
+/// that day. Archives with one group of records per day (how Route Views
+/// archives and [`crate::export_rib_snapshot`] lay days out) therefore come
+/// back exactly as the whole-archive importer would return them; an archive
+/// that interleaves days yields one `DayImport` per contiguous group, which
+/// callers can merge via [`DailyDump::merge`] (as `import_table_dumps`
+/// does).
+#[derive(Debug)]
+pub struct DailyDumpStream<R> {
+    mrt: MrtReader<R>,
+    peer_table: Option<PeerIndexTable>,
+    pending: Option<DayImport>,
+    /// A record already read that belongs to the next day group.
+    lookahead: Option<MrtRecord>,
+    skipped_messages: usize,
+    collect_routes: bool,
+    day_entries: usize,
+    peak_day_entries: usize,
+}
+
+impl<R: io::Read> DailyDumpStream<R> {
+    /// Wraps a reader positioned at the start of an MRT table-dump stream.
+    pub fn new(reader: R) -> Self {
+        DailyDumpStream {
+            mrt: MrtReader::new(reader),
+            peer_table: None,
+            pending: None,
+            lookahead: None,
+            skipped_messages: 0,
+            collect_routes: false,
+            day_entries: 0,
+            peak_day_entries: 0,
+        }
+    }
+
+    /// Also collect each day's full [`Route`]s into
+    /// [`DayImport::routes`] (for `OfflineMonitor::scan`). Off by default:
+    /// route objects are by far the largest part of a day's working set,
+    /// and origin counting does not need them.
+    #[must_use]
+    pub fn collect_routes(mut self, collect: bool) -> Self {
+        self.collect_routes = collect;
+        self
+    }
+
+    /// `BGP4MP` records skipped so far.
+    #[must_use]
+    pub fn skipped_messages(&self) -> usize {
+        self.skipped_messages
+    }
+
+    /// The largest number of RIB entries buffered for any single day — the
+    /// streaming importer's peak working set, in records. Bounded by the
+    /// biggest day in the archive, not the archive length.
+    #[must_use]
+    pub fn peak_day_entries(&self) -> usize {
+        self.peak_day_entries
+    }
+
+    /// Reads up to the next day boundary (or end of stream) and returns the
+    /// completed day; `Ok(None)` once the archive is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] with stream offset on the first malformed
+    /// record, a RIB record preceding any peer table, or a RIB entry naming
+    /// a peer index outside the table. After an error the underlying reader
+    /// refuses further reads.
+    pub fn next_day(&mut self) -> Result<Option<DayImport>, WireError> {
+        loop {
+            let record = match self.lookahead.take() {
+                Some(record) => record,
+                None => match self.mrt.next_record()? {
+                    Some(record) => record,
+                    None => return Ok(self.take_pending()),
+                },
+            };
+
+            let day = timestamp_to_day(record.timestamp);
+            if let Some(pending) = &self.pending {
+                if pending.day != day {
+                    // Day boundary: hand the finished day out and re-process
+                    // this record on the next call.
+                    self.lookahead = Some(record);
+                    return Ok(self.take_pending());
+                }
+            }
+            self.process(record, day)?;
+        }
+    }
+
+    fn take_pending(&mut self) -> Option<DayImport> {
+        self.peak_day_entries = self.peak_day_entries.max(self.day_entries);
+        self.day_entries = 0;
+        self.pending.take()
+    }
+
+    fn process(&mut self, record: MrtRecord, day: u32) -> Result<(), WireError> {
         match record.body {
-            MrtBody::PeerIndexTable(table) => peer_table = Some(table),
+            MrtBody::PeerIndexTable(table) => self.peer_table = Some(table),
             MrtBody::RibIpv4Unicast(rib) => {
-                let table = peer_table
+                let table = self
+                    .peer_table
                     .as_ref()
                     .ok_or_else(|| WireError::new(WireErrorKind::MissingPeerIndexTable, 0))?;
-                let day = timestamp_to_day(record.timestamp);
-                let dump = dumps.entry(day).or_insert_with(|| DailyDump::new(day));
+                let pending = self.pending.get_or_insert_with(|| DayImport {
+                    day,
+                    dump: DailyDump::new(day),
+                    rib_entries: 0,
+                    routes: Vec::new(),
+                });
                 for entry in rib.entries {
                     let peer = table
                         .peers
@@ -76,18 +197,61 @@ pub fn import_table_dumps<R: io::Read>(reader: R) -> Result<ImportedTables, Wire
                         })?;
                     let route = entry.attrs.to_route(rib.prefix);
                     let origin = route.origin_as().unwrap_or(peer.asn);
-                    dump.observe(rib.prefix, origin);
-                    routes.push((day, route));
+                    pending.dump.observe(rib.prefix, origin);
+                    if self.collect_routes {
+                        pending.routes.push(route);
+                    }
+                    pending.rib_entries += 1;
+                    self.day_entries += 1;
                 }
             }
-            MrtBody::Bgp4mpMessage(_) => skipped_messages += 1,
+            MrtBody::Bgp4mpMessage(_) => self.skipped_messages += 1,
         }
+        Ok(())
+    }
+}
+
+impl<R: io::Read> Iterator for DailyDumpStream<R> {
+    type Item = Result<DayImport, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_day().transpose()
+    }
+}
+
+/// Reads a whole MRT stream of table dumps.
+///
+/// Records regroup by timestamp, so a stream holding several daily
+/// snapshots (each introduced by its own `PEER_INDEX_TABLE`) comes back as
+/// one [`DailyDump`] per day. Origins are taken from each RIB entry's
+/// `AS_PATH`; entries whose path has no well-defined origin (empty, or
+/// ending in an `AS_SET`) fall back to the owning peer's ASN.
+///
+/// Built on [`DailyDumpStream`]; use the stream directly when the archive
+/// may not fit in memory.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] with stream offset on the first malformed
+/// record, a RIB record preceding any peer table, or a RIB entry naming a
+/// peer index outside the table.
+pub fn import_table_dumps<R: io::Read>(reader: R) -> Result<ImportedTables, WireError> {
+    let mut stream = DailyDumpStream::new(reader).collect_routes(true);
+    let mut dumps: BTreeMap<u32, DailyDump> = BTreeMap::new();
+    let mut routes = Vec::new();
+
+    while let Some(imported) = stream.next_day()? {
+        dumps
+            .entry(imported.day)
+            .and_modify(|dump| dump.merge(&imported.dump))
+            .or_insert(imported.dump);
+        routes.extend(imported.routes.into_iter().map(|r| (imported.day, r)));
     }
 
     Ok(ImportedTables {
         dumps: dumps.into_values().collect(),
         routes,
-        skipped_messages,
+        skipped_messages: stream.skipped_messages(),
     })
 }
 

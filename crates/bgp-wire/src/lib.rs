@@ -20,8 +20,10 @@
 //!   `BGP4MP` (`MESSAGE`, `MESSAGE_AS4`) for update streams, over any
 //!   `io::Read`/`io::Write`.
 //! * [`export`] / [`import`] — the bridges: `bgp-engine` Loc-RIBs out to
-//!   MRT, MRT back in to `route_measurement::DailyDump` streams and
-//!   routes for the offline monitor.
+//!   MRT (batched through [`mrt::MrtWriter`]'s reusable buffer), MRT back
+//!   in to `route_measurement::DailyDump` streams and routes for the
+//!   offline monitor — either whole-archive ([`import_table_dumps`]) or
+//!   one day at a time in constant memory ([`DailyDumpStream`]).
 //!
 //! Decoding is panic-free on arbitrary input: every failure is a typed
 //! [`WireError`] carrying the byte offset of the problem.
@@ -60,7 +62,9 @@ pub mod mrt;
 
 pub use error::{WireError, WireErrorKind};
 pub use export::{export_rib_snapshot, export_update_stream, ExportSummary};
-pub use import::{import_table_dumps, import_update_stream, ImportedTables};
+pub use import::{
+    import_table_dumps, import_update_stream, DailyDumpStream, DayImport, ImportedTables,
+};
 
 use bgp_types::Asn;
 

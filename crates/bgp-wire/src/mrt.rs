@@ -143,48 +143,79 @@ impl MrtRecord {
     ///
     /// # Errors
     ///
-    /// Fails only if a contained BGP message fails to encode (e.g. a
-    /// 2-octet `BGP4MP_MESSAGE` with a wide ASN, which the writer avoids by
-    /// selecting `_AS4` automatically).
+    /// Fails if a contained BGP message fails to encode (e.g. a 2-octet
+    /// `BGP4MP_MESSAGE` with a wide ASN, which the writer avoids by
+    /// selecting `_AS4` automatically) or a length does not fit its wire
+    /// field ([`WireErrorKind::LengthOverflow`] — never silent truncation).
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
-        let (mrt_type, subtype, body) = match &self.body {
-            MrtBody::PeerIndexTable(table) => (
-                TYPE_TABLE_DUMP_V2,
-                SUBTYPE_PEER_INDEX_TABLE,
-                encode_peer_index_table(table),
-            ),
-            MrtBody::RibIpv4Unicast(rib) => (
-                TYPE_TABLE_DUMP_V2,
-                SUBTYPE_RIB_IPV4_UNICAST,
-                encode_rib(rib)?,
-            ),
-            MrtBody::Bgp4mpMessage(msg) => {
-                let as4 = msg.needs_as4();
-                let subtype = if as4 {
+        let mut out = Vec::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the encoded record to `out` without intermediate per-record
+    /// allocations: the body is written in place and the header's length
+    /// field backpatched. On error `out` is restored to its previous
+    /// length, so a failed record never corrupts a batch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MrtRecord::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let start = out.len();
+        self.encode_into_unguarded(out)
+            .inspect_err(|_| out.truncate(start))
+    }
+
+    fn encode_into_unguarded(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let (mrt_type, subtype) = match &self.body {
+            MrtBody::PeerIndexTable(_) => (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE),
+            MrtBody::RibIpv4Unicast(_) => (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST),
+            MrtBody::Bgp4mpMessage(msg) => (
+                TYPE_BGP4MP,
+                if msg.needs_as4() {
                     SUBTYPE_BGP4MP_MESSAGE_AS4
                 } else {
                     SUBTYPE_BGP4MP_MESSAGE
-                };
-                (TYPE_BGP4MP, subtype, encode_bgp4mp(msg, as4)?)
-            }
+                },
+            ),
         };
-        let mut out = Vec::with_capacity(12 + body.len());
         out.extend_from_slice(&self.timestamp.to_be_bytes());
         out.extend_from_slice(&mrt_type.to_be_bytes());
         out.extend_from_slice(&subtype.to_be_bytes());
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        out.extend_from_slice(&body);
-        Ok(out)
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        match &self.body {
+            MrtBody::PeerIndexTable(table) => encode_peer_index_table(out, table)?,
+            MrtBody::RibIpv4Unicast(rib) => encode_rib(out, rib)?,
+            MrtBody::Bgp4mpMessage(msg) => {
+                encode_bgp4mp(out, msg, subtype == SUBTYPE_BGP4MP_MESSAGE_AS4)?;
+            }
+        }
+        let body_len = out.len() - len_at - 4;
+        let body_len = u32::try_from(body_len).map_err(|_| {
+            WireError::new(
+                WireErrorKind::LengthOverflow {
+                    field: "MRT record body",
+                    length: body_len,
+                    max: u32::MAX as usize,
+                },
+                0,
+            )
+        })?;
+        out[len_at..len_at + 4].copy_from_slice(&body_len.to_be_bytes());
+        Ok(())
     }
 }
 
-fn encode_peer_index_table(table: &PeerIndexTable) -> Vec<u8> {
-    let mut out = Vec::new();
+fn encode_peer_index_table(out: &mut Vec<u8>, table: &PeerIndexTable) -> Result<(), WireError> {
     out.extend_from_slice(&table.collector_id.to_be_bytes());
     let name = table.view_name.as_bytes();
-    out.extend_from_slice(&(name.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+    out.extend_from_slice(
+        &bgp::checked_u16("peer index table view name", name.len())?.to_be_bytes(),
+    );
     out.extend_from_slice(name);
-    out.extend_from_slice(&(table.peers.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+    out.extend_from_slice(&bgp::checked_u16("peer count", table.peers.len())?.to_be_bytes());
     for peer in &table.peers {
         // Peer type 0x02: IPv4 address, 4-octet AS number.
         out.push(0x02);
@@ -192,34 +223,36 @@ fn encode_peer_index_table(table: &PeerIndexTable) -> Vec<u8> {
         out.extend_from_slice(&peer.addr.to_be_bytes());
         out.extend_from_slice(&peer.asn.0.to_be_bytes());
     }
-    out
+    Ok(())
 }
 
-fn encode_rib(rib: &RibIpv4Unicast) -> Result<Vec<u8>, WireError> {
-    let mut out = Vec::new();
+fn encode_rib(out: &mut Vec<u8>, rib: &RibIpv4Unicast) -> Result<(), WireError> {
     out.extend_from_slice(&rib.sequence.to_be_bytes());
-    bgp::encode_prefix(&mut out, rib.prefix);
-    out.extend_from_slice(&(rib.entries.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
+    bgp::encode_prefix(out, rib.prefix);
+    out.extend_from_slice(&bgp::checked_u16("RIB entry count", rib.entries.len())?.to_be_bytes());
     for entry in &rib.entries {
         out.extend_from_slice(&entry.peer_index.to_be_bytes());
         out.extend_from_slice(&entry.originated_time.to_be_bytes());
-        let mut attrs = Vec::new();
+        let attrs_at = bgp::reserve_u16(out);
         // RFC 6396 §4.3.4: TABLE_DUMP_V2 attributes always use 4-octet ASNs.
-        bgp::encode_attributes(&mut attrs, &entry.attrs, AsnEncoding::FourOctet)?;
-        out.extend_from_slice(&(attrs.len().min(usize::from(u16::MAX)) as u16).to_be_bytes());
-        out.extend_from_slice(&attrs);
+        bgp::encode_attributes(out, &entry.attrs, AsnEncoding::FourOctet)?;
+        let attrs_len = bgp::checked_u16("RIB entry attributes", out.len() - attrs_at - 2)?;
+        bgp::patch_u16(out, attrs_at, attrs_len);
     }
-    Ok(out)
+    Ok(())
 }
 
-fn encode_bgp4mp(msg: &Bgp4mpMessage, as4: bool) -> Result<Vec<u8>, WireError> {
-    let mut out = Vec::new();
+fn encode_bgp4mp(out: &mut Vec<u8>, msg: &Bgp4mpMessage, as4: bool) -> Result<(), WireError> {
     if as4 {
         out.extend_from_slice(&msg.peer_asn.0.to_be_bytes());
         out.extend_from_slice(&msg.local_asn.0.to_be_bytes());
     } else {
-        out.extend_from_slice(&(msg.peer_asn.0 as u16).to_be_bytes());
-        out.extend_from_slice(&(msg.local_asn.0 as u16).to_be_bytes());
+        // needs_as4 guarantees both ASNs fit; keep the conversion checked
+        // anyway so a future caller cannot reintroduce silent truncation.
+        let peer = bgp::checked_u16("BGP4MP peer ASN", msg.peer_asn.0 as usize)?;
+        let local = bgp::checked_u16("BGP4MP local ASN", msg.local_asn.0 as usize)?;
+        out.extend_from_slice(&peer.to_be_bytes());
+        out.extend_from_slice(&local.to_be_bytes());
     }
     out.extend_from_slice(&0u16.to_be_bytes()); // interface index
     out.extend_from_slice(&1u16.to_be_bytes()); // AFI: IPv4
@@ -230,8 +263,7 @@ fn encode_bgp4mp(msg: &Bgp4mpMessage, as4: bool) -> Result<Vec<u8>, WireError> {
     } else {
         AsnEncoding::TwoOctet
     };
-    out.extend_from_slice(&msg.message.encode(encoding)?);
-    Ok(out)
+    msg.message.encode_into(out, encoding)
 }
 
 fn decode_peer_index_table(body: &[u8], base: u64) -> Result<PeerIndexTable, WireError> {
@@ -501,17 +533,43 @@ fn read_exact_or_eof<R: io::Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<
     Ok(filled)
 }
 
-/// Writes MRT records to any writer.
+/// Default size at which [`MrtWriter`]'s batch buffer is handed to the
+/// underlying writer. Large enough to amortize write syscalls over hundreds
+/// of records, small enough to keep the writer's footprint negligible.
+pub const DEFAULT_BATCH_CAPACITY: usize = 256 * 1024;
+
+/// Writes MRT records to any writer, batching encoded bytes in a reusable
+/// buffer instead of allocating and writing per record.
+///
+/// Records are encoded straight into the batch buffer
+/// ([`MrtRecord::encode_into`]); the buffer is handed to the underlying
+/// writer whenever it crosses the batch capacity, and on [`MrtWriter::flush`]
+/// / [`MrtWriter::finish`]. A record that fails to encode leaves the buffer
+/// exactly as it was, so one bad record never corrupts the stream.
 #[derive(Debug)]
 pub struct MrtWriter<W> {
     inner: W,
     records: u64,
+    buf: Vec<u8>,
+    batch_capacity: usize,
 }
 
 impl<W: io::Write> MrtWriter<W> {
-    /// Wraps a writer.
+    /// Wraps a writer with the default batch capacity.
     pub fn new(inner: W) -> Self {
-        MrtWriter { inner, records: 0 }
+        Self::with_batch_capacity(inner, DEFAULT_BATCH_CAPACITY)
+    }
+
+    /// Wraps a writer, flushing the batch buffer to it whenever the buffer
+    /// reaches `batch_capacity` bytes (0 hands every record straight
+    /// through).
+    pub fn with_batch_capacity(inner: W, batch_capacity: usize) -> Self {
+        MrtWriter {
+            inner,
+            records: 0,
+            buf: Vec::new(),
+            batch_capacity,
+        }
     }
 
     /// Appends one record.
@@ -520,16 +578,43 @@ impl<W: io::Write> MrtWriter<W> {
     ///
     /// Returns a [`WireError`] on encode or I/O failure.
     pub fn write_record(&mut self, record: &MrtRecord) -> Result<(), WireError> {
-        let bytes = record.encode()?;
-        self.inner.write_all(&bytes)?;
+        record.encode_into(&mut self.buf)?;
         self.records += 1;
+        if self.buf.len() >= self.batch_capacity {
+            self.write_batch()?;
+        }
         Ok(())
     }
 
-    /// Number of records written so far.
+    fn write_batch(&mut self) -> Result<(), WireError> {
+        if !self.buf.is_empty() {
+            self.inner.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of records written so far (batched records included).
     #[must_use]
     pub fn records_written(&self) -> u64 {
         self.records
+    }
+
+    /// Bytes currently batched but not yet handed to the underlying writer.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Hands any batched bytes to the underlying writer and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on I/O failure.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.write_batch()?;
+        self.inner.flush()?;
+        Ok(())
     }
 
     /// Flushes and returns the underlying writer.
@@ -538,7 +623,7 @@ impl<W: io::Write> MrtWriter<W> {
     ///
     /// Returns a [`WireError`] if the flush fails.
     pub fn finish(mut self) -> Result<W, WireError> {
-        self.inner.flush()?;
+        self.flush()?;
         Ok(self.inner)
     }
 }

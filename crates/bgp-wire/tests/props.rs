@@ -7,6 +7,7 @@ use bgp_wire::mrt::{
     Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
     RibIpv4Unicast,
 };
+use bgp_wire::WireErrorKind;
 use proptest::prelude::*;
 
 // --- strategies -----------------------------------------------------------
@@ -269,5 +270,123 @@ proptest! {
         let _ = UpdateMessage::decode(&bytes, AsnEncoding::TwoOctet);
         let mut reader = MrtReader::new(bytes.as_slice());
         while let Ok(Some(_)) = reader.next_record() {}
+    }
+}
+
+// --- oversized inputs: exact round-trip or typed error, never silent
+// --- truncation -----------------------------------------------------------
+
+/// Minimal attributes carrying `path` and `communities`.
+fn attrs_with(path: AsPath, communities: Vec<Community>) -> PathAttributes {
+    PathAttributes {
+        origin: RouteOrigin::Igp,
+        as_path: path,
+        next_hop: 0xC0A8_0001,
+        local_pref: None,
+        communities,
+    }
+}
+
+/// An announcement of one prefix with the given attributes.
+fn announce_with(attrs: PathAttributes) -> UpdateMessage {
+    UpdateMessage {
+        withdrawn: Vec::new(),
+        attrs: Some(attrs),
+        nlri: vec![Ipv4Prefix::new(0x0A00_0000, 8)],
+    }
+}
+
+/// `n` distinct communities (4 wire bytes each).
+fn communities(n: usize) -> Vec<Community> {
+    (0..n)
+        .map(|i| Community::new(Asn(64_512 + (i as u32 >> 16)), i as u16))
+        .collect()
+}
+
+/// A RIB record whose single entry carries `attrs` — the path with no
+/// 4096-byte message cap, so attribute blocks can grow past it.
+fn rib_record_with(attrs: PathAttributes) -> MrtRecord {
+    MrtRecord {
+        timestamp: 0,
+        body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+            sequence: 0,
+            prefix: Ipv4Prefix::new(0x0A00_0000, 8),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated_time: 0,
+                attrs,
+            }],
+        }),
+    }
+}
+
+proptest! {
+    /// Paths longer than one wire segment (255 ASNs) split into multiple
+    /// segments on encode and re-join into the original on decode.
+    #[test]
+    fn long_sequences_round_trip_exactly(hops in prop::collection::vec(asn32(), 256..700)) {
+        let msg = announce_with(attrs_with(AsPath::from_sequence(hops), Vec::new()));
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("under 4096 bytes");
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// `AS_SET`s past 255 members take the same split-and-re-join path.
+    #[test]
+    fn long_sets_round_trip_exactly(set in prop::collection::btree_set(asn32(), 256..450)) {
+        let path = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(701)]),
+            AsPathSegment::Set(set.into_iter().collect()),
+        ]);
+        let msg = announce_with(attrs_with(path, Vec::new()));
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("under 4096 bytes");
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// A community list pushing the message past RFC 4271's 4096-byte cap
+    /// is a typed error, not a truncated message.
+    #[test]
+    fn oversized_update_is_rejected_not_truncated(n in 1030usize..1500) {
+        let msg = announce_with(attrs_with(
+            AsPath::from_sequence([Asn(701)]),
+            communities(n),
+        ));
+        let err = msg.encode(AsnEncoding::FourOctet).expect_err("over 4096 bytes");
+        prop_assert!(matches!(
+            err.kind,
+            WireErrorKind::LengthOverflow { field: "BGP message", .. }
+        ));
+    }
+
+    /// Attribute bodies past 255 bytes (but within u16) ride the
+    /// extended-length flag and round-trip exactly through a RIB record —
+    /// including bodies larger than any UPDATE message could carry.
+    #[test]
+    fn extended_length_attribute_blocks_round_trip(n in 1100usize..2500) {
+        let record = rib_record_with(attrs_with(
+            AsPath::from_sequence([Asn(701), Asn(4)]),
+            communities(n),
+        ));
+        let bytes = record.encode().expect("encodes");
+        let mut reader = MrtReader::new(bytes.as_slice());
+        let back = reader.next_record().expect("decodes").expect("one record");
+        prop_assert_eq!(back, record);
+    }
+
+    /// An attribute body past even the extended length field's u16 range is
+    /// a typed error — this is the path the old `as u16` cast silently
+    /// corrupted.
+    #[test]
+    fn attribute_block_past_u16_is_rejected(n in 16_384usize..16_600) {
+        let record = rib_record_with(attrs_with(
+            AsPath::from_sequence([Asn(701)]),
+            communities(n),
+        ));
+        let err = record.encode().expect_err("over u16::MAX");
+        prop_assert!(matches!(
+            err.kind,
+            WireErrorKind::LengthOverflow { field: "path attribute body", .. }
+        ));
     }
 }

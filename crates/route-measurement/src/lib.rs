@@ -40,7 +40,9 @@ mod timeline;
 pub use classifier::{classify, score, ClassifiedCase, ClassifierConfig, ClassifierScore, Verdict};
 pub use dump::DailyDump;
 pub use stats::{daily_moas_counts, duration_histogram, median, MeasurementSummary};
-pub use stream::{daily_moas_onsets, origin_events, OriginEvent, OriginEventKind};
+pub use stream::{
+    daily_moas_onsets, origin_events, OriginEvent, OriginEventKind, OriginEventTracker,
+};
 pub use timeline::{
     generate_timeline, CaseRecord, Cause, FaultEvent, GeneratedTimeline, TimelineConfig,
 };

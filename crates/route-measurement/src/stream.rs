@@ -92,20 +92,74 @@ impl fmt::Display for OriginEvent {
 /// ```
 #[must_use]
 pub fn origin_events(dumps: &[DailyDump]) -> Vec<OriginEvent> {
-    let mut previous: BTreeMap<Ipv4Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    let mut tracker = OriginEventTracker::new();
     let mut events = Vec::new();
-
     for dump in dumps {
+        tracker.advance(dump, &mut events);
+    }
+    events
+}
+
+/// Incremental form of [`origin_events`]: feed dumps one day at a time and
+/// collect each day's events as they emerge.
+///
+/// Streaming consumers (an MRT importer walking an archive far larger than
+/// memory) cannot hand the whole dump series to [`origin_events`]; this
+/// tracker holds only the previous day's origin table — the working set is
+/// one day regardless of archive length.
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::Asn;
+/// use route_measurement::{DailyDump, OriginEventTracker};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prefix = "208.8.0.0/16".parse()?;
+/// let mut day0 = DailyDump::new(0);
+/// day0.observe(prefix, Asn(4));
+/// let mut day1 = DailyDump::new(1);
+/// day1.observe(prefix, Asn(4));
+/// day1.observe(prefix, Asn(8584));
+///
+/// let mut tracker = OriginEventTracker::new();
+/// let mut events = Vec::new();
+/// tracker.advance(&day0, &mut events);
+/// tracker.advance(&day1, &mut events);
+/// assert_eq!(events.len(), 2);
+/// assert!(events[1].enters_moas());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OriginEventTracker {
+    previous: BTreeMap<Ipv4Prefix, BTreeSet<Asn>>,
+}
+
+impl OriginEventTracker {
+    /// A tracker that has seen no dumps yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Diffs `dump` against the previously fed day, appending one event per
+    /// (prefix, origin) appearance or disappearance to `events`.
+    pub fn advance(&mut self, dump: &DailyDump, events: &mut Vec<OriginEvent>) {
         let mut current: BTreeMap<Ipv4Prefix, BTreeSet<Asn>> = BTreeMap::new();
         for (prefix, origins) in dump.iter() {
             current.insert(prefix, origins.clone());
         }
 
-        let prefixes: BTreeSet<Ipv4Prefix> =
-            previous.keys().chain(current.keys()).copied().collect();
+        let prefixes: BTreeSet<Ipv4Prefix> = self
+            .previous
+            .keys()
+            .chain(current.keys())
+            .copied()
+            .collect();
         for prefix in prefixes {
             let empty = BTreeSet::new();
-            let before = previous.get(&prefix).unwrap_or(&empty);
+            let before = self.previous.get(&prefix).unwrap_or(&empty);
             let after = current.get(&prefix).unwrap_or(&empty);
             for &origin in after.difference(before) {
                 events.push(OriginEvent {
@@ -126,9 +180,8 @@ pub fn origin_events(dumps: &[DailyDump]) -> Vec<OriginEvent> {
                 });
             }
         }
-        previous = current;
+        self.previous = current;
     }
-    events
 }
 
 /// Per-day count of prefixes *entering* MOAS state: the on-line alarm rate an

@@ -25,13 +25,14 @@ use moas::experiments::{
     SweepConfig, TrialConfig, WireModel,
 };
 use moas::measurement::{
-    daily_moas_counts, generate_timeline, median, MeasurementSummary, TimelineConfig,
+    daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
+    TimelineConfig,
 };
 use moas::topology::paper::PaperTopology;
 use moas::topology::GraphMetrics;
 use moas::types::{AsPath, Asn, Ipv4Prefix, MoasList, Route, Update};
 use moas::wire::mrt::MrtWriter;
-use moas::wire::{export_rib_snapshot, export_update_stream, import_table_dumps};
+use moas::wire::{export_rib_snapshot, export_update_stream, import_table_dumps, DailyDumpStream};
 
 const USAGE: &str = "\
 moas-lab — reproduction of 'Detection of Invalid Routing Announcement in the Internet' (DSN 2002)
@@ -50,8 +51,9 @@ COMMANDS:
     export-mrt --out FILE [--days N] [--topology N] [--seed S]
                                     Simulate a network and export daily RIB snapshots
                                     (and the day's update stream) as RFC 6396 MRT
-    import-mrt FILE [--offline-scan]
+    import-mrt FILE [--offline-scan] [--in-memory]
                                     Import MRT table dumps and report daily MOAS counts
+                                    (streams one day at a time unless --in-memory)
     help                            Show this message
 ";
 
@@ -385,9 +387,14 @@ fn export_mrt(args: &[String]) -> ExitCode {
 /// Imports an MRT table-dump stream and reports the measurement pipeline's
 /// view of it: per-day MOAS counts, origin-change events, and (with
 /// `--offline-scan`) the offline monitor's findings.
+///
+/// Streams the archive one day at a time (`DailyDumpStream`), so archives
+/// far larger than memory import in constant space; `--in-memory` uses the
+/// whole-archive importer instead (same output — it exists to cross-check
+/// the streaming path).
 fn import_mrt(args: &[String]) -> ExitCode {
     let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: moas-lab import-mrt FILE [--offline-scan]");
+        eprintln!("usage: moas-lab import-mrt FILE [--offline-scan] [--in-memory]");
         return ExitCode::FAILURE;
     };
     let file = match File::open(path) {
@@ -397,6 +404,56 @@ fn import_mrt(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let offline_scan = flag(args, "--offline-scan");
+    if flag(args, "--in-memory") {
+        return import_mrt_in_memory(path, file, offline_scan);
+    }
+
+    let mut stream = DailyDumpStream::new(BufReader::new(file)).collect_routes(offline_scan);
+    let monitor = OfflineMonitor::new();
+    let mut tracker = OriginEventTracker::new();
+    let mut day_events = Vec::new();
+    let mut days = 0usize;
+    let mut rib_entries = 0usize;
+    let mut event_count = 0usize;
+    let mut findings = 0usize;
+    loop {
+        match stream.next_day() {
+            Ok(Some(day)) => {
+                println!(
+                    "day {}: {} prefixes, {} moas",
+                    day.day,
+                    day.dump.prefix_count(),
+                    day.dump.moas_count()
+                );
+                days += 1;
+                rib_entries += day.rib_entries;
+                tracker.advance(&day.dump, &mut day_events);
+                event_count += day_events.len();
+                day_events.clear();
+                if offline_scan {
+                    findings += monitor.scan(day.routes).len();
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("cannot import {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "total: {days} dumps, {rib_entries} routes, {event_count} origin events, {} skipped BGP4MP records",
+        stream.skipped_messages()
+    );
+    if offline_scan {
+        println!("offline monitor: {findings} findings across {days} days");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The pre-streaming import path: loads the whole archive before reporting.
+fn import_mrt_in_memory(path: &str, file: File, offline_scan: bool) -> ExitCode {
     let imported = match import_table_dumps(BufReader::new(file)) {
         Ok(t) => t,
         Err(e) => {
@@ -422,7 +479,7 @@ fn import_mrt(args: &[String]) -> ExitCode {
         imported.skipped_messages
     );
 
-    if flag(args, "--offline-scan") {
+    if offline_scan {
         let monitor = OfflineMonitor::new();
         let mut findings = 0usize;
         for dump in &imported.dumps {
