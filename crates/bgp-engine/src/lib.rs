@@ -49,11 +49,13 @@ mod forwarding;
 mod monitor;
 mod network;
 mod router;
+mod update;
 mod valley_free;
 
 pub use error::ConvergenceError;
 pub use forwarding::{ForwardOutcome, ForwardingPlane};
-pub use monitor::{ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
+pub use monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
 pub use network::{Network, NetworkStats};
 pub use router::Router;
+pub use update::SharedUpdate;
 pub use valley_free::ValleyFree;

@@ -14,8 +14,10 @@ pub struct ImportContext<'a> {
     /// Routes currently held for the same prefix: the locally originated
     /// route (peer `None`) and Adj-RIB-In entries from *other* peers
     /// (peer `Some`). The previous route from `from_peer`, if any, is being
-    /// replaced and is not included.
-    pub existing: &'a [(Option<Asn>, Route)],
+    /// replaced and is not included. Entries borrow the router's RIB
+    /// directly — building this context allocates one small `Vec` of
+    /// references, never a clone of the routes themselves.
+    pub existing: &'a [(Option<Asn>, &'a Route)],
 }
 
 /// What a monitor decided about an import.
@@ -52,6 +54,22 @@ impl ImportDecision {
     }
 }
 
+/// What a monitor decided about one peer's export.
+///
+/// `Forward` is the common case and costs nothing: the router shares one
+/// reference-counted payload across every peer that forwards the route
+/// unchanged. Only `Replace` pays for a fresh route allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ExportAction {
+    /// Send the route exactly as proposed.
+    #[default]
+    Forward,
+    /// Send this modified route instead (e.g. with communities stripped).
+    Replace(Route),
+    /// Do not advertise to this peer at all.
+    Suppress,
+}
+
 /// Observes and filters route imports and exports on every router.
 ///
 /// One monitor instance serves the whole network; the `local` AS is passed to
@@ -73,17 +91,19 @@ pub trait RouteMonitor {
     /// `learned_from` is the peer the route was learned from (`None` for a
     /// locally originated route) — policy monitors such as
     /// [`ValleyFree`](crate::ValleyFree) use it to apply export rules.
-    /// Return a (possibly modified) route to send, or `None` to suppress the
-    /// advertisement to that peer.
+    ///
+    /// Return [`ExportAction::Forward`] to send `route` untouched (the
+    /// zero-copy fast path), [`ExportAction::Replace`] to substitute a
+    /// modified route, or [`ExportAction::Suppress`] to skip this peer.
     fn on_export(
         &mut self,
         local: Asn,
         to_peer: Asn,
         learned_from: Option<Asn>,
-        route: Route,
-    ) -> Option<Route> {
-        let _ = (local, to_peer, learned_from);
-        Some(route)
+        route: &Route,
+    ) -> ExportAction {
+        let _ = (local, to_peer, learned_from, route);
+        ExportAction::Forward
     }
 }
 
@@ -127,8 +147,8 @@ mod tests {
         };
         assert_eq!(m.on_import(&ctx), ImportDecision::accept());
         assert_eq!(
-            m.on_export(Asn(1), Asn(2), None, route.clone()),
-            Some(route)
+            m.on_export(Asn(1), Asn(2), None, &route),
+            ExportAction::Forward
         );
     }
 }

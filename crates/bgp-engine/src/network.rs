@@ -1,23 +1,32 @@
 //! The event-driven BGP network.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use as_topology::AsGraph;
-use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route, Update};
+use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
 use rand::Rng;
 use sim_engine::{EventQueue, SimTime};
 
 use crate::error::ConvergenceError;
 use crate::monitor::{NoopMonitor, RouteMonitor};
 use crate::router::Router;
+use crate::update::SharedUpdate;
 
 /// An event in the network's discrete-event queue.
+///
+/// Endpoints are dense node indices (see [`Network`]'s interner), so the hot
+/// loop never touches an ASN map; announce payloads are reference-counted,
+/// so a fan-out of `k` messages shares one route allocation.
 #[derive(Debug, Clone)]
 enum NetEvent {
     /// A message in flight between two peering routers.
-    Deliver { from: Asn, to: Asn, update: Update },
+    Deliver {
+        from: u32,
+        to: u32,
+        update: SharedUpdate,
+    },
     /// An MRAI window for a directed session expired: flush pending updates.
-    MraiFlush { from: Asn, to: Asn },
+    MraiFlush { from: u32, to: u32 },
 }
 
 /// Counters accumulated while the simulation runs.
@@ -50,6 +59,17 @@ impl NetworkStats {
 /// the "Normal BGP" baseline, or the MOAS monitor from `moas-core` for the
 /// paper's mechanism.
 ///
+/// # Layout
+///
+/// At construction every ASN is interned into a dense index `0..n` (the
+/// sorted `asn_index` table), and the adjacency is flattened into a CSR
+/// layout: `peer_start[i]..peer_start[i + 1]` spans node `i`'s directed
+/// edges, each identified by one flat edge id. Per-session state — link
+/// delays, MRAI gates, MRAI pending batches — lives in plain `Vec`s indexed
+/// by edge id, so the event loop does array arithmetic instead of walking
+/// `BTreeMap<(Asn, Asn), _>` trees. ASNs appear only at the public API
+/// boundary; all inspection signatures are unchanged.
+///
 /// # Example
 ///
 /// ```
@@ -73,18 +93,30 @@ impl NetworkStats {
 /// ```
 #[derive(Debug)]
 pub struct Network<M = NoopMonitor> {
-    routers: BTreeMap<Asn, Router>,
+    /// Sorted ASNs; position = dense node index.
+    asn_index: Vec<Asn>,
+    /// Routers, indexed by node.
+    routers: Vec<Router>,
+    /// CSR row starts into `peer_idx`/`delays`/MRAI tables; len `n + 1`.
+    peer_start: Vec<usize>,
+    /// CSR column data: neighbor node index per directed edge, each row
+    /// ascending (routers keep their peer lists sorted).
+    peer_idx: Vec<u32>,
     queue: EventQueue<NetEvent>,
-    delays: BTreeMap<(Asn, Asn), u64>,
+    /// Per directed edge: link delay in ticks.
+    delays: Vec<u64>,
     monitor: M,
     stats: NetworkStats,
     /// Minimum route advertisement interval per directed session; 0 = off.
     mrai: u64,
-    /// Per directed session: the earliest time the next batch may be sent.
-    mrai_gate: BTreeMap<(Asn, Asn), SimTime>,
-    /// Updates held back by an open MRAI window, newest per prefix.
-    mrai_pending: BTreeMap<(Asn, Asn), BTreeMap<Ipv4Prefix, Update>>,
+    /// Per directed edge: the earliest time the next batch may be sent.
+    mrai_gate: Vec<SimTime>,
+    /// Per directed edge: updates held back by an open MRAI window, newest
+    /// per prefix.
+    mrai_pending: Vec<std::collections::BTreeMap<Ipv4Prefix, SharedUpdate>>,
     /// Links currently failed (stored with endpoints ordered low-high).
+    /// Failure injection may name ASes outside the graph, so this stays
+    /// keyed by ASN; the hot path short-circuits on `is_empty`.
     failed_links: BTreeSet<(Asn, Asn)>,
 }
 
@@ -105,19 +137,37 @@ impl<M: RouteMonitor> Network<M> {
     /// export. All links have unit delay.
     #[must_use]
     pub fn with_monitor(graph: &AsGraph, monitor: M) -> Self {
-        let routers: BTreeMap<Asn, Router> = graph
-            .asns()
-            .map(|asn| (asn, Router::new(asn, graph.neighbors(asn).collect())))
+        let asn_index: Vec<Asn> = graph.asns().collect();
+        debug_assert!(asn_index.windows(2).all(|w| w[0] < w[1]));
+        let routers: Vec<Router> = asn_index
+            .iter()
+            .map(|&asn| Router::new(asn, graph.neighbors(asn).collect()))
             .collect();
+        let mut peer_start = Vec::with_capacity(asn_index.len() + 1);
+        peer_start.push(0);
+        let mut peer_idx = Vec::new();
+        for router in &routers {
+            for &peer in router.peers() {
+                let idx = asn_index
+                    .binary_search(&peer)
+                    .expect("graph links only name graph ASes");
+                peer_idx.push(idx as u32);
+            }
+            peer_start.push(peer_idx.len());
+        }
+        let edges = peer_idx.len();
         Network {
+            asn_index,
             routers,
+            peer_start,
+            peer_idx,
             queue: EventQueue::new(),
-            delays: BTreeMap::new(),
+            delays: vec![1; edges],
             monitor,
             stats: NetworkStats::default(),
             mrai: 0,
-            mrai_gate: BTreeMap::new(),
-            mrai_pending: BTreeMap::new(),
+            mrai_gate: vec![SimTime::ZERO; edges],
+            mrai_pending: vec![std::collections::BTreeMap::new(); edges],
             failed_links: BTreeSet::new(),
         }
     }
@@ -132,8 +182,12 @@ impl<M: RouteMonitor> Network<M> {
         let max_delay = max_delay.max(1);
         let mut rng = sim_engine::rng::from_seed(seed);
         for (a, b) in graph.links() {
-            net.delays.insert((a, b), rng.gen_range(1..=max_delay));
-            net.delays.insert((b, a), rng.gen_range(1..=max_delay));
+            let ia = net.index_of(a).expect("link endpoint in graph");
+            let ib = net.index_of(b).expect("link endpoint in graph");
+            let ab = net.edge_between(ia, ib).expect("link endpoints adjacent");
+            net.delays[ab] = rng.gen_range(1..=max_delay);
+            let ba = net.edge_between(ib, ia).expect("link endpoints adjacent");
+            net.delays[ba] = rng.gen_range(1..=max_delay);
         }
         net
     }
@@ -158,25 +212,25 @@ impl<M: RouteMonitor> Network<M> {
 
     /// The ASes in the network, ascending.
     pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.routers.keys().copied()
+        self.asn_index.iter().copied()
     }
 
     /// Read access to a router.
     #[must_use]
     pub fn router(&self, asn: Asn) -> Option<&Router> {
-        self.routers.get(&asn)
+        self.index_of(asn).map(|i| &self.routers[i])
     }
 
     /// The best route an AS holds for `prefix`.
     #[must_use]
     pub fn best_route(&self, asn: Asn, prefix: Ipv4Prefix) -> Option<&Route> {
-        self.routers.get(&asn)?.best_route(prefix)
+        self.router(asn)?.best_route(prefix)
     }
 
     /// The origin AS of the best route an AS holds for `prefix`.
     #[must_use]
     pub fn best_origin(&self, asn: Asn, prefix: Ipv4Prefix) -> Option<Asn> {
-        self.routers.get(&asn)?.best_origin(prefix)
+        self.router(asn)?.best_origin(prefix)
     }
 
     /// Makes `asn` originate `prefix`, optionally attaching a MOAS list to
@@ -205,12 +259,9 @@ impl<M: RouteMonitor> Network<M> {
     ///
     /// Panics if `asn` is not in the network.
     pub fn originate_route(&mut self, asn: Asn, route: Route) {
-        let router = self
-            .routers
-            .get_mut(&asn)
-            .expect("originating AS not in network");
-        let updates = router.originate(route, &mut self.monitor);
-        self.enqueue(asn, updates);
+        let idx = self.index_of(asn).expect("originating AS not in network");
+        let updates = self.routers[idx].originate(route, &mut self.monitor);
+        self.enqueue(idx, updates);
     }
 
     /// Makes `asn` stop originating `prefix`.
@@ -219,12 +270,9 @@ impl<M: RouteMonitor> Network<M> {
     ///
     /// Panics if `asn` is not in the network.
     pub fn withdraw(&mut self, asn: Asn, prefix: Ipv4Prefix) {
-        let router = self
-            .routers
-            .get_mut(&asn)
-            .expect("withdrawing AS not in network");
-        let updates = router.withdraw_origin(prefix, &mut self.monitor);
-        self.enqueue(asn, updates);
+        let idx = self.index_of(asn).expect("withdrawing AS not in network");
+        let updates = self.routers[idx].withdraw_origin(prefix, &mut self.monitor);
+        self.enqueue(idx, updates);
     }
 
     /// Runs the simulation until no messages remain in flight.
@@ -255,31 +303,42 @@ impl<M: RouteMonitor> Network<M> {
             }
             match event {
                 NetEvent::Deliver { from, to, update } => {
-                    if self.link_is_down(from, to) {
+                    let (from, to) = (from as usize, to as usize);
+                    if !self.failed_links.is_empty()
+                        && self.link_is_down(self.asn_index[from], self.asn_index[to])
+                    {
                         self.stats.dropped_on_failed_links += 1;
                         continue;
                     }
                     match &update {
-                        Update::Announce(_) => self.stats.announcements += 1,
-                        Update::Withdraw(_) => self.stats.withdrawals += 1,
+                        SharedUpdate::Announce(_) => self.stats.announcements += 1,
+                        SharedUpdate::Withdraw(_) => self.stats.withdrawals += 1,
                     }
-                    let Some(router) = self.routers.get_mut(&to) else {
-                        continue;
-                    };
-                    let updates = router.handle_update(from, update, &mut self.monitor);
+                    let from_asn = self.asn_index[from];
+                    let updates =
+                        self.routers[to].handle_update(from_asn, update, &mut self.monitor);
                     self.enqueue(to, updates);
                 }
                 NetEvent::MraiFlush { from, to } => {
-                    let pending = self.mrai_pending.remove(&(from, to)).unwrap_or_default();
+                    let (from, to) = (from as usize, to as usize);
+                    let edge = self
+                        .edge_between(from, to)
+                        .expect("MRAI state only exists on real sessions");
+                    let pending = std::mem::take(&mut self.mrai_pending[edge]);
                     if pending.is_empty() {
                         continue;
                     }
-                    self.mrai_gate
-                        .insert((from, to), self.queue.now() + self.mrai);
-                    let delay = self.delays.get(&(from, to)).copied().unwrap_or(1);
+                    self.mrai_gate[edge] = self.queue.now() + self.mrai;
+                    let delay = self.delays[edge];
                     for (_, update) in pending {
-                        self.queue
-                            .schedule_after(delay, NetEvent::Deliver { from, to, update });
+                        self.queue.schedule_after(
+                            delay,
+                            NetEvent::Deliver {
+                                from: from as u32,
+                                to: to as u32,
+                                update,
+                            },
+                        );
                     }
                 }
             }
@@ -309,12 +368,18 @@ impl<M: RouteMonitor> Network<M> {
         if !self.failed_links.insert(Self::link_key(a, b)) {
             return;
         }
-        self.mrai_pending.remove(&(a, b));
-        self.mrai_pending.remove(&(b, a));
+        if let (Some(ia), Some(ib)) = (self.index_of(a), self.index_of(b)) {
+            if let Some(e) = self.edge_between(ia, ib) {
+                self.mrai_pending[e].clear();
+            }
+            if let Some(e) = self.edge_between(ib, ia) {
+                self.mrai_pending[e].clear();
+            }
+        }
         for (local, peer) in [(a, b), (b, a)] {
-            if let Some(router) = self.routers.get_mut(&local) {
-                let updates = router.peer_down(peer, &mut self.monitor);
-                self.enqueue(local, updates);
+            if let Some(idx) = self.index_of(local) {
+                let updates = self.routers[idx].peer_down(peer, &mut self.monitor);
+                self.enqueue(idx, updates);
             }
         }
     }
@@ -326,9 +391,9 @@ impl<M: RouteMonitor> Network<M> {
             return;
         }
         for (local, peer) in [(a, b), (b, a)] {
-            if let Some(router) = self.routers.get_mut(&local) {
-                let updates = router.refresh_peer(peer, &mut self.monitor);
-                self.enqueue(local, updates);
+            if let Some(idx) = self.index_of(local) {
+                let updates = self.routers[idx].refresh_peer(peer, &mut self.monitor);
+                self.enqueue(idx, updates);
             }
         }
     }
@@ -336,7 +401,7 @@ impl<M: RouteMonitor> Network<M> {
     /// Returns `true` while the link between `a` and `b` is failed.
     #[must_use]
     pub fn link_is_down(&self, a: Asn, b: Asn) -> bool {
-        self.failed_links.contains(&Self::link_key(a, b))
+        !self.failed_links.is_empty() && self.failed_links.contains(&Self::link_key(a, b))
     }
 
     fn link_key(a: Asn, b: Asn) -> (Asn, Asn) {
@@ -347,40 +412,72 @@ impl<M: RouteMonitor> Network<M> {
         }
     }
 
-    fn enqueue(&mut self, from: Asn, updates: Vec<(Asn, Update)>) {
-        for (to, update) in updates {
-            if self.link_is_down(from, to) {
+    /// Dense node index of an ASN, if it is in the network.
+    fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.asn_index.binary_search(&asn).ok()
+    }
+
+    /// Flat edge id of the directed session `from -> to`, if the nodes peer.
+    fn edge_between(&self, from: usize, to: usize) -> Option<usize> {
+        let row = &self.peer_idx[self.peer_start[from]..self.peer_start[from + 1]];
+        row.binary_search(&(to as u32))
+            .ok()
+            .map(|k| self.peer_start[from] + k)
+    }
+
+    fn enqueue(&mut self, from: usize, updates: Vec<(Asn, SharedUpdate)>) {
+        let from_asn = self.asn_index[from];
+        for (to_asn, update) in updates {
+            if self.link_is_down(from_asn, to_asn) {
                 continue;
             }
+            // Routers only address their own peers, so the edge must exist.
+            let k = self.routers[from]
+                .peers()
+                .binary_search(&to_asn)
+                .expect("router update targets a peer");
+            let edge = self.peer_start[from] + k;
+            let to = self.peer_idx[edge];
             if self.mrai == 0 {
-                let delay = self.delays.get(&(from, to)).copied().unwrap_or(1);
-                self.queue
-                    .schedule_after(delay, NetEvent::Deliver { from, to, update });
+                self.queue.schedule_after(
+                    self.delays[edge],
+                    NetEvent::Deliver {
+                        from: from as u32,
+                        to,
+                        update,
+                    },
+                );
                 continue;
             }
             let now = self.queue.now();
-            let gate = self
-                .mrai_gate
-                .get(&(from, to))
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            if now >= gate && !self.mrai_pending.contains_key(&(from, to)) {
+            let gate = self.mrai_gate[edge];
+            if now >= gate && self.mrai_pending[edge].is_empty() {
                 // Window open: send immediately and start a new window.
-                self.mrai_gate.insert((from, to), now + self.mrai);
-                let delay = self.delays.get(&(from, to)).copied().unwrap_or(1);
-                self.queue
-                    .schedule_after(delay, NetEvent::Deliver { from, to, update });
+                self.mrai_gate[edge] = now + self.mrai;
+                self.queue.schedule_after(
+                    self.delays[edge],
+                    NetEvent::Deliver {
+                        from: from as u32,
+                        to,
+                        update,
+                    },
+                );
             } else {
                 // Window closed: coalesce, newest update per prefix wins.
-                let pending = self.mrai_pending.entry((from, to)).or_default();
+                let pending = &mut self.mrai_pending[edge];
                 if pending.insert(update.prefix(), update).is_some() {
                     self.stats.mrai_coalesced += 1;
                 }
                 // Schedule the flush the first time the batch forms.
                 if pending.len() == 1 {
                     let wait = gate.ticks().saturating_sub(now.ticks()).max(1);
-                    self.queue
-                        .schedule_after(wait, NetEvent::MraiFlush { from, to });
+                    self.queue.schedule_after(
+                        wait,
+                        NetEvent::MraiFlush {
+                            from: from as u32,
+                            to,
+                        },
+                    );
                 }
             }
         }

@@ -2,15 +2,17 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
-use bgp_types::{Asn, Ipv4Prefix, Route, Update};
+use bgp_types::{Asn, Ipv4Prefix, Route};
 
-use crate::monitor::{ImportContext, ImportDecision, RouteMonitor};
+use crate::monitor::{ExportAction, ImportContext, ImportDecision, RouteMonitor};
+use crate::update::SharedUpdate;
 
 /// The chosen best route for a prefix and where it came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct BestEntry {
-    route: Route,
+    route: Rc<Route>,
     /// `None` when the best route is locally originated.
     learned_from: Option<Asn>,
 }
@@ -21,11 +23,16 @@ struct BestEntry {
 /// Routers are driven by [`Network`](crate::Network); the public surface
 /// here is read-only inspection, which the experiment harness uses to census
 /// which ASes adopted a false route.
+///
+/// Routes are held behind [`Rc`] throughout: an update installed from the
+/// event queue, the Adj-RIB-In entry, the Loc-RIB best entry, and every
+/// outbound fan-out copy all share one allocation. The decision process and
+/// export path therefore move pointers, not AS-path vectors.
 #[derive(Debug, Clone)]
 pub struct Router {
     asn: Asn,
     peers: Vec<Asn>,
-    originated: BTreeMap<Ipv4Prefix, Route>,
+    originated: BTreeMap<Ipv4Prefix, Rc<Route>>,
     adj_in: BTreeMap<Ipv4Prefix, BTreeMap<Asn, RibEntry>>,
     best: BTreeMap<Ipv4Prefix, BestEntry>,
     advertised: BTreeMap<Ipv4Prefix, BTreeSet<Asn>>,
@@ -39,7 +46,7 @@ pub struct Router {
 /// changed route counts as a fresh installation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct RibEntry {
-    route: Route,
+    route: Rc<Route>,
     installed_at: u64,
 }
 
@@ -73,7 +80,7 @@ impl Router {
     /// The best (Loc-RIB) route for a prefix, if any.
     #[must_use]
     pub fn best_route(&self, prefix: Ipv4Prefix) -> Option<&Route> {
-        self.best.get(&prefix).map(|e| &e.route)
+        self.best.get(&prefix).map(|e| e.route.as_ref())
     }
 
     /// The peer the best route was learned from (`None` when locally
@@ -110,7 +117,7 @@ impl Router {
         self.adj_in
             .get(&prefix)
             .into_iter()
-            .flat_map(|m| m.iter().map(|(&peer, entry)| (peer, &entry.route)))
+            .flat_map(|m| m.iter().map(|(&peer, entry)| (peer, entry.route.as_ref())))
     }
 
     // ------------------------------------------------------------------
@@ -122,9 +129,9 @@ impl Router {
         &mut self,
         route: Route,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
+    ) -> Vec<(Asn, SharedUpdate)> {
         let prefix = route.prefix();
-        self.originated.insert(prefix, route);
+        self.originated.insert(prefix, Rc::new(route));
         self.reselect(prefix, monitor)
     }
 
@@ -133,7 +140,7 @@ impl Router {
         &mut self,
         prefix: Ipv4Prefix,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
+    ) -> Vec<(Asn, SharedUpdate)> {
         if self.originated.remove(&prefix).is_none() {
             return Vec::new();
         }
@@ -147,7 +154,7 @@ impl Router {
         &mut self,
         peer: Asn,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
+    ) -> Vec<(Asn, SharedUpdate)> {
         let mut affected: Vec<Ipv4Prefix> = Vec::new();
         for (&prefix, rib) in &mut self.adj_in {
             if rib.remove(&peer).is_some() {
@@ -174,7 +181,7 @@ impl Router {
         &mut self,
         peer: Asn,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
+    ) -> Vec<(Asn, SharedUpdate)> {
         if !self.peers.contains(&peer) {
             return Vec::new();
         }
@@ -185,10 +192,17 @@ impl Router {
             if entry.learned_from == Some(peer) {
                 continue; // split horizon
             }
-            let outbound = entry.route.propagated_by(self.asn);
-            if let Some(route) = monitor.on_export(self.asn, peer, entry.learned_from, outbound) {
-                self.advertised.entry(prefix).or_default().insert(peer);
-                out.push((peer, Update::announce(route)));
+            let outbound = Rc::new(entry.route.propagated_by(self.asn));
+            match monitor.on_export(self.asn, peer, entry.learned_from, &outbound) {
+                ExportAction::Forward => {
+                    self.advertised.entry(prefix).or_default().insert(peer);
+                    out.push((peer, SharedUpdate::Announce(outbound)));
+                }
+                ExportAction::Replace(route) => {
+                    self.advertised.entry(prefix).or_default().insert(peer);
+                    out.push((peer, SharedUpdate::announce(route)));
+                }
+                ExportAction::Suppress => {}
             }
         }
         out
@@ -198,12 +212,12 @@ impl Router {
     pub(crate) fn handle_update<M: RouteMonitor>(
         &mut self,
         from: Asn,
-        update: Update,
+        update: SharedUpdate,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
+    ) -> Vec<(Asn, SharedUpdate)> {
         let prefix = update.prefix();
         match update {
-            Update::Withdraw(_) => {
+            SharedUpdate::Withdraw(_) => {
                 let removed = self
                     .adj_in
                     .get_mut(&prefix)
@@ -213,7 +227,7 @@ impl Router {
                     return Vec::new();
                 }
             }
-            Update::Announce(route) => {
+            SharedUpdate::Announce(route) => {
                 // Loop suppression: never accept a path containing ourselves.
                 // The announcement still supersedes the peer's previous route
                 // (treat-as-withdraw), otherwise two routers can hold stale
@@ -268,14 +282,16 @@ impl Router {
         route: &Route,
         monitor: &mut M,
     ) -> ImportDecision {
-        let mut existing: Vec<(Option<Asn>, Route)> = Vec::new();
+        // Borrow the RIB directly: the context is a Vec of references, so no
+        // route is cloned just to be looked at.
+        let mut existing: Vec<(Option<Asn>, &Route)> = Vec::new();
         if let Some(own) = self.originated.get(&route.prefix()) {
-            existing.push((None, own.clone()));
+            existing.push((None, own.as_ref()));
         }
         if let Some(rib) = self.adj_in.get(&route.prefix()) {
             for (&peer, held) in rib {
                 if peer != from {
-                    existing.push((Some(peer), held.route.clone()));
+                    existing.push((Some(peer), held.route.as_ref()));
                 }
             }
         }
@@ -306,7 +322,7 @@ impl Router {
         &mut self,
         prefix: Ipv4Prefix,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
+    ) -> Vec<(Asn, SharedUpdate)> {
         let new_best = self.decide(prefix);
         let old_best = self.best.get(&prefix);
         if old_best == new_best.as_ref() {
@@ -322,7 +338,7 @@ impl Router {
                 let previously = self.advertised.remove(&prefix).unwrap_or_default();
                 previously
                     .into_iter()
-                    .map(|peer| (peer, Update::withdraw(prefix)))
+                    .map(|peer| (peer, SharedUpdate::withdraw(prefix)))
                     .collect()
             }
         }
@@ -337,63 +353,67 @@ impl Router {
     /// The prefer-current rule matters for the experiments: an attacker's
     /// equally-long route must not displace a valid route that is already
     /// installed, exactly as in the paper's converged-network attack model.
+    ///
+    /// Candidates are streamed straight out of the RIB — the only allocation
+    /// on a selection is the `Rc` bump for the winner. `min_by_key` keeps the
+    /// *first* minimum, so the iteration order (own route, then learned
+    /// routes by ascending peer ASN) is part of the tiebreak contract.
     fn decide(&self, prefix: Ipv4Prefix) -> Option<BestEntry> {
-        let mut candidates: Vec<(BestEntry, u64)> = Vec::new();
-        if let Some(own) = self.originated.get(&prefix) {
-            candidates.push((
-                BestEntry {
-                    route: own.clone(),
-                    learned_from: None,
-                },
-                0,
-            ));
-        }
-        if let Some(rib) = self.adj_in.get(&prefix) {
-            for (&peer, entry) in rib {
-                candidates.push((
-                    BestEntry {
-                        route: entry.route.clone(),
-                        learned_from: Some(peer),
-                    },
-                    entry.installed_at,
-                ));
-            }
-        }
-        candidates
-            .into_iter()
-            .min_by_key(|(entry, installed_at)| {
+        let own = self
+            .originated
+            .get(&prefix)
+            .map(|route| (route, None, 0u64));
+        let learned = self.adj_in.get(&prefix).into_iter().flat_map(|rib| {
+            rib.iter()
+                .map(|(&peer, entry)| (&entry.route, Some(peer), entry.installed_at))
+        });
+        own.into_iter()
+            .chain(learned)
+            .min_by_key(|(route, learned_from, installed_at)| {
                 (
-                    Reverse(entry.route.local_pref()),
-                    entry.route.as_path().selection_len(),
-                    entry.learned_from.is_some(),
+                    Reverse(route.local_pref()),
+                    route.as_path().selection_len(),
+                    learned_from.is_some(),
                     *installed_at,
-                    entry.learned_from,
+                    *learned_from,
                 )
             })
-            .map(|(entry, _)| entry)
+            .map(|(route, learned_from, _)| BestEntry {
+                route: Rc::clone(route),
+                learned_from,
+            })
     }
 
     /// Builds the per-peer announcements for a newly selected best route,
     /// plus withdrawals for peers that previously heard from us but are now
     /// excluded (split horizon toward the route's source).
+    ///
+    /// The prepended outbound route is built **once** and shared by every
+    /// peer the monitor lets through unmodified; only an
+    /// [`ExportAction::Replace`] costs a fresh allocation.
     fn export<M: RouteMonitor>(
         &mut self,
         prefix: Ipv4Prefix,
         entry: &BestEntry,
         monitor: &mut M,
-    ) -> Vec<(Asn, Update)> {
-        let outbound = entry.route.propagated_by(self.asn);
+    ) -> Vec<(Asn, SharedUpdate)> {
+        let outbound = Rc::new(entry.route.propagated_by(self.asn));
         let mut sent_to: BTreeSet<Asn> = BTreeSet::new();
-        let mut updates = Vec::new();
+        let mut updates = Vec::with_capacity(self.peers.len());
         for &peer in &self.peers {
             if Some(peer) == entry.learned_from {
                 continue;
             }
-            if let Some(route) =
-                monitor.on_export(self.asn, peer, entry.learned_from, outbound.clone())
-            {
-                sent_to.insert(peer);
-                updates.push((peer, Update::announce(route)));
+            match monitor.on_export(self.asn, peer, entry.learned_from, &outbound) {
+                ExportAction::Forward => {
+                    sent_to.insert(peer);
+                    updates.push((peer, SharedUpdate::Announce(Rc::clone(&outbound))));
+                }
+                ExportAction::Replace(route) => {
+                    sent_to.insert(peer);
+                    updates.push((peer, SharedUpdate::announce(route)));
+                }
+                ExportAction::Suppress => {}
             }
         }
         let previously = self
@@ -401,7 +421,7 @@ impl Router {
             .insert(prefix, sent_to.clone())
             .unwrap_or_default();
         for peer in previously.difference(&sent_to) {
-            updates.push((*peer, Update::withdraw(prefix)));
+            updates.push((*peer, SharedUpdate::withdraw(prefix)));
         }
         updates
     }
@@ -442,10 +462,26 @@ mod tests {
     }
 
     #[test]
+    fn fanout_announcements_share_one_route_allocation() {
+        let mut r = router();
+        let updates = r.originate(Route::new(prefix(), AsPath::new()), &mut NoopMonitor);
+        let rcs: Vec<&Rc<Route>> = updates
+            .iter()
+            .filter_map(|(_, u)| match u {
+                SharedUpdate::Announce(rc) => Some(rc),
+                SharedUpdate::Withdraw(_) => None,
+            })
+            .collect();
+        assert_eq!(rcs.len(), 3);
+        assert!(Rc::ptr_eq(rcs[0], rcs[1]));
+        assert!(Rc::ptr_eq(rcs[1], rcs[2]));
+    }
+
+    #[test]
     fn received_route_is_installed_and_propagated_with_split_horizon() {
         let mut r = router();
         let incoming = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        let updates = r.handle_update(Asn(2), Update::announce(incoming), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), SharedUpdate::announce(incoming), &mut NoopMonitor);
         // Sent to peers 3 and 4, not back to 2.
         let targets: Vec<Asn> = updates.iter().map(|(p, _)| *p).collect();
         assert_eq!(targets, vec![Asn(3), Asn(4)]);
@@ -460,7 +496,7 @@ mod tests {
         let mut r = router();
         let mut looped = announced(Asn(9), prefix());
         looped = looped.propagated_by(Asn(1)).propagated_by(Asn(2));
-        let updates = r.handle_update(Asn(2), Update::announce(looped), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), SharedUpdate::announce(looped), &mut NoopMonitor);
         assert!(updates.is_empty());
         assert!(r.best_route(prefix()).is_none());
     }
@@ -472,8 +508,8 @@ mod tests {
             .propagated_by(Asn(7))
             .propagated_by(Asn(2));
         let short = announced(Asn(9), prefix()).propagated_by(Asn(3));
-        r.handle_update(Asn(2), Update::announce(long), &mut NoopMonitor);
-        let updates = r.handle_update(Asn(3), Update::announce(short), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(long), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(3), SharedUpdate::announce(short), &mut NoopMonitor);
         assert_eq!(r.best_learned_from(prefix()), Some(Asn(3)));
         assert!(!updates.is_empty());
     }
@@ -485,8 +521,8 @@ mod tests {
         let mut r = router();
         let via4 = announced(Asn(9), prefix()).propagated_by(Asn(4));
         let via3 = announced(Asn(9), prefix()).propagated_by(Asn(3));
-        r.handle_update(Asn(4), Update::announce(via4), &mut NoopMonitor);
-        let updates = r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
+        r.handle_update(Asn(4), SharedUpdate::announce(via4), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(3), SharedUpdate::announce(via3), &mut NoopMonitor);
         assert_eq!(r.best_learned_from(prefix()), Some(Asn(4)));
         assert!(updates.is_empty(), "no churn on an ignored tie");
     }
@@ -503,11 +539,11 @@ mod tests {
         let via4 = announced(Asn(8), prefix())
             .propagated_by(Asn(7))
             .propagated_by(Asn(4));
-        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
-        r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
-        r.handle_update(Asn(4), Update::announce(via4), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut NoopMonitor);
+        r.handle_update(Asn(3), SharedUpdate::announce(via3), &mut NoopMonitor);
+        r.handle_update(Asn(4), SharedUpdate::announce(via4), &mut NoopMonitor);
         assert_eq!(r.best_learned_from(prefix()), Some(Asn(2)));
-        r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::withdraw(prefix()), &mut NoopMonitor);
         assert_eq!(r.best_learned_from(prefix()), Some(Asn(3)));
     }
 
@@ -515,7 +551,7 @@ mod tests {
     fn local_origination_beats_learned_routes() {
         let mut r = router();
         let learned = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        r.handle_update(Asn(2), Update::announce(learned), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(learned), &mut NoopMonitor);
         r.originate(Route::new(prefix(), AsPath::new()), &mut NoopMonitor);
         assert_eq!(r.best_origin(prefix()), Some(Asn(1)));
         assert_eq!(r.best_learned_from(prefix()), None);
@@ -529,8 +565,12 @@ mod tests {
             .propagated_by(Asn(7))
             .propagated_by(Asn(3))
             .with_local_pref(200);
-        r.handle_update(Asn(2), Update::announce(short), &mut NoopMonitor);
-        r.handle_update(Asn(3), Update::announce(long_preferred), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(short), &mut NoopMonitor);
+        r.handle_update(
+            Asn(3),
+            SharedUpdate::announce(long_preferred),
+            &mut NoopMonitor,
+        );
         assert_eq!(r.best_learned_from(prefix()), Some(Asn(3)));
     }
 
@@ -541,10 +581,10 @@ mod tests {
         let via3 = announced(Asn(8), prefix())
             .propagated_by(Asn(7))
             .propagated_by(Asn(3));
-        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
-        r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut NoopMonitor);
+        r.handle_update(Asn(3), SharedUpdate::announce(via3), &mut NoopMonitor);
         assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
-        let updates = r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), SharedUpdate::withdraw(prefix()), &mut NoopMonitor);
         assert_eq!(r.best_origin(prefix()), Some(Asn(8)));
         assert!(!updates.is_empty());
     }
@@ -553,8 +593,8 @@ mod tests {
     fn last_withdrawal_sends_withdraw_to_advertised_peers() {
         let mut r = router();
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
-        let updates = r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), SharedUpdate::withdraw(prefix()), &mut NoopMonitor);
         assert!(r.best_route(prefix()).is_none());
         let withdraw_targets: BTreeSet<Asn> = updates
             .iter()
@@ -568,8 +608,12 @@ mod tests {
     fn duplicate_announcement_is_silent() {
         let mut r = router();
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        r.handle_update(Asn(2), Update::announce(via2.clone()), &mut NoopMonitor);
-        let updates = r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        r.handle_update(
+            Asn(2),
+            SharedUpdate::announce(via2.clone()),
+            &mut NoopMonitor,
+        );
+        let updates = r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut NoopMonitor);
         assert!(
             updates.is_empty(),
             "implicit replacement with identical route must not re-export"
@@ -579,7 +623,7 @@ mod tests {
     #[test]
     fn spurious_withdrawal_is_silent() {
         let mut r = router();
-        let updates = r.handle_update(Asn(2), Update::withdraw(prefix()), &mut NoopMonitor);
+        let updates = r.handle_update(Asn(2), SharedUpdate::withdraw(prefix()), &mut NoopMonitor);
         assert!(updates.is_empty());
     }
 
@@ -592,10 +636,10 @@ mod tests {
         let via2 = announced(Asn(9), prefix())
             .propagated_by(Asn(7))
             .propagated_by(Asn(2));
-        r.handle_update(Asn(2), Update::announce(via2), &mut NoopMonitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut NoopMonitor);
         let via3 = announced(Asn(9), prefix()).propagated_by(Asn(3));
-        let updates = r.handle_update(Asn(3), Update::announce(via3), &mut NoopMonitor);
-        let to3: Vec<&Update> = updates
+        let updates = r.handle_update(Asn(3), SharedUpdate::announce(via3), &mut NoopMonitor);
+        let to3: Vec<&SharedUpdate> = updates
             .iter()
             .filter(|(p, _)| *p == Asn(3))
             .map(|(_, u)| u)
@@ -614,7 +658,7 @@ mod tests {
         }
         let mut r = router();
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        let updates = r.handle_update(Asn(2), Update::announce(via2), &mut RejectAll);
+        let updates = r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut RejectAll);
         assert!(updates.is_empty());
         assert!(r.best_route(prefix()).is_none());
     }
@@ -633,12 +677,12 @@ mod tests {
         }
         let mut r = router();
         let false_route = announced(Asn(66), prefix()).propagated_by(Asn(2));
-        r.handle_update(Asn(2), Update::announce(false_route), &mut EvictTwo);
+        r.handle_update(Asn(2), SharedUpdate::announce(false_route), &mut EvictTwo);
         assert_eq!(r.best_origin(prefix()), Some(Asn(66)));
         let valid = announced(Asn(9), prefix())
             .propagated_by(Asn(7))
             .propagated_by(Asn(3));
-        r.handle_update(Asn(3), Update::announce(valid), &mut EvictTwo);
+        r.handle_update(Asn(3), SharedUpdate::announce(valid), &mut EvictTwo);
         assert_eq!(r.best_origin(prefix()), Some(Asn(9)));
         assert_eq!(r.adj_rib_in(prefix()).count(), 1);
     }
@@ -652,14 +696,45 @@ mod tests {
                 _local: Asn,
                 _to: Asn,
                 _learned_from: Option<Asn>,
-                _route: Route,
-            ) -> Option<Route> {
-                None
+                _route: &Route,
+            ) -> ExportAction {
+                ExportAction::Suppress
             }
         }
         let mut r = router();
         let updates = r.originate(Route::new(prefix(), AsPath::new()), &mut Mute);
         assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn replacing_export_monitor_substitutes_the_route() {
+        struct Downgrade;
+        impl RouteMonitor for Downgrade {
+            fn on_export(
+                &mut self,
+                _local: Asn,
+                to: Asn,
+                _learned_from: Option<Asn>,
+                route: &Route,
+            ) -> ExportAction {
+                if to == Asn(3) {
+                    ExportAction::Replace(route.clone().with_local_pref(7))
+                } else {
+                    ExportAction::Forward
+                }
+            }
+        }
+        let mut r = router();
+        let updates = r.originate(Route::new(prefix(), AsPath::new()), &mut Downgrade);
+        assert_eq!(updates.len(), 3);
+        for (peer, update) in &updates {
+            let route = update.route().unwrap();
+            if *peer == Asn(3) {
+                assert_eq!(route.local_pref(), 7);
+            } else {
+                assert_ne!(route.local_pref(), 7);
+            }
+        }
     }
 
     #[test]
@@ -675,9 +750,9 @@ mod tests {
         let mut r = router();
         r.originate(Route::new(prefix(), AsPath::new()), &mut monitor);
         let via2 = announced(Asn(9), prefix()).propagated_by(Asn(2));
-        r.handle_update(Asn(2), Update::announce(via2.clone()), &mut monitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(via2.clone()), &mut monitor);
         // Re-announcement from the same peer: its own old entry excluded.
-        r.handle_update(Asn(2), Update::announce(via2), &mut monitor);
+        r.handle_update(Asn(2), SharedUpdate::announce(via2), &mut monitor);
         assert_eq!(monitor.0, vec![1, 1]);
     }
 }

@@ -3,7 +3,7 @@
 use as_topology::{AsRelationships, Relationship};
 use bgp_types::{Asn, Route};
 
-use crate::monitor::{ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
+use crate::monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
 
 /// Wraps another monitor with the Gao-Rexford export rule:
 ///
@@ -131,11 +131,11 @@ impl<M: RouteMonitor> RouteMonitor for ValleyFree<M> {
         local: Asn,
         to_peer: Asn,
         learned_from: Option<Asn>,
-        route: Route,
-    ) -> Option<Route> {
+        route: &Route,
+    ) -> ExportAction {
         if !self.permits(local, to_peer, learned_from) {
             self.suppressed += 1;
-            return None;
+            return ExportAction::Suppress;
         }
         self.inner.on_export(local, to_peer, learned_from, route)
     }

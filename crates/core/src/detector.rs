@@ -57,10 +57,12 @@ impl fmt::Display for Conflict {
 /// returning the first conflict found.
 ///
 /// `existing` entries are `(learned-from peer, route)` pairs; `None` marks a
-/// locally originated route. Routes without an attached list are treated as
-/// carrying the implicit `{origin}` list (footnote 3). Routes with no
-/// well-defined origin and no list (empty path aggregates) cannot be checked
-/// and never conflict.
+/// locally originated route. The route side is generic over
+/// [`Borrow<Route>`](std::borrow::Borrow), so callers can pass owned routes
+/// or `&Route` references straight out of a RIB without cloning. Routes
+/// without an attached list are treated as carrying the implicit `{origin}`
+/// list (footnote 3). Routes with no well-defined origin and no list (empty
+/// path aggregates) cannot be checked and never conflict.
 ///
 /// This is deliberately a pure function: the in-line [`MoasMonitor`]
 /// (§4.2's modified-BGP deployment) and the [`OfflineMonitor`] (§4.2's
@@ -69,7 +71,10 @@ impl fmt::Display for Conflict {
 /// [`MoasMonitor`]: crate::MoasMonitor
 /// [`OfflineMonitor`]: crate::OfflineMonitor
 #[must_use]
-pub fn find_conflict(route: &Route, existing: &[(Option<Asn>, Route)]) -> Option<Conflict> {
+pub fn find_conflict<R: std::borrow::Borrow<Route>>(
+    route: &Route,
+    existing: &[(Option<Asn>, R)],
+) -> Option<Conflict> {
     let incoming_list = route.effective_moas_list()?;
 
     // Self-test: a route whose origin is not in its own list is malformed.
@@ -87,6 +92,7 @@ pub fn find_conflict(route: &Route, existing: &[(Option<Asn>, Route)]) -> Option
 
     // Pairwise set comparison against every held route for this prefix.
     for (peer, held) in existing {
+        let held = held.borrow();
         if held.prefix() != route.prefix() {
             continue;
         }
@@ -165,7 +171,7 @@ mod tests {
     fn copying_the_honest_list_fails_the_self_test() {
         // Attacker copies {1, 2} exactly but originates from AS 3.
         let forged = route(3, Some(&[1, 2]));
-        let conflict = find_conflict(&forged, &[]).unwrap();
+        let conflict = find_conflict::<Route>(&forged, &[]).unwrap();
         assert_eq!(conflict.kind, ConflictKind::OriginNotInList);
         assert_eq!(conflict.incoming_origin, Some(Asn(3)));
     }
@@ -184,7 +190,7 @@ mod tests {
     #[test]
     fn no_origin_and_no_list_is_uncheckable() {
         let aggregate = Route::new(p(), AsPath::new());
-        assert!(find_conflict(&aggregate, &[]).is_none());
+        assert!(find_conflict::<Route>(&aggregate, &[]).is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use bgp_engine::{ImportContext, ImportDecision, RouteMonitor};
+use bgp_engine::{ExportAction, ImportContext, ImportDecision, RouteMonitor};
 use bgp_types::{Asn, Route};
 
 use crate::alarm::{Alarm, AlarmLog, Resolution};
@@ -225,13 +225,17 @@ impl<V: OriginVerifier> RouteMonitor for MoasMonitor<V> {
         local: Asn,
         _to_peer: Asn,
         _learned_from: Option<Asn>,
-        mut route: Route,
-    ) -> Option<Route> {
-        if self.config.strippers.contains(&local) {
-            // Optional transitive attribute dropped in transit (§4.3).
-            route.set_moas_list(None);
+        route: &Route,
+    ) -> ExportAction {
+        if self.config.strippers.contains(&local) && route.moas_list().is_some() {
+            // Optional transitive attribute dropped in transit (§4.3). Only
+            // this case pays for a route clone; everyone else shares the
+            // router's single outbound allocation.
+            let mut stripped = route.clone();
+            stripped.set_moas_list(None);
+            return ExportAction::Replace(stripped);
         }
-        Some(route)
+        ExportAction::Forward
     }
 }
 
@@ -256,7 +260,7 @@ mod tests {
         reg
     }
 
-    fn ctx<'a>(route: &'a Route, existing: &'a [(Option<Asn>, Route)]) -> ImportContext<'a> {
+    fn ctx<'a>(route: &'a Route, existing: &'a [(Option<Asn>, &'a Route)]) -> ImportContext<'a> {
         ImportContext {
             local: Asn(100),
             from_peer: Asn(200),
@@ -269,7 +273,8 @@ mod tests {
     fn consistent_announcements_pass_without_queries() {
         let mut m = MoasMonitor::full(registry(&[1, 2]));
         let incoming = valid_route(1, &[1, 2]);
-        let existing = vec![(Some(Asn(5)), valid_route(2, &[1, 2]))];
+        let held = valid_route(2, &[1, 2]);
+        let existing = vec![(Some(Asn(5)), &held)];
         assert_eq!(
             m.on_import(&ctx(&incoming, &existing)),
             ImportDecision::accept()
@@ -286,7 +291,8 @@ mod tests {
     fn false_origin_is_rejected_and_alarm_confirmed() {
         let mut m = MoasMonitor::full(registry(&[4]));
         let incoming = Route::new(p(), AsPath::origination(Asn(52)));
-        let existing = vec![(Some(Asn(5)), Route::new(p(), AsPath::origination(Asn(4))))];
+        let held = Route::new(p(), AsPath::origination(Asn(4)));
+        let existing = vec![(Some(Asn(5)), &held)];
         let d = m.on_import(&ctx(&incoming, &existing));
         assert!(d.reject);
         assert_eq!(m.alarms().confirmed_count(), 1);
@@ -297,7 +303,8 @@ mod tests {
     fn installed_false_route_is_evicted_when_valid_route_arrives() {
         let mut m = MoasMonitor::full(registry(&[4]));
         let incoming = Route::new(p(), AsPath::origination(Asn(4)));
-        let existing = vec![(Some(Asn(7)), Route::new(p(), AsPath::origination(Asn(52))))];
+        let held = Route::new(p(), AsPath::origination(Asn(52)));
+        let existing = vec![(Some(Asn(7)), &held)];
         let d = m.on_import(&ctx(&incoming, &existing));
         assert!(!d.reject, "the valid route must be installed");
         assert_eq!(d.evict_peers, vec![Asn(7)], "the stale false route must go");
@@ -309,7 +316,8 @@ mod tests {
         // §4.3: both origins are valid; one announcement lost its list.
         let mut m = MoasMonitor::full(registry(&[1, 2]));
         let stripped = Route::new(p(), AsPath::origination(Asn(1)));
-        let existing = vec![(Some(Asn(5)), valid_route(2, &[1, 2]))];
+        let held = valid_route(2, &[1, 2]);
+        let existing = vec![(Some(Asn(5)), &held)];
         let d = m.on_import(&ctx(&stripped, &existing));
         assert!(!d.reject);
         assert!(d.evict_peers.is_empty());
@@ -320,7 +328,8 @@ mod tests {
     fn non_capable_as_ignores_everything() {
         let mut m = MoasMonitor::partial(BTreeSet::new(), registry(&[4]));
         let incoming = Route::new(p(), AsPath::origination(Asn(52)));
-        let existing = vec![(Some(Asn(5)), Route::new(p(), AsPath::origination(Asn(4))))];
+        let held = Route::new(p(), AsPath::origination(Asn(4)));
+        let existing = vec![(Some(Asn(5)), &held)];
         assert_eq!(
             m.on_import(&ctx(&incoming, &existing)),
             ImportDecision::accept()
@@ -332,7 +341,8 @@ mod tests {
     fn unresolved_policy_accept_keeps_route_with_alarm() {
         let mut m = MoasMonitor::full(RegistryVerifier::new()); // no records
         let incoming = Route::new(p(), AsPath::origination(Asn(52)));
-        let existing = vec![(Some(Asn(5)), Route::new(p(), AsPath::origination(Asn(4))))];
+        let held = Route::new(p(), AsPath::origination(Asn(4)));
+        let existing = vec![(Some(Asn(5)), &held)];
         let d = m.on_import(&ctx(&incoming, &existing));
         assert!(!d.reject);
         assert_eq!(m.alarms().unresolved_count(), 1);
@@ -347,7 +357,8 @@ mod tests {
         };
         let mut m = MoasMonitor::new(config, RegistryVerifier::new());
         let incoming = Route::new(p(), AsPath::origination(Asn(52)));
-        let existing = vec![(Some(Asn(5)), Route::new(p(), AsPath::origination(Asn(4))))];
+        let held = Route::new(p(), AsPath::origination(Asn(4)));
+        let existing = vec![(Some(Asn(5)), &held)];
         assert!(m.on_import(&ctx(&incoming, &existing)).reject);
     }
 
@@ -359,10 +370,29 @@ mod tests {
         };
         let mut m = MoasMonitor::new(config, registry(&[1]));
         let route = valid_route(1, &[1, 2]);
-        let stripped = m.on_export(Asn(9), Asn(2), None, route.clone()).unwrap();
+        let ExportAction::Replace(stripped) = m.on_export(Asn(9), Asn(2), None, &route) else {
+            panic!("stripper must replace the route");
+        };
         assert!(stripped.moas_list().is_none());
-        let kept = m.on_export(Asn(8), Asn(2), None, route).unwrap();
-        assert!(kept.moas_list().is_some());
+        assert_eq!(
+            m.on_export(Asn(8), Asn(2), None, &route),
+            ExportAction::Forward,
+            "non-strippers forward the shared payload untouched"
+        );
+    }
+
+    #[test]
+    fn stripper_with_no_list_forwards_without_cloning() {
+        let config = MoasConfig {
+            strippers: [Asn(9)].into_iter().collect(),
+            ..MoasConfig::default()
+        };
+        let mut m = MoasMonitor::new(config, registry(&[1]));
+        let bare = Route::new(p(), AsPath::origination(Asn(1)));
+        assert_eq!(
+            m.on_export(Asn(9), Asn(2), None, &bare),
+            ExportAction::Forward
+        );
     }
 
     #[test]
@@ -375,7 +405,7 @@ mod tests {
         let d1 = m.on_import(&ctx(&forged, &[]));
         assert!(!d1.reject, "no conflict visible yet");
         let valid = valid_route(1, &[1, 2]);
-        let existing = vec![(Some(Asn(6)), forged)];
+        let existing = vec![(Some(Asn(6)), &forged)];
         let d2 = m.on_import(&ctx(&valid, &existing));
         assert!(!d2.reject);
         assert_eq!(d2.evict_peers, vec![Asn(6)]);

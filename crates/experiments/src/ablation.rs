@@ -46,17 +46,27 @@ json::impl_json_struct!(SubPrefixAblation {
 /// announcing the exact prefix is caught.
 #[must_use]
 pub fn subprefix_ablation(graph: &AsGraph, runs: usize, seed: u64) -> SubPrefixAblation {
+    subprefix_ablation_jobs(graph, runs, seed, 1)
+}
+
+/// [`subprefix_ablation`] with its independent runs fanned across up to
+/// `jobs` worker threads. Every run seeds its own RNG from `(seed, run)`, so
+/// the per-run samples — and the index-ordered aggregation — are identical
+/// for every `jobs` value.
+#[must_use]
+pub fn subprefix_ablation_jobs(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> SubPrefixAblation {
     let stubs = graph.stub_asns();
     let victim_prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX
         .parse()
         .expect("victim prefix constant");
 
-    let mut sub_adoption = Vec::new();
-    let mut sub_alarms = Vec::new();
-    let mut exact_adoption = Vec::new();
-    let mut traffic_capture = Vec::new();
-
-    for run in 0..runs {
+    // Each slot holds one run's (sub adoption, alarms, traffic, exact).
+    let samples = minipool::map_indexed(jobs, runs, |run| {
         let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
         let mut rng = sim_engine::rng::from_seed(run_seed);
         let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
@@ -78,14 +88,14 @@ pub fn subprefix_ablation(graph: &AsGraph, runs: usize, seed: u64) -> SubPrefixA
             .filter(|&asn| asn != attacker)
             .filter(|&asn| net.best_origin(asn, sub) == Some(attacker))
             .count();
-        sub_adoption.push(100.0 * fooled as f64 / eligible as f64);
-        sub_alarms.push(net.monitor().alarms().len() as f64);
+        let adoption = 100.0 * fooled as f64 / eligible as f64;
+        let alarms = net.monitor().alarms().len() as f64;
 
         // Data plane: where do packets addressed inside the hijacked half go?
         let plane = ForwardingPlane::snapshot(&net);
         let exclude: std::collections::BTreeSet<Asn> = [attacker].into_iter().collect();
         let (_, to_attacker_or_other, _) = plane.capture_census(sub.network(), victim, &exclude);
-        traffic_capture.push(100.0 * to_attacker_or_other as f64 / eligible as f64);
+        let traffic = 100.0 * to_attacker_or_other as f64 / eligible as f64;
 
         // Exact-prefix control run with the same parties.
         let control = TrialConfig {
@@ -93,14 +103,17 @@ pub fn subprefix_ablation(graph: &AsGraph, runs: usize, seed: u64) -> SubPrefixA
             ..TrialConfig::new(vec![victim], vec![attacker], Deployment::Full)
         };
         let outcome = run_trial(graph, &control);
-        exact_adoption.push(100.0 * outcome.adoption_fraction());
-    }
+        let exact = 100.0 * outcome.adoption_fraction();
 
+        [adoption, alarms, traffic, exact]
+    });
+
+    let column = |i: usize| samples.iter().map(|s| s[i]).collect::<Vec<f64>>();
     SubPrefixAblation {
-        subprefix_adoption_pct: mean(&sub_adoption),
-        exact_prefix_adoption_pct: mean(&exact_adoption),
-        subprefix_alarms: mean(&sub_alarms),
-        subprefix_traffic_capture_pct: mean(&traffic_capture),
+        subprefix_adoption_pct: mean(&column(0)),
+        exact_prefix_adoption_pct: mean(&column(3)),
+        subprefix_alarms: mean(&column(1)),
+        subprefix_traffic_capture_pct: mean(&column(2)),
     }
 }
 
@@ -134,6 +147,16 @@ json::impl_json_struct!(ValleyFreePoint {
 /// not preserve).
 #[must_use]
 pub fn valley_free_ablation(runs: usize, seed: u64) -> Vec<ValleyFreePoint> {
+    valley_free_ablation_jobs(runs, seed, 1)
+}
+
+/// [`valley_free_ablation`] with its `2 × runs` independent
+/// `(routing policy, run)` cells fanned across up to `jobs` worker threads.
+/// Each cell seeds its own RNG from `(seed, run, policy)`, and the per-policy
+/// aggregates fold cell results in run order — bit-identical for every `jobs`
+/// value.
+#[must_use]
+pub fn valley_free_ablation_jobs(runs: usize, seed: u64, jobs: usize) -> Vec<ValleyFreePoint> {
     let (graph, rels) = InternetModel::new()
         .transit_count(15)
         .stub_count(60)
@@ -142,69 +165,81 @@ pub fn valley_free_ablation(runs: usize, seed: u64) -> Vec<ValleyFreePoint> {
     let asns: Vec<Asn> = graph.asns().collect();
     let prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX.parse().expect("constant");
 
+    // Cell i: policy_on = i / runs, run = i % runs. Each cell simulates both
+    // deployments and yields (normal pct, moas pct, suppressed per deployment).
+    let cells = minipool::map_indexed(jobs, 2 * runs, |i| {
+        let policy_on = i >= runs;
+        let run = i % runs;
+        let run_seed =
+            sim_engine::rng::derive_seed(seed, (run * 2 + usize::from(policy_on)) as u64);
+        let mut rng = sim_engine::rng::from_seed(run_seed);
+        let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
+        let victim = picked[0];
+        let candidates: Vec<Asn> = asns.iter().copied().filter(|&a| a != victim).collect();
+        let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
+        let valid = MoasList::implicit(victim);
+
+        let mut normal_pct = 0.0;
+        let mut moas_pct = 0.0;
+        let mut suppressed = [0.0; 2];
+        for (di, deployment) in [Deployment::None, Deployment::Full].into_iter().enumerate() {
+            let mut registry = RegistryVerifier::new();
+            registry.register(prefix, valid.clone());
+            let monitor = MoasMonitor::new(
+                MoasConfig {
+                    deployment: deployment.clone(),
+                    ..MoasConfig::default()
+                },
+                registry,
+            );
+            let rels_for_run = if policy_on {
+                rels.clone()
+            } else {
+                as_topology::AsRelationships::new()
+            };
+            let mut net = Network::with_monitor_and_jitter(
+                &graph,
+                ValleyFree::wrapping(rels_for_run, monitor),
+                run_seed,
+                4,
+            );
+            net.originate(victim, prefix, Some(valid.clone()));
+            net.run().expect("converges");
+            let attack = moas_core::FalseOriginAttack::new(ListForgery::IncludeSelf);
+            for &attacker in &attackers {
+                attack.launch(&mut net, attacker, prefix, &valid);
+            }
+            net.run().expect("converges");
+
+            let attacker_set: std::collections::BTreeSet<Asn> = attackers.iter().copied().collect();
+            let eligible = graph.len() - attackers.len();
+            let fooled = graph
+                .asns()
+                .filter(|a| !attacker_set.contains(a))
+                .filter(|&a| {
+                    net.best_origin(a, prefix)
+                        .is_some_and(|o| attacker_set.contains(&o))
+                })
+                .count();
+            let pct = 100.0 * fooled as f64 / eligible as f64;
+            match deployment {
+                Deployment::Full => moas_pct = pct,
+                _ => normal_pct = pct,
+            }
+            suppressed[di] = net.monitor().suppressed_count() as f64;
+        }
+        (normal_pct, moas_pct, suppressed)
+    });
+
     let mut out = Vec::new();
     for policy_on in [false, true] {
-        let mut normal = Vec::new();
-        let mut moas = Vec::new();
-        let mut suppressed = Vec::new();
-        for run in 0..runs {
-            let run_seed =
-                sim_engine::rng::derive_seed(seed, (run * 2 + usize::from(policy_on)) as u64);
-            let mut rng = sim_engine::rng::from_seed(run_seed);
-            let picked = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
-            let victim = picked[0];
-            let candidates: Vec<Asn> = asns.iter().copied().filter(|&a| a != victim).collect();
-            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
-            let valid = MoasList::implicit(victim);
-
-            for deployment in [Deployment::None, Deployment::Full] {
-                let mut registry = RegistryVerifier::new();
-                registry.register(prefix, valid.clone());
-                let monitor = MoasMonitor::new(
-                    MoasConfig {
-                        deployment: deployment.clone(),
-                        ..MoasConfig::default()
-                    },
-                    registry,
-                );
-                let rels_for_run = if policy_on {
-                    rels.clone()
-                } else {
-                    as_topology::AsRelationships::new()
-                };
-                let mut net = Network::with_monitor_and_jitter(
-                    &graph,
-                    ValleyFree::wrapping(rels_for_run, monitor),
-                    run_seed,
-                    4,
-                );
-                net.originate(victim, prefix, Some(valid.clone()));
-                net.run().expect("converges");
-                let attack = moas_core::FalseOriginAttack::new(ListForgery::IncludeSelf);
-                for &attacker in &attackers {
-                    attack.launch(&mut net, attacker, prefix, &valid);
-                }
-                net.run().expect("converges");
-
-                let attacker_set: std::collections::BTreeSet<Asn> =
-                    attackers.iter().copied().collect();
-                let eligible = graph.len() - attackers.len();
-                let fooled = graph
-                    .asns()
-                    .filter(|a| !attacker_set.contains(a))
-                    .filter(|&a| {
-                        net.best_origin(a, prefix)
-                            .is_some_and(|o| attacker_set.contains(&o))
-                    })
-                    .count();
-                let pct = 100.0 * fooled as f64 / eligible as f64;
-                match deployment {
-                    Deployment::Full => moas.push(pct),
-                    _ => normal.push(pct),
-                }
-                suppressed.push(net.monitor().suppressed_count() as f64);
-            }
-        }
+        let offset = if policy_on { runs } else { 0 };
+        let policy_cells = &cells[offset..offset + runs];
+        let normal: Vec<f64> = policy_cells.iter().map(|c| c.0).collect();
+        let moas: Vec<f64> = policy_cells.iter().map(|c| c.1).collect();
+        // The serial loop pushed suppression counts per deployment within
+        // each run; keep that interleaving for the fold.
+        let suppressed: Vec<f64> = policy_cells.iter().flat_map(|c| c.2).collect();
         out.push(ValleyFreePoint {
             routing: if policy_on {
                 "valley-free"
@@ -252,41 +287,62 @@ pub fn stripping_ablation(
     runs: usize,
     seed: u64,
 ) -> Vec<StrippingPoint> {
+    stripping_ablation_jobs(graph, fractions, runs, seed, 1)
+}
+
+/// [`stripping_ablation`] with its `fractions × runs` independent cells
+/// fanned across up to `jobs` worker threads; per-fraction aggregates fold
+/// in run order, bit-identical for every `jobs` value.
+#[must_use]
+pub fn stripping_ablation_jobs(
+    graph: &AsGraph,
+    fractions: &[f64],
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<StrippingPoint> {
     let stubs = graph.stub_asns();
     let asns: Vec<Asn> = graph.asns().collect();
-    let mut out = Vec::new();
 
-    for (fx, &fraction) in fractions.iter().enumerate() {
-        let mut adoption = Vec::new();
-        let mut false_alarms = Vec::new();
-        let mut confirmed = Vec::new();
-        for run in 0..runs {
-            let run_seed = sim_engine::rng::derive_seed(seed, (fx * 1000 + run) as u64);
-            let mut rng = sim_engine::rng::from_seed(run_seed);
-            // Two origins so valid announcements carry a meaningful list.
-            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
-            let candidates: Vec<Asn> = asns
-                .iter()
-                .copied()
-                .filter(|a| !origins.contains(a))
+    // Cell i: fraction index fx = i / runs, run = i % runs.
+    let cells = minipool::map_indexed(jobs, fractions.len() * runs, |i| {
+        let (fx, run) = (i / runs, i % runs);
+        let fraction = fractions[fx];
+        let run_seed = sim_engine::rng::derive_seed(seed, (fx * 1000 + run) as u64);
+        let mut rng = sim_engine::rng::from_seed(run_seed);
+        // Two origins so valid announcements carry a meaningful list.
+        let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+        let candidates: Vec<Asn> = asns
+            .iter()
+            .copied()
+            .filter(|a| !origins.contains(a))
+            .collect();
+        let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
+        let stripper_count = ((asns.len() as f64) * fraction).round() as usize;
+        let strippers: BTreeSet<Asn> =
+            sim_engine::rng::sample_distinct(&mut rng, &candidates, stripper_count)
+                .into_iter()
                 .collect();
-            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
-            let stripper_count = ((asns.len() as f64) * fraction).round() as usize;
-            let strippers: BTreeSet<Asn> =
-                sim_engine::rng::sample_distinct(&mut rng, &candidates, stripper_count)
-                    .into_iter()
-                    .collect();
 
-            let trial = TrialConfig {
-                strippers,
-                seed: run_seed,
-                ..TrialConfig::new(origins, attackers, Deployment::Full)
-            };
-            let outcome = run_trial(graph, &trial);
-            adoption.push(100.0 * outcome.adoption_fraction());
-            false_alarms.push(outcome.false_alarms as f64);
-            confirmed.push(outcome.confirmed_alarms as f64);
-        }
+        let trial = TrialConfig {
+            strippers,
+            seed: run_seed,
+            ..TrialConfig::new(origins, attackers, Deployment::Full)
+        };
+        let outcome = run_trial(graph, &trial);
+        (
+            100.0 * outcome.adoption_fraction(),
+            outcome.false_alarms as f64,
+            outcome.confirmed_alarms as f64,
+        )
+    });
+
+    let mut out = Vec::with_capacity(fractions.len());
+    for (fx, &fraction) in fractions.iter().enumerate() {
+        let point_cells = &cells[fx * runs..(fx + 1) * runs];
+        let adoption: Vec<f64> = point_cells.iter().map(|c| c.0).collect();
+        let false_alarms: Vec<f64> = point_cells.iter().map(|c| c.1).collect();
+        let confirmed: Vec<f64> = point_cells.iter().map(|c| c.2).collect();
         out.push(StrippingPoint {
             stripper_fraction: fraction,
             mean_adoption_pct: mean(&adoption),
@@ -319,43 +375,65 @@ json::impl_json_struct!(ForgeryPoint {
 /// (implicit-list mismatch, superset mismatch, origin-not-in-list).
 #[must_use]
 pub fn forgery_ablation(graph: &AsGraph, runs: usize, seed: u64) -> Vec<ForgeryPoint> {
+    forgery_ablation_jobs(graph, runs, seed, 1)
+}
+
+/// The forgery strategies [`forgery_ablation`] compares, in output order.
+const FORGERIES: [ListForgery; 3] = [
+    ListForgery::None,
+    ListForgery::IncludeSelf,
+    ListForgery::CopyValid,
+];
+
+/// [`forgery_ablation`] with its `3 × runs` independent `(strategy, run)`
+/// cells fanned across up to `jobs` worker threads; per-strategy aggregates
+/// fold in run order, bit-identical for every `jobs` value.
+#[must_use]
+pub fn forgery_ablation_jobs(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<ForgeryPoint> {
     let stubs = graph.stub_asns();
     let asns: Vec<Asn> = graph.asns().collect();
-    let mut out = Vec::new();
 
-    for forgery in [
-        ListForgery::None,
-        ListForgery::IncludeSelf,
-        ListForgery::CopyValid,
-    ] {
-        let mut adoption = Vec::new();
-        let mut alarms = Vec::new();
-        for run in 0..runs {
-            let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
-            let mut rng = sim_engine::rng::from_seed(run_seed);
-            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
-            let candidates: Vec<Asn> = asns
-                .iter()
-                .copied()
-                .filter(|a| !origins.contains(a))
-                .collect();
-            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
-            let trial = TrialConfig {
-                forgery,
-                seed: run_seed,
-                ..TrialConfig::new(origins, attackers, Deployment::Full)
-            };
-            let outcome = run_trial(graph, &trial);
-            adoption.push(100.0 * outcome.adoption_fraction());
-            alarms.push(outcome.alarms as f64);
-        }
-        out.push(ForgeryPoint {
-            forgery: forgery.to_string(),
-            mean_adoption_pct: mean(&adoption),
-            mean_alarms: mean(&alarms),
-        });
-    }
-    out
+    // Cell i: strategy index i / runs, run = i % runs. The run seed depends
+    // only on the run, so every strategy faces the same parties.
+    let cells = minipool::map_indexed(jobs, FORGERIES.len() * runs, |i| {
+        let (forgery, run) = (FORGERIES[i / runs], i % runs);
+        let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+        let mut rng = sim_engine::rng::from_seed(run_seed);
+        let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+        let candidates: Vec<Asn> = asns
+            .iter()
+            .copied()
+            .filter(|a| !origins.contains(a))
+            .collect();
+        let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
+        let trial = TrialConfig {
+            forgery,
+            seed: run_seed,
+            ..TrialConfig::new(origins, attackers, Deployment::Full)
+        };
+        let outcome = run_trial(graph, &trial);
+        (100.0 * outcome.adoption_fraction(), outcome.alarms as f64)
+    });
+
+    FORGERIES
+        .iter()
+        .enumerate()
+        .map(|(sx, forgery)| {
+            let point_cells = &cells[sx * runs..(sx + 1) * runs];
+            let adoption: Vec<f64> = point_cells.iter().map(|c| c.0).collect();
+            let alarms: Vec<f64> = point_cells.iter().map(|c| c.1).collect();
+            ForgeryPoint {
+                forgery: forgery.to_string(),
+                mean_adoption_pct: mean(&adoption),
+                mean_alarms: mean(&alarms),
+            }
+        })
+        .collect()
 }
 
 /// Compares the two unresolved-verification policies when the verifier is
@@ -364,60 +442,82 @@ pub fn forgery_ablation(graph: &AsGraph, runs: usize, seed: u64) -> Vec<ForgeryP
 /// the risk of rejecting valid routes on false alarms.
 #[must_use]
 pub fn unresolved_policy_ablation(graph: &AsGraph, runs: usize, seed: u64) -> Vec<(String, f64)> {
+    unresolved_policy_ablation_jobs(graph, runs, seed, 1)
+}
+
+/// [`unresolved_policy_ablation`] with its `2 × runs` independent
+/// `(policy, run)` cells fanned across up to `jobs` worker threads;
+/// per-policy aggregates fold in run order, bit-identical for every `jobs`
+/// value.
+#[must_use]
+pub fn unresolved_policy_ablation_jobs(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<(String, f64)> {
+    const POLICIES: [UnresolvedPolicy; 2] =
+        [UnresolvedPolicy::Accept, UnresolvedPolicy::RejectIncoming];
     let stubs = graph.stub_asns();
     let asns: Vec<Asn> = graph.asns().collect();
-    let mut out = Vec::new();
-    for policy in [UnresolvedPolicy::Accept, UnresolvedPolicy::RejectIncoming] {
-        let mut adoption = Vec::new();
-        for run in 0..runs {
-            let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
-            let mut rng = sim_engine::rng::from_seed(run_seed);
-            let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
-            let candidates: Vec<Asn> = asns
-                .iter()
-                .copied()
-                .filter(|a| !origins.contains(a))
-                .collect();
-            let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
-            // Empty registry: every conflict is unresolved.
-            let monitor = MoasMonitor::new(
-                MoasConfig {
-                    deployment: Deployment::Full,
-                    on_unresolved: policy,
-                    ..MoasConfig::default()
-                },
-                RegistryVerifier::new(),
-            );
-            let prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX.parse().unwrap();
-            let valid_list: MoasList = origins.iter().copied().collect();
-            let mut net = Network::with_monitor_and_jitter(graph, monitor, run_seed, 4);
-            for &origin in &origins {
-                net.originate(origin, prefix, Some(valid_list.clone()));
-            }
-            let attack = moas_core::FalseOriginAttack::new(ListForgery::IncludeSelf);
-            for &attacker in &attackers {
-                attack.launch(&mut net, attacker, prefix, &valid_list);
-            }
-            net.run().expect("converges");
-            let attacker_set: BTreeSet<Asn> = attackers.iter().copied().collect();
-            let eligible = graph.len() - attackers.len();
-            let fooled = graph
-                .asns()
-                .filter(|a| !attacker_set.contains(a))
-                .filter(|&a| {
-                    net.best_origin(a, prefix)
-                        .is_some_and(|o| attacker_set.contains(&o))
-                })
-                .count();
-            adoption.push(100.0 * fooled as f64 / eligible as f64);
+
+    // Cell i: policy index i / runs, run = i % runs. The run seed depends
+    // only on the run, so both policies face the same parties.
+    let cells = minipool::map_indexed(jobs, POLICIES.len() * runs, |i| {
+        let (policy, run) = (POLICIES[i / runs], i % runs);
+        let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+        let mut rng = sim_engine::rng::from_seed(run_seed);
+        let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 1);
+        let candidates: Vec<Asn> = asns
+            .iter()
+            .copied()
+            .filter(|a| !origins.contains(a))
+            .collect();
+        let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
+        // Empty registry: every conflict is unresolved.
+        let monitor = MoasMonitor::new(
+            MoasConfig {
+                deployment: Deployment::Full,
+                on_unresolved: policy,
+                ..MoasConfig::default()
+            },
+            RegistryVerifier::new(),
+        );
+        let prefix: bgp_types::Ipv4Prefix = crate::VICTIM_PREFIX.parse().unwrap();
+        let valid_list: MoasList = origins.iter().copied().collect();
+        let mut net = Network::with_monitor_and_jitter(graph, monitor, run_seed, 4);
+        for &origin in &origins {
+            net.originate(origin, prefix, Some(valid_list.clone()));
         }
-        let label = match policy {
-            UnresolvedPolicy::Accept => "accept-on-unresolved",
-            UnresolvedPolicy::RejectIncoming => "reject-on-unresolved",
-        };
-        out.push((label.to_string(), mean(&adoption)));
-    }
-    out
+        let attack = moas_core::FalseOriginAttack::new(ListForgery::IncludeSelf);
+        for &attacker in &attackers {
+            attack.launch(&mut net, attacker, prefix, &valid_list);
+        }
+        net.run().expect("converges");
+        let attacker_set: BTreeSet<Asn> = attackers.iter().copied().collect();
+        let eligible = graph.len() - attackers.len();
+        let fooled = graph
+            .asns()
+            .filter(|a| !attacker_set.contains(a))
+            .filter(|&a| {
+                net.best_origin(a, prefix)
+                    .is_some_and(|o| attacker_set.contains(&o))
+            })
+            .count();
+        100.0 * fooled as f64 / eligible as f64
+    });
+
+    POLICIES
+        .iter()
+        .enumerate()
+        .map(|(px, policy)| {
+            let label = match policy {
+                UnresolvedPolicy::Accept => "accept-on-unresolved",
+                UnresolvedPolicy::RejectIncoming => "reject-on-unresolved",
+            };
+            (label.to_string(), mean(&cells[px * runs..(px + 1) * runs]))
+        })
+        .collect()
 }
 
 #[cfg(test)]

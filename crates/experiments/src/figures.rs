@@ -3,7 +3,7 @@
 use as_topology::paper::PaperTopology;
 
 use crate::report::{FigureReport, SeriesReport};
-use crate::sweep::{run_sweep, SweepConfig};
+use crate::sweep::{run_sweep_jobs, SweepConfig};
 
 /// Experiment 1 (Figure 9): effectiveness of the MOAS list on the 46-AS
 /// topology, comparing Normal BGP against Full MOAS Detection, with
@@ -15,20 +15,29 @@ use crate::sweep::{run_sweep, SweepConfig};
 /// per the experiment's definition.
 #[must_use]
 pub fn experiment1(origin_count: usize, base: &SweepConfig) -> FigureReport {
+    experiment1_jobs(origin_count, base, 1)
+}
+
+/// [`experiment1`] with each sweep's trials fanned across up to `jobs`
+/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`]).
+#[must_use]
+pub fn experiment1_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) -> FigureReport {
     let graph = PaperTopology::As46.graph();
-    let normal = run_sweep(
+    let normal = run_sweep_jobs(
         graph,
         &base
             .clone()
             .origin_count(origin_count)
             .deployment_fraction(0.0),
+        jobs,
     );
-    let full = run_sweep(
+    let full = run_sweep_jobs(
         graph,
         &base
             .clone()
             .origin_count(origin_count)
             .deployment_fraction(1.0),
+        jobs,
     );
     FigureReport::new(
         format!("fig9{}", if origin_count == 1 { "a" } else { "b" }),
@@ -53,15 +62,23 @@ pub fn experiment1(origin_count: usize, base: &SweepConfig) -> FigureReport {
 /// topologies, Normal BGP vs Full MOAS Detection, for `origin_count` ∈ {1, 2}.
 #[must_use]
 pub fn experiment2(origin_count: usize, base: &SweepConfig) -> FigureReport {
+    experiment2_jobs(origin_count, base, 1)
+}
+
+/// [`experiment2`] with each sweep's trials fanned across up to `jobs`
+/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`]).
+#[must_use]
+pub fn experiment2_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) -> FigureReport {
     let mut series = Vec::new();
     for deployment in [0.0, 1.0] {
         for topology in PaperTopology::ALL {
-            let points = run_sweep(
+            let points = run_sweep_jobs(
                 topology.graph(),
                 &base
                     .clone()
                     .origin_count(origin_count)
                     .deployment_fraction(deployment),
+                jobs,
             );
             let mode = if deployment == 0.0 {
                 "Normal BGP"
@@ -89,6 +106,13 @@ pub fn experiment2(origin_count: usize, base: &SweepConfig) -> FigureReport {
 /// 63-AS panels).
 #[must_use]
 pub fn experiment3(topology: PaperTopology, base: &SweepConfig) -> FigureReport {
+    experiment3_jobs(topology, base, 1)
+}
+
+/// [`experiment3`] with each sweep's trials fanned across up to `jobs`
+/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`]).
+#[must_use]
+pub fn experiment3_jobs(topology: PaperTopology, base: &SweepConfig, jobs: usize) -> FigureReport {
     let graph = topology.graph();
     let mut series = Vec::new();
     for (fraction, label) in [
@@ -98,7 +122,7 @@ pub fn experiment3(topology: PaperTopology, base: &SweepConfig) -> FigureReport 
     ] {
         series.push(SeriesReport {
             label: label.into(),
-            points: run_sweep(graph, &base.clone().deployment_fraction(fraction)),
+            points: run_sweep_jobs(graph, &base.clone().deployment_fraction(fraction), jobs),
         });
     }
     FigureReport::new(

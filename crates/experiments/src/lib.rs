@@ -13,6 +13,13 @@
 //!   the §4.3 limitation studies;
 //! * [`FigureReport`] — plain-text tables and JSON for EXPERIMENTS.md.
 //!
+//! Every driver also has a `_jobs` variant ([`run_sweep_jobs`],
+//! [`experiment1_jobs`], [`forgery_ablation_jobs`], ...) that fans its
+//! independent trials across a vendored scoped thread pool (`minipool`).
+//! Trials are *planned* sequentially (so no RNG draw order changes), *run*
+//! into index-addressed slots, and *aggregated* in planning order — the
+//! output is bit-identical to the serial path for every `jobs` value.
+//!
 //! # Example
 //!
 //! ```
@@ -42,16 +49,21 @@ mod sweep;
 mod trial;
 
 pub use ablation::{
-    forgery_ablation, stripping_ablation, subprefix_ablation, unresolved_policy_ablation,
-    valley_free_ablation, ForgeryPoint, StrippingPoint, SubPrefixAblation, ValleyFreePoint,
+    forgery_ablation, forgery_ablation_jobs, stripping_ablation, stripping_ablation_jobs,
+    subprefix_ablation, subprefix_ablation_jobs, unresolved_policy_ablation,
+    unresolved_policy_ablation_jobs, valley_free_ablation, valley_free_ablation_jobs, ForgeryPoint,
+    StrippingPoint, SubPrefixAblation, ValleyFreePoint,
 };
-pub use figures::{experiment1, experiment2, experiment3};
+pub use figures::{
+    experiment1, experiment1_jobs, experiment2, experiment2_jobs, experiment3, experiment3_jobs,
+};
 pub use overhead::{
-    measure_moas_list_overhead, moas_list_overhead, OverheadReport, WireModel, MRT_FRAMING_BYTES,
+    measure_moas_list_overhead, measure_moas_list_overhead_jobs, moas_list_overhead,
+    OverheadReport, WireModel, MRT_FRAMING_BYTES,
 };
 pub use report::{FigureReport, SeriesReport};
 pub use stats::{mean, stddev};
-pub use sweep::{run_sweep, SweepConfig, SweepPoint};
+pub use sweep::{run_sweep, run_sweep_jobs, SweepConfig, SweepPoint};
 pub use trial::{run_trial, TrialConfig, TrialOutcome};
 
 /// The prefix under attack in every experiment (Figure 1's example prefix).

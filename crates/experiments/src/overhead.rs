@@ -182,28 +182,89 @@ pub const MRT_FRAMING_BYTES: u64 = 18;
 /// produces one.
 #[must_use]
 pub fn measure_moas_list_overhead(dump: &DailyDump) -> OverheadReport {
-    overhead_with(dump, |prefix, origins| {
-        let representative = origins.iter().next().copied().unwrap_or(Asn(0));
-        let base_attrs = PathAttributes {
-            origin: bgp_types::RouteOrigin::Igp,
-            // A 2001-vintage path: ~4 hops of 2-octet ASNs ending at the
-            // origin (matches the WireModel's assumptions).
-            as_path: AsPath::from_sequence([Asn(701), Asn(1239), Asn(7018), representative]),
-            next_hop: PathAttributes::synthetic_next_hop(Some(Asn(701))),
-            local_pref: None,
-            communities: Vec::new(),
+    overhead_with(dump, measured_cost)
+}
+
+/// [`measure_moas_list_overhead`] with the per-route encoding fanned across
+/// up to `jobs` worker threads in contiguous chunks.
+///
+/// All tallies are integers, so the merged report is identical to the serial
+/// one for every `jobs` value (partials are still merged in prefix order).
+#[must_use]
+pub fn measure_moas_list_overhead_jobs(dump: &DailyDump, jobs: usize) -> OverheadReport {
+    let entries: Vec<(Ipv4Prefix, &std::collections::BTreeSet<Asn>)> = dump.iter().collect();
+    let workers = jobs.max(1).min(entries.len().max(1));
+    let chunk_len = entries.len().div_ceil(workers);
+    let chunks: Vec<_> = entries.chunks(chunk_len.max(1)).collect();
+
+    let partials = minipool::map_indexed(jobs, chunks.len(), |ci| {
+        let mut partial = OverheadReport {
+            total_routes: 0,
+            multi_origin_routes: 0,
+            list_size_distribution: BTreeMap::new(),
+            added_bytes: 0,
+            baseline_bytes: 0,
         };
-        let without = encoded_rib_len(prefix, base_attrs.clone());
-        let with = if origins.len() > 1 {
-            let list: MoasList = origins.iter().copied().collect();
-            let mut attrs = base_attrs;
-            attrs.communities = list.to_communities();
-            encoded_rib_len(prefix, attrs)
-        } else {
-            without
-        };
-        (without - MRT_FRAMING_BYTES, with - without)
-    })
+        for &(prefix, origins) in chunks[ci] {
+            partial.total_routes += 1;
+            if origins.len() > 1 {
+                partial.multi_origin_routes += 1;
+                *partial
+                    .list_size_distribution
+                    .entry(origins.len())
+                    .or_insert(0) += 1;
+            }
+            let (baseline, added) = measured_cost(prefix, origins);
+            partial.baseline_bytes += baseline;
+            partial.added_bytes += added;
+        }
+        partial
+    });
+
+    partials.into_iter().fold(
+        OverheadReport {
+            total_routes: 0,
+            multi_origin_routes: 0,
+            list_size_distribution: BTreeMap::new(),
+            added_bytes: 0,
+            baseline_bytes: 0,
+        },
+        |mut merged, partial| {
+            merged.total_routes += partial.total_routes;
+            merged.multi_origin_routes += partial.multi_origin_routes;
+            for (size, count) in partial.list_size_distribution {
+                *merged.list_size_distribution.entry(size).or_insert(0) += count;
+            }
+            merged.added_bytes += partial.added_bytes;
+            merged.baseline_bytes += partial.baseline_bytes;
+            merged
+        },
+    )
+}
+
+/// The measured `(baseline, added)` byte cost of one table route: encode it
+/// through the `bgp-wire` codec with and without its MOAS-list communities.
+fn measured_cost(prefix: Ipv4Prefix, origins: &std::collections::BTreeSet<Asn>) -> (u64, u64) {
+    let representative = origins.iter().next().copied().unwrap_or(Asn(0));
+    let base_attrs = PathAttributes {
+        origin: bgp_types::RouteOrigin::Igp,
+        // A 2001-vintage path: ~4 hops of 2-octet ASNs ending at the
+        // origin (matches the WireModel's assumptions).
+        as_path: AsPath::from_sequence([Asn(701), Asn(1239), Asn(7018), representative]),
+        next_hop: PathAttributes::synthetic_next_hop(Some(Asn(701))),
+        local_pref: None,
+        communities: Vec::new(),
+    };
+    let without = encoded_rib_len(prefix, base_attrs.clone());
+    let with = if origins.len() > 1 {
+        let list: MoasList = origins.iter().copied().collect();
+        let mut attrs = base_attrs;
+        attrs.communities = list.to_communities();
+        encoded_rib_len(prefix, attrs)
+    } else {
+        without
+    };
+    (without - MRT_FRAMING_BYTES, with - without)
 }
 
 /// Encodes one single-entry RIB record and returns its full length.
@@ -341,6 +402,29 @@ mod tests {
             measured.baseline_bytes,
             analytic.baseline_bytes
         );
+    }
+
+    #[test]
+    fn parallel_measurement_matches_serial() {
+        let timeline = route_measurement::generate_timeline(
+            &route_measurement::TimelineConfig::paper().with_days(10),
+        );
+        let dump = timeline.dumps.last().unwrap();
+        let serial = measure_moas_list_overhead(dump);
+        for jobs in [1, 2, 4] {
+            assert_eq!(
+                measure_moas_list_overhead_jobs(dump, jobs),
+                serial,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_measurement_of_empty_dump() {
+        let report = measure_moas_list_overhead_jobs(&DailyDump::new(0), 4);
+        assert_eq!(report.total_routes, 0);
+        assert_eq!(report.added_bytes, 0);
     }
 
     #[test]

@@ -157,8 +157,33 @@ pub struct SweepPoint {
 /// Origins are drawn from stub ASes and attackers from all remaining ASes,
 /// exactly as §5.1 prescribes; every random draw derives deterministically
 /// from `config.seed`.
+///
+/// Equivalent to [`run_sweep_jobs`] with `jobs = 1` — the sequential
+/// reference path.
 #[must_use]
 pub fn run_sweep(graph: &AsGraph, config: &SweepConfig) -> Vec<SweepPoint> {
+    run_sweep_jobs(graph, config, 1)
+}
+
+/// [`run_sweep`] with trial-level parallelism: independent trials fan out
+/// across up to `jobs` worker threads.
+///
+/// The sweep is split into three phases so that the result is bit-identical
+/// for every `jobs` value:
+///
+/// 1. **Plan.** Every trial's origins, attackers, deployment and seed are
+///    drawn sequentially, in exactly the order the historical single-threaded
+///    loop drew them — each draw seeds its own RNG from `config.seed` and the
+///    trial's `(fraction, origin set, attacker set)` coordinates, so planning
+///    consumes no shared RNG state.
+/// 2. **Run.** [`minipool::map_indexed`] executes the trials; slot `i` always
+///    holds trial `i`'s outcome regardless of which worker ran it or when it
+///    finished.
+/// 3. **Aggregate.** Outcomes are folded per fraction in the original
+///    `(fraction, origin set, attacker set)` order, so every floating-point
+///    sum sees its terms in the same sequence as the serial path.
+#[must_use]
+pub fn run_sweep_jobs(graph: &AsGraph, config: &SweepConfig, jobs: usize) -> Vec<SweepPoint> {
     let stubs = graph.stub_asns();
     let n = graph.len();
     assert!(
@@ -168,25 +193,23 @@ pub fn run_sweep(graph: &AsGraph, config: &SweepConfig) -> Vec<SweepPoint> {
     );
 
     let asns: Vec<Asn> = graph.asns().collect();
-    let mut points = Vec::with_capacity(config.attacker_fractions.len());
+    let runs_per_point = config.runs_per_point();
 
+    // Phase 1: plan every trial.
+    let mut trials: Vec<TrialConfig> =
+        Vec::with_capacity(config.attacker_fractions.len() * runs_per_point);
+    // One candidate buffer for the whole sweep, refilled per origin set.
+    let mut candidates: Vec<Asn> = Vec::with_capacity(n);
     for (fx, &fraction) in config.attacker_fractions.iter().enumerate() {
         let attacker_count = ((n as f64) * fraction).round().max(1.0) as usize;
-        let mut adoption = Vec::new();
-        let mut alarms = Vec::new();
-        let mut queries = Vec::new();
-        let mut messages = Vec::new();
 
         for oi in 0..config.origin_set_count {
             let origin_seed = sim_engine::rng::derive_seed(config.seed, (fx * 100 + oi) as u64);
             let mut rng = sim_engine::rng::from_seed(origin_seed);
             let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, config.origin_count);
             let origin_set: BTreeSet<Asn> = origins.iter().copied().collect();
-            let candidates: Vec<Asn> = asns
-                .iter()
-                .copied()
-                .filter(|a| !origin_set.contains(a))
-                .collect();
+            candidates.clear();
+            candidates.extend(asns.iter().copied().filter(|a| !origin_set.contains(a)));
 
             for ai in 0..config.attacker_set_count {
                 let trial_seed = sim_engine::rng::derive_seed(
@@ -199,20 +222,37 @@ pub fn run_sweep(graph: &AsGraph, config: &SweepConfig) -> Vec<SweepPoint> {
                 let deployment =
                     Deployment::sample(&asns, config.deployment_fraction, trial_seed ^ 0xDE9107);
 
-                let trial = TrialConfig {
+                trials.push(TrialConfig {
                     forgery: config.forgery,
                     strippers: BTreeSet::new(),
                     unresolved: UnresolvedPolicy::Accept,
                     max_link_delay: config.max_link_delay,
                     seed: trial_seed,
                     ..TrialConfig::new(origins.clone(), attackers, deployment)
-                };
-                let outcome: TrialOutcome = run_trial(graph, &trial);
-                adoption.push(100.0 * outcome.adoption_fraction());
-                alarms.push(outcome.alarms as f64);
-                queries.push(outcome.verifier_queries as f64);
-                messages.push(outcome.messages as f64);
+                });
             }
+        }
+    }
+
+    // Phase 2: run the trials, index-addressed.
+    let outcomes: Vec<TrialOutcome> =
+        minipool::map_indexed(jobs, trials.len(), |i| run_trial(graph, &trials[i]));
+
+    // Phase 3: aggregate per fraction in planning order.
+    let mut points = Vec::with_capacity(config.attacker_fractions.len());
+    for (fx, &fraction) in config.attacker_fractions.iter().enumerate() {
+        let attacker_count = ((n as f64) * fraction).round().max(1.0) as usize;
+        let runs = &outcomes[fx * runs_per_point..(fx + 1) * runs_per_point];
+
+        let mut adoption = Vec::with_capacity(runs_per_point);
+        let mut alarms = Vec::with_capacity(runs_per_point);
+        let mut queries = Vec::with_capacity(runs_per_point);
+        let mut messages = Vec::with_capacity(runs_per_point);
+        for outcome in runs {
+            adoption.push(100.0 * outcome.adoption_fraction());
+            alarms.push(outcome.alarms as f64);
+            queries.push(outcome.verifier_queries as f64);
+            messages.push(outcome.messages as f64);
         }
 
         points.push(SweepPoint {
@@ -276,6 +316,16 @@ mod tests {
         let graph = PaperTopology::As25.graph();
         let config = SweepConfig::quick();
         assert_eq!(run_sweep(graph, &config), run_sweep(graph, &config));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let graph = PaperTopology::As25.graph();
+        let config = SweepConfig::quick();
+        let serial = run_sweep(graph, &config);
+        for jobs in [1, 2, 4] {
+            assert_eq!(run_sweep_jobs(graph, &config, jobs), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! The parallel harness contract: for every `jobs` value, every driver's
+//! output — down to each byte of rendered JSON — equals the serial path's.
+//!
+//! Trials are planned sequentially, run into index-addressed slots, and
+//! aggregated in planning order, so nothing about worker scheduling can leak
+//! into a figure. These tests pin that property on the 46-AS paper topology.
+
+use as_topology::paper::PaperTopology;
+use experiments::{
+    forgery_ablation, forgery_ablation_jobs, json, run_sweep, run_sweep_jobs, stripping_ablation,
+    stripping_ablation_jobs, SweepConfig,
+};
+
+#[test]
+fn sweep_jobs_is_bit_identical_to_serial_on_as46() {
+    let graph = PaperTopology::As46.graph();
+    let config = SweepConfig::quick();
+    let serial = run_sweep(graph, &config);
+    for jobs in [1, 4] {
+        let parallel = run_sweep_jobs(graph, &config, jobs);
+        assert_eq!(parallel, serial, "jobs={jobs} diverged from serial");
+    }
+}
+
+#[test]
+fn sweep_json_output_is_identical_for_every_jobs_value() {
+    let graph = PaperTopology::As46.graph();
+    let config = SweepConfig::quick();
+    let render = |points: &[experiments::SweepPoint]| -> Vec<String> {
+        points.iter().map(json::to_string_pretty).collect()
+    };
+    let serial = render(&run_sweep(graph, &config));
+    for jobs in [1, 4] {
+        assert_eq!(
+            render(&run_sweep_jobs(graph, &config, jobs)),
+            serial,
+            "jobs={jobs} rendered different JSON"
+        );
+    }
+}
+
+#[test]
+fn forgery_ablation_jobs_is_bit_identical_to_serial_on_as46() {
+    let graph = PaperTopology::As46.graph();
+    let serial = forgery_ablation(graph, 3, 0xAB3);
+    for jobs in [1, 4] {
+        assert_eq!(
+            forgery_ablation_jobs(graph, 3, 0xAB3, jobs),
+            serial,
+            "jobs={jobs} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn stripping_ablation_jobs_is_bit_identical_to_serial_on_as46() {
+    let graph = PaperTopology::As46.graph();
+    let fractions = [0.0, 0.25];
+    let serial = stripping_ablation(graph, &fractions, 3, 0xAB2);
+    assert_eq!(
+        stripping_ablation_jobs(graph, &fractions, 3, 0xAB2, 4),
+        serial
+    );
+}

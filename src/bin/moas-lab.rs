@@ -20,9 +20,9 @@ use std::process::ExitCode;
 
 use moas::detection::{Deployment, OfflineMonitor};
 use moas::experiments::{
-    experiment1, experiment2, experiment3, forgery_ablation, measure_moas_list_overhead,
-    moas_list_overhead, run_trial, stripping_ablation, subprefix_ablation, valley_free_ablation,
-    SweepConfig, TrialConfig, WireModel,
+    experiment1_jobs, experiment2_jobs, experiment3_jobs, forgery_ablation_jobs,
+    measure_moas_list_overhead_jobs, moas_list_overhead, run_trial, stripping_ablation_jobs,
+    subprefix_ablation_jobs, valley_free_ablation_jobs, SweepConfig, TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
@@ -41,13 +41,16 @@ USAGE:
     moas-lab <COMMAND> [OPTIONS]
 
 COMMANDS:
-    figures [--quick]               Regenerate Figures 9-11 (default: full paper protocol)
+    figures [--quick] [--jobs N]    Regenerate Figures 9-11 (default: full paper protocol)
     measure [--days N]              Run the §3 measurement study (Figures 4-5)
     topology <25|46|63>             Show a canonical experiment topology
     trial [--topology N] [--attackers N] [--origins N] [--deployment full|half|none] [--seed S]
                                     Run one simulation trial and print the outcome
-    ablations                       Run the §4.3 limitation studies
-    overhead                        Measure the MOAS-list table overhead
+    ablations [--jobs N]            Run the §4.3 limitation studies
+    overhead [--jobs N]             Measure the MOAS-list table overhead
+
+    --jobs N defaults to the available hardware parallelism; results are
+    bit-identical for every N (trials fan out, aggregation order is fixed).
     export-mrt --out FILE [--days N] [--topology N] [--seed S]
                                     Simulate a network and export daily RIB snapshots
                                     (and the day's update stream) as RFC 6396 MRT
@@ -65,8 +68,8 @@ fn main() -> ExitCode {
         "measure" => measure(&args),
         "topology" => topology(&args),
         "trial" => trial(&args),
-        "ablations" => ablations(),
-        "overhead" => overhead(),
+        "ablations" => ablations(&args),
+        "overhead" => overhead(&args),
         "export-mrt" => export_mrt(&args),
         "import-mrt" => import_mrt(&args),
         "help" | "--help" | "-h" => {
@@ -89,25 +92,32 @@ fn option<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     args.get(idx + 1)?.parse().ok()
 }
 
+/// `--jobs N`, defaulting to the available hardware parallelism.
+fn jobs_option(args: &[String]) -> usize {
+    option(args, "--jobs").unwrap_or_else(minipool::available_jobs)
+}
+
 fn figures(args: &[String]) -> ExitCode {
     let config = if flag(args, "--quick") {
         SweepConfig::quick()
     } else {
         SweepConfig::paper()
     };
+    let jobs = jobs_option(args);
     println!(
-        "Protocol: {} runs per point, fractions {:?}\n",
+        "Protocol: {} runs per point, fractions {:?}, {jobs} worker thread{}\n",
         config.runs_per_point(),
-        config.attacker_fractions
+        config.attacker_fractions,
+        if jobs == 1 { "" } else { "s" }
     );
     for origins in [1, 2] {
-        println!("{}", experiment1(origins, &config));
+        println!("{}", experiment1_jobs(origins, &config, jobs));
     }
     for origins in [1, 2] {
-        println!("{}", experiment2(origins, &config));
+        println!("{}", experiment2_jobs(origins, &config, jobs));
     }
     for topology in [PaperTopology::As46, PaperTopology::As63] {
-        println!("{}", experiment3(topology, &config));
+        println!("{}", experiment3_jobs(topology, &config, jobs));
     }
     ExitCode::SUCCESS
 }
@@ -212,10 +222,11 @@ fn trial(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn ablations() -> ExitCode {
+fn ablations(args: &[String]) -> ExitCode {
     let graph = PaperTopology::As46.graph();
+    let jobs = jobs_option(args);
 
-    let sub = subprefix_ablation(graph, 10, 0xAB1);
+    let sub = subprefix_ablation_jobs(graph, 10, 0xAB1, jobs);
     println!("sub-prefix hijack (full MOAS deployment):");
     println!(
         "  control-plane adoption {:.1}%, data-plane traffic capture {:.1}%, alarms {:.1}",
@@ -227,7 +238,7 @@ fn ablations() -> ExitCode {
     );
 
     println!("community stripping:");
-    for p in stripping_ablation(graph, &[0.0, 0.25, 0.5], 8, 0xAB2) {
+    for p in stripping_ablation_jobs(graph, &[0.0, 0.25, 0.5], 8, 0xAB2, jobs) {
         println!(
             "  {:>3.0}% strippers: adoption {:.2}%, false alarms {:.1}, confirmed {:.1}",
             100.0 * p.stripper_fraction,
@@ -238,7 +249,7 @@ fn ablations() -> ExitCode {
     }
 
     println!("\nlist forgery strategies:");
-    for p in forgery_ablation(graph, 8, 0xAB3) {
+    for p in forgery_ablation_jobs(graph, 8, 0xAB3, jobs) {
         println!(
             "  {:<24} adoption {:.2}%, alarms {:.1}",
             p.forgery, p.mean_adoption_pct, p.mean_alarms
@@ -246,7 +257,7 @@ fn ablations() -> ExitCode {
     }
 
     println!("\nvalley-free policy routing:");
-    for p in valley_free_ablation(8, 0xAB5) {
+    for p in valley_free_ablation_jobs(8, 0xAB5, jobs) {
         println!(
             "  {:<12} normal {:.2}% / full MOAS {:.2}% (suppressed ads {:.0})",
             p.routing, p.normal_adoption_pct, p.moas_adoption_pct, p.mean_suppressed
@@ -499,11 +510,11 @@ fn import_mrt_in_memory(path: &str, file: File, offline_scan: bool) -> ExitCode 
     ExitCode::SUCCESS
 }
 
-fn overhead() -> ExitCode {
+fn overhead(args: &[String]) -> ExitCode {
     let timeline = generate_timeline(&TimelineConfig::paper().with_days(30));
     let dump = timeline.dumps.last().expect("timeline has dumps");
     let analytic = moas_list_overhead(dump, WireModel::default());
-    let measured = measure_moas_list_overhead(dump);
+    let measured = measure_moas_list_overhead_jobs(dump, jobs_option(args));
     println!("analytic: {analytic}");
     println!("measured: {measured}");
     println!(

@@ -1,0 +1,155 @@
+//! Minimal scoped fork-join pool for trial-level parallelism.
+//!
+//! The build environment has no crates.io access (no `rayon`), so this
+//! vendored crate provides the one primitive the experiment harness needs:
+//! run `count` independent jobs on `jobs` worker threads and collect the
+//! results **into index-addressed slots**, so the output order — and
+//! therefore every downstream aggregate — is identical to running the jobs
+//! sequentially.
+//!
+//! Workers pull job indices from a shared atomic counter (work stealing at
+//! the granularity of one job), which keeps long and short jobs balanced
+//! without any channel machinery. Scheduling order never leaks into the
+//! result: slot `i` always holds `f(i)`.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = minipool::map_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: the hardware's available
+/// parallelism, or 1 if it cannot be determined.
+#[must_use]
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(0) .. f(count - 1)` on up to `jobs` worker threads and returns
+/// the results in index order.
+///
+/// `jobs <= 1` (or `count <= 1`) runs everything inline on the calling
+/// thread with no pool at all — the sequential reference path. The result is
+/// bit-identical either way: slot `i` holds `f(i)` regardless of which
+/// worker computed it or when it finished.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any index (the panic is propagated once all
+/// workers have stopped).
+pub fn map_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let workers = jobs.min(count);
+    let next = AtomicUsize::new(0);
+    let mut empty: Vec<Option<T>> = Vec::with_capacity(count);
+    empty.resize_with(count, || None);
+    let slots = Mutex::new(empty);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    // Run the job *outside* the lock; the lock only guards
+                    // the O(1) slot write, so contention is negligible next
+                    // to any real job body.
+                    let out = f(i);
+                    slots.lock().expect("no poisoned slots")[i] = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a job panic surfaces with its original payload
+        // (the scope's implicit join would replace it with a generic one).
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("no poisoned slots")
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = map_indexed(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_path_matches_pooled_path() {
+        let inline = map_indexed(1, 37, |i| i as u64 * 0x9E37);
+        let pooled = map_indexed(8, 37, |i| i as u64 * 0x9E37);
+        assert_eq!(inline, pooled);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map_indexed(3, 50, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_count_are_fine() {
+        assert_eq!(map_indexed(0, 4, |i| i), vec![0, 1, 2, 3]);
+        assert!(map_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn uneven_job_durations_do_not_reorder_results() {
+        // Long jobs at low indices finish last; slots still line up.
+        let out = map_indexed(4, 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = map_indexed(4, 8, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}
