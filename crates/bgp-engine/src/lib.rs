@@ -43,8 +43,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod error;
+mod fault;
 mod forwarding;
 mod monitor;
 mod network;
@@ -52,7 +54,8 @@ mod router;
 mod update;
 mod valley_free;
 
-pub use error::ConvergenceError;
+pub use error::{ConvergenceError, FaultPlanError, UnknownAsError};
+pub use fault::{FaultEvent, NetFaultPlan};
 pub use forwarding::{ForwardOutcome, ForwardingPlane};
 pub use monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
 pub use network::{Network, NetworkStats};

@@ -1,6 +1,7 @@
 //! The route-monitor extension point.
 
 use bgp_types::{Asn, Route};
+use sim_engine::SimTime;
 
 /// Everything a monitor can see when a router imports a route.
 #[derive(Debug)]
@@ -104,6 +105,14 @@ pub trait RouteMonitor {
     ) -> ExportAction {
         let _ = (local, to_peer, learned_from, route);
         ExportAction::Forward
+    }
+
+    /// Called whenever simulated time advances (once per distinct event
+    /// timestamp, before that timestamp's first event is processed). Lets
+    /// monitors timestamp what they observe — the MOAS monitor stamps its
+    /// alarms with this clock so experiments can measure detection latency.
+    fn on_clock(&mut self, now: SimTime) {
+        let _ = now;
     }
 }
 

@@ -1,13 +1,16 @@
 //! The event-driven BGP network.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use as_topology::AsGraph;
 use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
+use rand::rngs::SmallRng;
 use rand::Rng;
+use sim_engine::fault::{FaultAction, FaultStats, LinkFaultModel, TimelineEntry};
 use sim_engine::{EventQueue, SimTime};
 
-use crate::error::ConvergenceError;
+use crate::error::{ConvergenceError, FaultPlanError, UnknownAsError};
+use crate::fault::{FaultEvent, NetFaultPlan};
 use crate::monitor::{NoopMonitor, RouteMonitor};
 use crate::router::Router;
 use crate::update::SharedUpdate;
@@ -19,14 +22,24 @@ use crate::update::SharedUpdate;
 /// so a fan-out of `k` messages shares one route allocation.
 #[derive(Debug, Clone)]
 enum NetEvent {
-    /// A message in flight between two peering routers.
+    /// A message in flight between two peering routers. `epoch` is the
+    /// sending session's epoch at transmission time: if the session fails or
+    /// resets while the message is in flight, the epoch moves on and the
+    /// stale message is discarded on delivery — even if the link has since
+    /// come back up.
     Deliver {
         from: u32,
         to: u32,
+        epoch: u32,
+        /// The link's fault model damaged this message in flight; the
+        /// receiver detects the damage, discards it, and counts it.
+        corrupt: bool,
         update: SharedUpdate,
     },
     /// An MRAI window for a directed session expired: flush pending updates.
     MraiFlush { from: u32, to: u32 },
+    /// A fault-plan timeline entry fires (index into the installed plan).
+    Fault { entry: u32 },
 }
 
 /// Counters accumulated while the simulation runs.
@@ -38,8 +51,11 @@ pub struct NetworkStats {
     pub withdrawals: u64,
     /// Updates superseded inside an MRAI window before ever being sent.
     pub mrai_coalesced: u64,
-    /// Messages dropped because their link failed while they were in flight.
+    /// Messages dropped because their link failed — or their session was
+    /// reset — while they were in flight.
     pub dropped_on_failed_links: u64,
+    /// Messages that arrived corrupted and were discarded by the receiver.
+    pub corrupted_dropped: u64,
     /// Simulated time when the network last went quiescent.
     pub converged_at: SimTime,
 }
@@ -50,6 +66,24 @@ impl NetworkStats {
     pub fn total_messages(&self) -> u64 {
         self.announcements + self.withdrawals
     }
+}
+
+/// The installed fault scenario: the network-side state behind a
+/// [`NetFaultPlan`].
+#[derive(Debug, Clone)]
+struct FaultState {
+    /// The dedicated fault RNG, seeded from the plan. Message-fate decisions
+    /// draw from it in deterministic event order, so runs are bit-identical.
+    rng: SmallRng,
+    /// Per directed edge id: the link's fault model (both directions of a
+    /// planned link get the same model).
+    models: BTreeMap<usize, LinkFaultModel>,
+    /// Per directed edge id: what the faults actually did.
+    stats: Vec<FaultStats>,
+    /// The scripted events, indexed by [`NetEvent::Fault`]'s `entry`.
+    timeline: Vec<TimelineEntry<FaultEvent>>,
+    /// Remaining firings per periodic entry (`None` = unbounded).
+    remaining: Vec<Option<u64>>,
 }
 
 /// An AS-level BGP network over an [`AsGraph`], driven to quiescence by a
@@ -65,10 +99,19 @@ impl NetworkStats {
 /// sorted `asn_index` table), and the adjacency is flattened into a CSR
 /// layout: `peer_start[i]..peer_start[i + 1]` spans node `i`'s directed
 /// edges, each identified by one flat edge id. Per-session state — link
-/// delays, MRAI gates, MRAI pending batches — lives in plain `Vec`s indexed
-/// by edge id, so the event loop does array arithmetic instead of walking
-/// `BTreeMap<(Asn, Asn), _>` trees. ASNs appear only at the public API
-/// boundary; all inspection signatures are unchanged.
+/// delays, MRAI gates, MRAI pending batches, session epochs — lives in plain
+/// `Vec`s indexed by edge id, so the event loop does array arithmetic
+/// instead of walking `BTreeMap<(Asn, Asn), _>` trees. ASNs appear only at
+/// the public API boundary; all inspection signatures are unchanged.
+///
+/// # Fault injection
+///
+/// [`Network::set_fault_plan`] installs a [`NetFaultPlan`]: per-link message
+/// perturbation (drop / duplicate / extra delay / corrupt) plus a scripted
+/// timeline of [`FaultEvent`]s, all driven from the plan's seed. The
+/// convergence watchdog ([`Network::set_watchdog`]) turns livelock — e.g. an
+/// unbounded origin flap with MRAI disabled — into a typed
+/// [`ConvergenceError::Oscillating`] instead of an exhausted event budget.
 ///
 /// # Example
 ///
@@ -113,16 +156,33 @@ pub struct Network<M = NoopMonitor> {
     mrai_gate: Vec<SimTime>,
     /// Per directed edge: updates held back by an open MRAI window, newest
     /// per prefix.
-    mrai_pending: Vec<std::collections::BTreeMap<Ipv4Prefix, SharedUpdate>>,
+    mrai_pending: Vec<BTreeMap<Ipv4Prefix, SharedUpdate>>,
+    /// Per directed edge: the session epoch. Bumped when the link fails or
+    /// the session resets; in-flight messages stamped with an older epoch
+    /// are discarded on delivery.
+    epochs: Vec<u32>,
+    /// `true` once any epoch has been bumped — gates the per-delivery epoch
+    /// lookup so fault-free runs keep the original hot path.
+    epochs_active: bool,
     /// Links currently failed (stored with endpoints ordered low-high).
     /// Failure injection may name ASes outside the graph, so this stays
     /// keyed by ASN; the hot path short-circuits on `is_empty`.
     failed_links: BTreeSet<(Asn, Asn)>,
+    /// Convergence watchdog period in events; 0 = off.
+    watchdog: u64,
+    /// Installed fault plan state, if any. Boxed so fault-free networks pay
+    /// one pointer.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Default event budget for [`Network::run`]: far beyond what any experiment
 /// in the reproduction needs, while still catching runaway configurations.
 const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+/// Repeated-fingerprint sightings before the watchdog declares oscillation.
+/// Two sightings can happen transiently while churn settles; three of the
+/// same global routing state with work still queued means a cycle.
+const WATCHDOG_STRIKES: u32 = 3;
 
 impl Network<NoopMonitor> {
     /// Builds a plain BGP network (no validation) with unit link delays.
@@ -167,8 +227,12 @@ impl<M: RouteMonitor> Network<M> {
             stats: NetworkStats::default(),
             mrai: 0,
             mrai_gate: vec![SimTime::ZERO; edges],
-            mrai_pending: vec![std::collections::BTreeMap::new(); edges],
+            mrai_pending: vec![BTreeMap::new(); edges],
+            epochs: vec![0; edges],
+            epochs_active: false,
             failed_links: BTreeSet::new(),
+            watchdog: 0,
+            faults: None,
         }
     }
 
@@ -208,6 +272,13 @@ impl<M: RouteMonitor> Network<M> {
     #[must_use]
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// The current simulated time (the timestamp of the most recently
+    /// processed event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
     }
 
     /// The ASes in the network, ascending.
@@ -257,30 +328,58 @@ impl<M: RouteMonitor> Network<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `asn` is not in the network.
+    /// Panics if `asn` is not in the network; use
+    /// [`Network::try_originate_route`] for a fallible variant.
     pub fn originate_route(&mut self, asn: Asn, route: Route) {
-        let idx = self.index_of(asn).expect("originating AS not in network");
+        self.try_originate_route(asn, route)
+            .expect("originating AS not in network");
+    }
+
+    /// Fallible [`Network::originate_route`]: reports an unknown AS as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAsError`] when `asn` is not in the network.
+    pub fn try_originate_route(&mut self, asn: Asn, route: Route) -> Result<(), UnknownAsError> {
+        let idx = self.index_of(asn).ok_or(UnknownAsError { asn })?;
         let updates = self.routers[idx].originate(route, &mut self.monitor);
         self.enqueue(idx, updates);
+        Ok(())
     }
 
     /// Makes `asn` stop originating `prefix`.
     ///
     /// # Panics
     ///
-    /// Panics if `asn` is not in the network.
+    /// Panics if `asn` is not in the network; use [`Network::try_withdraw`]
+    /// for a fallible variant.
     pub fn withdraw(&mut self, asn: Asn, prefix: Ipv4Prefix) {
-        let idx = self.index_of(asn).expect("withdrawing AS not in network");
+        self.try_withdraw(asn, prefix)
+            .expect("withdrawing AS not in network");
+    }
+
+    /// Fallible [`Network::withdraw`]: reports an unknown AS as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAsError`] when `asn` is not in the network.
+    pub fn try_withdraw(&mut self, asn: Asn, prefix: Ipv4Prefix) -> Result<(), UnknownAsError> {
+        let idx = self.index_of(asn).ok_or(UnknownAsError { asn })?;
         let updates = self.routers[idx].withdraw_origin(prefix, &mut self.monitor);
         self.enqueue(idx, updates);
+        Ok(())
     }
 
     /// Runs the simulation until no messages remain in flight.
     ///
     /// # Errors
     ///
-    /// Returns [`ConvergenceError`] if the default event budget is exhausted,
-    /// which indicates a pathological configuration.
+    /// Returns [`ConvergenceError::BudgetExhausted`] if the default event
+    /// budget runs out, or [`ConvergenceError::Oscillating`] if the watchdog
+    /// (see [`Network::set_watchdog`]) catches the network cycling through
+    /// the same routing states.
     pub fn run(&mut self) -> Result<SimTime, ConvergenceError> {
         self.run_with_limit(DEFAULT_EVENT_LIMIT)
     }
@@ -290,24 +389,62 @@ impl<M: RouteMonitor> Network<M> {
     ///
     /// # Errors
     ///
-    /// Returns [`ConvergenceError`] when the budget runs out first.
+    /// Returns [`ConvergenceError`] when the budget runs out first or the
+    /// watchdog detects oscillation.
     pub fn run_with_limit(&mut self, max_events: u64) -> Result<SimTime, ConvergenceError> {
         let mut processed = 0u64;
-        while let Some((_, event)) = self.queue.pop() {
+        // Watchdog state is per-run: fingerprint -> (last sighting, hits).
+        let mut seen: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+        let mut clock = self.queue.now();
+        while let Some((time, event)) = self.queue.pop() {
             processed += 1;
             if processed > max_events {
-                return Err(ConvergenceError {
+                return Err(ConvergenceError::BudgetExhausted {
                     processed,
                     pending: self.queue.len(),
                 });
             }
+            if time != clock {
+                clock = time;
+                self.monitor.on_clock(clock);
+            }
             match event {
-                NetEvent::Deliver { from, to, update } => {
+                NetEvent::Deliver {
+                    from,
+                    to,
+                    epoch,
+                    corrupt,
+                    update,
+                } => {
                     let (from, to) = (from as usize, to as usize);
                     if !self.failed_links.is_empty()
                         && self.link_is_down(self.asn_index[from], self.asn_index[to])
                     {
-                        self.stats.dropped_on_failed_links += 1;
+                        self.drop_in_flight(from, to);
+                        continue;
+                    }
+                    if self.epochs_active {
+                        // A stale epoch means the session failed or reset
+                        // after this message was sent: it is lost even if
+                        // the link has since come back up.
+                        let stale = self
+                            .edge_between(from, to)
+                            .is_some_and(|e| self.epochs[e] != epoch);
+                        if stale {
+                            self.drop_in_flight(from, to);
+                            continue;
+                        }
+                    }
+                    if corrupt {
+                        // The receiver detects the damage and discards the
+                        // update; the session survives (we do not model the
+                        // RFC 4271 NOTIFICATION teardown for single bad
+                        // messages — see DESIGN.md "Fault model").
+                        self.stats.corrupted_dropped += 1;
+                        let edge = self.edge_between(from, to);
+                        if let (Some(e), Some(f)) = (edge, self.faults.as_deref_mut()) {
+                            f.stats[e].corrupted += 1;
+                        }
                         continue;
                     }
                     match &update {
@@ -329,16 +466,55 @@ impl<M: RouteMonitor> Network<M> {
                         continue;
                     }
                     self.mrai_gate[edge] = self.queue.now() + self.mrai;
-                    let delay = self.delays[edge];
                     for (_, update) in pending {
-                        self.queue.schedule_after(
-                            delay,
-                            NetEvent::Deliver {
-                                from: from as u32,
-                                to: to as u32,
-                                update,
-                            },
-                        );
+                        self.schedule_delivery(edge, from as u32, to as u32, update);
+                    }
+                }
+                NetEvent::Fault { entry } => {
+                    let idx = entry as usize;
+                    let Some(faults) = self.faults.as_deref_mut() else {
+                        continue;
+                    };
+                    let mut reschedule = None;
+                    if let Some(period) = faults.timeline[idx].period {
+                        let fire_again = match &mut faults.remaining[idx] {
+                            None => true,
+                            Some(n) if *n > 1 => {
+                                *n -= 1;
+                                true
+                            }
+                            Some(n) => {
+                                *n = 0;
+                                false
+                            }
+                        };
+                        if fire_again {
+                            reschedule = Some(period);
+                        }
+                    }
+                    let event = faults.timeline[idx].event.clone();
+                    if let Some(period) = reschedule {
+                        self.queue.schedule_after(period, NetEvent::Fault { entry });
+                    }
+                    self.apply_fault_event(event);
+                }
+            }
+            if self.watchdog > 0
+                && processed.is_multiple_of(self.watchdog)
+                && !self.queue.is_empty()
+            {
+                let fp = self.routing_fingerprint();
+                match seen.get_mut(&fp) {
+                    None => {
+                        seen.insert(fp, (processed, 1));
+                    }
+                    Some((last, hits)) => {
+                        let cycle_len = processed - *last;
+                        *last = processed;
+                        *hits += 1;
+                        if *hits >= WATCHDOG_STRIKES {
+                            return Err(ConvergenceError::Oscillating { cycle_len });
+                        }
                     }
                 }
             }
@@ -348,7 +524,7 @@ impl<M: RouteMonitor> Network<M> {
     }
 
     // ------------------------------------------------------------------
-    // MRAI and failure injection
+    // MRAI, failure injection, and fault plans
     // ------------------------------------------------------------------
 
     /// Enables the minimum route advertisement interval: after a router sends
@@ -360,20 +536,128 @@ impl<M: RouteMonitor> Network<M> {
         self.mrai = ticks;
     }
 
+    /// Arms the convergence watchdog: every `interval_events` delivered
+    /// events, the watchdog fingerprints the global routing state (every
+    /// router's best table). Seeing the same fingerprint three times while
+    /// work is still queued means the network is cycling, and
+    /// [`Network::run`] returns [`ConvergenceError::Oscillating`] instead of
+    /// burning the rest of the event budget. Pass 0 to disable (the
+    /// default).
+    ///
+    /// Pick an interval comfortably larger than one convergence wave (a few
+    /// thousand events) so transient states are not sampled often enough to
+    /// trip the three-strike rule.
+    pub fn set_watchdog(&mut self, interval_events: u64) {
+        self.watchdog = interval_events;
+    }
+
+    /// Installs a fault plan: per-link perturbation models and a scripted
+    /// event timeline, validated eagerly so the event loop never meets a
+    /// dangling AS or link.
+    ///
+    /// Timeline entries are scheduled at their absolute tick (or immediately
+    /// if that tick already passed); the fault RNG is seeded from the plan,
+    /// so a run is bit-reproducible from `(network seed, plan)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] when the plan names an AS outside the
+    /// network, attaches a model or link event to a non-peering pair, or a
+    /// plan is already installed.
+    pub fn set_fault_plan(&mut self, plan: NetFaultPlan) -> Result<(), FaultPlanError> {
+        if self.faults.is_some() {
+            return Err(FaultPlanError::AlreadyInstalled);
+        }
+        // Validate everything before touching the queue.
+        for entry in plan.timeline() {
+            for asn in entry.event.actors() {
+                if self.index_of(asn).is_none() {
+                    return Err(FaultPlanError::UnknownAs(asn));
+                }
+            }
+            if let FaultEvent::FailLink(a, b)
+            | FaultEvent::RestoreLink(a, b)
+            | FaultEvent::ResetSession(a, b) = entry.event
+            {
+                self.directed_edges(a, b)?;
+            }
+        }
+        let mut models = BTreeMap::new();
+        for (&(a, b), &model) in plan.link_models() {
+            let (ab, ba) = self.directed_edges(a, b)?;
+            models.insert(ab, model);
+            models.insert(ba, model);
+        }
+
+        let timeline: Vec<TimelineEntry<FaultEvent>> = plan.timeline().to_vec();
+        let remaining: Vec<Option<u64>> = timeline.iter().map(|e| e.count).collect();
+        for (i, entry) in timeline.iter().enumerate() {
+            if entry.count == Some(0) {
+                continue;
+            }
+            let at = SimTime::from_ticks(entry.at).max(self.queue.now());
+            self.queue.schedule(at, NetEvent::Fault { entry: i as u32 });
+        }
+        self.faults = Some(Box::new(FaultState {
+            rng: sim_engine::rng::from_seed(plan.seed()),
+            models,
+            stats: vec![FaultStats::default(); self.peer_idx.len()],
+            timeline,
+            remaining,
+        }));
+        Ok(())
+    }
+
+    /// Per-link fault statistics, one entry per directed edge that saw any
+    /// fault activity, keyed `(from, to)` and ascending. Empty when no fault
+    /// plan is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Vec<((Asn, Asn), FaultStats)> {
+        let Some(faults) = self.faults.as_deref() else {
+            return Vec::new();
+        };
+        faults
+            .stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != FaultStats::default())
+            .map(|(e, s)| {
+                let from = self.peer_start.partition_point(|&start| start <= e) - 1;
+                let to = self.peer_idx[e] as usize;
+                ((self.asn_index[from], self.asn_index[to]), *s)
+            })
+            .collect()
+    }
+
+    /// All per-link fault statistics merged into one block.
+    #[must_use]
+    pub fn fault_stats_total(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        if let Some(faults) = self.faults.as_deref() {
+            for stats in &faults.stats {
+                total.merge(stats);
+            }
+        }
+        total
+    }
+
     /// Tears down the link between `a` and `b`: both routers treat every
-    /// route learned over it as withdrawn and reconverge; messages already in
-    /// flight on the link are lost. No-op for unknown or already-failed
-    /// links.
+    /// route learned over it as withdrawn and reconverge. Messages already
+    /// in flight on the link are lost — the session epoch moves on, so they
+    /// stay lost even if the link is restored before their delivery time.
+    /// No-op for unknown or already-failed links.
     pub fn fail_link(&mut self, a: Asn, b: Asn) {
         if !self.failed_links.insert(Self::link_key(a, b)) {
             return;
         }
         if let (Some(ia), Some(ib)) = (self.index_of(a), self.index_of(b)) {
-            if let Some(e) = self.edge_between(ia, ib) {
-                self.mrai_pending[e].clear();
-            }
-            if let Some(e) = self.edge_between(ib, ia) {
-                self.mrai_pending[e].clear();
+            for (x, y) in [(ia, ib), (ib, ia)] {
+                if let Some(e) = self.edge_between(x, y) {
+                    self.mrai_pending[e].clear();
+                    self.mrai_gate[e] = SimTime::ZERO;
+                    self.epochs[e] = self.epochs[e].wrapping_add(1);
+                    self.epochs_active = true;
+                }
             }
         }
         for (local, peer) in [(a, b), (b, a)] {
@@ -385,7 +669,9 @@ impl<M: RouteMonitor> Network<M> {
     }
 
     /// Restores a previously failed link: both routers re-advertise their
-    /// current best routes to each other. No-op if the link is up.
+    /// current best routes to each other, as a fresh BGP session
+    /// establishment would. Messages that were in flight when the link
+    /// failed remain lost (their epoch is stale). No-op if the link is up.
     pub fn restore_link(&mut self, a: Asn, b: Asn) {
         if !self.failed_links.remove(&Self::link_key(a, b)) {
             return;
@@ -395,6 +681,41 @@ impl<M: RouteMonitor> Network<M> {
                 let updates = self.routers[idx].refresh_peer(peer, &mut self.monitor);
                 self.enqueue(idx, updates);
             }
+        }
+    }
+
+    /// Resets the BGP session between two peers, as a TCP reset or a
+    /// NOTIFICATION would: both sides implicitly withdraw every route
+    /// learned over the peering and flood the resulting withdrawals, then
+    /// the session re-establishes immediately and both sides re-announce
+    /// their current best routes. In-flight messages on the session are
+    /// lost (epoch bump); MRAI state for the session is cleared. No-op when
+    /// the pair does not peer or the link is currently failed.
+    pub fn reset_session(&mut self, a: Asn, b: Asn) {
+        if self.link_is_down(a, b) {
+            return;
+        }
+        let (Some(ia), Some(ib)) = (self.index_of(a), self.index_of(b)) else {
+            return;
+        };
+        let (Some(ab), Some(ba)) = (self.edge_between(ia, ib), self.edge_between(ib, ia)) else {
+            return;
+        };
+        for e in [ab, ba] {
+            self.mrai_pending[e].clear();
+            self.mrai_gate[e] = SimTime::ZERO;
+            self.epochs[e] = self.epochs[e].wrapping_add(1);
+        }
+        self.epochs_active = true;
+        // Teardown: each side drops what it learned from the other.
+        for (idx, peer) in [(ia, b), (ib, a)] {
+            let updates = self.routers[idx].peer_down(peer, &mut self.monitor);
+            self.enqueue(idx, updates);
+        }
+        // Re-establishment: each side re-advertises its current best routes.
+        for (idx, peer) in [(ia, b), (ib, a)] {
+            let updates = self.routers[idx].refresh_peer(peer, &mut self.monitor);
+            self.enqueue(idx, updates);
         }
     }
 
@@ -425,6 +746,136 @@ impl<M: RouteMonitor> Network<M> {
             .map(|k| self.peer_start[from] + k)
     }
 
+    /// Both directed edge ids of a peering, or a typed error for the fault
+    /// planner.
+    fn directed_edges(&self, a: Asn, b: Asn) -> Result<(usize, usize), FaultPlanError> {
+        let ia = self.index_of(a).ok_or(FaultPlanError::UnknownAs(a))?;
+        let ib = self.index_of(b).ok_or(FaultPlanError::UnknownAs(b))?;
+        let ab = self
+            .edge_between(ia, ib)
+            .ok_or(FaultPlanError::NotALink(a, b))?;
+        let ba = self
+            .edge_between(ib, ia)
+            .ok_or(FaultPlanError::NotALink(a, b))?;
+        Ok((ab, ba))
+    }
+
+    /// Counts a message lost in flight (link down or session epoch moved
+    /// on), attributing it to the per-edge fault stats when a plan is
+    /// installed.
+    fn drop_in_flight(&mut self, from: usize, to: usize) {
+        self.stats.dropped_on_failed_links += 1;
+        let edge = self.edge_between(from, to);
+        if let (Some(e), Some(f)) = (edge, self.faults.as_deref_mut()) {
+            f.stats[e].dropped_link_down += 1;
+        }
+    }
+
+    /// Executes one scripted fault event. The plan was validated at install
+    /// time, so the unknown-AS paths are unreachable; the `try_` variants
+    /// make that a silent no-op rather than a panic.
+    fn apply_fault_event(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::FailLink(a, b) => self.fail_link(a, b),
+            FaultEvent::RestoreLink(a, b) => self.restore_link(a, b),
+            FaultEvent::ResetSession(a, b) => self.reset_session(a, b),
+            FaultEvent::Announce { asn, route } => {
+                let _ = self.try_originate_route(asn, route);
+            }
+            FaultEvent::Withdraw { asn, prefix } => {
+                let _ = self.try_withdraw(asn, prefix);
+            }
+            FaultEvent::ToggleOrigin { asn, route } => {
+                let Some(idx) = self.index_of(asn) else {
+                    return;
+                };
+                let prefix = route.prefix();
+                let updates = if self.routers[idx].originates(prefix) {
+                    self.routers[idx].withdraw_origin(prefix, &mut self.monitor)
+                } else {
+                    self.routers[idx].originate(route, &mut self.monitor)
+                };
+                self.enqueue(idx, updates);
+            }
+        }
+    }
+
+    /// Schedules one message on a directed edge, stamping the session epoch
+    /// and applying the link's fault model (if any): the single choke point
+    /// through which every delivery — direct or MRAI-flushed — passes.
+    fn schedule_delivery(&mut self, edge: usize, from: u32, to: u32, update: SharedUpdate) {
+        let epoch = self.epochs[edge];
+        let mut delay = self.delays[edge];
+        let mut corrupt = false;
+        let mut copies = 1u8;
+        if let Some(faults) = self.faults.as_deref_mut() {
+            if let Some(model) = faults.models.get(&edge) {
+                match model.decide(&mut faults.rng) {
+                    FaultAction::Deliver => faults.stats[edge].delivered += 1,
+                    FaultAction::Drop => {
+                        faults.stats[edge].dropped += 1;
+                        return;
+                    }
+                    FaultAction::Duplicate => {
+                        faults.stats[edge].duplicated += 1;
+                        copies = 2;
+                    }
+                    FaultAction::Delay(extra) => {
+                        faults.stats[edge].reordered += 1;
+                        delay += extra;
+                    }
+                    FaultAction::Corrupt => corrupt = true,
+                }
+            }
+        }
+        for _ in 0..copies {
+            self.queue.schedule_after(
+                delay,
+                NetEvent::Deliver {
+                    from,
+                    to,
+                    epoch,
+                    corrupt,
+                    update: update.clone(),
+                },
+            );
+        }
+    }
+
+    /// FNV-1a over every router's best table: node, prefix, learned-from
+    /// peer, and the full AS path. Deterministic across platforms and
+    /// toolchains (unlike `DefaultHasher`), and independent of monotonic
+    /// counters like stats or age stamps, so a network cycling through the
+    /// same routing states produces the same fingerprints.
+    fn routing_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn mix(h: u64, word: u64) -> u64 {
+            (h ^ word).wrapping_mul(PRIME)
+        }
+        let mut h = OFFSET;
+        for (node, router) in self.routers.iter().enumerate() {
+            for prefix in router.prefixes() {
+                h = mix(h, node as u64);
+                h = mix(
+                    h,
+                    (u64::from(prefix.network()) << 8) | u64::from(prefix.len()),
+                );
+                h = match router.best_learned_from(prefix) {
+                    Some(peer) => mix(h, u64::from(peer.0) | (1 << 40)),
+                    None => mix(h, 1 << 41),
+                };
+                if let Some(route) = router.best_route(prefix) {
+                    for asn in route.as_path().iter() {
+                        h = mix(h, u64::from(asn.0));
+                    }
+                }
+                h = mix(h, u64::MAX);
+            }
+        }
+        h
+    }
+
     fn enqueue(&mut self, from: usize, updates: Vec<(Asn, SharedUpdate)>) {
         let from_asn = self.asn_index[from];
         for (to_asn, update) in updates {
@@ -439,14 +890,7 @@ impl<M: RouteMonitor> Network<M> {
             let edge = self.peer_start[from] + k;
             let to = self.peer_idx[edge];
             if self.mrai == 0 {
-                self.queue.schedule_after(
-                    self.delays[edge],
-                    NetEvent::Deliver {
-                        from: from as u32,
-                        to,
-                        update,
-                    },
-                );
+                self.schedule_delivery(edge, from as u32, to, update);
                 continue;
             }
             let now = self.queue.now();
@@ -454,14 +898,7 @@ impl<M: RouteMonitor> Network<M> {
             if now >= gate && self.mrai_pending[edge].is_empty() {
                 // Window open: send immediately and start a new window.
                 self.mrai_gate[edge] = now + self.mrai;
-                self.queue.schedule_after(
-                    self.delays[edge],
-                    NetEvent::Deliver {
-                        from: from as u32,
-                        to,
-                        update,
-                    },
-                );
+                self.schedule_delivery(edge, from as u32, to, update);
             } else {
                 // Window closed: coalesce, newest update per prefix wins.
                 let pending = &mut self.mrai_pending[edge];
@@ -488,6 +925,7 @@ impl<M: RouteMonitor> Network<M> {
 mod tests {
     use super::*;
     use as_topology::{AsRole, InternetModel};
+    use sim_engine::fault::LinkFaultModel;
 
     fn figure1_graph() -> AsGraph {
         // AS 4 originates; AS Y (=2) and AS Z (=3) transit to AS X (=1).
@@ -633,7 +1071,10 @@ mod tests {
         let mut net = Network::new(&graph);
         net.originate(victim, as_topology::prefix_for_asn(victim), None);
         let err = net.run_with_limit(3).unwrap_err();
-        assert!(err.processed() >= 3);
+        match err {
+            ConvergenceError::BudgetExhausted { processed, .. } => assert!(processed >= 3),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
     }
 
     #[test]
@@ -743,6 +1184,52 @@ mod tests {
     }
 
     #[test]
+    fn in_flight_messages_stay_lost_across_a_fail_restore_bounce() {
+        // A message is in flight on 4->2 when the link fails; the link is
+        // restored *before* the message's delivery time. The session epoch
+        // moved on, so the stale message must still be discarded — the
+        // restored session re-advertises instead.
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.fail_link(Asn(4), Asn(2));
+        net.restore_link(Asn(4), Asn(2));
+        net.run().unwrap();
+        assert!(net.stats().dropped_on_failed_links > 0);
+        // The re-establishment re-advertised, so reachability is intact.
+        for asn in [1, 2, 3] {
+            assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(4)), "AS {asn}");
+        }
+    }
+
+    #[test]
+    fn session_reset_withdraws_then_reconverges() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        let withdrawals_before = net.stats().withdrawals;
+        net.reset_session(Asn(4), Asn(2));
+        net.run().unwrap();
+        // The teardown flooded real withdrawals...
+        assert!(net.stats().withdrawals > withdrawals_before);
+        // ...and the re-establishment restored every route.
+        for asn in [1, 2, 3] {
+            assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(4)), "AS {asn}");
+        }
+    }
+
+    #[test]
+    fn session_reset_on_unknown_pair_or_down_link_is_a_noop() {
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        net.reset_session(Asn(1), Asn(4)); // not adjacent
+        net.reset_session(Asn(77), Asn(88)); // not in graph
+        net.fail_link(Asn(4), Asn(2));
+        net.reset_session(Asn(4), Asn(2)); // link is down
+        assert!(net.run().is_ok());
+    }
+
+    #[test]
     fn mrai_preserves_outcome_and_coalesces_churn() {
         let graph = InternetModel::new()
             .transit_count(10)
@@ -798,5 +1285,269 @@ mod tests {
     fn originating_from_unknown_as_panics() {
         let mut net = Network::new(&figure1_graph());
         net.originate(Asn(999), p(), None);
+    }
+
+    #[test]
+    fn try_variants_report_unknown_ases() {
+        let mut net = Network::new(&figure1_graph());
+        let err = net
+            .try_originate_route(Asn(999), Route::new(p(), AsPath::new()))
+            .unwrap_err();
+        assert_eq!(err.asn, Asn(999));
+        assert!(net.try_withdraw(Asn(999), p()).is_err());
+        assert!(net
+            .try_originate_route(Asn(4), Route::new(p(), AsPath::new()))
+            .is_ok());
+        assert!(net.try_withdraw(Asn(4), p()).is_ok());
+    }
+
+    // --------------------------------------------------------------
+    // Fault plans
+    // --------------------------------------------------------------
+
+    #[test]
+    fn fault_plan_validates_actors_and_links() {
+        let mut net = Network::new(&figure1_graph());
+        let mut plan = NetFaultPlan::new(1);
+        plan.at(5, FaultEvent::FailLink(Asn(1), Asn(999)));
+        assert_eq!(
+            net.set_fault_plan(plan),
+            Err(FaultPlanError::UnknownAs(Asn(999)))
+        );
+
+        let mut plan = NetFaultPlan::new(1);
+        plan.at(5, FaultEvent::ResetSession(Asn(1), Asn(4))); // not adjacent
+        assert_eq!(
+            net.set_fault_plan(plan),
+            Err(FaultPlanError::NotALink(Asn(1), Asn(4)))
+        );
+
+        let mut plan = NetFaultPlan::new(1);
+        plan.lossy_link((Asn(1), Asn(4)), 0.5);
+        assert_eq!(
+            net.set_fault_plan(plan),
+            Err(FaultPlanError::NotALink(Asn(1), Asn(4)))
+        );
+
+        assert!(net.set_fault_plan(NetFaultPlan::new(1)).is_ok());
+        assert_eq!(
+            net.set_fault_plan(NetFaultPlan::new(2)),
+            Err(FaultPlanError::AlreadyInstalled)
+        );
+    }
+
+    #[test]
+    fn scripted_fail_and_restore_follow_the_timeline() {
+        let mut net = Network::new(&figure1_graph());
+        let mut plan = NetFaultPlan::new(7);
+        plan.at(10, FaultEvent::FailLink(Asn(1), Asn(2)));
+        plan.at(40, FaultEvent::RestoreLink(Asn(1), Asn(2)));
+        net.set_fault_plan(plan).unwrap();
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        // Timeline ran to completion: the link ends restored and AS 1 holds
+        // a route again.
+        assert!(!net.link_is_down(Asn(1), Asn(2)));
+        assert_eq!(net.best_origin(Asn(1), p()), Some(Asn(4)));
+    }
+
+    #[test]
+    fn certainly_lossy_link_starves_one_path() {
+        // Everything 4 sends toward 2 is dropped by the fault model, so the
+        // network behaves as if only the 4-3 path existed.
+        let mut net = Network::new(&figure1_graph());
+        let mut plan = NetFaultPlan::new(3);
+        plan.lossy_link((Asn(4), Asn(2)), 1.0);
+        net.set_fault_plan(plan).unwrap();
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        assert_eq!(
+            net.best_route(Asn(1), p()).unwrap().as_path().to_string(),
+            "3 4"
+        );
+        let total = net.fault_stats_total();
+        assert!(total.dropped > 0);
+        // Both directions got the model; the stats name the directed edges.
+        for ((a, b), stats) in net.fault_stats() {
+            assert!([Asn(2), Asn(4)].contains(&a) && [Asn(2), Asn(4)].contains(&b));
+            assert!(stats.dropped > 0 || stats.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_messages_are_dropped_and_counted_never_panic() {
+        let mut net = Network::new(&figure1_graph());
+        let mut plan = NetFaultPlan::new(5);
+        plan.set_link_model(
+            (Asn(4), Asn(2)),
+            LinkFaultModel {
+                corrupt: 1.0,
+                ..LinkFaultModel::default()
+            },
+        );
+        net.set_fault_plan(plan).unwrap();
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        assert!(net.stats().corrupted_dropped > 0);
+        assert_eq!(
+            net.fault_stats_total().corrupted,
+            net.stats().corrupted_dropped
+        );
+        // The clean path still delivered.
+        assert_eq!(net.best_origin(Asn(1), p()), Some(Asn(4)));
+    }
+
+    #[test]
+    fn duplicates_and_delays_do_not_change_the_outcome() {
+        let graph = InternetModel::new()
+            .transit_count(6)
+            .stub_count(20)
+            .build(11);
+        let victim = graph.stub_asns()[0];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let clean = {
+            let mut net = Network::new(&graph);
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            graph
+                .asns()
+                .map(|a| net.best_origin(a, prefix))
+                .collect::<Vec<_>>()
+        };
+        let mut net = Network::new(&graph);
+        let mut plan = NetFaultPlan::new(13);
+        for (a, b) in graph.links() {
+            plan.set_link_model(
+                (a, b),
+                LinkFaultModel {
+                    duplicate: 0.3,
+                    reorder: 0.3,
+                    max_extra_delay: 4,
+                    ..LinkFaultModel::default()
+                },
+            );
+        }
+        net.set_fault_plan(plan).unwrap();
+        net.originate(victim, prefix, None);
+        net.run().unwrap();
+        let faulty: Vec<Option<Asn>> = graph.asns().map(|a| net.best_origin(a, prefix)).collect();
+        assert_eq!(clean, faulty, "duplication/reordering must not partition");
+        let total = net.fault_stats_total();
+        assert!(total.duplicated > 0 && total.reordered > 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let graph = InternetModel::new()
+            .transit_count(6)
+            .stub_count(20)
+            .build(2);
+        let victim = graph.stub_asns()[1];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let run = || {
+            let mut net = Network::new(&graph);
+            let mut plan = NetFaultPlan::new(99);
+            for (a, b) in graph.links() {
+                plan.set_link_model(
+                    (a, b),
+                    LinkFaultModel {
+                        drop: 0.1,
+                        duplicate: 0.1,
+                        reorder: 0.2,
+                        corrupt: 0.05,
+                        max_extra_delay: 3,
+                    },
+                );
+            }
+            net.set_fault_plan(plan).unwrap();
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            let origins: Vec<Option<Asn>> =
+                graph.asns().map(|a| net.best_origin(a, prefix)).collect();
+            (origins, *net.stats(), net.fault_stats_total())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn periodic_flap_with_bound_terminates_on_its_own() {
+        let mut net = Network::new(&figure1_graph());
+        let mut plan = NetFaultPlan::new(1);
+        plan.every(
+            10,
+            20,
+            Some(4),
+            FaultEvent::ToggleOrigin {
+                asn: Asn(4),
+                route: Route::new(p(), AsPath::new()),
+            },
+        );
+        net.set_fault_plan(plan).unwrap();
+        net.run().unwrap();
+        // Four toggles: originate, withdraw, originate, withdraw.
+        assert!(net.best_route(Asn(1), p()).is_none());
+        assert!(net.stats().withdrawals > 0);
+    }
+
+    #[test]
+    fn watchdog_reports_oscillation_on_unbounded_flap_storm() {
+        let mut net = Network::new(&figure1_graph());
+        net.set_watchdog(64);
+        let mut plan = NetFaultPlan::new(1);
+        plan.every(
+            5,
+            10,
+            None, // forever: only the watchdog can end this
+            FaultEvent::ToggleOrigin {
+                asn: Asn(4),
+                route: Route::new(p(), AsPath::new()),
+            },
+        );
+        net.set_fault_plan(plan).unwrap();
+        let err = net.run().unwrap_err();
+        match err {
+            ConvergenceError::Oscillating { cycle_len } => assert!(cycle_len > 0),
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_converging_runs() {
+        let graph = InternetModel::new()
+            .transit_count(10)
+            .stub_count(50)
+            .build(7);
+        let victim = graph.stub_asns()[3];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let mut net = Network::with_monitor_and_jitter(&graph, NoopMonitor, 7, 5);
+        net.set_watchdog(32); // aggressively small on purpose
+        net.originate(victim, prefix, None);
+        assert!(net.run().is_ok());
+    }
+
+    #[test]
+    fn scripted_announce_and_withdraw_fire_at_their_ticks() {
+        let mut net = Network::new(&figure1_graph());
+        let mut plan = NetFaultPlan::new(0);
+        plan.at(
+            10,
+            FaultEvent::Announce {
+                asn: Asn(4),
+                route: Route::new(p(), AsPath::new()),
+            },
+        );
+        plan.at(
+            50,
+            FaultEvent::Withdraw {
+                asn: Asn(4),
+                prefix: p(),
+            },
+        );
+        net.set_fault_plan(plan).unwrap();
+        net.run().unwrap();
+        assert!(net.best_route(Asn(1), p()).is_none());
+        assert!(net.stats().announcements > 0);
+        assert!(net.stats().withdrawals > 0);
+        assert!(net.now() >= SimTime::from_ticks(50));
     }
 }

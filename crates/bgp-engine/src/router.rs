@@ -1,4 +1,8 @@
 //! A single AS-level BGP speaker.
+//!
+//! No `unwrap`/`expect` on data-dependent paths: routers are driven entirely
+//! by the network, and every lookup is restructured so the key provably
+//! exists or the miss is handled.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
@@ -185,10 +189,15 @@ impl Router {
         if !self.peers.contains(&peer) {
             return Vec::new();
         }
-        let prefixes: Vec<Ipv4Prefix> = self.best.keys().copied().collect();
+        // Snapshot the best table up front: `on_export` needs `&mut self`
+        // state untouched, and cloning the entries clones `Rc`s, not routes.
+        let entries: Vec<(Ipv4Prefix, BestEntry)> = self
+            .best
+            .iter()
+            .map(|(&prefix, entry)| (prefix, entry.clone()))
+            .collect();
         let mut out = Vec::new();
-        for prefix in prefixes {
-            let entry = self.best.get(&prefix).expect("key just listed").clone();
+        for (prefix, entry) in entries {
             if entry.learned_from == Some(peer) {
                 continue; // split horizon
             }

@@ -1,0 +1,119 @@
+//! Property tests for link failure and recovery semantics.
+//!
+//! Two invariants the fault subsystem promises:
+//!
+//! 1. After `fail_link(a, b)` and reconvergence, no router's best path uses
+//!    the dead edge — neither inside the recorded AS path nor as the first
+//!    hop out of the router itself.
+//! 2. `restore_link` is a true inverse: failing a link, reconverging, then
+//!    restoring it and reconverging again leaves every router agreeing with
+//!    a network in which the link never failed. Routers may hold different
+//!    *paths* (the prefer-oldest tiebreak is history-dependent), so the
+//!    comparison is on what each AS can reach and through which origin.
+
+use as_topology::{AsGraph, InternetModel};
+use bgp_engine::Network;
+use bgp_types::{Asn, Ipv4Prefix};
+use proptest::prelude::*;
+
+/// A small multihomed internet: enough alternate paths that failing one
+/// link usually reroutes rather than partitions, but partitions do occur
+/// (single-homed stubs exist) and the properties must hold then too.
+fn build_graph(seed: u64) -> AsGraph {
+    InternetModel::new()
+        .transit_count(5)
+        .stub_count(14)
+        .multihome_prob(0.7)
+        .build(seed)
+}
+
+fn prefix() -> Ipv4Prefix {
+    "208.8.0.0/16".parse().expect("static prefix literal")
+}
+
+/// Maps the raw selector draws onto a concrete (edge, origin) choice for the
+/// generated graph. Selecting by modulo keeps the strategy independent of
+/// the graph's size, so one set of draws works for every seed.
+fn pick(graph: &AsGraph, link_sel: u64, origin_sel: u64) -> ((Asn, Asn), Asn) {
+    let links = graph.links();
+    let edge = links[(link_sel % links.len() as u64) as usize];
+    let stubs = graph.stub_asns();
+    let origin = stubs[(origin_sel % stubs.len() as u64) as usize];
+    (edge, origin)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_best_path_traverses_a_failed_edge(
+        seed in 0u64..4096,
+        link_sel in any::<u64>(),
+        origin_sel in any::<u64>(),
+    ) {
+        let graph = build_graph(seed);
+        let ((a, b), origin) = pick(&graph, link_sel, origin_sel);
+        let prefix = prefix();
+
+        let mut net = Network::new(&graph);
+        net.originate(origin, prefix, None);
+        net.run().expect("initial convergence");
+        net.fail_link(a, b);
+        net.run().expect("post-failure convergence");
+
+        for asn in graph.asns() {
+            let Some(route) = net.best_route(asn, prefix) else {
+                continue;
+            };
+            // The recorded path must not step across the dead edge...
+            for (x, y) in route.as_path().adjacent_pairs() {
+                prop_assert!(
+                    !((x == a && y == b) || (x == b && y == a)),
+                    "AS {} best path {} traverses failed edge {}-{}",
+                    asn, route.as_path(), a, b
+                );
+            }
+            // ...and neither must the hop from the router to its neighbor
+            // (the stored path starts at the advertising neighbor, so that
+            // first edge is not in adjacent_pairs).
+            if let Some(first_hop) = route.as_path().first() {
+                prop_assert!(
+                    !((asn == a && first_hop == b) || (asn == b && first_hop == a)),
+                    "AS {} still uses dead session to {}", asn, first_hop
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_link_recovers_the_never_failed_outcome(
+        seed in 0u64..4096,
+        link_sel in any::<u64>(),
+        origin_sel in any::<u64>(),
+    ) {
+        let graph = build_graph(seed);
+        let ((a, b), origin) = pick(&graph, link_sel, origin_sel);
+        let prefix = prefix();
+
+        let mut bounced = Network::new(&graph);
+        bounced.originate(origin, prefix, None);
+        bounced.run().expect("initial convergence");
+        bounced.fail_link(a, b);
+        bounced.run().expect("post-failure convergence");
+        bounced.restore_link(a, b);
+        bounced.run().expect("post-restore convergence");
+
+        let mut pristine = Network::new(&graph);
+        pristine.originate(origin, prefix, None);
+        pristine.run().expect("pristine convergence");
+
+        for asn in graph.asns() {
+            prop_assert_eq!(
+                bounced.best_origin(asn, prefix),
+                pristine.best_origin(asn, prefix),
+                "AS {} disagrees with the never-failed network after restore",
+                asn
+            );
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use bgp_types::{Asn, Ipv4Prefix};
+use sim_engine::SimTime;
 
 use crate::detector::ConflictKind;
 
@@ -43,14 +44,19 @@ pub struct Alarm {
     pub suspect_origin: Option<Asn>,
     /// How the follow-up verification resolved it.
     pub resolution: Resolution,
+    /// Simulated time when the alarm fired. [`SimTime::ZERO`] when the
+    /// observation happened outside a running simulation (e.g. the monitor
+    /// driven directly in unit tests). Chaos experiments subtract the attack
+    /// injection time from this to measure detection latency.
+    pub at: SimTime,
 }
 
 impl fmt::Display for Alarm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} saw {} on {} (suspect {:?}, {})",
-            self.observer, self.kind, self.prefix, self.suspect_origin, self.resolution
+            "{} saw {} on {} at {} (suspect {:?}, {})",
+            self.observer, self.kind, self.prefix, self.at, self.suspect_origin, self.resolution
         )
     }
 }
@@ -62,6 +68,7 @@ impl fmt::Display for Alarm {
 /// ```
 /// use moas_core::{Alarm, AlarmLog, ConflictKind, Resolution};
 /// use bgp_types::Asn;
+/// use sim_engine::SimTime;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut log = AlarmLog::new();
@@ -71,6 +78,7 @@ impl fmt::Display for Alarm {
 ///     kind: ConflictKind::InconsistentLists,
 ///     suspect_origin: Some(Asn(52)),
 ///     resolution: Resolution::Confirmed,
+///     at: SimTime::from_ticks(12),
 /// });
 /// assert_eq!(log.len(), 1);
 /// assert_eq!(log.confirmed_count(), 1);
@@ -180,6 +188,7 @@ mod tests {
             kind: ConflictKind::InconsistentLists,
             suspect_origin: Some(Asn(52)),
             resolution,
+            at: SimTime::from_ticks(5),
         }
     }
 

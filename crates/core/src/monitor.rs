@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 
 use bgp_engine::{ExportAction, ImportContext, ImportDecision, RouteMonitor};
 use bgp_types::{Asn, Route};
+use sim_engine::SimTime;
 
 use crate::alarm::{Alarm, AlarmLog, Resolution};
 use crate::deployment::Deployment;
@@ -87,6 +88,9 @@ pub struct MoasMonitor<V> {
     config: MoasConfig,
     verifier: V,
     alarms: AlarmLog,
+    /// The simulation clock, fed through [`RouteMonitor::on_clock`]; stamps
+    /// every alarm so experiments can measure detection latency.
+    now: SimTime,
 }
 
 impl<V: OriginVerifier> MoasMonitor<V> {
@@ -97,6 +101,7 @@ impl<V: OriginVerifier> MoasMonitor<V> {
             config,
             verifier,
             alarms: AlarmLog::new(),
+            now: SimTime::ZERO,
         }
     }
 
@@ -216,8 +221,13 @@ impl<V: OriginVerifier> RouteMonitor for MoasMonitor<V> {
             kind: conflict.kind,
             suspect_origin: conflict.incoming_origin,
             resolution,
+            at: self.now,
         });
         decision
+    }
+
+    fn on_clock(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     fn on_export(
@@ -409,6 +419,18 @@ mod tests {
         let d2 = m.on_import(&ctx(&valid, &existing));
         assert!(!d2.reject);
         assert_eq!(d2.evict_peers, vec![Asn(6)]);
+    }
+
+    #[test]
+    fn alarms_carry_the_clock_fed_through_on_clock() {
+        let mut m = MoasMonitor::full(registry(&[4]));
+        m.on_clock(SimTime::from_ticks(42));
+        let incoming = Route::new(p(), AsPath::origination(Asn(52)));
+        let held = Route::new(p(), AsPath::origination(Asn(4)));
+        let existing = vec![(Some(Asn(5)), &held)];
+        m.on_import(&ctx(&incoming, &existing));
+        let alarm = m.alarms().iter().next().unwrap();
+        assert_eq!(alarm.at, SimTime::from_ticks(42));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod ablation;
+mod chaos;
 mod figures;
 pub mod json;
 mod overhead;
@@ -54,6 +55,9 @@ pub use ablation::{
     unresolved_policy_ablation_jobs, valley_free_ablation, valley_free_ablation_jobs, ForgeryPoint,
     StrippingPoint, SubPrefixAblation, ValleyFreePoint,
 };
+pub use chaos::{
+    run_chaos, run_chaos_jobs, ChaosConfig, ChaosReport, ChaosScenario, UnknownScenario,
+};
 pub use figures::{
     experiment1, experiment1_jobs, experiment2, experiment2_jobs, experiment3, experiment3_jobs,
 };
@@ -64,7 +68,7 @@ pub use overhead::{
 pub use report::{FigureReport, SeriesReport};
 pub use stats::{mean, stddev};
 pub use sweep::{run_sweep, run_sweep_jobs, SweepConfig, SweepPoint};
-pub use trial::{run_trial, TrialConfig, TrialOutcome};
+pub use trial::{run_trial, run_trial_checked, TrialConfig, TrialOutcome};
 
 /// The prefix under attack in every experiment (Figure 1's example prefix).
 pub const VICTIM_PREFIX: &str = "208.8.0.0/16";

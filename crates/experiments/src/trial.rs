@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use as_topology::AsGraph;
-use bgp_engine::Network;
+use bgp_engine::{ConvergenceError, Network};
 use bgp_types::{Asn, Ipv4Prefix, MoasList};
 use moas_core::{
     Deployment, FalseOriginAttack, ListForgery, MoasConfig, MoasMonitor, OriginVerifier,
@@ -96,9 +96,26 @@ impl TrialOutcome {
 /// # Panics
 ///
 /// Panics if any origin or attacker is not in `graph`, or if the simulation
-/// exceeds its (enormous) event budget.
+/// exceeds its (enormous) event budget. Use [`run_trial_checked`] when the
+/// configuration comes from user input rather than a driver's own plan.
 #[must_use]
 pub fn run_trial(graph: &AsGraph, config: &TrialConfig) -> TrialOutcome {
+    run_trial_checked(graph, config).expect("experiment networks always converge")
+}
+
+/// [`run_trial`] with the convergence failure surfaced as a typed error
+/// instead of a panic — static experiment topologies always converge, but a
+/// caller replaying arbitrary user-supplied configurations should not trust
+/// that.
+///
+/// # Panics
+///
+/// Still panics if any origin or attacker is not in `graph` (that is a
+/// planning bug, not a runtime condition).
+pub fn run_trial_checked(
+    graph: &AsGraph,
+    config: &TrialConfig,
+) -> Result<TrialOutcome, ConvergenceError> {
     let valid_list: MoasList = config.origins.iter().copied().collect();
 
     // §4.4: the verifier knows the true origin set (oracle registry, as the
@@ -124,12 +141,12 @@ pub fn run_trial(graph: &AsGraph, config: &TrialConfig) -> TrialOutcome {
     for &origin in &config.origins {
         net.originate(origin, config.prefix, Some(valid_list.clone()));
     }
-    net.run().expect("experiment networks always converge");
+    net.run()?;
     let attack = FalseOriginAttack::new(config.forgery);
     for &attacker in &config.attackers {
         attack.launch(&mut net, attacker, config.prefix, &valid_list);
     }
-    net.run().expect("experiment networks always converge");
+    net.run()?;
 
     let attacker_set: BTreeSet<Asn> = config.attackers.iter().copied().collect();
     let mut eligible = 0usize;
@@ -147,7 +164,7 @@ pub fn run_trial(graph: &AsGraph, config: &TrialConfig) -> TrialOutcome {
     }
 
     let alarms = net.monitor().alarms();
-    TrialOutcome {
+    Ok(TrialOutcome {
         eligible,
         adopted_false,
         alarms: alarms.len(),
@@ -155,7 +172,7 @@ pub fn run_trial(graph: &AsGraph, config: &TrialConfig) -> TrialOutcome {
         false_alarms: alarms.false_alarm_count(),
         verifier_queries: net.monitor().verifier().query_count(),
         messages: net.stats().total_messages(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -7,8 +7,9 @@
 
 use as_topology::paper::PaperTopology;
 use experiments::{
-    forgery_ablation, forgery_ablation_jobs, json, run_sweep, run_sweep_jobs, stripping_ablation,
-    stripping_ablation_jobs, SweepConfig,
+    forgery_ablation, forgery_ablation_jobs, json, run_chaos, run_chaos_jobs, run_sweep,
+    run_sweep_jobs, stripping_ablation, stripping_ablation_jobs, ChaosConfig, ChaosScenario,
+    SweepConfig,
 };
 
 #[test]
@@ -49,6 +50,30 @@ fn forgery_ablation_jobs_is_bit_identical_to_serial_on_as46() {
             serial,
             "jobs={jobs} diverged from serial"
         );
+    }
+}
+
+#[test]
+fn chaos_jobs_is_bit_identical_to_serial_including_fault_rng() {
+    // The chaos driver carries more per-trial randomness than the figure
+    // drivers: each trial owns a fault RNG stream (drop/corrupt/duplicate
+    // coin flips) derived from the trial seed. A scheduling leak anywhere —
+    // planning, the fault stream, or aggregation — shows up as a diverging
+    // report. Lossy-core exercises the fault RNG hardest.
+    for scenario in [ChaosScenario::LossyCore, ChaosScenario::Failover] {
+        let mut config = ChaosConfig::quick(scenario);
+        config.trials = 5;
+        config.seed = 0xC0FFEE;
+        let serial = run_chaos(&config);
+        for jobs in [1, 2, 4] {
+            let parallel = run_chaos_jobs(&config, jobs);
+            assert_eq!(parallel, serial, "{scenario} jobs={jobs} diverged");
+            assert_eq!(
+                parallel.to_json(),
+                serial.to_json(),
+                "{scenario} jobs={jobs} rendered different JSON"
+            );
+        }
     }
 }
 

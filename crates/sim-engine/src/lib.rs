@@ -26,10 +26,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod fault;
 mod queue;
 pub mod rng;
 mod time;
 
+pub use fault::{FaultAction, FaultPlan, FaultStats, LinkFaultModel, TimelineEntry};
 pub use queue::EventQueue;
 pub use time::SimTime;

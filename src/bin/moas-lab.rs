@@ -10,6 +10,7 @@
 //! $ moas-lab trial --attackers 5 # One simulation run, in detail
 //! $ moas-lab ablations           # §4.3 limitation studies
 //! $ moas-lab overhead            # §4.3 list-size overhead
+//! $ moas-lab chaos --scenario failover   # Detector accuracy under churn/faults
 //! $ moas-lab export-mrt --out d.mrt   # Simulate and export MRT table dumps
 //! $ moas-lab import-mrt d.mrt         # Re-analyze any IPv4 MRT table dump
 //! ```
@@ -21,8 +22,9 @@ use std::process::ExitCode;
 use moas::detection::{Deployment, OfflineMonitor};
 use moas::experiments::{
     experiment1_jobs, experiment2_jobs, experiment3_jobs, forgery_ablation_jobs,
-    measure_moas_list_overhead_jobs, moas_list_overhead, run_trial, stripping_ablation_jobs,
-    subprefix_ablation_jobs, valley_free_ablation_jobs, SweepConfig, TrialConfig, WireModel,
+    measure_moas_list_overhead_jobs, moas_list_overhead, run_chaos_jobs, run_trial,
+    stripping_ablation_jobs, subprefix_ablation_jobs, valley_free_ablation_jobs, ChaosConfig,
+    ChaosScenario, SweepConfig, TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
@@ -48,6 +50,10 @@ COMMANDS:
                                     Run one simulation trial and print the outcome
     ablations [--jobs N]            Run the §4.3 limitation studies
     overhead [--jobs N]             Measure the MOAS-list table overhead
+    chaos --scenario NAME [--trials N] [--seed S] [--jobs N] [--quick] [--out FILE]
+                                    Replay a fault/churn scenario (failover, origin-flap,
+                                    lossy-core, session-reset, flap-storm) and report the
+                                    MOAS detector's accuracy under it as JSON
 
     --jobs N defaults to the available hardware parallelism; results are
     bit-identical for every N (trials fan out, aggregation order is fixed).
@@ -70,6 +76,7 @@ fn main() -> ExitCode {
         "trial" => trial(&args),
         "ablations" => ablations(&args),
         "overhead" => overhead(&args),
+        "chaos" => chaos(&args),
         "export-mrt" => export_mrt(&args),
         "import-mrt" => import_mrt(&args),
         "help" | "--help" | "-h" => {
@@ -262,6 +269,69 @@ fn ablations(args: &[String]) -> ExitCode {
             "  {:<12} normal {:.2}% / full MOAS {:.2}% (suppressed ads {:.0})",
             p.routing, p.normal_adoption_pct, p.moas_adoption_pct, p.mean_suppressed
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replays a fault/churn scenario and prints the detector-accuracy report.
+///
+/// The output deliberately omits the worker count: the report is
+/// bit-identical for every `--jobs N`, and so is this command's stdout.
+fn chaos(args: &[String]) -> ExitCode {
+    let Some(scenario) = option::<ChaosScenario>(args, "--scenario") else {
+        eprintln!(
+            "usage: moas-lab chaos --scenario <failover|origin-flap|lossy-core|session-reset|flap-storm> \
+             [--trials N] [--seed S] [--jobs N] [--quick] [--out FILE]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut config = if flag(args, "--quick") {
+        ChaosConfig::quick(scenario)
+    } else {
+        ChaosConfig::new(scenario)
+    };
+    if let Some(trials) = option::<usize>(args, "--trials") {
+        config.trials = trials;
+    }
+    if let Some(seed) = option::<u64>(args, "--seed") {
+        config.seed = seed;
+    }
+
+    let report = run_chaos_jobs(&config, jobs_option(args));
+    let json = report.to_json();
+    println!(
+        "scenario {}: {} trials, seed {:#x}",
+        report.scenario, report.trials, report.seed
+    );
+    println!(
+        "false alarms: rate {:.3}, mean {:.2} per churn-only trial",
+        report.false_alarm_rate, report.mean_false_alarms
+    );
+    println!(
+        "detection: {} trials detected, missed rate {:.3}, mean latency {:.1} ticks",
+        report.detected_trials, report.missed_detection_rate, report.mean_detection_latency_ticks
+    );
+    println!(
+        "oscillation: {} trials (mean cycle {:.1} events)",
+        report.oscillating_trials, report.mean_cycle_len
+    );
+    println!(
+        "faults per trial: {:.1} dropped, {:.1} corrupted, {:.1} duplicated, {:.1} reordered; {:.0} messages",
+        report.mean_dropped,
+        report.mean_corrupted,
+        report.mean_duplicated,
+        report.mean_reordered,
+        report.mean_messages
+    );
+    match option::<String>(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("report written to {path}");
+        }
+        None => println!("{json}"),
     }
     ExitCode::SUCCESS
 }

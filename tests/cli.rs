@@ -123,6 +123,109 @@ fn usage_mentions_mrt_commands() {
 }
 
 #[test]
+fn chaos_requires_a_scenario() {
+    let out = moas_lab(&["chaos"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scenario"));
+
+    let bad = moas_lab(&["chaos", "--scenario", "meteor-strike"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn chaos_failover_reports_accuracy_and_emits_json() {
+    let out = moas_lab(&[
+        "chaos",
+        "--scenario",
+        "failover",
+        "--quick",
+        "--trials",
+        "3",
+        "--seed",
+        "9",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("scenario failover"));
+    assert!(text.contains("false alarms"));
+    assert!(text.contains("detection"));
+    assert!(text.contains("\"missed_detection_rate\""));
+    assert!(text.contains("\"mean_detection_latency_ticks\""));
+}
+
+#[test]
+fn chaos_stdout_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        let out = moas_lab(&[
+            "chaos",
+            "--scenario",
+            "failover",
+            "--quick",
+            "--trials",
+            "3",
+            "--seed",
+            "5",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(out.status.success());
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(run("2"), serial, "--jobs 2 changed the output");
+    assert_eq!(run("4"), serial, "--jobs 4 changed the output");
+}
+
+#[test]
+fn chaos_flap_storm_counts_oscillating_trials() {
+    let out = moas_lab(&[
+        "chaos",
+        "--scenario",
+        "flap-storm",
+        "--quick",
+        "--trials",
+        "2",
+        "--seed",
+        "1",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Every MRAI=0 flap-storm trial must end in a detected oscillation.
+    assert!(
+        text.contains("oscillation: 2 trials"),
+        "watchdog did not trip on both trials: {text}"
+    );
+}
+
+#[test]
+fn chaos_out_flag_writes_the_report_file() {
+    let dir = std::env::temp_dir().join(format!("moas-cli-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos.json");
+    let out = moas_lab(&[
+        "chaos",
+        "--scenario",
+        "session-reset",
+        "--quick",
+        "--trials",
+        "2",
+        "--seed",
+        "4",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(json.contains("\"scenario\": \"session-reset\""));
+    assert!(json.contains("\"false_alarm_rate\""));
+}
+
+#[test]
 fn export_mrt_requires_out_path() {
     let out = moas_lab(&["export-mrt"]);
     assert!(!out.status.success());
