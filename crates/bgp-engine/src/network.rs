@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use as_topology::AsGraph;
 use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
+use minimetrics::MetricsSink;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use sim_engine::fault::{FaultAction, FaultStats, LinkFaultModel, TimelineEntry};
@@ -28,6 +29,9 @@ enum NetEvent {
     /// stale message is discarded on delivery — even if the link has since
     /// come back up.
     Deliver {
+        /// Flat id of the directed edge `from -> to`, stamped at send time
+        /// so delivery never repeats the adjacency binary search.
+        edge: u32,
         from: u32,
         to: u32,
         epoch: u32,
@@ -51,6 +55,9 @@ pub struct NetworkStats {
     pub withdrawals: u64,
     /// Updates superseded inside an MRAI window before ever being sent.
     pub mrai_coalesced: u64,
+    /// Updates held back (deferred) by a closed MRAI window; a deferral that
+    /// is later superseded also counts toward `mrai_coalesced`.
+    pub mrai_deferred: u64,
     /// Messages dropped because their link failed — or their session was
     /// reset — while they were in flight.
     pub dropped_on_failed_links: u64,
@@ -65,6 +72,32 @@ impl NetworkStats {
     #[must_use]
     pub fn total_messages(&self) -> u64 {
         self.announcements + self.withdrawals
+    }
+}
+
+/// Update counters for one directed BGP session.
+///
+/// "Sent" counts messages handed to the link (before the fault model decides
+/// their fate); "received" counts messages actually delivered to the peer's
+/// decision process, so `sent - received` on a session is the traffic lost
+/// to drops, corruption, failures and stale epochs on that link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Announcements handed to the link by the sending router.
+    pub sent_announcements: u64,
+    /// Withdrawals handed to the link by the sending router.
+    pub sent_withdrawals: u64,
+    /// Announcements delivered to the receiving router.
+    pub recv_announcements: u64,
+    /// Withdrawals delivered to the receiving router.
+    pub recv_withdrawals: u64,
+}
+
+impl SessionCounters {
+    /// `true` when the session never carried a message.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == SessionCounters::default()
     }
 }
 
@@ -148,6 +181,8 @@ pub struct Network<M = NoopMonitor> {
     queue: EventQueue<NetEvent>,
     /// Per directed edge: link delay in ticks.
     delays: Vec<u64>,
+    /// Per directed edge: sent/received update counters.
+    sessions: Vec<SessionCounters>,
     monitor: M,
     stats: NetworkStats,
     /// Minimum route advertisement interval per directed session; 0 = off.
@@ -223,6 +258,7 @@ impl<M: RouteMonitor> Network<M> {
             peer_idx,
             queue: EventQueue::new(),
             delays: vec![1; edges],
+            sessions: vec![SessionCounters::default(); edges],
             monitor,
             stats: NetworkStats::default(),
             mrai: 0,
@@ -410,30 +446,26 @@ impl<M: RouteMonitor> Network<M> {
             }
             match event {
                 NetEvent::Deliver {
+                    edge,
                     from,
                     to,
                     epoch,
                     corrupt,
                     update,
                 } => {
-                    let (from, to) = (from as usize, to as usize);
+                    let (edge, from, to) = (edge as usize, from as usize, to as usize);
                     if !self.failed_links.is_empty()
                         && self.link_is_down(self.asn_index[from], self.asn_index[to])
                     {
-                        self.drop_in_flight(from, to);
+                        self.drop_in_flight(edge);
                         continue;
                     }
-                    if self.epochs_active {
-                        // A stale epoch means the session failed or reset
-                        // after this message was sent: it is lost even if
-                        // the link has since come back up.
-                        let stale = self
-                            .edge_between(from, to)
-                            .is_some_and(|e| self.epochs[e] != epoch);
-                        if stale {
-                            self.drop_in_flight(from, to);
-                            continue;
-                        }
+                    // A stale epoch means the session failed or reset after
+                    // this message was sent: it is lost even if the link has
+                    // since come back up.
+                    if self.epochs_active && self.epochs[edge] != epoch {
+                        self.drop_in_flight(edge);
+                        continue;
                     }
                     if corrupt {
                         // The receiver detects the damage and discards the
@@ -441,15 +473,20 @@ impl<M: RouteMonitor> Network<M> {
                         // RFC 4271 NOTIFICATION teardown for single bad
                         // messages — see DESIGN.md "Fault model").
                         self.stats.corrupted_dropped += 1;
-                        let edge = self.edge_between(from, to);
-                        if let (Some(e), Some(f)) = (edge, self.faults.as_deref_mut()) {
-                            f.stats[e].corrupted += 1;
+                        if let Some(f) = self.faults.as_deref_mut() {
+                            f.stats[edge].corrupted += 1;
                         }
                         continue;
                     }
                     match &update {
-                        SharedUpdate::Announce(_) => self.stats.announcements += 1,
-                        SharedUpdate::Withdraw(_) => self.stats.withdrawals += 1,
+                        SharedUpdate::Announce(_) => {
+                            self.stats.announcements += 1;
+                            self.sessions[edge].recv_announcements += 1;
+                        }
+                        SharedUpdate::Withdraw(_) => {
+                            self.stats.withdrawals += 1;
+                            self.sessions[edge].recv_withdrawals += 1;
+                        }
                     }
                     let from_asn = self.asn_index[from];
                     let updates =
@@ -621,12 +658,95 @@ impl<M: RouteMonitor> Network<M> {
             .iter()
             .enumerate()
             .filter(|(_, s)| **s != FaultStats::default())
-            .map(|(e, s)| {
-                let from = self.peer_start.partition_point(|&start| start <= e) - 1;
-                let to = self.peer_idx[e] as usize;
-                ((self.asn_index[from], self.asn_index[to]), *s)
-            })
+            .map(|(e, s)| (self.edge_endpoints(e), *s))
             .collect()
+    }
+
+    /// Per-session update counters, one entry per directed edge that carried
+    /// any traffic, keyed `(from, to)` and ascending by edge id.
+    #[must_use]
+    pub fn session_counters(&self) -> Vec<((Asn, Asn), SessionCounters)> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(e, c)| (self.edge_endpoints(e), *c))
+            .collect()
+    }
+
+    /// Lifetime counters of the underlying event queue.
+    #[must_use]
+    pub fn queue_stats(&self) -> sim_engine::QueueStats {
+        self.queue.stats()
+    }
+
+    /// Emits everything the network observed into `sink`:
+    ///
+    /// * the event-queue counters (`sim.*`, see
+    ///   [`EventQueue::export_metrics`](sim_engine::EventQueue));
+    /// * aggregate message counters under `net.messages.*`, decision-process
+    ///   invocations, and the convergence time in virtual ticks;
+    /// * an `net.adj_rib_in.size` histogram with one observation per router;
+    /// * per-session counters under `session.{from}->{to}.*` and per-link
+    ///   fault stats under `link.{from}->{to}.*` (only sessions/links with
+    ///   activity, so snapshots stay sparse).
+    ///
+    /// Every exported quantity is derived from the deterministic event
+    /// stream (counts and virtual time, never wall-clock), so snapshots are
+    /// byte-identical across runs and worker counts.
+    pub fn export_metrics<S: MetricsSink>(&self, sink: &mut S) {
+        if !S::ENABLED {
+            return;
+        }
+        self.queue.export_metrics(sink);
+        sink.counter_add("net.messages.announcements", self.stats.announcements);
+        sink.counter_add("net.messages.withdrawals", self.stats.withdrawals);
+        sink.counter_add("net.messages.mrai_coalesced", self.stats.mrai_coalesced);
+        sink.counter_add("net.messages.mrai_deferred", self.stats.mrai_deferred);
+        sink.counter_add(
+            "net.messages.dropped_in_flight",
+            self.stats.dropped_on_failed_links,
+        );
+        sink.counter_add(
+            "net.messages.corrupted_dropped",
+            self.stats.corrupted_dropped,
+        );
+        sink.gauge_set("net.converged_at_ticks", self.stats.converged_at.ticks());
+        let mut decisions = 0u64;
+        for router in &self.routers {
+            decisions += router.decision_count();
+            sink.record("net.adj_rib_in.size", router.adj_rib_in_size() as u64);
+        }
+        sink.counter_add("net.decision_process.invocations", decisions);
+        for ((a, b), c) in self.session_counters() {
+            sink.counter_add(
+                &format!("session.{a}->{b}.sent_announcements"),
+                c.sent_announcements,
+            );
+            sink.counter_add(
+                &format!("session.{a}->{b}.sent_withdrawals"),
+                c.sent_withdrawals,
+            );
+            sink.counter_add(
+                &format!("session.{a}->{b}.recv_announcements"),
+                c.recv_announcements,
+            );
+            sink.counter_add(
+                &format!("session.{a}->{b}.recv_withdrawals"),
+                c.recv_withdrawals,
+            );
+        }
+        for ((a, b), s) in self.fault_stats() {
+            sink.counter_add(&format!("link.{a}->{b}.delivered"), s.delivered);
+            sink.counter_add(&format!("link.{a}->{b}.dropped"), s.dropped);
+            sink.counter_add(&format!("link.{a}->{b}.duplicated"), s.duplicated);
+            sink.counter_add(&format!("link.{a}->{b}.reordered"), s.reordered);
+            sink.counter_add(&format!("link.{a}->{b}.corrupted"), s.corrupted);
+            sink.counter_add(
+                &format!("link.{a}->{b}.dropped_link_down"),
+                s.dropped_link_down,
+            );
+        }
     }
 
     /// All per-link fault statistics merged into one block.
@@ -738,6 +858,13 @@ impl<M: RouteMonitor> Network<M> {
         self.asn_index.binary_search(&asn).ok()
     }
 
+    /// ASN endpoints `(from, to)` of a flat directed edge id.
+    fn edge_endpoints(&self, e: usize) -> (Asn, Asn) {
+        let from = self.peer_start.partition_point(|&start| start <= e) - 1;
+        let to = self.peer_idx[e] as usize;
+        (self.asn_index[from], self.asn_index[to])
+    }
+
     /// Flat edge id of the directed session `from -> to`, if the nodes peer.
     fn edge_between(&self, from: usize, to: usize) -> Option<usize> {
         let row = &self.peer_idx[self.peer_start[from]..self.peer_start[from + 1]];
@@ -763,11 +890,10 @@ impl<M: RouteMonitor> Network<M> {
     /// Counts a message lost in flight (link down or session epoch moved
     /// on), attributing it to the per-edge fault stats when a plan is
     /// installed.
-    fn drop_in_flight(&mut self, from: usize, to: usize) {
+    fn drop_in_flight(&mut self, edge: usize) {
         self.stats.dropped_on_failed_links += 1;
-        let edge = self.edge_between(from, to);
-        if let (Some(e), Some(f)) = (edge, self.faults.as_deref_mut()) {
-            f.stats[e].dropped_link_down += 1;
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.stats[edge].dropped_link_down += 1;
         }
     }
 
@@ -804,6 +930,10 @@ impl<M: RouteMonitor> Network<M> {
     /// and applying the link's fault model (if any): the single choke point
     /// through which every delivery — direct or MRAI-flushed — passes.
     fn schedule_delivery(&mut self, edge: usize, from: u32, to: u32, update: SharedUpdate) {
+        match &update {
+            SharedUpdate::Announce(_) => self.sessions[edge].sent_announcements += 1,
+            SharedUpdate::Withdraw(_) => self.sessions[edge].sent_withdrawals += 1,
+        }
         let epoch = self.epochs[edge];
         let mut delay = self.delays[edge];
         let mut corrupt = false;
@@ -832,6 +962,7 @@ impl<M: RouteMonitor> Network<M> {
             self.queue.schedule_after(
                 delay,
                 NetEvent::Deliver {
+                    edge: edge as u32,
                     from,
                     to,
                     epoch,
@@ -901,6 +1032,7 @@ impl<M: RouteMonitor> Network<M> {
                 self.schedule_delivery(edge, from as u32, to, update);
             } else {
                 // Window closed: coalesce, newest update per prefix wins.
+                self.stats.mrai_deferred += 1;
                 let pending = &mut self.mrai_pending[edge];
                 if pending.insert(update.prefix(), update).is_some() {
                     self.stats.mrai_coalesced += 1;
@@ -997,6 +1129,69 @@ mod tests {
             assert!(net.best_route(Asn(asn), p()).is_none(), "AS {asn}");
         }
         assert!(net.stats().withdrawals > 0);
+    }
+
+    #[test]
+    fn export_metrics_reports_sessions_decisions_and_queue() {
+        use minimetrics::RecordingSink;
+
+        let mut net = Network::new(&figure1_graph());
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+
+        let sessions = net.session_counters();
+        assert!(!sessions.is_empty());
+        let sent: u64 = sessions
+            .iter()
+            .map(|(_, c)| c.sent_announcements + c.sent_withdrawals)
+            .sum();
+        let recv: u64 = sessions
+            .iter()
+            .map(|(_, c)| c.recv_announcements + c.recv_withdrawals)
+            .sum();
+        // Nothing faulted, so everything sent was delivered.
+        assert_eq!(sent, recv);
+        assert_eq!(recv, net.stats().total_messages());
+
+        let mut sink = RecordingSink::new();
+        net.export_metrics(&mut sink);
+        let snap = sink.into_snapshot();
+        assert_eq!(
+            snap.counters["net.messages.announcements"],
+            net.stats().announcements
+        );
+        assert_eq!(snap.counters["sim.events.fired"], net.queue_stats().fired);
+        assert!(snap.counters["net.decision_process.invocations"] > 0);
+        // One Adj-RIB-In size observation per router.
+        assert_eq!(
+            snap.histograms["net.adj_rib_in.size"].count(),
+            4,
+            "figure-1 graph has four routers"
+        );
+        // AS 4 announced toward AS 2 exactly once.
+        assert_eq!(snap.counters["session.AS4->AS2.sent_announcements"], 1);
+
+        // A no-op export leaves no trace and costs nothing.
+        net.export_metrics(&mut minimetrics::NoopSink);
+    }
+
+    #[test]
+    fn mrai_deferrals_are_counted() {
+        let graph = InternetModel::new()
+            .transit_count(6)
+            .stub_count(20)
+            .build(5);
+        let victim = graph.stub_asns()[0];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let mut net = Network::with_monitor_and_jitter(&graph, NoopMonitor, 5, 4);
+        net.set_mrai(10);
+        net.originate(victim, prefix, None);
+        net.run().unwrap();
+        assert!(
+            net.stats().mrai_deferred >= net.stats().mrai_coalesced,
+            "every coalesced update was first deferred"
+        );
+        assert!(net.stats().mrai_deferred > 0);
     }
 
     #[test]

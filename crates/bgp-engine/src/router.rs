@@ -43,6 +43,8 @@ pub struct Router {
     /// Monotonic counter stamping Adj-RIB-In installations, for the
     /// oldest-route tiebreak.
     age_clock: u64,
+    /// Times the decision process ran (one per [`Router::reselect`]).
+    decisions: u64,
 }
 
 /// An Adj-RIB-In entry: the route plus its installation stamp. A peer's
@@ -66,6 +68,7 @@ impl Router {
             best: BTreeMap::new(),
             advertised: BTreeMap::new(),
             age_clock: 0,
+            decisions: 0,
         }
     }
 
@@ -114,6 +117,19 @@ impl Router {
     /// All prefixes with a best route.
     pub fn prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
         self.best.keys().copied()
+    }
+
+    /// Times the BGP decision process ran on this router.
+    #[must_use]
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Total routes currently held in the Adj-RIB-In, across all prefixes
+    /// and peers.
+    #[must_use]
+    pub fn adj_rib_in_size(&self) -> usize {
+        self.adj_in.values().map(BTreeMap::len).sum()
     }
 
     /// The Adj-RIB-In entries for a prefix, as `(peer, route)` pairs.
@@ -332,6 +348,7 @@ impl Router {
         prefix: Ipv4Prefix,
         monitor: &mut M,
     ) -> Vec<(Asn, SharedUpdate)> {
+        self.decisions += 1;
         let new_best = self.decide(prefix);
         let old_best = self.best.get(&prefix);
         if old_best == new_best.as_ref() {

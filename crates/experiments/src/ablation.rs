@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 use as_topology::{AsGraph, InternetModel};
 use bgp_engine::{ForwardingPlane, Network, ValleyFree};
 use bgp_types::{Asn, MoasList};
+use minimetrics::{MetricsSink, MetricsSnapshot, NoopSink, RecordingSink, Scoped};
 use moas_core::{
     Deployment, ListForgery, MoasConfig, MoasMonitor, RegistryVerifier, SubPrefixHijack,
     UnresolvedPolicy,
@@ -12,7 +13,7 @@ use moas_core::{
 
 use crate::json;
 use crate::stats::mean;
-use crate::trial::{run_trial, TrialConfig};
+use crate::trial::{run_trial, run_trial_metrics, TrialConfig};
 
 /// Outcome of the sub-prefix hijack ablation on one topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -301,42 +302,86 @@ pub fn stripping_ablation_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<StrippingPoint> {
-    let stubs = graph.stub_asns();
-    let asns: Vec<Asn> = graph.asns().collect();
-
     // Cell i: fraction index fx = i / runs, run = i % runs.
     let cells = minipool::map_indexed(jobs, fractions.len() * runs, |i| {
-        let (fx, run) = (i / runs, i % runs);
-        let fraction = fractions[fx];
-        let run_seed = sim_engine::rng::derive_seed(seed, (fx * 1000 + run) as u64);
-        let mut rng = sim_engine::rng::from_seed(run_seed);
-        // Two origins so valid announcements carry a meaningful list.
-        let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
-        let candidates: Vec<Asn> = asns
-            .iter()
-            .copied()
-            .filter(|a| !origins.contains(a))
-            .collect();
-        let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
-        let stripper_count = ((asns.len() as f64) * fraction).round() as usize;
-        let strippers: BTreeSet<Asn> =
-            sim_engine::rng::sample_distinct(&mut rng, &candidates, stripper_count)
-                .into_iter()
-                .collect();
-
-        let trial = TrialConfig {
-            strippers,
-            seed: run_seed,
-            ..TrialConfig::new(origins, attackers, Deployment::Full)
-        };
-        let outcome = run_trial(graph, &trial);
-        (
-            100.0 * outcome.adoption_fraction(),
-            outcome.false_alarms as f64,
-            outcome.confirmed_alarms as f64,
-        )
+        stripping_cell(graph, fractions, runs, seed, i, &mut NoopSink)
     });
+    aggregate_stripping(fractions, runs, &cells)
+}
 
+/// [`stripping_ablation_jobs`] plus a merged metrics snapshot of every run
+/// (network metrics under the `stripping.` prefix), merged in cell order so
+/// the snapshot is bit-identical for every `jobs` value.
+#[must_use]
+pub fn stripping_ablation_metrics_jobs(
+    graph: &AsGraph,
+    fractions: &[f64],
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> (Vec<StrippingPoint>, MetricsSnapshot) {
+    let results = minipool::map_indexed(jobs, fractions.len() * runs, |i| {
+        let mut sink = RecordingSink::new();
+        let cell = stripping_cell(graph, fractions, runs, seed, i, &mut sink);
+        (cell, sink.into_snapshot())
+    });
+    let cells: Vec<(f64, f64, f64)> = results.iter().map(|(c, _)| *c).collect();
+    let mut snapshot = MetricsSnapshot::new();
+    for (_, cell_snapshot) in &results {
+        snapshot.merge(cell_snapshot);
+    }
+    (aggregate_stripping(fractions, runs, &cells), snapshot)
+}
+
+/// One `(fraction, run)` cell of the stripping ablation.
+fn stripping_cell<S: MetricsSink>(
+    graph: &AsGraph,
+    fractions: &[f64],
+    runs: usize,
+    seed: u64,
+    i: usize,
+    sink: &mut S,
+) -> (f64, f64, f64) {
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let (fx, run) = (i / runs, i % runs);
+    let fraction = fractions[fx];
+    let run_seed = sim_engine::rng::derive_seed(seed, (fx * 1000 + run) as u64);
+    let mut rng = sim_engine::rng::from_seed(run_seed);
+    // Two origins so valid announcements carry a meaningful list.
+    let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+    let candidates: Vec<Asn> = asns
+        .iter()
+        .copied()
+        .filter(|a| !origins.contains(a))
+        .collect();
+    let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
+    let stripper_count = ((asns.len() as f64) * fraction).round() as usize;
+    let strippers: BTreeSet<Asn> =
+        sim_engine::rng::sample_distinct(&mut rng, &candidates, stripper_count)
+            .into_iter()
+            .collect();
+
+    let trial = TrialConfig {
+        strippers,
+        seed: run_seed,
+        ..TrialConfig::new(origins, attackers, Deployment::Full)
+    };
+    let outcome = run_trial_metrics(graph, &trial, &mut Scoped::new(sink, "stripping"))
+        .expect("experiment networks always converge");
+    (
+        100.0 * outcome.adoption_fraction(),
+        outcome.false_alarms as f64,
+        outcome.confirmed_alarms as f64,
+    )
+}
+
+/// Folds stripping cells into per-fraction points, in cell order.
+fn aggregate_stripping(
+    fractions: &[f64],
+    runs: usize,
+    cells: &[(f64, f64, f64)],
+) -> Vec<StrippingPoint> {
     let mut out = Vec::with_capacity(fractions.len());
     for (fx, &fraction) in fractions.iter().enumerate() {
         let point_cells = &cells[fx * runs..(fx + 1) * runs];
@@ -395,31 +440,69 @@ pub fn forgery_ablation_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<ForgeryPoint> {
-    let stubs = graph.stub_asns();
-    let asns: Vec<Asn> = graph.asns().collect();
-
     // Cell i: strategy index i / runs, run = i % runs. The run seed depends
     // only on the run, so every strategy faces the same parties.
     let cells = minipool::map_indexed(jobs, FORGERIES.len() * runs, |i| {
-        let (forgery, run) = (FORGERIES[i / runs], i % runs);
-        let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
-        let mut rng = sim_engine::rng::from_seed(run_seed);
-        let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
-        let candidates: Vec<Asn> = asns
-            .iter()
-            .copied()
-            .filter(|a| !origins.contains(a))
-            .collect();
-        let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
-        let trial = TrialConfig {
-            forgery,
-            seed: run_seed,
-            ..TrialConfig::new(origins, attackers, Deployment::Full)
-        };
-        let outcome = run_trial(graph, &trial);
-        (100.0 * outcome.adoption_fraction(), outcome.alarms as f64)
+        forgery_cell(graph, runs, seed, i, &mut NoopSink)
     });
+    aggregate_forgery(runs, &cells)
+}
 
+/// [`forgery_ablation_jobs`] plus a merged metrics snapshot of every run
+/// (network metrics under the `forgery.` prefix), merged in cell order so
+/// the snapshot is bit-identical for every `jobs` value.
+#[must_use]
+pub fn forgery_ablation_metrics_jobs(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> (Vec<ForgeryPoint>, MetricsSnapshot) {
+    let results = minipool::map_indexed(jobs, FORGERIES.len() * runs, |i| {
+        let mut sink = RecordingSink::new();
+        let cell = forgery_cell(graph, runs, seed, i, &mut sink);
+        (cell, sink.into_snapshot())
+    });
+    let cells: Vec<(f64, f64)> = results.iter().map(|(c, _)| *c).collect();
+    let mut snapshot = MetricsSnapshot::new();
+    for (_, cell_snapshot) in &results {
+        snapshot.merge(cell_snapshot);
+    }
+    (aggregate_forgery(runs, &cells), snapshot)
+}
+
+/// One `(strategy, run)` cell of the forgery ablation.
+fn forgery_cell<S: MetricsSink>(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    i: usize,
+    sink: &mut S,
+) -> (f64, f64) {
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let (forgery, run) = (FORGERIES[i / runs], i % runs);
+    let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+    let mut rng = sim_engine::rng::from_seed(run_seed);
+    let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+    let candidates: Vec<Asn> = asns
+        .iter()
+        .copied()
+        .filter(|a| !origins.contains(a))
+        .collect();
+    let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 3);
+    let trial = TrialConfig {
+        forgery,
+        seed: run_seed,
+        ..TrialConfig::new(origins, attackers, Deployment::Full)
+    };
+    let outcome = run_trial_metrics(graph, &trial, &mut Scoped::new(sink, "forgery"))
+        .expect("experiment networks always converge");
+    (100.0 * outcome.adoption_fraction(), outcome.alarms as f64)
+}
+
+/// Folds forgery cells into per-strategy points, in cell order.
+fn aggregate_forgery(runs: usize, cells: &[(f64, f64)]) -> Vec<ForgeryPoint> {
     FORGERIES
         .iter()
         .enumerate()

@@ -27,6 +27,7 @@ use std::str::FromStr;
 use as_topology::{AsGraph, InternetModel};
 use bgp_engine::{ConvergenceError, FaultEvent, NetFaultPlan, Network};
 use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
+use minimetrics::{MetricsSink, MetricsSnapshot, NoopSink, RecordingSink, Scoped};
 use moas_core::{
     Deployment, FalseOriginAttack, ListForgery, MoasConfig, MoasMonitor, RegistryVerifier,
     Resolution, UnresolvedPolicy,
@@ -334,13 +335,56 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
 /// converge does not.
 #[must_use]
 pub fn run_chaos_jobs(config: &ChaosConfig, jobs: usize) -> ChaosReport {
-    let graph = InternetModel::new()
+    let graph = chaos_graph(config);
+    let plans = plan_casts(&graph, config);
+
+    // Phase 2: run, index-addressed. The no-op sink compiles the
+    // instrumentation away.
+    let results: Vec<TrialResult> = minipool::map_indexed(jobs, plans.len(), |i| {
+        run_one(&graph, config, &plans[i], &mut NoopSink)
+    });
+
+    aggregate(config, &results)
+}
+
+/// [`run_chaos_jobs`] with observability: each trial records its churn- and
+/// attack-run network metrics (key prefixes `churn.` / `attack.`) plus
+/// trial-level counters and histograms under `chaos.*` into a per-trial
+/// [`RecordingSink`]; the per-trial snapshots are merged **in plan order**
+/// after all trials finish, so the report and the snapshot are both
+/// bit-identical for every `jobs` value.
+#[must_use]
+pub fn run_chaos_metrics_jobs(config: &ChaosConfig, jobs: usize) -> (ChaosReport, MetricsSnapshot) {
+    let graph = chaos_graph(config);
+    let plans = plan_casts(&graph, config);
+
+    let results: Vec<(TrialResult, MetricsSnapshot)> =
+        minipool::map_indexed(jobs, plans.len(), |i| {
+            let mut sink = RecordingSink::new();
+            let result = run_one(&graph, config, &plans[i], &mut sink);
+            (result, sink.into_snapshot())
+        });
+
+    let trial_results: Vec<TrialResult> = results.iter().map(|(r, _)| *r).collect();
+    let mut snapshot = MetricsSnapshot::new();
+    for (_, trial_snapshot) in &results {
+        snapshot.merge(trial_snapshot);
+    }
+    (aggregate(config, &trial_results), snapshot)
+}
+
+/// The generated topology a chaos run plays out on.
+fn chaos_graph(config: &ChaosConfig) -> AsGraph {
+    InternetModel::new()
         .transit_count(config.transit_count)
         .stub_count(config.stub_count)
         .multihome_prob(0.9)
-        .build(config.seed);
+        .build(config.seed)
+}
 
-    // Phase 1: plan every trial's cast serially.
+/// Phase 1: plans every trial's cast serially (per-trial seeds derive from
+/// `(config.seed, trial index)`, so no shared RNG state is consumed).
+fn plan_casts(graph: &AsGraph, config: &ChaosConfig) -> Vec<TrialPlan> {
     let multihomed: Vec<Asn> = graph
         .stub_asns()
         .into_iter()
@@ -350,7 +394,7 @@ pub fn run_chaos_jobs(config: &ChaosConfig, jobs: usize) -> ChaosReport {
         multihomed.len() >= 2,
         "chaos topology has too few multihomed stubs"
     );
-    let plans: Vec<TrialPlan> = (0..config.trials)
+    (0..config.trials)
         .map(|t| {
             let seed = sim_engine::rng::derive_seed(config.seed, t as u64);
             let mut rng = sim_engine::rng::from_seed(seed);
@@ -373,13 +417,11 @@ pub fn run_chaos_jobs(config: &ChaosConfig, jobs: usize) -> ChaosReport {
                 seed,
             }
         })
-        .collect();
+        .collect()
+}
 
-    // Phase 2: run, index-addressed.
-    let results: Vec<TrialResult> =
-        minipool::map_indexed(jobs, plans.len(), |i| run_one(&graph, config, &plans[i]));
-
-    // Phase 3: aggregate in planning order.
+/// Phase 3: aggregates trial results **in planning order** into a report.
+fn aggregate(config: &ChaosConfig, results: &[TrialResult]) -> ChaosReport {
     let noisy = results.iter().filter(|r| r.churn_alarms > 0).count();
     let false_alarms: Vec<f64> = results.iter().map(|r| r.churn_alarms as f64).collect();
     let attack_trials = if config.scenario == ChaosScenario::FlapStorm {
@@ -586,7 +628,16 @@ fn core_links(graph: &AsGraph) -> Vec<(Asn, Asn)> {
         .collect()
 }
 
-fn run_one(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> TrialResult {
+/// Runs one chaos trial. Network metrics of the churn-only run land in
+/// `sink` under the `churn.` prefix, those of the churn+attack run under
+/// `attack.`; trial-level verdicts (alarm counts, detection latency,
+/// oscillation) under `chaos.*`. With [`NoopSink`] every export is skipped.
+fn run_one<S: MetricsSink>(
+    graph: &AsGraph,
+    config: &ChaosConfig,
+    cast: &TrialPlan,
+    sink: &mut S,
+) -> TrialResult {
     let prefix: Ipv4Prefix = crate::VICTIM_PREFIX
         .parse()
         .expect("victim prefix constant");
@@ -607,6 +658,20 @@ fn run_one(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> TrialResu
     };
     let faults = churn_net.fault_stats_total();
     let churn_alarms = churn_net.monitor().alarms().len() as u64;
+    if S::ENABLED {
+        churn_net.export_metrics(&mut Scoped::new(sink, "churn"));
+        sink.counter_add("chaos.trials", 1);
+        sink.counter_add("chaos.churn_alarms", churn_alarms);
+        if oscillated {
+            sink.counter_add("chaos.oscillating_trials", 1);
+            sink.record("chaos.cycle_len", cycle_len);
+        } else {
+            sink.record(
+                "chaos.convergence_ticks.churn",
+                churn_net.stats().converged_at.ticks(),
+            );
+        }
+    }
 
     // Churn + attack run: measure detection of a forged origin injected
     // mid-churn (skipped for the non-converging storm).
@@ -633,7 +698,7 @@ fn run_one(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> TrialResu
             attack_err.is_none(),
             "attack run must converge: {attack_err:?}"
         );
-        attack_net
+        let latency = attack_net
             .monitor()
             .alarms()
             .iter()
@@ -641,7 +706,19 @@ fn run_one(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> TrialResu
             .map(|a| a.at.ticks())
             .filter(|&at| at >= T_ATTACK)
             .min()
-            .map(|at| at - T_ATTACK)
+            .map(|at| at - T_ATTACK);
+        if S::ENABLED {
+            attack_net.export_metrics(&mut Scoped::new(sink, "attack"));
+            sink.record(
+                "chaos.convergence_ticks.attack",
+                attack_net.stats().converged_at.ticks(),
+            );
+            match latency {
+                Some(l) => sink.record("chaos.detection_latency_ticks", l),
+                None => sink.counter_add("chaos.missed_detections", 1),
+            }
+        }
+        latency
     };
 
     TrialResult {

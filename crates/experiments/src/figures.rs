@@ -1,9 +1,10 @@
 //! The paper's three experiments, one function per figure.
 
 use as_topology::paper::PaperTopology;
+use minimetrics::MetricsSnapshot;
 
 use crate::report::{FigureReport, SeriesReport};
-use crate::sweep::{run_sweep_jobs, SweepConfig};
+use crate::sweep::{run_sweep_metrics_jobs, SweepConfig};
 
 /// Experiment 1 (Figure 9): effectiveness of the MOAS list on the 46-AS
 /// topology, comparing Normal BGP against Full MOAS Detection, with
@@ -19,11 +20,23 @@ pub fn experiment1(origin_count: usize, base: &SweepConfig) -> FigureReport {
 }
 
 /// [`experiment1`] with each sweep's trials fanned across up to `jobs`
-/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`]).
+/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`](crate::run_sweep_jobs)).
 #[must_use]
 pub fn experiment1_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) -> FigureReport {
+    experiment1_metrics_jobs(origin_count, base, jobs).0
+}
+
+/// [`experiment1_jobs`] plus the merged metrics snapshot of both sweeps
+/// (Normal BGP first, Full MOAS Detection second — merge order is the
+/// series order, so the snapshot is identical for every `jobs` value).
+#[must_use]
+pub fn experiment1_metrics_jobs(
+    origin_count: usize,
+    base: &SweepConfig,
+    jobs: usize,
+) -> (FigureReport, MetricsSnapshot) {
     let graph = PaperTopology::As46.graph();
-    let normal = run_sweep_jobs(
+    let (normal, normal_metrics) = run_sweep_metrics_jobs(
         graph,
         &base
             .clone()
@@ -31,7 +44,7 @@ pub fn experiment1_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) ->
             .deployment_fraction(0.0),
         jobs,
     );
-    let full = run_sweep_jobs(
+    let (full, full_metrics) = run_sweep_metrics_jobs(
         graph,
         &base
             .clone()
@@ -39,7 +52,9 @@ pub fn experiment1_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) ->
             .deployment_fraction(1.0),
         jobs,
     );
-    FigureReport::new(
+    let mut metrics = normal_metrics;
+    metrics.merge(&full_metrics);
+    let report = FigureReport::new(
         format!("fig9{}", if origin_count == 1 { "a" } else { "b" }),
         format!(
             "Spoof-resilience of the MOAS scheme in the 46-AS topology ({origin_count} origin AS{})",
@@ -55,7 +70,8 @@ pub fn experiment1_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) ->
                 points: full,
             },
         ],
-    )
+    );
+    (report, metrics)
 }
 
 /// Experiment 2 (Figure 10): topology-size comparison — 25, 46 and 63 AS
@@ -66,13 +82,26 @@ pub fn experiment2(origin_count: usize, base: &SweepConfig) -> FigureReport {
 }
 
 /// [`experiment2`] with each sweep's trials fanned across up to `jobs`
-/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`]).
+/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`](crate::run_sweep_jobs)).
 #[must_use]
 pub fn experiment2_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) -> FigureReport {
+    experiment2_metrics_jobs(origin_count, base, jobs).0
+}
+
+/// [`experiment2_jobs`] plus the merged metrics snapshot of all six sweeps
+/// (merged in series order, so the snapshot is identical for every `jobs`
+/// value).
+#[must_use]
+pub fn experiment2_metrics_jobs(
+    origin_count: usize,
+    base: &SweepConfig,
+    jobs: usize,
+) -> (FigureReport, MetricsSnapshot) {
     let mut series = Vec::new();
+    let mut metrics = MetricsSnapshot::new();
     for deployment in [0.0, 1.0] {
         for topology in PaperTopology::ALL {
-            let points = run_sweep_jobs(
+            let (points, sweep_metrics) = run_sweep_metrics_jobs(
                 topology.graph(),
                 &base
                     .clone()
@@ -80,6 +109,7 @@ pub fn experiment2_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) ->
                     .deployment_fraction(deployment),
                 jobs,
             );
+            metrics.merge(&sweep_metrics);
             let mode = if deployment == 0.0 {
                 "Normal BGP"
             } else {
@@ -91,14 +121,15 @@ pub fn experiment2_jobs(origin_count: usize, base: &SweepConfig, jobs: usize) ->
             });
         }
     }
-    FigureReport::new(
+    let report = FigureReport::new(
         format!("fig10{}", if origin_count == 1 { "a" } else { "b" }),
         format!(
             "Comparison between 25-AS, 46-AS and 63-AS topologies ({origin_count} origin AS{})",
             if origin_count == 1 { "" } else { "es" }
         ),
         series,
-    )
+    );
+    (report, metrics)
 }
 
 /// Experiment 3 (Figure 11): partial deployment — none / half / full MOAS
@@ -110,26 +141,43 @@ pub fn experiment3(topology: PaperTopology, base: &SweepConfig) -> FigureReport 
 }
 
 /// [`experiment3`] with each sweep's trials fanned across up to `jobs`
-/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`]).
+/// worker threads (same figure, byte for byte — see [`run_sweep_jobs`](crate::run_sweep_jobs)).
 #[must_use]
 pub fn experiment3_jobs(topology: PaperTopology, base: &SweepConfig, jobs: usize) -> FigureReport {
+    experiment3_metrics_jobs(topology, base, jobs).0
+}
+
+/// [`experiment3_jobs`] plus the merged metrics snapshot of its three sweeps
+/// (merged in series order — none, half, full deployment — so the snapshot
+/// is identical for every `jobs` value).
+#[must_use]
+pub fn experiment3_metrics_jobs(
+    topology: PaperTopology,
+    base: &SweepConfig,
+    jobs: usize,
+) -> (FigureReport, MetricsSnapshot) {
     let graph = topology.graph();
     let mut series = Vec::new();
+    let mut metrics = MetricsSnapshot::new();
     for (fraction, label) in [
         (0.0, "Normal BGP"),
         (0.5, "Half MOAS Detection"),
         (1.0, "Full MOAS Detection"),
     ] {
+        let (points, sweep_metrics) =
+            run_sweep_metrics_jobs(graph, &base.clone().deployment_fraction(fraction), jobs);
+        metrics.merge(&sweep_metrics);
         series.push(SeriesReport {
             label: label.into(),
-            points: run_sweep_jobs(graph, &base.clone().deployment_fraction(fraction), jobs),
+            points,
         });
     }
-    FigureReport::new(
+    let report = FigureReport::new(
         format!("fig11-{}", topology.size()),
         format!("Partial vs complete deployment of MOAS detection ({topology} topology)"),
         series,
-    )
+    );
+    (report, metrics)
 }
 
 #[cfg(test)]

@@ -20,6 +20,15 @@
 //! into index-addressed slots, and *aggregated* in planning order — the
 //! output is bit-identical to the serial path for every `jobs` value.
 //!
+//! The main drivers additionally have `_metrics_jobs` variants
+//! ([`run_sweep_metrics_jobs`], [`experiment1_metrics_jobs`],
+//! [`run_chaos_metrics_jobs`], ...) that return a merged
+//! [`minimetrics::MetricsSnapshot`] alongside the report: each trial records
+//! into its own sink and the per-trial snapshots merge in plan order, so the
+//! snapshot — like the report — is bit-identical for every `jobs` value.
+//! Snapshots serialize through [`json`] (see the [`metrics`] module docs
+//! for the shape) and render via [`render_metrics_summary`].
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +52,7 @@ mod ablation;
 mod chaos;
 mod figures;
 pub mod json;
+pub mod metrics;
 mod overhead;
 mod report;
 mod stats;
@@ -50,25 +60,29 @@ mod sweep;
 mod trial;
 
 pub use ablation::{
-    forgery_ablation, forgery_ablation_jobs, stripping_ablation, stripping_ablation_jobs,
-    subprefix_ablation, subprefix_ablation_jobs, unresolved_policy_ablation,
-    unresolved_policy_ablation_jobs, valley_free_ablation, valley_free_ablation_jobs, ForgeryPoint,
-    StrippingPoint, SubPrefixAblation, ValleyFreePoint,
+    forgery_ablation, forgery_ablation_jobs, forgery_ablation_metrics_jobs, stripping_ablation,
+    stripping_ablation_jobs, stripping_ablation_metrics_jobs, subprefix_ablation,
+    subprefix_ablation_jobs, unresolved_policy_ablation, unresolved_policy_ablation_jobs,
+    valley_free_ablation, valley_free_ablation_jobs, ForgeryPoint, StrippingPoint,
+    SubPrefixAblation, ValleyFreePoint,
 };
 pub use chaos::{
-    run_chaos, run_chaos_jobs, ChaosConfig, ChaosReport, ChaosScenario, UnknownScenario,
+    run_chaos, run_chaos_jobs, run_chaos_metrics_jobs, ChaosConfig, ChaosReport, ChaosScenario,
+    UnknownScenario,
 };
 pub use figures::{
-    experiment1, experiment1_jobs, experiment2, experiment2_jobs, experiment3, experiment3_jobs,
+    experiment1, experiment1_jobs, experiment1_metrics_jobs, experiment2, experiment2_jobs,
+    experiment2_metrics_jobs, experiment3, experiment3_jobs, experiment3_metrics_jobs,
 };
+pub use metrics::{overhead_metrics, render_metrics_summary};
 pub use overhead::{
     measure_moas_list_overhead, measure_moas_list_overhead_jobs, moas_list_overhead,
     OverheadReport, WireModel, MRT_FRAMING_BYTES,
 };
 pub use report::{FigureReport, SeriesReport};
 pub use stats::{mean, stddev};
-pub use sweep::{run_sweep, run_sweep_jobs, SweepConfig, SweepPoint};
-pub use trial::{run_trial, run_trial_checked, TrialConfig, TrialOutcome};
+pub use sweep::{run_sweep, run_sweep_jobs, run_sweep_metrics_jobs, SweepConfig, SweepPoint};
+pub use trial::{run_trial, run_trial_checked, run_trial_metrics, TrialConfig, TrialOutcome};
 
 /// The prefix under attack in every experiment (Figure 1's example prefix).
 pub const VICTIM_PREFIX: &str = "208.8.0.0/16";

@@ -6,9 +6,11 @@ use as_topology::AsGraph;
 use bgp_types::Asn;
 use moas_core::{Deployment, ListForgery, UnresolvedPolicy};
 
+use minimetrics::{MetricsSnapshot, RecordingSink};
+
 use crate::json::{self, FromJson, Json, JsonError, ToJson};
 use crate::stats::{mean, stddev};
-use crate::trial::{run_trial, TrialConfig, TrialOutcome};
+use crate::trial::{run_trial, run_trial_metrics, TrialConfig, TrialOutcome};
 
 /// Configuration of one sweep (one curve of a figure).
 #[derive(Debug, Clone)]
@@ -184,6 +186,52 @@ pub fn run_sweep(graph: &AsGraph, config: &SweepConfig) -> Vec<SweepPoint> {
 ///    sum sees its terms in the same sequence as the serial path.
 #[must_use]
 pub fn run_sweep_jobs(graph: &AsGraph, config: &SweepConfig, jobs: usize) -> Vec<SweepPoint> {
+    // Phase 1: plan every trial.
+    let trials = plan_trials(graph, config);
+
+    // Phase 2: run the trials, index-addressed.
+    let outcomes: Vec<TrialOutcome> =
+        minipool::map_indexed(jobs, trials.len(), |i| run_trial(graph, &trials[i]));
+
+    // Phase 3: aggregate per fraction in planning order.
+    aggregate_points(graph.len(), config, &outcomes)
+}
+
+/// [`run_sweep_jobs`] with observability: every trial additionally records
+/// its network metrics into a per-trial [`RecordingSink`], and the per-trial
+/// snapshots are merged **in plan order** after all trials finish — so both
+/// the points and the returned [`MetricsSnapshot`] are bit-identical for
+/// every `jobs` value.
+#[must_use]
+pub fn run_sweep_metrics_jobs(
+    graph: &AsGraph,
+    config: &SweepConfig,
+    jobs: usize,
+) -> (Vec<SweepPoint>, MetricsSnapshot) {
+    let trials = plan_trials(graph, config);
+
+    let results: Vec<(TrialOutcome, MetricsSnapshot)> =
+        minipool::map_indexed(jobs, trials.len(), |i| {
+            let mut sink = RecordingSink::new();
+            let outcome = run_trial_metrics(graph, &trials[i], &mut sink)
+                .expect("experiment networks always converge");
+            (outcome, sink.into_snapshot())
+        });
+
+    let outcomes: Vec<TrialOutcome> = results.iter().map(|(o, _)| *o).collect();
+    let mut snapshot = MetricsSnapshot::new();
+    for (_, trial_snapshot) in &results {
+        snapshot.merge(trial_snapshot);
+    }
+    (aggregate_points(graph.len(), config, &outcomes), snapshot)
+}
+
+/// Phase 1 of a sweep: draws every trial's origins, attackers, deployment
+/// and seed sequentially, in exactly the order the historical
+/// single-threaded loop drew them. Each draw seeds its own RNG from
+/// `config.seed` and the trial's `(fraction, origin set, attacker set)`
+/// coordinates, so planning consumes no shared RNG state.
+fn plan_trials(graph: &AsGraph, config: &SweepConfig) -> Vec<TrialConfig> {
     let stubs = graph.stub_asns();
     let n = graph.len();
     assert!(
@@ -194,8 +242,6 @@ pub fn run_sweep_jobs(graph: &AsGraph, config: &SweepConfig, jobs: usize) -> Vec
 
     let asns: Vec<Asn> = graph.asns().collect();
     let runs_per_point = config.runs_per_point();
-
-    // Phase 1: plan every trial.
     let mut trials: Vec<TrialConfig> =
         Vec::with_capacity(config.attacker_fractions.len() * runs_per_point);
     // One candidate buffer for the whole sweep, refilled per origin set.
@@ -233,12 +279,13 @@ pub fn run_sweep_jobs(graph: &AsGraph, config: &SweepConfig, jobs: usize) -> Vec
             }
         }
     }
+    trials
+}
 
-    // Phase 2: run the trials, index-addressed.
-    let outcomes: Vec<TrialOutcome> =
-        minipool::map_indexed(jobs, trials.len(), |i| run_trial(graph, &trials[i]));
-
-    // Phase 3: aggregate per fraction in planning order.
+/// Phase 3 of a sweep: folds index-addressed outcomes into one point per
+/// fraction, every floating-point sum seeing its terms in plan order.
+fn aggregate_points(n: usize, config: &SweepConfig, outcomes: &[TrialOutcome]) -> Vec<SweepPoint> {
+    let runs_per_point = config.runs_per_point();
     let mut points = Vec::with_capacity(config.attacker_fractions.len());
     for (fx, &fraction) in config.attacker_fractions.iter().enumerate() {
         let attacker_count = ((n as f64) * fraction).round().max(1.0) as usize;
@@ -326,6 +373,23 @@ mod tests {
         for jobs in [1, 2, 4] {
             assert_eq!(run_sweep_jobs(graph, &config, jobs), serial, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn metrics_sweep_matches_plain_and_is_jobs_invariant() {
+        let graph = PaperTopology::As25.graph();
+        let config = SweepConfig::quick();
+        let plain = run_sweep_jobs(graph, &config, 1);
+        let (points1, snap1) = run_sweep_metrics_jobs(graph, &config, 1);
+        let (points4, snap4) = run_sweep_metrics_jobs(graph, &config, 4);
+        assert_eq!(points1, plain, "recording sink must not change results");
+        assert_eq!(points4, plain);
+        assert_eq!(snap1, snap4, "snapshot must not depend on jobs");
+        assert_eq!(
+            snap1.counters["trial.count"],
+            (config.attacker_fractions.len() * config.runs_per_point()) as u64
+        );
+        assert!(snap1.histograms["trial.convergence_ticks.origin"].count() > 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 use as_topology::AsGraph;
 use bgp_engine::{ConvergenceError, Network};
 use bgp_types::{Asn, Ipv4Prefix, MoasList};
+use minimetrics::{MetricsSink, NoopSink};
 use moas_core::{
     Deployment, FalseOriginAttack, ListForgery, MoasConfig, MoasMonitor, OriginVerifier,
     RegistryVerifier, UnresolvedPolicy,
@@ -116,6 +117,23 @@ pub fn run_trial_checked(
     graph: &AsGraph,
     config: &TrialConfig,
 ) -> Result<TrialOutcome, ConvergenceError> {
+    run_trial_metrics(graph, config, &mut NoopSink)
+}
+
+/// [`run_trial_checked`] with observability: the trial's network metrics
+/// (see `Network::export_metrics`) plus per-phase convergence-time
+/// histograms (`trial.convergence_ticks.{origin,attack}`, in virtual ticks)
+/// are emitted into `sink`. With [`NoopSink`] this is exactly
+/// [`run_trial_checked`] — the instrumentation compiles away.
+///
+/// # Panics
+///
+/// Panics if any origin or attacker is not in `graph` (a planning bug).
+pub fn run_trial_metrics<S: MetricsSink>(
+    graph: &AsGraph,
+    config: &TrialConfig,
+    sink: &mut S,
+) -> Result<TrialOutcome, ConvergenceError> {
     let valid_list: MoasList = config.origins.iter().copied().collect();
 
     // §4.4: the verifier knows the true origin set (oracle registry, as the
@@ -141,12 +159,25 @@ pub fn run_trial_checked(
     for &origin in &config.origins {
         net.originate(origin, config.prefix, Some(valid_list.clone()));
     }
-    net.run()?;
+    let origin_converged = net.run()?;
+    if S::ENABLED {
+        sink.record("trial.convergence_ticks.origin", origin_converged.ticks());
+    }
     let attack = FalseOriginAttack::new(config.forgery);
     for &attacker in &config.attackers {
         attack.launch(&mut net, attacker, config.prefix, &valid_list);
     }
-    net.run()?;
+    let attack_converged = net.run()?;
+    if S::ENABLED {
+        sink.record(
+            "trial.convergence_ticks.attack",
+            attack_converged
+                .ticks()
+                .saturating_sub(origin_converged.ticks()),
+        );
+        net.export_metrics(sink);
+        sink.counter_add("trial.count", 1);
+    }
 
     let attacker_set: BTreeSet<Asn> = config.attackers.iter().copied().collect();
     let mut eligible = 0usize;

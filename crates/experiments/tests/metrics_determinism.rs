@@ -1,0 +1,90 @@
+//! The observability contract: a `--metrics` snapshot is part of a driver's
+//! output, so it obeys the same rule as the report — byte-identical rendered
+//! JSON for every `jobs` value — and it round-trips through the hand-rolled
+//! codec without loss.
+
+use experiments::json::{from_str, to_string_pretty};
+use experiments::{
+    run_chaos_metrics_jobs, run_sweep_jobs, run_sweep_metrics_jobs, ChaosConfig, ChaosScenario,
+    SweepConfig,
+};
+use minimetrics::MetricsSnapshot;
+
+use as_topology::paper::PaperTopology;
+
+#[test]
+fn chaos_metrics_snapshot_is_byte_identical_across_jobs() {
+    let mut config = ChaosConfig::quick(ChaosScenario::LossyCore);
+    config.trials = 4;
+    config.seed = 0xC0FFEE;
+    let (serial_report, serial_metrics) = run_chaos_metrics_jobs(&config, 1);
+    let serial_json = to_string_pretty(&serial_metrics);
+    for jobs in [2, 4] {
+        let (report, metrics) = run_chaos_metrics_jobs(&config, jobs);
+        assert_eq!(report, serial_report, "jobs={jobs} report diverged");
+        assert_eq!(
+            to_string_pretty(&metrics),
+            serial_json,
+            "jobs={jobs} snapshot bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn chaos_metrics_snapshot_contains_the_advertised_key_families() {
+    let config = ChaosConfig::quick(ChaosScenario::LossyCore);
+    let (_, metrics) = run_chaos_metrics_jobs(&config, 2);
+
+    // Sim-engine event counts, for both runs of each trial.
+    for prefix in ["churn", "attack"] {
+        for key in ["sim.events.scheduled", "sim.events.fired"] {
+            let key = format!("{prefix}.{key}");
+            assert!(metrics.counters.contains_key(&key), "missing {key}");
+            assert!(metrics.counters[&key] > 0, "{key} is zero");
+        }
+    }
+    // Per-session update counters and per-link fault stats are dynamic keys.
+    let has = |substr: &str| metrics.counters.keys().any(|k| k.contains(substr));
+    assert!(has(".session.AS"), "no per-session counters");
+    assert!(has(".sent_announcements"), "no sent counters");
+    assert!(has(".link.AS"), "no per-link fault stats");
+    assert!(has(".delivered"), "no delivered counters");
+    // Convergence-time and detection-latency histograms.
+    for key in [
+        "chaos.convergence_ticks.churn",
+        "chaos.convergence_ticks.attack",
+        "chaos.detection_latency_ticks",
+    ] {
+        assert!(metrics.histograms.contains_key(key), "missing {key}");
+        assert!(metrics.histograms[key].count() > 0, "{key} is empty");
+    }
+    assert_eq!(metrics.counters["chaos.trials"], config.trials as u64);
+}
+
+#[test]
+fn chaos_metrics_snapshot_round_trips_through_json() {
+    let config = ChaosConfig::quick(ChaosScenario::Failover);
+    let (_, metrics) = run_chaos_metrics_jobs(&config, 2);
+    assert!(!metrics.is_empty());
+    let text = to_string_pretty(&metrics);
+    let back: MetricsSnapshot = from_str(&text).unwrap();
+    assert_eq!(back, metrics);
+    // Re-rendering the decoded snapshot reproduces the bytes exactly.
+    assert_eq!(to_string_pretty(&back), text);
+}
+
+#[test]
+fn sweep_metrics_variant_reports_the_same_points_as_the_plain_path() {
+    let graph = PaperTopology::As46.graph();
+    let config = SweepConfig::quick();
+    let plain = run_sweep_jobs(graph, &config, 2);
+    let (points, metrics) = run_sweep_metrics_jobs(graph, &config, 2);
+    assert_eq!(points, plain, "recording must not perturb the figure");
+    // Every planned trial contributed a snapshot.
+    let trials: usize = config.attacker_fractions.len() * config.runs_per_point();
+    assert_eq!(metrics.counters["trial.count"], trials as u64);
+    assert_eq!(
+        metrics.histograms["trial.convergence_ticks.origin"].count(),
+        trials as u64
+    );
+}

@@ -34,5 +34,5 @@ pub mod rng;
 mod time;
 
 pub use fault::{FaultAction, FaultPlan, FaultStats, LinkFaultModel, TimelineEntry};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use time::SimTime;

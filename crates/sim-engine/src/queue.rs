@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use minimetrics::MetricsSink;
+
 use crate::SimTime;
 
 /// A discrete-event priority queue with deterministic tie-breaking.
@@ -33,6 +35,25 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     processed: u64,
+    cancelled: u64,
+    depth_high_water: u64,
+}
+
+/// Lifetime counters of an [`EventQueue`], for observability.
+///
+/// Every quantity is cumulative over the queue's lifetime and derived purely
+/// from the deterministic event stream, so two runs with the same seed report
+/// identical stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled (including ones later cancelled).
+    pub scheduled: u64,
+    /// Events popped and delivered to the simulation.
+    pub fired: u64,
+    /// Events discarded by [`EventQueue::clear`] without firing.
+    pub cancelled: u64,
+    /// Largest number of events that were ever pending at once.
+    pub depth_high_water: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -72,6 +93,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             processed: 0,
+            cancelled: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -85,6 +108,34 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Lifetime scheduling counters (scheduled / fired / cancelled /
+    /// depth high-water mark).
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.next_seq,
+            fired: self.processed,
+            cancelled: self.cancelled,
+            depth_high_water: self.depth_high_water,
+        }
+    }
+
+    /// Emits the queue's counters into `sink` under the `sim.` key prefix:
+    /// `sim.events.{scheduled,fired,cancelled}`,
+    /// `sim.queue.depth_high_water`, and the final virtual clock as
+    /// `sim.time.final_ticks`.
+    pub fn export_metrics<S: MetricsSink>(&self, sink: &mut S) {
+        if !S::ENABLED {
+            return;
+        }
+        let stats = self.stats();
+        sink.counter_add("sim.events.scheduled", stats.scheduled);
+        sink.counter_add("sim.events.fired", stats.fired);
+        sink.counter_add("sim.events.cancelled", stats.cancelled);
+        sink.gauge_set("sim.queue.depth_high_water", stats.depth_high_water);
+        sink.gauge_set("sim.time.final_ticks", self.now.ticks());
     }
 
     /// Number of pending events.
@@ -114,6 +165,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.depth_high_water = self.depth_high_water.max(self.heap.len() as u64);
     }
 
     /// Schedules `event` `delay` ticks after the current time.
@@ -136,8 +188,10 @@ impl<E> EventQueue<E> {
         Some((entry.time, entry.event))
     }
 
-    /// Discards all pending events without advancing the clock.
+    /// Discards all pending events without advancing the clock. The
+    /// discarded events count as cancelled in [`EventQueue::stats`].
     pub fn clear(&mut self) {
+        self.cancelled += self.heap.len() as u64;
         self.heap.clear();
     }
 }
@@ -217,6 +271,43 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stats_track_scheduled_fired_cancelled_and_high_water() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(1), ());
+        q.schedule(SimTime::from_ticks(2), ());
+        q.schedule(SimTime::from_ticks(3), ());
+        q.pop();
+        q.clear(); // discards the remaining two
+        q.schedule_after(1, ());
+        let stats = q.stats();
+        assert_eq!(stats.scheduled, 4);
+        assert_eq!(stats.fired, 1);
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(stats.depth_high_water, 3);
+    }
+
+    #[test]
+    fn export_metrics_emits_sim_keys() {
+        use minimetrics::RecordingSink;
+
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(5), ());
+        q.pop();
+        let mut sink = RecordingSink::new();
+        q.export_metrics(&mut sink);
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["sim.events.scheduled"], 1);
+        assert_eq!(snap.counters["sim.events.fired"], 1);
+        assert_eq!(snap.counters["sim.events.cancelled"], 0);
+        assert_eq!(snap.gauges["sim.queue.depth_high_water"], 1);
+        assert_eq!(snap.gauges["sim.time.final_ticks"], 5);
+
+        // The no-op path is a pure early-return (NoopSink::ENABLED is false).
+        let mut noop = minimetrics::NoopSink;
+        q.export_metrics(&mut noop);
     }
 
     #[test]

@@ -21,15 +21,18 @@ use std::process::ExitCode;
 
 use moas::detection::{Deployment, OfflineMonitor};
 use moas::experiments::{
-    experiment1_jobs, experiment2_jobs, experiment3_jobs, forgery_ablation_jobs,
-    measure_moas_list_overhead_jobs, moas_list_overhead, run_chaos_jobs, run_trial,
-    stripping_ablation_jobs, subprefix_ablation_jobs, valley_free_ablation_jobs, ChaosConfig,
-    ChaosScenario, SweepConfig, TrialConfig, WireModel,
+    experiment1_metrics_jobs, experiment2_metrics_jobs, experiment3_metrics_jobs,
+    forgery_ablation_jobs, forgery_ablation_metrics_jobs, measure_moas_list_overhead_jobs,
+    moas_list_overhead, overhead_metrics, render_metrics_summary, run_chaos_jobs,
+    run_chaos_metrics_jobs, run_trial, stripping_ablation_jobs, stripping_ablation_metrics_jobs,
+    subprefix_ablation_jobs, valley_free_ablation_jobs, ChaosConfig, ChaosScenario, SweepConfig,
+    TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
     TimelineConfig,
 };
+use moas::metrics::MetricsSnapshot;
 use moas::topology::paper::PaperTopology;
 use moas::topology::GraphMetrics;
 use moas::types::{AsPath, Asn, Ipv4Prefix, MoasList, Route, Update};
@@ -54,9 +57,14 @@ COMMANDS:
                                     Replay a fault/churn scenario (failover, origin-flap,
                                     lossy-core, session-reset, flap-storm) and report the
                                     MOAS detector's accuracy under it as JSON
+    metrics-summary FILE            Render a --metrics snapshot as a readable table
 
-    --jobs N defaults to the available hardware parallelism; results are
-    bit-identical for every N (trials fan out, aggregation order is fixed).
+    figures, ablations, overhead and chaos accept --metrics FILE: write a
+    JSON metrics snapshot (event counts, per-session update counters,
+    convergence histograms, per-link fault stats) alongside the report.
+    --jobs N defaults to the available hardware parallelism; results —
+    including --metrics snapshots — are bit-identical for every N (trials
+    fan out, aggregation order is fixed).
     export-mrt --out FILE [--days N] [--topology N] [--seed S]
                                     Simulate a network and export daily RIB snapshots
                                     (and the day's update stream) as RFC 6396 MRT
@@ -77,6 +85,7 @@ fn main() -> ExitCode {
         "ablations" => ablations(&args),
         "overhead" => overhead(&args),
         "chaos" => chaos(&args),
+        "metrics-summary" => metrics_summary(&args),
         "export-mrt" => export_mrt(&args),
         "import-mrt" => import_mrt(&args),
         "help" | "--help" | "-h" => {
@@ -104,6 +113,21 @@ fn jobs_option(args: &[String]) -> usize {
     option(args, "--jobs").unwrap_or_else(minipool::available_jobs)
 }
 
+/// Writes a `--metrics` snapshot as pretty JSON; reports failure on stderr.
+fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> bool {
+    let json = moas::experiments::json::to_string_pretty(snapshot);
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => {
+            println!("metrics snapshot written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
 fn figures(args: &[String]) -> ExitCode {
     let config = if flag(args, "--quick") {
         SweepConfig::quick()
@@ -117,14 +141,26 @@ fn figures(args: &[String]) -> ExitCode {
         config.attacker_fractions,
         if jobs == 1 { "" } else { "s" }
     );
+    let mut metrics = MetricsSnapshot::new();
     for origins in [1, 2] {
-        println!("{}", experiment1_jobs(origins, &config, jobs));
+        let (fig, m) = experiment1_metrics_jobs(origins, &config, jobs);
+        println!("{fig}");
+        metrics.merge(&m);
     }
     for origins in [1, 2] {
-        println!("{}", experiment2_jobs(origins, &config, jobs));
+        let (fig, m) = experiment2_metrics_jobs(origins, &config, jobs);
+        println!("{fig}");
+        metrics.merge(&m);
     }
     for topology in [PaperTopology::As46, PaperTopology::As63] {
-        println!("{}", experiment3_jobs(topology, &config, jobs));
+        let (fig, m) = experiment3_metrics_jobs(topology, &config, jobs);
+        println!("{fig}");
+        metrics.merge(&m);
+    }
+    if let Some(path) = option::<String>(args, "--metrics") {
+        if !write_metrics(&path, &metrics) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -232,6 +268,8 @@ fn trial(args: &[String]) -> ExitCode {
 fn ablations(args: &[String]) -> ExitCode {
     let graph = PaperTopology::As46.graph();
     let jobs = jobs_option(args);
+    let metrics_path = option::<String>(args, "--metrics");
+    let mut metrics = MetricsSnapshot::new();
 
     let sub = subprefix_ablation_jobs(graph, 10, 0xAB1, jobs);
     println!("sub-prefix hijack (full MOAS deployment):");
@@ -245,7 +283,14 @@ fn ablations(args: &[String]) -> ExitCode {
     );
 
     println!("community stripping:");
-    for p in stripping_ablation_jobs(graph, &[0.0, 0.25, 0.5], 8, 0xAB2, jobs) {
+    let stripping = if metrics_path.is_some() {
+        let (points, m) = stripping_ablation_metrics_jobs(graph, &[0.0, 0.25, 0.5], 8, 0xAB2, jobs);
+        metrics.merge(&m);
+        points
+    } else {
+        stripping_ablation_jobs(graph, &[0.0, 0.25, 0.5], 8, 0xAB2, jobs)
+    };
+    for p in stripping {
         println!(
             "  {:>3.0}% strippers: adoption {:.2}%, false alarms {:.1}, confirmed {:.1}",
             100.0 * p.stripper_fraction,
@@ -256,7 +301,14 @@ fn ablations(args: &[String]) -> ExitCode {
     }
 
     println!("\nlist forgery strategies:");
-    for p in forgery_ablation_jobs(graph, 8, 0xAB3, jobs) {
+    let forgery = if metrics_path.is_some() {
+        let (points, m) = forgery_ablation_metrics_jobs(graph, 8, 0xAB3, jobs);
+        metrics.merge(&m);
+        points
+    } else {
+        forgery_ablation_jobs(graph, 8, 0xAB3, jobs)
+    };
+    for p in forgery {
         println!(
             "  {:<24} adoption {:.2}%, alarms {:.1}",
             p.forgery, p.mean_adoption_pct, p.mean_alarms
@@ -270,6 +322,13 @@ fn ablations(args: &[String]) -> ExitCode {
             p.routing, p.normal_adoption_pct, p.moas_adoption_pct, p.mean_suppressed
         );
     }
+    if let Some(path) = metrics_path {
+        // The snapshot covers the stripping and forgery studies (the two
+        // driven through the standard trial runner).
+        if !write_metrics(&path, &metrics) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -281,7 +340,7 @@ fn chaos(args: &[String]) -> ExitCode {
     let Some(scenario) = option::<ChaosScenario>(args, "--scenario") else {
         eprintln!(
             "usage: moas-lab chaos --scenario <failover|origin-flap|lossy-core|session-reset|flap-storm> \
-             [--trials N] [--seed S] [--jobs N] [--quick] [--out FILE]"
+             [--trials N] [--seed S] [--jobs N] [--quick] [--out FILE] [--metrics FILE]"
         );
         return ExitCode::FAILURE;
     };
@@ -297,7 +356,16 @@ fn chaos(args: &[String]) -> ExitCode {
         config.seed = seed;
     }
 
-    let report = run_chaos_jobs(&config, jobs_option(args));
+    let report = match option::<String>(args, "--metrics") {
+        Some(path) => {
+            let (report, metrics) = run_chaos_metrics_jobs(&config, jobs_option(args));
+            if !write_metrics(&path, &metrics) {
+                return ExitCode::FAILURE;
+            }
+            report
+        }
+        None => run_chaos_jobs(&config, jobs_option(args)),
+    };
     let json = report.to_json();
     println!(
         "scenario {}: {} trials, seed {:#x}",
@@ -595,5 +663,34 @@ fn overhead(args: &[String]) -> ExitCode {
         "against a 100k-route 2001 table: {:.4}% added",
         100.0 * measured.added_bytes as f64 / (100_000.0 * 36.0)
     );
+    if let Some(path) = option::<String>(args, "--metrics") {
+        if !write_metrics(&path, &overhead_metrics(&measured)) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Reads a `--metrics` snapshot back and renders it as a readable table.
+fn metrics_summary(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: moas-lab metrics-summary FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot: MetricsSnapshot = match moas::experiments::json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_metrics_summary(&snapshot));
     ExitCode::SUCCESS
 }

@@ -21,7 +21,10 @@
 //! * [`measurement`] — the Figures 4-5 measurement study;
 //! * [`experiments`] — the Figures 9-11 experiment harness and ablations;
 //! * [`wire`] — BGP UPDATE and MRT codecs bridging the simulator and the
-//!   measurement pipeline through real Route Views-style bytes.
+//!   measurement pipeline through real Route Views-style bytes;
+//! * [`metrics`] — the zero-dependency observability facade the simulator
+//!   and experiment drivers record into (no-op unless a recording sink is
+//!   passed; see `experiments::metrics` for serialization).
 //!
 //! # Quickstart
 //!
@@ -100,4 +103,9 @@ pub mod experiments {
 /// RFC 4271/1997 BGP and RFC 6396 MRT wire codecs ([`bgp_wire`]).
 pub mod wire {
     pub use bgp_wire::*;
+}
+
+/// Zero-dependency metrics facade ([`minimetrics`]).
+pub mod metrics {
+    pub use minimetrics::*;
 }

@@ -1,0 +1,654 @@
+//! Minimal, std-only metrics facade for the moas workspace.
+//!
+//! The container this workspace builds in has no crates.io access, so —
+//! exactly like [`minipool`] — this crate is vendored: a deliberately tiny,
+//! dependency-free stand-in for the subset of a metrics library the
+//! simulator actually needs. It provides three instrument kinds behind one
+//! [`MetricsSink`] trait:
+//!
+//! * **monotonic counters** — [`MetricsSink::counter_add`];
+//! * **gauges** (last/representative value) — [`MetricsSink::gauge_set`];
+//! * **fixed-bucket log2 histograms** — [`MetricsSink::record`], backed by
+//!   [`Log2Histogram`].
+//!
+//! Two sinks ship with the crate:
+//!
+//! * [`NoopSink`] — every method is an empty `#[inline]` body and its
+//!   [`MetricsSink::ENABLED`] constant is `false`, so instrumented code that
+//!   is generic over the sink compiles down to nothing on the fast path
+//!   (callers gate any key-formatting work on `S::ENABLED`);
+//! * [`RecordingSink`] — accumulates everything into a [`MetricsSnapshot`]
+//!   of `BTreeMap`s, which iterates in deterministic key order.
+//!
+//! Snapshots [`merge`](MetricsSnapshot::merge) associatively (counters add,
+//! gauges keep the maximum, histograms merge bucket-wise), so per-trial
+//! snapshots collected from a worker pool can be folded **in plan order**
+//! to produce output that is bit-identical for any worker count.
+//!
+//! Serialization is deliberately out of scope: the workspace's hand-rolled
+//! JSON codec lives in `experiments::json`, and that crate implements the
+//! conversion traits for [`MetricsSnapshot`] — keeping this crate free of
+//! dependencies in both directions.
+//!
+//! # Example
+//!
+//! ```
+//! use minimetrics::{MetricsSink, RecordingSink};
+//!
+//! fn simulate<S: MetricsSink>(sink: &mut S) {
+//!     for step in 1..=10u64 {
+//!         sink.counter_add("sim.events.fired", 1);
+//!         sink.record("sim.step_ticks", step * 3);
+//!     }
+//!     sink.gauge_set("sim.queue.depth_high_water", 7);
+//! }
+//!
+//! let mut sink = RecordingSink::new();
+//! simulate(&mut sink);
+//! let snapshot = sink.into_snapshot();
+//! assert_eq!(snapshot.counters["sim.events.fired"], 10);
+//! assert_eq!(snapshot.gauges["sim.queue.depth_high_water"], 7);
+//! assert_eq!(snapshot.histograms["sim.step_ticks"].count(), 10);
+//! ```
+//!
+//! [`minipool`]: ../minipool/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Number of buckets in a [`Log2Histogram`]: bucket 0 for the value zero,
+/// then one bucket per power of two up to `2^63..=u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Destination for metric observations.
+///
+/// Instrumented code takes `&mut S` where `S: MetricsSink` and emits
+/// counters, gauges and histogram observations through it. Keys are
+/// dot-separated lowercase paths (`"net.messages.announcements"`); dynamic
+/// key components (per-session, per-link) are formatted by the caller, which
+/// should skip that work when [`MetricsSink::ENABLED`] is `false`:
+///
+/// ```
+/// use minimetrics::MetricsSink;
+///
+/// fn export<S: MetricsSink>(sink: &mut S, sessions: &[(u32, u64)]) {
+///     if !S::ENABLED {
+///         return; // don't even format the keys
+///     }
+///     for &(peer, sent) in sessions {
+///         sink.counter_add(&format!("session.{peer}.sent"), sent);
+///     }
+/// }
+///
+/// let mut sink = minimetrics::NoopSink;
+/// export(&mut sink, &[(7, 42)]); // compiles away
+/// ```
+pub trait MetricsSink {
+    /// `false` for sinks that discard everything. Callers use this to skip
+    /// key formatting and other observation-only work on the no-op path.
+    const ENABLED: bool;
+
+    /// Adds `delta` to the monotonic counter named `key`.
+    fn counter_add(&mut self, key: &str, delta: u64);
+
+    /// Sets the gauge named `key` to `value`, replacing any previous value.
+    fn gauge_set(&mut self, key: &str, value: u64);
+
+    /// Records one observation of `value` into the histogram named `key`.
+    fn record(&mut self, key: &str, value: u64);
+}
+
+/// A sink that discards every observation.
+///
+/// All methods are empty and `#[inline]`; combined with
+/// [`MetricsSink::ENABLED`] `== false` this makes instrumentation free when
+/// metrics are not requested.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn counter_add(&mut self, _key: &str, _delta: u64) {}
+
+    #[inline(always)]
+    fn gauge_set(&mut self, _key: &str, _value: u64) {}
+
+    #[inline(always)]
+    fn record(&mut self, _key: &str, _value: u64) {}
+}
+
+/// A sink that accumulates every observation into a [`MetricsSnapshot`].
+///
+/// Counters saturate instead of wrapping; gauges keep the last value set;
+/// histogram observations land in the [`Log2Histogram`] for their key.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecordingSink {
+    snapshot: MetricsSnapshot,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows the snapshot accumulated so far.
+    #[must_use]
+    pub fn snapshot(&self) -> &MetricsSnapshot {
+        &self.snapshot
+    }
+
+    /// Consumes the sink, returning the accumulated snapshot.
+    #[must_use]
+    pub fn into_snapshot(self) -> MetricsSnapshot {
+        self.snapshot
+    }
+}
+
+impl MetricsSink for RecordingSink {
+    const ENABLED: bool = true;
+
+    fn counter_add(&mut self, key: &str, delta: u64) {
+        let slot = entry_or_default(&mut self.snapshot.counters, key);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn gauge_set(&mut self, key: &str, value: u64) {
+        *entry_or_default(&mut self.snapshot.gauges, key) = value;
+    }
+
+    fn record(&mut self, key: &str, value: u64) {
+        if let Some(h) = self.snapshot.histograms.get_mut(key) {
+            h.observe(value);
+        } else {
+            let mut h = Log2Histogram::new();
+            h.observe(value);
+            self.snapshot.histograms.insert(key.to_string(), h);
+        }
+    }
+}
+
+/// Looks up `key`, inserting a default entry on first use, without
+/// allocating a `String` for keys already present.
+fn entry_or_default<'a, V: Default>(map: &'a mut BTreeMap<String, V>, key: &str) -> &'a mut V {
+    if !map.contains_key(key) {
+        map.insert(key.to_string(), V::default());
+    }
+    map.get_mut(key).expect("just inserted")
+}
+
+/// A sink adapter that prefixes every key with `"{prefix}."` before
+/// forwarding to the wrapped sink.
+///
+/// Useful for emitting the same instrumented subsystem under several labels
+/// (e.g. the churn-phase vs attack-phase network of one chaos trial). The
+/// prefix formatting is skipped entirely when the underlying sink is
+/// disabled.
+///
+/// ```
+/// use minimetrics::{MetricsSink, RecordingSink, Scoped};
+///
+/// let mut sink = RecordingSink::new();
+/// Scoped::new(&mut sink, "churn").counter_add("net.messages", 3);
+/// assert_eq!(sink.snapshot().counters["churn.net.messages"], 3);
+/// ```
+#[derive(Debug)]
+pub struct Scoped<'a, S> {
+    sink: &'a mut S,
+    prefix: &'a str,
+}
+
+impl<'a, S: MetricsSink> Scoped<'a, S> {
+    /// Wraps `sink` so every key is emitted as `"{prefix}.{key}"`.
+    pub fn new(sink: &'a mut S, prefix: &'a str) -> Self {
+        Self { sink, prefix }
+    }
+
+    fn scoped_key(&self, key: &str) -> String {
+        let mut out = String::with_capacity(self.prefix.len() + 1 + key.len());
+        out.push_str(self.prefix);
+        out.push('.');
+        out.push_str(key);
+        out
+    }
+}
+
+impl<S: MetricsSink> MetricsSink for Scoped<'_, S> {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn counter_add(&mut self, key: &str, delta: u64) {
+        if S::ENABLED {
+            self.sink.counter_add(&self.scoped_key(key), delta);
+        }
+    }
+
+    #[inline]
+    fn gauge_set(&mut self, key: &str, value: u64) {
+        if S::ENABLED {
+            self.sink.gauge_set(&self.scoped_key(key), value);
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, key: &str, value: u64) {
+        if S::ENABLED {
+            self.sink.record(&self.scoped_key(key), value);
+        }
+    }
+}
+
+/// Everything a [`RecordingSink`] observed, keyed by metric name.
+///
+/// `BTreeMap`s keep iteration (and therefore any serialization) in
+/// deterministic key order regardless of observation order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters: key → accumulated total.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges: key → last value set (after [`merge`](Self::merge), the
+    /// maximum across the merged snapshots).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms: key → bucketed distribution of observed values.
+    pub histograms: BTreeMap<String, Log2Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if no metric of any kind has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add (saturating), gauges keep the
+    /// **maximum** of the two values, histograms merge bucket-wise.
+    ///
+    /// The gauge rule makes the merge commutative and associative, so
+    /// folding per-trial snapshots in a fixed plan order yields the same
+    /// result no matter how the trials were scheduled across workers —
+    /// high-water marks stay meaningful, and determinism tests can compare
+    /// merged snapshots byte-for-byte.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (key, &delta) in &other.counters {
+            let slot = entry_or_default(&mut self.counters, key);
+            *slot = slot.saturating_add(delta);
+        }
+        for (key, &value) in &other.gauges {
+            let slot = entry_or_default(&mut self.gauges, key);
+            *slot = (*slot).max(value);
+        }
+        for (key, hist) in &other.histograms {
+            entry_or_default::<Log2Histogram>(&mut self.histograms, key).merge(hist);
+        }
+    }
+}
+
+/// A fixed-size base-2 logarithmic histogram of `u64` observations.
+///
+/// Bucket 0 counts the value `0` exactly; bucket `k` (for `1 ..= 64`)
+/// counts values in `2^(k-1) ..= 2^k - 1`, so `1` lands in bucket 1 and
+/// [`u64::MAX`] in bucket 64. Alongside the buckets the histogram tracks
+/// the observation count, a saturating sum, and the exact minimum and
+/// maximum, which survive [`merge`](Self::merge).
+///
+/// ```
+/// use minimetrics::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for v in [0, 1, 5, 5, 1024] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!((h.min(), h.max()), (Some(0), Some(1024)));
+/// assert_eq!(Log2Histogram::bucket_index(5), 3); // 4..=7
+/// assert_eq!(h.nonzero_buckets().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into: 0 for `0`, otherwise
+    /// `floor(log2(value)) + 1`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `(low, high)` value range covered by bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), (1 << k) - 1),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value, or `None` if the histogram is empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed value, or `None` if the histogram is empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the observations (0.0 when empty). Computed from
+    /// the saturating sum, so it underestimates once the sum has saturated.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket observation counts, indexed by bucket number.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(bucket index, count)` pairs for every non-empty bucket, in
+    /// ascending bucket order — the sparse form snapshots serialize.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Adds `count` prior observations whose values fell into bucket
+    /// `index`, with `sum`/`min`/`max` supplied separately — the inverse of
+    /// the sparse serialized form. No-op when `count` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    pub fn add_bucket(&mut self, index: usize, count: u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if count == 0 {
+            return;
+        }
+        self.buckets[index] += count;
+        self.count += count;
+    }
+
+    /// Restores the summary stats (`sum`, `min`, `max`) that
+    /// [`add_bucket`](Self::add_bucket) cannot reconstruct from buckets
+    /// alone. Intended for deserialization; ignored when the histogram has
+    /// no observations.
+    pub fn set_summary(&mut self, sum: u64, min: u64, max: u64) {
+        if self.count > 0 {
+            self.sum = sum;
+            self.min = min;
+            self.max = max;
+        }
+    }
+
+    /// Folds `other` into `self` bucket-wise, combining counts, saturating
+    /// sums, and exact min/max.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (slot, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        let mut h = Log2Histogram::new();
+        h.observe(0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!((h.min(), h.max()), (Some(0), Some(0)));
+    }
+
+    #[test]
+    fn max_value_lands_in_top_bucket() {
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        let mut h = Log2Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets()[64], 1);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket k covers 2^(k-1) ..= 2^k - 1: each boundary value starts a
+        // new bucket, and the value just below it closes the previous one.
+        for k in 1..=63usize {
+            let low = 1u64 << (k - 1);
+            let high = (1u64 << k) - 1;
+            assert_eq!(Log2Histogram::bucket_index(low), k, "low edge of {k}");
+            assert_eq!(Log2Histogram::bucket_index(high), k, "high edge of {k}");
+        }
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_range_inverts_bucket_index() {
+        for index in 0..HISTOGRAM_BUCKETS {
+            let (low, high) = Log2Histogram::bucket_range(index);
+            assert_eq!(Log2Histogram::bucket_index(low), index);
+            assert_eq!(Log2Histogram::bucket_index(high), index);
+        }
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Log2Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_no_extrema() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Log2Histogram::new();
+        a.observe(3);
+        a.observe(100);
+        let mut b = Log2Histogram::new();
+        b.observe(1);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 104);
+        assert_eq!((merged.min(), merged.max()), (Some(1), Some(100)));
+        // Merging an empty histogram changes nothing.
+        merged.merge(&Log2Histogram::new());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), Some(1));
+    }
+
+    #[test]
+    fn sparse_rebuild_round_trips() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 7, 7, 4096, u64::MAX] {
+            h.observe(v);
+        }
+        let mut rebuilt = Log2Histogram::new();
+        for (i, c) in h.nonzero_buckets() {
+            rebuilt.add_bucket(i, c);
+        }
+        rebuilt.set_summary(h.sum(), h.min().unwrap(), h.max().unwrap());
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn recording_sink_accumulates() {
+        let mut sink = RecordingSink::new();
+        sink.counter_add("c", 2);
+        sink.counter_add("c", 3);
+        sink.gauge_set("g", 10);
+        sink.gauge_set("g", 4); // last write wins within one sink
+        sink.record("h", 9);
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 4);
+        assert_eq!(snap.histograms["h"].count(), 1);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut sink = RecordingSink::new();
+        sink.counter_add("c", u64::MAX);
+        sink.counter_add("c", 1);
+        assert_eq!(sink.snapshot().counters["c"], u64::MAX);
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        const { assert!(!NoopSink::ENABLED) };
+        const { assert!(RecordingSink::ENABLED) };
+        let mut sink = NoopSink;
+        sink.counter_add("c", 1);
+        sink.gauge_set("g", 1);
+        sink.record("h", 1);
+    }
+
+    #[test]
+    fn scoped_prefixes_every_kind() {
+        let mut sink = RecordingSink::new();
+        {
+            let mut scoped = Scoped::new(&mut sink, "phase1");
+            scoped.counter_add("c", 1);
+            scoped.gauge_set("g", 2);
+            scoped.record("h", 3);
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["phase1.c"], 1);
+        assert_eq!(snap.gauges["phase1.g"], 2);
+        assert_eq!(snap.histograms["phase1.h"].count(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_gauges_merges_histograms() {
+        let mut a = RecordingSink::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 9);
+        a.record("h", 2);
+        let mut b = RecordingSink::new();
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 7);
+        b.gauge_set("g", 5);
+        b.record("h", 1024);
+
+        let mut merged = a.into_snapshot();
+        merged.merge(&b.into_snapshot());
+        assert_eq!(merged.counters["c"], 3);
+        assert_eq!(merged.counters["only_b"], 7);
+        assert_eq!(merged.gauges["g"], 9, "merge keeps the max gauge");
+        let h = &merged.histograms["h"];
+        assert_eq!(h.count(), 2);
+        assert_eq!((h.min(), h.max()), (Some(2), Some(1024)));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut a = RecordingSink::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 3);
+        a.record("h", 10);
+        let mut b = RecordingSink::new();
+        b.counter_add("c", 5);
+        b.gauge_set("g", 8);
+        b.record("h", 0);
+        let (a, b) = (a.into_snapshot(), b.into_snapshot());
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+}
