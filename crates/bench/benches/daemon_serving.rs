@@ -1,0 +1,194 @@
+//! Daemon serving throughput: `/validity` queries/s over the HTTP endpoint
+//! and feed-update fanout latency (apply → every connected feed client has
+//! the diff), against a ~1M-prefix synthetic table.
+//!
+//! Like `sweep_throughput` this target has a custom `main`: besides printing
+//! the numbers it writes `BENCH_daemon.json` at the repository root. `--test`
+//! (what CI's bench smoke passes) runs a reduced workload and skips the file
+//! write.
+//!
+//! The daemon, its listener threads, and the benchmarking clients all share
+//! the host's CPU allotment, so on a 1-CPU container these numbers include
+//! the scheduling cost of that contention — they are end-to-end loopback
+//! figures, not isolated server-side costs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use moas_daemon::client::{FeedClient, HttpClient, SyncOutcome};
+use moas_daemon::{Daemon, DaemonConfig, OriginTable, TableUpdate};
+
+/// Repetitions per timed configuration; the minimum is reported.
+const REPS: usize = 3;
+
+/// Queries per timed repetition.
+const QUERIES: usize = 20_000;
+
+/// Feed clients mirroring the table during the fanout measurement.
+const FEED_CLIENTS: usize = 4;
+
+/// Update rounds per fanout repetition.
+const FANOUT_ROUNDS: usize = 50;
+
+/// Dense /24s under 16.0.0.0/4 — 2^20 = 1,048,576 prefixes.
+const FULL_PREFIXES: usize = 1 << 20;
+
+/// A small xorshift so the query mix is deterministic without `rand`.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The i-th synthetic /24 under 16.0.0.0/4 and its two origins.
+fn synthetic_entry(i: usize) -> (Ipv4Prefix, Asn, Asn) {
+    let addr = (16u32 << 24) | ((i as u32) << 8);
+    let prefix = Ipv4Prefix::new(addr, 24);
+    let first = Asn(64_512 + (i as u32 % 128));
+    let second = Asn(65_000 + (i as u32 % 64));
+    (prefix, first, second)
+}
+
+/// Builds the synthetic table: `count` dense /24s, two origins each.
+fn build_table(count: usize) -> OriginTable {
+    let mut table = OriginTable::new(9);
+    for i in 0..count {
+        let (prefix, first, second) = synthetic_entry(i);
+        table.insert(prefix, [first, second].into_iter().collect());
+    }
+    table
+}
+
+/// Times `QUERIES` `/validity` lookups over one persistent HTTP connection.
+/// The mix is two-thirds hits (half valid, half invalid origin) and
+/// one-third misses outside the populated range.
+fn measure_queries(daemon: &Daemon, queries: usize, table_size: usize) -> f64 {
+    let mut http = HttpClient::connect(daemon.http_addr()).expect("connect to daemon");
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let mut path = String::with_capacity(64);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        rng.0 = 0x9E37_79B9_7F4A_7C15;
+        let start = Instant::now();
+        for _ in 0..queries {
+            let roll = rng.next();
+            let i = (roll as usize >> 8) % table_size;
+            let (prefix, valid_origin, _) = synthetic_entry(i);
+            let (prefix, asn) = match roll % 3 {
+                0 => (prefix, valid_origin),
+                1 => (prefix, Asn(64_000)),
+                _ => (Ipv4Prefix::new(198u32 << 24, 24), Asn(64_000)),
+            };
+            path.clear();
+            write!(path, "/validity?prefix={prefix}&asn={}", asn.0)
+                .expect("write to String cannot fail");
+            let (status, body) = http.get(&path).expect("query the daemon");
+            assert_eq!(status, 200, "query failed: {body}");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    queries as f64 / best
+}
+
+/// Times fanout: one `apply` on the daemon until every connected feed client
+/// has synced the diff. Returns the mean per-round latency in seconds,
+/// fastest repetition of `REPS`.
+fn measure_fanout(daemon: &Daemon, clients: usize, rounds: usize) -> f64 {
+    let mut feeds: Vec<FeedClient> = (0..clients)
+        .map(|_| FeedClient::connect(daemon.feed_addr()).expect("connect feed client"))
+        .collect();
+    for feed in &mut feeds {
+        feed.reset_sync().expect("initial full sync");
+    }
+    // The churn prefix sits outside the populated range so the table ends
+    // each repetition exactly as it started.
+    let churn = Ipv4Prefix::new(100u32 << 24, 24);
+    let churn_asn = Asn(64_999);
+    let mut announced = false;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let update = if announced {
+                TableUpdate::withdraw(churn, churn_asn)
+            } else {
+                TableUpdate::announce(churn, churn_asn)
+            };
+            announced = !announced;
+            daemon.apply(&[update]);
+            for feed in &mut feeds {
+                let notified = feed.wait_notify().expect("serial notify");
+                assert!(notified > 0, "notify carried serial 0");
+                match feed.serial_sync().expect("diff sync") {
+                    SyncOutcome::Diff {
+                        announced,
+                        withdrawn,
+                        ..
+                    } => assert_eq!(announced + withdrawn, 1, "diff must carry the one change"),
+                    SyncOutcome::CacheReset => panic!("in-window diff answered with cache reset"),
+                }
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    // Rounds may have left the churn prefix announced; withdraw it so the
+    // table ends exactly as it started.
+    if announced {
+        daemon.apply(&[TableUpdate::withdraw(churn, churn_asn)]);
+    }
+    best / rounds as f64
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (prefixes, queries, rounds) = if test_mode {
+        (4_096, 200, 5)
+    } else {
+        (FULL_PREFIXES, QUERIES, FANOUT_ROUNDS)
+    };
+
+    let build_start = Instant::now();
+    let table = build_table(prefixes);
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    assert_eq!(table.prefix_count(), prefixes);
+
+    let daemon = Daemon::start(DaemonConfig::loopback(), table).expect("start daemon");
+    let queries_per_s = measure_queries(&daemon, queries, prefixes);
+    let fanout_seconds = measure_fanout(&daemon, FEED_CLIENTS, rounds);
+    daemon.shutdown();
+
+    if test_mode {
+        assert!(queries_per_s > 0.0 && fanout_seconds > 0.0);
+        println!("bench daemon_serving: smoke OK ({prefixes} prefixes, {queries} queries)");
+        return;
+    }
+
+    let host_cpus = minipool::available_jobs();
+    println!("bench daemon_serving/table      {prefixes} prefixes built in {build_seconds:.3} s");
+    println!(
+        "bench daemon_serving/queries    {queries_per_s:>8.0} queries/s ({queries} per rep, fastest of {REPS})"
+    );
+    println!(
+        "bench daemon_serving/fanout     {:>8.1} us mean apply->all-{FEED_CLIENTS}-clients-synced ({rounds} rounds)",
+        fanout_seconds * 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"daemon_serving\",\n  \"table\": {{ \"prefixes\": {prefixes}, \"origins_per_prefix\": 2, \"shape\": \"dense /24s under 16.0.0.0/4\", \"build_seconds\": {build_seconds:.3} }},\n  \"host_cpus\": {host_cpus},\n  \"validity_queries\": {{ \"queries_per_s\": {queries_per_s:.0}, \"queries_per_rep\": {queries}, \"mix\": \"1/3 valid, 1/3 invalid origin, 1/3 not-found\", \"transport\": \"persistent HTTP/1.1 over loopback TCP\" }},\n  \"feed_fanout\": {{ \"clients\": {FEED_CLIENTS}, \"rounds\": {rounds}, \"mean_apply_to_all_synced_us\": {:.1}, \"note\": \"one-entry diff; latency spans apply, serial notify push, and each client's serial-query/diff round-trip, clients drained sequentially\" }},\n  \"notes\": \"Fastest of {REPS} repetitions, recorded as measured. host_cpus is the cgroup-reported available_parallelism; daemon listener threads and the bench clients share that allotment, so these are contended end-to-end loopback numbers, not isolated server-side costs.\"\n}}\n",
+        fanout_seconds * 1e6
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_daemon.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -1,6 +1,7 @@
 //! The event-driven BGP network.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 
 use as_topology::AsGraph;
 use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
@@ -718,34 +719,41 @@ impl<M: RouteMonitor> Network<M> {
             sink.record("net.adj_rib_in.size", router.adj_rib_in_size() as u64);
         }
         sink.counter_add("net.decision_process.invocations", decisions);
+        // One reusable key buffer for the dynamic per-session/per-link keys:
+        // the `{prefix}.{a}->{b}.` stem is formatted once per pair and each
+        // suffix is appended after truncating back to the stem.
+        let mut key = String::with_capacity(64);
         for ((a, b), c) in self.session_counters() {
-            sink.counter_add(
-                &format!("session.{a}->{b}.sent_announcements"),
-                c.sent_announcements,
-            );
-            sink.counter_add(
-                &format!("session.{a}->{b}.sent_withdrawals"),
-                c.sent_withdrawals,
-            );
-            sink.counter_add(
-                &format!("session.{a}->{b}.recv_announcements"),
-                c.recv_announcements,
-            );
-            sink.counter_add(
-                &format!("session.{a}->{b}.recv_withdrawals"),
-                c.recv_withdrawals,
-            );
+            key.clear();
+            write!(key, "session.{a}->{b}.").expect("write to String cannot fail");
+            let stem = key.len();
+            for (suffix, value) in [
+                ("sent_announcements", c.sent_announcements),
+                ("sent_withdrawals", c.sent_withdrawals),
+                ("recv_announcements", c.recv_announcements),
+                ("recv_withdrawals", c.recv_withdrawals),
+            ] {
+                key.truncate(stem);
+                key.push_str(suffix);
+                sink.counter_add(&key, value);
+            }
         }
         for ((a, b), s) in self.fault_stats() {
-            sink.counter_add(&format!("link.{a}->{b}.delivered"), s.delivered);
-            sink.counter_add(&format!("link.{a}->{b}.dropped"), s.dropped);
-            sink.counter_add(&format!("link.{a}->{b}.duplicated"), s.duplicated);
-            sink.counter_add(&format!("link.{a}->{b}.reordered"), s.reordered);
-            sink.counter_add(&format!("link.{a}->{b}.corrupted"), s.corrupted);
-            sink.counter_add(
-                &format!("link.{a}->{b}.dropped_link_down"),
-                s.dropped_link_down,
-            );
+            key.clear();
+            write!(key, "link.{a}->{b}.").expect("write to String cannot fail");
+            let stem = key.len();
+            for (suffix, value) in [
+                ("delivered", s.delivered),
+                ("dropped", s.dropped),
+                ("duplicated", s.duplicated),
+                ("reordered", s.reordered),
+                ("corrupted", s.corrupted),
+                ("dropped_link_down", s.dropped_link_down),
+            ] {
+                key.truncate(stem);
+                key.push_str(suffix);
+                sink.counter_add(&key, value);
+            }
         }
     }
 

@@ -151,6 +151,46 @@ impl<T> PrefixTrie<T> {
         best
     }
 
+    /// The most specific stored prefix that covers `prefix` (including
+    /// `prefix` itself), with its value.
+    ///
+    /// Unlike [`longest_match`](Self::longest_match) — which matches a host
+    /// address and may descend *below* the query — this never returns an
+    /// entry more specific than the query prefix. It is the lookup an
+    /// origin-validation service needs: an announcement for `10.1.0.0/16`
+    /// is judged by the entry for `10.1.0.0/16` if one exists, else by the
+    /// closest covering entry (`10.0.0.0/8`, say), never by a stored
+    /// `10.1.2.0/24`.
+    #[must_use]
+    pub fn longest_covering(&self, prefix: Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        self.covering_matches(prefix).pop()
+    }
+
+    /// Every stored prefix covering `prefix` (including `prefix` itself),
+    /// least-specific first, with its value.
+    ///
+    /// The final element, if any, is [`longest_covering`](Self::longest_covering);
+    /// walking the result in reverse visits covering entries most-specific
+    /// first, which is the precedence order for override resolution.
+    #[must_use]
+    pub fn covering_matches(&self, prefix: Ipv4Prefix) -> Vec<(Ipv4Prefix, &T)> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        for depth in 0..=prefix.len() {
+            if let Some(value) = node.value.as_ref() {
+                out.push((Ipv4Prefix::new(prefix.network(), depth), value));
+            }
+            if depth == prefix.len() {
+                break;
+            }
+            match node.children[Self::bit(prefix.network(), depth)].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        out
+    }
+
     /// All stored prefixes with their values, most-specific-last within each
     /// branch (pre-order).
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
@@ -270,6 +310,94 @@ mod tests {
         t.insert(host, "host");
         assert_eq!(t.longest_match(host.network()).unwrap().1, &"host");
         assert!(t.longest_match(host.network() + 1).is_none());
+    }
+
+    #[test]
+    fn longest_covering_never_descends_below_query() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.2.0/24"), "deep");
+        // The /24 covers addresses inside the /16 query but is more specific
+        // than it: the covering match must be the /8, not the /24.
+        assert_eq!(
+            t.longest_covering(p("10.1.0.0/16")),
+            Some((p("10.0.0.0/8"), &"eight"))
+        );
+        // An exact entry wins over a shallower covering one.
+        t.insert(p("10.1.0.0/16"), "exact");
+        assert_eq!(
+            t.longest_covering(p("10.1.0.0/16")),
+            Some((p("10.1.0.0/16"), &"exact"))
+        );
+        assert_eq!(t.longest_covering(p("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn covering_matches_walks_least_specific_first() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        let chain: Vec<(Ipv4Prefix, i32)> = t
+            .covering_matches(p("10.1.0.0/16"))
+            .into_iter()
+            .map(|(k, &v)| (k, v))
+            .collect();
+        assert_eq!(
+            chain,
+            vec![
+                (Ipv4Prefix::DEFAULT, 0),
+                (p("10.0.0.0/8"), 8),
+                (p("10.1.0.0/16"), 16),
+            ]
+        );
+        assert!(t.covering_matches(p("192.168.0.0/16")).len() == 1); // default only
+    }
+
+    #[test]
+    fn covering_matches_agrees_with_linear_scan() {
+        let prefixes = [
+            p("0.0.0.0/0"),
+            p("10.0.0.0/8"),
+            p("10.0.0.0/16"),
+            p("10.0.128.0/17"),
+            p("192.168.0.0/16"),
+            p("192.168.1.0/24"),
+        ];
+        let mut t = PrefixTrie::new();
+        for (i, &prefix) in prefixes.iter().enumerate() {
+            t.insert(prefix, i);
+        }
+        for query in [
+            "10.0.128.0/20",
+            "10.0.0.0/8",
+            "192.168.1.64/26",
+            "8.8.8.0/24",
+        ] {
+            let q = p(query);
+            let expected: Vec<(Ipv4Prefix, usize)> = {
+                let mut covering: Vec<(Ipv4Prefix, usize)> = prefixes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pre)| pre.contains(q))
+                    .map(|(i, &pre)| (pre, i))
+                    .collect();
+                covering.sort_by_key(|(pre, _)| pre.len());
+                covering
+            };
+            let got: Vec<(Ipv4Prefix, usize)> = t
+                .covering_matches(q)
+                .into_iter()
+                .map(|(k, &v)| (k, v))
+                .collect();
+            assert_eq!(got, expected, "query {query}");
+            assert_eq!(
+                t.longest_covering(q).map(|(k, &v)| (k, v)),
+                expected.last().copied(),
+                "query {query}"
+            );
+        }
     }
 
     #[test]

@@ -313,6 +313,55 @@ impl ChaosReport {
     }
 }
 
+/// One point of a partial-deployment sweep: the full accuracy report of a
+/// chaos run where only a seeded `deployment_fraction` of ASes run the MOAS
+/// detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSweepPoint {
+    /// Fraction of ASes running the detector (0.0 = nobody, 1.0 = everyone).
+    pub deployment_fraction: f64,
+    /// The chaos report at that deployment level.
+    pub report: ChaosReport,
+}
+
+json::impl_json_struct!(DeploymentSweepPoint {
+    deployment_fraction,
+    report,
+});
+
+/// A full partial-deployment sweep: detector accuracy vs deployment
+/// fraction under one churn scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSweep {
+    /// The churn scenario every point replays.
+    pub scenario: ChaosScenario,
+    /// Trials per point.
+    pub trials: usize,
+    /// The master seed (shared across points, so every point replays the
+    /// same casts and fault plans — only the deployment set varies).
+    pub seed: u64,
+    /// One report per requested fraction, in request order.
+    pub points: Vec<DeploymentSweepPoint>,
+}
+
+json::impl_json_struct!(DeploymentSweep {
+    scenario,
+    trials,
+    seed,
+    points,
+});
+
+impl DeploymentSweep {
+    /// Serializes to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        json::to_string_pretty(self)
+    }
+}
+
+/// The default fractions `moas-lab chaos --deployment-sweep` measures.
+pub const DEPLOYMENT_SWEEP_FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
 /// Runs a chaos scenario serially. Equivalent to [`run_chaos_jobs`] with
 /// `jobs = 1`.
 #[must_use]
@@ -335,16 +384,62 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
 /// converge does not.
 #[must_use]
 pub fn run_chaos_jobs(config: &ChaosConfig, jobs: usize) -> ChaosReport {
+    run_chaos_deployment_jobs(config, 1.0, jobs)
+}
+
+/// [`run_chaos_jobs`] at a partial deployment level: each trial samples a
+/// seeded `deployment_fraction` subset of ASes to run the detector (1.0 is
+/// exactly [`Deployment::Full`], 0.0 exactly [`Deployment::None`]). The
+/// casts, fault plans and jitter are identical to the full-deployment run
+/// with the same config, so reports across fractions differ only in what
+/// the detector saw.
+#[must_use]
+pub fn run_chaos_deployment_jobs(
+    config: &ChaosConfig,
+    deployment_fraction: f64,
+    jobs: usize,
+) -> ChaosReport {
     let graph = chaos_graph(config);
     let plans = plan_casts(&graph, config);
 
     // Phase 2: run, index-addressed. The no-op sink compiles the
     // instrumentation away.
     let results: Vec<TrialResult> = minipool::map_indexed(jobs, plans.len(), |i| {
-        run_one(&graph, config, &plans[i], &mut NoopSink)
+        run_one(
+            &graph,
+            config,
+            &plans[i],
+            deployment_fraction,
+            &mut NoopSink,
+        )
     });
 
     aggregate(config, &results)
+}
+
+/// Accuracy vs deployment fraction: runs the scenario once per fraction
+/// (same seed, so the same casts and fault plans replay at every level) and
+/// collects the reports. Bit-identical for every `jobs` value, like every
+/// other driver here.
+#[must_use]
+pub fn run_deployment_sweep_jobs(
+    config: &ChaosConfig,
+    fractions: &[f64],
+    jobs: usize,
+) -> DeploymentSweep {
+    let points = fractions
+        .iter()
+        .map(|&deployment_fraction| DeploymentSweepPoint {
+            deployment_fraction,
+            report: run_chaos_deployment_jobs(config, deployment_fraction, jobs),
+        })
+        .collect();
+    DeploymentSweep {
+        scenario: config.scenario,
+        trials: config.trials,
+        seed: config.seed,
+        points,
+    }
 }
 
 /// [`run_chaos_jobs`] with observability: each trial records its churn- and
@@ -361,7 +456,7 @@ pub fn run_chaos_metrics_jobs(config: &ChaosConfig, jobs: usize) -> (ChaosReport
     let results: Vec<(TrialResult, MetricsSnapshot)> =
         minipool::map_indexed(jobs, plans.len(), |i| {
             let mut sink = RecordingSink::new();
-            let result = run_one(&graph, config, &plans[i], &mut sink);
+            let result = run_one(&graph, config, &plans[i], 1.0, &mut sink);
             (result, sink.into_snapshot())
         });
 
@@ -628,6 +723,25 @@ fn core_links(graph: &AsGraph) -> Vec<(Asn, Asn)> {
         .collect()
 }
 
+/// The detector deployment of one trial: exactly `Full`/`None` at the
+/// extremes (so fraction 1.0 reproduces the original runs bit-for-bit), a
+/// per-trial seeded sample in between — different trials deploy different
+/// subsets, like real incremental rollout.
+fn deployment_for(graph: &AsGraph, cast: &TrialPlan, fraction: f64) -> Deployment {
+    if fraction >= 1.0 {
+        Deployment::Full
+    } else if fraction <= 0.0 {
+        Deployment::None
+    } else {
+        let asns: Vec<Asn> = graph.asns().collect();
+        Deployment::sample(
+            &asns,
+            fraction,
+            sim_engine::rng::derive_seed(cast.seed, 0xDE91),
+        )
+    }
+}
+
 /// Runs one chaos trial. Network metrics of the churn-only run land in
 /// `sink` under the `churn.` prefix, those of the churn+attack run under
 /// `attack.`; trial-level verdicts (alarm counts, detection latency,
@@ -636,6 +750,7 @@ fn run_one<S: MetricsSink>(
     graph: &AsGraph,
     config: &ChaosConfig,
     cast: &TrialPlan,
+    deployment_fraction: f64,
     sink: &mut S,
 ) -> TrialResult {
     let prefix: Ipv4Prefix = crate::VICTIM_PREFIX
@@ -643,9 +758,12 @@ fn run_one<S: MetricsSink>(
         .expect("victim prefix constant");
     let valid_list: MoasList = [cast.victim, cast.partner].into_iter().collect();
 
+    let deployment = deployment_for(graph, cast, deployment_fraction);
+
     // Churn-only run: every alarm is noise.
     let scenario = build_scenario(graph, config, cast);
-    let (churn_net, churn_err) = run_scenario(graph, config, cast, &scenario, None);
+    let (churn_net, churn_err) =
+        run_scenario(graph, config, cast, &scenario, deployment.clone(), None);
     let oscillated = matches!(churn_err, Some(ConvergenceError::Oscillating { .. }));
     assert_eq!(
         oscillated, scenario.expect_oscillation,
@@ -689,6 +807,7 @@ fn run_one<S: MetricsSink>(
             config,
             cast,
             &scenario,
+            deployment,
             Some(FaultEvent::Announce {
                 asn: cast.attacker,
                 route: forged,
@@ -743,6 +862,7 @@ fn run_scenario(
     config: &ChaosConfig,
     cast: &TrialPlan,
     scenario: &Scenario,
+    deployment: Deployment,
     attack: Option<FaultEvent>,
 ) -> (
     Network<MoasMonitor<RegistryVerifier>>,
@@ -757,7 +877,7 @@ fn run_scenario(
 
     let monitor = MoasMonitor::new(
         MoasConfig {
-            deployment: Deployment::Full,
+            deployment,
             strippers: scenario.strippers.clone(),
             on_unresolved: UnresolvedPolicy::Accept,
         },
@@ -865,6 +985,48 @@ mod tests {
         for jobs in [2, 4] {
             assert_eq!(run_chaos_jobs(&config, jobs), serial, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn deployment_sweep_tracks_detector_coverage() {
+        let config = ChaosConfig::quick(ChaosScenario::Failover);
+        let sweep = run_deployment_sweep_jobs(&config, &[0.0, 0.5, 1.0], 1);
+        assert_eq!(sweep.scenario, config.scenario);
+        assert_eq!(sweep.points.len(), 3);
+
+        let nobody = &sweep.points[0].report;
+        let half = &sweep.points[1].report;
+        let everyone = &sweep.points[2].report;
+        // With no detector deployed there is nothing to alarm or detect.
+        assert_eq!(nobody.detected_trials, 0);
+        assert_eq!(nobody.false_alarm_rate, 0.0);
+        assert_eq!(nobody.missed_detection_rate, 1.0);
+        // Full deployment is bit-identical to the plain chaos run.
+        assert_eq!(*everyone, run_chaos(&config));
+        // Coverage can only help: detection never gets worse as the
+        // detector spreads.
+        assert!(half.detected_trials >= nobody.detected_trials);
+        assert!(everyone.detected_trials >= half.detected_trials);
+        assert!(everyone.detected_trials > 0);
+        // The same casts and fault plans replay at every fraction.
+        assert_eq!(nobody.mean_messages, everyone.mean_messages);
+    }
+
+    #[test]
+    fn deployment_sweep_is_deterministic_and_parallel_safe() {
+        let config = ChaosConfig::quick(ChaosScenario::SessionReset);
+        let serial = run_deployment_sweep_jobs(&config, &[0.5], 1);
+        assert_eq!(run_deployment_sweep_jobs(&config, &[0.5], 1), serial);
+        assert_eq!(run_deployment_sweep_jobs(&config, &[0.5], 4), serial);
+    }
+
+    #[test]
+    fn deployment_sweep_json_round_trips() {
+        let mut config = ChaosConfig::quick(ChaosScenario::OriginFlap);
+        config.trials = 2;
+        let sweep = run_deployment_sweep_jobs(&config, &[0.0, 1.0], 1);
+        let back: DeploymentSweep = crate::json::from_str(&sweep.to_json()).unwrap();
+        assert_eq!(back, sweep);
     }
 
     #[test]

@@ -67,8 +67,9 @@ pub use ablation::{
     SubPrefixAblation, ValleyFreePoint,
 };
 pub use chaos::{
-    run_chaos, run_chaos_jobs, run_chaos_metrics_jobs, ChaosConfig, ChaosReport, ChaosScenario,
-    UnknownScenario,
+    run_chaos, run_chaos_deployment_jobs, run_chaos_jobs, run_chaos_metrics_jobs,
+    run_deployment_sweep_jobs, ChaosConfig, ChaosReport, ChaosScenario, DeploymentSweep,
+    DeploymentSweepPoint, UnknownScenario, DEPLOYMENT_SWEEP_FRACTIONS,
 };
 pub use figures::{
     experiment1, experiment1_jobs, experiment1_metrics_jobs, experiment2, experiment2_jobs,

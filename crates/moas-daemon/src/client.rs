@@ -1,0 +1,398 @@
+//! Blocking in-process clients for both daemon interfaces, used by the
+//! integration tests and by `moas-lab daemon-probe`. Both speak over plain
+//! `TcpStream`s with read timeouts, so a wedged daemon turns into an error
+//! instead of a hang.
+
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bgp_types::{Asn, Ipv4Prefix};
+
+use crate::feed::Pdu;
+
+fn invalid_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+// ---------------------------------------------------------------------------
+// HTTP
+// ---------------------------------------------------------------------------
+
+/// A persistent HTTP/1.1 connection to the daemon's query endpoint.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a 10-second I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit per-read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issues a `GET` and returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed-response errors.
+    pub fn get(&mut self, path_and_query: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path_and_query, None)
+    }
+
+    /// Issues a `POST` with a body and returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed-response errors.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let mut req = format!("{method} {target} HTTP/1.1\r\nHost: moas-labd\r\n");
+        if let Some(body) = body {
+            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        self.stream.write_all(req.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        loop {
+            if let Some(head_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&self.buf[..head_end])
+                    .map_err(|_| invalid_data("response head is not UTF-8"))?;
+                let mut lines = head.split("\r\n");
+                let status_line = lines.next().unwrap_or_default();
+                let status: u16 = status_line
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| invalid_data(format!("bad status line '{status_line}'")))?;
+                let mut content_length = 0usize;
+                for line in lines {
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.trim().eq_ignore_ascii_case("content-length") {
+                            content_length = value
+                                .trim()
+                                .parse()
+                                .map_err(|_| invalid_data("bad Content-Length"))?;
+                        }
+                    }
+                }
+                let total = head_end + 4 + content_length;
+                while self.buf.len() < total {
+                    self.fill()?;
+                }
+                let body = String::from_utf8(self.buf[head_end + 4..total].to_vec())
+                    .map_err(|_| invalid_data("response body is not UTF-8"))?;
+                self.buf.drain(..total);
+                return Ok((status, body));
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feed
+// ---------------------------------------------------------------------------
+
+/// How a [`FeedClient::serial_sync`] attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The server sent a diff; the client applied `announced` adds and
+    /// `withdrawn` removals and now holds `serial`.
+    Diff {
+        /// Entries added by the diff.
+        announced: usize,
+        /// Entries removed by the diff.
+        withdrawn: usize,
+        /// The serial the client holds after applying.
+        serial: u32,
+    },
+    /// The server cannot diff from the client's serial (evicted from the
+    /// delta ring, or a session mismatch); the client must
+    /// [`reset_sync`](FeedClient::reset_sync).
+    CacheReset,
+}
+
+/// What the server answered to one query, before the client applies it.
+enum Reply {
+    Transfer {
+        session: u16,
+        serial: u32,
+        entries: Vec<(bool, Ipv4Prefix, Asn)>,
+    },
+    CacheReset,
+}
+
+/// A blocking feed-protocol client mirroring the daemon's table.
+#[derive(Debug)]
+pub struct FeedClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    session: Option<u16>,
+    serial: u32,
+    entries: BTreeSet<(Ipv4Prefix, Asn)>,
+}
+
+impl FeedClient {
+    /// Connects with a 10-second I/O timeout. The client holds no state
+    /// until the first [`reset_sync`](Self::reset_sync).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error.
+    pub fn connect(addr: SocketAddr) -> io::Result<FeedClient> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit per-read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<FeedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(FeedClient {
+            stream,
+            buf: Vec::new(),
+            session: None,
+            serial: 0,
+            entries: BTreeSet::new(),
+        })
+    }
+
+    /// The session id learned from the last completed sync.
+    #[must_use]
+    pub fn session(&self) -> Option<u16> {
+        self.session
+    }
+
+    /// The serial the client currently holds.
+    #[must_use]
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The mirrored `(prefix, origin)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &BTreeSet<(Ipv4Prefix, Asn)> {
+        &self.entries
+    }
+
+    /// Full resynchronization: sends a reset query and replaces the local
+    /// mirror with the server's table. Returns the number of entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations (including a cache reset
+    /// in answer to a reset query, which the protocol forbids).
+    pub fn reset_sync(&mut self) -> io::Result<usize> {
+        self.send(&Pdu::ResetQuery)?;
+        match self.read_reply()? {
+            Reply::Transfer {
+                session,
+                serial,
+                entries,
+            } => {
+                let mut fresh = BTreeSet::new();
+                for (announce, prefix, asn) in entries {
+                    if announce {
+                        fresh.insert((prefix, asn));
+                    } else {
+                        fresh.remove(&(prefix, asn));
+                    }
+                }
+                self.session = Some(session);
+                self.serial = serial;
+                self.entries = fresh;
+                Ok(self.entries.len())
+            }
+            Reply::CacheReset => Err(invalid_data("cache reset in answer to a reset query")),
+        }
+    }
+
+    /// Incremental sync from the client's current `(session, serial)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, protocol violations, and an error when called
+    /// before any [`reset_sync`](Self::reset_sync).
+    pub fn serial_sync(&mut self) -> io::Result<SyncOutcome> {
+        let session = self
+            .session
+            .ok_or_else(|| invalid_data("serial_sync before reset_sync"))?;
+        self.sync_from(session, self.serial)
+    }
+
+    /// Incremental sync from an explicit `(session, serial)` — the probe
+    /// uses a deliberately wrong session to exercise the cache-reset path.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and protocol violations.
+    pub fn sync_from(&mut self, session: u16, serial: u32) -> io::Result<SyncOutcome> {
+        self.send(&Pdu::SerialQuery { session, serial })?;
+        match self.read_reply()? {
+            Reply::Transfer {
+                session,
+                serial,
+                entries,
+            } => {
+                let mut announced = 0usize;
+                let mut withdrawn = 0usize;
+                for (announce, prefix, asn) in entries {
+                    if announce {
+                        announced += 1;
+                        self.entries.insert((prefix, asn));
+                    } else {
+                        withdrawn += 1;
+                        self.entries.remove(&(prefix, asn));
+                    }
+                }
+                self.session = Some(session);
+                self.serial = serial;
+                Ok(SyncOutcome::Diff {
+                    announced,
+                    withdrawn,
+                    serial,
+                })
+            }
+            Reply::CacheReset => Ok(SyncOutcome::CacheReset),
+        }
+    }
+
+    /// Blocks until the server pushes a serial notify (or the read times
+    /// out), returning the notified serial.
+    ///
+    /// # Errors
+    ///
+    /// Returns `WouldBlock`/`TimedOut` if nothing arrives within the
+    /// connection's read timeout, and protocol violations otherwise.
+    pub fn wait_notify(&mut self) -> io::Result<u32> {
+        match self.read_pdu()? {
+            Pdu::SerialNotify { serial, .. } => Ok(serial),
+            Pdu::Error { code, message } => {
+                Err(invalid_data(format!("server error {code}: {message}")))
+            }
+            other => Err(invalid_data(format!("unexpected PDU {other:?}"))),
+        }
+    }
+
+    fn send(&mut self, pdu: &Pdu) -> io::Result<()> {
+        self.stream.write_all(&pdu.to_bytes())
+    }
+
+    /// Reads the full answer to one query: either a `CacheResponse …
+    /// EndOfData` transfer or a `CacheReset`. Serial notifies racing with
+    /// the query are skipped.
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        let session = loop {
+            match self.read_pdu()? {
+                Pdu::SerialNotify { .. } => continue,
+                Pdu::CacheReset => return Ok(Reply::CacheReset),
+                Pdu::CacheResponse { session } => break session,
+                Pdu::Error { code, message } => {
+                    return Err(invalid_data(format!("server error {code}: {message}")))
+                }
+                other => return Err(invalid_data(format!("unexpected PDU {other:?}"))),
+            }
+        };
+        let mut entries = Vec::new();
+        loop {
+            match self.read_pdu()? {
+                Pdu::Prefix(entry) => entries.push((entry.announce, entry.prefix, entry.asn)),
+                Pdu::EndOfData {
+                    session: end_session,
+                    serial,
+                } => {
+                    if end_session != session {
+                        return Err(invalid_data("session changed mid-transfer"));
+                    }
+                    return Ok(Reply::Transfer {
+                        session,
+                        serial,
+                        entries,
+                    });
+                }
+                Pdu::Error { code, message } => {
+                    return Err(invalid_data(format!("server error {code}: {message}")))
+                }
+                other => return Err(invalid_data(format!("unexpected PDU {other:?}"))),
+            }
+        }
+    }
+
+    fn read_pdu(&mut self) -> io::Result<Pdu> {
+        loop {
+            match Pdu::decode(&self.buf) {
+                Ok(Some((pdu, used))) => {
+                    self.buf.drain(..used);
+                    return Ok(pdu);
+                }
+                Ok(None) => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "feed closed by daemon",
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => return Err(invalid_data(e.to_string())),
+            }
+        }
+    }
+}

@@ -1,0 +1,810 @@
+//! The daemon: shared table state served over two loopback TCP listeners
+//! (HTTP query/control, binary push feed), each driven by a vendored
+//! [`minisock`] reactor on its own worker thread.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use experiments::json::Json;
+use minisock::{Action, Config, ConnId, Server, ServerStats, Service};
+
+use crate::exceptions::ExceptionSet;
+use crate::feed::{Pdu, PrefixEntry};
+use crate::http::{json_response, text_response, HttpError, Request};
+use crate::table::{DeltaRing, OriginTable, TableUpdate};
+use crate::validity::{validate_detailed, Verdict};
+
+/// Counters the daemon exposes through `/metrics`, all monotonic.
+#[derive(Debug, Default, Clone, Copy)]
+struct DaemonMetrics {
+    http_requests: u64,
+    queries: u64,
+    queries_valid: u64,
+    queries_invalid: u64,
+    queries_not_found: u64,
+    ingest_batches: u64,
+    ingest_updates: u64,
+    exception_reloads: u64,
+    exception_reloads_verdict_affecting: u64,
+    feed_reset_syncs: u64,
+    feed_diff_syncs: u64,
+    feed_cache_resets: u64,
+    feed_notifies: u64,
+}
+
+/// Everything both listeners share, behind one mutex. Handlers hold the
+/// lock only while computing a response — never across I/O.
+struct Shared {
+    table: OriginTable,
+    ring: DeltaRing,
+    exceptions: ExceptionSet,
+    metrics: DaemonMetrics,
+    shutdown_requested: bool,
+    feed_conns_open: u64,
+}
+
+impl Shared {
+    fn apply(&mut self, updates: &[TableUpdate]) -> (u32, usize, usize) {
+        let delta = self.table.apply(updates);
+        let (announced, withdrawn) = (delta.announced.len(), delta.withdrawn.len());
+        let serial = delta.serial;
+        if !delta.is_empty() {
+            self.ring.push(delta);
+        }
+        (serial, announced, withdrawn)
+    }
+}
+
+/// Daemon start-up parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address of the HTTP listener (`127.0.0.1:0` for ephemeral).
+    pub http_addr: String,
+    /// Bind address of the feed listener.
+    pub feed_addr: String,
+    /// How many per-serial deltas the feed retains; clients whose serial
+    /// ages out of this ring get a cache reset.
+    pub delta_ring_capacity: usize,
+    /// Per-listener cap on simultaneously open connections.
+    pub max_connections: usize,
+    /// Per-connection read/write timeout on both listeners.
+    pub io_timeout: Duration,
+    /// Local exception rules active at start-up.
+    pub exceptions: ExceptionSet,
+}
+
+impl DaemonConfig {
+    /// Ephemeral loopback ports, 64-deep delta ring, 30 s timeouts.
+    #[must_use]
+    pub fn loopback() -> Self {
+        DaemonConfig {
+            http_addr: "127.0.0.1:0".to_string(),
+            feed_addr: "127.0.0.1:0".to_string(),
+            delta_ring_capacity: 64,
+            max_connections: 64,
+            io_timeout: Duration::from_secs(30),
+            exceptions: ExceptionSet::empty(),
+        }
+    }
+}
+
+/// A running daemon: both listeners live until [`shutdown`](Self::shutdown)
+/// (or drop).
+pub struct Daemon {
+    shared: Arc<Mutex<Shared>>,
+    http_server: Server,
+    feed_server: Server,
+}
+
+impl Daemon {
+    /// Binds both listeners and starts serving `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind/spawn error.
+    pub fn start(config: DaemonConfig, table: OriginTable) -> io::Result<Daemon> {
+        let shared = Arc::new(Mutex::new(Shared {
+            table,
+            ring: DeltaRing::new(config.delta_ring_capacity),
+            exceptions: config.exceptions.clone(),
+            metrics: DaemonMetrics::default(),
+            shutdown_requested: false,
+            feed_conns_open: 0,
+        }));
+        let sock_config = Config {
+            max_connections: config.max_connections,
+            read_timeout: config.io_timeout,
+            write_timeout: config.io_timeout,
+            ..Config::default()
+        };
+        let http_server = Server::bind(
+            config.http_addr.as_str(),
+            HttpService {
+                shared: Arc::clone(&shared),
+            },
+            sock_config.clone(),
+        )?;
+        let feed_server = Server::bind(
+            config.feed_addr.as_str(),
+            FeedService {
+                shared: Arc::clone(&shared),
+                synced: BTreeMap::new(),
+            },
+            sock_config,
+        )?;
+        Ok(Daemon {
+            shared,
+            http_server,
+            feed_server,
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Shared> {
+        // A poisoned mutex means a handler panicked; the state itself is
+        // plain data, so continue with it rather than cascading the panic.
+        match self.shared.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The HTTP listener's bound address.
+    #[must_use]
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_server.local_addr()
+    }
+
+    /// The feed listener's bound address.
+    #[must_use]
+    pub fn feed_addr(&self) -> SocketAddr {
+        self.feed_server.local_addr()
+    }
+
+    /// The table's current serial.
+    #[must_use]
+    pub fn serial(&self) -> u32 {
+        self.lock().table.serial()
+    }
+
+    /// Applies updates in-process, exactly as `POST /ingest` would, and
+    /// returns the resulting serial. Used by tests and benchmarks.
+    pub fn apply(&self, updates: &[TableUpdate]) -> u32 {
+        let mut shared = self.lock();
+        shared.metrics.ingest_batches += 1;
+        shared.metrics.ingest_updates += updates.len() as u64;
+        shared.apply(updates).0
+    }
+
+    /// `true` once a client has called `POST /shutdown`; the process
+    /// embedding the daemon polls this to decide when to exit.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.lock().shutdown_requested
+    }
+
+    /// Socket-level counters of the HTTP listener.
+    #[must_use]
+    pub fn http_stats(&self) -> ServerStats {
+        self.http_server.stats()
+    }
+
+    /// Socket-level counters of the feed listener.
+    #[must_use]
+    pub fn feed_stats(&self) -> ServerStats {
+        self.feed_server.stats()
+    }
+
+    /// Stops both listeners gracefully (pending output drains first).
+    pub fn shutdown(self) {
+        self.http_server.shutdown();
+        self.feed_server.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("http_addr", &self.http_addr())
+            .field("feed_addr", &self.feed_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock_shared<'a>(shared: &'a Arc<Mutex<Shared>>) -> MutexGuard<'a, Shared> {
+    match shared.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    Json::Str(text.to_string()).pretty()
+}
+
+// ---------------------------------------------------------------------------
+// HTTP side
+// ---------------------------------------------------------------------------
+
+struct HttpService {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl HttpService {
+    /// Routes one parsed request; returns `(status, body)`. The body is
+    /// JSON except for `/metrics`.
+    fn handle(shared: &mut Shared, req: &Request) -> (u16, String) {
+        shared.metrics.http_requests += 1;
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/validity") => handle_validity(shared, req),
+            ("GET", "/metrics") => (200, render_metrics(shared)),
+            ("GET", "/status") => (200, render_status(shared)),
+            ("POST", "/ingest") => handle_ingest(shared, req),
+            ("POST", "/reload-exceptions") => handle_reload(shared, req),
+            ("POST", "/shutdown") => {
+                shared.shutdown_requested = true;
+                (200, "{\"ok\":true}".to_string())
+            }
+            ("GET" | "POST", _) => (404, "{\"error\":\"not found\"}".to_string()),
+            _ => (405, "{\"error\":\"method not allowed\"}".to_string()),
+        }
+    }
+}
+
+impl Service for HttpService {
+    fn on_data(&mut self, _conn: ConnId, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action {
+        let mut consumed = 0;
+        loop {
+            match Request::parse(&inbuf[consumed..]) {
+                Ok(Some((req, used))) => {
+                    consumed += used;
+                    let (status, body) = {
+                        let mut shared = lock_shared(&self.shared);
+                        Self::handle(&mut shared, &req)
+                    };
+                    let bytes = if req.path == "/metrics" {
+                        text_response(status, &body, req.keep_alive)
+                    } else {
+                        json_response(status, &body, req.keep_alive)
+                    };
+                    out.extend_from_slice(&bytes);
+                    if !req.keep_alive {
+                        inbuf.drain(..consumed);
+                        return Action::CloseAfterFlush;
+                    }
+                }
+                Ok(None) => break,
+                Err(HttpError { message }) => {
+                    let body = format!("{{\"error\":{}}}", json_escape(&message));
+                    out.extend_from_slice(&json_response(400, &body, false));
+                    inbuf.clear();
+                    return Action::CloseAfterFlush;
+                }
+            }
+        }
+        inbuf.drain(..consumed);
+        Action::Continue
+    }
+}
+
+fn handle_validity(shared: &mut Shared, req: &Request) -> (u16, String) {
+    let (Some(prefix_text), Some(asn_text)) = (req.query_param("prefix"), req.query_param("asn"))
+    else {
+        return (
+            400,
+            "{\"error\":\"required query parameters: prefix, asn\"}".to_string(),
+        );
+    };
+    let Ok(prefix) = prefix_text.parse::<Ipv4Prefix>() else {
+        return (
+            400,
+            format!(
+                "{{\"error\":{}}}",
+                json_escape(&format!("bad prefix '{prefix_text}'"))
+            ),
+        );
+    };
+    let asn_number = asn_text.strip_prefix("AS").unwrap_or(asn_text);
+    let Ok(asn) = asn_number.parse::<u32>().map(Asn) else {
+        return (
+            400,
+            format!(
+                "{{\"error\":{}}}",
+                json_escape(&format!("bad asn '{asn_text}'"))
+            ),
+        );
+    };
+    let validation = validate_detailed(&shared.table, &shared.exceptions, prefix, asn);
+    shared.metrics.queries += 1;
+    match validation.verdict {
+        Verdict::Valid => shared.metrics.queries_valid += 1,
+        Verdict::Invalid => shared.metrics.queries_invalid += 1,
+        Verdict::NotFound => shared.metrics.queries_not_found += 1,
+    }
+    let mut body = format!(
+        "{{\"prefix\":\"{prefix}\",\"asn\":{},\"state\":\"{}\"",
+        asn.0,
+        validation.verdict.as_str()
+    );
+    if let Some(matched) = validation.matched_prefix {
+        let origins: Vec<String> = validation.origins.iter().map(|a| a.0.to_string()).collect();
+        body.push_str(&format!(
+            ",\"matchedPrefix\":\"{matched}\",\"origins\":[{}]",
+            origins.join(",")
+        ));
+    }
+    body.push('}');
+    (200, body)
+}
+
+fn handle_ingest(shared: &mut Shared, req: &Request) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, "{\"error\":\"body is not UTF-8\"}".to_string());
+    };
+    let updates = match parse_ingest(text) {
+        Ok(updates) => updates,
+        Err(message) => return (400, format!("{{\"error\":{}}}", json_escape(&message))),
+    };
+    shared.metrics.ingest_batches += 1;
+    shared.metrics.ingest_updates += updates.len() as u64;
+    let (serial, announced, withdrawn) = shared.apply(&updates);
+    (
+        200,
+        format!("{{\"serial\":{serial},\"announced\":{announced},\"withdrawn\":{withdrawn}}}"),
+    )
+}
+
+/// Parses an ingest body: `{"updates": [{"announce": true, "prefix":
+/// "10.0.0.0/8", "asn": 64512}, ...]}`. `announce` defaults to `true`.
+fn parse_ingest(text: &str) -> Result<Vec<TableUpdate>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("bad JSON: {}", e.message))?;
+    let Some(Json::Arr(items)) = doc.get("updates") else {
+        return Err("missing 'updates' array".to_string());
+    };
+    let mut updates = Vec::with_capacity(items.len());
+    for item in items {
+        let announce = match item.get("announce") {
+            Some(Json::Bool(b)) => *b,
+            None => true,
+            Some(_) => return Err("'announce' must be a boolean".to_string()),
+        };
+        let prefix = match item.get("prefix") {
+            Some(Json::Str(s)) => s
+                .parse::<Ipv4Prefix>()
+                .map_err(|e| format!("bad prefix '{s}': {e}"))?,
+            _ => return Err("update missing string 'prefix'".to_string()),
+        };
+        let asn = match item.get("asn") {
+            Some(Json::Num(n)) if *n >= 0.0 && *n <= f64::from(u32::MAX) && n.fract() == 0.0 => {
+                Asn(*n as u32)
+            }
+            _ => return Err("update missing 32-bit 'asn'".to_string()),
+        };
+        updates.push(TableUpdate {
+            announce,
+            prefix,
+            asn,
+        });
+    }
+    Ok(updates)
+}
+
+fn handle_reload(shared: &mut Shared, req: &Request) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, "{\"error\":\"body is not UTF-8\"}".to_string());
+    };
+    match ExceptionSet::from_json(text) {
+        Ok(set) => {
+            let changed = set != shared.exceptions;
+            shared.metrics.exception_reloads += 1;
+            if changed {
+                shared.metrics.exception_reloads_verdict_affecting += 1;
+            }
+            let rules = set.len();
+            shared.exceptions = set;
+            (200, format!("{{\"rules\":{rules},\"changed\":{changed}}}"))
+        }
+        Err(e) => (400, format!("{{\"error\":{}}}", json_escape(&e.message))),
+    }
+}
+
+fn render_status(shared: &Shared) -> String {
+    format!(
+        concat!(
+            "{{\"sessionId\":{},\"serial\":{},\"prefixes\":{},\"entries\":{},",
+            "\"deltasRetained\":{},\"exceptionRules\":{},\"shutdownRequested\":{}}}"
+        ),
+        shared.table.session_id(),
+        shared.table.serial(),
+        shared.table.prefix_count(),
+        shared.table.entry_count(),
+        shared.ring.len(),
+        shared.exceptions.len(),
+        shared.shutdown_requested,
+    )
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let mut out = String::with_capacity(768);
+    out.push_str("# moas-labd metrics: one 'name value' pair per line\n");
+    for (name, value) in [
+        ("daemon_http_requests_total", m.http_requests),
+        ("daemon_queries_total", m.queries),
+        ("daemon_queries_valid_total", m.queries_valid),
+        ("daemon_queries_invalid_total", m.queries_invalid),
+        ("daemon_queries_not_found_total", m.queries_not_found),
+        ("daemon_ingest_batches_total", m.ingest_batches),
+        ("daemon_ingest_updates_total", m.ingest_updates),
+        ("daemon_exception_reloads_total", m.exception_reloads),
+        (
+            "daemon_exception_reloads_verdict_affecting_total",
+            m.exception_reloads_verdict_affecting,
+        ),
+        ("feed_reset_syncs_total", m.feed_reset_syncs),
+        ("feed_diff_syncs_total", m.feed_diff_syncs),
+        ("feed_cache_resets_total", m.feed_cache_resets),
+        ("feed_notifies_total", m.feed_notifies),
+        ("feed_connections_open", shared.feed_conns_open),
+        ("table_serial", u64::from(shared.table.serial())),
+        ("table_prefixes", shared.table.prefix_count() as u64),
+        ("table_entries", shared.table.entry_count() as u64),
+        ("exception_rules", shared.exceptions.len() as u64),
+    ] {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Feed side
+// ---------------------------------------------------------------------------
+
+struct FeedService {
+    shared: Arc<Mutex<Shared>>,
+    /// Serial each synced connection last saw (synced or notified); only
+    /// connections that completed a sync receive notifies.
+    synced: BTreeMap<ConnId, u32>,
+}
+
+impl FeedService {
+    fn transfer(out: &mut Vec<u8>, session: u16, serial: u32, entries: &[(bool, Ipv4Prefix, Asn)]) {
+        Pdu::CacheResponse { session }.encode(out);
+        for &(announce, prefix, asn) in entries {
+            Pdu::Prefix(PrefixEntry {
+                announce,
+                prefix,
+                asn,
+            })
+            .encode(out);
+        }
+        Pdu::EndOfData { session, serial }.encode(out);
+    }
+}
+
+impl Service for FeedService {
+    fn on_data(&mut self, conn: ConnId, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action {
+        let mut consumed = 0;
+        loop {
+            match Pdu::decode(&inbuf[consumed..]) {
+                Ok(Some((pdu, used))) => {
+                    consumed += used;
+                    match pdu {
+                        Pdu::ResetQuery => {
+                            let mut shared = lock_shared(&self.shared);
+                            let session = shared.table.session_id();
+                            let serial = shared.table.serial();
+                            let entries: Vec<(bool, Ipv4Prefix, Asn)> = shared
+                                .table
+                                .snapshot()
+                                .into_iter()
+                                .map(|(p, a)| (true, p, a))
+                                .collect();
+                            shared.metrics.feed_reset_syncs += 1;
+                            drop(shared);
+                            Self::transfer(out, session, serial, &entries);
+                            self.synced.insert(conn, serial);
+                        }
+                        Pdu::SerialQuery { session, serial } => {
+                            let mut shared = lock_shared(&self.shared);
+                            let current = shared.table.serial();
+                            let diff = if session == shared.table.session_id() {
+                                shared.ring.diff_since(serial, current)
+                            } else {
+                                None
+                            };
+                            match diff {
+                                Some(delta) => {
+                                    let session = shared.table.session_id();
+                                    let mut entries: Vec<(bool, Ipv4Prefix, Asn)> = delta
+                                        .announced
+                                        .iter()
+                                        .map(|&(p, a)| (true, p, a))
+                                        .collect();
+                                    entries.extend(
+                                        delta.withdrawn.iter().map(|&(p, a)| (false, p, a)),
+                                    );
+                                    shared.metrics.feed_diff_syncs += 1;
+                                    drop(shared);
+                                    Self::transfer(out, session, current, &entries);
+                                    self.synced.insert(conn, current);
+                                }
+                                None => {
+                                    shared.metrics.feed_cache_resets += 1;
+                                    drop(shared);
+                                    Pdu::CacheReset.encode(out);
+                                    self.synced.remove(&conn);
+                                }
+                            }
+                        }
+                        Pdu::Error { .. } => {
+                            inbuf.clear();
+                            return Action::CloseAfterFlush;
+                        }
+                        unexpected => {
+                            Pdu::Error {
+                                code: 3,
+                                message: format!("unexpected client PDU {unexpected:?}"),
+                            }
+                            .encode(out);
+                            inbuf.clear();
+                            return Action::CloseAfterFlush;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    Pdu::Error {
+                        code: 0,
+                        message: e.to_string(),
+                    }
+                    .encode(out);
+                    inbuf.clear();
+                    return Action::CloseAfterFlush;
+                }
+            }
+        }
+        inbuf.drain(..consumed);
+        Action::Continue
+    }
+
+    fn on_open(&mut self, _conn: ConnId, _out: &mut Vec<u8>) {
+        lock_shared(&self.shared).feed_conns_open += 1;
+    }
+
+    fn on_tick(&mut self, push: &mut dyn FnMut(ConnId, &[u8])) {
+        if self.synced.is_empty() {
+            return;
+        }
+        let mut shared = lock_shared(&self.shared);
+        let session = shared.table.session_id();
+        let serial = shared.table.serial();
+        let mut notified = 0u64;
+        for (&conn, last) in &mut self.synced {
+            if *last != serial {
+                *last = serial;
+                notified += 1;
+                push(conn, &Pdu::SerialNotify { session, serial }.to_bytes());
+            }
+        }
+        shared.metrics.feed_notifies += notified;
+    }
+
+    fn on_close(&mut self, conn: ConnId) {
+        self.synced.remove(&conn);
+        let mut shared = lock_shared(&self.shared);
+        shared.feed_conns_open = shared.feed_conns_open.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::MoasList;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn shared_with_table() -> Shared {
+        let mut table = OriginTable::new(7);
+        table.insert(
+            p("10.1.0.0/16"),
+            [Asn(64512)].into_iter().collect::<MoasList>(),
+        );
+        Shared {
+            table,
+            ring: DeltaRing::new(8),
+            exceptions: ExceptionSet::empty(),
+            metrics: DaemonMetrics::default(),
+            shutdown_requested: false,
+            feed_conns_open: 0,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        Request::parse(raw.as_bytes()).unwrap().unwrap().0
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        Request::parse(raw.as_bytes()).unwrap().unwrap().0
+    }
+
+    #[test]
+    fn validity_routes_and_exact_bodies() {
+        let mut shared = shared_with_table();
+        let (status, body) =
+            HttpService::handle(&mut shared, &get("/validity?prefix=10.1.0.0/16&asn=64512"));
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            "{\"prefix\":\"10.1.0.0/16\",\"asn\":64512,\"state\":\"valid\",\
+             \"matchedPrefix\":\"10.1.0.0/16\",\"origins\":[64512]}"
+        );
+        let (status, body) =
+            HttpService::handle(&mut shared, &get("/validity?prefix=10.1.0.0/16&asn=64666"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\":\"invalid\""));
+        let (status, body) =
+            HttpService::handle(&mut shared, &get("/validity?prefix=192.0.2.0/24&asn=1"));
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            "{\"prefix\":\"192.0.2.0/24\",\"asn\":1,\"state\":\"not-found\"}"
+        );
+        // AS-prefixed ASNs parse too.
+        let (status, _) = HttpService::handle(
+            &mut shared,
+            &get("/validity?prefix=10.1.0.0/16&asn=AS64512"),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(shared.metrics.queries, 4);
+        assert_eq!(shared.metrics.queries_valid, 2);
+        assert_eq!(shared.metrics.queries_invalid, 1);
+        assert_eq!(shared.metrics.queries_not_found, 1);
+    }
+
+    #[test]
+    fn validity_rejects_bad_parameters() {
+        let mut shared = shared_with_table();
+        assert_eq!(HttpService::handle(&mut shared, &get("/validity")).0, 400);
+        assert_eq!(
+            HttpService::handle(&mut shared, &get("/validity?prefix=zap&asn=1")).0,
+            400
+        );
+        assert_eq!(
+            HttpService::handle(&mut shared, &get("/validity?prefix=10.0.0.0/8&asn=zap")).0,
+            400
+        );
+        assert_eq!(shared.metrics.queries, 0);
+    }
+
+    #[test]
+    fn ingest_applies_and_reports_serial() {
+        let mut shared = shared_with_table();
+        let (status, body) = HttpService::handle(
+            &mut shared,
+            &post(
+                "/ingest",
+                r#"{"updates":[
+                    {"prefix": "10.2.0.0/16", "asn": 64513},
+                    {"announce": false, "prefix": "10.1.0.0/16", "asn": 64512}
+                ]}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"serial\":1,\"announced\":1,\"withdrawn\":1}");
+        assert_eq!(shared.table.serial(), 1);
+        assert_eq!(shared.ring.len(), 1);
+        // A no-op batch reports the unchanged serial and stays out of the ring.
+        let (_, body) = HttpService::handle(
+            &mut shared,
+            &post(
+                "/ingest",
+                r#"{"updates":[{"prefix": "10.2.0.0/16", "asn": 64513}]}"#,
+            ),
+        );
+        assert_eq!(body, "{\"serial\":1,\"announced\":0,\"withdrawn\":0}");
+        assert_eq!(shared.ring.len(), 1);
+        assert_eq!(shared.metrics.ingest_batches, 2);
+        assert_eq!(shared.metrics.ingest_updates, 3);
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_bodies() {
+        let mut shared = shared_with_table();
+        assert_eq!(
+            HttpService::handle(&mut shared, &post("/ingest", "nope")).0,
+            400
+        );
+        assert_eq!(
+            HttpService::handle(&mut shared, &post("/ingest", "{}")).0,
+            400
+        );
+        assert_eq!(
+            HttpService::handle(&mut shared, &post("/ingest", r#"{"updates":[{"asn":1}]}"#)).0,
+            400
+        );
+        assert_eq!(shared.table.serial(), 0);
+    }
+
+    #[test]
+    fn reload_counts_verdict_affecting_loads() {
+        let mut shared = shared_with_table();
+        let slurm = r#"{"locallyAddedAssertions":{"prefixAssertions":[
+            {"prefix": "10.9.0.0/16", "asn": 64999}
+        ]}}"#;
+        let (status, body) = HttpService::handle(&mut shared, &post("/reload-exceptions", slurm));
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"rules\":1,\"changed\":true}");
+        // Reloading the identical file is not verdict-affecting.
+        let (_, body) = HttpService::handle(&mut shared, &post("/reload-exceptions", slurm));
+        assert_eq!(body, "{\"rules\":1,\"changed\":false}");
+        assert_eq!(shared.metrics.exception_reloads, 2);
+        assert_eq!(shared.metrics.exception_reloads_verdict_affecting, 1);
+        // A malformed file keeps the old rules.
+        let (status, _) = HttpService::handle(&mut shared, &post("/reload-exceptions", "zap"));
+        assert_eq!(status, 400);
+        assert_eq!(shared.exceptions.len(), 1);
+        // And the loaded assertion now answers queries.
+        let (_, body) =
+            HttpService::handle(&mut shared, &get("/validity?prefix=10.9.0.0/16&asn=64999"));
+        assert!(body.contains("\"state\":\"valid\""));
+    }
+
+    #[test]
+    fn metrics_and_status_render() {
+        let mut shared = shared_with_table();
+        let (status, body) = HttpService::handle(&mut shared, &get("/metrics"));
+        assert_eq!(status, 200);
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().unwrap();
+            let value = parts.next().unwrap();
+            assert!(!name.is_empty());
+            value
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("unparseable metric line '{line}'"));
+            assert_eq!(parts.next(), None);
+        }
+        assert!(body.contains("table_prefixes 1\n"));
+        let (status, body) = HttpService::handle(&mut shared, &get("/status"));
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("sessionId"), Some(&Json::Num(7.0)));
+        assert_eq!(doc.get("shutdownRequested"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let mut shared = shared_with_table();
+        assert_eq!(HttpService::handle(&mut shared, &get("/nope")).0, 404);
+        assert_eq!(
+            HttpService::handle(&mut shared, &post("/validity", "")).0,
+            404
+        );
+        let raw = b"DELETE /validity HTTP/1.1\r\n\r\n";
+        let req = Request::parse(raw).unwrap().unwrap().0;
+        assert_eq!(HttpService::handle(&mut shared, &req).0, 405);
+    }
+
+    #[test]
+    fn shutdown_endpoint_sets_the_flag() {
+        let mut shared = shared_with_table();
+        let (status, body) = HttpService::handle(&mut shared, &post("/shutdown", ""));
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        assert!(shared.shutdown_requested);
+    }
+}

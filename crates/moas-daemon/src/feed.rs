@@ -1,0 +1,417 @@
+//! The binary push-feed protocol: RFC 8210's PDU shapes carrying MOAS
+//! table entries instead of ROA payloads.
+//!
+//! Every PDU starts with an 8-byte header:
+//!
+//! ```text
+//! 0          8          16         24        31
+//! +----------+----------+---------------------+
+//! | version  | pdu type |   session id        |
+//! +----------+----------+---------------------+
+//! |          length (incl. header)            |
+//! +-------------------------------------------+
+//! ```
+//!
+//! All integers are big-endian. `version` is always [`VERSION`]. The
+//! session-id field doubles as the error code in [`Pdu::Error`] (as in
+//! RFC 8210) and is zero where a PDU carries no session.
+//!
+//! The sync conversation is the RTR one:
+//!
+//! * client sends [`Pdu::ResetQuery`] → server replies
+//!   [`Pdu::CacheResponse`], a [`Pdu::Prefix`] per table entry, then
+//!   [`Pdu::EndOfData`] naming the serial the transfer represents;
+//! * client sends [`Pdu::SerialQuery`] with its session + serial → server
+//!   replies with the delta (same framing), or [`Pdu::CacheReset`] when the
+//!   serial is unknown, from a different session, or aged out of the delta
+//!   ring — the client must fall back to a reset query;
+//! * server pushes [`Pdu::SerialNotify`] whenever its serial advances;
+//!   clients then serial-query at their own pace.
+
+use std::error::Error;
+use std::fmt;
+
+use bgp_types::{Asn, Ipv4Prefix};
+
+/// The protocol version encoded in every header.
+pub const VERSION: u8 = 0;
+
+/// Largest PDU the decoder will accept; anything bigger is a framing error.
+/// Only [`Pdu::Error`] is variable-length, and its message is short.
+const MAX_PDU_LEN: u32 = 4096;
+
+const HEADER_LEN: usize = 8;
+
+const TYPE_SERIAL_NOTIFY: u8 = 0;
+const TYPE_SERIAL_QUERY: u8 = 1;
+const TYPE_RESET_QUERY: u8 = 2;
+const TYPE_CACHE_RESPONSE: u8 = 3;
+const TYPE_PREFIX: u8 = 4;
+const TYPE_END_OF_DATA: u8 = 7;
+const TYPE_CACHE_RESET: u8 = 8;
+const TYPE_ERROR: u8 = 10;
+
+/// A malformed feed byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedError {
+    /// The header named a protocol version other than [`VERSION`].
+    BadVersion(u8),
+    /// The header named an unknown PDU type.
+    BadType(u8),
+    /// The header's length field is impossible for its PDU type.
+    BadLength {
+        /// The PDU type from the header.
+        pdu_type: u8,
+        /// The offending length field.
+        length: u32,
+    },
+    /// A prefix PDU carried a mask length over 32.
+    BadPrefix(u8),
+    /// An error PDU's message was not UTF-8.
+    BadText,
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::BadVersion(v) => write!(f, "unsupported feed version {v}"),
+            FeedError::BadType(t) => write!(f, "unknown PDU type {t}"),
+            FeedError::BadLength { pdu_type, length } => {
+                write!(f, "impossible length {length} for PDU type {pdu_type}")
+            }
+            FeedError::BadPrefix(len) => write!(f, "prefix length {len} exceeds 32"),
+            FeedError::BadText => write!(f, "error PDU message is not UTF-8"),
+        }
+    }
+}
+
+impl Error for FeedError {}
+
+/// One `(announce?, prefix, origin)` table entry on the wire (PDU type 4,
+/// fixed 20 bytes: header, flags, prefix length, 2 reserved bytes, network
+/// address, origin ASN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixEntry {
+    /// `true` = announce (flags bit 0 set), `false` = withdraw.
+    pub announce: bool,
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// The origin AS.
+    pub asn: Asn,
+}
+
+/// A feed protocol data unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pdu {
+    /// Server → client: the table moved to `serial`; ask me for the diff.
+    SerialNotify {
+        /// The server's session id.
+        session: u16,
+        /// The new serial.
+        serial: u32,
+    },
+    /// Client → server: I hold `serial` of `session`; send what changed.
+    SerialQuery {
+        /// The session the client's state belongs to.
+        session: u16,
+        /// The serial the client holds.
+        serial: u32,
+    },
+    /// Client → server: I hold nothing; send the full table.
+    ResetQuery,
+    /// Server → client: transfer follows.
+    CacheResponse {
+        /// The server's session id.
+        session: u16,
+    },
+    /// One table entry of the transfer.
+    Prefix(PrefixEntry),
+    /// Server → client: transfer complete; you now hold `serial`.
+    EndOfData {
+        /// The server's session id.
+        session: u16,
+        /// The serial the client now holds.
+        serial: u32,
+    },
+    /// Server → client: I cannot diff from your serial; reset-query instead.
+    CacheReset,
+    /// Either direction: protocol error. The session field carries `code`.
+    Error {
+        /// Numeric error code (0 = corrupt data, 1 = internal error,
+        /// 2 = unsupported version, 3 = unsupported PDU type).
+        code: u16,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+}
+
+fn header(out: &mut Vec<u8>, pdu_type: u8, session: u16, length: u32) {
+    out.push(VERSION);
+    out.push(pdu_type);
+    out.extend_from_slice(&session.to_be_bytes());
+    out.extend_from_slice(&length.to_be_bytes());
+}
+
+impl Pdu {
+    /// Appends the wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Pdu::SerialNotify { session, serial } => {
+                header(out, TYPE_SERIAL_NOTIFY, *session, 12);
+                out.extend_from_slice(&serial.to_be_bytes());
+            }
+            Pdu::SerialQuery { session, serial } => {
+                header(out, TYPE_SERIAL_QUERY, *session, 12);
+                out.extend_from_slice(&serial.to_be_bytes());
+            }
+            Pdu::ResetQuery => header(out, TYPE_RESET_QUERY, 0, 8),
+            Pdu::CacheResponse { session } => header(out, TYPE_CACHE_RESPONSE, *session, 8),
+            Pdu::Prefix(entry) => {
+                header(out, TYPE_PREFIX, 0, 20);
+                out.push(u8::from(entry.announce));
+                out.push(entry.prefix.len());
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&entry.prefix.network().to_be_bytes());
+                out.extend_from_slice(&entry.asn.0.to_be_bytes());
+            }
+            Pdu::EndOfData { session, serial } => {
+                header(out, TYPE_END_OF_DATA, *session, 12);
+                out.extend_from_slice(&serial.to_be_bytes());
+            }
+            Pdu::CacheReset => header(out, TYPE_CACHE_RESET, 0, 8),
+            Pdu::Error { code, message } => {
+                let msg = message.as_bytes();
+                let length = (HEADER_LEN + 4 + msg.len()) as u32;
+                header(out, TYPE_ERROR, *code, length);
+                out.extend_from_slice(&(msg.len() as u32).to_be_bytes());
+                out.extend_from_slice(msg);
+            }
+        }
+    }
+
+    /// The wire encoding as a fresh buffer.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one PDU from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only part of a PDU (read more
+    /// bytes and retry), or `Ok(Some((pdu, consumed)))` on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FeedError`] when the bytes cannot be a valid PDU; the
+    /// stream is unrecoverable at that point and should be closed.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Pdu, usize)>, FeedError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if buf[0] != VERSION {
+            return Err(FeedError::BadVersion(buf[0]));
+        }
+        let pdu_type = buf[1];
+        let session = u16::from_be_bytes([buf[2], buf[3]]);
+        let length = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        if length < HEADER_LEN as u32 || length > MAX_PDU_LEN {
+            return Err(FeedError::BadLength { pdu_type, length });
+        }
+        let expected = match pdu_type {
+            TYPE_SERIAL_NOTIFY | TYPE_SERIAL_QUERY | TYPE_END_OF_DATA => Some(12),
+            TYPE_RESET_QUERY | TYPE_CACHE_RESPONSE | TYPE_CACHE_RESET => Some(8),
+            TYPE_PREFIX => Some(20),
+            TYPE_ERROR => None,
+            other => return Err(FeedError::BadType(other)),
+        };
+        if let Some(expected) = expected {
+            if length != expected {
+                return Err(FeedError::BadLength { pdu_type, length });
+            }
+        }
+        let length = length as usize;
+        if buf.len() < length {
+            return Ok(None);
+        }
+        let body = &buf[HEADER_LEN..length];
+        let read_u32 =
+            |at: usize| u32::from_be_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]]);
+        let pdu = match pdu_type {
+            TYPE_SERIAL_NOTIFY => Pdu::SerialNotify {
+                session,
+                serial: read_u32(0),
+            },
+            TYPE_SERIAL_QUERY => Pdu::SerialQuery {
+                session,
+                serial: read_u32(0),
+            },
+            TYPE_RESET_QUERY => Pdu::ResetQuery,
+            TYPE_CACHE_RESPONSE => Pdu::CacheResponse { session },
+            TYPE_PREFIX => {
+                let prefix_len = body[1];
+                let prefix = Ipv4Prefix::try_new(read_u32(4), prefix_len)
+                    .map_err(|_| FeedError::BadPrefix(prefix_len))?;
+                Pdu::Prefix(PrefixEntry {
+                    announce: body[0] & 1 == 1,
+                    prefix,
+                    asn: Asn(read_u32(8)),
+                })
+            }
+            TYPE_END_OF_DATA => Pdu::EndOfData {
+                session,
+                serial: read_u32(0),
+            },
+            TYPE_CACHE_RESET => Pdu::CacheReset,
+            TYPE_ERROR => {
+                if body.len() < 4 {
+                    return Err(FeedError::BadLength {
+                        pdu_type,
+                        length: length as u32,
+                    });
+                }
+                let msg_len = read_u32(0) as usize;
+                if body.len() != 4 + msg_len {
+                    return Err(FeedError::BadLength {
+                        pdu_type,
+                        length: length as u32,
+                    });
+                }
+                let message = std::str::from_utf8(&body[4..])
+                    .map_err(|_| FeedError::BadText)?
+                    .to_string();
+                Pdu::Error {
+                    code: session,
+                    message,
+                }
+            }
+            _ => unreachable!("type validated above"),
+        };
+        Ok(Some((pdu, length)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(pdu: Pdu) {
+        let bytes = pdu.to_bytes();
+        let (back, consumed) = Pdu::decode(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, pdu);
+    }
+
+    #[test]
+    fn every_pdu_round_trips() {
+        round_trip(Pdu::SerialNotify {
+            session: 7,
+            serial: 42,
+        });
+        round_trip(Pdu::SerialQuery {
+            session: 65535,
+            serial: u32::MAX,
+        });
+        round_trip(Pdu::ResetQuery);
+        round_trip(Pdu::CacheResponse { session: 9 });
+        round_trip(Pdu::Prefix(PrefixEntry {
+            announce: true,
+            prefix: "10.1.0.0/16".parse().unwrap(),
+            asn: Asn(64512),
+        }));
+        round_trip(Pdu::Prefix(PrefixEntry {
+            announce: false,
+            prefix: "0.0.0.0/0".parse().unwrap(),
+            asn: Asn(0),
+        }));
+        round_trip(Pdu::EndOfData {
+            session: 7,
+            serial: 3,
+        });
+        round_trip(Pdu::CacheReset);
+        round_trip(Pdu::Error {
+            code: 2,
+            message: "nope".to_string(),
+        });
+    }
+
+    #[test]
+    fn partial_input_asks_for_more() {
+        let bytes = Pdu::SerialNotify {
+            session: 1,
+            serial: 2,
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(Pdu::decode(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_pdus_decode_in_sequence() {
+        let mut buf = Vec::new();
+        Pdu::CacheResponse { session: 3 }.encode(&mut buf);
+        Pdu::Prefix(PrefixEntry {
+            announce: true,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            asn: Asn(64496),
+        })
+        .encode(&mut buf);
+        Pdu::EndOfData {
+            session: 3,
+            serial: 1,
+        }
+        .encode(&mut buf);
+
+        let mut offset = 0;
+        let mut pdus = Vec::new();
+        while let Some((pdu, used)) = Pdu::decode(&buf[offset..]).unwrap() {
+            pdus.push(pdu);
+            offset += used;
+        }
+        assert_eq!(offset, buf.len());
+        assert_eq!(pdus.len(), 3);
+        assert!(matches!(pdus[0], Pdu::CacheResponse { session: 3 }));
+        assert!(matches!(pdus[2], Pdu::EndOfData { serial: 1, .. }));
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        // Wrong version.
+        let mut bytes = Pdu::ResetQuery.to_bytes();
+        bytes[0] = 9;
+        assert_eq!(Pdu::decode(&bytes), Err(FeedError::BadVersion(9)));
+        // Unknown type.
+        let mut bytes = Pdu::ResetQuery.to_bytes();
+        bytes[1] = 99;
+        assert_eq!(Pdu::decode(&bytes), Err(FeedError::BadType(99)));
+        // Length too small for the type.
+        let mut bytes = Pdu::SerialQuery {
+            session: 1,
+            serial: 1,
+        }
+        .to_bytes();
+        bytes[7] = 8;
+        assert!(matches!(
+            Pdu::decode(&bytes),
+            Err(FeedError::BadLength { pdu_type: 1, .. })
+        ));
+        // Absurd length field.
+        let mut bytes = Pdu::ResetQuery.to_bytes();
+        bytes[4] = 0xff;
+        assert!(matches!(
+            Pdu::decode(&bytes),
+            Err(FeedError::BadLength { .. })
+        ));
+        // Prefix mask over 32.
+        let mut bytes = Pdu::Prefix(PrefixEntry {
+            announce: true,
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            asn: Asn(1),
+        })
+        .to_bytes();
+        bytes[9] = 33;
+        assert_eq!(Pdu::decode(&bytes), Err(FeedError::BadPrefix(33)));
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal hand-rolled HTTP/1.1 layer: just enough server-side parsing
+//! for the daemon's query/control endpoints and just enough formatting for
+//! its JSON and text responses. Persistent connections are supported;
+//! chunked transfer encoding and everything else is not.
+
+use std::error::Error;
+use std::fmt;
+
+/// A request the parser cannot accept (also covers limits, so a hostile
+/// peer cannot buffer unbounded data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Human-readable reason, used in the 400 response body.
+    pub message: String,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad request: {}", self.message)
+    }
+}
+
+impl Error for HttpError {}
+
+fn bad(message: impl Into<String>) -> HttpError {
+    HttpError {
+        message: message.into(),
+    }
+}
+
+/// Largest accepted head (request line + headers) in bytes.
+const MAX_HEAD: usize = 8 * 1024;
+/// Largest accepted body in bytes (ingest batches stay well under this).
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path portion of the target, percent-decoded.
+    pub path: String,
+    /// Decoded `(name, value)` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// `(lower-cased name, value)` headers, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Parses one request from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` does not yet hold the complete head
+    /// and body (read more and retry), or `Ok(Some((request, consumed)))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HttpError`] for malformed or oversized requests; the
+    /// caller should answer 400 and close.
+    pub fn parse(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+        let Some(head_end) = find_head_end(buf) else {
+            if buf.len() > MAX_HEAD {
+                return Err(bad("request head too large"));
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        let head =
+            std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("request head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| bad("missing method"))?
+            .to_ascii_uppercase();
+        let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+        let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+        if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+            return Err(bad(format!("unsupported version '{version}'")));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(format!("malformed header line '{line}'")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| bad("unparsable Content-Length"))?,
+            None => 0,
+        };
+        if content_length > MAX_BODY {
+            return Err(bad("body too large"));
+        }
+        let total = head_end + 4 + content_length;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body = buf[head_end + 4..total].to_vec();
+
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        let path = percent_decode(raw_path)?;
+        let mut query = Vec::new();
+        if let Some(raw_query) = raw_query {
+            for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+                let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+                query.push((percent_decode(name)?, percent_decode(value)?));
+            }
+        }
+
+        let keep_alive = match headers.iter().find(|(n, _)| n == "connection") {
+            Some((_, v)) => !v.eq_ignore_ascii_case("close"),
+            None => version == "HTTP/1.1",
+        };
+
+        Ok(Some((
+            Request {
+                method,
+                path,
+                query,
+                headers,
+                body,
+                keep_alive,
+            },
+            total,
+        )))
+    }
+
+    /// The first query parameter named `name`.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%xx` escapes and `+`-as-space.
+fn percent_decode(input: &str) -> Result<String, HttpError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| bad("truncated percent escape"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| bad("bad percent escape"))?;
+                let value = u8::from_str_radix(hex, 16).map_err(|_| bad("bad percent escape"))?;
+                out.push(value);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| bad("percent-decoded text is not UTF-8"))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Formats a complete response with `Content-Length` and (when the
+/// connection is about to close) `Connection: close`.
+#[must_use]
+pub fn response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {}\r\n", reason(status)).as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    if !keep_alive {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// An `application/json` response.
+#[must_use]
+pub fn json_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    response(status, "application/json", body, keep_alive)
+}
+
+/// A `text/plain` response (used by `/metrics` and parse errors).
+#[must_use]
+pub fn text_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    response(status, "text/plain; charset=utf-8", body, keep_alive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let raw = b"GET /validity?prefix=10.1.0.0%2F16&asn=64512 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, used) = Request::parse(raw).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/validity");
+        assert_eq!(req.query_param("prefix"), Some("10.1.0.0/16"));
+        assert_eq!(req.query_param("asn"), Some("64512"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn unencoded_slash_in_query_also_works() {
+        let raw = b"GET /validity?prefix=10.1.0.0/16&asn=7 HTTP/1.1\r\n\r\n";
+        let (req, _) = Request::parse(raw).unwrap().unwrap();
+        assert_eq!(req.query_param("prefix"), Some("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn waits_for_the_full_body() {
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nabc";
+        assert_eq!(Request::parse(raw).unwrap(), None);
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde";
+        let (req, used) = Request::parse(raw).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.body, b"abcde");
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, used) = Request::parse(raw).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        let (req2, used2) = Request::parse(&raw[used..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/b");
+        assert_eq!(used + used2, raw.len());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!Request::parse(raw).unwrap().unwrap().0.keep_alive);
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!Request::parse(raw).unwrap().unwrap().0.keep_alive);
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(Request::parse(raw).unwrap().unwrap().0.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Request::parse(b"NOT-HTTP\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET / HTTP/2.0\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
+        // An over-long head errors rather than buffering forever.
+        let long = vec![b'a'; MAX_HEAD + 1];
+        assert!(Request::parse(&long).is_err());
+    }
+
+    #[test]
+    fn response_formatting_includes_length_and_close() {
+        let bytes = json_response(200, "{}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(!text.contains("Connection: close"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let bytes = text_response(404, "nope", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,69 @@
+//! `moas-daemon` — the MOAS-list detector as a long-running service.
+//!
+//! The paper's detector runs here as batch experiments; its premise, though,
+//! is an *online* service: routers consult MOAS lists to judge origin
+//! validity as announcements arrive. This crate is that service, shaped like
+//! RPKI relying-party software (Routinator et al.):
+//!
+//! * [`OriginTable`] — the prefix → origin-set table in the [`bgp_types`]
+//!   trie, versioned by a monotonically increasing **serial**, with a
+//!   bounded [`DeltaRing`] of per-serial change sets so clients sync cheaply
+//!   via diffs;
+//! * [`feed`] — an RTR-style binary push feed (session-id / serial-query /
+//!   cache-response / cache-reset semantics, RFC 8210's shape on a
+//!   MOAS-list payload);
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 endpoint:
+//!   `/validity?prefix=…&asn=…`, `/metrics`, `/status`, plus control
+//!   endpoints (`/ingest`, `/reload-exceptions`, `/shutdown`);
+//! * [`exceptions`] — SLURM-style local exception files (RFC 8416's shape):
+//!   operator assertions and filters that override derived verdicts, hot
+//!   reloadable through the control endpoint;
+//! * [`Daemon`] — both wire interfaces served over loopback TCP by the
+//!   vendored [`minisock`] reactor, one worker thread per listener;
+//! * [`client`] — a blocking in-process client library
+//!   ([`client::FeedClient`], [`client::HttpClient`]) used by the
+//!   integration tests and
+//!   `moas-lab daemon-probe`.
+//!
+//! Everything is deterministic given the sequence of applied updates: serial
+//! numbers, feed bytes, and `/validity` responses are asserted byte-for-byte
+//! in `tests/daemon_loopback.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use moas_daemon::{Daemon, DaemonConfig, OriginTable, Verdict};
+//! use moas_daemon::client::HttpClient;
+//! use bgp_types::{Asn, MoasList};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut table = OriginTable::new(7); // session id 7
+//! table.insert("10.1.0.0/16".parse()?, [Asn(64512)].into_iter().collect());
+//!
+//! let daemon = Daemon::start(DaemonConfig::loopback(), table)?;
+//! let mut http = HttpClient::connect(daemon.http_addr())?;
+//! let (status, body) = http.get("/validity?prefix=10.1.0.0/16&asn=64512")?;
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"valid\""));
+//! daemon.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod client;
+mod daemon;
+pub mod exceptions;
+pub mod feed;
+pub mod http;
+mod table;
+mod validity;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use exceptions::{ExceptionError, ExceptionSet, PrefixAssertion, PrefixFilter};
+pub use feed::{FeedError, Pdu, PrefixEntry};
+pub use table::{DeltaRing, OriginTable, TableDelta, TableUpdate};
+pub use validity::{validate, validate_detailed, Validation, Verdict};

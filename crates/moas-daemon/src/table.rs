@@ -1,0 +1,552 @@
+//! The versioned prefix → origin-set table behind the daemon, plus the
+//! bounded ring of per-serial deltas that makes incremental feed sync cheap.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+
+use bgp_types::{Asn, Ipv4Prefix, MoasList, PrefixTrie};
+use bgp_wire::DailyDumpStream;
+use experiments::json::{Json, JsonError};
+use route_measurement::DailyDump;
+
+/// One `(prefix, origin)` change to apply to the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableUpdate {
+    /// `true` adds the origin to the prefix's MOAS list, `false` removes it.
+    pub announce: bool,
+    /// The prefix whose origin set changes.
+    pub prefix: Ipv4Prefix,
+    /// The origin AS being added or removed.
+    pub asn: Asn,
+}
+
+impl TableUpdate {
+    /// An announce update.
+    #[must_use]
+    pub fn announce(prefix: Ipv4Prefix, asn: Asn) -> Self {
+        TableUpdate {
+            announce: true,
+            prefix,
+            asn,
+        }
+    }
+
+    /// A withdraw update.
+    #[must_use]
+    pub fn withdraw(prefix: Ipv4Prefix, asn: Asn) -> Self {
+        TableUpdate {
+            announce: false,
+            prefix,
+            asn,
+        }
+    }
+}
+
+/// The net effect of one applied update batch: the change set a client at
+/// `serial - 1` must apply to reach `serial`.
+///
+/// Only *effective* changes are recorded — announcing an origin already in
+/// the list, or withdrawing one that was never there, contributes nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableDelta {
+    /// The serial this delta produces.
+    pub serial: u32,
+    /// `(prefix, origin)` pairs added.
+    pub announced: Vec<(Ipv4Prefix, Asn)>,
+    /// `(prefix, origin)` pairs removed.
+    pub withdrawn: Vec<(Ipv4Prefix, Asn)>,
+}
+
+impl TableDelta {
+    /// `true` when the batch changed nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty() && self.withdrawn.is_empty()
+    }
+}
+
+/// The daemon's origin-validation table: MOAS lists in a prefix trie,
+/// versioned by a monotonically increasing serial.
+///
+/// The serial identifies a table *state*; every [`apply`](Self::apply) call
+/// that changes something increments it by one. Pre-serving bulk loads go
+/// through [`insert`](Self::insert), which leaves the serial alone — the
+/// loaded table **is** the current serial's state.
+#[derive(Debug, Clone)]
+pub struct OriginTable {
+    trie: PrefixTrie<MoasList>,
+    serial: u32,
+    session_id: u16,
+}
+
+impl OriginTable {
+    /// An empty table at serial 0 under the given feed session id.
+    #[must_use]
+    pub fn new(session_id: u16) -> Self {
+        OriginTable {
+            trie: PrefixTrie::new(),
+            serial: 0,
+            session_id,
+        }
+    }
+
+    /// The current serial.
+    #[must_use]
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The feed session id; a client holding serials from a different
+    /// session must reset.
+    #[must_use]
+    pub fn session_id(&self) -> u16 {
+        self.session_id
+    }
+
+    /// Number of prefixes with a non-empty origin set.
+    #[must_use]
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Number of `(prefix, origin)` pairs — the feed's unit of transfer.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.trie.iter().map(|(_, list)| list.len()).sum()
+    }
+
+    /// Replaces the origin set of `prefix` without touching the serial
+    /// (bulk loading). An empty list removes the prefix.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, origins: MoasList) {
+        if origins.is_empty() {
+            self.trie.remove(prefix);
+        } else {
+            self.trie.insert(prefix, origins);
+        }
+    }
+
+    /// The origin set stored for exactly `prefix`.
+    #[must_use]
+    pub fn origins(&self, prefix: Ipv4Prefix) -> Option<&MoasList> {
+        self.trie.get(prefix)
+    }
+
+    /// Every stored entry covering `prefix` (including `prefix` itself),
+    /// least-specific first.
+    #[must_use]
+    pub fn covering(&self, prefix: Ipv4Prefix) -> Vec<(Ipv4Prefix, &MoasList)> {
+        self.trie.covering_matches(prefix)
+    }
+
+    /// The full `(prefix, origin)` snapshot in deterministic order
+    /// (ascending prefix, then ASN) — what a feed reset sync transfers.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Ipv4Prefix, Asn)> {
+        let mut out = Vec::with_capacity(self.trie.len());
+        for (prefix, list) in self.trie.iter() {
+            for asn in list {
+                out.push((prefix, asn));
+            }
+        }
+        out
+    }
+
+    /// Applies an update batch atomically, returning the effective delta.
+    /// The serial increments only when the batch changed something.
+    pub fn apply(&mut self, updates: &[TableUpdate]) -> TableDelta {
+        let mut delta = TableDelta::default();
+        for update in updates {
+            if update.announce {
+                let added = if let Some(list) = self.trie.get(update.prefix) {
+                    let mut list = list.clone();
+                    let added = list.insert(update.asn);
+                    if added {
+                        self.trie.insert(update.prefix, list);
+                    }
+                    added
+                } else {
+                    self.trie
+                        .insert(update.prefix, MoasList::implicit(update.asn));
+                    true
+                };
+                if added {
+                    delta.announced.push((update.prefix, update.asn));
+                }
+            } else if let Some(list) = self.trie.get(update.prefix) {
+                let mut list = list.clone();
+                if list.remove(update.asn) {
+                    delta.withdrawn.push((update.prefix, update.asn));
+                    if list.is_empty() {
+                        self.trie.remove(update.prefix);
+                    } else {
+                        self.trie.insert(update.prefix, list);
+                    }
+                }
+            }
+        }
+        if !delta.is_empty() {
+            self.serial += 1;
+        }
+        delta.serial = self.serial;
+        delta
+    }
+
+    /// Loads a table from a JSON MOAS-list file:
+    ///
+    /// ```json
+    /// { "moasLists": [ { "prefix": "10.1.0.0/16", "origins": [64512, 64513] } ] }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON or entries missing
+    /// `prefix`/`origins`.
+    pub fn from_json(text: &str, session_id: u16) -> Result<Self, JsonError> {
+        let doc = Json::parse(text)?;
+        let lists = doc.get("moasLists").ok_or_else(|| JsonError {
+            message: "missing 'moasLists' array".to_string(),
+            offset: 0,
+        })?;
+        let Json::Arr(items) = lists else {
+            return Err(JsonError {
+                message: "'moasLists' must be an array".to_string(),
+                offset: 0,
+            });
+        };
+        let mut table = OriginTable::new(session_id);
+        for item in items {
+            let prefix = parse_prefix_field(item, "prefix")?;
+            let origins = item.get("origins").ok_or_else(|| JsonError {
+                message: "entry missing 'origins'".to_string(),
+                offset: 0,
+            })?;
+            let Json::Arr(asns) = origins else {
+                return Err(JsonError {
+                    message: "'origins' must be an array of AS numbers".to_string(),
+                    offset: 0,
+                });
+            };
+            let mut list = MoasList::new();
+            for asn in asns {
+                match asn {
+                    Json::Num(n) if *n >= 0.0 && *n <= f64::from(u32::MAX) && n.fract() == 0.0 => {
+                        list.insert(Asn(*n as u32));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            message: "origins must be 32-bit AS numbers".to_string(),
+                            offset: 0,
+                        })
+                    }
+                }
+            }
+            table.insert(prefix, list);
+        }
+        Ok(table)
+    }
+
+    /// Serializes the table back to the [`from_json`](Self::from_json)
+    /// format, in snapshot order.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let items: Vec<Json> = self
+            .trie
+            .iter()
+            .map(|(prefix, list)| {
+                Json::Obj(vec![
+                    ("prefix".to_string(), Json::Str(prefix.to_string())),
+                    (
+                        "origins".to_string(),
+                        Json::Arr(list.iter().map(|a| Json::Num(f64::from(a.0))).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("moasLists".to_string(), Json::Arr(items))]).pretty()
+    }
+
+    /// Derives a table from an MRT table-dump archive: every day group is
+    /// streamed through [`DailyDumpStream`] and merged, so a prefix's MOAS
+    /// list is the union of origins observed across the whole archive (the
+    /// paper's derivation of MOAS lists from route collectors, applied
+    /// archive-wide).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O or wire-decoding error.
+    pub fn from_mrt<R: io::Read>(reader: R, session_id: u16) -> Result<Self, bgp_wire::WireError> {
+        let mut stream = DailyDumpStream::new(reader);
+        let mut merged = DailyDump::new(0);
+        while let Some(day) = stream.next_day()? {
+            merged.merge(&day.dump);
+        }
+        let mut table = OriginTable::new(session_id);
+        for (prefix, origins) in merged.iter() {
+            table.insert(prefix, origins.iter().copied().collect());
+        }
+        Ok(table)
+    }
+}
+
+fn parse_prefix_field(item: &Json, field: &str) -> Result<Ipv4Prefix, JsonError> {
+    match item.get(field) {
+        Some(Json::Str(s)) => s.parse().map_err(|e| JsonError {
+            message: format!("bad {field} '{s}': {e}"),
+            offset: 0,
+        }),
+        _ => Err(JsonError {
+            message: format!("entry missing string '{field}'"),
+            offset: 0,
+        }),
+    }
+}
+
+/// A bounded ring of the most recent [`TableDelta`]s, keyed by the serial
+/// each one produces.
+///
+/// A client at serial `s` asking for the changes up to the current serial
+/// gets the merged deltas `s+1 ..= current` if the ring still holds them
+/// all; once `s+1` has aged out the only answer is a cache reset. This is
+/// the RTR cache model: bounded server memory, cheap diffs for live
+/// clients, full resync for stragglers.
+#[derive(Debug, Clone)]
+pub struct DeltaRing {
+    capacity: usize,
+    deltas: VecDeque<TableDelta>,
+}
+
+impl DeltaRing {
+    /// A ring retaining at most `capacity` deltas (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        DeltaRing {
+            capacity: capacity.max(1),
+            deltas: VecDeque::new(),
+        }
+    }
+
+    /// Number of deltas currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// `true` when no delta is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The oldest serial a diff can still start *from* (i.e. the serial a
+    /// client must at least hold), if any deltas are retained.
+    #[must_use]
+    pub fn oldest_reachable_serial(&self) -> Option<u32> {
+        self.deltas.front().map(|d| d.serial - 1)
+    }
+
+    /// Retains an applied delta. Callers skip no-op deltas.
+    pub fn push(&mut self, delta: TableDelta) {
+        if self.deltas.len() == self.capacity {
+            self.deltas.pop_front();
+        }
+        self.deltas.push_back(delta);
+    }
+
+    /// The merged change set taking a client from `from_serial` to
+    /// `current_serial`, or `None` if the ring no longer covers that span
+    /// (→ cache reset).
+    ///
+    /// Changes cancel pairwise: an origin announced and later withdrawn
+    /// within the span disappears from the diff entirely, so clients apply
+    /// the minimal set, in deterministic (prefix, ASN) order.
+    #[must_use]
+    pub fn diff_since(&self, from_serial: u32, current_serial: u32) -> Option<TableDelta> {
+        if from_serial == current_serial {
+            return Some(TableDelta {
+                serial: current_serial,
+                ..TableDelta::default()
+            });
+        }
+        if from_serial > current_serial {
+            return None;
+        }
+        // The span must be fully covered by retained deltas.
+        match self.oldest_reachable_serial() {
+            Some(oldest) if oldest <= from_serial => {}
+            _ => return None,
+        }
+        let mut net: BTreeMap<(Ipv4Prefix, Asn), bool> = BTreeMap::new();
+        for delta in &self.deltas {
+            if delta.serial <= from_serial || delta.serial > current_serial {
+                continue;
+            }
+            for &(prefix, asn) in &delta.announced {
+                match net.remove(&(prefix, asn)) {
+                    // withdraw then announce within the span: net nothing
+                    Some(false) => {}
+                    _ => {
+                        net.insert((prefix, asn), true);
+                    }
+                }
+            }
+            for &(prefix, asn) in &delta.withdrawn {
+                match net.remove(&(prefix, asn)) {
+                    // announce then withdraw within the span: net nothing
+                    Some(true) => {}
+                    _ => {
+                        net.insert((prefix, asn), false);
+                    }
+                }
+            }
+        }
+        let mut merged = TableDelta {
+            serial: current_serial,
+            ..TableDelta::default()
+        };
+        for ((prefix, asn), announce) in net {
+            if announce {
+                merged.announced.push((prefix, asn));
+            } else {
+                merged.withdrawn.push((prefix, asn));
+            }
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn apply_tracks_effective_changes_only() {
+        let mut table = OriginTable::new(1);
+        let delta = table.apply(&[
+            TableUpdate::announce(p("10.0.0.0/8"), Asn(1)),
+            TableUpdate::announce(p("10.0.0.0/8"), Asn(1)), // duplicate: no-op
+            TableUpdate::withdraw(p("11.0.0.0/8"), Asn(2)), // absent: no-op
+        ]);
+        assert_eq!(delta.serial, 1);
+        assert_eq!(delta.announced, vec![(p("10.0.0.0/8"), Asn(1))]);
+        assert!(delta.withdrawn.is_empty());
+        assert_eq!(table.serial(), 1);
+
+        // A batch with no effect leaves the serial alone.
+        let delta = table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(1))]);
+        assert!(delta.is_empty());
+        assert_eq!(delta.serial, 1);
+        assert_eq!(table.serial(), 1);
+    }
+
+    #[test]
+    fn withdraw_last_origin_removes_the_prefix() {
+        let mut table = OriginTable::new(1);
+        table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(1))]);
+        table.apply(&[TableUpdate::withdraw(p("10.0.0.0/8"), Asn(1))]);
+        assert_eq!(table.prefix_count(), 0);
+        assert_eq!(table.serial(), 2);
+        assert!(table.origins(p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut table = OriginTable::new(1);
+        table.insert(p("192.168.0.0/16"), [Asn(9), Asn(3)].into_iter().collect());
+        table.insert(p("10.0.0.0/8"), [Asn(7)].into_iter().collect());
+        assert_eq!(
+            table.snapshot(),
+            vec![
+                (p("10.0.0.0/8"), Asn(7)),
+                (p("192.168.0.0/16"), Asn(3)),
+                (p("192.168.0.0/16"), Asn(9)),
+            ]
+        );
+        assert_eq!(table.entry_count(), 3);
+        assert_eq!(table.prefix_count(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut table = OriginTable::new(5);
+        table.insert(
+            p("10.1.0.0/16"),
+            [Asn(64512), Asn(64513)].into_iter().collect(),
+        );
+        table.insert(p("10.2.0.0/16"), [Asn(64514)].into_iter().collect());
+        let text = table.to_json_string();
+        let back = OriginTable::from_json(&text, 5).unwrap();
+        assert_eq!(back.snapshot(), table.snapshot());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(OriginTable::from_json("{}", 1).is_err());
+        assert!(OriginTable::from_json(r#"{"moasLists": 3}"#, 1).is_err());
+        assert!(
+            OriginTable::from_json(r#"{"moasLists": [{"prefix": "nope", "origins": []}]}"#, 1)
+                .is_err()
+        );
+        assert!(OriginTable::from_json(
+            r#"{"moasLists": [{"prefix": "10.0.0.0/8", "origins": [-1]}]}"#,
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ring_diffs_within_capacity() {
+        let mut table = OriginTable::new(1);
+        let mut ring = DeltaRing::new(4);
+        for i in 0..3u32 {
+            let delta = table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(i))]);
+            ring.push(delta);
+        }
+        // 0 -> 3: all three announcements.
+        let diff = ring.diff_since(0, table.serial()).unwrap();
+        assert_eq!(diff.announced.len(), 3);
+        assert_eq!(diff.serial, 3);
+        // 2 -> 3: just the last one.
+        let diff = ring.diff_since(2, table.serial()).unwrap();
+        assert_eq!(diff.announced, vec![(p("10.0.0.0/8"), Asn(2))]);
+        // 3 -> 3: empty.
+        assert!(ring.diff_since(3, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ring_eviction_forces_reset() {
+        let mut table = OriginTable::new(1);
+        let mut ring = DeltaRing::new(2);
+        for i in 0..4u32 {
+            let delta = table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(i))]);
+            ring.push(delta);
+        }
+        // Serials 1 and 2 have aged out of the 2-slot ring.
+        assert_eq!(ring.oldest_reachable_serial(), Some(2));
+        assert!(ring.diff_since(0, 4).is_none());
+        assert!(ring.diff_since(1, 4).is_none());
+        assert!(ring.diff_since(2, 4).is_some());
+        // A serial from the future is never diffable.
+        assert!(ring.diff_since(9, 4).is_none());
+    }
+
+    #[test]
+    fn diff_cancels_announce_withdraw_pairs() {
+        let mut table = OriginTable::new(1);
+        let mut ring = DeltaRing::new(8);
+        ring.push(table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(1))]));
+        ring.push(table.apply(&[TableUpdate::withdraw(p("10.0.0.0/8"), Asn(1))]));
+        let diff = ring.diff_since(0, table.serial()).unwrap();
+        assert!(diff.is_empty(), "announce+withdraw must cancel: {diff:?}");
+
+        // And from serial 1 (after the announce), the net effect by now is a
+        // re-announce.
+        ring.push(table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(1))]));
+        let diff = ring.diff_since(1, table.serial()).unwrap();
+        assert_eq!(diff.withdrawn, Vec::new());
+        assert_eq!(diff.announced, Vec::new());
+    }
+}

@@ -1,0 +1,324 @@
+//! Origin validation against the table plus local exceptions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bgp_types::{Asn, Ipv4Prefix};
+
+use crate::exceptions::ExceptionSet;
+use crate::table::OriginTable;
+
+/// The answer to "may AS *x* originate prefix *p*?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// A covering MOAS list exists and names the queried origin.
+    Valid,
+    /// A covering MOAS list exists but does not name the queried origin —
+    /// the paper's alarm condition.
+    Invalid,
+    /// No covering list: the table says nothing about this prefix.
+    NotFound,
+}
+
+impl Verdict {
+    /// The wire spelling used in `/validity` JSON responses.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Valid => "valid",
+            Verdict::Invalid => "invalid",
+            Verdict::NotFound => "not-found",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A verdict plus the evidence that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validation {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The covering prefix whose effective origin set decided the verdict
+    /// (`None` for [`Verdict::NotFound`]).
+    pub matched_prefix: Option<Ipv4Prefix>,
+    /// That prefix's effective origin set (empty for `NotFound`).
+    pub origins: Vec<Asn>,
+}
+
+/// Validates `(prefix, asn)` and reports the deciding evidence.
+///
+/// The walk considers every table entry covering the queried prefix (never
+/// one *below* it — a /24 announcement is not legitimized by a stored /25),
+/// with local exceptions applied per entry:
+///
+/// 1. each covering entry's *effective* origin set is its MOAS list minus
+///    origins removed by matching filters;
+/// 2. each covering assertion adds its origin at its own prefix, immune to
+///    filters;
+/// 3. the most-specific covering prefix with a non-empty effective set
+///    decides: `valid` if it names the queried origin, `invalid` otherwise;
+/// 4. if no covering prefix has a non-empty effective set, the answer is
+///    `not-found`.
+///
+/// Step 3 mirrors longest-match routing semantics: a more-specific MOAS
+/// list overrides a less-specific one, exactly as the covering announcement
+/// it was derived from would.
+#[must_use]
+pub fn validate_detailed(
+    table: &OriginTable,
+    exceptions: &ExceptionSet,
+    prefix: Ipv4Prefix,
+    asn: Asn,
+) -> Validation {
+    // (covering prefix, effective origins), least-specific first. Distinct
+    // covering prefixes have distinct lengths, so the chain is already
+    // sorted by specificity.
+    let mut levels: Vec<(Ipv4Prefix, BTreeSet<Asn>)> = Vec::new();
+    for (entry_prefix, list) in table.covering(prefix) {
+        let effective: BTreeSet<Asn> = list
+            .iter()
+            .filter(|&origin| !exceptions.filters_out(entry_prefix, origin))
+            .collect();
+        levels.push((entry_prefix, effective));
+    }
+    for assertion in exceptions.assertions_covering(prefix) {
+        match levels.iter_mut().find(|(p, _)| *p == assertion.prefix) {
+            Some((_, set)) => {
+                set.insert(assertion.asn);
+            }
+            None => {
+                let at = levels
+                    .iter()
+                    .position(|(p, _)| p.len() > assertion.prefix.len())
+                    .unwrap_or(levels.len());
+                levels.insert(at, (assertion.prefix, [assertion.asn].into()));
+            }
+        }
+    }
+    for (entry_prefix, origins) in levels.into_iter().rev() {
+        if origins.is_empty() {
+            continue;
+        }
+        let verdict = if origins.contains(&asn) {
+            Verdict::Valid
+        } else {
+            Verdict::Invalid
+        };
+        return Validation {
+            verdict,
+            matched_prefix: Some(entry_prefix),
+            origins: origins.into_iter().collect(),
+        };
+    }
+    Validation {
+        verdict: Verdict::NotFound,
+        matched_prefix: None,
+        origins: Vec::new(),
+    }
+}
+
+/// Validates `(prefix, asn)` — see [`validate_detailed`] for the rules.
+#[must_use]
+pub fn validate(
+    table: &OriginTable,
+    exceptions: &ExceptionSet,
+    prefix: Ipv4Prefix,
+    asn: Asn,
+) -> Verdict {
+    validate_detailed(table, exceptions, prefix, asn).verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exceptions::{PrefixAssertion, PrefixFilter};
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn table() -> OriginTable {
+        let mut t = OriginTable::new(1);
+        t.insert(p("10.0.0.0/8"), [Asn(100)].into_iter().collect());
+        t.insert(p("10.1.0.0/16"), [Asn(200), Asn(201)].into_iter().collect());
+        t
+    }
+
+    #[test]
+    fn plain_lookup_without_exceptions() {
+        let t = table();
+        let none = ExceptionSet::empty();
+        assert_eq!(
+            validate(&t, &none, p("10.1.0.0/16"), Asn(200)),
+            Verdict::Valid
+        );
+        assert_eq!(
+            validate(&t, &none, p("10.1.0.0/16"), Asn(100)),
+            Verdict::Invalid
+        );
+        // A query below the /16 is still judged by the /16 (most-specific cover).
+        assert_eq!(
+            validate(&t, &none, p("10.1.2.0/24"), Asn(201)),
+            Verdict::Valid
+        );
+        // Outside the /16 but inside the /8, the /8 decides.
+        assert_eq!(
+            validate(&t, &none, p("10.2.0.0/16"), Asn(100)),
+            Verdict::Valid
+        );
+        assert_eq!(
+            validate(&t, &none, p("10.2.0.0/16"), Asn(200)),
+            Verdict::Invalid
+        );
+        // Uncovered space is not-found.
+        assert_eq!(
+            validate(&t, &none, p("11.0.0.0/8"), Asn(100)),
+            Verdict::NotFound
+        );
+    }
+
+    #[test]
+    fn detailed_reports_the_deciding_level() {
+        let t = table();
+        let none = ExceptionSet::empty();
+        let v = validate_detailed(&t, &none, p("10.1.2.0/24"), Asn(999));
+        assert_eq!(v.verdict, Verdict::Invalid);
+        assert_eq!(v.matched_prefix, Some(p("10.1.0.0/16")));
+        assert_eq!(v.origins, vec![Asn(200), Asn(201)]);
+        let v = validate_detailed(&t, &none, p("172.16.0.0/12"), Asn(1));
+        assert_eq!(v.verdict, Verdict::NotFound);
+        assert_eq!(v.matched_prefix, None);
+    }
+
+    #[test]
+    fn filter_removes_a_level_and_exposes_the_parent() {
+        let t = table();
+        let mut ex = ExceptionSet::empty();
+        ex.filters.push(PrefixFilter {
+            prefix: Some(p("10.1.0.0/16")),
+            asn: None,
+            comment: None,
+        });
+        // The /16's whole list is filtered, so the /8 now decides.
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(200)),
+            Verdict::Invalid
+        );
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(100)),
+            Verdict::Valid
+        );
+    }
+
+    #[test]
+    fn filtering_every_cover_yields_not_found() {
+        let t = table();
+        let mut ex = ExceptionSet::empty();
+        ex.filters.push(PrefixFilter {
+            prefix: Some(p("10.0.0.0/8")),
+            asn: None,
+            comment: None,
+        });
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(200)),
+            Verdict::NotFound
+        );
+    }
+
+    #[test]
+    fn asn_filter_removes_one_origin_only() {
+        let t = table();
+        let mut ex = ExceptionSet::empty();
+        ex.filters.push(PrefixFilter {
+            prefix: None,
+            asn: Some(Asn(200)),
+            comment: None,
+        });
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(200)),
+            Verdict::Invalid
+        );
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(201)),
+            Verdict::Valid
+        );
+    }
+
+    #[test]
+    fn assertion_adds_an_origin_at_an_existing_level() {
+        let t = table();
+        let mut ex = ExceptionSet::empty();
+        ex.assertions.push(PrefixAssertion {
+            prefix: p("10.1.0.0/16"),
+            asn: Asn(300),
+            comment: None,
+        });
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(300)),
+            Verdict::Valid
+        );
+        let v = validate_detailed(&t, &ex, p("10.1.0.0/16"), Asn(300));
+        assert_eq!(v.origins, vec![Asn(200), Asn(201), Asn(300)]);
+    }
+
+    #[test]
+    fn assertion_creates_a_more_specific_level() {
+        let t = table();
+        let mut ex = ExceptionSet::empty();
+        ex.assertions.push(PrefixAssertion {
+            prefix: p("10.1.2.0/24"),
+            asn: Asn(400),
+            comment: None,
+        });
+        // The asserted /24 now outranks the derived /16 for queries at /24
+        // and below.
+        assert_eq!(
+            validate(&t, &ex, p("10.1.2.0/24"), Asn(400)),
+            Verdict::Valid
+        );
+        assert_eq!(
+            validate(&t, &ex, p("10.1.2.0/24"), Asn(200)),
+            Verdict::Invalid
+        );
+        // Queries at the /16 are untouched.
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(200)),
+            Verdict::Valid
+        );
+    }
+
+    #[test]
+    fn assertion_beats_filter() {
+        let t = table();
+        let mut ex = ExceptionSet::empty();
+        ex.filters.push(PrefixFilter {
+            prefix: Some(p("10.0.0.0/8")),
+            asn: None,
+            comment: None,
+        });
+        ex.assertions.push(PrefixAssertion {
+            prefix: p("10.1.0.0/16"),
+            asn: Asn(201),
+            comment: None,
+        });
+        // Everything derived under 10/8 is filtered, but the assertion
+        // survives: precedence assertion > filter > derived.
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(201)),
+            Verdict::Valid
+        );
+        assert_eq!(
+            validate(&t, &ex, p("10.1.0.0/16"), Asn(200)),
+            Verdict::Invalid
+        );
+        assert_eq!(
+            validate(&t, &ex, p("10.2.0.0/16"), Asn(100)),
+            Verdict::NotFound
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! The acceptance lifecycle over real loopback sockets, deterministic
+//! end-to-end: initial full sync at serial N → incremental diff after a
+//! table update → cache reset once the client's serial ages out of the
+//! delta ring → exception-file reload flipping a verdict — with `/validity`
+//! and `/metrics` responses asserted exactly.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use bgp_types::{Asn, Ipv4Prefix, MoasList};
+use moas_daemon::client::{FeedClient, HttpClient, SyncOutcome};
+use moas_daemon::{Daemon, DaemonConfig, ExceptionSet, OriginTable, TableUpdate};
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+fn fixture_table() -> OriginTable {
+    let mut table = OriginTable::new(42);
+    table.insert(
+        p("10.1.0.0/16"),
+        [Asn(64512), Asn(64513)].into_iter().collect::<MoasList>(),
+    );
+    table.insert(
+        p("192.0.2.0/24"),
+        [Asn(64496)].into_iter().collect::<MoasList>(),
+    );
+    table
+}
+
+fn small_ring_config() -> DaemonConfig {
+    DaemonConfig {
+        // Two retained deltas, so a third update evicts the serial a lagging
+        // client still holds.
+        delta_ring_capacity: 2,
+        io_timeout: Duration::from_secs(10),
+        ..DaemonConfig::loopback()
+    }
+}
+
+#[test]
+fn full_lifecycle_over_loopback() {
+    let daemon = Daemon::start(small_ring_config(), fixture_table()).unwrap();
+    let mut http = HttpClient::connect(daemon.http_addr()).unwrap();
+    let mut feed = FeedClient::connect(daemon.feed_addr()).unwrap();
+
+    // --- Initial full sync at serial 0 -----------------------------------
+    let entries = feed.reset_sync().unwrap();
+    assert_eq!(entries, 3);
+    assert_eq!(feed.session(), Some(42));
+    assert_eq!(feed.serial(), 0);
+    let expected: BTreeSet<(Ipv4Prefix, Asn)> = [
+        (p("10.1.0.0/16"), Asn(64512)),
+        (p("10.1.0.0/16"), Asn(64513)),
+        (p("192.0.2.0/24"), Asn(64496)),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(feed.entries(), &expected);
+
+    // --- Query the initial table, exact bodies ---------------------------
+    let (status, body) = http.get("/validity?prefix=10.1.0.0/16&asn=64512").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        "{\"prefix\":\"10.1.0.0/16\",\"asn\":64512,\"state\":\"valid\",\
+         \"matchedPrefix\":\"10.1.0.0/16\",\"origins\":[64512,64513]}"
+    );
+    let (status, body) = http.get("/validity?prefix=10.1.0.0/16&asn=64666").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        "{\"prefix\":\"10.1.0.0/16\",\"asn\":64666,\"state\":\"invalid\",\
+         \"matchedPrefix\":\"10.1.0.0/16\",\"origins\":[64512,64513]}"
+    );
+    let (status, body) = http
+        .get("/validity?prefix=203.0.113.0/24&asn=64512")
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        "{\"prefix\":\"203.0.113.0/24\",\"asn\":64512,\"state\":\"not-found\"}"
+    );
+
+    // --- Live update over HTTP ingest → push notify → incremental diff ---
+    let (status, body) = http
+        .post(
+            "/ingest",
+            r#"{"updates":[
+                {"prefix": "198.51.100.0/24", "asn": 64497},
+                {"announce": false, "prefix": "10.1.0.0/16", "asn": 64513}
+            ]}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"serial\":1,\"announced\":1,\"withdrawn\":1}");
+
+    // The daemon pushes a serial notify to the synced feed client.
+    assert_eq!(feed.wait_notify().unwrap(), 1);
+    match feed.serial_sync().unwrap() {
+        SyncOutcome::Diff {
+            announced,
+            withdrawn,
+            serial,
+        } => {
+            assert_eq!((announced, withdrawn, serial), (1, 1, 1));
+        }
+        SyncOutcome::CacheReset => panic!("diff expected at serial 0 with a 2-deep ring"),
+    }
+    let expected: BTreeSet<(Ipv4Prefix, Asn)> = [
+        (p("10.1.0.0/16"), Asn(64512)),
+        (p("192.0.2.0/24"), Asn(64496)),
+        (p("198.51.100.0/24"), Asn(64497)),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(feed.entries(), &expected);
+    // The withdrawn origin is now judged invalid.
+    let (_, body) = http.get("/validity?prefix=10.1.0.0/16&asn=64513").unwrap();
+    assert_eq!(
+        body,
+        "{\"prefix\":\"10.1.0.0/16\",\"asn\":64513,\"state\":\"invalid\",\
+         \"matchedPrefix\":\"10.1.0.0/16\",\"origins\":[64512]}"
+    );
+
+    // --- Age the client's serial out of the 2-deep ring → cache reset ----
+    for i in 0..3u32 {
+        let (status, _) = http
+            .post(
+                "/ingest",
+                &format!(r#"{{"updates":[{{"prefix": "172.16.{i}.0/24", "asn": 65000}}]}}"#),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    // Serials now run to 4; the ring retains only 3→4 and 2→3. The client
+    // holds serial 1, so the daemon must answer with a cache reset...
+    assert_eq!(feed.serial_sync().unwrap(), SyncOutcome::CacheReset);
+    // ...and a fresh reset sync recovers the full table (6 entries).
+    assert_eq!(feed.reset_sync().unwrap(), 6);
+    assert_eq!(feed.serial(), 4);
+
+    // A session mismatch likewise forces a reset, whatever the serial.
+    assert_eq!(feed.sync_from(41, 4).unwrap(), SyncOutcome::CacheReset);
+
+    // --- Exception reload flips a verdict --------------------------------
+    let (_, before) = http.get("/validity?prefix=10.1.0.0/16&asn=64999").unwrap();
+    assert_eq!(
+        before,
+        "{\"prefix\":\"10.1.0.0/16\",\"asn\":64999,\"state\":\"invalid\",\
+         \"matchedPrefix\":\"10.1.0.0/16\",\"origins\":[64512]}"
+    );
+    let slurm = r#"{
+        "slurmVersion": 1,
+        "locallyAddedAssertions": {
+            "prefixAssertions": [ { "prefix": "10.1.0.0/16", "asn": 64999 } ]
+        }
+    }"#;
+    let (status, body) = http.post("/reload-exceptions", slurm).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"rules\":1,\"changed\":true}");
+    let (_, after) = http.get("/validity?prefix=10.1.0.0/16&asn=64999").unwrap();
+    assert_eq!(
+        after,
+        "{\"prefix\":\"10.1.0.0/16\",\"asn\":64999,\"state\":\"valid\",\
+         \"matchedPrefix\":\"10.1.0.0/16\",\"origins\":[64512,64999]}"
+    );
+
+    // --- Metrics reflect everything above, in parseable form -------------
+    let (status, metrics) = http.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    let parsed: Vec<(&str, u64)> = metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| {
+            let (name, value) = l.split_once(' ').expect("metric line shape");
+            (name, value.parse::<u64>().expect("metric value"))
+        })
+        .collect();
+    let metric = |name: &str| {
+        parsed
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+            .1
+    };
+    assert_eq!(metric("daemon_queries_valid_total"), 2);
+    assert_eq!(metric("daemon_queries_invalid_total"), 3);
+    assert_eq!(metric("daemon_queries_not_found_total"), 1);
+    assert_eq!(metric("daemon_ingest_batches_total"), 4);
+    assert_eq!(metric("daemon_ingest_updates_total"), 5);
+    assert_eq!(metric("daemon_exception_reloads_total"), 1);
+    assert_eq!(
+        metric("daemon_exception_reloads_verdict_affecting_total"),
+        1
+    );
+    assert_eq!(metric("feed_reset_syncs_total"), 2);
+    assert_eq!(metric("feed_diff_syncs_total"), 1);
+    assert_eq!(metric("feed_cache_resets_total"), 2);
+    assert_eq!(metric("table_serial"), 4);
+    assert_eq!(metric("table_entries"), 6);
+    assert_eq!(metric("feed_connections_open"), 1);
+    assert!(metric("feed_notifies_total") >= 1);
+
+    // --- Clean shutdown --------------------------------------------------
+    let (status, body) = http.post("/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"ok\":true}");
+    assert!(daemon.shutdown_requested());
+    let http_stats = daemon.http_stats();
+    assert_eq!(http_stats.accepted, 1);
+    assert_eq!(http_stats.refused, 0);
+    daemon.shutdown();
+}
+
+#[test]
+fn exceptions_active_from_startup() {
+    let slurm = r#"{
+        "validationOutputFilters": {
+            "prefixFilters": [ { "prefix": "10.1.0.0/16" } ]
+        }
+    }"#;
+    let config = DaemonConfig {
+        exceptions: ExceptionSet::from_json(slurm).unwrap(),
+        ..DaemonConfig::loopback()
+    };
+    let daemon = Daemon::start(config, fixture_table()).unwrap();
+    let mut http = HttpClient::connect(daemon.http_addr()).unwrap();
+    // Everything derived at the /16 is filtered and nothing covers it.
+    let (_, body) = http.get("/validity?prefix=10.1.0.0/16&asn=64512").unwrap();
+    assert_eq!(
+        body,
+        "{\"prefix\":\"10.1.0.0/16\",\"asn\":64512,\"state\":\"not-found\"}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn in_process_apply_feeds_the_ring_like_ingest() {
+    let daemon = Daemon::start(DaemonConfig::loopback(), fixture_table()).unwrap();
+    let mut feed = FeedClient::connect(daemon.feed_addr()).unwrap();
+    feed.reset_sync().unwrap();
+    let serial = daemon.apply(&[TableUpdate::announce(p("203.0.113.0/24"), Asn(64511))]);
+    assert_eq!(serial, 1);
+    assert_eq!(feed.wait_notify().unwrap(), 1);
+    match feed.serial_sync().unwrap() {
+        SyncOutcome::Diff { announced, .. } => assert_eq!(announced, 1),
+        SyncOutcome::CacheReset => panic!("expected a diff"),
+    }
+    assert!(feed.entries().contains(&(p("203.0.113.0/24"), Asn(64511))));
+    daemon.shutdown();
+}
+
+#[test]
+fn two_feed_clients_both_get_notified() {
+    let daemon = Daemon::start(DaemonConfig::loopback(), fixture_table()).unwrap();
+    let mut a = FeedClient::connect(daemon.feed_addr()).unwrap();
+    let mut b = FeedClient::connect(daemon.feed_addr()).unwrap();
+    a.reset_sync().unwrap();
+    b.reset_sync().unwrap();
+    daemon.apply(&[TableUpdate::announce(p("203.0.113.0/24"), Asn(64511))]);
+    assert_eq!(a.wait_notify().unwrap(), 1);
+    assert_eq!(b.wait_notify().unwrap(), 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_http_gets_400_and_close() {
+    use std::io::{Read, Write};
+    let daemon = Daemon::start(DaemonConfig::loopback(), fixture_table()).unwrap();
+    let mut raw = std::net::TcpStream::connect(daemon.http_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"GET / HTTP/2.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap(); // server closes after 400
+    assert!(
+        response.starts_with("HTTP/1.1 400 Bad Request\r\n"),
+        "{response}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_feed_bytes_get_error_pdu_and_close() {
+    use std::io::{Read, Write};
+    let daemon = Daemon::start(DaemonConfig::loopback(), fixture_table()).unwrap();
+    let mut raw = std::net::TcpStream::connect(daemon.feed_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(&[9u8; 8]).unwrap(); // bad version byte
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap(); // server closes after the error
+    let (pdu, _) = moas_daemon::Pdu::decode(&response).unwrap().unwrap();
+    match pdu {
+        moas_daemon::Pdu::Error { code, message } => {
+            assert_eq!(code, 0);
+            assert!(message.contains("version"), "{message}");
+        }
+        other => panic!("expected an error PDU, got {other:?}"),
+    }
+    daemon.shutdown();
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for SLURM-style exception files: serialization
+//! round-trips, precedence rules, and table lookups under overrides.
+
+use bgp_types::{Asn, Ipv4Prefix, MoasList};
+use moas_daemon::{validate, ExceptionSet, OriginTable, PrefixAssertion, PrefixFilter, Verdict};
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    (64_000u32..64_100).prop_map(Asn)
+}
+
+/// Prefixes drawn from a handful of /8s with varied lengths, so containment
+/// relations (the interesting part of filter/assertion semantics) actually
+/// occur instead of everything being disjoint.
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (0u32..4, 0u32..16, 8u8..=24)
+        .prop_map(|(net, sub, len)| Ipv4Prefix::new(((10 + net) << 24) | (sub << 16), len))
+}
+
+fn arb_comment() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("customer".to_string())),
+        Just(Some("ops override — see ticket #7".to_string())),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = PrefixFilter> {
+    // At least one selector must be present: generate the three legal shapes.
+    (arb_prefix(), arb_asn(), arb_comment(), 0u32..3).prop_map(|(prefix, asn, comment, shape)| {
+        PrefixFilter {
+            prefix: (shape != 1).then_some(prefix),
+            asn: (shape != 0).then_some(asn),
+            comment,
+        }
+    })
+}
+
+fn arb_assertion() -> impl Strategy<Value = PrefixAssertion> {
+    (arb_prefix(), arb_asn(), arb_comment()).prop_map(|(prefix, asn, comment)| PrefixAssertion {
+        prefix,
+        asn,
+        comment,
+    })
+}
+
+fn arb_exceptions() -> impl Strategy<Value = ExceptionSet> {
+    (
+        prop::collection::vec(arb_filter(), 0..4),
+        prop::collection::vec(arb_assertion(), 0..4),
+    )
+        .prop_map(|(filters, assertions)| ExceptionSet {
+            filters,
+            assertions,
+        })
+}
+
+/// A small derived table over the same prefix pool the rules draw from.
+fn arb_table() -> impl Strategy<Value = OriginTable> {
+    prop::collection::vec(
+        (arb_prefix(), prop::collection::btree_set(arb_asn(), 1..4)),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut table = OriginTable::new(1);
+        for (prefix, origins) in entries {
+            table.insert(prefix, origins.into_iter().collect::<MoasList>());
+        }
+        table
+    })
+}
+
+proptest! {
+    #[test]
+    fn exception_files_round_trip(set in arb_exceptions()) {
+        let text = set.to_json_string();
+        let back = ExceptionSet::from_json(&text).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn serialized_files_always_reparse_under_rule_growth(
+        a in arb_exceptions(),
+        b in arb_exceptions(),
+    ) {
+        // Concatenating two rule sets is still a valid file (rules are
+        // independent), and the round-trip preserves file order.
+        let merged = ExceptionSet {
+            filters: a.filters.iter().chain(&b.filters).cloned().collect(),
+            assertions: a.assertions.iter().chain(&b.assertions).cloned().collect(),
+        };
+        let back = ExceptionSet::from_json(&merged.to_json_string()).unwrap();
+        prop_assert_eq!(back.len(), a.len() + b.len());
+        prop_assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn filters_out_matches_rule_semantics(
+        set in arb_exceptions(),
+        prefix in arb_prefix(),
+        asn in arb_asn(),
+    ) {
+        let expected = set.filters.iter().any(|f| {
+            f.prefix.is_none_or(|p| p.contains(prefix))
+                && f.asn.is_none_or(|a| a == asn)
+        });
+        prop_assert_eq!(set.filters_out(prefix, asn), expected);
+    }
+
+    #[test]
+    fn asserted_pairs_always_validate(
+        table in arb_table(),
+        set in arb_exceptions(),
+        assertion in arb_assertion(),
+    ) {
+        // Assertions outrank filters and derived data: the asserted pair is
+        // valid at its own prefix no matter what else the file says.
+        let mut set = set;
+        set.assertions.push(assertion.clone());
+        prop_assert_eq!(
+            validate(&table, &set, assertion.prefix, assertion.asn),
+            Verdict::Valid
+        );
+    }
+
+    #[test]
+    fn filters_only_remove(
+        table in arb_table(),
+        filters in prop::collection::vec(arb_filter(), 0..4),
+        prefix in arb_prefix(),
+        asn in arb_asn(),
+    ) {
+        // With no assertions, a filter can never manufacture coverage: a
+        // query that found nothing in the derived table still finds nothing.
+        let unfiltered = validate(&table, &ExceptionSet::empty(), prefix, asn);
+        let set = ExceptionSet { filters, assertions: Vec::new() };
+        let filtered = validate(&table, &set, prefix, asn);
+        if unfiltered == Verdict::NotFound {
+            prop_assert_eq!(filtered, Verdict::NotFound);
+        }
+    }
+
+    #[test]
+    fn filter_everything_blanks_the_table(
+        table in arb_table(),
+        prefix in arb_prefix(),
+        asn in arb_asn(),
+    ) {
+        // An ASN-wildcard filter covering the whole pool removes every
+        // derived entry, so every lookup is NotFound.
+        let set = ExceptionSet {
+            filters: vec![PrefixFilter {
+                prefix: Some(Ipv4Prefix::new(0, 0)),
+                asn: None,
+                comment: None,
+            }],
+            assertions: Vec::new(),
+        };
+        prop_assert_eq!(validate(&table, &set, prefix, asn), Verdict::NotFound);
+    }
+
+    #[test]
+    fn lookups_agree_with_naive_model(
+        table in arb_table(),
+        set in arb_exceptions(),
+        prefix in arb_prefix(),
+        asn in arb_asn(),
+    ) {
+        // Reference model: collect surviving derived entries and assertions
+        // per covering prefix, then let the most-specific non-empty origin
+        // set decide.
+        let mut levels: std::collections::BTreeMap<Ipv4Prefix, std::collections::BTreeSet<Asn>> =
+            std::collections::BTreeMap::new();
+        for (entry_prefix, list) in table.covering(prefix) {
+            let survivors: std::collections::BTreeSet<Asn> = list
+                .iter()
+                .filter(|&origin| !set.filters_out(entry_prefix, origin))
+                .collect();
+            levels.insert(entry_prefix, survivors);
+        }
+        for assertion in set.assertions_covering(prefix) {
+            levels.entry(assertion.prefix).or_default().insert(assertion.asn);
+        }
+        let expected = levels
+            .iter()
+            .filter(|(_, origins)| !origins.is_empty())
+            .max_by_key(|(p, _)| p.len())
+            .map_or(Verdict::NotFound, |(_, origins)| {
+                if origins.contains(&asn) { Verdict::Valid } else { Verdict::Invalid }
+            });
+        prop_assert_eq!(validate(&table, &set, prefix, asn), expected);
+    }
+}

@@ -24,9 +24,9 @@ use moas::experiments::{
     experiment1_metrics_jobs, experiment2_metrics_jobs, experiment3_metrics_jobs,
     forgery_ablation_jobs, forgery_ablation_metrics_jobs, measure_moas_list_overhead_jobs,
     moas_list_overhead, overhead_metrics, render_metrics_summary, run_chaos_jobs,
-    run_chaos_metrics_jobs, run_trial, stripping_ablation_jobs, stripping_ablation_metrics_jobs,
-    subprefix_ablation_jobs, valley_free_ablation_jobs, ChaosConfig, ChaosScenario, SweepConfig,
-    TrialConfig, WireModel,
+    run_chaos_metrics_jobs, run_deployment_sweep_jobs, run_trial, stripping_ablation_jobs,
+    stripping_ablation_metrics_jobs, subprefix_ablation_jobs, valley_free_ablation_jobs,
+    ChaosConfig, ChaosScenario, SweepConfig, TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
@@ -57,6 +57,10 @@ COMMANDS:
                                     Replay a fault/churn scenario (failover, origin-flap,
                                     lossy-core, session-reset, flap-storm) and report the
                                     MOAS detector's accuracy under it as JSON
+    chaos --scenario NAME --deployment-sweep [--fractions a,b,c] ...
+                                    Same scenario at several detector deployment
+                                    fractions (default 0,0.25,0.5,0.75,1): accuracy
+                                    vs partial deployment under churn
     metrics-summary FILE            Render a --metrics snapshot as a readable table
 
     figures, ablations, overhead and chaos accept --metrics FILE: write a
@@ -71,6 +75,12 @@ COMMANDS:
     import-mrt FILE [--offline-scan] [--in-memory]
                                     Import MRT table dumps and report daily MOAS counts
                                     (streams one day at a time unless --in-memory)
+    daemon-probe --http ADDR --feed ADDR [--prefix P --asn N] [--read-only]
+                                    Drive a full round against a running moas-labd:
+                                    status, a validity query, feed full-sync, an
+                                    ingest + diff-sync + cache-reset exercise (the
+                                    probe announces and withdraws 203.0.113.0/24 so
+                                    the table is left unchanged), and /metrics
     help                            Show this message
 ";
 
@@ -88,6 +98,7 @@ fn main() -> ExitCode {
         "metrics-summary" => metrics_summary(&args),
         "export-mrt" => export_mrt(&args),
         "import-mrt" => import_mrt(&args),
+        "daemon-probe" => daemon_probe(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -356,6 +367,10 @@ fn chaos(args: &[String]) -> ExitCode {
         config.seed = seed;
     }
 
+    if flag(args, "--deployment-sweep") {
+        return chaos_deployment_sweep(args, &config);
+    }
+
     let report = match option::<String>(args, "--metrics") {
         Some(path) => {
             let (report, metrics) = run_chaos_metrics_jobs(&config, jobs_option(args));
@@ -400,6 +415,55 @@ fn chaos(args: &[String]) -> ExitCode {
             println!("report written to {path}");
         }
         None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the partial-deployment sweep branch of `moas-lab chaos`: the same
+/// scenario (same casts, same fault plans) at several detector deployment
+/// fractions, reporting accuracy vs coverage.
+fn chaos_deployment_sweep(args: &[String], config: &ChaosConfig) -> ExitCode {
+    let fractions: Vec<f64> = match option::<String>(args, "--fractions") {
+        Some(list) => {
+            let parsed: Result<Vec<f64>, _> = list.split(',').map(str::parse).collect();
+            match parsed {
+                Ok(f) if !f.is_empty() && f.iter().all(|x| (0.0..=1.0).contains(x)) => f,
+                _ => {
+                    eprintln!("--fractions must be comma-separated values in 0..=1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => moas::experiments::DEPLOYMENT_SWEEP_FRACTIONS.to_vec(),
+    };
+
+    let sweep = run_deployment_sweep_jobs(config, &fractions, jobs_option(args));
+    println!(
+        "scenario {}: {} trials per point, seed {:#x}",
+        sweep.scenario, sweep.trials, sweep.seed
+    );
+    println!("deployment  false-alarm  missed   detected  latency(ticks)");
+    for point in &sweep.points {
+        let r = &point.report;
+        println!(
+            "   {:>5.0}%       {:>6.3}   {:>6.3}   {:>3}/{:<3}   {:>8.1}",
+            100.0 * point.deployment_fraction,
+            r.false_alarm_rate,
+            r.missed_detection_rate,
+            r.detected_trials,
+            r.trials,
+            r.mean_detection_latency_ticks
+        );
+    }
+    match option::<String>(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, sweep.to_json() + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("sweep written to {path}");
+        }
+        None => println!("{}", sweep.to_json()),
     }
     ExitCode::SUCCESS
 }
@@ -646,6 +710,139 @@ fn import_mrt_in_memory(path: &str, file: File, offline_scan: bool) -> ExitCode 
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Drives one full round against a running `moas-labd` (see USAGE). Every
+/// step prints what it observed; any protocol or I/O failure aborts with a
+/// non-zero exit, so CI can use this as the daemon smoke test.
+fn daemon_probe(args: &[String]) -> ExitCode {
+    let (Some(http), Some(feed)) = (
+        option::<std::net::SocketAddr>(args, "--http"),
+        option::<std::net::SocketAddr>(args, "--feed"),
+    ) else {
+        eprintln!(
+            "usage: moas-lab daemon-probe --http HOST:PORT --feed HOST:PORT \
+             [--prefix P --asn N] [--read-only]"
+        );
+        return ExitCode::FAILURE;
+    };
+    match daemon_probe_run(args, http, feed) {
+        Ok(()) => {
+            println!("daemon-probe OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("daemon-probe failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn daemon_probe_run(
+    args: &[String],
+    http: std::net::SocketAddr,
+    feed: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    use moas::daemon::client::{FeedClient, HttpClient, SyncOutcome};
+
+    let fail = |message: String| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+    let mut web = HttpClient::connect(http)?;
+
+    let (status, body) = web.get("/status")?;
+    if status != 200 {
+        return Err(fail(format!("GET /status answered {status}: {body}")));
+    }
+    println!("status: {body}");
+
+    if let (Some(prefix), Some(asn)) = (
+        option::<String>(args, "--prefix"),
+        option::<u32>(args, "--asn"),
+    ) {
+        let (status, body) = web.get(&format!("/validity?prefix={prefix}&asn={asn}"))?;
+        if status != 200 {
+            return Err(fail(format!("GET /validity answered {status}: {body}")));
+        }
+        println!("validity {prefix} AS{asn}: {body}");
+    }
+
+    let mut sync = FeedClient::connect(feed)?;
+    let count = sync.reset_sync()?;
+    let session = sync.session().unwrap_or_default();
+    println!(
+        "feed: full sync of {count} entries at serial {} (session {session})",
+        sync.serial()
+    );
+
+    if !flag(args, "--read-only") {
+        // Exercise the diff path with a probe-owned prefix (TEST-NET-3),
+        // announced and then withdrawn so the table ends unchanged.
+        let ingest = |web: &mut HttpClient, announce: bool| -> std::io::Result<()> {
+            let body = format!(
+                "{{\"updates\":[{{\"announce\":{announce},\"prefix\":\"203.0.113.0/24\",\"asn\":64511}}]}}"
+            );
+            let (status, reply) = web.post("/ingest", &body)?;
+            if status != 200 {
+                return Err(fail(format!("POST /ingest answered {status}: {reply}")));
+            }
+            Ok(())
+        };
+        ingest(&mut web, true)?;
+        match sync.serial_sync()? {
+            SyncOutcome::Diff {
+                announced: 1,
+                serial,
+                ..
+            } => {
+                println!("feed: diff sync picked up the probe announce (serial {serial})");
+            }
+            other => return Err(fail(format!("expected a 1-announce diff, got {other:?}"))),
+        }
+        ingest(&mut web, false)?;
+        match sync.serial_sync()? {
+            SyncOutcome::Diff {
+                withdrawn: 1,
+                serial,
+                ..
+            } => {
+                println!("feed: diff sync picked up the probe withdraw (serial {serial})");
+            }
+            other => return Err(fail(format!("expected a 1-withdraw diff, got {other:?}"))),
+        }
+    }
+
+    // The reset path: a deliberately wrong session must answer CacheReset,
+    // and a fresh full sync must recover.
+    match sync.sync_from(session.wrapping_add(1), sync.serial())? {
+        SyncOutcome::CacheReset => println!("feed: stale session correctly answered cache-reset"),
+        other => return Err(fail(format!("expected a cache reset, got {other:?}"))),
+    }
+    let recovered = sync.reset_sync()?;
+    if recovered != count {
+        return Err(fail(format!(
+            "recovery sync holds {recovered} entries, expected {count}"
+        )));
+    }
+
+    let (status, metrics) = web.get("/metrics")?;
+    if status != 200 {
+        return Err(fail(format!("GET /metrics answered {status}")));
+    }
+    let mut parsed = 0usize;
+    for line in metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let mut parts = line.split_whitespace();
+        let (Some(_name), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(fail(format!("unparseable metrics line '{line}'")));
+        };
+        value
+            .parse::<u64>()
+            .map_err(|_| fail(format!("non-numeric metric value in '{line}'")))?;
+        parsed += 1;
+    }
+    println!("metrics: {parsed} series, all parseable");
+    Ok(())
 }
 
 fn overhead(args: &[String]) -> ExitCode {

@@ -24,7 +24,10 @@
 //!   measurement pipeline through real Route Views-style bytes;
 //! * [`metrics`] — the zero-dependency observability facade the simulator
 //!   and experiment drivers record into (no-op unless a recording sink is
-//!   passed; see `experiments::metrics` for serialization).
+//!   passed; see `experiments::metrics` for serialization);
+//! * [`daemon`] — the MOAS-list serving daemon behind the `moas-labd`
+//!   binary: HTTP validity queries, an RTR-style incremental push feed, and
+//!   SLURM-style local exceptions.
 //!
 //! # Quickstart
 //!
@@ -108,4 +111,11 @@ pub mod wire {
 /// Zero-dependency metrics facade ([`minimetrics`]).
 pub mod metrics {
     pub use minimetrics::*;
+}
+
+/// The MOAS-list serving daemon and its clients ([`moas_daemon`]): the
+/// prefix→origin-set table behind `moas-labd`'s HTTP query endpoint and
+/// RTR-style push feed, plus SLURM-style local exceptions.
+pub mod daemon {
+    pub use moas_daemon::*;
 }

@@ -17,8 +17,10 @@
 //!   [`MetricsSink::ENABLED`] constant is `false`, so instrumented code that
 //!   is generic over the sink compiles down to nothing on the fast path
 //!   (callers gate any key-formatting work on `S::ENABLED`);
-//! * [`RecordingSink`] — accumulates everything into a [`MetricsSnapshot`]
-//!   of `BTreeMap`s, which iterates in deterministic key order.
+//! * [`RecordingSink`] — accumulates observations in interned FNV-hashed
+//!   key tables (no per-observation string compares or tree rebalancing)
+//!   and converts to a [`MetricsSnapshot`] of `BTreeMap`s — which iterates
+//!   in deterministic key order — only when a snapshot is taken.
 //!
 //! Snapshots [`merge`](MetricsSnapshot::merge) associatively (counters add,
 //! gauges keep the maximum, histograms merge bucket-wise), so per-trial
@@ -121,13 +123,24 @@ impl MetricsSink for NoopSink {
     fn record(&mut self, _key: &str, _value: u64) {}
 }
 
-/// A sink that accumulates every observation into a [`MetricsSnapshot`].
+/// A sink that accumulates every observation for later conversion into a
+/// [`MetricsSnapshot`].
+///
+/// Each instrument kind lives in an interned key table: keys are FNV-1a
+/// hashed into an open-addressed index, so a steady-state observation costs
+/// one hash plus (usually) one slot probe — no `String` allocation, no
+/// ordered-map rebalancing, and no full key comparison except on the rare
+/// hash collision. The `BTreeMap`-backed snapshot is built only when
+/// [`snapshot`](Self::snapshot) or [`into_snapshot`](Self::into_snapshot)
+/// is called.
 ///
 /// Counters saturate instead of wrapping; gauges keep the last value set;
 /// histogram observations land in the [`Log2Histogram`] for their key.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone)]
 pub struct RecordingSink {
-    snapshot: MetricsSnapshot,
+    counters: KeyTable<u64>,
+    gauges: KeyTable<u64>,
+    histograms: KeyTable<Log2Histogram>,
 }
 
 impl RecordingSink {
@@ -137,39 +150,179 @@ impl RecordingSink {
         Self::default()
     }
 
-    /// Borrows the snapshot accumulated so far.
+    /// Builds a snapshot of everything accumulated so far; the sink keeps
+    /// recording. Prefer [`into_snapshot`](Self::into_snapshot) when the
+    /// sink is done, which moves instead of cloning.
     #[must_use]
-    pub fn snapshot(&self) -> &MetricsSnapshot {
-        &self.snapshot
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .pairs()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .pairs()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .pairs()
+                .map(|(k, h)| (k.to_string(), h.clone()))
+                .collect(),
+        }
     }
 
     /// Consumes the sink, returning the accumulated snapshot.
     #[must_use]
     pub fn into_snapshot(self) -> MetricsSnapshot {
-        self.snapshot
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .into_pairs()
+                .map(|(k, v)| (String::from(k), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .into_pairs()
+                .map(|(k, v)| (String::from(k), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .into_pairs()
+                .map(|(k, h)| (String::from(k), h))
+                .collect(),
+        }
     }
 }
+
+impl PartialEq for RecordingSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.snapshot() == other.snapshot()
+    }
+}
+
+impl Eq for RecordingSink {}
 
 impl MetricsSink for RecordingSink {
     const ENABLED: bool = true;
 
     fn counter_add(&mut self, key: &str, delta: u64) {
-        let slot = entry_or_default(&mut self.snapshot.counters, key);
+        let slot = self.counters.get_or_insert_with(key, || 0);
         *slot = slot.saturating_add(delta);
     }
 
     fn gauge_set(&mut self, key: &str, value: u64) {
-        *entry_or_default(&mut self.snapshot.gauges, key) = value;
+        *self.gauges.get_or_insert_with(key, || 0) = value;
     }
 
     fn record(&mut self, key: &str, value: u64) {
-        if let Some(h) = self.snapshot.histograms.get_mut(key) {
-            h.observe(value);
-        } else {
-            let mut h = Log2Histogram::new();
-            h.observe(value);
-            self.snapshot.histograms.insert(key.to_string(), h);
+        self.histograms
+            .get_or_insert_with(key, Log2Histogram::new)
+            .observe(value);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(key: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in key.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// An insertion-ordered string-keyed table behind an open-addressed FNV-1a
+/// index.
+///
+/// `slots` stores `entry index + 1` (0 = empty slot), is always a power of
+/// two, and is kept below 75% load with linear probing; `entries` owns the
+/// interned keys (with their cached hash) and values in first-seen order.
+#[derive(Debug, Clone)]
+struct KeyTable<V> {
+    slots: Vec<u32>,
+    entries: Vec<(u64, Box<str>, V)>,
+}
+
+impl<V> Default for KeyTable<V> {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            entries: Vec::new(),
         }
+    }
+}
+
+impl<V> KeyTable<V> {
+    /// Returns the value for `key`, interning the key (with `make()` as the
+    /// initial value) on first use.
+    fn get_or_insert_with(&mut self, key: &str, make: impl FnOnce() -> V) -> &mut V {
+        if self.slots.is_empty() {
+            self.slots.resize(16, 0);
+        }
+        let hash = fnv1a(key);
+        let (slot, found) = self.probe(hash, key);
+        let index = match found {
+            Some(index) => index,
+            None => {
+                self.entries.push((hash, key.into(), make()));
+                let index = self.entries.len() - 1;
+                self.slots[slot] =
+                    u32::try_from(index + 1).expect("more than u32::MAX metric keys");
+                if self.entries.len() * 4 >= self.slots.len() * 3 {
+                    self.grow();
+                }
+                index
+            }
+        };
+        &mut self.entries[index].2
+    }
+
+    /// Linear-probes for `key`, returning the slot it ended at and the entry
+    /// index if the key is already interned. The load factor cap guarantees
+    /// an empty slot is always reachable.
+    fn probe(&self, hash: u64, key: &str) -> (usize, Option<usize>) {
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.slots[slot] as usize {
+                0 => return (slot, None),
+                stored => {
+                    let entry = &self.entries[stored - 1];
+                    if entry.0 == hash && &*entry.1 == key {
+                        return (slot, Some(stored - 1));
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let Self { slots, entries } = self;
+        slots.clear();
+        slots.resize(new_len, 0);
+        let mask = new_len - 1;
+        for (index, &(hash, _, _)) in entries.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while slots[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = u32::try_from(index + 1).expect("more than u32::MAX metric keys");
+        }
+    }
+
+    fn pairs(&self) -> impl Iterator<Item = (&str, &V)> {
+        self.entries.iter().map(|(_, k, v)| (&**k, v))
+    }
+
+    fn into_pairs(self) -> impl Iterator<Item = (Box<str>, V)> {
+        self.entries.into_iter().map(|(_, k, v)| (k, v))
     }
 }
 
@@ -584,6 +737,56 @@ mod tests {
         sink.counter_add("c", u64::MAX);
         sink.counter_add("c", 1);
         assert_eq!(sink.snapshot().counters["c"], u64::MAX);
+    }
+
+    #[test]
+    fn interning_survives_many_distinct_keys() {
+        // Push the key tables through several grow/rehash cycles and check
+        // that nothing is lost, aliased, or double-counted.
+        let mut sink = RecordingSink::new();
+        for round in 0..3u64 {
+            for i in 0..500u64 {
+                sink.counter_add(&format!("counter.{i}"), round + i);
+                sink.gauge_set(&format!("gauge.{i}"), round * 1000 + i);
+                sink.record(&format!("hist.{i}"), i);
+            }
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters.len(), 500);
+        assert_eq!(snap.gauges.len(), 500);
+        assert_eq!(snap.histograms.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(snap.counters[&format!("counter.{i}")], 3 * i + 3);
+            assert_eq!(snap.gauges[&format!("gauge.{i}")], 2000 + i);
+            assert_eq!(snap.histograms[&format!("hist.{i}")].count(), 3);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_insertion_order_independent() {
+        // The interned tables keep first-seen order internally, but the
+        // exported snapshot must not depend on it.
+        let keys = ["zeta", "alpha", "mid.key", "alpha.sub"];
+        let mut forward = RecordingSink::new();
+        for k in keys {
+            forward.counter_add(k, 1);
+        }
+        let mut backward = RecordingSink::new();
+        for k in keys.iter().rev() {
+            backward.counter_add(k, 1);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.snapshot(), backward.into_snapshot());
+    }
+
+    #[test]
+    fn snapshot_leaves_the_sink_recording() {
+        let mut sink = RecordingSink::new();
+        sink.counter_add("c", 1);
+        let early = sink.snapshot();
+        assert_eq!(early.counters["c"], 1);
+        sink.counter_add("c", 1);
+        assert_eq!(sink.into_snapshot().counters["c"], 2);
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! Minimal, std-only non-blocking TCP reactor for the moas workspace.
+//!
+//! The build environment has no crates.io access, so — like [`minipool`] and
+//! [`minimetrics`] — this crate is vendored: a deliberately small stand-in
+//! for the subset of an async runtime the `moas-daemon` serving layer needs.
+//! No `epoll`/`kqueue` bindings are available without `libc`, so the design
+//! is a **poll loop over non-blocking sockets with one worker thread per
+//! listener**:
+//!
+//! * each [`Server`] owns one `TcpListener` plus every connection accepted
+//!   from it, all switched to non-blocking mode;
+//! * a single worker thread loops: accept new connections (up to a
+//!   [`Config::max_connections`] cap), drain readable sockets into
+//!   per-connection buffers, hand complete input to the [`Service`], flush
+//!   pending output, enforce read/write timeouts, and sleep for
+//!   [`Config::poll_interval`] when nothing happened;
+//! * the [`Service`] is a plain (single-threaded, per-listener) state
+//!   machine: it consumes bytes, appends response bytes, and may push
+//!   unsolicited data to any connection from its periodic
+//!   [`Service::on_tick`] hook — which is how a feed server broadcasts
+//!   notifies.
+//!
+//! Latency is bounded below by the poll interval (default 1 ms), which is
+//! plenty for a loopback control-plane daemon and keeps the implementation
+//! free of platform-specific readiness APIs. Throughput is unaffected: a
+//! busy loop iteration never sleeps.
+//!
+//! # Example
+//!
+//! ```
+//! use minisock::{Action, Config, Server, Service};
+//! use std::io::{Read, Write};
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn on_data(&mut self, _conn: u64, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action {
+//!         out.append(inbuf);
+//!         Action::Continue
+//!     }
+//! }
+//!
+//! let server = Server::bind("127.0.0.1:0", Echo, Config::default()).unwrap();
+//! let mut client = std::net::TcpStream::connect(server.local_addr()).unwrap();
+//! client.write_all(b"ping").unwrap();
+//! let mut buf = [0u8; 4];
+//! client.read_exact(&mut buf).unwrap();
+//! assert_eq!(&buf, b"ping");
+//! server.shutdown();
+//! ```
+//!
+//! [`minipool`]: ../minipool/index.html
+//! [`minimetrics`]: ../minimetrics/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Identifies one accepted connection for the lifetime of the server.
+/// Monotonically increasing; never reused.
+pub type ConnId = u64;
+
+/// What the service wants done with a connection after handling its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the connection open.
+    Continue,
+    /// Flush any pending output, then close the connection.
+    CloseAfterFlush,
+}
+
+/// A single-threaded connection-oriented protocol handler.
+///
+/// One service instance lives on its listener's worker thread; every method
+/// is called from that thread only, so implementations need no internal
+/// locking for per-connection state (shared daemon state is typically an
+/// `Arc<Mutex<..>>` the service holds).
+pub trait Service: Send + 'static {
+    /// Called once when a connection is accepted. Bytes appended to `out`
+    /// are sent immediately (e.g. a protocol banner).
+    fn on_open(&mut self, conn: ConnId, out: &mut Vec<u8>) {
+        let _ = (conn, out);
+    }
+
+    /// Called whenever new bytes have been read into `inbuf`. The service
+    /// drains as many complete protocol units from the **front** of `inbuf`
+    /// as it can (leaving partial input in place for the next call) and
+    /// appends any response bytes to `out`.
+    fn on_data(&mut self, conn: ConnId, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action;
+
+    /// Called roughly every [`Config::tick_interval`]; `push` queues
+    /// unsolicited bytes onto any open connection (unknown ids are ignored).
+    fn on_tick(&mut self, push: &mut dyn FnMut(ConnId, &[u8])) {
+        let _ = push;
+    }
+
+    /// Called when a connection closes for any reason (peer EOF, timeout,
+    /// service-requested close, shutdown).
+    fn on_close(&mut self, conn: ConnId) {
+        let _ = conn;
+    }
+}
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum simultaneously open connections; excess accepts are closed
+    /// immediately and counted in [`ServerStats::refused`].
+    pub max_connections: usize,
+    /// A connection with no readable progress for this long (and nothing
+    /// left to write) is closed as idle.
+    pub read_timeout: Duration,
+    /// A connection whose pending output makes no write progress for this
+    /// long is closed as stalled.
+    pub write_timeout: Duration,
+    /// Sleep length when a poll iteration made no progress.
+    pub poll_interval: Duration,
+    /// Interval between [`Service::on_tick`] calls.
+    pub tick_interval: Duration,
+    /// How long shutdown waits for pending output to flush before closing
+    /// connections anyway.
+    pub drain_grace: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(1),
+            tick_interval: Duration::from_millis(1),
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Monotonic counters describing a server's lifetime, readable from any
+/// thread via [`Server::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and registered.
+    pub accepted: u64,
+    /// Connections refused because the cap was reached.
+    pub refused: u64,
+    /// Connections closed for idle-read or stalled-write timeouts.
+    pub timed_out: u64,
+    /// Connections closed in total (all causes).
+    pub closed: u64,
+    /// Bytes read across all connections.
+    pub bytes_in: u64,
+    /// Bytes written across all connections.
+    pub bytes_out: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    timed_out: AtomicU64,
+    closed: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One accepted connection's reactor-side state.
+struct Conn {
+    id: ConnId,
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Last time bytes arrived (or the connection opened).
+    last_read: Instant,
+    /// Last time pending output made progress (or became pending).
+    last_write_progress: Instant,
+    /// Close once `outbuf` drains.
+    closing: bool,
+}
+
+/// A listening TCP server driving one [`Service`] on a dedicated worker
+/// thread. Dropping the server shuts it down and joins the worker.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<AtomicStats>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the worker
+    /// thread, and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener or switching it to
+    /// non-blocking mode.
+    pub fn bind<A: ToSocketAddrs, S: Service>(
+        addr: A,
+        service: S,
+        config: Config,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(AtomicStats::default());
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name(format!("minisock-{}", local_addr.port()))
+                .spawn(move || run_loop(listener, service, config, &stop, &stats))?
+        };
+        Ok(Server {
+            local_addr,
+            stop,
+            stats,
+            worker: Some(worker),
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, lets pending output drain (bounded by
+    /// [`Config::drain_grace`]), closes every connection, and joins the
+    /// worker thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Read chunk size; protocol units in this workspace are far smaller.
+const READ_CHUNK: usize = 64 * 1024;
+
+fn run_loop<S: Service>(
+    listener: TcpListener,
+    mut service: S,
+    config: Config,
+    stop: &AtomicBool,
+    stats: &AtomicStats,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_id: ConnId = 1;
+    let mut last_tick = Instant::now();
+    let mut draining_since: Option<Instant> = None;
+    let mut scratch = [0u8; READ_CHUNK];
+
+    loop {
+        let mut progressed = false;
+        let now = Instant::now();
+
+        // Accept (unless shutting down or at the cap).
+        if draining_since.is_none() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        if conns.len() >= config.max_connections {
+                            stats.refused.fetch_add(1, Ordering::Relaxed);
+                            drop(stream); // refuse by immediate close
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err()
+                            || stream.set_nodelay(true).is_err()
+                        {
+                            continue;
+                        }
+                        stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        let id = next_id;
+                        next_id += 1;
+                        let mut conn = Conn {
+                            id,
+                            stream,
+                            inbuf: Vec::new(),
+                            outbuf: Vec::new(),
+                            last_read: now,
+                            last_write_progress: now,
+                            closing: false,
+                        };
+                        service.on_open(id, &mut conn.outbuf);
+                        conns.push(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break, // transient accept error: retry next iteration
+                }
+            }
+        }
+
+        // Read, dispatch, write, per connection.
+        let mut idx = 0;
+        while idx < conns.len() {
+            let conn = &mut conns[idx];
+            let mut dead = false;
+            let mut timed_out = false;
+
+            // Drain the socket into the input buffer.
+            if !conn.closing {
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            // Peer EOF: no more input; flush what we owe and
+                            // close.
+                            conn.closing = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            progressed = true;
+                            conn.last_read = now;
+                            stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                            conn.inbuf.extend_from_slice(&scratch[..n]);
+                            let had_output = !conn.outbuf.is_empty();
+                            if service.on_data(conn.id, &mut conn.inbuf, &mut conn.outbuf)
+                                == Action::CloseAfterFlush
+                            {
+                                conn.closing = true;
+                            }
+                            if !had_output && !conn.outbuf.is_empty() {
+                                conn.last_write_progress = now;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    if conn.closing {
+                        break;
+                    }
+                }
+            }
+
+            // Flush pending output.
+            while !dead && !conn.outbuf.is_empty() {
+                match conn.stream.write(&conn.outbuf) {
+                    Ok(0) => {
+                        dead = true;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        conn.outbuf.drain(..n);
+                        conn.last_write_progress = now;
+                        stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => dead = true,
+                }
+            }
+
+            // Timeouts (only while running normally; the drain phase has its
+            // own grace deadline).
+            if !dead && draining_since.is_none() {
+                let idle = conn.outbuf.is_empty()
+                    && !conn.closing
+                    && now.duration_since(conn.last_read) > config.read_timeout;
+                let stalled = !conn.outbuf.is_empty()
+                    && now.duration_since(conn.last_write_progress) > config.write_timeout;
+                if idle || stalled {
+                    timed_out = true;
+                    dead = true;
+                }
+            }
+
+            if dead || (conn.closing && conn.outbuf.is_empty()) {
+                let conn = conns.swap_remove(idx);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                service.on_close(conn.id);
+                stats.closed.fetch_add(1, Ordering::Relaxed);
+                if timed_out {
+                    stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                progressed = true;
+            } else {
+                idx += 1;
+            }
+        }
+
+        // Periodic service tick (push path).
+        if draining_since.is_none() && now.duration_since(last_tick) >= config.tick_interval {
+            last_tick = now;
+            let mut pushes: Vec<(ConnId, Vec<u8>)> = Vec::new();
+            service.on_tick(&mut |conn, bytes| pushes.push((conn, bytes.to_vec())));
+            for (id, bytes) in pushes {
+                if let Some(conn) = conns.iter_mut().find(|c| c.id == id) {
+                    if conn.outbuf.is_empty() {
+                        conn.last_write_progress = now;
+                    }
+                    conn.outbuf.extend_from_slice(&bytes);
+                    progressed = true;
+                }
+            }
+        }
+
+        // Shutdown sequencing: stop accepting, give pending output one grace
+        // period to drain, then close everything.
+        if stop.load(Ordering::SeqCst) && draining_since.is_none() {
+            draining_since = Some(now);
+        }
+        if let Some(since) = draining_since {
+            let drained = conns.iter().all(|c| c.outbuf.is_empty());
+            if drained || now.duration_since(since) > config.drain_grace {
+                for conn in conns.drain(..) {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                    service.on_close(conn.id);
+                    stats.closed.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(config.poll_interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    /// Echoes every byte back; closes when it sees the byte `b'q'`.
+    struct Echo;
+
+    impl Service for Echo {
+        fn on_data(&mut self, _conn: ConnId, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action {
+            let quit = inbuf.contains(&b'q');
+            out.append(inbuf);
+            if quit {
+                Action::CloseAfterFlush
+            } else {
+                Action::Continue
+            }
+        }
+    }
+
+    fn quick_config() -> Config {
+        Config {
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(200),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn echo_round_trip_and_service_close() {
+        let server = Server::bind("127.0.0.1:0", Echo, quick_config()).unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        client.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+
+        // The quit byte is echoed, then the server closes.
+        client.write_all(b"q").unwrap();
+        let mut rest = Vec::new();
+        client.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"q");
+
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.bytes_in, 6);
+        assert_eq!(stats.bytes_out, 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_sequential_and_concurrent_connections() {
+        let server = Server::bind("127.0.0.1:0", Echo, quick_config()).unwrap();
+        let addr = server.local_addr();
+        let mut clients: Vec<TcpStream> =
+            (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for (i, client) in clients.iter_mut().enumerate() {
+            let msg = format!("msg-{i}");
+            client.write_all(msg.as_bytes()).unwrap();
+            let mut buf = vec![0u8; msg.len()];
+            client.read_exact(&mut buf).unwrap();
+            assert_eq!(buf, msg.as_bytes());
+        }
+        drop(clients);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_refuses_excess() {
+        let config = Config {
+            max_connections: 2,
+            ..quick_config()
+        };
+        let server = Server::bind("127.0.0.1:0", Echo, config).unwrap();
+        let addr = server.local_addr();
+        let mut keep: Vec<TcpStream> = Vec::new();
+        for _ in 0..2 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            // Prove the slot is live before opening the next one.
+            c.write_all(b"x").unwrap();
+            let mut b = [0u8; 1];
+            c.read_exact(&mut b).unwrap();
+            keep.push(c);
+        }
+        // The third connection is accepted by the OS and immediately closed
+        // by the reactor: a read must return EOF without any echo.
+        let mut refused = TcpStream::connect(addr).unwrap();
+        refused.write_all(b"y").ok();
+        let mut buf = Vec::new();
+        refused
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(refused.read_to_end(&mut buf).unwrap_or(0), 0);
+        // Refused counts may lag the close by one loop iteration.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().refused == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().refused, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let config = Config {
+            read_timeout: Duration::from_millis(30),
+            ..Config::default()
+        };
+        let server = Server::bind("127.0.0.1:0", Echo, config).unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Never send anything: the reactor must close us as idle.
+        let mut buf = Vec::new();
+        assert_eq!(client.read_to_end(&mut buf).unwrap_or(0), 0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().timed_out == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.closed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tick_pushes_unsolicited_bytes() {
+        /// Pushes one beep to every open connection on each tick.
+        struct Beeper {
+            open: Vec<ConnId>,
+            beeped: bool,
+        }
+        impl Service for Beeper {
+            fn on_open(&mut self, conn: ConnId, _out: &mut Vec<u8>) {
+                self.open.push(conn);
+            }
+            fn on_data(&mut self, _c: ConnId, inbuf: &mut Vec<u8>, _out: &mut Vec<u8>) -> Action {
+                inbuf.clear();
+                Action::Continue
+            }
+            fn on_tick(&mut self, push: &mut dyn FnMut(ConnId, &[u8])) {
+                if !self.beeped && !self.open.is_empty() {
+                    self.beeped = true;
+                    for &conn in &self.open {
+                        push(conn, b"beep");
+                    }
+                }
+            }
+            fn on_close(&mut self, conn: ConnId) {
+                self.open.retain(|&c| c != conn);
+            }
+        }
+
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Beeper {
+                open: Vec::new(),
+                beeped: false,
+            },
+            quick_config(),
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        let mut buf = [0u8; 4];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"beep");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_output_and_joins() {
+        let server = Server::bind("127.0.0.1:0", Echo, quick_config()).unwrap();
+        let addr = server.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"last words").unwrap();
+        let mut buf = [0u8; 10];
+        client.read_exact(&mut buf).unwrap();
+        server.shutdown();
+        // After shutdown the listener is gone: new connections must fail or
+        // be closed immediately.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                let mut rest = Vec::new();
+                assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_joins_the_worker() {
+        let server = Server::bind("127.0.0.1:0", Echo, quick_config()).unwrap();
+        let addr = server.local_addr();
+        drop(server);
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                let mut rest = Vec::new();
+                assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
+            }
+        }
+    }
+}
