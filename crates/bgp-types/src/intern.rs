@@ -1,0 +1,188 @@
+//! Hash-consing of decoded attribute values.
+//!
+//! A RIB dump repeats the same handful of AS paths and community lists
+//! across hundreds of thousands of routes. Decoding each occurrence into an
+//! owned value allocates the same bytes over and over; the ingest path
+//! instead keys each occurrence's *wire bytes* into an [`Interner`] and
+//! materialises the owned value only on the first sighting. Every later
+//! sighting is one hash-and-compare over borrowed bytes — zero allocation.
+
+/// A byte-keyed intern table: maps a byte string to a value of type `T`,
+/// building the value at most once per distinct key.
+///
+/// Dependency-free by design (the workspace is offline): open addressing
+/// with linear probing over FNV-1a hashes, resized at 75% load. Lookups on
+/// a hit borrow the key — only a miss copies the key bytes and builds `T`.
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::Interner;
+///
+/// let mut paths: Interner<String> = Interner::new();
+/// let mut builds = 0;
+/// for _ in 0..3 {
+///     paths.intern(b"40 2260", |bytes| {
+///         builds += 1;
+///         String::from_utf8_lossy(bytes).into_owned()
+///     });
+/// }
+/// assert_eq!(builds, 1, "value built once, then shared");
+/// assert_eq!(paths.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    /// Open-addressed probe table of indices into `entries` (`EMPTY` = free).
+    slots: Vec<u32>,
+    /// Insertion-ordered storage: (key hash, key bytes, value).
+    entries: Vec<(u64, Box<[u8]>, T)>,
+}
+
+/// Slot sentinel for "unoccupied".
+const EMPTY: u32 = u32::MAX;
+
+/// FNV-1a offset basis / prime (64-bit variant).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl<T> Interner<T> {
+    /// Creates an empty intern table.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner {
+            slots: vec![EMPTY; 16],
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of distinct keys interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the value for `key`, building it with `make` only if this is
+    /// the first time the key is seen. The hot path (a repeat key) performs
+    /// no allocation: one hash over the borrowed bytes plus a probe.
+    pub fn intern(&mut self, key: &[u8], make: impl FnOnce(&[u8]) -> T) -> &T {
+        let hash = fnv1a(key);
+        let mut slot = self.probe(hash, key);
+        if self.slots[slot] == EMPTY {
+            if self.entries.len() + 1 > self.slots.len() * 3 / 4 {
+                self.grow();
+                slot = self.probe(hash, key);
+            }
+            let value = make(key);
+            debug_assert!(self.entries.len() < EMPTY as usize);
+            self.slots[slot] = self.entries.len() as u32;
+            self.entries.push((hash, key.into(), value));
+        }
+        &self.entries[self.slots[slot] as usize].2
+    }
+
+    /// Finds the slot holding `key`, or the empty slot where it belongs.
+    fn probe(&self, hash: u64, key: &[u8]) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let idx = self.slots[slot];
+            if idx == EMPTY {
+                return slot;
+            }
+            let (entry_hash, entry_key, _) = &self.entries[idx as usize];
+            if *entry_hash == hash && **entry_key == *key {
+                return slot;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Doubles the probe table and re-seats every entry.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mask = new_len - 1;
+        let mut slots = vec![EMPTY; new_len];
+        for (idx, (hash, _, _)) in self.entries.iter().enumerate() {
+            let mut slot = (*hash as usize) & mask;
+            while slots[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = idx as u32;
+        }
+        self.slots = slots;
+    }
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_each_distinct_key_once() {
+        let mut interner: Interner<Vec<u8>> = Interner::new();
+        let mut builds = 0;
+        for round in 0..3 {
+            for key in [b"alpha".as_slice(), b"beta", b"", b"alpha"] {
+                let value = interner.intern(key, |k| {
+                    builds += 1;
+                    k.to_vec()
+                });
+                assert_eq!(value.as_slice(), key, "round {round}");
+            }
+        }
+        assert_eq!(builds, 3);
+        assert_eq!(interner.len(), 3);
+        assert!(!interner.is_empty());
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut interner: Interner<u32> = Interner::new();
+        // Far past the 16-slot initial table: forces several doublings.
+        for i in 0..500u32 {
+            let key = i.to_be_bytes();
+            assert_eq!(*interner.intern(&key, |_| i), i);
+        }
+        assert_eq!(interner.len(), 500);
+        // Every key still resolves to its original value after rehashing.
+        for i in 0..500u32 {
+            let key = i.to_be_bytes();
+            assert_eq!(*interner.intern(&key, |_| panic!("rebuilt {i}")), i);
+        }
+        assert_eq!(interner.len(), 500);
+    }
+
+    #[test]
+    fn distinguishes_keys_with_same_fnv_prefix() {
+        // Keys that extend one another must not collide.
+        let mut interner: Interner<usize> = Interner::new();
+        let keys: [&[u8]; 4] = [b"", b"a", b"ab", b"abc"];
+        for (i, key) in keys.iter().enumerate() {
+            interner.intern(key, |_| i);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(*interner.intern(key, |_| usize::MAX), i);
+        }
+    }
+}

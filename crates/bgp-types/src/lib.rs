@@ -36,6 +36,7 @@ mod as_path;
 mod asn;
 mod community;
 mod error;
+mod intern;
 mod moas_list;
 mod prefix;
 mod route;
@@ -46,6 +47,7 @@ pub use as_path::{AsPath, AsPathSegment};
 pub use asn::Asn;
 pub use community::{Community, MOAS_LIST_VALUE};
 pub use error::{ParseAsPathError, ParseAsnError, ParsePrefixError};
+pub use intern::Interner;
 pub use moas_list::MoasList;
 pub use prefix::Ipv4Prefix;
 pub use route::{Route, RouteOrigin};

@@ -2,12 +2,33 @@
 
 use crate::Ipv4Prefix;
 
+/// Child-slot sentinel: "no child".
+const NIL: u32 = u32::MAX;
+
+/// The root node's index. The arena always holds it.
+const ROOT: u32 = 0;
+
 /// A longest-prefix-match table: the data structure behind an IP forwarding
 /// table (FIB).
 ///
 /// The §4.3 limitation — a hijacker announcing a *more-specific* prefix wins
 /// forwarding even though the victim's covering route is intact — is a
 /// longest-match phenomenon, so reproducing it end-to-end needs a real FIB.
+///
+/// # Representation
+///
+/// Nodes live in one arena `Vec` and refer to children by `u32` index
+/// instead of `Box` pointers: a bulk build touches contiguous memory rather
+/// than chasing per-node heap allocations, and dropping the trie frees one
+/// allocation instead of walking the tree. Removal prunes empty branches
+/// into a free list that later inserts reuse, so the arena does not leak
+/// under churn. Equality compares *contents* (the iteration order is
+/// canonical), not arena layout, so two tries built in different orders
+/// compare equal.
+///
+/// Sorted bulk loads should go through [`extend_sorted`](Self::extend_sorted),
+/// which descends only below the bits each prefix shares with its
+/// predecessor instead of re-walking from the root.
 ///
 /// # Example
 ///
@@ -31,28 +52,29 @@ use crate::Ipv4Prefix;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PrefixTrie<T> {
-    root: Node<T>,
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
     len: usize,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 struct Node<T> {
     value: Option<T>,
-    children: [Option<Box<Node<T>>>; 2],
+    children: [u32; 2],
 }
 
 impl<T> Node<T> {
     fn new() -> Self {
         Node {
             value: None,
-            children: [None, None],
+            children: [NIL, NIL],
         }
     }
 
     fn is_empty_leaf(&self) -> bool {
-        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+        self.value.is_none() && self.children[0] == NIL && self.children[1] == NIL
     }
 }
 
@@ -61,7 +83,8 @@ impl<T> PrefixTrie<T> {
     #[must_use]
     pub fn new() -> Self {
         PrefixTrie {
-            root: Node::new(),
+            nodes: vec![Node::new()],
+            free: Vec::new(),
             len: 0,
         }
     }
@@ -83,70 +106,150 @@ impl<T> PrefixTrie<T> {
         ((addr >> (31 - i)) & 1) as usize
     }
 
+    /// Allocates a fresh (or recycled) node and returns its index.
+    fn alloc(&mut self) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node::new();
+            idx
+        } else {
+            debug_assert!(self.nodes.len() < NIL as usize);
+            self.nodes.push(Node::new());
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Walks to the node at `prefix`'s path, creating nodes as needed, and
+    /// returns its index.
+    fn walk_or_create(&mut self, mut idx: u32, from_depth: u8, prefix: Ipv4Prefix) -> u32 {
+        for i in from_depth..prefix.len() {
+            let b = Self::bit(prefix.network(), i);
+            let child = self.nodes[idx as usize].children[b];
+            idx = if child == NIL {
+                let new = self.alloc();
+                self.nodes[idx as usize].children[b] = new;
+                new
+            } else {
+                child
+            };
+        }
+        idx
+    }
+
     /// Inserts (or replaces) the value for a prefix, returning the previous
     /// value if the prefix was present.
     pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
-        let mut node = &mut self.root;
-        for i in 0..prefix.len() {
-            let b = Self::bit(prefix.network(), i);
-            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
-        }
-        let old = node.value.replace(value);
+        let idx = self.walk_or_create(ROOT, 0, prefix);
+        let old = self.nodes[idx as usize].value.replace(value);
         if old.is_none() {
             self.len += 1;
         }
         old
     }
 
+    /// Bulk-inserts entries, exploiting sorted order: consecutive prefixes
+    /// share the node path of their common leading bits, so a prefix-sorted
+    /// batch descends only below the shared stem instead of re-walking all
+    /// `prefix.len()` levels from the root per entry.
+    ///
+    /// Semantically identical to calling [`insert`](Self::insert) per entry
+    /// (later duplicates replace earlier values); unsorted input stays
+    /// correct and merely loses the speedup.
+    pub fn extend_sorted<I: IntoIterator<Item = (Ipv4Prefix, T)>>(&mut self, entries: I) {
+        // stack[d] is the node at depth d along the previously inserted
+        // prefix's path; stack[0] is the root.
+        let mut stack: Vec<u32> = Vec::with_capacity(33);
+        stack.push(ROOT);
+        let mut prev = Ipv4Prefix::DEFAULT;
+        for (prefix, value) in entries {
+            let shared = Self::shared_bits(prev, prefix);
+            stack.truncate(usize::from(shared) + 1);
+            let mut idx = stack[usize::from(shared)];
+            for i in shared..prefix.len() {
+                let b = Self::bit(prefix.network(), i);
+                let child = self.nodes[idx as usize].children[b];
+                idx = if child == NIL {
+                    let new = self.alloc();
+                    self.nodes[idx as usize].children[b] = new;
+                    new
+                } else {
+                    child
+                };
+                stack.push(idx);
+            }
+            if self.nodes[idx as usize].value.replace(value).is_none() {
+                self.len += 1;
+            }
+            prev = prefix;
+        }
+    }
+
+    /// Leading bits `a` and `b` share, capped at both prefix lengths.
+    fn shared_bits(a: Ipv4Prefix, b: Ipv4Prefix) -> u8 {
+        let common = (a.network() ^ b.network()).leading_zeros() as u8;
+        common.min(a.len()).min(b.len())
+    }
+
     /// Removes a prefix, returning its value if present. Empty branches are
-    /// pruned so the trie does not leak nodes under churn.
+    /// pruned onto the free list so the arena does not grow under churn.
     pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
-        fn go<T>(node: &mut Node<T>, addr: u32, depth: u8, len: u8) -> Option<T> {
-            if depth == len {
-                return node.value.take();
+        // Path of (parent index, branch taken) pairs down to the target.
+        let mut path = [(ROOT, 0usize); 32];
+        let mut idx = ROOT;
+        for i in 0..prefix.len() {
+            let b = Self::bit(prefix.network(), i);
+            let child = self.nodes[idx as usize].children[b];
+            if child == NIL {
+                return None;
             }
-            let b = PrefixTrie::<T>::bit(addr, depth);
-            let child = node.children[b].as_mut()?;
-            let out = go(child, addr, depth + 1, len);
-            if child.is_empty_leaf() {
-                node.children[b] = None;
-            }
-            out
+            path[usize::from(i)] = (idx, b);
+            idx = child;
         }
-        let out = go(&mut self.root, prefix.network(), 0, prefix.len());
-        if out.is_some() {
-            self.len -= 1;
+        let out = self.nodes[idx as usize].value.take()?;
+        self.len -= 1;
+        let mut depth = prefix.len();
+        while depth > 0 && self.nodes[idx as usize].is_empty_leaf() {
+            let (parent, b) = path[usize::from(depth - 1)];
+            self.nodes[parent as usize].children[b] = NIL;
+            self.free.push(idx);
+            idx = parent;
+            depth -= 1;
         }
-        out
+        Some(out)
     }
 
     /// The value stored for exactly this prefix.
     #[must_use]
     pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
-        let mut node = &self.root;
+        let mut idx = ROOT;
         for i in 0..prefix.len() {
-            node = node.children[Self::bit(prefix.network(), i)].as_deref()?;
+            let child = self.nodes[idx as usize].children[Self::bit(prefix.network(), i)];
+            if child == NIL {
+                return None;
+            }
+            idx = child;
         }
-        node.value.as_ref()
+        self.nodes[idx as usize].value.as_ref()
     }
 
     /// Longest-prefix match for a 32-bit destination address: the most
     /// specific stored prefix containing it, with its value.
     #[must_use]
     pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
-        let mut node = &self.root;
+        let mut idx = ROOT;
         let mut best: Option<(Ipv4Prefix, &T)> = None;
         for depth in 0..=32u8 {
+            let node = &self.nodes[idx as usize];
             if let Some(value) = node.value.as_ref() {
                 best = Some((Ipv4Prefix::new(addr, depth), value));
             }
             if depth == 32 {
                 break;
             }
-            match node.children[Self::bit(addr, depth)].as_deref() {
-                Some(child) => node = child,
-                None => break,
+            let child = node.children[Self::bit(addr, depth)];
+            if child == NIL {
+                break;
             }
+            idx = child;
         }
         best
     }
@@ -175,47 +278,47 @@ impl<T> PrefixTrie<T> {
     #[must_use]
     pub fn covering_matches(&self, prefix: Ipv4Prefix) -> Vec<(Ipv4Prefix, &T)> {
         let mut out = Vec::new();
-        let mut node = &self.root;
+        let mut idx = ROOT;
         for depth in 0..=prefix.len() {
+            let node = &self.nodes[idx as usize];
             if let Some(value) = node.value.as_ref() {
                 out.push((Ipv4Prefix::new(prefix.network(), depth), value));
             }
             if depth == prefix.len() {
                 break;
             }
-            match node.children[Self::bit(prefix.network(), depth)].as_deref() {
-                Some(child) => node = child,
-                None => break,
+            let child = node.children[Self::bit(prefix.network(), depth)];
+            if child == NIL {
+                break;
             }
+            idx = child;
         }
         out
     }
 
     /// All stored prefixes with their values, most-specific-last within each
-    /// branch (pre-order).
+    /// branch (pre-order). The order is canonical: it depends only on the
+    /// stored contents, never on insertion or removal history.
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
         let mut out = Vec::with_capacity(self.len);
-        fn walk<'a, T>(
-            node: &'a Node<T>,
-            addr: u32,
-            depth: u8,
-            out: &mut Vec<(Ipv4Prefix, &'a T)>,
-        ) {
-            if let Some(v) = node.value.as_ref() {
-                out.push((Ipv4Prefix::new(addr, depth), v));
-            }
-            if depth == 32 {
-                return;
-            }
-            if let Some(child) = node.children[0].as_deref() {
-                walk(child, addr, depth + 1, out);
-            }
-            if let Some(child) = node.children[1].as_deref() {
-                walk(child, addr | (1 << (31 - depth)), depth + 1, out);
-            }
-        }
-        walk(&self.root, 0, 0, &mut out);
+        self.walk(ROOT, 0, 0, &mut out);
         out.into_iter()
+    }
+
+    fn walk<'a>(&'a self, idx: u32, addr: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
+        let node = &self.nodes[idx as usize];
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Prefix::new(addr, depth), v));
+        }
+        if depth == 32 {
+            return;
+        }
+        if node.children[0] != NIL {
+            self.walk(node.children[0], addr, depth + 1, out);
+        }
+        if node.children[1] != NIL {
+            self.walk(node.children[1], addr | (1 << (31 - depth)), depth + 1, out);
+        }
     }
 }
 
@@ -225,21 +328,25 @@ impl<T> Default for PrefixTrie<T> {
     }
 }
 
+impl<T: PartialEq> PartialEq for PrefixTrie<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: Eq> Eq for PrefixTrie<T> {}
+
 impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
     fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
         let mut trie = PrefixTrie::new();
-        for (prefix, value) in iter {
-            trie.insert(prefix, value);
-        }
+        trie.extend_sorted(iter);
         trie
     }
 }
 
 impl<T> Extend<(Ipv4Prefix, T)> for PrefixTrie<T> {
     fn extend<I: IntoIterator<Item = (Ipv4Prefix, T)>>(&mut self, iter: I) {
-        for (prefix, value) in iter {
-            self.insert(prefix, value);
-        }
+        self.extend_sorted(iter);
     }
 }
 
@@ -301,6 +408,79 @@ mod tests {
         assert_eq!(t.len(), 1);
         let addr = p("10.1.2.0/24").network();
         assert_eq!(t.longest_match(addr).unwrap().1, &8);
+    }
+
+    #[test]
+    fn removal_recycles_nodes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), 1);
+        let allocated = t.nodes.len();
+        t.remove(p("10.1.2.0/24"));
+        assert_eq!(t.free.len(), allocated - 1, "whole branch pruned");
+        // Re-inserting an equally deep prefix reuses the freed nodes.
+        t.insert(p("192.168.3.0/24"), 2);
+        assert_eq!(t.nodes.len(), allocated, "arena did not grow");
+        assert!(t.free.is_empty());
+        assert_eq!(t.get(p("192.168.3.0/24")), Some(&2));
+    }
+
+    #[test]
+    fn equality_ignores_construction_history() {
+        let entries = [(p("10.0.0.0/8"), 1), (p("10.1.0.0/16"), 2)];
+        let forward: PrefixTrie<i32> = entries.into_iter().collect();
+        let mut churned = PrefixTrie::new();
+        churned.insert(p("192.168.0.0/16"), 9);
+        churned.insert(p("10.1.0.0/16"), 2);
+        churned.insert(p("10.0.0.0/8"), 1);
+        churned.remove(p("192.168.0.0/16"));
+        assert_eq!(forward, churned);
+        churned.insert(p("10.1.0.0/16"), 3);
+        assert_ne!(forward, churned);
+    }
+
+    #[test]
+    fn extend_sorted_matches_per_entry_insert() {
+        let entries = [
+            (p("0.0.0.0/0"), 0),
+            (p("10.0.0.0/8"), 1),
+            (p("10.0.0.0/16"), 2),
+            (p("10.0.128.0/17"), 3),
+            (p("10.1.0.0/16"), 4),
+            (p("192.168.0.0/16"), 5),
+            (p("192.168.1.0/24"), 6),
+        ];
+        let mut batched = PrefixTrie::new();
+        batched.extend_sorted(entries);
+        let mut individual = PrefixTrie::new();
+        for (prefix, value) in entries {
+            individual.insert(prefix, value);
+        }
+        assert_eq!(batched, individual);
+        assert_eq!(batched.len(), entries.len());
+
+        // Unsorted input (and duplicates, last wins) stays correct.
+        let mut shuffled = PrefixTrie::new();
+        shuffled.extend_sorted([
+            (p("192.168.1.0/24"), 0),
+            (p("10.0.0.0/16"), 2),
+            (p("192.168.1.0/24"), 6),
+            (p("0.0.0.0/0"), 0),
+            (p("10.0.128.0/17"), 3),
+            (p("10.0.0.0/8"), 1),
+            (p("10.1.0.0/16"), 4),
+            (p("192.168.0.0/16"), 5),
+        ]);
+        assert_eq!(shuffled, individual);
+    }
+
+    #[test]
+    fn extend_sorted_into_populated_trie() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.extend_sorted([(p("10.0.0.0/8"), 10), (p("10.2.0.0/16"), 20)]);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&10));
+        assert_eq!(t.get(p("10.2.0.0/16")), Some(&20));
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -21,22 +21,22 @@ pub const HEADER_LEN: usize = 19;
 /// Largest BGP message RFC 4271 allows.
 pub const MAX_MESSAGE_LEN: usize = 4096;
 
-const ATTR_ORIGIN: u8 = 1;
-const ATTR_AS_PATH: u8 = 2;
-const ATTR_NEXT_HOP: u8 = 3;
-const ATTR_LOCAL_PREF: u8 = 5;
-const ATTR_COMMUNITIES: u8 = 8;
+pub(crate) const ATTR_ORIGIN: u8 = 1;
+pub(crate) const ATTR_AS_PATH: u8 = 2;
+pub(crate) const ATTR_NEXT_HOP: u8 = 3;
+pub(crate) const ATTR_LOCAL_PREF: u8 = 5;
+pub(crate) const ATTR_COMMUNITIES: u8 = 8;
 
 const FLAG_OPTIONAL: u8 = 0x80;
 const FLAG_TRANSITIVE: u8 = 0x40;
-const FLAG_EXTENDED_LENGTH: u8 = 0x10;
+pub(crate) const FLAG_EXTENDED_LENGTH: u8 = 0x10;
 
-const SEGMENT_AS_SET: u8 = 1;
-const SEGMENT_AS_SEQUENCE: u8 = 2;
+pub(crate) const SEGMENT_AS_SET: u8 = 1;
+pub(crate) const SEGMENT_AS_SEQUENCE: u8 = 2;
 
 /// RFC 4271 caps an AS_PATH segment's ASN count at one byte; longer logical
 /// segments are split on encode and re-joined on decode.
-const MAX_SEGMENT_ASNS: usize = 255;
+pub(crate) const MAX_SEGMENT_ASNS: usize = 255;
 
 /// How ASNs are laid out inside `AS_PATH`.
 ///

@@ -24,8 +24,9 @@ use bgp_types::{Asn, Route, Update};
 use route_measurement::DailyDump;
 
 use crate::error::{WireError, WireErrorKind};
-use crate::mrt::{MrtBody, MrtReader, MrtRecord, PeerIndexTable};
+use crate::mrt::{MrtBody, MrtReader, PeerIndexTable};
 use crate::timestamp_to_day;
+use crate::view::{AttrInterner, MrtBodyView, MrtViewReader};
 
 /// Everything a table-dump import recovers.
 #[derive(Debug, Clone, Default)]
@@ -84,13 +85,23 @@ pub struct DayImport {
 /// that interleaves days yields one `DayImport` per contiguous group, which
 /// callers can merge via [`DailyDump::merge`] (as `import_table_dumps`
 /// does).
+///
+/// Internally the stream runs on the allocation-free decode path: records
+/// are framed into one reusable buffer ([`MrtViewReader`]), origins are
+/// read straight off the wire via [`crate::view::AttrsView::origin_asn`],
+/// and when routes are collected their `AS_PATH`s are hash-consed through
+/// an [`AttrInterner`] so each distinct path in a dump is decoded once.
 #[derive(Debug)]
 pub struct DailyDumpStream<R> {
-    mrt: MrtReader<R>,
+    mrt: MrtViewReader<R>,
     peer_table: Option<PeerIndexTable>,
     pending: Option<DayImport>,
-    /// A record already read that belongs to the next day group.
-    lookahead: Option<MrtRecord>,
+    /// The buffered record belongs to the next day group; re-process it
+    /// (without advancing) on the next call.
+    deferred: bool,
+    interner: AttrInterner,
+    /// Per-record origin batch, reused across records.
+    scratch_origins: Vec<Asn>,
     skipped_messages: usize,
     collect_routes: bool,
     day_entries: usize,
@@ -101,10 +112,12 @@ impl<R: io::Read> DailyDumpStream<R> {
     /// Wraps a reader positioned at the start of an MRT table-dump stream.
     pub fn new(reader: R) -> Self {
         DailyDumpStream {
-            mrt: MrtReader::new(reader),
+            mrt: MrtViewReader::new(reader),
             peer_table: None,
             pending: None,
-            lookahead: None,
+            deferred: false,
+            interner: AttrInterner::new(),
+            scratch_origins: Vec::new(),
             skipped_messages: 0,
             collect_routes: false,
             day_entries: 0,
@@ -147,25 +160,32 @@ impl<R: io::Read> DailyDumpStream<R> {
     /// refuses further reads.
     pub fn next_day(&mut self) -> Result<Option<DayImport>, WireError> {
         loop {
-            let record = match self.lookahead.take() {
-                Some(record) => record,
-                None => match self.mrt.next_record()? {
-                    Some(record) => record,
-                    None => return Ok(self.take_pending()),
-                },
-            };
+            if self.deferred {
+                // The buffered record opened a new day last call; consume it
+                // now without reading another.
+                self.deferred = false;
+            } else if !self.mrt.advance()? {
+                return Ok(self.take_pending());
+            }
 
-            let day = timestamp_to_day(record.timestamp);
+            let day = timestamp_to_day(self.mrt.timestamp());
             if let Some(pending) = &self.pending {
                 if pending.day != day {
                     // Day boundary: hand the finished day out and re-process
-                    // this record on the next call.
-                    self.lookahead = Some(record);
+                    // the buffered record on the next call.
+                    self.deferred = true;
                     return Ok(self.take_pending());
                 }
             }
-            self.process(record, day)?;
+            self.process(day)?;
         }
+    }
+
+    /// Total stream bytes consumed so far — the numerator for ingest
+    /// throughput reporting.
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.mrt.bytes_read()
     }
 
     fn take_pending(&mut self) -> Option<DayImport> {
@@ -174,10 +194,11 @@ impl<R: io::Read> DailyDumpStream<R> {
         self.pending.take()
     }
 
-    fn process(&mut self, record: MrtRecord, day: u32) -> Result<(), WireError> {
-        match record.body {
-            MrtBody::PeerIndexTable(table) => self.peer_table = Some(table),
-            MrtBody::RibIpv4Unicast(rib) => {
+    fn process(&mut self, day: u32) -> Result<(), WireError> {
+        let view = self.mrt.view()?;
+        match view.body {
+            MrtBodyView::PeerIndexTable(table) => self.peer_table = Some(table.to_table()),
+            MrtBodyView::RibIpv4Unicast(rib) => {
                 let table = self
                     .peer_table
                     .as_ref()
@@ -188,24 +209,29 @@ impl<R: io::Read> DailyDumpStream<R> {
                     rib_entries: 0,
                     routes: Vec::new(),
                 });
-                for entry in rib.entries {
+                self.scratch_origins.clear();
+                for entry in rib.entries() {
                     let peer = table
                         .peers
                         .get(usize::from(entry.peer_index))
                         .ok_or_else(|| {
                             WireError::new(WireErrorKind::BadPeerIndex(entry.peer_index), 0)
                         })?;
-                    let route = entry.attrs.to_route(rib.prefix);
-                    let origin = route.origin_as().unwrap_or(peer.asn);
-                    pending.dump.observe(rib.prefix, origin);
+                    let origin = entry.attrs.origin_asn().unwrap_or(peer.asn);
+                    self.scratch_origins.push(origin);
                     if self.collect_routes {
-                        pending.routes.push(route);
+                        pending
+                            .routes
+                            .push(self.interner.to_route(&entry.attrs, rib.prefix()));
                     }
                     pending.rib_entries += 1;
                     self.day_entries += 1;
                 }
+                pending
+                    .dump
+                    .observe_all(rib.prefix(), self.scratch_origins.iter().copied());
             }
-            MrtBody::Bgp4mpMessage(_) => self.skipped_messages += 1,
+            MrtBodyView::Bgp4mpMessage(_) => self.skipped_messages += 1,
         }
         Ok(())
     }

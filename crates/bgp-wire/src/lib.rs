@@ -59,11 +59,16 @@ mod error;
 pub mod export;
 pub mod import;
 pub mod mrt;
+pub mod view;
 
 pub use error::{WireError, WireErrorKind};
 pub use export::{export_rib_snapshot, export_update_stream, ExportSummary};
 pub use import::{
     import_table_dumps, import_update_stream, DailyDumpStream, DayImport, ImportedTables,
+};
+pub use view::{
+    AttrInterner, AttrsView, Bgp4mpView, MrtBodyView, MrtRecordView, MrtViewReader,
+    PeerIndexTableView, RibEntryView, RibView, UpdateView,
 };
 
 use bgp_types::Asn;

@@ -520,7 +520,7 @@ impl<R: io::Read> Iterator for MrtReader<R> {
 }
 
 /// Reads until `buf` is full or EOF; returns bytes read.
-fn read_exact_or_eof<R: io::Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+pub(crate) fn read_exact_or_eof<R: io::Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {

@@ -1,0 +1,1446 @@
+//! Allocation-free (borrowed) decoding of BGP UPDATE and MRT bytes.
+//!
+//! The owned decoders in [`crate::bgp`] and [`crate::mrt`] materialise a
+//! full object graph per record — `Vec<Ipv4Prefix>` runs, `AsPath` segment
+//! vectors, `String` view names — even when the consumer only wants each
+//! record's prefix and origin AS. Over a multi-year Route Views archive
+//! that is millions of allocations whose contents are immediately thrown
+//! away.
+//!
+//! This module is the zero-copy alternative: a *view* borrows the record's
+//! bytes and decodes fields lazily, on access. Parsing a view runs the
+//! **exact same validation, in the same order, producing the same
+//! [`WireError`] kinds and offsets** as the owned decoder — the property
+//! the differential tests in `tests/view_props.rs` pin down — so a view is
+//! never a weaker parse, just a cheaper one. Once a view exists, its
+//! iterators ([`UpdateView::nlri`], [`RibView::entries`],
+//! [`AttrsView::path_asns`], …) walk the validated bytes infallibly and
+//! without allocating; `to_*` conversions rebuild the owned types when a
+//! caller really needs them.
+//!
+//! Two companions complete the ingest path:
+//!
+//! * [`MrtViewReader`] — streams MRT records through one reusable buffer
+//!   (the owned [`crate::mrt::MrtReader`] allocates a fresh body `Vec` per
+//!   record), exposing the timestamp before the body is parsed so callers
+//!   can group by day without decoding;
+//! * [`AttrInterner`] — hash-conses `AS_PATH` and `COMMUNITIES` wire bytes
+//!   into owned values via [`bgp_types::Interner`], so a RIB dump that
+//!   repeats the same path ten thousand times decodes it once.
+
+use std::io;
+
+use bgp_types::{AsPath, AsPathSegment, Asn, Community, Interner, Ipv4Prefix, Route, RouteOrigin};
+
+use crate::bgp::{
+    decode_one_prefix, prefix_octets, AsnEncoding, Cursor, PathAttributes, UpdateMessage,
+    ATTR_AS_PATH, ATTR_COMMUNITIES, ATTR_LOCAL_PREF, ATTR_NEXT_HOP, ATTR_ORIGIN,
+    FLAG_EXTENDED_LENGTH, HEADER_LEN, MAX_MESSAGE_LEN, MAX_SEGMENT_ASNS, MESSAGE_TYPE_UPDATE,
+    SEGMENT_AS_SEQUENCE, SEGMENT_AS_SET,
+};
+use crate::error::{WireError, WireErrorKind};
+use crate::mrt::{
+    read_exact_or_eof, Bgp4mpMessage, MrtBody, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
+    RibIpv4Unicast, MAX_RECORD_LEN, SUBTYPE_BGP4MP_MESSAGE, SUBTYPE_BGP4MP_MESSAGE_AS4,
+    SUBTYPE_PEER_INDEX_TABLE, SUBTYPE_RIB_IPV4_UNICAST, TYPE_BGP4MP, TYPE_TABLE_DUMP_V2,
+};
+
+// ---------------------------------------------------------------------------
+// Validation walks (no construction). Each mirrors its owned decoder
+// statement by statement so error kinds and offsets stay identical.
+// ---------------------------------------------------------------------------
+
+/// Mirrors the prefix-run walk of the owned decoder without building a Vec.
+fn validate_prefix_run(bytes: &[u8], base: u64) -> Result<(), WireError> {
+    let mut cur = Cursor::with_base(bytes, base);
+    while cur.remaining() > 0 {
+        decode_one_prefix(&mut cur)?;
+    }
+    Ok(())
+}
+
+/// Mirrors `decode_as_path` without building segments: ASN octets are read
+/// (not skipped) so truncation errors land on the same offset, and the
+/// segment-type check happens after the ASNs exactly as the owned decoder
+/// orders it.
+fn validate_as_path(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<(), WireError> {
+    let mut cur = Cursor::with_base(bytes, base);
+    while cur.remaining() > 0 {
+        let at = cur.position();
+        let seg_type = cur.u8()?;
+        let count = usize::from(cur.u8()?);
+        for _ in 0..count {
+            match encoding {
+                AsnEncoding::TwoOctet => {
+                    cur.u16()?;
+                }
+                AsnEncoding::FourOctet => {
+                    cur.u32()?;
+                }
+            }
+        }
+        if seg_type != SEGMENT_AS_SEQUENCE && seg_type != SEGMENT_AS_SET {
+            return Err(WireError::new(WireErrorKind::BadSegmentType(seg_type), at));
+        }
+    }
+    Ok(())
+}
+
+/// Mirrors `decode_attributes` without building [`PathAttributes`]. Returns
+/// whether the block is non-empty (`Some` in owned terms).
+fn validate_attributes(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<bool, WireError> {
+    if bytes.is_empty() {
+        return Ok(false);
+    }
+    let mut cur = Cursor::with_base(bytes, base);
+    let mut has_origin = false;
+    let mut has_as_path = false;
+    let mut has_next_hop = false;
+    while cur.remaining() > 0 {
+        let flags = cur.u8()?;
+        let type_code = cur.u8()?;
+        let len = if flags & FLAG_EXTENDED_LENGTH != 0 {
+            usize::from(cur.u16()?)
+        } else {
+            usize::from(cur.u8()?)
+        };
+        let at = cur.position();
+        let body = cur.take(len)?;
+        let bad_len = || {
+            WireError::new(
+                WireErrorKind::BadAttributeLength {
+                    type_code,
+                    length: len,
+                },
+                at,
+            )
+        };
+        match type_code {
+            ATTR_ORIGIN => {
+                let &[code] = body else { return Err(bad_len()) };
+                if code > 2 {
+                    return Err(WireError::new(WireErrorKind::BadOrigin(code), at));
+                }
+                has_origin = true;
+            }
+            ATTR_AS_PATH => {
+                validate_as_path(body, at, encoding)?;
+                has_as_path = true;
+            }
+            ATTR_NEXT_HOP => {
+                if body.len() != 4 {
+                    return Err(bad_len());
+                }
+                has_next_hop = true;
+            }
+            ATTR_LOCAL_PREF if body.len() != 4 => return Err(bad_len()),
+            ATTR_COMMUNITIES if body.len() % 4 != 0 => return Err(bad_len()),
+            _ => {}
+        }
+    }
+    let end = cur.position();
+    let missing = |name| WireError::new(WireErrorKind::MissingAttribute(name), end);
+    if !has_origin {
+        return Err(missing("ORIGIN"));
+    }
+    if !has_as_path {
+        return Err(missing("AS_PATH"));
+    }
+    if !has_next_hop {
+        return Err(missing("NEXT_HOP"));
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Infallible iterators over validated bytes.
+//
+// Each iterator trusts that its input passed the validation walk above, so
+// its bounds checks cannot fire; they still use `get` (never indexing) so a
+// misuse degrades to early iterator exhaustion, not a panic.
+// ---------------------------------------------------------------------------
+
+/// Iterates a validated run of `<length, prefix>` tuples.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Iterator for PrefixIter<'_> {
+    type Item = Ipv4Prefix;
+
+    fn next(&mut self) -> Option<Ipv4Prefix> {
+        let bits = *self.bytes.get(self.pos)?;
+        let octets = prefix_octets(bits);
+        let body = self.bytes.get(self.pos + 1..self.pos + 1 + octets)?;
+        self.pos += 1 + octets;
+        let mut buf = [0u8; 4];
+        buf[..body.len()].copy_from_slice(body);
+        Ipv4Prefix::try_new(u32::from_be_bytes(buf), bits).ok()
+    }
+}
+
+/// Raw attribute walk: yields `(type_code, body)` per attribute.
+#[derive(Debug, Clone, Copy)]
+struct RawAttrIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for RawAttrIter<'a> {
+    type Item = (u8, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let flags = *self.bytes.get(self.pos)?;
+        let type_code = *self.bytes.get(self.pos + 1)?;
+        let (len, header) = if flags & FLAG_EXTENDED_LENGTH != 0 {
+            let hi = *self.bytes.get(self.pos + 2)?;
+            let lo = *self.bytes.get(self.pos + 3)?;
+            (usize::from(u16::from_be_bytes([hi, lo])), 4)
+        } else {
+            (usize::from(*self.bytes.get(self.pos + 2)?), 3)
+        };
+        let body = self.bytes.get(self.pos + header..self.pos + header + len)?;
+        self.pos += header + len;
+        Some((type_code, body))
+    }
+}
+
+/// Iterates the ASNs of one wire segment.
+#[derive(Debug, Clone, Copy)]
+pub struct AsnIter<'a> {
+    bytes: &'a [u8],
+    encoding: AsnEncoding,
+}
+
+impl Iterator for AsnIter<'_> {
+    type Item = Asn;
+
+    fn next(&mut self) -> Option<Asn> {
+        match self.encoding {
+            AsnEncoding::TwoOctet => {
+                let b = self.bytes.get(..2)?;
+                self.bytes = &self.bytes[2..];
+                Some(Asn(u32::from(u16::from_be_bytes([b[0], b[1]]))))
+            }
+            AsnEncoding::FourOctet => {
+                let b = self.bytes.get(..4)?;
+                self.bytes = &self.bytes[4..];
+                Some(Asn(u32::from_be_bytes([b[0], b[1], b[2], b[3]])))
+            }
+        }
+    }
+}
+
+/// One raw `AS_PATH` wire segment (pre-merge: the encoder may have split a
+/// long logical segment into several full wire segments).
+#[derive(Debug, Clone, Copy)]
+pub struct AsPathSegmentView<'a> {
+    /// `true` for `AS_SET`, `false` for `AS_SEQUENCE`.
+    pub is_set: bool,
+    asns: &'a [u8],
+    encoding: AsnEncoding,
+}
+
+impl<'a> AsPathSegmentView<'a> {
+    /// Number of ASNs in this wire segment (0..=255).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.asns.len() / self.encoding_width()
+    }
+
+    /// The segment's ASNs in wire order.
+    #[must_use]
+    pub fn asns(&self) -> AsnIter<'a> {
+        AsnIter {
+            bytes: self.asns,
+            encoding: self.encoding,
+        }
+    }
+
+    /// The final ASN of the segment, without iterating.
+    #[must_use]
+    pub fn last_asn(&self) -> Option<Asn> {
+        let width = self.encoding_width();
+        let tail = self.asns.get(self.asns.len().checked_sub(width)?..)?;
+        AsnIter {
+            bytes: tail,
+            encoding: self.encoding,
+        }
+        .next()
+    }
+
+    fn encoding_width(&self) -> usize {
+        match self.encoding {
+            AsnEncoding::TwoOctet => 2,
+            AsnEncoding::FourOctet => 4,
+        }
+    }
+}
+
+/// Iterates the raw wire segments of a validated `AS_PATH` body.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentIter<'a> {
+    bytes: &'a [u8],
+    encoding: AsnEncoding,
+}
+
+impl<'a> Iterator for SegmentIter<'a> {
+    type Item = AsPathSegmentView<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let seg_type = *self.bytes.first()?;
+        let count = usize::from(*self.bytes.get(1)?);
+        let width = match self.encoding {
+            AsnEncoding::TwoOctet => 2,
+            AsnEncoding::FourOctet => 4,
+        };
+        let asns = self.bytes.get(2..2 + count * width)?;
+        self.bytes = &self.bytes[2 + count * width..];
+        Some(AsPathSegmentView {
+            is_set: seg_type == SEGMENT_AS_SET,
+            asns,
+            encoding: self.encoding,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribute block view
+// ---------------------------------------------------------------------------
+
+/// A validated, borrowed path-attribute block.
+///
+/// Accessors re-walk the (small) block on demand instead of caching spans;
+/// duplicate attributes follow the owned decoder's semantics exactly: the
+/// last `ORIGIN`/`AS_PATH`/`NEXT_HOP`/`LOCAL_PREF` wins, while multiple
+/// `COMMUNITIES` attributes concatenate.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrsView<'a> {
+    bytes: &'a [u8],
+    encoding: AsnEncoding,
+}
+
+impl<'a> AttrsView<'a> {
+    fn raw(&self) -> RawAttrIter<'a> {
+        RawAttrIter {
+            bytes: self.bytes,
+            pos: 0,
+        }
+    }
+
+    /// The ASN encoding this block was parsed under.
+    #[must_use]
+    pub fn encoding(&self) -> AsnEncoding {
+        self.encoding
+    }
+
+    /// The raw bytes of the whole attribute block.
+    #[must_use]
+    pub fn wire(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// The `ORIGIN` attribute.
+    #[must_use]
+    pub fn origin(&self) -> RouteOrigin {
+        let mut origin = RouteOrigin::Igp;
+        for (type_code, body) in self.raw() {
+            if type_code == ATTR_ORIGIN {
+                origin = match body.first() {
+                    Some(1) => RouteOrigin::Egp,
+                    Some(2) => RouteOrigin::Incomplete,
+                    _ => RouteOrigin::Igp,
+                };
+            }
+        }
+        origin
+    }
+
+    /// The `NEXT_HOP` attribute as a raw IPv4 address.
+    #[must_use]
+    pub fn next_hop(&self) -> u32 {
+        let mut next_hop = 0;
+        for (type_code, body) in self.raw() {
+            if type_code == ATTR_NEXT_HOP {
+                if let Ok(octets) = <[u8; 4]>::try_from(body) {
+                    next_hop = u32::from_be_bytes(octets);
+                }
+            }
+        }
+        next_hop
+    }
+
+    /// The `LOCAL_PREF` attribute, when present.
+    #[must_use]
+    pub fn local_pref(&self) -> Option<u32> {
+        let mut local_pref = None;
+        for (type_code, body) in self.raw() {
+            if type_code == ATTR_LOCAL_PREF {
+                if let Ok(octets) = <[u8; 4]>::try_from(body) {
+                    local_pref = Some(u32::from_be_bytes(octets));
+                }
+            }
+        }
+        local_pref
+    }
+
+    /// The wire bytes of the (winning) `AS_PATH` attribute body — the
+    /// interning key for [`AttrInterner`].
+    #[must_use]
+    pub fn as_path_wire(&self) -> &'a [u8] {
+        let mut wire: &'a [u8] = &[];
+        for (type_code, body) in self.raw() {
+            if type_code == ATTR_AS_PATH {
+                wire = body;
+            }
+        }
+        wire
+    }
+
+    /// The raw wire segments of the `AS_PATH`, pre-merge.
+    #[must_use]
+    pub fn segments(&self) -> SegmentIter<'a> {
+        SegmentIter {
+            bytes: self.as_path_wire(),
+            encoding: self.encoding,
+        }
+    }
+
+    /// Every ASN the path mentions, in path order (identical to the flat
+    /// order of [`AsPath::iter`] on the owned decode — canonicalization only
+    /// drops empty segments and merges adjacent ones, neither of which
+    /// changes flat order).
+    pub fn path_asns(&self) -> impl Iterator<Item = Asn> + 'a {
+        self.segments().flat_map(|s| s.asns())
+    }
+
+    /// The path's **origin AS** straight from the wire: the last ASN of the
+    /// last non-empty segment when that segment is an `AS_SEQUENCE`, `None`
+    /// for a set-terminated (aggregate) or empty path. Agrees with
+    /// [`AsPath::origin`] on the owned decode: segment merging never changes
+    /// the final element, and canonicalization drops exactly the empty
+    /// segments skipped here.
+    #[must_use]
+    pub fn origin_asn(&self) -> Option<Asn> {
+        let mut last: Option<AsPathSegmentView<'a>> = None;
+        for segment in self.segments() {
+            if segment.count() > 0 {
+                last = Some(segment);
+            }
+        }
+        let segment = last?;
+        if segment.is_set {
+            None
+        } else {
+            segment.last_asn()
+        }
+    }
+
+    /// Every community carried, concatenated across `COMMUNITIES`
+    /// attributes in wire order (the owned decoder's append semantics).
+    pub fn communities(&self) -> impl Iterator<Item = Community> + 'a {
+        self.raw()
+            .filter(|&(type_code, _)| type_code == ATTR_COMMUNITIES)
+            .flat_map(|(_, body)| {
+                body.chunks_exact(4).map(|chunk| {
+                    Community(u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+                })
+            })
+    }
+
+    /// The wire bytes of the `COMMUNITIES` body when exactly one such
+    /// attribute is present (the interning key); `None` when there are zero
+    /// or several (fall back to [`AttrsView::communities`]).
+    #[must_use]
+    pub fn communities_wire(&self) -> Option<&'a [u8]> {
+        let mut found = None;
+        for (type_code, body) in self.raw() {
+            if type_code == ATTR_COMMUNITIES {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(body);
+            }
+        }
+        found
+    }
+
+    /// Rebuilds the owned [`AsPath`], re-joining encoder-split segments the
+    /// way the owned decoder does.
+    #[must_use]
+    pub fn to_as_path(&self) -> AsPath {
+        let mut segments: Vec<AsPathSegment> = Vec::new();
+        let mut prev_full = false;
+        for view in self.segments() {
+            let count = view.count();
+            let asns: Vec<Asn> = view.asns().collect();
+            let segment = if view.is_set {
+                AsPathSegment::Set(asns)
+            } else {
+                AsPathSegment::Sequence(asns)
+            };
+            match (segments.last_mut(), prev_full, segment) {
+                (Some(AsPathSegment::Sequence(tail)), true, AsPathSegment::Sequence(next))
+                | (Some(AsPathSegment::Set(tail)), true, AsPathSegment::Set(next)) => {
+                    tail.extend(next);
+                }
+                (_, _, segment) => segments.push(segment),
+            }
+            prev_full = count == MAX_SEGMENT_ASNS;
+        }
+        AsPath::from_segments(segments)
+    }
+
+    /// Rebuilds owned [`PathAttributes`], equal to what the owned decoder
+    /// returns for the same bytes.
+    #[must_use]
+    pub fn to_attributes(&self) -> PathAttributes {
+        PathAttributes {
+            origin: self.origin(),
+            as_path: self.to_as_path(),
+            next_hop: self.next_hop(),
+            local_pref: self.local_pref(),
+            communities: self.communities().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE message view
+// ---------------------------------------------------------------------------
+
+/// A validated, borrowed BGP UPDATE message.
+///
+/// [`UpdateView::parse`] accepts and rejects **exactly** the inputs
+/// [`UpdateMessage::decode_prefix_of`] does, with identical errors; the
+/// difference is purely that nothing is materialised until asked.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateView<'a> {
+    withdrawn: &'a [u8],
+    attrs: Option<AttrsView<'a>>,
+    nlri: &'a [u8],
+}
+
+impl<'a> UpdateView<'a> {
+    /// Parses (and fully validates) one message from the start of `bytes`,
+    /// returning the view and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// The same [`WireError`]s, at the same offsets, as
+    /// [`UpdateMessage::decode_prefix_of`].
+    pub fn parse(bytes: &'a [u8], encoding: AsnEncoding) -> Result<(Self, usize), WireError> {
+        let mut cur = Cursor::new(bytes);
+        let marker = cur.take(16)?;
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(WireError::new(WireErrorKind::BadMarker, 0));
+        }
+        let total = usize::from(cur.u16()?);
+        let msg_type = cur.u8()?;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+            return Err(WireError::new(
+                WireErrorKind::BadMessageLength(total as u16),
+                16,
+            ));
+        }
+        if msg_type != MESSAGE_TYPE_UPDATE {
+            return Err(WireError::new(
+                WireErrorKind::UnsupportedMessageType(msg_type),
+                18,
+            ));
+        }
+        let body = cur.take(total - HEADER_LEN)?;
+
+        let mut body_cur = Cursor::with_base(body, HEADER_LEN as u64);
+        let withdrawn_len = usize::from(body_cur.u16()?);
+        let withdrawn = body_cur.take(withdrawn_len)?;
+        validate_prefix_run(withdrawn, HEADER_LEN as u64 + 2)?;
+
+        let attrs_len = usize::from(body_cur.u16()?);
+        let attrs_base = body_cur.position();
+        let attr_bytes = body_cur.take(attrs_len)?;
+        let nlri_base = body_cur.position();
+        let nlri = body_cur.rest();
+        validate_prefix_run(nlri, nlri_base)?;
+
+        let has_attrs = validate_attributes(attr_bytes, attrs_base, encoding)?;
+        if !has_attrs && !nlri.is_empty() {
+            return Err(WireError::new(
+                WireErrorKind::MissingAttribute("AS_PATH"),
+                nlri_base,
+            ));
+        }
+
+        Ok((
+            UpdateView {
+                withdrawn,
+                attrs: has_attrs.then_some(AttrsView {
+                    bytes: attr_bytes,
+                    encoding,
+                }),
+                nlri,
+            },
+            total,
+        ))
+    }
+
+    /// Parses one message filling all of `bytes`, mirroring
+    /// [`UpdateMessage::decode`] (trailing bytes are an error).
+    ///
+    /// # Errors
+    ///
+    /// The same [`WireError`]s, at the same offsets, as
+    /// [`UpdateMessage::decode`].
+    pub fn parse_exact(bytes: &'a [u8], encoding: AsnEncoding) -> Result<Self, WireError> {
+        let (view, used) = Self::parse(bytes, encoding)?;
+        if used != bytes.len() {
+            return Err(WireError::new(
+                WireErrorKind::TrailingBytes {
+                    remaining: bytes.len() - used,
+                },
+                used as u64,
+            ));
+        }
+        Ok(view)
+    }
+
+    /// The withdrawn prefixes.
+    #[must_use]
+    pub fn withdrawn(&self) -> PrefixIter<'a> {
+        PrefixIter {
+            bytes: self.withdrawn,
+            pos: 0,
+        }
+    }
+
+    /// The shared path attributes (`None` for a pure withdrawal).
+    #[must_use]
+    pub fn attrs(&self) -> Option<&AttrsView<'a>> {
+        self.attrs.as_ref()
+    }
+
+    /// The announced prefixes.
+    #[must_use]
+    pub fn nlri(&self) -> PrefixIter<'a> {
+        PrefixIter {
+            bytes: self.nlri,
+            pos: 0,
+        }
+    }
+
+    /// Rebuilds the owned [`UpdateMessage`] through the lazy iterators,
+    /// equal to what the owned decoder returns for the same bytes.
+    #[must_use]
+    pub fn to_message(&self) -> UpdateMessage {
+        UpdateMessage {
+            withdrawn: self.withdrawn().collect(),
+            attrs: self.attrs.as_ref().map(AttrsView::to_attributes),
+            nlri: self.nlri().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MRT record views
+// ---------------------------------------------------------------------------
+
+/// A validated, borrowed `PEER_INDEX_TABLE` record body.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerIndexTableView<'a> {
+    body: &'a [u8],
+}
+
+impl<'a> PeerIndexTableView<'a> {
+    fn parse(body: &'a [u8], base: u64) -> Result<Self, WireError> {
+        let mut cur = Cursor::with_base(body, base);
+        cur.u32()?; // collector id
+        let name_len = usize::from(cur.u16()?);
+        cur.take(name_len)?;
+        let peer_count = usize::from(cur.u16()?);
+        for _ in 0..peer_count {
+            let at = cur.position();
+            let peer_type = cur.u8()?;
+            if peer_type & 0x01 != 0 {
+                return Err(WireError::new(
+                    WireErrorKind::UnsupportedPeerType(peer_type),
+                    at,
+                ));
+            }
+            cur.u32()?; // bgp id
+            cur.u32()?; // addr
+            if peer_type & 0x02 != 0 {
+                cur.u32()?;
+            } else {
+                cur.u16()?;
+            }
+        }
+        expect_consumed(&cur)?;
+        Ok(PeerIndexTableView { body })
+    }
+
+    /// The collector's BGP identifier.
+    #[must_use]
+    pub fn collector_id(&self) -> u32 {
+        read_u32(self.body, 0)
+    }
+
+    /// The raw view-name bytes.
+    #[must_use]
+    pub fn view_name_bytes(&self) -> &'a [u8] {
+        let name_len = usize::from(read_u16(self.body, 4));
+        self.body.get(6..6 + name_len).unwrap_or(&[])
+    }
+
+    /// Number of peers in the roster.
+    #[must_use]
+    pub fn peer_count(&self) -> usize {
+        let name_len = usize::from(read_u16(self.body, 4));
+        usize::from(read_u16(self.body, 6 + name_len))
+    }
+
+    /// The peers, in index order.
+    #[must_use]
+    pub fn peers(&self) -> PeerIter<'a> {
+        let name_len = usize::from(read_u16(self.body, 4));
+        PeerIter {
+            bytes: self.body.get(8 + name_len..).unwrap_or(&[]),
+        }
+    }
+
+    /// Rebuilds the owned [`PeerIndexTable`].
+    #[must_use]
+    pub fn to_table(&self) -> PeerIndexTable {
+        PeerIndexTable {
+            collector_id: self.collector_id(),
+            view_name: String::from_utf8_lossy(self.view_name_bytes()).into_owned(),
+            peers: self.peers().collect(),
+        }
+    }
+}
+
+/// Iterates the peers of a validated `PEER_INDEX_TABLE`.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerIter<'a> {
+    bytes: &'a [u8],
+}
+
+impl Iterator for PeerIter<'_> {
+    type Item = PeerEntry;
+
+    fn next(&mut self) -> Option<PeerEntry> {
+        let peer_type = *self.bytes.first()?;
+        let wide = peer_type & 0x02 != 0;
+        let entry_len = if wide { 13 } else { 11 };
+        let entry = self.bytes.get(..entry_len)?;
+        self.bytes = &self.bytes[entry_len..];
+        Some(PeerEntry {
+            bgp_id: read_u32(entry, 1),
+            addr: read_u32(entry, 5),
+            asn: Asn(if wide {
+                read_u32(entry, 9)
+            } else {
+                u32::from(read_u16(entry, 9))
+            }),
+        })
+    }
+}
+
+/// A validated, borrowed `RIB_IPV4_UNICAST` record body.
+#[derive(Debug, Clone, Copy)]
+pub struct RibView<'a> {
+    sequence: u32,
+    prefix: Ipv4Prefix,
+    entry_count: usize,
+    entries: &'a [u8],
+}
+
+impl<'a> RibView<'a> {
+    fn parse(body: &'a [u8], base: u64) -> Result<Self, WireError> {
+        let mut cur = Cursor::with_base(body, base);
+        let sequence = cur.u32()?;
+        let prefix = decode_one_prefix(&mut cur)?;
+        let entry_count = usize::from(cur.u16()?);
+        let entries = cur.rest();
+        // Validate each entry in order; a per-entry error must surface
+        // before the trailing-bytes check, as the owned decoder orders it.
+        let entries_base = base + 4 + 1 + prefix_octets(prefix.len()) as u64 + 2;
+        let mut entry_cur = Cursor::with_base(entries, entries_base);
+        for _ in 0..entry_count {
+            entry_cur.u16()?; // peer index
+            entry_cur.u32()?; // originated time
+            let attr_len = usize::from(entry_cur.u16()?);
+            let attrs_base = entry_cur.position();
+            let attr_bytes = entry_cur.take(attr_len)?;
+            if !validate_attributes(attr_bytes, attrs_base, AsnEncoding::FourOctet)? {
+                return Err(WireError::new(
+                    WireErrorKind::MissingAttribute("AS_PATH"),
+                    attrs_base,
+                ));
+            }
+        }
+        expect_consumed(&entry_cur)?;
+        Ok(RibView {
+            sequence,
+            prefix,
+            entry_count,
+            entries,
+        })
+    }
+
+    /// Record sequence number.
+    #[must_use]
+    pub fn sequence(&self) -> u32 {
+        self.sequence
+    }
+
+    /// The prefix all entries describe.
+    #[must_use]
+    pub fn prefix(&self) -> Ipv4Prefix {
+        self.prefix
+    }
+
+    /// Number of per-peer entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// The per-peer entries, in record order.
+    #[must_use]
+    pub fn entries(&self) -> RibEntryIter<'a> {
+        RibEntryIter {
+            bytes: self.entries,
+        }
+    }
+
+    /// Rebuilds the owned [`RibIpv4Unicast`].
+    #[must_use]
+    pub fn to_rib(&self) -> RibIpv4Unicast {
+        RibIpv4Unicast {
+            sequence: self.sequence,
+            prefix: self.prefix,
+            entries: self
+                .entries()
+                .map(|entry| RibEntry {
+                    peer_index: entry.peer_index,
+                    originated_time: entry.originated_time,
+                    attrs: entry.attrs.to_attributes(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One peer's route inside a [`RibView`].
+#[derive(Debug, Clone, Copy)]
+pub struct RibEntryView<'a> {
+    /// Index into the current peer table.
+    pub peer_index: u16,
+    /// When the route was originated.
+    pub originated_time: u32,
+    /// The route's borrowed attributes (always 4-octet ASNs, per RFC 6396).
+    pub attrs: AttrsView<'a>,
+}
+
+/// Iterates the entries of a validated `RIB_IPV4_UNICAST` record.
+#[derive(Debug, Clone, Copy)]
+pub struct RibEntryIter<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Iterator for RibEntryIter<'a> {
+    type Item = RibEntryView<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let head = self.bytes.get(..8)?;
+        let attr_len = usize::from(read_u16(head, 6));
+        let attrs = self.bytes.get(8..8 + attr_len)?;
+        self.bytes = &self.bytes[8 + attr_len..];
+        Some(RibEntryView {
+            peer_index: read_u16(head, 0),
+            originated_time: read_u32(head, 2),
+            attrs: AttrsView {
+                bytes: attrs,
+                encoding: AsnEncoding::FourOctet,
+            },
+        })
+    }
+}
+
+/// A validated, borrowed `BGP4MP_MESSAGE` / `_AS4` record body.
+#[derive(Debug, Clone, Copy)]
+pub struct Bgp4mpView<'a> {
+    /// The sending peer's AS.
+    pub peer_asn: Asn,
+    /// The receiving (collector-side) AS.
+    pub local_asn: Asn,
+    /// The sending peer's IPv4 address.
+    pub peer_addr: u32,
+    /// The receiving side's IPv4 address.
+    pub local_addr: u32,
+    update: UpdateView<'a>,
+}
+
+impl<'a> Bgp4mpView<'a> {
+    fn parse(body: &'a [u8], base: u64, as4: bool) -> Result<Self, WireError> {
+        let mut cur = Cursor::with_base(body, base);
+        let (peer_asn, local_asn) = if as4 {
+            (cur.u32()?, cur.u32()?)
+        } else {
+            (u32::from(cur.u16()?), u32::from(cur.u16()?))
+        };
+        let _interface = cur.u16()?;
+        let afi_at = cur.position();
+        let afi = cur.u16()?;
+        if afi != 1 {
+            return Err(WireError::new(
+                WireErrorKind::UnsupportedPeerType(afi as u8),
+                afi_at,
+            ));
+        }
+        let peer_addr = cur.u32()?;
+        let local_addr = cur.u32()?;
+        let msg_base = cur.position();
+        let encoding = if as4 {
+            AsnEncoding::FourOctet
+        } else {
+            AsnEncoding::TwoOctet
+        };
+        let update =
+            UpdateView::parse_exact(cur.rest(), encoding).map_err(|e| e.at_base(msg_base))?;
+        Ok(Bgp4mpView {
+            peer_asn: Asn(peer_asn),
+            local_asn: Asn(local_asn),
+            peer_addr,
+            local_addr,
+            update,
+        })
+    }
+
+    /// The BGP UPDATE carried in the record.
+    #[must_use]
+    pub fn update(&self) -> &UpdateView<'a> {
+        &self.update
+    }
+
+    /// Rebuilds the owned [`Bgp4mpMessage`].
+    #[must_use]
+    pub fn to_bgp4mp(&self) -> Bgp4mpMessage {
+        Bgp4mpMessage {
+            peer_asn: self.peer_asn,
+            local_asn: self.local_asn,
+            peer_addr: self.peer_addr,
+            local_addr: self.local_addr,
+            message: self.update.to_message(),
+        }
+    }
+}
+
+/// The body of one borrowed MRT record.
+#[derive(Debug, Clone, Copy)]
+pub enum MrtBodyView<'a> {
+    /// `TABLE_DUMP_V2` / `PEER_INDEX_TABLE`.
+    PeerIndexTable(PeerIndexTableView<'a>),
+    /// `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST`.
+    RibIpv4Unicast(RibView<'a>),
+    /// `BGP4MP` / `MESSAGE` or `MESSAGE_AS4`.
+    Bgp4mpMessage(Bgp4mpView<'a>),
+}
+
+/// One borrowed MRT record: a timestamp and a validated body view.
+#[derive(Debug, Clone, Copy)]
+pub struct MrtRecordView<'a> {
+    /// Seconds since the Unix epoch.
+    pub timestamp: u32,
+    /// The record body.
+    pub body: MrtBodyView<'a>,
+}
+
+impl<'a> MrtRecordView<'a> {
+    /// Parses (and fully validates) one record body, mirroring the owned
+    /// record decoder. `base` is the absolute offset of the record *header*
+    /// in the stream; the body starts 12 bytes later.
+    ///
+    /// # Errors
+    ///
+    /// The same [`WireError`]s, at the same offsets, as the owned decode.
+    pub fn parse(
+        timestamp: u32,
+        mrt_type: u16,
+        subtype: u16,
+        body: &'a [u8],
+        base: u64,
+    ) -> Result<Self, WireError> {
+        let body_base = base + 12;
+        let body = match (mrt_type, subtype) {
+            (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => {
+                MrtBodyView::PeerIndexTable(PeerIndexTableView::parse(body, body_base)?)
+            }
+            (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
+                MrtBodyView::RibIpv4Unicast(RibView::parse(body, body_base)?)
+            }
+            (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE) => {
+                MrtBodyView::Bgp4mpMessage(Bgp4mpView::parse(body, body_base, false)?)
+            }
+            (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4) => {
+                MrtBodyView::Bgp4mpMessage(Bgp4mpView::parse(body, body_base, true)?)
+            }
+            _ => {
+                return Err(WireError::new(
+                    WireErrorKind::UnsupportedMrtType { mrt_type, subtype },
+                    base + 4,
+                ));
+            }
+        };
+        Ok(MrtRecordView { timestamp, body })
+    }
+
+    /// Rebuilds the owned [`MrtRecord`], equal to what the owned decoder
+    /// returns for the same bytes.
+    #[must_use]
+    pub fn to_record(&self) -> MrtRecord {
+        MrtRecord {
+            timestamp: self.timestamp,
+            body: match &self.body {
+                MrtBodyView::PeerIndexTable(v) => MrtBody::PeerIndexTable(v.to_table()),
+                MrtBodyView::RibIpv4Unicast(v) => MrtBody::RibIpv4Unicast(v.to_rib()),
+                MrtBodyView::Bgp4mpMessage(v) => MrtBody::Bgp4mpMessage(v.to_bgp4mp()),
+            },
+        }
+    }
+}
+
+fn expect_consumed(cur: &Cursor<'_>) -> Result<(), WireError> {
+    if cur.remaining() > 0 {
+        return Err(WireError::new(
+            WireErrorKind::TrailingBytes {
+                remaining: cur.remaining(),
+            },
+            cur.position(),
+        ));
+    }
+    Ok(())
+}
+
+/// Big-endian `u16` at `at`; 0 on out-of-bounds (unreachable on validated
+/// bytes).
+fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    match bytes.get(at..at + 2) {
+        Some(b) => u16::from_be_bytes([b[0], b[1]]),
+        None => 0,
+    }
+}
+
+/// Big-endian `u32` at `at`; 0 on out-of-bounds (unreachable on validated
+/// bytes).
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    match bytes.get(at..at + 4) {
+        Some(b) => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+        None => 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader over a reusable buffer
+// ---------------------------------------------------------------------------
+
+/// Streams MRT records out of any reader through **one reusable buffer**.
+///
+/// Where [`crate::mrt::MrtReader`] allocates a fresh body `Vec` and decodes
+/// a full owned record per iteration, this reader splits the two steps:
+/// [`advance`](Self::advance) reads the next record's framing and body into
+/// the internal buffer (no parsing, no allocation after warm-up), then
+/// [`timestamp`](Self::timestamp) is available for day grouping and
+/// [`view`](Self::view) parses the buffered bytes into a borrowed
+/// [`MrtRecordView`] on demand.
+///
+/// Framing and parse errors match the owned reader's, offsets included, and
+/// like the owned reader it refuses further reads after the first error
+/// (record boundaries are lost).
+#[derive(Debug)]
+pub struct MrtViewReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    timestamp: u32,
+    mrt_type: u16,
+    subtype: u16,
+    /// Stream offset of the current record's header.
+    record_base: u64,
+    /// Stream offset right after the current record.
+    offset: u64,
+    failed: bool,
+}
+
+impl<R: io::Read> MrtViewReader<R> {
+    /// Wraps a reader positioned at the start of an MRT stream.
+    pub fn new(inner: R) -> Self {
+        MrtViewReader {
+            inner,
+            buf: Vec::new(),
+            timestamp: 0,
+            mrt_type: 0,
+            subtype: 0,
+            record_base: 0,
+            offset: 0,
+            failed: false,
+        }
+    }
+
+    /// Reads the next record's header and body into the internal buffer
+    /// without parsing. Returns `false` at clean end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// The same framing [`WireError`]s (with stream offsets) as the owned
+    /// reader. After any error — framing here or parse in
+    /// [`view`](Self::view) — further calls return `Ok(false)`.
+    pub fn advance(&mut self) -> Result<bool, WireError> {
+        if self.failed {
+            return Ok(false);
+        }
+        match self.try_advance() {
+            Ok(more) => Ok(more),
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_advance(&mut self) -> Result<bool, WireError> {
+        let mut header = [0u8; 12];
+        match read_exact_or_eof(&mut self.inner, &mut header) {
+            Ok(0) => return Ok(false),
+            Ok(n) if n < header.len() => {
+                return Err(WireError::new(
+                    WireErrorKind::Truncated {
+                        needed: header.len() - n,
+                    },
+                    self.offset + n as u64,
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return Err(WireError::new(WireErrorKind::Io(e.kind()), self.offset));
+            }
+        }
+        self.timestamp = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+        self.mrt_type = u16::from_be_bytes([header[4], header[5]]);
+        self.subtype = u16::from_be_bytes([header[6], header[7]]);
+        let length = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+        if length > MAX_RECORD_LEN {
+            return Err(WireError::new(
+                WireErrorKind::BadFieldLength {
+                    length: length as usize,
+                    available: MAX_RECORD_LEN as usize,
+                },
+                self.offset + 8,
+            ));
+        }
+        self.buf.resize(length as usize, 0);
+        match read_exact_or_eof(&mut self.inner, &mut self.buf) {
+            Ok(n) if n < self.buf.len() => {
+                return Err(WireError::new(
+                    WireErrorKind::Truncated {
+                        needed: self.buf.len() - n,
+                    },
+                    self.offset + 12 + n as u64,
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return Err(WireError::new(
+                    WireErrorKind::Io(e.kind()),
+                    self.offset + 12,
+                ));
+            }
+        }
+        self.record_base = self.offset;
+        self.offset += 12 + u64::from(length);
+        Ok(true)
+    }
+
+    /// The buffered record's timestamp — readable before any parsing, so
+    /// day grouping can defer the parse across a boundary.
+    #[must_use]
+    pub fn timestamp(&self) -> u32 {
+        self.timestamp
+    }
+
+    /// Parses the buffered record into a borrowed view.
+    ///
+    /// # Errors
+    ///
+    /// The same parse [`WireError`]s as the owned decode; an error also
+    /// poisons the reader (matching the owned reader's post-error behavior).
+    pub fn view(&mut self) -> Result<MrtRecordView<'_>, WireError> {
+        match MrtRecordView::parse(
+            self.timestamp,
+            self.mrt_type,
+            self.subtype,
+            &self.buf,
+            self.record_base,
+        ) {
+            Ok(view) => Ok(view),
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Total stream bytes consumed so far (framing included) — the
+    /// numerator for ingest throughput accounting.
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.offset
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribute interning
+// ---------------------------------------------------------------------------
+
+/// Hash-conses decoded attribute values across records.
+///
+/// A table dump repeats the same `AS_PATH` and `COMMUNITIES` bytes across
+/// huge numbers of RIB entries; this interner keys each attribute's wire
+/// bytes (per encoding, so a 2-octet and a 4-octet block can never collide)
+/// and materialises the owned value once per distinct key.
+#[derive(Debug, Clone, Default)]
+pub struct AttrInterner {
+    paths_two: Interner<AsPath>,
+    paths_four: Interner<AsPath>,
+    communities: Interner<Vec<Community>>,
+}
+
+impl AttrInterner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        AttrInterner::default()
+    }
+
+    /// The interned [`AsPath`] for this block's `AS_PATH` bytes, decoding
+    /// it only on first sight.
+    pub fn as_path(&mut self, attrs: &AttrsView<'_>) -> &AsPath {
+        let table = match attrs.encoding() {
+            AsnEncoding::TwoOctet => &mut self.paths_two,
+            AsnEncoding::FourOctet => &mut self.paths_four,
+        };
+        table.intern(attrs.as_path_wire(), |_| attrs.to_as_path())
+    }
+
+    /// The communities of this block, cloned from the interned value (or
+    /// collected directly in the no-/multi-attribute corner cases).
+    pub fn communities(&mut self, attrs: &AttrsView<'_>) -> Vec<Community> {
+        match attrs.communities_wire() {
+            Some([]) => Vec::new(),
+            Some(bytes) => self
+                .communities
+                .intern(bytes, |_| attrs.communities().collect())
+                .clone(),
+            None => attrs.communities().collect(),
+        }
+    }
+
+    /// Builds the simulator [`Route`] for `prefix` from a borrowed
+    /// attribute block, sharing interned paths. Equal to
+    /// `attrs.to_attributes().to_route(prefix)` on the same bytes.
+    pub fn to_route(&mut self, attrs: &AttrsView<'_>, prefix: Ipv4Prefix) -> Route {
+        let as_path = self.as_path(attrs).clone();
+        let mut route = Route::new(prefix, as_path).with_origin(attrs.origin());
+        if let Some(lp) = attrs.local_pref() {
+            route = route.with_local_pref(lp);
+        }
+        for community in attrs.communities() {
+            route = route.with_community(community);
+        }
+        route
+    }
+
+    /// Number of distinct AS paths interned so far (both encodings).
+    #[must_use]
+    pub fn unique_paths(&self) -> usize {
+        self.paths_two.len() + self.paths_four.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::MoasList;
+
+    fn sample_route() -> Route {
+        let mut list = MoasList::new();
+        list.insert(Asn(4));
+        list.insert(Asn(226));
+        Route::new(
+            "208.8.0.0/16".parse().unwrap(),
+            AsPath::from_sequence([Asn(701), Asn(1239), Asn(4)]),
+        )
+        .with_origin(RouteOrigin::Incomplete)
+        .with_local_pref(120)
+        .with_moas_list(list)
+    }
+
+    #[test]
+    fn view_decodes_announcement_lazily() {
+        let route = sample_route();
+        let msg = UpdateMessage::announce(&route);
+        for encoding in [AsnEncoding::TwoOctet, AsnEncoding::FourOctet] {
+            let bytes = msg.encode(encoding).unwrap();
+            let view = UpdateView::parse_exact(&bytes, encoding).unwrap();
+            assert_eq!(view.withdrawn().count(), 0);
+            let nlri: Vec<Ipv4Prefix> = view.nlri().collect();
+            assert_eq!(nlri, vec![route.prefix()]);
+            let attrs = view.attrs().unwrap();
+            assert_eq!(attrs.origin(), RouteOrigin::Incomplete);
+            assert_eq!(attrs.local_pref(), Some(120));
+            assert_eq!(attrs.origin_asn(), Some(Asn(4)));
+            let asns: Vec<Asn> = attrs.path_asns().collect();
+            assert_eq!(asns, vec![Asn(701), Asn(1239), Asn(4)]);
+            assert_eq!(view.to_message(), msg);
+        }
+    }
+
+    #[test]
+    fn view_matches_owned_on_withdrawal() {
+        let msg = UpdateMessage::withdraw("10.1.0.0/16".parse().unwrap());
+        let bytes = msg.encode(AsnEncoding::FourOctet).unwrap();
+        let view = UpdateView::parse_exact(&bytes, AsnEncoding::FourOctet).unwrap();
+        assert!(view.attrs().is_none());
+        assert_eq!(view.to_message(), msg);
+    }
+
+    #[test]
+    fn origin_asn_is_none_for_set_terminated_paths() {
+        let route = Route::new(
+            "10.2.0.0/16".parse().unwrap(),
+            AsPath::from_segments([
+                AsPathSegment::Sequence(vec![Asn(1), Asn(2)]),
+                AsPathSegment::Set(vec![Asn(7), Asn(9)]),
+            ]),
+        );
+        let bytes = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        let view = UpdateView::parse_exact(&bytes, AsnEncoding::FourOctet).unwrap();
+        let attrs = view.attrs().unwrap();
+        assert_eq!(attrs.origin_asn(), None);
+        assert_eq!(attrs.to_as_path(), *route.as_path());
+    }
+
+    #[test]
+    fn truncated_bytes_error_like_owned() {
+        let bytes = UpdateMessage::announce(&sample_route())
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        for cut in 0..bytes.len() {
+            let owned = UpdateMessage::decode(&bytes[..cut], AsnEncoding::FourOctet).unwrap_err();
+            let view = UpdateView::parse_exact(&bytes[..cut], AsnEncoding::FourOctet).unwrap_err();
+            assert_eq!(owned, view, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn communities_iterate_in_wire_order() {
+        let route = sample_route();
+        let bytes = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        let view = UpdateView::parse_exact(&bytes, AsnEncoding::FourOctet).unwrap();
+        let attrs = view.attrs().unwrap();
+        let from_view: Vec<Community> = attrs.communities().collect();
+        assert_eq!(from_view, route.communities());
+        assert!(attrs.communities_wire().is_some());
+        let list = MoasList::from_communities(&from_view).unwrap();
+        assert!(list.contains(Asn(4)) && list.contains(Asn(226)));
+    }
+
+    #[test]
+    fn view_reader_streams_with_one_buffer() {
+        let route = sample_route();
+        let table = PeerIndexTable {
+            collector_id: 9,
+            view_name: "lab".into(),
+            peers: vec![PeerEntry {
+                bgp_id: 1,
+                addr: 2,
+                asn: Asn(701),
+            }],
+        };
+        let records = vec![
+            MrtRecord {
+                timestamp: 100,
+                body: MrtBody::PeerIndexTable(table),
+            },
+            MrtRecord {
+                timestamp: 100,
+                body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                    sequence: 7,
+                    prefix: route.prefix(),
+                    entries: vec![RibEntry {
+                        peer_index: 0,
+                        originated_time: 50,
+                        attrs: PathAttributes::from_route(&route),
+                    }],
+                }),
+            },
+        ];
+        let mut bytes = Vec::new();
+        for record in &records {
+            record.encode_into(&mut bytes).unwrap();
+        }
+        let mut reader = MrtViewReader::new(&bytes[..]);
+        let mut back = Vec::new();
+        while reader.advance().unwrap() {
+            assert_eq!(reader.timestamp(), 100);
+            back.push(reader.view().unwrap().to_record());
+        }
+        assert_eq!(back, records);
+        assert_eq!(reader.bytes_read(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn view_reader_poisons_after_parse_error() {
+        let good = MrtRecord {
+            timestamp: 1,
+            body: MrtBody::PeerIndexTable(PeerIndexTable::default()),
+        };
+        let mut bytes = good.encode().unwrap();
+        bytes[5] = 99; // unknown MRT type
+        let more = good.encode().unwrap();
+        bytes.extend_from_slice(&more);
+        let mut reader = MrtViewReader::new(&bytes[..]);
+        assert!(reader.advance().unwrap());
+        assert!(reader.view().is_err());
+        assert!(!reader.advance().unwrap(), "reader is poisoned");
+    }
+
+    #[test]
+    fn interner_decodes_repeated_paths_once() {
+        let route = sample_route();
+        let bytes = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::FourOctet)
+            .unwrap();
+        let view = UpdateView::parse_exact(&bytes, AsnEncoding::FourOctet).unwrap();
+        let attrs = *view.attrs().unwrap();
+        let mut interner = AttrInterner::new();
+        for _ in 0..5 {
+            assert_eq!(interner.as_path(&attrs), route.as_path());
+            let rebuilt = interner.to_route(&attrs, route.prefix());
+            assert_eq!(rebuilt, route);
+        }
+        assert_eq!(interner.unique_paths(), 1);
+        // Same bytes under the other encoding key a separate entry.
+        let two = UpdateMessage::announce(&route)
+            .encode(AsnEncoding::TwoOctet)
+            .unwrap();
+        let view2 = UpdateView::parse_exact(&two, AsnEncoding::TwoOctet).unwrap();
+        interner.as_path(view2.attrs().unwrap());
+        assert_eq!(interner.unique_paths(), 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! Differential property tests: the zero-copy view decode
+//! (`UpdateView`/`MrtRecordView`/`MrtViewReader`) must be *observationally
+//! identical* to the owned decode — same accepted inputs, same rebuilt
+//! values, and the same `WireError` kind **and offset** on every rejected
+//! input, including truncations, random byte flips, and raw garbage. The
+//! owned decoder is the reference; these tests are what lets the hot path
+//! chase throughput without re-litigating correctness.
+
+use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, RouteOrigin};
+use bgp_wire::bgp::{AsnEncoding, PathAttributes, UpdateMessage};
+use bgp_wire::mrt::{
+    Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
+    RibIpv4Unicast,
+};
+use bgp_wire::{MrtViewReader, UpdateView, WireError};
+use proptest::prelude::*;
+
+// --- strategies (same corpus shapes as tests/props.rs) --------------------
+
+fn asn16() -> impl Strategy<Value = Asn> + Clone {
+    (1u32..0x1_0000).prop_map(Asn)
+}
+
+fn asn32() -> impl Strategy<Value = Asn> + Clone {
+    (1u32..u32::MAX).prop_map(Asn)
+}
+
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len))
+}
+
+fn as_path(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = AsPath> {
+    (
+        prop::collection::vec(asn.clone(), 1..5),
+        prop::collection::btree_set(asn, 0..3),
+    )
+        .prop_map(|(seq, set)| {
+            AsPath::from_segments([
+                AsPathSegment::Sequence(seq),
+                AsPathSegment::Set(set.into_iter().collect()),
+            ])
+        })
+}
+
+fn origin() -> impl Strategy<Value = RouteOrigin> {
+    prop_oneof![
+        Just(RouteOrigin::Igp),
+        Just(RouteOrigin::Egp),
+        Just(RouteOrigin::Incomplete),
+    ]
+}
+
+fn attrs(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = PathAttributes> {
+    (
+        origin(),
+        as_path(asn),
+        any::<u32>(),
+        prop_oneof![Just(None), (0u32..1000).prop_map(Some)],
+        prop::collection::vec(
+            (asn16(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)),
+            0..4,
+        ),
+    )
+        .prop_map(
+            |(origin, as_path, next_hop, local_pref, communities)| PathAttributes {
+                origin,
+                as_path,
+                next_hop,
+                local_pref,
+                communities,
+            },
+        )
+}
+
+fn update(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = UpdateMessage> {
+    (
+        prop::collection::vec(prefix(), 0..4),
+        attrs(asn),
+        prop::collection::vec(prefix(), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(withdrawn, attrs, nlri, announce)| {
+            if announce {
+                UpdateMessage {
+                    withdrawn,
+                    attrs: Some(attrs),
+                    nlri,
+                }
+            } else {
+                UpdateMessage {
+                    withdrawn,
+                    attrs: None,
+                    nlri: Vec::new(),
+                }
+            }
+        })
+}
+
+fn rib_record() -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prefix(),
+        prop::collection::vec((0u16..64, any::<u32>(), attrs(asn32())), 0..4),
+    )
+        .prop_map(|(timestamp, sequence, prefix, raw_entries)| MrtRecord {
+            timestamp,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence,
+                prefix,
+                entries: raw_entries
+                    .into_iter()
+                    .map(|(peer_index, originated_time, attrs)| RibEntry {
+                        peer_index,
+                        originated_time,
+                        attrs,
+                    })
+                    .collect(),
+            }),
+        })
+}
+
+fn peer_index_record() -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec((any::<u32>(), any::<u32>(), asn32()), 0..5),
+    )
+        .prop_map(|(timestamp, collector_id, peers)| MrtRecord {
+            timestamp,
+            body: MrtBody::PeerIndexTable(PeerIndexTable {
+                collector_id,
+                view_name: String::from("props"),
+                peers: peers
+                    .into_iter()
+                    .map(|(bgp_id, addr, asn)| PeerEntry { bgp_id, addr, asn })
+                    .collect(),
+            }),
+        })
+}
+
+fn bgp4mp_record(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        asn.clone(),
+        asn.clone(),
+        any::<u32>(),
+        any::<u32>(),
+        update(asn),
+    )
+        .prop_map(
+            |(timestamp, peer_asn, local_asn, peer_addr, local_addr, message)| MrtRecord {
+                timestamp,
+                body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_asn,
+                    local_asn,
+                    peer_addr,
+                    local_addr,
+                    message,
+                }),
+            },
+        )
+}
+
+fn mrt_record() -> impl Strategy<Value = MrtRecord> {
+    prop_oneof![
+        rib_record(),
+        peer_index_record(),
+        bgp4mp_record(asn16()),
+        bgp4mp_record(asn32()),
+    ]
+}
+
+// --- differential helpers -------------------------------------------------
+
+/// Decodes `bytes` both ways and asserts observational identity: equal
+/// rebuilt messages on accept, equal `WireError` (kind and offset) on
+/// reject. On accept, every lazy accessor is checked against the owned
+/// decomposition, not just `to_message`.
+fn assert_update_parity(bytes: &[u8], encoding: AsnEncoding) {
+    let owned = UpdateMessage::decode(bytes, encoding);
+    let view = UpdateView::parse_exact(bytes, encoding);
+    match (owned, view) {
+        (Ok(owned), Ok(view)) => {
+            prop_assert_eq!(&view.to_message(), &owned);
+            let nlri: Vec<Ipv4Prefix> = view.nlri().collect();
+            let withdrawn: Vec<Ipv4Prefix> = view.withdrawn().collect();
+            prop_assert_eq!(nlri, owned.nlri);
+            prop_assert_eq!(withdrawn, owned.withdrawn);
+            match (view.attrs(), owned.attrs) {
+                (Some(va), Some(oa)) => {
+                    prop_assert_eq!(va.origin(), oa.origin);
+                    prop_assert_eq!(va.next_hop(), oa.next_hop);
+                    prop_assert_eq!(va.local_pref(), oa.local_pref);
+                    prop_assert_eq!(va.origin_asn(), oa.as_path.origin());
+                    prop_assert_eq!(va.to_as_path(), oa.as_path.clone());
+                    let asns: Vec<Asn> = va.path_asns().collect();
+                    let owned_asns: Vec<Asn> = oa.as_path.iter().collect();
+                    prop_assert_eq!(asns, owned_asns);
+                    let communities: Vec<Community> = va.communities().collect();
+                    prop_assert_eq!(communities, oa.communities);
+                }
+                (None, None) => {}
+                (va, oa) => prop_assert!(false, "attrs presence diverged: {va:?} vs {oa:?}"),
+            }
+        }
+        (Err(owned), Err(view)) => prop_assert_eq!(view, owned),
+        (owned, view) => prop_assert!(
+            false,
+            "accept/reject diverged: owned {owned:?} vs view {view:?}"
+        ),
+    }
+}
+
+/// Walks `bytes` through the owned and view MRT readers in lockstep,
+/// asserting each step yields the same record or the same error — and that
+/// both readers poison identically afterwards.
+fn assert_stream_parity(bytes: &[u8]) {
+    let mut owned = MrtReader::new(bytes);
+    let mut view = MrtViewReader::new(bytes);
+    loop {
+        let owned_step: Result<Option<MrtRecord>, WireError> = owned.next_record();
+        let view_step: Result<Option<MrtRecord>, WireError> = match view.advance() {
+            Ok(false) => Ok(None),
+            Ok(true) => view.view().map(|v| Some(v.to_record())),
+            Err(e) => Err(e),
+        };
+        match (owned_step, view_step) {
+            (Ok(Some(a)), Ok(Some(b))) => prop_assert_eq!(a, b),
+            (Ok(None), Ok(None)) => return,
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a, b);
+                // Both must refuse further reads identically.
+                prop_assert_eq!(owned.next_record(), Ok(None));
+                prop_assert!(matches!(view.advance(), Ok(false)));
+                return;
+            }
+            (a, b) => prop_assert!(false, "stream steps diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+// --- well-formed corpora --------------------------------------------------
+
+proptest! {
+    #[test]
+    fn view_matches_owned_update_four_octet(msg in update(asn32())) {
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        assert_update_parity(&bytes, AsnEncoding::FourOctet);
+    }
+
+    #[test]
+    fn view_matches_owned_update_two_octet(msg in update(asn16())) {
+        let bytes = msg.encode(AsnEncoding::TwoOctet).expect("encodes");
+        assert_update_parity(&bytes, AsnEncoding::TwoOctet);
+    }
+
+    #[test]
+    fn view_matches_owned_mrt_stream(records in prop::collection::vec(mrt_record(), 1..5)) {
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&record.encode().expect("encodes"));
+        }
+        assert_stream_parity(&bytes);
+    }
+
+    /// Encoder-split wire segments (paths past 255 ASNs) re-join through
+    /// the view's `to_as_path` exactly as the owned decoder re-joins them,
+    /// and the wire-level origin shortcut agrees with the owned origin.
+    #[test]
+    fn view_rejoins_split_segments(hops in prop::collection::vec(asn32(), 256..700)) {
+        let path = AsPath::from_sequence(hops);
+        let msg = UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(PathAttributes {
+                origin: RouteOrigin::Igp,
+                as_path: path.clone(),
+                next_hop: 0xC0A8_0001,
+                local_pref: None,
+                communities: Vec::new(),
+            }),
+            nlri: vec![Ipv4Prefix::new(0x0A00_0000, 8)],
+        };
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("under 4096 bytes");
+        let view = UpdateView::parse_exact(&bytes, AsnEncoding::FourOctet).expect("parses");
+        let va = view.attrs().expect("attrs");
+        // More than one raw wire segment, but one logical segment back.
+        prop_assert!(va.segments().count() >= 2);
+        prop_assert_eq!(va.to_as_path(), path.clone());
+        prop_assert_eq!(va.origin_asn(), path.origin());
+        assert_update_parity(&bytes, AsnEncoding::FourOctet);
+    }
+
+    /// Same for `AS_SET`s past 255 members (set-terminated: origin is None).
+    #[test]
+    fn view_rejoins_split_sets(set in prop::collection::btree_set(asn32(), 256..450)) {
+        let path = AsPath::from_segments([
+            AsPathSegment::Sequence(vec![Asn(701)]),
+            AsPathSegment::Set(set.into_iter().collect()),
+        ]);
+        let msg = UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(PathAttributes {
+                origin: RouteOrigin::Igp,
+                as_path: path.clone(),
+                next_hop: 0xC0A8_0001,
+                local_pref: None,
+                communities: Vec::new(),
+            }),
+            nlri: vec![Ipv4Prefix::new(0x0A00_0000, 8)],
+        };
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("under 4096 bytes");
+        let view = UpdateView::parse_exact(&bytes, AsnEncoding::FourOctet).expect("parses");
+        let va = view.attrs().expect("attrs");
+        prop_assert_eq!(va.to_as_path(), path);
+        prop_assert_eq!(va.origin_asn(), None);
+        assert_update_parity(&bytes, AsnEncoding::FourOctet);
+    }
+}
+
+// --- corrupted corpora: identical rejection --------------------------------
+
+proptest! {
+    /// Every proper prefix of a valid message fails with the identical
+    /// error, offset included.
+    #[test]
+    fn truncated_update_errors_identically(msg in update(asn32()), cut in 0usize..1000) {
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        let cut = cut % bytes.len().max(1);
+        assert_update_parity(&bytes[..cut], AsnEncoding::FourOctet);
+    }
+
+    /// A single flipped byte either stays decodable (same value) or fails
+    /// identically in both decoders.
+    #[test]
+    fn mutated_update_decodes_identically(
+        msg in update(asn32()),
+        position in 0usize..1000,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        let position = position % bytes.len().max(1);
+        bytes[position] = value;
+        assert_update_parity(&bytes, AsnEncoding::FourOctet);
+    }
+
+    /// Raw garbage is rejected (or, vanishingly rarely, accepted)
+    /// identically under both encodings.
+    #[test]
+    fn garbage_update_decodes_identically(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        assert_update_parity(&bytes, AsnEncoding::FourOctet);
+        assert_update_parity(&bytes, AsnEncoding::TwoOctet);
+    }
+
+    /// Truncated MRT streams fail framing/parsing at the same step with the
+    /// same error.
+    #[test]
+    fn truncated_mrt_errors_identically(record in mrt_record(), cut in 0usize..4000) {
+        let bytes = record.encode().expect("encodes");
+        let cut = cut % bytes.len().max(1);
+        assert_stream_parity(&bytes[..cut]);
+    }
+
+    /// Byte flips anywhere in a multi-record stream — including the framing
+    /// header and length fields — keep both readers in lockstep.
+    #[test]
+    fn mutated_mrt_stream_decodes_identically(
+        records in prop::collection::vec(mrt_record(), 1..4),
+        position in 0usize..8000,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&record.encode().expect("encodes"));
+        }
+        let position = position % bytes.len().max(1);
+        bytes[position] = value;
+        assert_stream_parity(&bytes);
+    }
+
+    /// Raw garbage streams too.
+    #[test]
+    fn garbage_mrt_stream_decodes_identically(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        assert_stream_parity(&bytes);
+    }
+}

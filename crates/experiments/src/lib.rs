@@ -82,7 +82,9 @@ pub use overhead::{
 };
 pub use report::{FigureReport, SeriesReport};
 pub use stats::{mean, stddev};
-pub use sweep::{run_sweep, run_sweep_jobs, run_sweep_metrics_jobs, SweepConfig, SweepPoint};
+pub use sweep::{
+    attacker_count_for, run_sweep, run_sweep_jobs, run_sweep_metrics_jobs, SweepConfig, SweepPoint,
+};
 pub use trial::{run_trial, run_trial_checked, run_trial_metrics, TrialConfig, TrialOutcome};
 
 /// The prefix under attack in every experiment (Figure 1's example prefix).

@@ -23,7 +23,9 @@ pub struct SweepConfig {
     pub deployment_fraction: f64,
     /// Attacker list-forgery strategy.
     pub forgery: ListForgery,
-    /// X axis: attacker counts as fractions of the topology size.
+    /// X axis: attacker counts as fractions of the topology size. `0.0`
+    /// runs a no-attack baseline point (zero attackers); positive fractions
+    /// round to whole ASes with a floor of one — see [`attacker_count_for`].
     pub attacker_fractions: Vec<f64>,
     /// "we first select 3 sets of origin ASes from the stub ASes" (§5.2).
     pub origin_set_count: usize,
@@ -128,6 +130,23 @@ impl SweepConfig {
     #[must_use]
     pub fn runs_per_point(&self) -> usize {
         self.origin_set_count * self.attacker_set_count
+    }
+}
+
+/// Number of attacker ASes a fraction maps to on an `n`-AS topology.
+///
+/// `0.0` (and anything non-positive) means **zero attackers** — a clean
+/// no-attack baseline point. Any positive fraction rounds to whole ASes
+/// with a floor of one, so sub-resolution fractions (e.g. `0.01` of 46
+/// ASes) still inject an attacker rather than silently measuring nothing.
+/// Used by both the trial planner and the point aggregator, which must
+/// agree on the count for every fraction.
+#[must_use]
+pub fn attacker_count_for(n: usize, fraction: f64) -> usize {
+    if fraction <= 0.0 {
+        0
+    } else {
+        (((n as f64) * fraction).round() as usize).max(1)
     }
 }
 
@@ -247,7 +266,7 @@ fn plan_trials(graph: &AsGraph, config: &SweepConfig) -> Vec<TrialConfig> {
     // One candidate buffer for the whole sweep, refilled per origin set.
     let mut candidates: Vec<Asn> = Vec::with_capacity(n);
     for (fx, &fraction) in config.attacker_fractions.iter().enumerate() {
-        let attacker_count = ((n as f64) * fraction).round().max(1.0) as usize;
+        let attacker_count = attacker_count_for(n, fraction);
 
         for oi in 0..config.origin_set_count {
             let origin_seed = sim_engine::rng::derive_seed(config.seed, (fx * 100 + oi) as u64);
@@ -288,7 +307,7 @@ fn aggregate_points(n: usize, config: &SweepConfig, outcomes: &[TrialOutcome]) -
     let runs_per_point = config.runs_per_point();
     let mut points = Vec::with_capacity(config.attacker_fractions.len());
     for (fx, &fraction) in config.attacker_fractions.iter().enumerate() {
-        let attacker_count = ((n as f64) * fraction).round().max(1.0) as usize;
+        let attacker_count = attacker_count_for(n, fraction);
         let runs = &outcomes[fx * runs_per_point..(fx + 1) * runs_per_point];
 
         let mut adoption = Vec::with_capacity(runs_per_point);
@@ -343,6 +362,25 @@ mod tests {
     #[test]
     fn paper_protocol_is_15_runs() {
         assert_eq!(SweepConfig::paper().runs_per_point(), 15);
+    }
+
+    #[test]
+    fn zero_fraction_means_zero_attackers() {
+        assert_eq!(attacker_count_for(46, 0.0), 0);
+        assert_eq!(attacker_count_for(46, -1.0), 0);
+        // Positive fractions keep the floor of one attacker.
+        assert_eq!(attacker_count_for(46, 0.001), 1);
+        assert_eq!(attacker_count_for(46, 0.5), 23);
+
+        let graph = PaperTopology::As25.graph();
+        let mut config = SweepConfig::quick();
+        config.attacker_fractions = vec![0.0, 0.15];
+        let points = run_sweep(graph, &config);
+        assert_eq!(points[0].attacker_count, 0, "0.0 is a no-attack baseline");
+        assert_eq!(points[0].attacker_pct, 0.0);
+        assert_eq!(points[0].mean_adoption_pct, 0.0);
+        assert_eq!(points[0].mean_alarms, 0.0);
+        assert!(points[1].attacker_count >= 1);
     }
 
     #[test]

@@ -65,5 +65,5 @@ mod validity;
 pub use daemon::{Daemon, DaemonConfig};
 pub use exceptions::{ExceptionError, ExceptionSet, PrefixAssertion, PrefixFilter};
 pub use feed::{FeedError, Pdu, PrefixEntry};
-pub use table::{DeltaRing, OriginTable, TableDelta, TableUpdate};
+pub use table::{serial_distance, serial_less, DeltaRing, OriginTable, TableDelta, TableUpdate};
 pub use validity::{validate, validate_detailed, Validation, Verdict};

@@ -1,13 +1,13 @@
 //! The versioned prefix → origin-set table behind the daemon, plus the
 //! bounded ring of per-serial deltas that makes incremental feed sync cheap.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 
 use bgp_types::{Asn, Ipv4Prefix, MoasList, PrefixTrie};
-use bgp_wire::DailyDumpStream;
+use bgp_wire::mrt::{MrtBody, MrtReader, PeerIndexTable};
+use bgp_wire::{MrtBodyView, MrtViewReader, WireError, WireErrorKind};
 use experiments::json::{Json, JsonError};
-use route_measurement::DailyDump;
 
 /// One `(prefix, origin)` change to apply to the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,13 +65,38 @@ impl TableDelta {
     }
 }
 
+/// Half the 32-bit serial space. Spans larger than this are treated as the
+/// client being *ahead* of the server (RFC 1982 serial-number arithmetic),
+/// which is only answerable with a cache reset.
+const SERIAL_HALF: u32 = u32::MAX / 2;
+
+/// The number of forward applies separating serial `from` from serial `to`
+/// in the wrapping 32-bit serial space (RFC 1982 arithmetic: the serial
+/// after `u32::MAX` is `0`).
+#[must_use]
+pub fn serial_distance(from: u32, to: u32) -> u32 {
+    to.wrapping_sub(from)
+}
+
+/// RFC 1982 ordering: `true` when `b` lies strictly ahead of `a` by fewer
+/// than half the serial space — i.e. a client at `a` can catch up to `b`
+/// with forward deltas. Distances of half the space or more are
+/// indeterminate and answered with a cache reset, never a diff.
+#[must_use]
+pub fn serial_less(a: u32, b: u32) -> bool {
+    let d = serial_distance(a, b);
+    d != 0 && d <= SERIAL_HALF
+}
+
 /// The daemon's origin-validation table: MOAS lists in a prefix trie,
-/// versioned by a monotonically increasing serial.
+/// versioned by a serial that advances one step per effective apply.
 ///
 /// The serial identifies a table *state*; every [`apply`](Self::apply) call
-/// that changes something increments it by one. Pre-serving bulk loads go
-/// through [`insert`](Self::insert), which leaves the serial alone — the
-/// loaded table **is** the current serial's state.
+/// that changes something advances it by one, wrapping from `u32::MAX` to
+/// `0` under RFC 1982 serial arithmetic ([`serial_less`] /
+/// [`serial_distance`] — the feed keeps diffing straight across the wrap).
+/// Pre-serving bulk loads go through [`insert`](Self::insert), which leaves
+/// the serial alone — the loaded table **is** the current serial's state.
 #[derive(Debug, Clone)]
 pub struct OriginTable {
     trie: PrefixTrie<MoasList>,
@@ -83,9 +108,17 @@ impl OriginTable {
     /// An empty table at serial 0 under the given feed session id.
     #[must_use]
     pub fn new(session_id: u16) -> Self {
+        Self::with_serial(session_id, 0)
+    }
+
+    /// An empty table starting at an arbitrary serial — for restoring a
+    /// persisted table at the serial it was saved under, and for exercising
+    /// behavior near the `u32::MAX` wrap boundary.
+    #[must_use]
+    pub fn with_serial(session_id: u16, serial: u32) -> Self {
         OriginTable {
             trie: PrefixTrie::new(),
-            serial: 0,
+            serial,
             session_id,
         }
     }
@@ -185,7 +218,10 @@ impl OriginTable {
             }
         }
         if !delta.is_empty() {
-            self.serial += 1;
+            // RFC 1982 wrapping: the serial after u32::MAX is 0. `+= 1`
+            // here would panic in debug builds after 2^32 applies and leave
+            // release builds with a serial the ring could not diff from.
+            self.serial = self.serial.wrapping_add(1);
         }
         delta.serial = self.serial;
         delta
@@ -265,24 +301,108 @@ impl OriginTable {
         Json::Obj(vec![("moasLists".to_string(), Json::Arr(items))]).pretty()
     }
 
-    /// Derives a table from an MRT table-dump archive: every day group is
-    /// streamed through [`DailyDumpStream`] and merged, so a prefix's MOAS
-    /// list is the union of origins observed across the whole archive (the
+    /// Derives a table from an MRT table-dump archive: a prefix's MOAS list
+    /// is the union of origins observed across the whole archive (the
     /// paper's derivation of MOAS lists from route collectors, applied
     /// archive-wide).
+    ///
+    /// Runs on the allocation-free ingest path: records stream through one
+    /// reusable buffer ([`MrtViewReader`]), each RIB entry's origin is read
+    /// straight off the wire, and the `(prefix, origin)` pairs are sorted
+    /// and bulk-loaded into the trie in one pass
+    /// ([`PrefixTrie::extend_sorted`]). [`from_mrt_owned`](Self::from_mrt_owned)
+    /// is the per-record owned-decode equivalent kept as the differential
+    /// baseline; both produce identical tables.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O or wire-decoding error.
-    pub fn from_mrt<R: io::Read>(reader: R, session_id: u16) -> Result<Self, bgp_wire::WireError> {
-        let mut stream = DailyDumpStream::new(reader);
-        let mut merged = DailyDump::new(0);
-        while let Some(day) = stream.next_day()? {
-            merged.merge(&day.dump);
+    pub fn from_mrt<R: io::Read>(reader: R, session_id: u16) -> Result<Self, WireError> {
+        let mut mrt = MrtViewReader::new(reader);
+        let mut peer_table: Option<PeerIndexTable> = None;
+        let mut pairs: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+        while mrt.advance()? {
+            let view = mrt.view()?;
+            match view.body {
+                MrtBodyView::PeerIndexTable(table) => peer_table = Some(table.to_table()),
+                MrtBodyView::RibIpv4Unicast(rib) => {
+                    let table = peer_table.as_ref().ok_or(WireError {
+                        kind: WireErrorKind::MissingPeerIndexTable,
+                        offset: 0,
+                    })?;
+                    for entry in rib.entries() {
+                        let peer =
+                            table
+                                .peers
+                                .get(usize::from(entry.peer_index))
+                                .ok_or(WireError {
+                                    kind: WireErrorKind::BadPeerIndex(entry.peer_index),
+                                    offset: 0,
+                                })?;
+                        let origin = entry.attrs.origin_asn().unwrap_or(peer.asn);
+                        pairs.push((rib.prefix(), origin));
+                    }
+                }
+                MrtBodyView::Bgp4mpMessage(_) => {}
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut groups: Vec<(Ipv4Prefix, MoasList)> = Vec::new();
+        for (prefix, asn) in pairs {
+            match groups.last_mut() {
+                Some((last, list)) if *last == prefix => {
+                    list.insert(asn);
+                }
+                _ => groups.push((prefix, MoasList::implicit(asn))),
+            }
         }
         let mut table = OriginTable::new(session_id);
-        for (prefix, origins) in merged.iter() {
-            table.insert(prefix, origins.iter().copied().collect());
+        table.trie.extend_sorted(groups);
+        Ok(table)
+    }
+
+    /// [`from_mrt`](Self::from_mrt) on the owned decode path: every record
+    /// is materialised by [`MrtReader`], origins accumulate in a
+    /// `BTreeMap`, and prefixes load one at a time. Kept as the
+    /// differential-testing and benchmarking baseline for the zero-copy
+    /// path — the two must return identical tables for any archive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O or wire-decoding error.
+    pub fn from_mrt_owned<R: io::Read>(reader: R, session_id: u16) -> Result<Self, WireError> {
+        let mut mrt = MrtReader::new(reader);
+        let mut peer_table: Option<PeerIndexTable> = None;
+        let mut origins: BTreeMap<Ipv4Prefix, BTreeSet<Asn>> = BTreeMap::new();
+        while let Some(record) = mrt.next_record()? {
+            match record.body {
+                MrtBody::PeerIndexTable(table) => peer_table = Some(table),
+                MrtBody::RibIpv4Unicast(rib) => {
+                    let table = peer_table.as_ref().ok_or(WireError {
+                        kind: WireErrorKind::MissingPeerIndexTable,
+                        offset: 0,
+                    })?;
+                    for entry in rib.entries {
+                        let peer =
+                            table
+                                .peers
+                                .get(usize::from(entry.peer_index))
+                                .ok_or(WireError {
+                                    kind: WireErrorKind::BadPeerIndex(entry.peer_index),
+                                    offset: 0,
+                                })?;
+                        let route = entry.attrs.to_route(rib.prefix);
+                        let origin = route.origin_as().unwrap_or(peer.asn);
+                        origins.entry(rib.prefix).or_default().insert(origin);
+                    }
+                }
+                MrtBody::Bgp4mpMessage(_) => {}
+            }
+        }
+        let mut table = OriginTable::new(session_id);
+        for (prefix, set) in origins {
+            table.insert(prefix, set.into_iter().collect());
         }
         Ok(table)
     }
@@ -338,10 +458,12 @@ impl DeltaRing {
     }
 
     /// The oldest serial a diff can still start *from* (i.e. the serial a
-    /// client must at least hold), if any deltas are retained.
+    /// client must at least hold), if any deltas are retained. Wrapping:
+    /// when the oldest retained delta produced serial 0, the serial to hold
+    /// is `u32::MAX`.
     #[must_use]
     pub fn oldest_reachable_serial(&self) -> Option<u32> {
-        self.deltas.front().map(|d| d.serial - 1)
+        self.deltas.front().map(|d| d.serial.wrapping_sub(1))
     }
 
     /// Retains an applied delta. Callers skip no-op deltas.
@@ -356,6 +478,11 @@ impl DeltaRing {
     /// `current_serial`, or `None` if the ring no longer covers that span
     /// (→ cache reset).
     ///
+    /// Serial comparisons use RFC 1982 wrapping arithmetic
+    /// ([`serial_less`]), so spans crossing the `u32::MAX → 0` wrap diff
+    /// normally; a `from_serial` *ahead* of `current_serial` (or more than
+    /// half the serial space behind) is never diffable.
+    ///
     /// Changes cancel pairwise: an origin announced and later withdrawn
     /// within the span disappears from the diff entirely, so clients apply
     /// the minimal set, in deterministic (prefix, ASN) order.
@@ -367,17 +494,21 @@ impl DeltaRing {
                 ..TableDelta::default()
             });
         }
-        if from_serial > current_serial {
+        if !serial_less(from_serial, current_serial) {
             return None;
         }
-        // The span must be fully covered by retained deltas.
+        let span = serial_distance(from_serial, current_serial);
+        // The span must be fully covered by retained deltas: the oldest
+        // reachable serial must be at or behind `from_serial` on the walk
+        // back from `current_serial`.
         match self.oldest_reachable_serial() {
-            Some(oldest) if oldest <= from_serial => {}
+            Some(oldest) if serial_distance(oldest, current_serial) >= span => {}
             _ => return None,
         }
         let mut net: BTreeMap<(Ipv4Prefix, Asn), bool> = BTreeMap::new();
         for delta in &self.deltas {
-            if delta.serial <= from_serial || delta.serial > current_serial {
+            let step = serial_distance(from_serial, delta.serial);
+            if step == 0 || step > span {
                 continue;
             }
             for &(prefix, asn) in &delta.announced {
@@ -531,6 +662,66 @@ mod tests {
         assert!(ring.diff_since(2, 4).is_some());
         // A serial from the future is never diffable.
         assert!(ring.diff_since(9, 4).is_none());
+    }
+
+    #[test]
+    fn serial_wrap_apply_crosses_u32_max() {
+        let mut table = OriginTable::with_serial(1, u32::MAX - 1);
+        let mut ring = DeltaRing::new(8);
+        let d1 = table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(1))]);
+        assert_eq!(d1.serial, u32::MAX);
+        ring.push(d1);
+        let d2 = table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(2))]);
+        assert_eq!(d2.serial, 0, "the serial after u32::MAX is 0");
+        ring.push(d2);
+        let d3 = table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(3))]);
+        assert_eq!(d3.serial, 1);
+        ring.push(d3);
+        assert_eq!(table.serial(), 1);
+
+        assert_eq!(ring.oldest_reachable_serial(), Some(u32::MAX - 1));
+        // The full span straddling the wrap merges all three deltas.
+        let diff = ring.diff_since(u32::MAX - 1, 1).unwrap();
+        assert_eq!(diff.announced.len(), 3);
+        assert_eq!(diff.serial, 1);
+        // Partial spans crossing the boundary.
+        assert_eq!(ring.diff_since(u32::MAX, 1).unwrap().announced.len(), 2);
+        assert_eq!(
+            ring.diff_since(0, 1).unwrap().announced,
+            vec![(p("10.0.0.0/8"), Asn(3))]
+        );
+        // A client claiming a serial ahead of the server still resets.
+        assert!(ring.diff_since(2, 1).is_none());
+    }
+
+    #[test]
+    fn serial_wrap_oldest_reachable_does_not_underflow_at_zero() {
+        // The ring holding exactly the delta that produced serial 0 (the
+        // apply that wrapped) must name u32::MAX as the serial to hold —
+        // the old `serial - 1` underflowed here.
+        let mut table = OriginTable::with_serial(1, u32::MAX);
+        let mut ring = DeltaRing::new(2);
+        ring.push(table.apply(&[TableUpdate::announce(p("10.0.0.0/8"), Asn(1))]));
+        assert_eq!(table.serial(), 0);
+        assert_eq!(ring.oldest_reachable_serial(), Some(u32::MAX));
+        let diff = ring.diff_since(u32::MAX, 0).unwrap();
+        assert_eq!(diff.announced.len(), 1);
+        assert_eq!(diff.serial, 0);
+    }
+
+    #[test]
+    fn serial_wrap_ordering_helpers() {
+        assert!(serial_less(u32::MAX, 0));
+        assert!(serial_less(u32::MAX - 1, 1));
+        assert!(
+            !serial_less(0, u32::MAX),
+            "0 is ahead of u32::MAX, not behind"
+        );
+        assert!(!serial_less(5, 5));
+        // Distances beyond half the space are indeterminate: not less.
+        assert!(!serial_less(0, SERIAL_HALF + 1));
+        assert!(serial_less(0, SERIAL_HALF));
+        assert_eq!(serial_distance(u32::MAX, 1), 2);
     }
 
     #[test]

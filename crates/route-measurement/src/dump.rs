@@ -55,6 +55,18 @@ impl DailyDump {
         self.origins.entry(prefix).or_default().insert(origin);
     }
 
+    /// Records every origin in `origins` for `prefix` with a single map
+    /// lookup. An empty iterator records nothing — in particular it does
+    /// not create an empty entry for `prefix`, so `prefix_count` matches a
+    /// loop of [`DailyDump::observe`] calls exactly.
+    pub fn observe_all(&mut self, prefix: Ipv4Prefix, origins: impl IntoIterator<Item = Asn>) {
+        let mut origins = origins.into_iter();
+        let Some(first) = origins.next() else { return };
+        let set = self.origins.entry(prefix).or_default();
+        set.insert(first);
+        set.extend(origins);
+    }
+
     /// Folds another dump's observations into this one (set union per
     /// prefix). Used by streaming importers that encounter one day's records
     /// in several runs; the day index of `other` is ignored.
@@ -133,6 +145,25 @@ mod tests {
         assert!(d.origins_of(p("10.0.0.0/8")).is_empty());
         assert_eq!(d.prefix_count(), 0);
         assert_eq!(d.moas_count(), 0);
+    }
+
+    #[test]
+    fn observe_all_matches_observe_loop() {
+        let mut batched = DailyDump::new(0);
+        batched.observe_all(p("10.0.0.0/8"), [Asn(1), Asn(2), Asn(1)]);
+        batched.observe_all(p("11.0.0.0/8"), [Asn(3)]);
+        batched.observe_all(p("12.0.0.0/8"), []);
+        let mut looped = DailyDump::new(0);
+        for (prefix, origin) in [
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("10.0.0.0/8"), Asn(2)),
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("11.0.0.0/8"), Asn(3)),
+        ] {
+            looped.observe(prefix, origin);
+        }
+        assert_eq!(batched, looped);
+        assert_eq!(batched.prefix_count(), 2, "empty batch adds no prefix");
     }
 
     #[test]

@@ -630,6 +630,7 @@ fn import_mrt(args: &[String]) -> ExitCode {
     let mut rib_entries = 0usize;
     let mut event_count = 0usize;
     let mut findings = 0usize;
+    let start = std::time::Instant::now();
     loop {
         match stream.next_day() {
             Ok(Some(day)) => {
@@ -655,9 +656,18 @@ fn import_mrt(args: &[String]) -> ExitCode {
             }
         }
     }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let mib = stream.bytes_read() as f64 / (1024.0 * 1024.0);
     println!(
         "total: {days} dumps, {rib_entries} routes, {event_count} origin events, {} skipped BGP4MP records",
         stream.skipped_messages()
+    );
+    // Timing diagnostic on stderr: stdout must stay byte-identical to the
+    // --in-memory cross-check path.
+    eprintln!(
+        "throughput: {mib:.1} MiB in {elapsed:.2}s ({:.1} MiB/s, {:.0} routes/s)",
+        mib / elapsed,
+        rib_entries as f64 / elapsed
     );
     if offline_scan {
         println!("offline monitor: {findings} findings across {days} days");

@@ -353,21 +353,32 @@ fn entry_or_default<'a, V: Default>(map: &'a mut BTreeMap<String, V>, key: &str)
 #[derive(Debug)]
 pub struct Scoped<'a, S> {
     sink: &'a mut S,
-    prefix: &'a str,
+    /// Reusable key buffer, pre-filled with `"{prefix}."`. Each observation
+    /// truncates back to the prefix and appends the key, so composing the
+    /// scoped key costs no allocation once the buffer has grown to the
+    /// longest key's length (it is allocated once per `Scoped`, not per
+    /// observation).
+    buf: String,
+    /// Length of the `"{prefix}."` stem within `buf`.
+    base: usize,
 }
 
 impl<'a, S: MetricsSink> Scoped<'a, S> {
     /// Wraps `sink` so every key is emitted as `"{prefix}.{key}"`.
-    pub fn new(sink: &'a mut S, prefix: &'a str) -> Self {
-        Self { sink, prefix }
-    }
-
-    fn scoped_key(&self, key: &str) -> String {
-        let mut out = String::with_capacity(self.prefix.len() + 1 + key.len());
-        out.push_str(self.prefix);
-        out.push('.');
-        out.push_str(key);
-        out
+    pub fn new(sink: &'a mut S, prefix: &str) -> Self {
+        // With a disabled sink the keys are never composed; skip even the
+        // one-time buffer allocation so `Scoped` stays zero-cost over
+        // `NoopSink`.
+        let buf = if S::ENABLED {
+            let mut buf = String::with_capacity(prefix.len() + 1 + 32);
+            buf.push_str(prefix);
+            buf.push('.');
+            buf
+        } else {
+            String::new()
+        };
+        let base = buf.len();
+        Self { sink, buf, base }
     }
 }
 
@@ -377,21 +388,27 @@ impl<S: MetricsSink> MetricsSink for Scoped<'_, S> {
     #[inline]
     fn counter_add(&mut self, key: &str, delta: u64) {
         if S::ENABLED {
-            self.sink.counter_add(&self.scoped_key(key), delta);
+            self.buf.truncate(self.base);
+            self.buf.push_str(key);
+            self.sink.counter_add(&self.buf, delta);
         }
     }
 
     #[inline]
     fn gauge_set(&mut self, key: &str, value: u64) {
         if S::ENABLED {
-            self.sink.gauge_set(&self.scoped_key(key), value);
+            self.buf.truncate(self.base);
+            self.buf.push_str(key);
+            self.sink.gauge_set(&self.buf, value);
         }
     }
 
     #[inline]
     fn record(&mut self, key: &str, value: u64) {
         if S::ENABLED {
-            self.sink.record(&self.scoped_key(key), value);
+            self.buf.truncate(self.base);
+            self.buf.push_str(key);
+            self.sink.record(&self.buf, value);
         }
     }
 }
@@ -812,6 +829,24 @@ mod tests {
         assert_eq!(snap.counters["phase1.c"], 1);
         assert_eq!(snap.gauges["phase1.g"], 2);
         assert_eq!(snap.histograms["phase1.h"].count(), 1);
+    }
+
+    #[test]
+    fn scoped_key_buffer_reuse_survives_shrinking_keys() {
+        // The reusable buffer is truncated back to the prefix stem per
+        // observation: a long key followed by a short one must not leave
+        // residue from the long one behind.
+        let mut sink = RecordingSink::new();
+        {
+            let mut scoped = Scoped::new(&mut sink, "p");
+            scoped.counter_add("a.rather.long.key", 1);
+            scoped.counter_add("x", 2);
+            scoped.counter_add("a.rather.long.key", 4);
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["p.a.rather.long.key"], 5);
+        assert_eq!(snap.counters["p.x"], 2);
+        assert_eq!(snap.counters.len(), 2, "no mangled keys: {snap:?}");
     }
 
     #[test]
