@@ -195,6 +195,189 @@ impl InternetModel {
     }
 }
 
+/// Builder for an Internet-scale, power-law AS topology.
+///
+/// [`InternetModel`] reproduces the paper's small two-tier studies;
+/// `ScaleFreeModel` targets the real 2026 Internet's scale (~70k active
+/// ASes) with the degree distribution actually measured on it: a heavy
+/// power-law tail grown by preferential attachment (Barabási–Albert). Each
+/// new AS attaches [`attach_links`](ScaleFreeModel::attach_links) uplinks to
+/// existing ASes chosen proportionally to their degree; attachment links are
+/// annotated as customer-provider relationships (the existing, higher-degree
+/// AS is the provider), and a configurable number of lateral peerings is
+/// added among the highest-degree hubs, mirroring the tier-1/IXP mesh.
+///
+/// The result is connected by construction, deterministic per seed, and
+/// ASNs are dense (`1..=as_count`). ASes whose final degree reaches
+/// [`transit_degree`](ScaleFreeModel::transit_degree) are classified
+/// transit, the rest stubs.
+///
+/// # Example
+///
+/// ```
+/// use as_topology::ScaleFreeModel;
+///
+/// let g = ScaleFreeModel::new().as_count(500).build(7);
+/// assert_eq!(g.len(), 500);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaleFreeModel {
+    as_count: usize,
+    attach_links: usize,
+    peer_links: usize,
+    transit_degree: usize,
+}
+
+impl Default for ScaleFreeModel {
+    fn default() -> Self {
+        ScaleFreeModel {
+            as_count: 70_000,
+            attach_links: 2,
+            peer_links: 700,
+            transit_degree: 8,
+        }
+    }
+}
+
+impl ScaleFreeModel {
+    /// Creates a builder sized like today's Internet: 70k ASes, two uplinks
+    /// per new AS (the measured mean AS degree is ≈4, i.e. ≈2 links per
+    /// node), and one lateral hub peering per hundred ASes.
+    #[must_use]
+    pub fn new() -> Self {
+        ScaleFreeModel::default()
+    }
+
+    /// Total number of ASes. Values below 2 are clamped to 2 at build time.
+    #[must_use]
+    pub fn as_count(mut self, n: usize) -> Self {
+        self.as_count = n;
+        self
+    }
+
+    /// Uplinks each newly attached AS creates (the Barabási–Albert `m`).
+    /// Clamped to at least 1.
+    #[must_use]
+    pub fn attach_links(mut self, m: usize) -> Self {
+        self.attach_links = m;
+        self
+    }
+
+    /// Extra lateral peer links added among the highest-degree ASes after
+    /// attachment.
+    #[must_use]
+    pub fn peer_links(mut self, n: usize) -> Self {
+        self.peer_links = n;
+        self
+    }
+
+    /// Final degree at or above which an AS is classified transit.
+    #[must_use]
+    pub fn transit_degree(mut self, d: usize) -> Self {
+        self.transit_degree = d.max(1);
+        self
+    }
+
+    /// Generates the graph from a seed. The result is always connected.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> AsGraph {
+        self.build_with_relationships(seed).0
+    }
+
+    /// Like [`ScaleFreeModel::build`], but also returns the ground-truth
+    /// business relationships: attachment links are customer-provider (the
+    /// attached-to AS provides), hub laterals are settlement-free peerings.
+    #[must_use]
+    pub fn build_with_relationships(&self, seed: u64) -> (AsGraph, AsRelationships) {
+        let n = self.as_count.max(2);
+        let m = self.attach_links.max(1).min(n - 1);
+        let mut rng = sim_engine::rng::from_seed(seed);
+        let mut graph = AsGraph::new();
+        let mut rels = AsRelationships::new();
+
+        // Seed clique of m + 1 ASes, mutually peered: gives the first
+        // attachments something to hold onto and guarantees connectivity.
+        let core = m + 1;
+        for i in 1..=core as u32 {
+            graph.add_as(Asn(i), AsRole::Transit);
+        }
+        // Every link pushes both endpoints; sampling an index uniformly from
+        // `endpoints` is then exactly degree-proportional sampling.
+        let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (core * m + (n - core) * m));
+        for i in 1..=core as u32 {
+            for j in (i + 1)..=core as u32 {
+                graph.add_link(Asn(i), Asn(j));
+                rels.add_peer(Asn(i), Asn(j));
+                endpoints.push(i);
+                endpoints.push(j);
+            }
+        }
+
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        for new in (core + 1)..=n {
+            let new = new as u32;
+            graph.add_as(Asn(new), AsRole::Stub);
+            targets.clear();
+            let mut attempts = 0usize;
+            while targets.len() < m {
+                let candidate = endpoints[rng.gen_range(0..endpoints.len())];
+                attempts += 1;
+                if targets.contains(&candidate) {
+                    // Extremely skewed small graphs can keep re-drawing the
+                    // same hub; fall back to the lowest unused ASN so the
+                    // loop always terminates (still deterministic).
+                    if attempts > 16 * m {
+                        let fallback = (1..new).find(|c| !targets.contains(c)).unwrap_or(candidate);
+                        targets.push(fallback);
+                    }
+                    continue;
+                }
+                targets.push(candidate);
+            }
+            for &provider in &targets {
+                graph.add_link(Asn(new), Asn(provider));
+                rels.add_transit(Asn(provider), Asn(new));
+                endpoints.push(provider);
+                endpoints.push(new);
+            }
+        }
+
+        // Lateral peerings among the hubs: rank by degree (ties toward the
+        // lower ASN) and wire random pairs inside the top slice.
+        if self.peer_links > 0 {
+            let mut by_degree: Vec<Asn> = graph.asns().collect();
+            by_degree.sort_by_key(|&a| (std::cmp::Reverse(graph.degree(a)), a));
+            let hubs = &by_degree[..by_degree.len().min((n / 50).max(8))];
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < self.peer_links && attempts < self.peer_links * 20 {
+                attempts += 1;
+                let a = hubs[rng.gen_range(0..hubs.len())];
+                let b = hubs[rng.gen_range(0..hubs.len())];
+                if a == b || graph.has_link(a, b) {
+                    continue;
+                }
+                graph.add_link(a, b);
+                rels.add_peer(a, b);
+                added += 1;
+            }
+        }
+
+        for asn in graph.asns().collect::<Vec<_>>() {
+            let role = if graph.degree(asn) >= self.transit_degree {
+                AsRole::Transit
+            } else {
+                AsRole::Stub
+            };
+            graph.set_role(asn, role);
+        }
+
+        debug_assert!(graph.is_connected());
+        (graph, rels)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +484,82 @@ mod tests {
         // 5 transits and at most TIER1_MAX tier-1s: all are tier-1; chain
         // plus near-clique gives at least n-1 links.
         assert!(g.link_count() >= 4);
+    }
+
+    #[test]
+    fn scale_free_build_is_deterministic() {
+        let m = ScaleFreeModel::new().as_count(800);
+        assert_eq!(m.build(5), m.build(5));
+        assert_ne!(m.build(5), m.build(6));
+    }
+
+    #[test]
+    fn scale_free_is_connected_and_dense_numbered() {
+        let g = ScaleFreeModel::new().as_count(1000).build(3);
+        assert_eq!(g.len(), 1000);
+        assert!(g.is_connected());
+        let asns: Vec<Asn> = g.asns().collect();
+        assert_eq!(asns.first(), Some(&Asn(1)));
+        assert_eq!(asns.last(), Some(&Asn(1000)));
+    }
+
+    #[test]
+    fn scale_free_has_power_law_tail() {
+        // Preferential attachment must produce hubs far above the mean
+        // degree, and most nodes at the minimum.
+        let g = ScaleFreeModel::new().as_count(2000).peer_links(0).build(1);
+        let max_degree = g.asns().map(|a| g.degree(a)).max().unwrap();
+        let at_minimum = g.asns().filter(|&a| g.degree(a) <= 3).count();
+        assert!(max_degree > 50, "max degree {max_degree}");
+        assert!(at_minimum > 1000, "nodes at tail {at_minimum}");
+    }
+
+    #[test]
+    fn scale_free_relationships_cover_every_link() {
+        let (g, rels) = ScaleFreeModel::new()
+            .as_count(400)
+            .build_with_relationships(2);
+        for (a, b) in g.links() {
+            assert!(rels.kind(a, b).is_some(), "unannotated link {a}-{b}");
+        }
+        // Attachment links dominate and are customer-provider.
+        let transit_links = rels
+            .iter()
+            .filter(|(_, _, k)| matches!(k, crate::LinkKind::Transit { .. }))
+            .count();
+        assert!(transit_links >= 400 - 3);
+    }
+
+    #[test]
+    fn scale_free_roles_follow_degree() {
+        let g = ScaleFreeModel::new()
+            .as_count(600)
+            .transit_degree(5)
+            .build(4);
+        for asn in g.asns() {
+            let expected = if g.degree(asn) >= 5 {
+                AsRole::Transit
+            } else {
+                AsRole::Stub
+            };
+            assert_eq!(g.role(asn), Some(expected));
+        }
+        assert!(!g.transit_asns().is_empty());
+        assert!(!g.stub_asns().is_empty());
+    }
+
+    #[test]
+    fn scale_free_peer_links_enrich_the_hub_mesh() {
+        let sparse = ScaleFreeModel::new().as_count(500).peer_links(0).build(7);
+        let dense = ScaleFreeModel::new().as_count(500).peer_links(40).build(7);
+        assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    fn scale_free_tiny_counts_are_clamped() {
+        let g = ScaleFreeModel::new().as_count(0).attach_links(0).build(1);
+        assert_eq!(g.len(), 2);
+        assert!(g.is_connected());
     }
 
     #[test]

@@ -41,13 +41,15 @@ mod graph;
 mod infer;
 mod metrics;
 pub mod paper;
+mod partition;
 mod relationships;
 mod table;
 
 pub use derive::{derive, derive_strict, DeriveError};
-pub use gen::InternetModel;
+pub use gen::{InternetModel, ScaleFreeModel};
 pub use graph::{AsGraph, AsRole};
 pub use infer::infer_graph;
 pub use metrics::GraphMetrics;
+pub use partition::Partition;
 pub use relationships::{infer_relationships, AsRelationships, LinkKind, Relationship};
 pub use table::{prefix_for_asn, RouteTable, RouteTableEntry};

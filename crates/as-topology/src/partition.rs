@@ -1,0 +1,296 @@
+//! Balanced edge-cut graph partitioning for the sharded simulation engine.
+//!
+//! The distributed-BGP-simulation feasibility study (Coudert et al., see
+//! PAPERS.md) observes that the two quantities governing parallel simulation
+//! efficiency are the **cut size** (cross-partition links, each of which
+//! turns an intra-shard event into a cross-shard message) and **load
+//! balance** (the largest partition bounds the critical path). This module
+//! implements the classic one-pass greedy that trades the two directly:
+//! nodes are placed in descending degree order, each onto the shard holding
+//! most of its already-placed neighbors, subject to a hard balance cap.
+//!
+//! Everything here is deterministic — node order, tie-breaks, and shard
+//! choice depend only on the graph — so a partition is a pure function of
+//! `(graph, shard_count)` and sharded simulation results are reproducible.
+
+use std::cmp::Reverse;
+
+use bgp_types::Asn;
+
+use crate::AsGraph;
+
+/// A deterministic assignment of every AS to exactly one shard.
+///
+/// # Example
+///
+/// ```
+/// use as_topology::{InternetModel, Partition};
+///
+/// let g = InternetModel::new().transit_count(10).stub_count(40).build(1);
+/// let p = Partition::new(&g, 4);
+/// assert_eq!(p.shard_count(), 4);
+/// assert_eq!(p.shard_sizes().iter().sum::<usize>(), g.len());
+/// // Balance cap: no shard exceeds ceil(n / k).
+/// assert!(p.shard_sizes().iter().all(|&s| s <= g.len().div_ceil(4)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Sorted ASNs; position = dense node index (same interning order as
+    /// the engine's).
+    asn_index: Vec<Asn>,
+    /// Per dense node index: the shard holding that AS.
+    assignment: Vec<u32>,
+    shard_count: usize,
+    /// Undirected links whose endpoints landed on different shards.
+    cut_links: usize,
+}
+
+impl Partition {
+    /// Partitions `graph` into `shards` balanced parts (values below 1 are
+    /// clamped to 1).
+    ///
+    /// Greedy placement: nodes in descending degree order (ties toward the
+    /// lower ASN) go to the shard already holding most of their neighbors,
+    /// among shards still under the cap `ceil(n / shards)`; score ties break
+    /// toward the lowest shard id. High-degree hubs therefore seed the
+    /// shards, and the long tail of stubs sticks to whichever shard owns
+    /// their provider — exactly the locality a customer-provider hierarchy
+    /// offers.
+    #[must_use]
+    pub fn new(graph: &AsGraph, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let asn_index: Vec<Asn> = graph.asns().collect();
+        let n = asn_index.len();
+
+        // Flatten the adjacency once (CSR): the greedy pass then only does
+        // array walks, which matters at 70k nodes.
+        let mut start = Vec::with_capacity(n + 1);
+        start.push(0usize);
+        let mut adj: Vec<u32> = Vec::new();
+        for &asn in &asn_index {
+            for peer in graph.neighbors(asn) {
+                let j = asn_index
+                    .binary_search(&peer)
+                    .expect("graph links only name graph ASes");
+                adj.push(j as u32);
+            }
+            start.push(adj.len());
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (Reverse(start[i + 1] - start[i]), i));
+
+        let cap = if n == 0 { 1 } else { n.div_ceil(shards) };
+        let mut assignment = vec![u32::MAX; n];
+        let mut sizes = vec![0usize; shards];
+        let mut score = vec![0usize; shards];
+        for &i in &order {
+            score.fill(0);
+            for &j in &adj[start[i]..start[i + 1]] {
+                let s = assignment[j as usize];
+                if s != u32::MAX {
+                    score[s as usize] += 1;
+                }
+            }
+            let mut chosen = None;
+            for s in 0..shards {
+                if sizes[s] >= cap {
+                    continue;
+                }
+                match chosen {
+                    None => chosen = Some(s),
+                    Some(best) if score[s] > score[best] => chosen = Some(s),
+                    Some(_) => {}
+                }
+            }
+            let s = chosen.expect("cap * shards >= n, so a shard has room");
+            assignment[i] = s as u32;
+            sizes[s] += 1;
+        }
+
+        let mut cut_links = 0usize;
+        for i in 0..n {
+            for &j in &adj[start[i]..start[i + 1]] {
+                if (j as usize) > i && assignment[i] != assignment[j as usize] {
+                    cut_links += 1;
+                }
+            }
+        }
+
+        Partition {
+            asn_index,
+            assignment,
+            shard_count: shards,
+            cut_links,
+        }
+    }
+
+    /// Number of shards (always ≥ 1).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard holding `asn`, or `None` if the AS is not in the graph.
+    #[must_use]
+    pub fn shard_of(&self, asn: Asn) -> Option<usize> {
+        self.asn_index
+            .binary_search(&asn)
+            .ok()
+            .map(|i| self.assignment[i] as usize)
+    }
+
+    /// Per dense node index (ascending ASN order): the assigned shard.
+    #[must_use]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The ASes of one shard, ascending.
+    #[must_use]
+    pub fn members(&self, shard: usize) -> Vec<Asn> {
+        self.asn_index
+            .iter()
+            .zip(&self.assignment)
+            .filter(|&(_, &s)| s as usize == shard)
+            .map(|(&asn, _)| asn)
+            .collect()
+    }
+
+    /// Number of ASes per shard.
+    #[must_use]
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shard_count];
+        for &s in &self.assignment {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Undirected links whose endpoints sit on different shards — each one
+    /// costs a cross-shard message exchange per update that traverses it.
+    #[must_use]
+    pub fn cut_links(&self) -> usize {
+        self.cut_links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsRole, InternetModel};
+
+    fn sample() -> AsGraph {
+        InternetModel::new()
+            .transit_count(12)
+            .stub_count(60)
+            .build(3)
+    }
+
+    #[test]
+    fn every_as_lands_in_exactly_one_shard() {
+        let g = sample();
+        let p = Partition::new(&g, 4);
+        let mut seen = 0;
+        for shard in 0..p.shard_count() {
+            seen += p.members(shard).len();
+        }
+        assert_eq!(seen, g.len());
+        for asn in g.asns() {
+            let s = p.shard_of(asn).unwrap();
+            assert!(p.members(s).contains(&asn));
+        }
+    }
+
+    #[test]
+    fn balance_cap_holds() {
+        let g = sample();
+        for shards in [1, 2, 3, 4, 7] {
+            let p = Partition::new(&g, shards);
+            let cap = g.len().div_ceil(shards);
+            assert!(
+                p.shard_sizes().iter().all(|&s| s <= cap),
+                "shards={shards} sizes={:?} cap={cap}",
+                p.shard_sizes()
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let g = sample();
+        let p = Partition::new(&g, 1);
+        assert_eq!(p.cut_links(), 0);
+        assert_eq!(p.shard_sizes(), vec![g.len()]);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let g = sample();
+        assert_eq!(Partition::new(&g, 4), Partition::new(&g, 4));
+    }
+
+    #[test]
+    fn cut_count_matches_link_census() {
+        let g = sample();
+        let p = Partition::new(&g, 3);
+        let by_links = g
+            .links()
+            .iter()
+            .filter(|&&(a, b)| p.shard_of(a) != p.shard_of(b))
+            .count();
+        assert_eq!(p.cut_links(), by_links);
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_cut_size() {
+        // The locality heuristic must do meaningfully better than ignoring
+        // the adjacency entirely.
+        let g = InternetModel::new()
+            .transit_count(20)
+            .stub_count(200)
+            .build(9);
+        let p = Partition::new(&g, 4);
+        let asns: Vec<_> = g.asns().collect();
+        let round_robin_cut = g
+            .links()
+            .iter()
+            .filter(|&&(a, b)| {
+                let ia = asns.binary_search(&a).unwrap();
+                let ib = asns.binary_search(&b).unwrap();
+                ia % 4 != ib % 4
+            })
+            .count();
+        assert!(
+            p.cut_links() < round_robin_cut,
+            "greedy {} !< round-robin {round_robin_cut}",
+            p.cut_links()
+        );
+    }
+
+    #[test]
+    fn more_shards_than_nodes_is_fine() {
+        let mut g = AsGraph::new();
+        g.add_as(Asn(1), AsRole::Stub);
+        g.add_as(Asn(2), AsRole::Stub);
+        g.add_link(Asn(1), Asn(2));
+        let p = Partition::new(&g, 8);
+        assert_eq!(p.shard_sizes().iter().sum::<usize>(), 2);
+        assert!(p.shard_of(Asn(3)).is_none());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let g = sample();
+        let p = Partition::new(&g, 0);
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(p.cut_links(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = Partition::new(&AsGraph::new(), 3);
+        assert_eq!(p.shard_sizes(), vec![0, 0, 0]);
+        assert_eq!(p.cut_links(), 0);
+    }
+}

@@ -51,6 +51,7 @@ mod forwarding;
 mod monitor;
 mod network;
 mod router;
+mod sharded;
 mod update;
 mod valley_free;
 
@@ -60,5 +61,6 @@ pub use forwarding::{ForwardOutcome, ForwardingPlane};
 pub use monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
 pub use network::{Network, NetworkStats, SessionCounters};
 pub use router::Router;
+pub use sharded::ShardedNetwork;
 pub use update::SharedUpdate;
 pub use valley_free::ValleyFree;

@@ -714,9 +714,12 @@ impl<M: RouteMonitor> Network<M> {
         );
         sink.gauge_set("net.converged_at_ticks", self.stats.converged_at.ticks());
         let mut decisions = 0u64;
+        // One histogram observation per router: resolve the key to a token
+        // once so the loop pays no per-observation hashing.
+        let rib_size = sink.record_token("net.adj_rib_in.size");
         for router in &self.routers {
             decisions += router.decision_count();
-            sink.record("net.adj_rib_in.size", router.adj_rib_in_size() as u64);
+            sink.record_by(rib_size, router.adj_rib_in_size() as u64);
         }
         sink.counter_add("net.decision_process.invocations", decisions);
         // One reusable key buffer for the dynamic per-session/per-link keys:

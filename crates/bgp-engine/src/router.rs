@@ -6,7 +6,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bgp_types::{Asn, Ipv4Prefix, Route};
 
@@ -16,7 +16,7 @@ use crate::update::SharedUpdate;
 /// The chosen best route for a prefix and where it came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct BestEntry {
-    route: Rc<Route>,
+    route: Arc<Route>,
     /// `None` when the best route is locally originated.
     learned_from: Option<Asn>,
 }
@@ -28,7 +28,7 @@ struct BestEntry {
 /// here is read-only inspection, which the experiment harness uses to census
 /// which ASes adopted a false route.
 ///
-/// Routes are held behind [`Rc`] throughout: an update installed from the
+/// Routes are held behind [`Arc`] throughout: an update installed from the
 /// event queue, the Adj-RIB-In entry, the Loc-RIB best entry, and every
 /// outbound fan-out copy all share one allocation. The decision process and
 /// export path therefore move pointers, not AS-path vectors.
@@ -36,7 +36,7 @@ struct BestEntry {
 pub struct Router {
     asn: Asn,
     peers: Vec<Asn>,
-    originated: BTreeMap<Ipv4Prefix, Rc<Route>>,
+    originated: BTreeMap<Ipv4Prefix, Arc<Route>>,
     adj_in: BTreeMap<Ipv4Prefix, BTreeMap<Asn, RibEntry>>,
     best: BTreeMap<Ipv4Prefix, BestEntry>,
     advertised: BTreeMap<Ipv4Prefix, BTreeSet<Asn>>,
@@ -52,7 +52,7 @@ pub struct Router {
 /// changed route counts as a fresh installation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct RibEntry {
-    route: Rc<Route>,
+    route: Arc<Route>,
     installed_at: u64,
 }
 
@@ -151,7 +151,7 @@ impl Router {
         monitor: &mut M,
     ) -> Vec<(Asn, SharedUpdate)> {
         let prefix = route.prefix();
-        self.originated.insert(prefix, Rc::new(route));
+        self.originated.insert(prefix, Arc::new(route));
         self.reselect(prefix, monitor)
     }
 
@@ -206,7 +206,7 @@ impl Router {
             return Vec::new();
         }
         // Snapshot the best table up front: `on_export` needs `&mut self`
-        // state untouched, and cloning the entries clones `Rc`s, not routes.
+        // state untouched, and cloning the entries clones `Arc`s, not routes.
         let entries: Vec<(Ipv4Prefix, BestEntry)> = self
             .best
             .iter()
@@ -217,7 +217,7 @@ impl Router {
             if entry.learned_from == Some(peer) {
                 continue; // split horizon
             }
-            let outbound = Rc::new(entry.route.propagated_by(self.asn));
+            let outbound = Arc::new(entry.route.propagated_by(self.asn));
             match monitor.on_export(self.asn, peer, entry.learned_from, &outbound) {
                 ExportAction::Forward => {
                     self.advertised.entry(prefix).or_default().insert(peer);
@@ -381,7 +381,7 @@ impl Router {
     /// installed, exactly as in the paper's converged-network attack model.
     ///
     /// Candidates are streamed straight out of the RIB — the only allocation
-    /// on a selection is the `Rc` bump for the winner. `min_by_key` keeps the
+    /// on a selection is the `Arc` bump for the winner. `min_by_key` keeps the
     /// *first* minimum, so the iteration order (own route, then learned
     /// routes by ascending peer ASN) is part of the tiebreak contract.
     fn decide(&self, prefix: Ipv4Prefix) -> Option<BestEntry> {
@@ -405,7 +405,7 @@ impl Router {
                 )
             })
             .map(|(route, learned_from, _)| BestEntry {
-                route: Rc::clone(route),
+                route: Arc::clone(route),
                 learned_from,
             })
     }
@@ -423,7 +423,7 @@ impl Router {
         entry: &BestEntry,
         monitor: &mut M,
     ) -> Vec<(Asn, SharedUpdate)> {
-        let outbound = Rc::new(entry.route.propagated_by(self.asn));
+        let outbound = Arc::new(entry.route.propagated_by(self.asn));
         let mut sent_to: BTreeSet<Asn> = BTreeSet::new();
         let mut updates = Vec::with_capacity(self.peers.len());
         for &peer in &self.peers {
@@ -433,7 +433,7 @@ impl Router {
             match monitor.on_export(self.asn, peer, entry.learned_from, &outbound) {
                 ExportAction::Forward => {
                     sent_to.insert(peer);
-                    updates.push((peer, SharedUpdate::Announce(Rc::clone(&outbound))));
+                    updates.push((peer, SharedUpdate::Announce(Arc::clone(&outbound))));
                 }
                 ExportAction::Replace(route) => {
                     sent_to.insert(peer);
@@ -491,7 +491,7 @@ mod tests {
     fn fanout_announcements_share_one_route_allocation() {
         let mut r = router();
         let updates = r.originate(Route::new(prefix(), AsPath::new()), &mut NoopMonitor);
-        let rcs: Vec<&Rc<Route>> = updates
+        let rcs: Vec<&Arc<Route>> = updates
             .iter()
             .filter_map(|(_, u)| match u {
                 SharedUpdate::Announce(rc) => Some(rc),
@@ -499,8 +499,8 @@ mod tests {
             })
             .collect();
         assert_eq!(rcs.len(), 3);
-        assert!(Rc::ptr_eq(rcs[0], rcs[1]));
-        assert!(Rc::ptr_eq(rcs[1], rcs[2]));
+        assert!(Arc::ptr_eq(rcs[0], rcs[1]));
+        assert!(Arc::ptr_eq(rcs[1], rcs[2]));
     }
 
     #[test]

@@ -1,0 +1,1615 @@
+//! Deterministic intra-trial sharding: one trial fanned over the pool.
+//!
+//! [`ShardedNetwork`] partitions the AS graph into per-shard engines (via
+//! [`as_topology::Partition`]'s balanced edge-cut) and exchanges cross-shard
+//! BGP messages in batches at virtual-time boundaries. A coordinator advances
+//! all shards to the globally next event timestamp in lockstep rounds; within
+//! a timestamp, every shard processes its events in an *intrinsic* order —
+//! `(event kind, global edge id, per-edge send sequence)` — that depends only
+//! on the event itself, never on queue arrival order or shard layout. All
+//! link delays are at least one tick, so no event at time `T` can spawn
+//! another event at `T`, and the per-timestamp event set is closed before the
+//! round starts.
+//!
+//! The result is the property the experiments need: every RIB, alarm,
+//! counter, and fingerprint is **bit-identical for every `--shards N`**
+//! (including `N = 1`). See DESIGN.md "Sharded execution" for the full
+//! determinism argument.
+//!
+//! This engine complements — and does not replace — [`Network`](crate::Network):
+//! the classic engine keeps its single global event queue and remains the
+//! reference for the paper-scale experiments; the sharded engine is the
+//! Internet-scale (~70k AS) path.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use as_topology::{AsGraph, Partition};
+use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
+use minimetrics::MetricsSink;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sim_engine::fault::{FaultAction, FaultStats, LinkFaultModel, TimelineEntry};
+use sim_engine::SimTime;
+
+use crate::error::{ConvergenceError, FaultPlanError, UnknownAsError};
+use crate::fault::{FaultEvent, NetFaultPlan};
+use crate::monitor::{NoopMonitor, RouteMonitor};
+use crate::network::{NetworkStats, SessionCounters};
+use crate::router::Router;
+use crate::update::SharedUpdate;
+
+/// Default event budget, matching [`Network::run`](crate::Network::run).
+const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+/// Repeated-fingerprint sightings before the watchdog declares oscillation.
+const WATCHDOG_STRIKES: u32 = 3;
+
+/// Immutable topology shared by every shard: the same dense interner and CSR
+/// adjacency the classic engine builds, constructed once and reference-
+/// counted. Edge ids are *global* — identical for every shard count — which
+/// is what makes the intrinsic event order and the per-edge fault RNG streams
+/// invariant under re-sharding.
+#[derive(Debug)]
+struct Topo {
+    /// Sorted ASNs; position = dense node index.
+    asn_index: Vec<Asn>,
+    /// CSR row starts into `peer_idx`/`delays`; len `n + 1`.
+    peer_start: Vec<usize>,
+    /// CSR column data: neighbor node index per directed edge.
+    peer_idx: Vec<u32>,
+    /// Per directed edge: link delay in ticks (all >= 1).
+    delays: Vec<u64>,
+    /// Per dense node index: owning shard.
+    assignment: Vec<u32>,
+}
+
+impl Topo {
+    fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.asn_index.binary_search(&asn).ok()
+    }
+
+    fn edge_between(&self, from: usize, to: usize) -> Option<usize> {
+        let row = &self.peer_idx[self.peer_start[from]..self.peer_start[from + 1]];
+        row.binary_search(&(to as u32))
+            .ok()
+            .map(|k| self.peer_start[from] + k)
+    }
+
+    fn edge_endpoints(&self, e: usize) -> (Asn, Asn) {
+        let from = self.peer_start.partition_point(|&start| start <= e) - 1;
+        let to = self.peer_idx[e] as usize;
+        (self.asn_index[from], self.asn_index[to])
+    }
+
+    fn directed_edges(&self, a: Asn, b: Asn) -> Result<(usize, usize), FaultPlanError> {
+        let ia = self.index_of(a).ok_or(FaultPlanError::UnknownAs(a))?;
+        let ib = self.index_of(b).ok_or(FaultPlanError::UnknownAs(b))?;
+        let ab = self
+            .edge_between(ia, ib)
+            .ok_or(FaultPlanError::NotALink(a, b))?;
+        let ba = self
+            .edge_between(ib, ia)
+            .ok_or(FaultPlanError::NotALink(a, b))?;
+        Ok((ab, ba))
+    }
+}
+
+/// A shard-queue event; mirrors the classic engine's `NetEvent`.
+#[derive(Debug, Clone)]
+enum ShardEvent {
+    Deliver {
+        edge: u32,
+        from: u32,
+        to: u32,
+        epoch: u32,
+        corrupt: bool,
+        update: SharedUpdate,
+    },
+    MraiFlush {
+        from: u32,
+        to: u32,
+    },
+    Fault {
+        entry: u32,
+    },
+}
+
+/// One scheduled event with its intrinsic ordering key.
+///
+/// Within a timestamp, events sort by `(kind, key1, key2)`:
+///
+/// * Deliver   = `(0, global edge id, per-edge send sequence)`
+/// * MraiFlush = `(1, global edge id, 0)`
+/// * Fault     = `(2, timeline entry index, 0)`
+///
+/// Every component is derived from the event itself, not from scheduling
+/// order, so any shard holding the same event set processes it in the same
+/// order regardless of how the events arrived.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: SimTime,
+    key: (u8, u64, u64),
+    event: ShardEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.key) == (other.time, other.key)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.key).cmp(&(other.time, other.key))
+    }
+}
+
+/// Fault-plan state replicated on every shard. The timeline, remaining
+/// counts, and models are identical replicas (global events must fire on all
+/// shards at the same virtual time); message-fate RNGs are **per edge**,
+/// seeded from `(plan seed, global edge id)`, and only ever drawn by the
+/// sending router's owner shard — so each edge's fate stream is the same for
+/// every shard count.
+#[derive(Debug)]
+struct ShardFaults {
+    seed: u64,
+    rngs: BTreeMap<u32, SmallRng>,
+    models: BTreeMap<usize, LinkFaultModel>,
+    stats: Vec<FaultStats>,
+    timeline: Vec<TimelineEntry<FaultEvent>>,
+    remaining: Vec<Option<u64>>,
+}
+
+/// One partition of the network: full-width per-edge state vectors (indexed
+/// by global edge id), but only the entries a shard *owns* are ever written —
+/// sent-side fields by the sender's owner, received-side fields by the
+/// receiver's owner — so merging shard states is a plain field-wise sum.
+#[derive(Debug)]
+struct Shard<M> {
+    id: u32,
+    topo: Arc<Topo>,
+    /// Full-size router table; only owned routers are mutated.
+    routers: Vec<Router>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    now: SimTime,
+    /// Last time forwarded to the monitor's `on_clock`.
+    clock_mark: SimTime,
+    sessions: Vec<SessionCounters>,
+    monitor: M,
+    stats: NetworkStats,
+    mrai: u64,
+    mrai_gate: Vec<SimTime>,
+    mrai_pending: Vec<BTreeMap<Ipv4Prefix, SharedUpdate>>,
+    /// Per directed edge: monotone send sequence (intrinsic Deliver key).
+    edge_seq: Vec<u64>,
+    /// Session epochs, replicated identically on every shard (bumped only by
+    /// globally-applied fault events).
+    epochs: Vec<u32>,
+    epochs_active: bool,
+    failed_links: BTreeSet<(Asn, Asn)>,
+    faults: Option<Box<ShardFaults>>,
+    /// Cross-shard messages produced since the last drain: `(dest shard,
+    /// scheduled event)`.
+    outbox: Vec<(u32, Scheduled)>,
+}
+
+/// One barrier-round command from the coordinator.
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// Advance to `time`, absorb `inbox`, process every event at `time`.
+    Step {
+        time: SimTime,
+        inbox: Vec<Scheduled>,
+    },
+    /// Hash the owned slice of the routing state (watchdog support).
+    Fingerprint,
+}
+
+#[derive(Debug)]
+struct RoundResult {
+    outbox: Vec<(u32, Scheduled)>,
+    next_time: Option<SimTime>,
+    queue_len: usize,
+    /// Deliver + MraiFlush events processed this round (each unique to one
+    /// shard, so the coordinator may sum them).
+    fired: u64,
+    /// Fault events processed this round (replicated on every shard, so the
+    /// coordinator counts shard 0's only).
+    fault_fired: u64,
+}
+
+#[derive(Debug)]
+enum RoundReply {
+    Step(RoundResult),
+    Fingerprint(u64),
+}
+
+impl<M: RouteMonitor> Shard<M> {
+    fn owns(&self, node: usize) -> bool {
+        self.topo.assignment[node] == self.id
+    }
+
+    fn link_is_down(&self, a: Asn, b: Asn) -> bool {
+        !self.failed_links.is_empty() && self.failed_links.contains(&link_key(a, b))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.0.time)
+    }
+
+    fn execute(&mut self, cmd: Cmd) -> RoundReply {
+        match cmd {
+            Cmd::Step { time, inbox } => RoundReply::Step(self.step(time, inbox)),
+            Cmd::Fingerprint => RoundReply::Fingerprint(self.fingerprint()),
+        }
+    }
+
+    /// Processes every event at exactly `time`. All delays are >= 1 tick, so
+    /// processing can enqueue only strictly-future events and the loop always
+    /// terminates; the clock is advanced even on shards with nothing to do,
+    /// keeping `now` identical everywhere between rounds.
+    fn step(&mut self, time: SimTime, inbox: Vec<Scheduled>) -> RoundResult {
+        for msg in inbox {
+            debug_assert!(msg.time >= time, "cross-shard message from the past");
+            self.queue.push(Reverse(msg));
+        }
+        self.now = time;
+        let mut fired = 0u64;
+        let mut fault_fired = 0u64;
+        while self.queue.peek().is_some_and(|s| s.0.time == time) {
+            let Reverse(sch) = self.queue.pop().expect("peeked event");
+            if self.clock_mark != time {
+                self.clock_mark = time;
+                self.monitor.on_clock(time);
+            }
+            match sch.event {
+                ShardEvent::Fault { .. } => fault_fired += 1,
+                _ => fired += 1,
+            }
+            self.process(sch.event);
+        }
+        RoundResult {
+            outbox: std::mem::take(&mut self.outbox),
+            next_time: self.peek_time(),
+            queue_len: self.queue.len(),
+            fired,
+            fault_fired,
+        }
+    }
+
+    fn process(&mut self, event: ShardEvent) {
+        match event {
+            ShardEvent::Deliver {
+                edge,
+                from,
+                to,
+                epoch,
+                corrupt,
+                update,
+            } => {
+                let (edge, from, to) = (edge as usize, from as usize, to as usize);
+                debug_assert!(self.owns(to), "delivery routed to the wrong shard");
+                let from_asn = self.topo.asn_index[from];
+                let to_asn = self.topo.asn_index[to];
+                if !self.failed_links.is_empty() && self.link_is_down(from_asn, to_asn) {
+                    self.drop_in_flight(edge);
+                    return;
+                }
+                if self.epochs_active && self.epochs[edge] != epoch {
+                    self.drop_in_flight(edge);
+                    return;
+                }
+                if corrupt {
+                    self.stats.corrupted_dropped += 1;
+                    if let Some(f) = self.faults.as_deref_mut() {
+                        f.stats[edge].corrupted += 1;
+                    }
+                    return;
+                }
+                match &update {
+                    SharedUpdate::Announce(_) => {
+                        self.stats.announcements += 1;
+                        self.sessions[edge].recv_announcements += 1;
+                    }
+                    SharedUpdate::Withdraw(_) => {
+                        self.stats.withdrawals += 1;
+                        self.sessions[edge].recv_withdrawals += 1;
+                    }
+                }
+                let updates = self.routers[to].handle_update(from_asn, update, &mut self.monitor);
+                self.enqueue(to, updates);
+            }
+            ShardEvent::MraiFlush { from, to } => {
+                let (from, to) = (from as usize, to as usize);
+                let edge = self
+                    .topo
+                    .edge_between(from, to)
+                    .expect("MRAI state only exists on real sessions");
+                let pending = std::mem::take(&mut self.mrai_pending[edge]);
+                if pending.is_empty() {
+                    return;
+                }
+                self.mrai_gate[edge] = self.now + self.mrai;
+                for (_, update) in pending {
+                    self.schedule_delivery(edge, from as u32, to as u32, update);
+                }
+            }
+            ShardEvent::Fault { entry } => {
+                let idx = entry as usize;
+                let Some(faults) = self.faults.as_deref_mut() else {
+                    return;
+                };
+                let mut reschedule = None;
+                if let Some(period) = faults.timeline[idx].period {
+                    let fire_again = match &mut faults.remaining[idx] {
+                        None => true,
+                        Some(n) if *n > 1 => {
+                            *n -= 1;
+                            true
+                        }
+                        Some(n) => {
+                            *n = 0;
+                            false
+                        }
+                    };
+                    if fire_again {
+                        reschedule = Some(period);
+                    }
+                }
+                let event = faults.timeline[idx].event.clone();
+                if let Some(period) = reschedule {
+                    self.queue.push(Reverse(Scheduled {
+                        time: self.now + period,
+                        key: (2, idx as u64, 0),
+                        event: ShardEvent::Fault { entry },
+                    }));
+                }
+                self.apply_fault_event(event);
+            }
+        }
+    }
+
+    /// Executes one scripted fault event. Global state transitions (failed
+    /// links, epochs, MRAI clears) run on every shard — each replica applies
+    /// them at the same virtual time in the same intrinsic order, so replicas
+    /// never diverge. Router mutations run only on the owner shard.
+    fn apply_fault_event(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::FailLink(a, b) => self.fail_link(a, b),
+            FaultEvent::RestoreLink(a, b) => self.restore_link(a, b),
+            FaultEvent::ResetSession(a, b) => self.reset_session(a, b),
+            FaultEvent::Announce { asn, route } => {
+                if let Some(idx) = self.topo.index_of(asn) {
+                    if self.owns(idx) {
+                        let updates = self.routers[idx].originate(route, &mut self.monitor);
+                        self.enqueue(idx, updates);
+                    }
+                }
+            }
+            FaultEvent::Withdraw { asn, prefix } => {
+                if let Some(idx) = self.topo.index_of(asn) {
+                    if self.owns(idx) {
+                        let updates = self.routers[idx].withdraw_origin(prefix, &mut self.monitor);
+                        self.enqueue(idx, updates);
+                    }
+                }
+            }
+            FaultEvent::ToggleOrigin { asn, route } => {
+                let Some(idx) = self.topo.index_of(asn) else {
+                    return;
+                };
+                if !self.owns(idx) {
+                    return;
+                }
+                let prefix = route.prefix();
+                let updates = if self.routers[idx].originates(prefix) {
+                    self.routers[idx].withdraw_origin(prefix, &mut self.monitor)
+                } else {
+                    self.routers[idx].originate(route, &mut self.monitor)
+                };
+                self.enqueue(idx, updates);
+            }
+        }
+    }
+
+    fn fail_link(&mut self, a: Asn, b: Asn) {
+        if !self.failed_links.insert(link_key(a, b)) {
+            return;
+        }
+        if let (Some(ia), Some(ib)) = (self.topo.index_of(a), self.topo.index_of(b)) {
+            for (x, y) in [(ia, ib), (ib, ia)] {
+                if let Some(e) = self.topo.edge_between(x, y) {
+                    self.mrai_pending[e].clear();
+                    self.mrai_gate[e] = SimTime::ZERO;
+                    self.epochs[e] = self.epochs[e].wrapping_add(1);
+                    self.epochs_active = true;
+                }
+            }
+        }
+        for (local, peer) in [(a, b), (b, a)] {
+            if let Some(idx) = self.topo.index_of(local) {
+                if self.owns(idx) {
+                    let updates = self.routers[idx].peer_down(peer, &mut self.monitor);
+                    self.enqueue(idx, updates);
+                }
+            }
+        }
+    }
+
+    fn restore_link(&mut self, a: Asn, b: Asn) {
+        if !self.failed_links.remove(&link_key(a, b)) {
+            return;
+        }
+        for (local, peer) in [(a, b), (b, a)] {
+            if let Some(idx) = self.topo.index_of(local) {
+                if self.owns(idx) {
+                    let updates = self.routers[idx].refresh_peer(peer, &mut self.monitor);
+                    self.enqueue(idx, updates);
+                }
+            }
+        }
+    }
+
+    fn reset_session(&mut self, a: Asn, b: Asn) {
+        if self.link_is_down(a, b) {
+            return;
+        }
+        let (Some(ia), Some(ib)) = (self.topo.index_of(a), self.topo.index_of(b)) else {
+            return;
+        };
+        let (Some(ab), Some(ba)) = (
+            self.topo.edge_between(ia, ib),
+            self.topo.edge_between(ib, ia),
+        ) else {
+            return;
+        };
+        for e in [ab, ba] {
+            self.mrai_pending[e].clear();
+            self.mrai_gate[e] = SimTime::ZERO;
+            self.epochs[e] = self.epochs[e].wrapping_add(1);
+        }
+        self.epochs_active = true;
+        for (idx, peer) in [(ia, b), (ib, a)] {
+            if self.owns(idx) {
+                let updates = self.routers[idx].peer_down(peer, &mut self.monitor);
+                self.enqueue(idx, updates);
+            }
+        }
+        for (idx, peer) in [(ia, b), (ib, a)] {
+            if self.owns(idx) {
+                let updates = self.routers[idx].refresh_peer(peer, &mut self.monitor);
+                self.enqueue(idx, updates);
+            }
+        }
+    }
+
+    fn drop_in_flight(&mut self, edge: usize) {
+        self.stats.dropped_on_failed_links += 1;
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.stats[edge].dropped_link_down += 1;
+        }
+    }
+
+    fn enqueue(&mut self, from: usize, updates: Vec<(Asn, SharedUpdate)>) {
+        let from_asn = self.topo.asn_index[from];
+        for (to_asn, update) in updates {
+            if self.link_is_down(from_asn, to_asn) {
+                continue;
+            }
+            let k = self.routers[from]
+                .peers()
+                .binary_search(&to_asn)
+                .expect("router update targets a peer");
+            let edge = self.topo.peer_start[from] + k;
+            let to = self.topo.peer_idx[edge];
+            if self.mrai == 0 {
+                self.schedule_delivery(edge, from as u32, to, update);
+                continue;
+            }
+            let now = self.now;
+            let gate = self.mrai_gate[edge];
+            if now >= gate && self.mrai_pending[edge].is_empty() {
+                self.mrai_gate[edge] = now + self.mrai;
+                self.schedule_delivery(edge, from as u32, to, update);
+            } else {
+                self.stats.mrai_deferred += 1;
+                let pending = &mut self.mrai_pending[edge];
+                if pending.insert(update.prefix(), update).is_some() {
+                    self.stats.mrai_coalesced += 1;
+                }
+                if pending.len() == 1 {
+                    let wait = gate.ticks().saturating_sub(now.ticks()).max(1);
+                    self.queue.push(Reverse(Scheduled {
+                        time: now + wait,
+                        key: (1, edge as u64, 0),
+                        event: ShardEvent::MraiFlush {
+                            from: from as u32,
+                            to,
+                        },
+                    }));
+                }
+            }
+        }
+    }
+
+    /// The single choke point for deliveries: stamps the epoch, applies the
+    /// edge's fault model, assigns the intrinsic send sequence, and routes
+    /// the event to the receiver's queue — local push or cross-shard outbox.
+    fn schedule_delivery(&mut self, edge: usize, from: u32, to: u32, update: SharedUpdate) {
+        match &update {
+            SharedUpdate::Announce(_) => self.sessions[edge].sent_announcements += 1,
+            SharedUpdate::Withdraw(_) => self.sessions[edge].sent_withdrawals += 1,
+        }
+        let epoch = self.epochs[edge];
+        let mut delay = self.topo.delays[edge];
+        let mut corrupt = false;
+        let mut copies = 1u8;
+        if let Some(faults) = self.faults.as_deref_mut() {
+            if let Some(model) = faults.models.get(&edge) {
+                let seed = faults.seed;
+                let rng = faults.rngs.entry(edge as u32).or_insert_with(|| {
+                    sim_engine::rng::from_seed(sim_engine::rng::derive_seed(seed, edge as u64))
+                });
+                match model.decide(rng) {
+                    FaultAction::Deliver => faults.stats[edge].delivered += 1,
+                    FaultAction::Drop => {
+                        faults.stats[edge].dropped += 1;
+                        return;
+                    }
+                    FaultAction::Duplicate => {
+                        faults.stats[edge].duplicated += 1;
+                        copies = 2;
+                    }
+                    FaultAction::Delay(extra) => {
+                        faults.stats[edge].reordered += 1;
+                        delay += extra;
+                    }
+                    FaultAction::Corrupt => corrupt = true,
+                }
+            }
+        }
+        let dest = self.topo.assignment[to as usize];
+        for _ in 0..copies {
+            let seq = self.edge_seq[edge];
+            self.edge_seq[edge] += 1;
+            let sch = Scheduled {
+                time: self.now + delay,
+                key: (0, edge as u64, seq),
+                event: ShardEvent::Deliver {
+                    edge: edge as u32,
+                    from,
+                    to,
+                    epoch,
+                    corrupt,
+                    update: update.clone(),
+                },
+            };
+            if dest == self.id {
+                self.queue.push(Reverse(sch));
+            } else {
+                self.outbox.push((dest, sch));
+            }
+        }
+    }
+
+    /// Per-node FNV hash of the owned routing slice, combined by *wrapping
+    /// sum*. Addition commutes, so the total over all shards is independent
+    /// of the shard layout (every node is owned exactly once).
+    fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn mix(h: u64, word: u64) -> u64 {
+            (h ^ word).wrapping_mul(PRIME)
+        }
+        let mut total = 0u64;
+        for (node, router) in self.routers.iter().enumerate() {
+            if !self.owns(node) {
+                continue;
+            }
+            let mut h = OFFSET;
+            h = mix(h, node as u64);
+            for prefix in router.prefixes() {
+                h = mix(
+                    h,
+                    (u64::from(prefix.network()) << 8) | u64::from(prefix.len()),
+                );
+                h = match router.best_learned_from(prefix) {
+                    Some(peer) => mix(h, u64::from(peer.0) | (1 << 40)),
+                    None => mix(h, 1 << 41),
+                };
+                if let Some(route) = router.best_route(prefix) {
+                    for asn in route.as_path().iter() {
+                        h = mix(h, u64::from(asn.0));
+                    }
+                }
+                h = mix(h, u64::MAX);
+            }
+            total = total.wrapping_add(h);
+        }
+        total
+    }
+}
+
+fn link_key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The barrier driver: either the shards run inline on the calling thread
+/// (the sequential reference path) or pinned to long-lived [`minipool::Crew`]
+/// workers. Both paths run the *same* shard code on the *same* command
+/// sequence, so results are bit-identical.
+enum Driver<M: RouteMonitor + Send + 'static> {
+    Inline(Vec<Shard<M>>),
+    Pool(minipool::Crew<Shard<M>, Cmd, RoundReply>),
+}
+
+impl<M: RouteMonitor + Send + 'static> Driver<M> {
+    fn round(&mut self, cmds: Vec<Cmd>) -> Vec<RoundReply> {
+        match self {
+            Driver::Inline(shards) => shards
+                .iter_mut()
+                .zip(cmds)
+                .map(|(s, c)| s.execute(c))
+                .collect(),
+            Driver::Pool(crew) => crew.round(cmds),
+        }
+    }
+
+    fn into_shards(self) -> Vec<Shard<M>> {
+        match self {
+            Driver::Inline(shards) => shards,
+            Driver::Pool(crew) => crew.join(),
+        }
+    }
+}
+
+/// An AS-level BGP network partitioned over per-shard engines, driven to
+/// quiescence in deterministic lockstep rounds.
+///
+/// Construction partitions the graph with [`Partition`] (greedy balanced
+/// edge-cut), builds one engine per shard around a shared CSR topology, and
+/// gives each shard its own monitor from a factory closure. `jobs > 1` runs
+/// the shards on long-lived worker threads; the results are identical either
+/// way, and identical **for every shard count** — that invariance is pinned
+/// by the differential tests in `experiments`.
+///
+/// # Example
+///
+/// ```
+/// use as_topology::InternetModel;
+/// use bgp_engine::ShardedNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = InternetModel::new().transit_count(5).stub_count(20).build(1);
+/// let victim = graph.stub_asns()[0];
+/// let prefix = as_topology::prefix_for_asn(victim);
+///
+/// let mut net = ShardedNetwork::new(&graph, 2);
+/// net.originate(victim, prefix, None);
+/// net.run()?;
+/// assert!(graph.asns().all(|asn| net.best_origin(asn, prefix) == Some(victim)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedNetwork<M = NoopMonitor> {
+    topo: Arc<Topo>,
+    shards: Vec<Shard<M>>,
+    jobs: usize,
+    watchdog: u64,
+    now: SimTime,
+    converged_at: SimTime,
+    /// Deliver + MraiFlush + (deduplicated) Fault events processed over the
+    /// network's lifetime; the sharded analogue of `sim.events.fired`.
+    fired_lifetime: u64,
+    /// Cross-shard messages awaiting distribution at the next round.
+    pending: Vec<(u32, Scheduled)>,
+    plan_installed: bool,
+    cut_links: usize,
+}
+
+impl ShardedNetwork<NoopMonitor> {
+    /// Builds a plain sharded BGP network (no validation, unit delays,
+    /// inline execution).
+    #[must_use]
+    pub fn new(graph: &AsGraph, shard_count: usize) -> Self {
+        ShardedNetwork::with_monitor_factory(graph, shard_count, 1, || NoopMonitor)
+    }
+}
+
+impl<M: RouteMonitor> ShardedNetwork<M> {
+    /// Builds a sharded network whose shards each consult a monitor produced
+    /// by `monitor`. All links have unit delay. `jobs <= 1` (or a single
+    /// shard) runs every round inline on the calling thread.
+    #[must_use]
+    pub fn with_monitor_factory(
+        graph: &AsGraph,
+        shard_count: usize,
+        jobs: usize,
+        monitor: impl Fn() -> M,
+    ) -> Self {
+        let partition = Partition::new(graph, shard_count);
+        let shard_count = partition.shard_count();
+        let cut_links = partition.cut_links();
+        let asn_index: Vec<Asn> = graph.asns().collect();
+        let n = asn_index.len();
+        let mut peer_start = Vec::with_capacity(n + 1);
+        peer_start.push(0);
+        let mut peer_idx = Vec::new();
+        for &asn in &asn_index {
+            for peer in graph.neighbors(asn) {
+                let idx = asn_index
+                    .binary_search(&peer)
+                    .expect("graph links only name graph ASes");
+                peer_idx.push(idx as u32);
+            }
+            peer_start.push(peer_idx.len());
+        }
+        let edges = peer_idx.len();
+        let topo = Arc::new(Topo {
+            asn_index,
+            peer_start,
+            peer_idx,
+            delays: vec![1; edges],
+            assignment: partition.assignment().to_vec(),
+        });
+        let shards = (0..shard_count as u32)
+            .map(|id| Shard {
+                id,
+                topo: Arc::clone(&topo),
+                routers: topo
+                    .asn_index
+                    .iter()
+                    .map(|&asn| Router::new(asn, graph.neighbors(asn).collect()))
+                    .collect(),
+                queue: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                clock_mark: SimTime::ZERO,
+                sessions: vec![SessionCounters::default(); edges],
+                monitor: monitor(),
+                stats: NetworkStats::default(),
+                mrai: 0,
+                mrai_gate: vec![SimTime::ZERO; edges],
+                mrai_pending: vec![BTreeMap::new(); edges],
+                edge_seq: vec![0; edges],
+                epochs: vec![0; edges],
+                epochs_active: false,
+                failed_links: BTreeSet::new(),
+                faults: None,
+                outbox: Vec::new(),
+            })
+            .collect();
+        ShardedNetwork {
+            topo,
+            shards,
+            jobs: jobs.max(1),
+            watchdog: 0,
+            now: SimTime::ZERO,
+            converged_at: SimTime::ZERO,
+            fired_lifetime: 0,
+            pending: Vec::new(),
+            plan_installed: false,
+            cut_links,
+        }
+    }
+
+    /// Like [`ShardedNetwork::with_monitor_factory`], but each directed link
+    /// gets an independent delay drawn uniformly from `1..=max_delay` —
+    /// drawn in the same global link order as the classic engine, so the
+    /// timing pattern depends only on `(graph, seed)`, never on the shard
+    /// count.
+    #[must_use]
+    pub fn with_monitor_and_jitter(
+        graph: &AsGraph,
+        shard_count: usize,
+        jobs: usize,
+        seed: u64,
+        max_delay: u64,
+        monitor: impl Fn() -> M,
+    ) -> Self {
+        let mut net = ShardedNetwork::with_monitor_factory(graph, shard_count, jobs, monitor);
+        let max_delay = max_delay.max(1);
+        let mut rng = sim_engine::rng::from_seed(seed);
+        let mut delays = vec![1u64; net.topo.peer_idx.len()];
+        for (a, b) in graph.links() {
+            let ia = net.topo.index_of(a).expect("link endpoint in graph");
+            let ib = net.topo.index_of(b).expect("link endpoint in graph");
+            let ab = net.topo.edge_between(ia, ib).expect("endpoints adjacent");
+            delays[ab] = rng.gen_range(1..=max_delay);
+            let ba = net.topo.edge_between(ib, ia).expect("endpoints adjacent");
+            delays[ba] = rng.gen_range(1..=max_delay);
+        }
+        let topo = Arc::get_mut(&mut net.topo);
+        match topo {
+            Some(t) => t.delays = delays,
+            // Shards hold clones of the Arc, so rebuild it with new delays.
+            None => {
+                let t = &net.topo;
+                let fresh = Arc::new(Topo {
+                    asn_index: t.asn_index.clone(),
+                    peer_start: t.peer_start.clone(),
+                    peer_idx: t.peer_idx.clone(),
+                    delays,
+                    assignment: t.assignment.clone(),
+                });
+                for shard in &mut net.shards {
+                    shard.topo = Arc::clone(&fresh);
+                }
+                net.topo = fresh;
+            }
+        }
+        net
+    }
+
+    /// Number of shards (always >= 1).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Undirected links whose endpoints landed on different shards.
+    #[must_use]
+    pub fn cut_links(&self) -> usize {
+        self.cut_links
+    }
+
+    /// Total events processed over the network's lifetime (the sharded
+    /// analogue of the classic queue's `fired` counter — replicated fault
+    /// firings are counted once).
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.fired_lifetime
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The ASes in the network, ascending.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.topo.asn_index.iter().copied()
+    }
+
+    /// Read access to a router (served by its owning shard).
+    #[must_use]
+    pub fn router(&self, asn: Asn) -> Option<&Router> {
+        let idx = self.topo.index_of(asn)?;
+        let shard = self.topo.assignment[idx] as usize;
+        Some(&self.shards[shard].routers[idx])
+    }
+
+    /// The best route an AS holds for `prefix`.
+    #[must_use]
+    pub fn best_route(&self, asn: Asn, prefix: Ipv4Prefix) -> Option<&Route> {
+        self.router(asn)?.best_route(prefix)
+    }
+
+    /// The origin AS of the best route an AS holds for `prefix`.
+    #[must_use]
+    pub fn best_origin(&self, asn: Asn, prefix: Ipv4Prefix) -> Option<Asn> {
+        self.router(asn)?.best_origin(prefix)
+    }
+
+    /// Each shard's monitor, in shard order. Observer-scoped state (alarms,
+    /// verifier queries) can be summed across shards; the split of routers
+    /// over monitors follows the partition.
+    pub fn monitors(&self) -> impl Iterator<Item = &M> {
+        self.shards.iter().map(|s| &s.monitor)
+    }
+
+    /// Makes `asn` originate `prefix`, optionally with a MOAS list; mirrors
+    /// [`Network::originate`](crate::Network::originate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not in the network.
+    pub fn originate(&mut self, asn: Asn, prefix: Ipv4Prefix, moas_list: Option<MoasList>) {
+        let mut route = Route::new(prefix, AsPath::new());
+        if let Some(list) = moas_list {
+            route = route.with_moas_list(list);
+        }
+        self.originate_route(asn, route);
+    }
+
+    /// Makes `asn` originate an arbitrary pre-built route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not in the network.
+    pub fn originate_route(&mut self, asn: Asn, route: Route) {
+        self.try_originate_route(asn, route)
+            .expect("originating AS not in network");
+    }
+
+    /// Fallible [`ShardedNetwork::originate_route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAsError`] when `asn` is not in the network.
+    pub fn try_originate_route(&mut self, asn: Asn, route: Route) -> Result<(), UnknownAsError> {
+        let idx = self.topo.index_of(asn).ok_or(UnknownAsError { asn })?;
+        let shard = &mut self.shards[self.topo.assignment[idx] as usize];
+        let updates = shard.routers[idx].originate(route, &mut shard.monitor);
+        shard.enqueue(idx, updates);
+        Ok(())
+    }
+
+    /// Makes `asn` stop originating `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAsError`] when `asn` is not in the network.
+    pub fn try_withdraw(&mut self, asn: Asn, prefix: Ipv4Prefix) -> Result<(), UnknownAsError> {
+        let idx = self.topo.index_of(asn).ok_or(UnknownAsError { asn })?;
+        let shard = &mut self.shards[self.topo.assignment[idx] as usize];
+        let updates = shard.routers[idx].withdraw_origin(prefix, &mut shard.monitor);
+        shard.enqueue(idx, updates);
+        Ok(())
+    }
+
+    /// Enables the minimum route advertisement interval on every shard;
+    /// mirrors [`Network::set_mrai`](crate::Network::set_mrai).
+    pub fn set_mrai(&mut self, ticks: u64) {
+        for shard in &mut self.shards {
+            shard.mrai = ticks;
+        }
+    }
+
+    /// Arms the convergence watchdog: the coordinator fingerprints the global
+    /// routing state whenever the processed-event count crosses a multiple of
+    /// `interval_events` at a round boundary (at most once per boundary) and
+    /// applies the classic three-strike rule. Pass 0 to disable.
+    pub fn set_watchdog(&mut self, interval_events: u64) {
+        self.watchdog = interval_events;
+    }
+
+    /// Installs a fault plan, validated once and replicated onto every shard
+    /// so global events (link failures, session resets) apply everywhere at
+    /// the same virtual time. Per-edge message-fate RNGs are seeded from
+    /// `(plan seed, global edge id)` — see DESIGN.md for why this keeps fault
+    /// streams identical across shard counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] exactly as the classic engine does.
+    pub fn set_fault_plan(&mut self, plan: NetFaultPlan) -> Result<(), FaultPlanError> {
+        if self.plan_installed {
+            return Err(FaultPlanError::AlreadyInstalled);
+        }
+        for entry in plan.timeline() {
+            for asn in entry.event.actors() {
+                if self.topo.index_of(asn).is_none() {
+                    return Err(FaultPlanError::UnknownAs(asn));
+                }
+            }
+            if let FaultEvent::FailLink(a, b)
+            | FaultEvent::RestoreLink(a, b)
+            | FaultEvent::ResetSession(a, b) = entry.event
+            {
+                self.topo.directed_edges(a, b)?;
+            }
+        }
+        let mut models = BTreeMap::new();
+        for (&(a, b), &model) in plan.link_models() {
+            let (ab, ba) = self.topo.directed_edges(a, b)?;
+            models.insert(ab, model);
+            models.insert(ba, model);
+        }
+        let timeline: Vec<TimelineEntry<FaultEvent>> = plan.timeline().to_vec();
+        let remaining: Vec<Option<u64>> = timeline.iter().map(|e| e.count).collect();
+        let edges = self.topo.peer_idx.len();
+        for shard in &mut self.shards {
+            for (i, entry) in timeline.iter().enumerate() {
+                if entry.count == Some(0) {
+                    continue;
+                }
+                let at = SimTime::from_ticks(entry.at).max(shard.now);
+                shard.queue.push(Reverse(Scheduled {
+                    time: at,
+                    key: (2, i as u64, 0),
+                    event: ShardEvent::Fault { entry: i as u32 },
+                }));
+            }
+            shard.faults = Some(Box::new(ShardFaults {
+                seed: plan.seed(),
+                rngs: BTreeMap::new(),
+                models: models.clone(),
+                stats: vec![FaultStats::default(); edges],
+                timeline: timeline.clone(),
+                remaining: remaining.clone(),
+            }));
+        }
+        self.plan_installed = true;
+        Ok(())
+    }
+
+    /// Tears down the link between `a` and `b` on every shard; mirrors
+    /// [`Network::fail_link`](crate::Network::fail_link).
+    pub fn fail_link(&mut self, a: Asn, b: Asn) {
+        for shard in &mut self.shards {
+            shard.fail_link(a, b);
+        }
+    }
+
+    /// Restores a previously failed link on every shard.
+    pub fn restore_link(&mut self, a: Asn, b: Asn) {
+        for shard in &mut self.shards {
+            shard.restore_link(a, b);
+        }
+    }
+
+    /// Resets the BGP session between two peers on every shard.
+    pub fn reset_session(&mut self, a: Asn, b: Asn) {
+        for shard in &mut self.shards {
+            shard.reset_session(a, b);
+        }
+    }
+
+    /// Returns `true` while the link between `a` and `b` is failed.
+    #[must_use]
+    pub fn link_is_down(&self, a: Asn, b: Asn) -> bool {
+        self.shards.first().is_some_and(|s| s.link_is_down(a, b))
+    }
+
+    /// Message counters, merged across shards. Each field is written by
+    /// exactly one owner (sender- or receiver-side), so the merge is a plain
+    /// sum; `converged_at` comes from the coordinator clock.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        let mut total = NetworkStats::default();
+        for shard in &self.shards {
+            total.announcements += shard.stats.announcements;
+            total.withdrawals += shard.stats.withdrawals;
+            total.mrai_coalesced += shard.stats.mrai_coalesced;
+            total.mrai_deferred += shard.stats.mrai_deferred;
+            total.dropped_on_failed_links += shard.stats.dropped_on_failed_links;
+            total.corrupted_dropped += shard.stats.corrupted_dropped;
+        }
+        total.converged_at = self.converged_at;
+        total
+    }
+
+    /// Per-session update counters, merged field-wise across shards (sent-
+    /// side fields live on the sender's owner, received-side fields on the
+    /// receiver's), keyed `(from, to)` ascending by global edge id.
+    #[must_use]
+    pub fn session_counters(&self) -> Vec<((Asn, Asn), SessionCounters)> {
+        let edges = self.topo.peer_idx.len();
+        let mut out = Vec::new();
+        for e in 0..edges {
+            let mut c = SessionCounters::default();
+            for shard in &self.shards {
+                let s = &shard.sessions[e];
+                c.sent_announcements += s.sent_announcements;
+                c.sent_withdrawals += s.sent_withdrawals;
+                c.recv_announcements += s.recv_announcements;
+                c.recv_withdrawals += s.recv_withdrawals;
+            }
+            if !c.is_empty() {
+                out.push((self.topo.edge_endpoints(e), c));
+            }
+        }
+        out
+    }
+
+    /// Per-link fault statistics, merged field-wise across shards. Empty when
+    /// no fault plan is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Vec<((Asn, Asn), FaultStats)> {
+        if !self.plan_installed {
+            return Vec::new();
+        }
+        let edges = self.topo.peer_idx.len();
+        let mut out = Vec::new();
+        for e in 0..edges {
+            let mut total = FaultStats::default();
+            for shard in &self.shards {
+                if let Some(f) = shard.faults.as_deref() {
+                    total.merge(&f.stats[e]);
+                }
+            }
+            if total != FaultStats::default() {
+                out.push((self.topo.edge_endpoints(e), total));
+            }
+        }
+        out
+    }
+
+    /// All per-link fault statistics merged into one block.
+    #[must_use]
+    pub fn fault_stats_total(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for (_, s) in self.fault_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// Order-independent fingerprint of the global routing state: the
+    /// wrapping sum of per-node FNV hashes over every shard's owned routers.
+    /// Identical for every shard count; used by the watchdog and the
+    /// differential tests.
+    #[must_use]
+    pub fn routing_fingerprint(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.fingerprint()))
+    }
+
+    /// Emits the shard-count-invariant slice of the network's observations:
+    /// `sim.events.fired` / `sim.time.final_ticks`, the `net.*` aggregates,
+    /// the Adj-RIB-In histogram, and per-session / per-link counters in
+    /// global edge order. Queue-shape metrics (`sim.events.scheduled`,
+    /// `sim.queue.depth_high_water`) are deliberately omitted — they depend
+    /// on the shard layout, and exporting them would break the bit-identical
+    /// snapshot guarantee.
+    pub fn export_metrics<S: MetricsSink>(&self, sink: &mut S) {
+        if !S::ENABLED {
+            return;
+        }
+        sink.counter_add("sim.events.fired", self.fired_lifetime);
+        sink.gauge_set("sim.time.final_ticks", self.now.ticks());
+        let stats = self.stats();
+        sink.counter_add("net.messages.announcements", stats.announcements);
+        sink.counter_add("net.messages.withdrawals", stats.withdrawals);
+        sink.counter_add("net.messages.mrai_coalesced", stats.mrai_coalesced);
+        sink.counter_add("net.messages.mrai_deferred", stats.mrai_deferred);
+        sink.counter_add(
+            "net.messages.dropped_in_flight",
+            stats.dropped_on_failed_links,
+        );
+        sink.counter_add("net.messages.corrupted_dropped", stats.corrupted_dropped);
+        sink.gauge_set("net.converged_at_ticks", stats.converged_at.ticks());
+        let mut decisions = 0u64;
+        // Walk routers in global node order, reading each from its owner, so
+        // the histogram observation sequence is layout-independent too. One
+        // token resolution keeps the per-router loop free of key hashing.
+        let rib_size = sink.record_token("net.adj_rib_in.size");
+        for (idx, &owner) in self.topo.assignment.iter().enumerate() {
+            let router = &self.shards[owner as usize].routers[idx];
+            decisions += router.decision_count();
+            sink.record_by(rib_size, router.adj_rib_in_size() as u64);
+        }
+        sink.counter_add("net.decision_process.invocations", decisions);
+        let mut key = String::with_capacity(64);
+        for ((a, b), c) in self.session_counters() {
+            key.clear();
+            write!(key, "session.{a}->{b}.").expect("write to String cannot fail");
+            let stem = key.len();
+            for (suffix, value) in [
+                ("sent_announcements", c.sent_announcements),
+                ("sent_withdrawals", c.sent_withdrawals),
+                ("recv_announcements", c.recv_announcements),
+                ("recv_withdrawals", c.recv_withdrawals),
+            ] {
+                key.truncate(stem);
+                key.push_str(suffix);
+                sink.counter_add(&key, value);
+            }
+        }
+        for ((a, b), s) in self.fault_stats() {
+            key.clear();
+            write!(key, "link.{a}->{b}.").expect("write to String cannot fail");
+            let stem = key.len();
+            for (suffix, value) in [
+                ("delivered", s.delivered),
+                ("dropped", s.dropped),
+                ("duplicated", s.duplicated),
+                ("reordered", s.reordered),
+                ("corrupted", s.corrupted),
+                ("dropped_link_down", s.dropped_link_down),
+            ] {
+                key.truncate(stem);
+                key.push_str(suffix);
+                sink.counter_add(&key, value);
+            }
+        }
+    }
+}
+
+impl<M: RouteMonitor + Send + 'static> ShardedNetwork<M> {
+    /// Runs the simulation until no messages remain in flight anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvergenceError`] exactly as the classic engine does.
+    pub fn run(&mut self) -> Result<SimTime, ConvergenceError> {
+        self.run_with_limit(DEFAULT_EVENT_LIMIT)
+    }
+
+    /// Runs until global quiescence or until `max_events` events have been
+    /// processed (budget checks happen at round boundaries, so slightly more
+    /// than `max_events` may be processed before the error is raised —
+    /// deterministically so, for any shard count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvergenceError::BudgetExhausted`] or
+    /// [`ConvergenceError::Oscillating`].
+    pub fn run_with_limit(&mut self, max_events: u64) -> Result<SimTime, ConvergenceError> {
+        // Setup calls (originate, fault application between runs) may have
+        // produced cross-shard messages; pull them into the pending pool.
+        for shard in &mut self.shards {
+            self.pending.append(&mut shard.outbox);
+        }
+        let next_times: Vec<Option<SimTime>> = self.shards.iter().map(Shard::peek_time).collect();
+        let queue_lens: Vec<usize> = self.shards.iter().map(|s| s.queue.len()).collect();
+        let shards = std::mem::take(&mut self.shards);
+        let use_pool = self.jobs > 1 && shards.len() > 1;
+        let mut driver = if use_pool {
+            Driver::Pool(minipool::Crew::spawn(shards, |shard, cmd| {
+                shard.execute(cmd)
+            }))
+        } else {
+            Driver::Inline(shards)
+        };
+        let result = self.drive(&mut driver, max_events, next_times, queue_lens);
+        self.shards = driver.into_shards();
+        result
+    }
+
+    /// The coordinator loop: one barrier round per distinct event timestamp.
+    ///
+    /// `T_next` is the minimum of every shard's next local event time and
+    /// every pending cross-shard message's delivery time; since `T_next` is
+    /// that minimum, every pending message satisfies `deliver_at >= T_next`
+    /// and can safely be forwarded each round — no message from the past can
+    /// ever reach a shard.
+    fn drive(
+        &mut self,
+        driver: &mut Driver<M>,
+        max_events: u64,
+        mut next_times: Vec<Option<SimTime>>,
+        mut queue_lens: Vec<usize>,
+    ) -> Result<SimTime, ConvergenceError> {
+        let n = next_times.len();
+        let mut fired_run = 0u64;
+        let mut seen: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+        let mut next_check = self.watchdog;
+        loop {
+            let mut t: Option<SimTime> = next_times.iter().flatten().copied().min();
+            if let Some(p) = self.pending.iter().map(|(_, s)| s.time).min() {
+                t = Some(t.map_or(p, |x| x.min(p)));
+            }
+            let Some(t) = t else {
+                break;
+            };
+            let mut inboxes: Vec<Vec<Scheduled>> = vec![Vec::new(); n];
+            for (dest, msg) in self.pending.drain(..) {
+                inboxes[dest as usize].push(msg);
+            }
+            let cmds: Vec<Cmd> = inboxes
+                .into_iter()
+                .map(|inbox| Cmd::Step { time: t, inbox })
+                .collect();
+            for (i, reply) in driver.round(cmds).into_iter().enumerate() {
+                let RoundReply::Step(r) = reply else {
+                    unreachable!("Step command returns a Step reply");
+                };
+                fired_run += r.fired;
+                self.fired_lifetime += r.fired;
+                if i == 0 {
+                    fired_run += r.fault_fired;
+                    self.fired_lifetime += r.fault_fired;
+                }
+                next_times[i] = r.next_time;
+                queue_lens[i] = r.queue_len;
+                self.pending.extend(r.outbox);
+            }
+            self.now = t;
+            if fired_run > max_events {
+                return Err(ConvergenceError::BudgetExhausted {
+                    processed: fired_run,
+                    pending: queue_lens.iter().sum::<usize>() + self.pending.len(),
+                });
+            }
+            let work_left = next_times.iter().any(Option::is_some) || !self.pending.is_empty();
+            if self.watchdog > 0 && fired_run >= next_check && work_left {
+                let fp =
+                    driver
+                        .round(vec![Cmd::Fingerprint; n])
+                        .into_iter()
+                        .fold(0u64, |acc, r| {
+                            let RoundReply::Fingerprint(h) = r else {
+                                unreachable!("Fingerprint command returns a hash");
+                            };
+                            acc.wrapping_add(h)
+                        });
+                match seen.get_mut(&fp) {
+                    None => {
+                        seen.insert(fp, (fired_run, 1));
+                    }
+                    Some((last, hits)) => {
+                        let cycle_len = fired_run - *last;
+                        *last = fired_run;
+                        *hits += 1;
+                        if *hits >= WATCHDOG_STRIKES {
+                            return Err(ConvergenceError::Oscillating { cycle_len });
+                        }
+                    }
+                }
+                // One check per boundary even if a busy round crossed several
+                // watchdog intervals at once.
+                next_check = (fired_run / self.watchdog + 1) * self.watchdog;
+            }
+        }
+        self.converged_at = self.now;
+        Ok(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+    use as_topology::{AsRole, InternetModel};
+    use sim_engine::fault::FaultPlan;
+
+    fn figure1_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_as(Asn(4), AsRole::Stub);
+        for t in [1, 2, 3] {
+            g.add_as(Asn(t), AsRole::Transit);
+        }
+        g.add_link(Asn(4), Asn(2));
+        g.add_link(Asn(4), Asn(3));
+        g.add_link(Asn(2), Asn(1));
+        g.add_link(Asn(3), Asn(1));
+        g
+    }
+
+    fn p() -> Ipv4Prefix {
+        "208.8.0.0/16".parse().unwrap()
+    }
+
+    /// Everything a trial observes, collected from one sharded run.
+    fn observe(
+        graph: &AsGraph,
+        shards: usize,
+        jobs: usize,
+    ) -> (Vec<Option<Asn>>, NetworkStats, u64, u64) {
+        let victim = graph.stub_asns()[0];
+        let attacker = *graph.stub_asns().last().unwrap();
+        let prefix = as_topology::prefix_for_asn(victim);
+        let mut net =
+            ShardedNetwork::with_monitor_and_jitter(graph, shards, jobs, 11, 4, || NoopMonitor);
+        net.set_mrai(6);
+        net.originate(victim, prefix, None);
+        net.run().unwrap();
+        net.originate(attacker, prefix, None);
+        net.run().unwrap();
+        let origins = graph.asns().map(|a| net.best_origin(a, prefix)).collect();
+        (
+            origins,
+            net.stats(),
+            net.routing_fingerprint(),
+            net.events_fired(),
+        )
+    }
+
+    #[test]
+    fn figure1_converges_on_two_shards() {
+        let mut net = ShardedNetwork::new(&figure1_graph(), 2);
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        for asn in [1, 2, 3, 4] {
+            assert_eq!(net.best_origin(Asn(asn), p()), Some(Asn(4)), "AS {asn}");
+        }
+        assert!(net.stats().total_messages() > 0);
+        assert!(net.cut_links() <= 4);
+    }
+
+    #[test]
+    fn shard_counts_agree_bit_for_bit() {
+        let graph = InternetModel::new()
+            .transit_count(8)
+            .stub_count(40)
+            .build(2);
+        let reference = observe(&graph, 1, 1);
+        for shards in [2, 3, 4] {
+            assert_eq!(observe(&graph, shards, 1), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn pooled_execution_matches_inline() {
+        let graph = InternetModel::new()
+            .transit_count(8)
+            .stub_count(40)
+            .build(5);
+        assert_eq!(observe(&graph, 4, 1), observe(&graph, 4, 4));
+    }
+
+    #[test]
+    fn fault_plans_are_shard_count_invariant() {
+        let graph = InternetModel::new()
+            .transit_count(8)
+            .stub_count(30)
+            .build(9);
+        let victim = graph.stub_asns()[0];
+        let hub = graph.transit_asns()[0];
+        let hub_peer = graph.neighbors(hub).next().unwrap();
+        let prefix = as_topology::prefix_for_asn(victim);
+        let run = |shards: usize| {
+            let mut net =
+                ShardedNetwork::with_monitor_and_jitter(&graph, shards, 1, 3, 4, || NoopMonitor);
+            let mut plan = FaultPlan::new(77);
+            plan.set_link_model(
+                (hub, hub_peer),
+                LinkFaultModel {
+                    drop: 0.2,
+                    corrupt: 0.1,
+                    duplicate: 0.1,
+                    reorder: 0.2,
+                    max_extra_delay: 3,
+                },
+            );
+            plan.at(5, FaultEvent::FailLink(hub, hub_peer));
+            plan.at(20, FaultEvent::RestoreLink(hub, hub_peer));
+            plan.at(30, FaultEvent::ResetSession(hub, hub_peer));
+            net.set_fault_plan(plan).unwrap();
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            let origins: Vec<Option<Asn>> =
+                graph.asns().map(|a| net.best_origin(a, prefix)).collect();
+            (
+                origins,
+                net.stats(),
+                net.fault_stats(),
+                net.session_counters(),
+                net.routing_fingerprint(),
+                net.events_fired(),
+            )
+        };
+        let reference = run(1);
+        for shards in [2, 4] {
+            assert_eq!(run(shards), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshots_are_identical_across_shard_counts() {
+        use minimetrics::RecordingSink;
+        let graph = InternetModel::new()
+            .transit_count(6)
+            .stub_count(24)
+            .build(4);
+        let victim = graph.stub_asns()[0];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let snapshot = |shards: usize| {
+            let mut net =
+                ShardedNetwork::with_monitor_and_jitter(&graph, shards, 1, 8, 4, || NoopMonitor);
+            net.set_mrai(5);
+            net.originate(victim, prefix, None);
+            net.run().unwrap();
+            let mut sink = RecordingSink::new();
+            net.export_metrics(&mut sink);
+            sink.into_snapshot()
+        };
+        let reference = snapshot(1);
+        assert!(reference.counters["sim.events.fired"] > 0);
+        assert_eq!(snapshot(2), reference);
+        assert_eq!(snapshot(4), reference);
+    }
+
+    #[test]
+    fn single_shard_agrees_with_classic_engine_semantics() {
+        // The sharded engine orders same-timestamp events intrinsically, the
+        // classic engine by arrival; outcomes that don't hinge on same-tick
+        // tie-breaks (reachability, message conservation) must agree.
+        let graph = InternetModel::new()
+            .transit_count(6)
+            .stub_count(24)
+            .build(8);
+        let victim = graph.stub_asns()[1];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let mut classic = Network::with_monitor_and_jitter(&graph, NoopMonitor, 8, 4);
+        classic.originate(victim, prefix, None);
+        classic.run().unwrap();
+        let mut sharded =
+            ShardedNetwork::with_monitor_and_jitter(&graph, 1, 1, 8, 4, || NoopMonitor);
+        sharded.originate(victim, prefix, None);
+        sharded.run().unwrap();
+        for asn in graph.asns() {
+            assert_eq!(
+                classic.best_origin(asn, prefix),
+                sharded.best_origin(asn, prefix),
+                "{asn}"
+            );
+        }
+        assert_eq!(classic.stats().converged_at, sharded.stats().converged_at);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let graph = InternetModel::new()
+            .transit_count(10)
+            .stub_count(50)
+            .build(1);
+        let victim = graph.stub_asns()[0];
+        let mut net = ShardedNetwork::new(&graph, 2);
+        net.originate(victim, as_topology::prefix_for_asn(victim), None);
+        match net.run_with_limit(3).unwrap_err() {
+            ConvergenceError::BudgetExhausted { processed, .. } => assert!(processed > 3),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_catches_oscillation_identically_per_shard_count() {
+        // An unbounded origin flap with no MRAI never converges; the watchdog
+        // must catch it with the same verdict for every shard count.
+        let graph = InternetModel::new()
+            .transit_count(6)
+            .stub_count(20)
+            .build(6);
+        let victim = graph.stub_asns()[0];
+        let prefix = as_topology::prefix_for_asn(victim);
+        let verdict = |shards: usize| {
+            let mut net =
+                ShardedNetwork::with_monitor_and_jitter(&graph, shards, 1, 2, 3, || NoopMonitor);
+            net.set_watchdog(64);
+            let mut plan = FaultPlan::new(5);
+            plan.every(
+                4,
+                8,
+                None,
+                FaultEvent::ToggleOrigin {
+                    asn: victim,
+                    route: Route::new(prefix, AsPath::new()),
+                },
+            );
+            net.set_fault_plan(plan).unwrap();
+            net.originate(victim, prefix, None);
+            net.run_with_limit(2_000_000).unwrap_err()
+        };
+        let reference = verdict(1);
+        assert!(
+            matches!(
+                reference,
+                ConvergenceError::Oscillating { .. } | ConvergenceError::BudgetExhausted { .. }
+            ),
+            "flap must not converge: {reference:?}"
+        );
+        assert_eq!(verdict(2), reference);
+        assert_eq!(verdict(4), reference);
+    }
+
+    #[test]
+    fn link_failure_between_runs_reroutes() {
+        let mut net = ShardedNetwork::new(&figure1_graph(), 3);
+        net.originate(Asn(4), p(), None);
+        net.run().unwrap();
+        net.fail_link(Asn(1), Asn(2));
+        net.run().unwrap();
+        assert_eq!(
+            net.best_route(Asn(1), p()).unwrap().as_path().to_string(),
+            "3 4"
+        );
+        assert!(net.link_is_down(Asn(2), Asn(1)));
+        net.restore_link(Asn(1), Asn(2));
+        net.run().unwrap();
+        assert!(net.best_route(Asn(1), p()).is_some());
+    }
+
+    #[test]
+    fn empty_graph_runs_to_nothing() {
+        let mut net = ShardedNetwork::new(&AsGraph::new(), 4);
+        assert_eq!(net.run().unwrap(), SimTime::ZERO);
+        assert_eq!(net.events_fired(), 0);
+    }
+}

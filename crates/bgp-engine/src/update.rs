@@ -1,12 +1,12 @@
 //! In-flight updates with reference-counted announce payloads.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bgp_types::{Ipv4Prefix, Route, Update};
 
 /// A BGP update as it travels through the simulator's event queue.
 ///
-/// Announce payloads sit behind an [`Rc`], so a router fanning one new best
+/// Announce payloads sit behind an [`Arc`], so a router fanning one new best
 /// route out to `k` peers enqueues `k` pointer copies of a single [`Route`]
 /// instead of `k` deep clones (AS path, communities and all). The receiving
 /// router installs the same shared payload straight into its Adj-RIB-In;
@@ -18,7 +18,7 @@ use bgp_types::{Ipv4Prefix, Route, Update};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SharedUpdate {
     /// Announce a (shared) route.
-    Announce(Rc<Route>),
+    Announce(Arc<Route>),
     /// Withdraw any previously announced route for the prefix.
     Withdraw(Ipv4Prefix),
 }
@@ -27,7 +27,7 @@ impl SharedUpdate {
     /// Wraps an owned route as a shareable announcement.
     #[must_use]
     pub fn announce(route: Route) -> Self {
-        SharedUpdate::Announce(Rc::new(route))
+        SharedUpdate::Announce(Arc::new(route))
     }
 
     /// A withdrawal for `prefix`.
@@ -66,7 +66,7 @@ impl SharedUpdate {
     pub fn into_update(self) -> Update {
         match self {
             SharedUpdate::Announce(route) => {
-                Update::Announce(Rc::try_unwrap(route).unwrap_or_else(|rc| (*rc).clone()))
+                Update::Announce(Arc::try_unwrap(route).unwrap_or_else(|rc| (*rc).clone()))
             }
             SharedUpdate::Withdraw(prefix) => Update::Withdraw(prefix),
         }
@@ -110,7 +110,7 @@ mod tests {
         let b = a.clone();
         match (&a, &b) {
             (SharedUpdate::Announce(x), SharedUpdate::Announce(y)) => {
-                assert!(Rc::ptr_eq(x, y));
+                assert!(Arc::ptr_eq(x, y));
             }
             _ => unreachable!(),
         }

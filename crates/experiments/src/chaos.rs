@@ -25,7 +25,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use as_topology::{AsGraph, InternetModel};
-use bgp_engine::{ConvergenceError, FaultEvent, NetFaultPlan, Network};
+use bgp_engine::{ConvergenceError, FaultEvent, NetFaultPlan, Network, ShardedNetwork};
 use bgp_types::{AsPath, Asn, Ipv4Prefix, MoasList, Route};
 use minimetrics::{MetricsSink, MetricsSnapshot, NoopSink, RecordingSink, Scoped};
 use moas_core::{
@@ -68,18 +68,25 @@ pub enum ChaosScenario {
     /// converges. The convergence watchdog must terminate it with
     /// [`ConvergenceError::Oscillating`].
     FlapStorm,
+    /// A backup origin flaps *faster than the MRAI window*: every flap edge
+    /// lands while the per-peer timers are still closed, so updates are
+    /// deferred and coalesced instead of propagating immediately. Exercises
+    /// detection latency when the attack itself sits behind closed MRAI
+    /// timers.
+    MraiDeferral,
 }
 
 impl ChaosScenario {
     /// All scenarios, in catalog order.
     #[must_use]
-    pub fn all() -> [ChaosScenario; 5] {
+    pub fn all() -> [ChaosScenario; 6] {
         [
             ChaosScenario::Failover,
             ChaosScenario::OriginFlap,
             ChaosScenario::LossyCore,
             ChaosScenario::SessionReset,
             ChaosScenario::FlapStorm,
+            ChaosScenario::MraiDeferral,
         ]
     }
 
@@ -92,6 +99,7 @@ impl ChaosScenario {
             ChaosScenario::LossyCore => "lossy-core",
             ChaosScenario::SessionReset => "session-reset",
             ChaosScenario::FlapStorm => "flap-storm",
+            ChaosScenario::MraiDeferral => "mrai-deferral",
         }
     }
 }
@@ -110,7 +118,7 @@ impl fmt::Display for UnknownScenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown scenario '{}' (expected one of: failover, origin-flap, lossy-core, session-reset, flap-storm)",
+            "unknown scenario '{}' (expected one of: failover, origin-flap, lossy-core, session-reset, flap-storm, mrai-deferral)",
             self.0
         )
     }
@@ -247,6 +255,8 @@ struct TrialResult {
     duplicated: u64,
     /// Fault-model extra-delay reorders in the churn-only run.
     reordered: u64,
+    /// Updates held back by a closed MRAI window in the churn-only run.
+    mrai_deferred: u64,
 }
 
 /// The aggregated report of one chaos run — the `BENCH_chaos.json` payload.
@@ -285,6 +295,9 @@ pub struct ChaosReport {
     pub mean_duplicated: f64,
     /// Mean reordered (extra-delayed) messages per trial.
     pub mean_reordered: f64,
+    /// Mean updates deferred by a closed MRAI window per churn-only trial
+    /// (nonzero only in scenarios that enable MRAI).
+    pub mean_mrai_deferred: f64,
 }
 
 json::impl_json_struct!(ChaosReport {
@@ -303,6 +316,7 @@ json::impl_json_struct!(ChaosReport {
     mean_corrupted,
     mean_duplicated,
     mean_reordered,
+    mean_mrai_deferred,
 });
 
 impl ChaosReport {
@@ -468,6 +482,60 @@ pub fn run_chaos_metrics_jobs(config: &ChaosConfig, jobs: usize) -> (ChaosReport
     (aggregate(config, &trial_results), snapshot)
 }
 
+/// [`run_chaos_jobs`] through the deterministic sharded engine: trials run
+/// one at a time, each fanned over `shards` partition engines on up to
+/// `jobs` worker threads (intra-trial parallelism where [`run_chaos_jobs`]
+/// is inter-trial). Bit-identical for every `(shards, jobs)` pair.
+///
+/// Not guaranteed bit-identical to the classic driver: the sharded engine
+/// breaks same-tick ties with an intrinsic event order and draws lossy-link
+/// fault fates from per-edge RNG streams (the classic engine consumes one
+/// global stream in delivery order), so fault-model scenarios may diverge
+/// numerically while remaining statistically equivalent.
+///
+/// # Panics
+///
+/// Same conditions as [`run_chaos_jobs`].
+#[must_use]
+pub fn run_chaos_sharded(config: &ChaosConfig, shards: usize, jobs: usize) -> ChaosReport {
+    let graph = chaos_graph(config);
+    let plans = plan_casts(&graph, config);
+    let results: Vec<TrialResult> = plans
+        .iter()
+        .map(|cast| run_one_sharded(&graph, config, cast, 1.0, shards, jobs, &mut NoopSink))
+        .collect();
+    aggregate(config, &results)
+}
+
+/// [`run_chaos_sharded`] with observability: per-trial [`RecordingSink`]
+/// snapshots merged in plan order, mirroring [`run_chaos_metrics_jobs`]. The
+/// snapshot only contains the shard-count-invariant metrics subset the
+/// sharded engine exports.
+///
+/// # Panics
+///
+/// Same conditions as [`run_chaos_jobs`].
+#[must_use]
+pub fn run_chaos_sharded_metrics(
+    config: &ChaosConfig,
+    shards: usize,
+    jobs: usize,
+) -> (ChaosReport, MetricsSnapshot) {
+    let graph = chaos_graph(config);
+    let plans = plan_casts(&graph, config);
+    let mut snapshot = MetricsSnapshot::new();
+    let results: Vec<TrialResult> = plans
+        .iter()
+        .map(|cast| {
+            let mut sink = RecordingSink::new();
+            let result = run_one_sharded(&graph, config, cast, 1.0, shards, jobs, &mut sink);
+            snapshot.merge(&sink.into_snapshot());
+            result
+        })
+        .collect();
+    (aggregate(config, &results), snapshot)
+}
+
 /// The generated topology a chaos run plays out on.
 fn chaos_graph(config: &ChaosConfig) -> AsGraph {
     InternetModel::new()
@@ -570,6 +638,12 @@ fn aggregate(config: &ChaosConfig, results: &[TrialResult]) -> ChaosReport {
             &results
                 .iter()
                 .map(|r| r.reordered as f64)
+                .collect::<Vec<_>>(),
+        ),
+        mean_mrai_deferred: mean(
+            &results
+                .iter()
+                .map(|r| r.mrai_deferred as f64)
                 .collect::<Vec<_>>(),
         ),
     }
@@ -707,6 +781,25 @@ fn build_scenario(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> Sc
             scenario.watchdog = WATCHDOG_EVERY;
             scenario.expect_oscillation = true;
         }
+        ChaosScenario::MraiDeferral => {
+            // Six flap edges 10 ticks apart under a 30-tick MRAI window:
+            // every edge after the first lands while the timers are still
+            // closed, so it is deferred (and mostly coalesced away) rather
+            // than propagated. Bounded churn — must converge once the last
+            // window flushes.
+            plan.every(
+                T_CHURN,
+                10,
+                Some(6),
+                FaultEvent::ToggleOrigin {
+                    asn: cast.partner,
+                    route: bare,
+                },
+            );
+            scenario.origin_list = None;
+            scenario.partner_originates = false;
+            scenario.mrai = 30;
+        }
     }
     scenario.plan = plan;
     scenario
@@ -775,11 +868,13 @@ fn run_one<S: MetricsSink>(
         _ => 0,
     };
     let faults = churn_net.fault_stats_total();
+    let mrai_deferred = churn_net.stats().mrai_deferred;
     let churn_alarms = churn_net.monitor().alarms().len() as u64;
     if S::ENABLED {
         churn_net.export_metrics(&mut Scoped::new(sink, "churn"));
         sink.counter_add("chaos.trials", 1);
         sink.counter_add("chaos.churn_alarms", churn_alarms);
+        sink.counter_add("chaos.mrai_deferred", mrai_deferred);
         if oscillated {
             sink.counter_add("chaos.oscillating_trials", 1);
             sink.record("chaos.cycle_len", cycle_len);
@@ -850,7 +945,199 @@ fn run_one<S: MetricsSink>(
         corrupted: faults.corrupted,
         duplicated: faults.duplicated,
         reordered: faults.reordered,
+        mrai_deferred,
     }
+}
+
+/// [`run_one`] on the sharded engine: alarm counts and detection latency are
+/// summed/min-folded across the per-shard monitors, which reproduces the
+/// single-monitor totals because alarms and verifier queries are
+/// observer-scoped.
+#[allow(clippy::too_many_arguments)]
+fn run_one_sharded<S: MetricsSink>(
+    graph: &AsGraph,
+    config: &ChaosConfig,
+    cast: &TrialPlan,
+    deployment_fraction: f64,
+    shards: usize,
+    jobs: usize,
+    sink: &mut S,
+) -> TrialResult {
+    let prefix: Ipv4Prefix = crate::VICTIM_PREFIX
+        .parse()
+        .expect("victim prefix constant");
+    let valid_list: MoasList = [cast.victim, cast.partner].into_iter().collect();
+
+    let deployment = deployment_for(graph, cast, deployment_fraction);
+
+    // Churn-only run: every alarm is noise.
+    let scenario = build_scenario(graph, config, cast);
+    let (churn_net, churn_err) = run_scenario_sharded(
+        graph,
+        config,
+        cast,
+        &scenario,
+        deployment.clone(),
+        None,
+        shards,
+        jobs,
+    );
+    let oscillated = matches!(churn_err, Some(ConvergenceError::Oscillating { .. }));
+    assert_eq!(
+        oscillated, scenario.expect_oscillation,
+        "scenario {} convergence surprise: {churn_err:?}",
+        config.scenario
+    );
+    let cycle_len = match churn_err {
+        Some(ConvergenceError::Oscillating { cycle_len }) => cycle_len,
+        _ => 0,
+    };
+    let faults = churn_net.fault_stats_total();
+    let churn_stats = churn_net.stats();
+    let mrai_deferred = churn_stats.mrai_deferred;
+    let churn_alarms: u64 = churn_net.monitors().map(|m| m.alarms().len() as u64).sum();
+    if S::ENABLED {
+        churn_net.export_metrics(&mut Scoped::new(sink, "churn"));
+        sink.counter_add("chaos.trials", 1);
+        sink.counter_add("chaos.churn_alarms", churn_alarms);
+        sink.counter_add("chaos.mrai_deferred", mrai_deferred);
+        if oscillated {
+            sink.counter_add("chaos.oscillating_trials", 1);
+            sink.record("chaos.cycle_len", cycle_len);
+        } else {
+            sink.record(
+                "chaos.convergence_ticks.churn",
+                churn_stats.converged_at.ticks(),
+            );
+        }
+    }
+
+    // Churn + attack run: measure detection of a forged origin injected
+    // mid-churn (skipped for the non-converging storm).
+    let latency = if scenario.expect_oscillation {
+        None
+    } else {
+        let scenario = build_scenario(graph, config, cast);
+        let forged = FalseOriginAttack::new(ListForgery::IncludeSelf).forged_route(
+            prefix,
+            cast.attacker,
+            &valid_list,
+        );
+        let (attack_net, attack_err) = run_scenario_sharded(
+            graph,
+            config,
+            cast,
+            &scenario,
+            deployment,
+            Some(FaultEvent::Announce {
+                asn: cast.attacker,
+                route: forged,
+            }),
+            shards,
+            jobs,
+        );
+        assert!(
+            attack_err.is_none(),
+            "attack run must converge: {attack_err:?}"
+        );
+        let latency = attack_net
+            .monitors()
+            .flat_map(|m| m.alarms().iter())
+            .filter(|a| a.resolution == Resolution::Confirmed)
+            .map(|a| a.at.ticks())
+            .filter(|&at| at >= T_ATTACK)
+            .min()
+            .map(|at| at - T_ATTACK);
+        if S::ENABLED {
+            attack_net.export_metrics(&mut Scoped::new(sink, "attack"));
+            sink.record(
+                "chaos.convergence_ticks.attack",
+                attack_net.stats().converged_at.ticks(),
+            );
+            match latency {
+                Some(l) => sink.record("chaos.detection_latency_ticks", l),
+                None => sink.counter_add("chaos.missed_detections", 1),
+            }
+        }
+        latency
+    };
+
+    TrialResult {
+        churn_alarms,
+        latency,
+        oscillated,
+        cycle_len,
+        messages: churn_stats.total_messages(),
+        dropped: faults.dropped,
+        corrupted: faults.corrupted,
+        duplicated: faults.duplicated,
+        reordered: faults.reordered,
+        mrai_deferred,
+    }
+}
+
+/// [`run_scenario`] on the sharded engine: one monitor per shard, cloned
+/// from the same config and registry, so the union of the per-shard alarm
+/// logs equals the classic single log for any partition.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario_sharded(
+    graph: &AsGraph,
+    config: &ChaosConfig,
+    cast: &TrialPlan,
+    scenario: &Scenario,
+    deployment: Deployment,
+    attack: Option<FaultEvent>,
+    shards: usize,
+    jobs: usize,
+) -> (
+    ShardedNetwork<MoasMonitor<RegistryVerifier>>,
+    Option<ConvergenceError>,
+) {
+    let prefix: Ipv4Prefix = crate::VICTIM_PREFIX
+        .parse()
+        .expect("victim prefix constant");
+    let valid_list: MoasList = [cast.victim, cast.partner].into_iter().collect();
+
+    let monitor = || {
+        let mut registry = RegistryVerifier::new();
+        registry.register(prefix, valid_list.clone());
+        MoasMonitor::new(
+            MoasConfig {
+                deployment: deployment.clone(),
+                strippers: scenario.strippers.clone(),
+                on_unresolved: UnresolvedPolicy::Accept,
+            },
+            registry,
+        )
+    };
+    let mut net = ShardedNetwork::with_monitor_and_jitter(
+        graph,
+        shards,
+        jobs,
+        cast.seed,
+        config.max_link_delay,
+        monitor,
+    );
+    net.set_mrai(scenario.mrai);
+    net.set_watchdog(scenario.watchdog);
+
+    let mut plan = scenario.plan.clone();
+    if let Some(event) = attack {
+        plan.at(T_ATTACK, event);
+    }
+    net.set_fault_plan(plan).expect("planned casts are valid");
+
+    net.originate(cast.victim, prefix, scenario.origin_list.clone());
+    if scenario.partner_originates {
+        net.originate(cast.partner, prefix, scenario.origin_list.clone());
+    }
+
+    let err = match net.run() {
+        Ok(_) => None,
+        Err(err @ ConvergenceError::Oscillating { .. }) => Some(err),
+        Err(err) => panic!("chaos trial blew its event budget: {err}"),
+    };
+    (net, err)
 }
 
 /// Builds the network for one run, installs the (possibly attack-augmented)
@@ -970,6 +1257,31 @@ mod tests {
         assert!(report.mean_cycle_len > 0.0);
         assert_eq!(report.detected_trials, 0);
         assert_eq!(report.missed_detection_rate, 0.0);
+    }
+
+    #[test]
+    fn mrai_deferral_defers_updates_and_still_detects() {
+        let report = run_chaos(&ChaosConfig::quick(ChaosScenario::MraiDeferral));
+        assert_eq!(report.oscillating_trials, 0);
+        assert!(
+            report.mean_mrai_deferred > 0.0,
+            "flapping faster than the MRAI window must defer updates"
+        );
+        assert!(report.detected_trials > 0, "attacks must still be detected");
+    }
+
+    #[test]
+    fn sharded_chaos_is_shard_count_invariant() {
+        let config = ChaosConfig::quick(ChaosScenario::MraiDeferral);
+        let one = run_chaos_sharded(&config, 1, 1);
+        assert!(one.mean_mrai_deferred > 0.0);
+        for shards in [2, 4] {
+            assert_eq!(
+                run_chaos_sharded(&config, shards, 2),
+                one,
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

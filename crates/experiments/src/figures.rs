@@ -4,7 +4,7 @@ use as_topology::paper::PaperTopology;
 use minimetrics::MetricsSnapshot;
 
 use crate::report::{FigureReport, SeriesReport};
-use crate::sweep::{run_sweep_metrics_jobs, SweepConfig};
+use crate::sweep::{run_sweep_metrics_jobs, run_sweep_sharded, SweepConfig};
 
 /// Experiment 1 (Figure 9): effectiveness of the MOAS list on the 46-AS
 /// topology, comparing Normal BGP against Full MOAS Detection, with
@@ -74,6 +74,56 @@ pub fn experiment1_metrics_jobs(
     (report, metrics)
 }
 
+/// [`experiment1`] through the deterministic sharded engine: each sweep's
+/// trials run one at a time, fanned over `shards` partition engines on up to
+/// `jobs` worker threads. Bit-identical for every `(shards, jobs)` pair (see
+/// [`run_sweep_sharded`]); not guaranteed byte-identical to the classic
+/// engine's figure, whose same-tick tie-breaks differ.
+#[must_use]
+pub fn experiment1_sharded(
+    origin_count: usize,
+    base: &SweepConfig,
+    shards: usize,
+    jobs: usize,
+) -> FigureReport {
+    let graph = PaperTopology::As46.graph();
+    let normal = run_sweep_sharded(
+        graph,
+        &base
+            .clone()
+            .origin_count(origin_count)
+            .deployment_fraction(0.0),
+        shards,
+        jobs,
+    );
+    let full = run_sweep_sharded(
+        graph,
+        &base
+            .clone()
+            .origin_count(origin_count)
+            .deployment_fraction(1.0),
+        shards,
+        jobs,
+    );
+    FigureReport::new(
+        format!("fig9{}", if origin_count == 1 { "a" } else { "b" }),
+        format!(
+            "Spoof-resilience of the MOAS scheme in the 46-AS topology ({origin_count} origin AS{})",
+            if origin_count == 1 { "" } else { "es" }
+        ),
+        vec![
+            SeriesReport {
+                label: "Normal BGP".into(),
+                points: normal,
+            },
+            SeriesReport {
+                label: "Full MOAS Detection".into(),
+                points: full,
+            },
+        ],
+    )
+}
+
 /// Experiment 2 (Figure 10): topology-size comparison — 25, 46 and 63 AS
 /// topologies, Normal BGP vs Full MOAS Detection, for `origin_count` ∈ {1, 2}.
 #[must_use]
@@ -132,6 +182,48 @@ pub fn experiment2_metrics_jobs(
     (report, metrics)
 }
 
+/// [`experiment2`] through the deterministic sharded engine (see
+/// [`experiment1_sharded`] for the execution model and determinism contract).
+#[must_use]
+pub fn experiment2_sharded(
+    origin_count: usize,
+    base: &SweepConfig,
+    shards: usize,
+    jobs: usize,
+) -> FigureReport {
+    let mut series = Vec::new();
+    for deployment in [0.0, 1.0] {
+        for topology in PaperTopology::ALL {
+            let points = run_sweep_sharded(
+                topology.graph(),
+                &base
+                    .clone()
+                    .origin_count(origin_count)
+                    .deployment_fraction(deployment),
+                shards,
+                jobs,
+            );
+            let mode = if deployment == 0.0 {
+                "Normal BGP"
+            } else {
+                "Full MOAS Detection"
+            };
+            series.push(SeriesReport {
+                label: format!("{topology} {mode}"),
+                points,
+            });
+        }
+    }
+    FigureReport::new(
+        format!("fig10{}", if origin_count == 1 { "a" } else { "b" }),
+        format!(
+            "Comparison between 25-AS, 46-AS and 63-AS topologies ({origin_count} origin AS{})",
+            if origin_count == 1 { "" } else { "es" }
+        ),
+        series,
+    )
+}
+
 /// Experiment 3 (Figure 11): partial deployment — none / half / full MOAS
 /// detection on one of the paper's topologies (the paper shows 46-AS and
 /// 63-AS panels).
@@ -178,6 +270,40 @@ pub fn experiment3_metrics_jobs(
         series,
     );
     (report, metrics)
+}
+
+/// [`experiment3`] through the deterministic sharded engine (see
+/// [`experiment1_sharded`] for the execution model and determinism contract).
+#[must_use]
+pub fn experiment3_sharded(
+    topology: PaperTopology,
+    base: &SweepConfig,
+    shards: usize,
+    jobs: usize,
+) -> FigureReport {
+    let graph = topology.graph();
+    let mut series = Vec::new();
+    for (fraction, label) in [
+        (0.0, "Normal BGP"),
+        (0.5, "Half MOAS Detection"),
+        (1.0, "Full MOAS Detection"),
+    ] {
+        let points = run_sweep_sharded(
+            graph,
+            &base.clone().deployment_fraction(fraction),
+            shards,
+            jobs,
+        );
+        series.push(SeriesReport {
+            label: label.into(),
+            points,
+        });
+    }
+    FigureReport::new(
+        format!("fig11-{}", topology.size()),
+        format!("Partial vs complete deployment of MOAS detection ({topology} topology)"),
+        series,
+    )
 }
 
 #[cfg(test)]

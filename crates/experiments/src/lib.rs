@@ -68,12 +68,14 @@ pub use ablation::{
 };
 pub use chaos::{
     run_chaos, run_chaos_deployment_jobs, run_chaos_jobs, run_chaos_metrics_jobs,
-    run_deployment_sweep_jobs, ChaosConfig, ChaosReport, ChaosScenario, DeploymentSweep,
-    DeploymentSweepPoint, UnknownScenario, DEPLOYMENT_SWEEP_FRACTIONS,
+    run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs, ChaosConfig,
+    ChaosReport, ChaosScenario, DeploymentSweep, DeploymentSweepPoint, UnknownScenario,
+    DEPLOYMENT_SWEEP_FRACTIONS,
 };
 pub use figures::{
-    experiment1, experiment1_jobs, experiment1_metrics_jobs, experiment2, experiment2_jobs,
-    experiment2_metrics_jobs, experiment3, experiment3_jobs, experiment3_metrics_jobs,
+    experiment1, experiment1_jobs, experiment1_metrics_jobs, experiment1_sharded, experiment2,
+    experiment2_jobs, experiment2_metrics_jobs, experiment2_sharded, experiment3, experiment3_jobs,
+    experiment3_metrics_jobs, experiment3_sharded,
 };
 pub use metrics::{overhead_metrics, render_metrics_summary};
 pub use overhead::{
@@ -83,9 +85,13 @@ pub use overhead::{
 pub use report::{FigureReport, SeriesReport};
 pub use stats::{mean, stddev};
 pub use sweep::{
-    attacker_count_for, run_sweep, run_sweep_jobs, run_sweep_metrics_jobs, SweepConfig, SweepPoint,
+    attacker_count_for, run_sweep, run_sweep_jobs, run_sweep_metrics_jobs, run_sweep_sharded,
+    run_sweep_sharded_metrics, SweepConfig, SweepPoint,
 };
-pub use trial::{run_trial, run_trial_checked, run_trial_metrics, TrialConfig, TrialOutcome};
+pub use trial::{
+    run_trial, run_trial_checked, run_trial_metrics, run_trial_sharded, run_trial_sharded_metrics,
+    TrialConfig, TrialOutcome,
+};
 
 /// The prefix under attack in every experiment (Figure 1's example prefix).
 pub const VICTIM_PREFIX: &str = "208.8.0.0/16";

@@ -10,7 +10,10 @@ use minimetrics::{MetricsSnapshot, RecordingSink};
 
 use crate::json::{self, FromJson, Json, JsonError, ToJson};
 use crate::stats::{mean, stddev};
-use crate::trial::{run_trial, run_trial_metrics, TrialConfig, TrialOutcome};
+use crate::trial::{
+    run_trial, run_trial_metrics, run_trial_sharded, run_trial_sharded_metrics, TrialConfig,
+    TrialOutcome,
+};
 
 /// Configuration of one sweep (one curve of a figure).
 #[derive(Debug, Clone)]
@@ -241,6 +244,66 @@ pub fn run_sweep_metrics_jobs(
     let mut snapshot = MetricsSnapshot::new();
     for (_, trial_snapshot) in &results {
         snapshot.merge(trial_snapshot);
+    }
+    (aggregate_points(graph.len(), config, &outcomes), snapshot)
+}
+
+/// [`run_sweep`] through the deterministic sharded engine: trials run one at
+/// a time, but each trial's AS graph is partitioned into `shards` engines
+/// driven in lockstep on up to `jobs` worker threads (intra-trial
+/// parallelism, where [`run_sweep_jobs`] is inter-trial).
+///
+/// Planning and aggregation are shared with the classic path, so the points
+/// are bit-identical for every `(shards, jobs)` pair — pinned by the
+/// `shard_determinism` differential test.
+///
+/// # Panics
+///
+/// Panics if the topology has too few stubs for the configured origin count,
+/// or if a trial fails to converge.
+#[must_use]
+pub fn run_sweep_sharded(
+    graph: &AsGraph,
+    config: &SweepConfig,
+    shards: usize,
+    jobs: usize,
+) -> Vec<SweepPoint> {
+    let trials = plan_trials(graph, config);
+    let outcomes: Vec<TrialOutcome> = trials
+        .iter()
+        .map(|trial| {
+            run_trial_sharded(graph, trial, shards, jobs)
+                .expect("experiment networks always converge")
+        })
+        .collect();
+    aggregate_points(graph.len(), config, &outcomes)
+}
+
+/// [`run_sweep_sharded`] with observability: per-trial [`RecordingSink`]
+/// snapshots merged in plan order, exactly as [`run_sweep_metrics_jobs`]
+/// does. The snapshot only contains the shard-count-invariant metrics subset
+/// the sharded engine exports.
+///
+/// # Panics
+///
+/// Panics if the topology has too few stubs for the configured origin count,
+/// or if a trial fails to converge.
+#[must_use]
+pub fn run_sweep_sharded_metrics(
+    graph: &AsGraph,
+    config: &SweepConfig,
+    shards: usize,
+    jobs: usize,
+) -> (Vec<SweepPoint>, MetricsSnapshot) {
+    let trials = plan_trials(graph, config);
+    let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(trials.len());
+    let mut snapshot = MetricsSnapshot::new();
+    for trial in &trials {
+        let mut sink = RecordingSink::new();
+        let outcome = run_trial_sharded_metrics(graph, trial, shards, jobs, &mut sink)
+            .expect("experiment networks always converge");
+        outcomes.push(outcome);
+        snapshot.merge(&sink.into_snapshot());
     }
     (aggregate_points(graph.len(), config, &outcomes), snapshot)
 }

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use as_topology::AsGraph;
-use bgp_engine::{ConvergenceError, Network};
+use bgp_engine::{ConvergenceError, Network, ShardedNetwork};
 use bgp_types::{Asn, Ipv4Prefix, MoasList};
 use minimetrics::{MetricsSink, NoopSink};
 use moas_core::{
@@ -204,6 +204,134 @@ pub fn run_trial_metrics<S: MetricsSink>(
         verifier_queries: net.monitor().verifier().query_count(),
         messages: net.stats().total_messages(),
     })
+}
+
+/// [`run_trial_checked`], but executed on the deterministic sharded engine
+/// ([`ShardedNetwork`]): the AS graph is partitioned into `shards` engines
+/// and driven in lockstep rounds, optionally on `jobs` worker threads.
+///
+/// The outcome is **bit-identical for every `(shards, jobs)`** — that
+/// invariance is pinned by the `shard_determinism` differential test. It is
+/// *not* guaranteed to be bit-identical to [`run_trial_checked`]'s classic
+/// engine, whose same-timestamp event order is arrival-based rather than
+/// intrinsic; the two agree semantically but may break same-tick ties
+/// differently.
+///
+/// # Errors
+///
+/// Returns [`ConvergenceError`] when the simulation fails to converge.
+///
+/// # Panics
+///
+/// Panics if any origin or attacker is not in `graph` (a planning bug).
+pub fn run_trial_sharded(
+    graph: &AsGraph,
+    config: &TrialConfig,
+    shards: usize,
+    jobs: usize,
+) -> Result<TrialOutcome, ConvergenceError> {
+    run_trial_sharded_metrics(graph, config, shards, jobs, &mut NoopSink)
+}
+
+/// [`run_trial_sharded`] with observability: emits the same
+/// `trial.convergence_ticks.*` histograms and the shard-count-invariant
+/// network metrics subset (see `ShardedNetwork::export_metrics`).
+///
+/// # Errors
+///
+/// Returns [`ConvergenceError`] when the simulation fails to converge.
+///
+/// # Panics
+///
+/// Panics if any origin or attacker is not in `graph` (a planning bug).
+pub fn run_trial_sharded_metrics<S: MetricsSink>(
+    graph: &AsGraph,
+    config: &TrialConfig,
+    shards: usize,
+    jobs: usize,
+    sink: &mut S,
+) -> Result<TrialOutcome, ConvergenceError> {
+    let valid_list: MoasList = config.origins.iter().copied().collect();
+
+    // Each shard gets its own monitor instance; alarms and verifier queries
+    // are observer-scoped, so summing the per-shard logs reproduces the
+    // single-monitor totals for any partition of the observers.
+    let monitor = || {
+        let mut registry = RegistryVerifier::new();
+        registry.register(config.prefix, valid_list.clone());
+        MoasMonitor::new(
+            MoasConfig {
+                deployment: config.deployment.clone(),
+                strippers: config.strippers.clone(),
+                on_unresolved: config.unresolved,
+            },
+            registry,
+        )
+    };
+    let mut net = ShardedNetwork::with_monitor_and_jitter(
+        graph,
+        shards,
+        jobs,
+        config.seed,
+        config.max_link_delay,
+        monitor,
+    );
+
+    for &origin in &config.origins {
+        net.originate(origin, config.prefix, Some(valid_list.clone()));
+    }
+    let origin_converged = net.run()?;
+    if S::ENABLED {
+        sink.record("trial.convergence_ticks.origin", origin_converged.ticks());
+    }
+    let attack = FalseOriginAttack::new(config.forgery);
+    for &attacker in &config.attackers {
+        net.originate_route(
+            attacker,
+            attack.forged_route(config.prefix, attacker, &valid_list),
+        );
+    }
+    let attack_converged = net.run()?;
+    if S::ENABLED {
+        sink.record(
+            "trial.convergence_ticks.attack",
+            attack_converged
+                .ticks()
+                .saturating_sub(origin_converged.ticks()),
+        );
+        net.export_metrics(sink);
+        sink.counter_add("trial.count", 1);
+    }
+
+    let attacker_set: BTreeSet<Asn> = config.attackers.iter().copied().collect();
+    let mut eligible = 0usize;
+    let mut adopted_false = 0usize;
+    for asn in graph.asns() {
+        if attacker_set.contains(&asn) {
+            continue;
+        }
+        eligible += 1;
+        if let Some(origin) = net.best_origin(asn, config.prefix) {
+            if attacker_set.contains(&origin) {
+                adopted_false += 1;
+            }
+        }
+    }
+
+    let mut outcome = TrialOutcome {
+        eligible,
+        adopted_false,
+        messages: net.stats().total_messages(),
+        ..TrialOutcome::default()
+    };
+    for monitor in net.monitors() {
+        let alarms = monitor.alarms();
+        outcome.alarms += alarms.len();
+        outcome.confirmed_alarms += alarms.confirmed_count();
+        outcome.false_alarms += alarms.false_alarm_count();
+        outcome.verifier_queries += monitor.verifier().query_count();
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

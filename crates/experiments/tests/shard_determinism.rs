@@ -1,0 +1,215 @@
+//! The sharded-engine contract: for every `--shards` value, every figure,
+//! fingerprint, and metrics snapshot — down to each byte of rendered JSON —
+//! equals the shards=1 run's.
+//!
+//! The engine partitions the AS graph with [`Partition`], exchanges
+//! cross-shard messages in batches at virtual-time delay boundaries, and
+//! orders same-timestamp events intrinsically (kind, edge, per-edge
+//! sequence), so nothing about the shard count can leak into an outcome.
+//! These tests pin that property on the 46-AS paper topology, plus the
+//! partitioner invariants the engine's correctness rests on.
+
+use as_topology::paper::PaperTopology;
+use as_topology::{InternetModel, Partition};
+use bgp_engine::{NoopMonitor, ShardedNetwork};
+use bgp_types::Ipv4Prefix;
+use experiments::{
+    json, run_sweep_sharded, run_sweep_sharded_metrics, run_trial_sharded, SweepConfig, TrialConfig,
+};
+use moas_core::Deployment;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn sweep_sharded_is_bit_identical_across_shard_counts() {
+    let graph = PaperTopology::As46.graph();
+    let config = SweepConfig::quick();
+    let reference = run_sweep_sharded(graph, &config, 1, 1);
+    for shards in SHARD_COUNTS {
+        for jobs in [1, 2] {
+            let points = run_sweep_sharded(graph, &config, shards, jobs);
+            assert_eq!(
+                points, reference,
+                "shards={shards} jobs={jobs} diverged from shards=1"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_point_json_is_identical_for_every_shard_count() {
+    let graph = PaperTopology::As46.graph();
+    let config = SweepConfig::quick();
+    let render = |points: &[experiments::SweepPoint]| -> Vec<String> {
+        points.iter().map(json::to_string_pretty).collect()
+    };
+    let reference = render(&run_sweep_sharded(graph, &config, 1, 1));
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            render(&run_sweep_sharded(graph, &config, shards, 2)),
+            reference,
+            "shards={shards} rendered different SweepPoint JSON"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshots_are_identical_for_every_shard_count() {
+    let graph = PaperTopology::As46.graph();
+    let config = SweepConfig::quick();
+    let (reference_points, reference_snapshot) = run_sweep_sharded_metrics(graph, &config, 1, 1);
+    let reference_json = json::to_string_pretty(&reference_snapshot);
+    for shards in SHARD_COUNTS {
+        let (points, snapshot) = run_sweep_sharded_metrics(graph, &config, shards, 2);
+        assert_eq!(points, reference_points, "shards={shards} perturbed points");
+        assert_eq!(
+            snapshot, reference_snapshot,
+            "shards={shards} diverged on the metrics snapshot"
+        );
+        assert_eq!(
+            json::to_string_pretty(&snapshot),
+            reference_json,
+            "shards={shards} rendered different snapshot JSON"
+        );
+    }
+}
+
+#[test]
+fn rib_fingerprints_are_identical_for_every_shard_count() {
+    // Drive one convergence per shard count directly through the engine so
+    // the full RIB state — not just the figure aggregates — is compared.
+    let graph = PaperTopology::As46.graph();
+    let prefix: Ipv4Prefix = "208.8.0.0/16".parse().expect("prefix literal");
+    let origin = graph.stub_asns()[0];
+    let run = |shards: usize| {
+        let mut net =
+            ShardedNetwork::with_monitor_and_jitter(graph, shards, 2, 0xD5, 4, || NoopMonitor);
+        net.originate(origin, prefix, None);
+        let converged = net.run().expect("46-AS origination converges");
+        (
+            net.routing_fingerprint(),
+            converged.ticks(),
+            net.events_fired(),
+            net.stats().total_messages(),
+        )
+    };
+    let reference = run(1);
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            run(shards),
+            reference,
+            "shards={shards} diverged on (fingerprint, ticks, events, messages)"
+        );
+    }
+}
+
+#[test]
+fn single_trial_is_identical_across_shard_counts() {
+    // The sweep tests cover planned trials; this pins one hand-built trial
+    // (explicit attacker, full deployment) for sharper failure locality.
+    let graph = PaperTopology::As46.graph();
+    let stubs = graph.stub_asns();
+    let config = TrialConfig::new(
+        vec![stubs[0]],
+        vec![stubs[stubs.len() - 1]],
+        Deployment::Full,
+    );
+    let reference = run_trial_sharded(graph, &config, 1, 1).expect("trial converges");
+    for shards in SHARD_COUNTS {
+        let outcome = run_trial_sharded(graph, &config, shards, 2).expect("trial converges");
+        assert_eq!(outcome, reference, "shards={shards} diverged on the trial");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partitioner invariant: every AS lands in exactly one shard — the
+    /// per-shard member lists are disjoint, cover the graph, and agree with
+    /// `shard_of` and `assignment` — and the balance cap holds.
+    #[test]
+    fn every_as_lands_in_exactly_one_shard(
+        seed in 0u64..4096,
+        transit in 4usize..24,
+        stubs in 10usize..160,
+        shards in 1usize..9,
+    ) {
+        let graph = InternetModel::new()
+            .transit_count(transit)
+            .stub_count(stubs)
+            .build(seed);
+        let p = Partition::new(&graph, shards);
+
+        prop_assert_eq!(p.assignment().len(), graph.len());
+        let mut membership_total = 0;
+        for shard in 0..p.shard_count() {
+            for asn in p.members(shard) {
+                prop_assert_eq!(
+                    p.shard_of(asn),
+                    Some(shard),
+                    "{:?} listed in shard {} but shard_of disagrees",
+                    asn,
+                    shard
+                );
+            }
+            membership_total += p.members(shard).len();
+        }
+        prop_assert_eq!(
+            membership_total,
+            graph.len(),
+            "member lists must partition the graph"
+        );
+        for asn in graph.asns() {
+            prop_assert!(p.shard_of(asn).is_some(), "{:?} has no shard", asn);
+        }
+
+        let cap = graph.len().div_ceil(shards);
+        prop_assert!(
+            p.shard_sizes().iter().all(|&s| s <= cap),
+            "sizes {:?} exceed cap {}",
+            p.shard_sizes(),
+            cap
+        );
+    }
+
+    /// Partitioner invariant: the cut-edge count is consistent no matter
+    /// which side counts it — the undirected link census and the directed
+    /// census summed over every node's neighbors (which sees each cut edge
+    /// once from each endpoint) both agree with `cut_links()`.
+    #[test]
+    fn cut_edges_are_counted_consistently_from_both_sides(
+        seed in 0u64..4096,
+        transit in 4usize..24,
+        stubs in 10usize..160,
+        shards in 1usize..9,
+    ) {
+        let graph = InternetModel::new()
+            .transit_count(transit)
+            .stub_count(stubs)
+            .build(seed);
+        let p = Partition::new(&graph, shards);
+
+        let undirected = graph
+            .links()
+            .iter()
+            .filter(|&&(a, b)| p.shard_of(a) != p.shard_of(b))
+            .count();
+        prop_assert_eq!(p.cut_links(), undirected, "undirected census disagrees");
+
+        let directed: usize = graph
+            .asns()
+            .map(|a| {
+                graph
+                    .neighbors(a)
+                    .filter(|&b| p.shard_of(a) != p.shard_of(b))
+                    .count()
+            })
+            .sum();
+        prop_assert_eq!(
+            directed,
+            2 * p.cut_links(),
+            "each endpoint must see the same cut edges"
+        );
+    }
+}

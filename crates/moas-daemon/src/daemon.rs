@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -18,14 +19,11 @@ use crate::http::{json_response, text_response, HttpError, Request};
 use crate::table::{DeltaRing, OriginTable, TableUpdate};
 use crate::validity::{validate_detailed, Verdict};
 
-/// Counters the daemon exposes through `/metrics`, all monotonic.
+/// Counters the daemon exposes through `/metrics`, all monotonic. Query-path
+/// counters live separately in [`QueryCounters`] so `/validity` never needs
+/// the shared mutex.
 #[derive(Debug, Default, Clone, Copy)]
 struct DaemonMetrics {
-    http_requests: u64,
-    queries: u64,
-    queries_valid: u64,
-    queries_invalid: u64,
-    queries_not_found: u64,
     ingest_batches: u64,
     ingest_updates: u64,
     exception_reloads: u64,
@@ -36,20 +34,48 @@ struct DaemonMetrics {
     feed_notifies: u64,
 }
 
+/// Lock-free counters for the read-mostly query path.
+#[derive(Debug, Default)]
+struct QueryCounters {
+    http_requests: AtomicU64,
+    queries: AtomicU64,
+    queries_valid: AtomicU64,
+    queries_invalid: AtomicU64,
+    queries_not_found: AtomicU64,
+}
+
+/// Everything a `/validity` query reads, bundled so the whole verdict input
+/// can be published atomically as one `Arc` snapshot.
+#[derive(Debug, Clone)]
+struct QueryState {
+    table: OriginTable,
+    exceptions: ExceptionSet,
+}
+
 /// Everything both listeners share, behind one mutex. Handlers hold the
 /// lock only while computing a response — never across I/O.
+///
+/// The table and exception rules sit inside an `Arc<QueryState>`: writers
+/// mutate through [`Arc::make_mut`] (swap-on-apply — the state is cloned
+/// only when a concurrent `/validity` reader still holds the previous
+/// snapshot), and readers clone the `Arc` under a brief lock, then validate
+/// against the snapshot with the mutex released.
 struct Shared {
-    table: OriginTable,
+    query: Arc<QueryState>,
     ring: DeltaRing,
-    exceptions: ExceptionSet,
     metrics: DaemonMetrics,
+    counters: Arc<QueryCounters>,
     shutdown_requested: bool,
     feed_conns_open: u64,
 }
 
 impl Shared {
+    fn table(&self) -> &OriginTable {
+        &self.query.table
+    }
+
     fn apply(&mut self, updates: &[TableUpdate]) -> (u32, usize, usize) {
-        let delta = self.table.apply(updates);
+        let delta = Arc::make_mut(&mut self.query).table.apply(updates);
         let (announced, withdrawn) = (delta.announced.len(), delta.withdrawn.len());
         let serial = delta.serial;
         if !delta.is_empty() {
@@ -108,10 +134,13 @@ impl Daemon {
     /// Returns any socket bind/spawn error.
     pub fn start(config: DaemonConfig, table: OriginTable) -> io::Result<Daemon> {
         let shared = Arc::new(Mutex::new(Shared {
-            table,
+            query: Arc::new(QueryState {
+                table,
+                exceptions: config.exceptions.clone(),
+            }),
             ring: DeltaRing::new(config.delta_ring_capacity),
-            exceptions: config.exceptions.clone(),
             metrics: DaemonMetrics::default(),
+            counters: Arc::new(QueryCounters::default()),
             shutdown_requested: false,
             feed_conns_open: 0,
         }));
@@ -167,7 +196,7 @@ impl Daemon {
     /// The table's current serial.
     #[must_use]
     pub fn serial(&self) -> u32 {
-        self.lock().table.serial()
+        self.lock().table().serial()
     }
 
     /// Applies updates in-process, exactly as `POST /ingest` would, and
@@ -237,9 +266,16 @@ impl HttpService {
     /// Routes one parsed request; returns `(status, body)`. The body is
     /// JSON except for `/metrics`.
     fn handle(shared: &mut Shared, req: &Request) -> (u16, String) {
-        shared.metrics.http_requests += 1;
+        shared
+            .counters
+            .http_requests
+            .fetch_add(1, Ordering::Relaxed);
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/validity") => handle_validity(shared, req),
+            ("GET", "/validity") => {
+                let state = Arc::clone(&shared.query);
+                let counters = Arc::clone(&shared.counters);
+                handle_validity(&state, &counters, req)
+            }
             ("GET", "/metrics") => (200, render_metrics(shared)),
             ("GET", "/status") => (200, render_status(shared)),
             ("POST", "/ingest") => handle_ingest(shared, req),
@@ -261,7 +297,19 @@ impl Service for HttpService {
             match Request::parse(&inbuf[consumed..]) {
                 Ok(Some((req, used))) => {
                     consumed += used;
-                    let (status, body) = {
+                    // The hot read path: grab the current query snapshot
+                    // under the lock, then parse, validate and render the
+                    // response with the lock released — concurrent queries
+                    // only contend for two Arc clones, not for the verdict
+                    // computation.
+                    let (status, body) = if req.method == "GET" && req.path == "/validity" {
+                        let (state, counters) = {
+                            let shared = lock_shared(&self.shared);
+                            (Arc::clone(&shared.query), Arc::clone(&shared.counters))
+                        };
+                        counters.http_requests.fetch_add(1, Ordering::Relaxed);
+                        handle_validity(&state, &counters, &req)
+                    } else {
                         let mut shared = lock_shared(&self.shared);
                         Self::handle(&mut shared, &req)
                     };
@@ -290,7 +338,7 @@ impl Service for HttpService {
     }
 }
 
-fn handle_validity(shared: &mut Shared, req: &Request) -> (u16, String) {
+fn handle_validity(state: &QueryState, counters: &QueryCounters, req: &Request) -> (u16, String) {
     let (Some(prefix_text), Some(asn_text)) = (req.query_param("prefix"), req.query_param("asn"))
     else {
         return (
@@ -317,13 +365,14 @@ fn handle_validity(shared: &mut Shared, req: &Request) -> (u16, String) {
             ),
         );
     };
-    let validation = validate_detailed(&shared.table, &shared.exceptions, prefix, asn);
-    shared.metrics.queries += 1;
+    let validation = validate_detailed(&state.table, &state.exceptions, prefix, asn);
+    counters.queries.fetch_add(1, Ordering::Relaxed);
     match validation.verdict {
-        Verdict::Valid => shared.metrics.queries_valid += 1,
-        Verdict::Invalid => shared.metrics.queries_invalid += 1,
-        Verdict::NotFound => shared.metrics.queries_not_found += 1,
+        Verdict::Valid => &counters.queries_valid,
+        Verdict::Invalid => &counters.queries_invalid,
+        Verdict::NotFound => &counters.queries_not_found,
     }
+    .fetch_add(1, Ordering::Relaxed);
     let mut body = format!(
         "{{\"prefix\":\"{prefix}\",\"asn\":{},\"state\":\"{}\"",
         asn.0,
@@ -398,13 +447,15 @@ fn handle_reload(shared: &mut Shared, req: &Request) -> (u16, String) {
     };
     match ExceptionSet::from_json(text) {
         Ok(set) => {
-            let changed = set != shared.exceptions;
+            let changed = set != shared.query.exceptions;
             shared.metrics.exception_reloads += 1;
             if changed {
                 shared.metrics.exception_reloads_verdict_affecting += 1;
             }
             let rules = set.len();
-            shared.exceptions = set;
+            if changed {
+                Arc::make_mut(&mut shared.query).exceptions = set;
+            }
             (200, format!("{{\"rules\":{rules},\"changed\":{changed}}}"))
         }
         Err(e) => (400, format!("{{\"error\":{}}}", json_escape(&e.message))),
@@ -417,26 +468,39 @@ fn render_status(shared: &Shared) -> String {
             "{{\"sessionId\":{},\"serial\":{},\"prefixes\":{},\"entries\":{},",
             "\"deltasRetained\":{},\"exceptionRules\":{},\"shutdownRequested\":{}}}"
         ),
-        shared.table.session_id(),
-        shared.table.serial(),
-        shared.table.prefix_count(),
-        shared.table.entry_count(),
+        shared.table().session_id(),
+        shared.table().serial(),
+        shared.table().prefix_count(),
+        shared.table().entry_count(),
         shared.ring.len(),
-        shared.exceptions.len(),
+        shared.query.exceptions.len(),
         shared.shutdown_requested,
     )
 }
 
 fn render_metrics(shared: &Shared) -> String {
     let m = &shared.metrics;
+    let c = &shared.counters;
     let mut out = String::with_capacity(768);
     out.push_str("# moas-labd metrics: one 'name value' pair per line\n");
     for (name, value) in [
-        ("daemon_http_requests_total", m.http_requests),
-        ("daemon_queries_total", m.queries),
-        ("daemon_queries_valid_total", m.queries_valid),
-        ("daemon_queries_invalid_total", m.queries_invalid),
-        ("daemon_queries_not_found_total", m.queries_not_found),
+        (
+            "daemon_http_requests_total",
+            c.http_requests.load(Ordering::Relaxed),
+        ),
+        ("daemon_queries_total", c.queries.load(Ordering::Relaxed)),
+        (
+            "daemon_queries_valid_total",
+            c.queries_valid.load(Ordering::Relaxed),
+        ),
+        (
+            "daemon_queries_invalid_total",
+            c.queries_invalid.load(Ordering::Relaxed),
+        ),
+        (
+            "daemon_queries_not_found_total",
+            c.queries_not_found.load(Ordering::Relaxed),
+        ),
         ("daemon_ingest_batches_total", m.ingest_batches),
         ("daemon_ingest_updates_total", m.ingest_updates),
         ("daemon_exception_reloads_total", m.exception_reloads),
@@ -449,10 +513,10 @@ fn render_metrics(shared: &Shared) -> String {
         ("feed_cache_resets_total", m.feed_cache_resets),
         ("feed_notifies_total", m.feed_notifies),
         ("feed_connections_open", shared.feed_conns_open),
-        ("table_serial", u64::from(shared.table.serial())),
-        ("table_prefixes", shared.table.prefix_count() as u64),
-        ("table_entries", shared.table.entry_count() as u64),
-        ("exception_rules", shared.exceptions.len() as u64),
+        ("table_serial", u64::from(shared.table().serial())),
+        ("table_prefixes", shared.table().prefix_count() as u64),
+        ("table_entries", shared.table().entry_count() as u64),
+        ("exception_rules", shared.query.exceptions.len() as u64),
     ] {
         out.push_str(name);
         out.push(' ');
@@ -498,10 +562,10 @@ impl Service for FeedService {
                     match pdu {
                         Pdu::ResetQuery => {
                             let mut shared = lock_shared(&self.shared);
-                            let session = shared.table.session_id();
-                            let serial = shared.table.serial();
+                            let session = shared.table().session_id();
+                            let serial = shared.table().serial();
                             let entries: Vec<(bool, Ipv4Prefix, Asn)> = shared
-                                .table
+                                .table()
                                 .snapshot()
                                 .into_iter()
                                 .map(|(p, a)| (true, p, a))
@@ -513,15 +577,15 @@ impl Service for FeedService {
                         }
                         Pdu::SerialQuery { session, serial } => {
                             let mut shared = lock_shared(&self.shared);
-                            let current = shared.table.serial();
-                            let diff = if session == shared.table.session_id() {
+                            let current = shared.table().serial();
+                            let diff = if session == shared.table().session_id() {
                                 shared.ring.diff_since(serial, current)
                             } else {
                                 None
                             };
                             match diff {
                                 Some(delta) => {
-                                    let session = shared.table.session_id();
+                                    let session = shared.table().session_id();
                                     let mut entries: Vec<(bool, Ipv4Prefix, Asn)> = delta
                                         .announced
                                         .iter()
@@ -583,8 +647,8 @@ impl Service for FeedService {
             return;
         }
         let mut shared = lock_shared(&self.shared);
-        let session = shared.table.session_id();
-        let serial = shared.table.serial();
+        let session = shared.table().session_id();
+        let serial = shared.table().serial();
         let mut notified = 0u64;
         for (&conn, last) in &mut self.synced {
             if *last != serial {
@@ -619,10 +683,13 @@ mod tests {
             [Asn(64512)].into_iter().collect::<MoasList>(),
         );
         Shared {
-            table,
+            query: Arc::new(QueryState {
+                table,
+                exceptions: ExceptionSet::empty(),
+            }),
             ring: DeltaRing::new(8),
-            exceptions: ExceptionSet::empty(),
             metrics: DaemonMetrics::default(),
+            counters: Arc::new(QueryCounters::default()),
             shutdown_requested: false,
             feed_conns_open: 0,
         }
@@ -669,10 +736,11 @@ mod tests {
             &get("/validity?prefix=10.1.0.0/16&asn=AS64512"),
         );
         assert_eq!(status, 200);
-        assert_eq!(shared.metrics.queries, 4);
-        assert_eq!(shared.metrics.queries_valid, 2);
-        assert_eq!(shared.metrics.queries_invalid, 1);
-        assert_eq!(shared.metrics.queries_not_found, 1);
+        let c = &shared.counters;
+        assert_eq!(c.queries.load(Ordering::Relaxed), 4);
+        assert_eq!(c.queries_valid.load(Ordering::Relaxed), 2);
+        assert_eq!(c.queries_invalid.load(Ordering::Relaxed), 1);
+        assert_eq!(c.queries_not_found.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -687,7 +755,7 @@ mod tests {
             HttpService::handle(&mut shared, &get("/validity?prefix=10.0.0.0/8&asn=zap")).0,
             400
         );
-        assert_eq!(shared.metrics.queries, 0);
+        assert_eq!(shared.counters.queries.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -705,7 +773,7 @@ mod tests {
         );
         assert_eq!(status, 200);
         assert_eq!(body, "{\"serial\":1,\"announced\":1,\"withdrawn\":1}");
-        assert_eq!(shared.table.serial(), 1);
+        assert_eq!(shared.table().serial(), 1);
         assert_eq!(shared.ring.len(), 1);
         // A no-op batch reports the unchanged serial and stays out of the ring.
         let (_, body) = HttpService::handle(
@@ -736,7 +804,7 @@ mod tests {
             HttpService::handle(&mut shared, &post("/ingest", r#"{"updates":[{"asn":1}]}"#)).0,
             400
         );
-        assert_eq!(shared.table.serial(), 0);
+        assert_eq!(shared.table().serial(), 0);
     }
 
     #[test]
@@ -756,7 +824,7 @@ mod tests {
         // A malformed file keeps the old rules.
         let (status, _) = HttpService::handle(&mut shared, &post("/reload-exceptions", "zap"));
         assert_eq!(status, 400);
-        assert_eq!(shared.exceptions.len(), 1);
+        assert_eq!(shared.query.exceptions.len(), 1);
         // And the loaded assertion now answers queries.
         let (_, body) =
             HttpService::handle(&mut shared, &get("/validity?prefix=10.9.0.0/16&asn=64999"));

@@ -21,12 +21,14 @@ use std::process::ExitCode;
 
 use moas::detection::{Deployment, OfflineMonitor};
 use moas::experiments::{
-    experiment1_metrics_jobs, experiment2_metrics_jobs, experiment3_metrics_jobs,
-    forgery_ablation_jobs, forgery_ablation_metrics_jobs, measure_moas_list_overhead_jobs,
-    moas_list_overhead, overhead_metrics, render_metrics_summary, run_chaos_jobs,
-    run_chaos_metrics_jobs, run_deployment_sweep_jobs, run_trial, stripping_ablation_jobs,
-    stripping_ablation_metrics_jobs, subprefix_ablation_jobs, valley_free_ablation_jobs,
-    ChaosConfig, ChaosScenario, SweepConfig, TrialConfig, WireModel,
+    experiment1_metrics_jobs, experiment1_sharded, experiment2_metrics_jobs, experiment2_sharded,
+    experiment3_metrics_jobs, experiment3_sharded, forgery_ablation_jobs,
+    forgery_ablation_metrics_jobs, measure_moas_list_overhead_jobs, moas_list_overhead,
+    overhead_metrics, render_metrics_summary, run_chaos_jobs, run_chaos_metrics_jobs,
+    run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs, run_trial,
+    run_trial_sharded, stripping_ablation_jobs, stripping_ablation_metrics_jobs,
+    subprefix_ablation_jobs, valley_free_ablation_jobs, ChaosConfig, ChaosScenario, SweepConfig,
+    TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
@@ -46,17 +48,18 @@ USAGE:
     moas-lab <COMMAND> [OPTIONS]
 
 COMMANDS:
-    figures [--quick] [--jobs N]    Regenerate Figures 9-11 (default: full paper protocol)
+    figures [--quick] [--jobs N] [--shards N]
+                                    Regenerate Figures 9-11 (default: full paper protocol)
     measure [--days N]              Run the §3 measurement study (Figures 4-5)
     topology <25|46|63>             Show a canonical experiment topology
     trial [--topology N] [--attackers N] [--origins N] [--deployment full|half|none] [--seed S]
-                                    Run one simulation trial and print the outcome
+          [--shards N]              Run one simulation trial and print the outcome
     ablations [--jobs N]            Run the §4.3 limitation studies
     overhead [--jobs N]             Measure the MOAS-list table overhead
-    chaos --scenario NAME [--trials N] [--seed S] [--jobs N] [--quick] [--out FILE]
+    chaos --scenario NAME [--trials N] [--seed S] [--jobs N] [--shards N] [--quick] [--out FILE]
                                     Replay a fault/churn scenario (failover, origin-flap,
-                                    lossy-core, session-reset, flap-storm) and report the
-                                    MOAS detector's accuracy under it as JSON
+                                    lossy-core, session-reset, flap-storm, mrai-deferral)
+                                    and report the MOAS detector's accuracy under it as JSON
     chaos --scenario NAME --deployment-sweep [--fractions a,b,c] ...
                                     Same scenario at several detector deployment
                                     fractions (default 0,0.25,0.5,0.75,1): accuracy
@@ -69,6 +72,11 @@ COMMANDS:
     --jobs N defaults to the available hardware parallelism; results —
     including --metrics snapshots — are bit-identical for every N (trials
     fan out, aggregation order is fixed).
+    --shards N routes execution through the deterministic sharded engine:
+    the AS graph is partitioned into N engines driven in lockstep, with one
+    trial at a time fanned over the worker pool (intra-trial parallelism).
+    Output is bit-identical for every --shards/--jobs pair, but may break
+    same-tick ties differently from the default engine.
     export-mrt --out FILE [--days N] [--topology N] [--seed S]
                                     Simulate a network and export daily RIB snapshots
                                     (and the day's update stream) as RFC 6396 MRT
@@ -152,6 +160,24 @@ fn figures(args: &[String]) -> ExitCode {
         config.attacker_fractions,
         if jobs == 1 { "" } else { "s" }
     );
+    if let Some(shards) = option::<usize>(args, "--shards") {
+        // The sharded engine exports a different (shard-count-invariant)
+        // metrics subset, so --metrics stays classic-engine-only.
+        if option::<String>(args, "--metrics").is_some() {
+            eprintln!("--metrics is not supported together with --shards");
+            return ExitCode::FAILURE;
+        }
+        for origins in [1, 2] {
+            println!("{}", experiment1_sharded(origins, &config, shards, jobs));
+        }
+        for origins in [1, 2] {
+            println!("{}", experiment2_sharded(origins, &config, shards, jobs));
+        }
+        for topology in [PaperTopology::As46, PaperTopology::As63] {
+            println!("{}", experiment3_sharded(topology, &config, shards, jobs));
+        }
+        return ExitCode::SUCCESS;
+    }
     let mut metrics = MetricsSnapshot::new();
     for origins in [1, 2] {
         let (fig, m) = experiment1_metrics_jobs(origins, &config, jobs);
@@ -258,7 +284,11 @@ fn trial(args: &[String]) -> ExitCode {
         seed,
         ..TrialConfig::new(origin_set, attacker_set, deployment)
     };
-    let outcome = run_trial(graph, &config);
+    let outcome = match option::<usize>(args, "--shards") {
+        Some(shards) => run_trial_sharded(graph, &config, shards, jobs_option(args))
+            .expect("experiment networks always converge"),
+        None => run_trial(graph, &config),
+    };
     println!(
         "\n{} of {} remaining ASes adopted a false route ({:.2}%)",
         outcome.adopted_false,
@@ -350,8 +380,8 @@ fn ablations(args: &[String]) -> ExitCode {
 fn chaos(args: &[String]) -> ExitCode {
     let Some(scenario) = option::<ChaosScenario>(args, "--scenario") else {
         eprintln!(
-            "usage: moas-lab chaos --scenario <failover|origin-flap|lossy-core|session-reset|flap-storm> \
-             [--trials N] [--seed S] [--jobs N] [--quick] [--out FILE] [--metrics FILE]"
+            "usage: moas-lab chaos --scenario <failover|origin-flap|lossy-core|session-reset|flap-storm|mrai-deferral> \
+             [--trials N] [--seed S] [--jobs N] [--shards N] [--quick] [--out FILE] [--metrics FILE]"
         );
         return ExitCode::FAILURE;
     };
@@ -371,15 +401,24 @@ fn chaos(args: &[String]) -> ExitCode {
         return chaos_deployment_sweep(args, &config);
     }
 
-    let report = match option::<String>(args, "--metrics") {
-        Some(path) => {
+    let shards = option::<usize>(args, "--shards");
+    let report = match (option::<String>(args, "--metrics"), shards) {
+        (Some(path), Some(shards)) => {
+            let (report, metrics) = run_chaos_sharded_metrics(&config, shards, jobs_option(args));
+            if !write_metrics(&path, &metrics) {
+                return ExitCode::FAILURE;
+            }
+            report
+        }
+        (Some(path), None) => {
             let (report, metrics) = run_chaos_metrics_jobs(&config, jobs_option(args));
             if !write_metrics(&path, &metrics) {
                 return ExitCode::FAILURE;
             }
             report
         }
-        None => run_chaos_jobs(&config, jobs_option(args)),
+        (None, Some(shards)) => run_chaos_sharded(&config, shards, jobs_option(args)),
+        (None, None) => run_chaos_jobs(&config, jobs_option(args)),
     };
     let json = report.to_json();
     println!(

@@ -27,6 +27,13 @@
 //! snapshots collected from a worker pool can be folded **in plan order**
 //! to produce output that is bit-identical for any worker count.
 //!
+//! Hot loops that observe one key many times can pre-resolve it to a
+//! [`Token`] ([`MetricsSink::record_token`] and friends) and observe through
+//! [`MetricsSink::record_by`], skipping the per-observation FNV hash; the
+//! [`Scoped`] adapter additionally caches the last composed key per
+//! instrument kind, so steady-state scoped observations skip both the
+//! compose and the hash.
+//!
 //! Serialization is deliberately out of scope: the workspace's hand-rolled
 //! JSON codec lives in `experiments::json`, and that crate implements the
 //! conversion traits for [`MetricsSnapshot`] — keeping this crate free of
@@ -100,7 +107,43 @@ pub trait MetricsSink {
 
     /// Records one observation of `value` into the histogram named `key`.
     fn record(&mut self, key: &str, value: u64);
+
+    /// Resolves `key` to a reusable counter handle: hash and intern once,
+    /// then observe through [`counter_add_by`](Self::counter_add_by) with no
+    /// per-observation key work. Tokens are only meaningful on the sink (and
+    /// instrument kind) that issued them.
+    fn counter_token(&mut self, key: &str) -> Token;
+
+    /// [`counter_add`](Self::counter_add) through a pre-resolved token.
+    fn counter_add_by(&mut self, token: Token, delta: u64);
+
+    /// Resolves `key` to a reusable gauge handle (see
+    /// [`counter_token`](Self::counter_token)).
+    fn gauge_token(&mut self, key: &str) -> Token;
+
+    /// [`gauge_set`](Self::gauge_set) through a pre-resolved token.
+    fn gauge_set_by(&mut self, token: Token, value: u64);
+
+    /// Resolves `key` to a reusable histogram handle (see
+    /// [`counter_token`](Self::counter_token)).
+    fn record_token(&mut self, key: &str) -> Token;
+
+    /// [`record`](Self::record) through a pre-resolved token.
+    fn record_by(&mut self, token: Token, value: u64);
 }
+
+/// A pre-resolved handle to one metric slot of a specific sink.
+///
+/// Issued by [`MetricsSink::counter_token`] / [`MetricsSink::gauge_token`] /
+/// [`MetricsSink::record_token`]; the key is hashed and interned once at
+/// resolution, so hot loops that observe the same key many times (one
+/// histogram observation per router, say) pay no per-observation hashing.
+///
+/// A token is only valid for the sink instance and instrument kind that
+/// issued it; using it elsewhere may panic or silently address a different
+/// metric.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Token(u32);
 
 /// A sink that discards every observation.
 ///
@@ -121,6 +164,30 @@ impl MetricsSink for NoopSink {
 
     #[inline(always)]
     fn record(&mut self, _key: &str, _value: u64) {}
+
+    #[inline(always)]
+    fn counter_token(&mut self, _key: &str) -> Token {
+        Token(0)
+    }
+
+    #[inline(always)]
+    fn counter_add_by(&mut self, _token: Token, _delta: u64) {}
+
+    #[inline(always)]
+    fn gauge_token(&mut self, _key: &str) -> Token {
+        Token(0)
+    }
+
+    #[inline(always)]
+    fn gauge_set_by(&mut self, _token: Token, _value: u64) {}
+
+    #[inline(always)]
+    fn record_token(&mut self, _key: &str) -> Token {
+        Token(0)
+    }
+
+    #[inline(always)]
+    fn record_by(&mut self, _token: Token, _value: u64) {}
 }
 
 /// A sink that accumulates every observation for later conversion into a
@@ -222,6 +289,34 @@ impl MetricsSink for RecordingSink {
             .get_or_insert_with(key, Log2Histogram::new)
             .observe(value);
     }
+
+    fn counter_token(&mut self, key: &str) -> Token {
+        let index = self.counters.index_of(key, || 0);
+        Token(u32::try_from(index).expect("more than u32::MAX metric keys"))
+    }
+
+    fn counter_add_by(&mut self, token: Token, delta: u64) {
+        let slot = self.counters.at(token.0 as usize);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn gauge_token(&mut self, key: &str) -> Token {
+        let index = self.gauges.index_of(key, || 0);
+        Token(u32::try_from(index).expect("more than u32::MAX metric keys"))
+    }
+
+    fn gauge_set_by(&mut self, token: Token, value: u64) {
+        *self.gauges.at(token.0 as usize) = value;
+    }
+
+    fn record_token(&mut self, key: &str) -> Token {
+        let index = self.histograms.index_of(key, Log2Histogram::new);
+        Token(u32::try_from(index).expect("more than u32::MAX metric keys"))
+    }
+
+    fn record_by(&mut self, token: Token, value: u64) {
+        self.histograms.at(token.0 as usize).observe(value);
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -261,12 +356,20 @@ impl<V> KeyTable<V> {
     /// Returns the value for `key`, interning the key (with `make()` as the
     /// initial value) on first use.
     fn get_or_insert_with(&mut self, key: &str, make: impl FnOnce() -> V) -> &mut V {
+        let index = self.index_of(key, make);
+        &mut self.entries[index].2
+    }
+
+    /// The entry index for `key`, interning it (with `make()` as the initial
+    /// value) on first use. Entry indices are stable for the table's
+    /// lifetime — they back the [`Token`] fast path.
+    fn index_of(&mut self, key: &str, make: impl FnOnce() -> V) -> usize {
         if self.slots.is_empty() {
             self.slots.resize(16, 0);
         }
         let hash = fnv1a(key);
         let (slot, found) = self.probe(hash, key);
-        let index = match found {
+        match found {
             Some(index) => index,
             None => {
                 self.entries.push((hash, key.into(), make()));
@@ -278,7 +381,16 @@ impl<V> KeyTable<V> {
                 }
                 index
             }
-        };
+        }
+    }
+
+    /// The value at a stable entry index issued by
+    /// [`index_of`](Self::index_of).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not issued by this table.
+    fn at(&mut self, index: usize) -> &mut V {
         &mut self.entries[index].2
     }
 
@@ -361,6 +473,40 @@ pub struct Scoped<'a, S> {
     buf: String,
     /// Length of the `"{prefix}."` stem within `buf`.
     base: usize,
+    /// Last-key caches, one per instrument kind: steady-state observations
+    /// of the same key skip both the compose and the wrapped sink's FNV
+    /// hash, going straight through the cached [`Token`].
+    counter_cache: KeyCache,
+    gauge_cache: KeyCache,
+    record_cache: KeyCache,
+}
+
+/// One-entry composed-key cache for [`Scoped`].
+///
+/// The hit test compares the caller's key *contents* against an owned copy —
+/// never the pointer — because hot exporters compose dynamic keys in one
+/// reusable `String` buffer whose address stays fixed while its contents
+/// change between observations.
+#[derive(Debug, Default)]
+struct KeyCache {
+    key: String,
+    token: Token,
+    valid: bool,
+}
+
+impl KeyCache {
+    #[inline]
+    fn lookup(&self, key: &str) -> Option<Token> {
+        (self.valid && self.key == key).then_some(self.token)
+    }
+
+    #[inline]
+    fn store(&mut self, key: &str, token: Token) {
+        self.key.clear();
+        self.key.push_str(key);
+        self.token = token;
+        self.valid = true;
+    }
 }
 
 impl<'a, S: MetricsSink> Scoped<'a, S> {
@@ -378,7 +524,22 @@ impl<'a, S: MetricsSink> Scoped<'a, S> {
             String::new()
         };
         let base = buf.len();
-        Self { sink, buf, base }
+        Self {
+            sink,
+            buf,
+            base,
+            counter_cache: KeyCache::default(),
+            gauge_cache: KeyCache::default(),
+            record_cache: KeyCache::default(),
+        }
+    }
+
+    /// Composes `"{prefix}.{key}"` into the reusable buffer and returns it.
+    #[inline]
+    fn compose(&mut self, key: &str) -> &str {
+        self.buf.truncate(self.base);
+        self.buf.push_str(key);
+        &self.buf
     }
 }
 
@@ -388,28 +549,82 @@ impl<S: MetricsSink> MetricsSink for Scoped<'_, S> {
     #[inline]
     fn counter_add(&mut self, key: &str, delta: u64) {
         if S::ENABLED {
-            self.buf.truncate(self.base);
-            self.buf.push_str(key);
-            self.sink.counter_add(&self.buf, delta);
+            let token = match self.counter_cache.lookup(key) {
+                Some(token) => token,
+                None => {
+                    self.compose(key);
+                    let token = self.sink.counter_token(&self.buf);
+                    self.counter_cache.store(key, token);
+                    token
+                }
+            };
+            self.sink.counter_add_by(token, delta);
         }
     }
 
     #[inline]
     fn gauge_set(&mut self, key: &str, value: u64) {
         if S::ENABLED {
-            self.buf.truncate(self.base);
-            self.buf.push_str(key);
-            self.sink.gauge_set(&self.buf, value);
+            let token = match self.gauge_cache.lookup(key) {
+                Some(token) => token,
+                None => {
+                    self.compose(key);
+                    let token = self.sink.gauge_token(&self.buf);
+                    self.gauge_cache.store(key, token);
+                    token
+                }
+            };
+            self.sink.gauge_set_by(token, value);
         }
     }
 
     #[inline]
     fn record(&mut self, key: &str, value: u64) {
         if S::ENABLED {
-            self.buf.truncate(self.base);
-            self.buf.push_str(key);
-            self.sink.record(&self.buf, value);
+            let token = match self.record_cache.lookup(key) {
+                Some(token) => token,
+                None => {
+                    self.compose(key);
+                    let token = self.sink.record_token(&self.buf);
+                    self.record_cache.store(key, token);
+                    token
+                }
+            };
+            self.sink.record_by(token, value);
         }
+    }
+
+    #[inline]
+    fn counter_token(&mut self, key: &str) -> Token {
+        self.compose(key);
+        self.sink.counter_token(&self.buf)
+    }
+
+    #[inline]
+    fn counter_add_by(&mut self, token: Token, delta: u64) {
+        self.sink.counter_add_by(token, delta);
+    }
+
+    #[inline]
+    fn gauge_token(&mut self, key: &str) -> Token {
+        self.compose(key);
+        self.sink.gauge_token(&self.buf)
+    }
+
+    #[inline]
+    fn gauge_set_by(&mut self, token: Token, value: u64) {
+        self.sink.gauge_set_by(token, value);
+    }
+
+    #[inline]
+    fn record_token(&mut self, key: &str) -> Token {
+        self.compose(key);
+        self.sink.record_token(&self.buf)
+    }
+
+    #[inline]
+    fn record_by(&mut self, token: Token, value: u64) {
+        self.sink.record_by(token, value);
     }
 }
 
@@ -847,6 +1062,94 @@ mod tests {
         assert_eq!(snap.counters["p.a.rather.long.key"], 5);
         assert_eq!(snap.counters["p.x"], 2);
         assert_eq!(snap.counters.len(), 2, "no mangled keys: {snap:?}");
+    }
+
+    #[test]
+    fn tokens_address_the_same_slots_as_keys() {
+        let mut sink = RecordingSink::new();
+        let c = sink.counter_token("c");
+        sink.counter_add_by(c, 2);
+        sink.counter_add("c", 3);
+        let g = sink.gauge_token("g");
+        sink.gauge_set("g", 1);
+        sink.gauge_set_by(g, 7);
+        let h = sink.record_token("h");
+        sink.record_by(h, 9);
+        sink.record("h", 1);
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 7);
+        assert_eq!(snap.histograms["h"].count(), 2);
+    }
+
+    #[test]
+    fn tokens_stay_valid_across_table_growth() {
+        let mut sink = RecordingSink::new();
+        let early = sink.counter_token("early");
+        for i in 0..500u64 {
+            sink.counter_add(&format!("filler.{i}"), 1);
+        }
+        sink.counter_add_by(early, 42);
+        assert_eq!(sink.snapshot().counters["early"], 42);
+    }
+
+    #[test]
+    fn scoped_tokens_compose_the_prefix_once() {
+        let mut sink = RecordingSink::new();
+        {
+            let mut scoped = Scoped::new(&mut sink, "s");
+            let t = scoped.record_token("h");
+            scoped.record_by(t, 3);
+            scoped.record_by(t, 4);
+            let c = scoped.counter_token("c");
+            scoped.counter_add_by(c, 5);
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.histograms["s.h"].count(), 2);
+        assert_eq!(snap.counters["s.c"], 5);
+    }
+
+    #[test]
+    fn scoped_cache_keys_on_contents_not_pointer() {
+        // Exporters compose dynamic keys in one reusable String whose
+        // address never changes between observations; the composed-key cache
+        // must verify contents, not identity.
+        let mut sink = RecordingSink::new();
+        {
+            let mut scoped = Scoped::new(&mut sink, "p");
+            let mut buf = String::with_capacity(32);
+            buf.push_str("first");
+            scoped.counter_add(&buf, 1);
+            scoped.counter_add(&buf, 1); // steady state: cache hit
+            buf.clear();
+            buf.push_str("second"); // same buffer, new contents
+            scoped.counter_add(&buf, 5);
+            buf.clear();
+            buf.push_str("first"); // back again after eviction
+            scoped.counter_add(&buf, 2);
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["p.first"], 4);
+        assert_eq!(snap.counters["p.second"], 5);
+        assert_eq!(snap.counters.len(), 2, "no mangled keys: {snap:?}");
+    }
+
+    #[test]
+    fn scoped_caches_are_per_instrument_kind() {
+        // The same key used as a counter, gauge and histogram through one
+        // Scoped handle must not cross-talk through a shared cache.
+        let mut sink = RecordingSink::new();
+        {
+            let mut scoped = Scoped::new(&mut sink, "k");
+            scoped.counter_add("x", 1);
+            scoped.gauge_set("x", 9);
+            scoped.record("x", 3);
+            scoped.counter_add("x", 1);
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.counters["k.x"], 2);
+        assert_eq!(snap.gauges["k.x"], 9);
+        assert_eq!(snap.histograms["k.x"].count(), 1);
     }
 
     #[test]

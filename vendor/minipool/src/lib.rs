@@ -92,6 +92,154 @@ where
         .collect()
 }
 
+/// A crew of long-lived workers, each owning one piece of state, driven in
+/// lockstep rounds.
+///
+/// [`map_indexed`] forks and joins per call, which is the right shape for
+/// independent trials but wrong for a sharded simulation: shard state (RIBs,
+/// queues, RNGs) must stay pinned to one worker across thousands of barrier
+/// rounds. A `Crew` spawns one thread per state up front; every
+/// [`Crew::round`] sends each worker one argument, runs the shared round
+/// function against that worker's `&mut` state, and collects the results
+/// **in worker index order** — a full barrier, so round `k + 1` never starts
+/// before every worker finished round `k`.
+///
+/// [`Crew::join`] tears the crew down and hands the states back, so the
+/// caller can run sequential phases (setup, census, metrics export) between
+/// parallel ones on the very same values.
+///
+/// # Example
+///
+/// ```
+/// let mut crew = minipool::Crew::spawn(vec![0u64, 100], |state, add: u64| {
+///     *state += add;
+///     *state
+/// });
+/// assert_eq!(crew.round(vec![1, 2]), vec![1, 102]);
+/// assert_eq!(crew.round(vec![10, 20]), vec![11, 122]);
+/// assert_eq!(crew.join(), vec![11, 122]);
+/// ```
+#[derive(Debug)]
+pub struct Crew<W, A, R> {
+    workers: Vec<CrewWorker<W, A, R>>,
+}
+
+#[derive(Debug)]
+struct CrewWorker<W, A, R> {
+    tx: std::sync::mpsc::Sender<A>,
+    rx: std::sync::mpsc::Receiver<R>,
+    handle: Option<std::thread::JoinHandle<W>>,
+}
+
+impl<W, A, R> Crew<W, A, R>
+where
+    W: Send + 'static,
+    A: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawns one worker thread per entry of `states`; each worker owns its
+    /// state for the crew's lifetime and runs `round` on it once per
+    /// [`Crew::round`] call.
+    #[must_use]
+    pub fn spawn<F>(states: Vec<W>, round: F) -> Self
+    where
+        F: Fn(&mut W, A) -> R + Send + Sync + 'static,
+    {
+        let round = std::sync::Arc::new(round);
+        let workers = states
+            .into_iter()
+            .map(|mut state| {
+                let (arg_tx, arg_rx) = std::sync::mpsc::channel::<A>();
+                let (res_tx, res_rx) = std::sync::mpsc::channel::<R>();
+                let round = std::sync::Arc::clone(&round);
+                let handle = std::thread::spawn(move || {
+                    while let Ok(arg) = arg_rx.recv() {
+                        let out = round(&mut state, arg);
+                        if res_tx.send(out).is_err() {
+                            break;
+                        }
+                    }
+                    state
+                });
+                CrewWorker {
+                    tx: arg_tx,
+                    rx: res_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Crew { workers }
+    }
+
+    /// Number of workers in the crew.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `true` for a crew with no workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Runs one barrier round: worker `i` receives `args[i]`, and the
+    /// returned vector holds worker `i`'s result at index `i`. All arguments
+    /// are sent before any result is awaited, so workers run concurrently;
+    /// the call returns only when every worker has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the crew size, or if a worker's
+    /// round function panicked (the original payload is propagated).
+    pub fn round(&mut self, args: Vec<A>) -> Vec<R> {
+        assert_eq!(args.len(), self.workers.len(), "one argument per worker");
+        for (worker, arg) in self.workers.iter().zip(args) {
+            if worker.tx.send(arg).is_err() {
+                // The worker is gone: fall through to the recv below, which
+                // joins it and propagates the original panic payload.
+            }
+        }
+        let mut out = Vec::with_capacity(self.workers.len());
+        for worker in &mut self.workers {
+            match worker.rx.recv() {
+                Ok(result) => out.push(result),
+                Err(_) => {
+                    // The worker died mid-round; join it to recover the
+                    // panic payload rather than inventing a generic one.
+                    if let Some(handle) = worker.handle.take() {
+                        if let Err(payload) = handle.join() {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                    panic!("crew worker exited without a result");
+                }
+            }
+        }
+        out
+    }
+
+    /// Shuts the crew down and returns the worker states in index order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker's panic payload if one died.
+    #[must_use]
+    pub fn join(mut self) -> Vec<W> {
+        // Dropping the senders ends each worker's receive loop.
+        let handles: Vec<_> = self.workers.iter_mut().map(|w| w.handle.take()).collect();
+        drop(self);
+        handles
+            .into_iter()
+            .flatten()
+            .map(|handle| match handle.join() {
+                Ok(state) => state,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +299,48 @@ mod tests {
             assert!(i != 5, "boom");
             i
         });
+    }
+
+    #[test]
+    fn crew_states_stay_pinned_across_rounds() {
+        let mut crew = Crew::spawn(vec![Vec::new(), Vec::new(), Vec::new()], |log, x: u32| {
+            log.push(x);
+            log.len()
+        });
+        assert_eq!(crew.len(), 3);
+        assert_eq!(crew.round(vec![10, 20, 30]), vec![1, 1, 1]);
+        assert_eq!(crew.round(vec![11, 21, 31]), vec![2, 2, 2]);
+        let states = crew.join();
+        assert_eq!(states, vec![vec![10, 11], vec![20, 21], vec![30, 31]]);
+    }
+
+    #[test]
+    fn crew_results_are_in_worker_order_despite_uneven_durations() {
+        let mut crew = Crew::spawn(vec![0usize, 1, 2, 3], |id, _: ()| {
+            if *id == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            *id
+        });
+        assert_eq!(crew.round(vec![(), (), (), ()]), vec![0, 1, 2, 3]);
+        let _ = crew.join();
+    }
+
+    #[test]
+    fn empty_crew_is_fine() {
+        let mut crew: Crew<u8, u8, u8> = Crew::spawn(Vec::new(), |_, a| a);
+        assert!(crew.is_empty());
+        assert!(crew.round(Vec::new()).is_empty());
+        assert!(crew.join().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "crew boom")]
+    fn crew_round_panic_propagates() {
+        let mut crew = Crew::spawn(vec![0u8, 1], |id, _: ()| {
+            assert!(*id != 1, "crew boom");
+            *id
+        });
+        let _ = crew.round(vec![(), ()]);
     }
 }
