@@ -49,7 +49,7 @@ pub use community::{Community, MOAS_LIST_VALUE};
 pub use error::{ParseAsPathError, ParseAsnError, ParsePrefixError};
 pub use intern::Interner;
 pub use moas_list::MoasList;
-pub use prefix::Ipv4Prefix;
+pub use prefix::{Ipv4Prefix, Ipv6Prefix};
 pub use route::{Route, RouteOrigin};
 pub use trie::PrefixTrie;
 pub use update::Update;

@@ -1,7 +1,7 @@
-//! IPv4 address prefixes.
+//! IPv4 and IPv6 address prefixes.
 
 use std::fmt;
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use std::str::FromStr;
 
 use crate::error::ParsePrefixError;
@@ -176,11 +176,145 @@ impl FromStr for Ipv4Prefix {
     }
 }
 
+/// An IPv6 address prefix in canonical (host-bits-zeroed) form.
+///
+/// The IPv6 counterpart of [`Ipv4Prefix`], carried by the multiprotocol
+/// attributes (RFC 4760) rather than the classic UPDATE NLRI field. The
+/// detector's tables remain IPv4-only for now; this type exists so the wire
+/// codecs can decode IPv6 reachability without discarding it.
+///
+/// # Example
+///
+/// ```
+/// use bgp_types::Ipv6Prefix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p: Ipv6Prefix = "2001:db8::1/32".parse()?;
+/// assert_eq!(p.to_string(), "2001:db8::/32");
+/// let sub: Ipv6Prefix = "2001:db8:4::/48".parse()?;
+/// assert!(p.contains(sub));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv6Prefix {
+    addr: u128,
+    len: u8,
+}
+
+impl Ipv6Prefix {
+    /// The default route, `::/0`.
+    pub const DEFAULT: Ipv6Prefix = Ipv6Prefix { addr: 0, len: 0 };
+
+    /// Creates a prefix from a raw 128-bit address and a length, masking
+    /// host bits so the result is canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 128`. Use [`Ipv6Prefix::try_new`] for fallible
+    /// construction from untrusted input.
+    #[must_use]
+    pub fn new(addr: u128, len: u8) -> Self {
+        Self::try_new(addr, len).expect("prefix length exceeds 128")
+    }
+
+    /// Fallible variant of [`Ipv6Prefix::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePrefixError::LengthOutOfRange`] if `len > 128`.
+    pub fn try_new(addr: u128, len: u8) -> Result<Self, ParsePrefixError> {
+        if len > 128 {
+            return Err(ParsePrefixError::LengthOutOfRange(len));
+        }
+        Ok(Ipv6Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        })
+    }
+
+    /// The network mask for a given prefix length.
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - u32::from(len))
+        }
+    }
+
+    /// The (canonical) network address as a raw 128-bit value.
+    #[must_use]
+    pub fn network(self) -> u128 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    // `len` is the CIDR mask width, not a collection size; an `is_empty`
+    // counterpart would be meaningless.
+    #[allow(clippy::len_without_is_empty)]
+    #[must_use]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Returns `true` for the zero-length default route.
+    #[must_use]
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `other` falls inside this prefix (including equality).
+    #[must_use]
+    pub fn contains(self, other: Ipv6Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Returns `true` if the two prefixes overlap (one contains the other).
+    #[must_use]
+    pub fn overlaps(self, other: Ipv6Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv6Addr::from(self.addr), self.len)
+    }
+}
+
+impl From<(Ipv6Addr, u8)> for Ipv6Prefix {
+    /// Converts, masking host bits; saturates lengths above 128 to 128.
+    fn from((addr, len): (Ipv6Addr, u8)) -> Self {
+        Ipv6Prefix::new(u128::from(addr), len.min(128))
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, len_part) = s
+            .split_once('/')
+            .ok_or_else(|| ParsePrefixError::Syntax(s.to_owned()))?;
+        let addr: Ipv6Addr = addr_part
+            .parse()
+            .map_err(|_| ParsePrefixError::Syntax(s.to_owned()))?;
+        let len: u8 = len_part
+            .parse()
+            .map_err(|_| ParsePrefixError::Syntax(s.to_owned()))?;
+        Ipv6Prefix::try_new(u128::from(addr), len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
         s.parse().unwrap()
     }
 
@@ -250,5 +384,39 @@ mod tests {
         let mut v = vec![p("10.0.0.0/8"), p("9.0.0.0/8"), p("10.0.0.0/16")];
         v.sort();
         assert_eq!(v, vec![p("9.0.0.0/8"), p("10.0.0.0/8"), p("10.0.0.0/16")]);
+    }
+
+    #[test]
+    fn v6_canonicalizes_host_bits() {
+        assert_eq!(p6("2001:db8::dead:beef/32"), p6("2001:db8::/32"));
+        assert_eq!(p6("2001:db8::dead:beef/32").to_string(), "2001:db8::/32");
+        assert_eq!(p6("::/0"), Ipv6Prefix::DEFAULT);
+        assert!(Ipv6Prefix::DEFAULT.is_default());
+    }
+
+    #[test]
+    fn v6_contains_and_overlaps() {
+        assert!(p6("2001:db8::/32").contains(p6("2001:db8:5::/48")));
+        assert!(!p6("2001:db8:5::/48").contains(p6("2001:db8::/32")));
+        assert!(p6("2001:db8::/32").overlaps(p6("2001:db8:9::/48")));
+        assert!(!p6("2001:db8::/32").overlaps(p6("2001:db9::/32")));
+        assert!(Ipv6Prefix::DEFAULT.contains(p6("::1/128")));
+    }
+
+    #[test]
+    fn v6_rejects_bad_syntax() {
+        assert!("2001:db8::".parse::<Ipv6Prefix>().is_err());
+        assert!("2001:db8::/x".parse::<Ipv6Prefix>().is_err());
+        assert_eq!(
+            "2001:db8::/129".parse::<Ipv6Prefix>(),
+            Err(ParsePrefixError::LengthOutOfRange(129))
+        );
+    }
+
+    #[test]
+    fn v6_display_round_trips() {
+        for s in ["::/0", "2001:db8::/32", "::1/128", "fe80::/10"] {
+            assert_eq!(p6(s).to_string(), s);
+        }
     }
 }

@@ -10,7 +10,9 @@
 //! bounds-checked and failures come back as [`WireError`] with the byte
 //! offset of the problem.
 
-use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, Route, RouteOrigin, Update};
+use bgp_types::{
+    AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, Ipv6Prefix, Route, RouteOrigin, Update,
+};
 
 use crate::error::{WireError, WireErrorKind};
 
@@ -26,6 +28,13 @@ pub(crate) const ATTR_AS_PATH: u8 = 2;
 pub(crate) const ATTR_NEXT_HOP: u8 = 3;
 pub(crate) const ATTR_LOCAL_PREF: u8 = 5;
 pub(crate) const ATTR_COMMUNITIES: u8 = 8;
+pub(crate) const ATTR_MP_REACH_NLRI: u8 = 14;
+pub(crate) const ATTR_MP_UNREACH_NLRI: u8 = 15;
+
+/// RFC 4760 address family identifier for IPv6.
+pub(crate) const AFI_IPV6: u16 = 2;
+/// RFC 4760 subsequent address family identifier for unicast.
+pub(crate) const SAFI_UNICAST: u8 = 1;
 
 const FLAG_OPTIONAL: u8 = 0x80;
 const FLAG_TRANSITIVE: u8 = 0x40;
@@ -52,6 +61,29 @@ pub enum AsnEncoding {
     FourOctet,
 }
 
+/// RFC 4760 `MP_REACH_NLRI` payload for IPv6 unicast (AFI 2, SAFI 1).
+///
+/// Inside a live UPDATE the attribute carries its own AFI/SAFI, next hop
+/// *and* the announced prefixes; inside a `TABLE_DUMP_V2` RIB entry
+/// (RFC 6396 §4.3.4) it is abbreviated to just the next hop — the prefix
+/// lives in the enclosing RIB record. Both forms decode into this struct
+/// (the abbreviated one with empty `nlri`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpReach {
+    /// The next-hop address bytes (16 for a global address, 32 when a
+    /// link-local address rides along).
+    pub next_hop: Vec<u8>,
+    /// Announced IPv6 prefixes (empty in the MRT RIB form).
+    pub nlri: Vec<Ipv6Prefix>,
+}
+
+/// RFC 4760 `MP_UNREACH_NLRI` payload for IPv6 unicast (AFI 2, SAFI 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpUnreach {
+    /// Withdrawn IPv6 prefixes.
+    pub withdrawn: Vec<Ipv6Prefix>,
+}
+
 /// The path attributes this crate round-trips.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathAttributes {
@@ -61,12 +93,19 @@ pub struct PathAttributes {
     pub as_path: AsPath,
     /// `NEXT_HOP` (type 3), as a raw IPv4 address. The simulator routes at
     /// AS granularity and has no router addresses, so exports synthesize
-    /// one; see [`PathAttributes::synthetic_next_hop`].
+    /// one; see [`PathAttributes::synthetic_next_hop`]. Zero when the
+    /// update is IPv6-only (reachability in `mp_reach`, which carries its
+    /// own next hop).
     pub next_hop: u32,
     /// `LOCAL_PREF` (type 5), when present.
     pub local_pref: Option<u32>,
     /// `COMMUNITIES` (type 8); carries the MOAS list members.
     pub communities: Vec<Community>,
+    /// `MP_REACH_NLRI` (type 14) for IPv6 unicast, when present. Other
+    /// AFI/SAFI pairs are skipped like any unimplemented optional attribute.
+    pub mp_reach: Option<MpReach>,
+    /// `MP_UNREACH_NLRI` (type 15) for IPv6 unicast, when present.
+    pub mp_unreach: Option<MpUnreach>,
 }
 
 impl PathAttributes {
@@ -79,6 +118,8 @@ impl PathAttributes {
             next_hop: Self::synthetic_next_hop(route.as_path().first()),
             local_pref: Some(route.local_pref()),
             communities: route.communities().to_vec(),
+            mp_reach: None,
+            mp_unreach: None,
         }
     }
 
@@ -294,35 +335,43 @@ impl UpdateMessage {
             return Err(cur.error_at(18, WireErrorKind::UnsupportedMessageType(msg_type)));
         }
         let body = cur.take(total - HEADER_LEN)?;
-
-        let mut body_cur = Cursor::with_base(body, HEADER_LEN as u64);
-        let withdrawn_len = usize::from(body_cur.u16()?);
-        let withdrawn_bytes = body_cur.take(withdrawn_len)?;
-        let withdrawn = decode_prefix_run(withdrawn_bytes, body_cur.base + 2)?;
-
-        let attrs_len = usize::from(body_cur.u16()?);
-        let attrs_base = body_cur.position();
-        let attr_bytes = body_cur.take(attrs_len)?;
-        let nlri_base = body_cur.position();
-        let nlri = decode_prefix_run(body_cur.rest(), nlri_base)?;
-
-        let attrs = decode_attributes(attr_bytes, attrs_base, encoding)?;
-        if attrs.is_none() && !nlri.is_empty() {
-            return Err(WireError::new(
-                WireErrorKind::MissingAttribute("AS_PATH"),
-                nlri_base,
-            ));
-        }
-
-        Ok((
-            UpdateMessage {
-                withdrawn,
-                attrs,
-                nlri,
-            },
-            total,
-        ))
+        let message = decode_update_body(body, HEADER_LEN as u64, encoding)?;
+        Ok((message, total))
     }
+}
+
+/// Decodes an UPDATE body (everything after the 19-byte header), reporting
+/// errors at `base` + local offset. Shared by [`UpdateMessage`] and the
+/// session-message dispatcher in [`crate::msg`].
+pub(crate) fn decode_update_body(
+    body: &[u8],
+    base: u64,
+    encoding: AsnEncoding,
+) -> Result<UpdateMessage, WireError> {
+    let mut body_cur = Cursor::with_base(body, base);
+    let withdrawn_len = usize::from(body_cur.u16()?);
+    let withdrawn_bytes = body_cur.take(withdrawn_len)?;
+    let withdrawn = decode_prefix_run(withdrawn_bytes, body_cur.base + 2)?;
+
+    let attrs_len = usize::from(body_cur.u16()?);
+    let attrs_base = body_cur.position();
+    let attr_bytes = body_cur.take(attrs_len)?;
+    let nlri_base = body_cur.position();
+    let nlri = decode_prefix_run(body_cur.rest(), nlri_base)?;
+
+    let attrs = decode_attributes(attr_bytes, attrs_base, encoding)?;
+    if attrs.is_none() && !nlri.is_empty() {
+        return Err(WireError::new(
+            WireErrorKind::MissingAttribute("AS_PATH"),
+            nlri_base,
+        ));
+    }
+
+    Ok(UpdateMessage {
+        withdrawn,
+        attrs,
+        nlri,
+    })
 }
 
 /// A bounds-checked reader over a byte slice, tracking the absolute offset
@@ -437,6 +486,38 @@ fn decode_prefix_run(bytes: &[u8], base: u64) -> Result<Vec<Ipv4Prefix>, WireErr
     Ok(out)
 }
 
+/// Writes one IPv6 `<length, prefix>` tuple.
+pub(crate) fn encode_prefix6(out: &mut Vec<u8>, prefix: Ipv6Prefix) {
+    out.push(prefix.len());
+    let octets = prefix.network().to_be_bytes();
+    out.extend_from_slice(&octets[..prefix_octets(prefix.len())]);
+}
+
+/// Reads one IPv6 `<length, prefix>` tuple from a cursor.
+pub(crate) fn decode_one_prefix6(cur: &mut Cursor<'_>) -> Result<Ipv6Prefix, WireError> {
+    let at = cur.position();
+    let bits = cur.u8()?;
+    if bits > 128 {
+        return Err(WireError::new(WireErrorKind::BadPrefixLength(bits), at));
+    }
+    let body = cur.take(prefix_octets(bits))?;
+    let mut octets = [0u8; 16];
+    octets[..body.len()].copy_from_slice(body);
+    // try_new cannot fail (bits <= 128 was checked), but stay panic-free.
+    Ipv6Prefix::try_new(u128::from_be_bytes(octets), bits)
+        .map_err(|_| WireError::new(WireErrorKind::BadPrefixLength(bits), at))
+}
+
+/// Decodes a back-to-back run of IPv6 `<length, prefix>` tuples.
+fn decode_prefix6_run(bytes: &[u8], base: u64) -> Result<Vec<Ipv6Prefix>, WireError> {
+    let mut cur = Cursor::with_base(bytes, base);
+    let mut out = Vec::new();
+    while cur.remaining() > 0 {
+        out.push(decode_one_prefix6(&mut cur)?);
+    }
+    Ok(out)
+}
+
 /// Reserves a 2-byte length field in `out`, returning its offset for
 /// [`patch_u16`] once the section it describes has been written.
 pub(crate) fn reserve_u16(out: &mut Vec<u8>) -> usize {
@@ -500,10 +581,32 @@ fn encode_asn(out: &mut Vec<u8>, asn: Asn, encoding: AsnEncoding) -> Result<(), 
 }
 
 /// Encodes the attribute block (without the leading total-length field).
+/// Multiprotocol attributes are written in the full RFC 4760 form; see
+/// [`encode_attributes_rib`] for the abbreviated MRT RIB form.
 pub(crate) fn encode_attributes(
     out: &mut Vec<u8>,
     attrs: &PathAttributes,
     encoding: AsnEncoding,
+) -> Result<(), WireError> {
+    encode_attributes_form(out, attrs, encoding, false)
+}
+
+/// [`encode_attributes`] in the `TABLE_DUMP_V2` RIB-entry form: the
+/// `MP_REACH_NLRI` body is abbreviated to `<next-hop length, next hop>`
+/// (RFC 6396 §4.3.4) — no AFI/SAFI, no NLRI.
+pub(crate) fn encode_attributes_rib(
+    out: &mut Vec<u8>,
+    attrs: &PathAttributes,
+    encoding: AsnEncoding,
+) -> Result<(), WireError> {
+    encode_attributes_form(out, attrs, encoding, true)
+}
+
+fn encode_attributes_form(
+    out: &mut Vec<u8>,
+    attrs: &PathAttributes,
+    encoding: AsnEncoding,
+    rib_form: bool,
 ) -> Result<(), WireError> {
     let origin_code = match attrs.origin {
         RouteOrigin::Igp => 0u8,
@@ -552,15 +655,82 @@ pub(crate) fn encode_attributes(
             &body,
         )?;
     }
+    if let Some(mp) = &attrs.mp_reach {
+        let mut body = Vec::with_capacity(5 + mp.next_hop.len() + 17 * mp.nlri.len());
+        if rib_form {
+            let nh_len = u8::try_from(mp.next_hop.len()).map_err(|_| {
+                WireError::new(
+                    WireErrorKind::LengthOverflow {
+                        field: "MP_REACH_NLRI next hop",
+                        length: mp.next_hop.len(),
+                        max: 255,
+                    },
+                    0,
+                )
+            })?;
+            body.push(nh_len);
+            body.extend_from_slice(&mp.next_hop);
+        } else {
+            body.extend_from_slice(&AFI_IPV6.to_be_bytes());
+            body.push(SAFI_UNICAST);
+            let nh_len = u8::try_from(mp.next_hop.len()).map_err(|_| {
+                WireError::new(
+                    WireErrorKind::LengthOverflow {
+                        field: "MP_REACH_NLRI next hop",
+                        length: mp.next_hop.len(),
+                        max: 255,
+                    },
+                    0,
+                )
+            })?;
+            body.push(nh_len);
+            body.extend_from_slice(&mp.next_hop);
+            body.push(0); // reserved (SNPA count in RFC 2858)
+            for &prefix in &mp.nlri {
+                encode_prefix6(&mut body, prefix);
+            }
+        }
+        push_attr(out, FLAG_OPTIONAL, ATTR_MP_REACH_NLRI, &body)?;
+    }
+    if let Some(mp) = &attrs.mp_unreach {
+        let mut body = Vec::with_capacity(3 + 17 * mp.withdrawn.len());
+        body.extend_from_slice(&AFI_IPV6.to_be_bytes());
+        body.push(SAFI_UNICAST);
+        for &prefix in &mp.withdrawn {
+            encode_prefix6(&mut body, prefix);
+        }
+        push_attr(out, FLAG_OPTIONAL, ATTR_MP_UNREACH_NLRI, &body)?;
+    }
     Ok(())
 }
 
 /// Decodes an attribute block. Returns `None` when the block is empty (a
-/// pure withdrawal).
+/// pure withdrawal). Multiprotocol attributes are expected in the full
+/// RFC 4760 form; see [`decode_attributes_rib`] for MRT RIB entries.
 pub(crate) fn decode_attributes(
     bytes: &[u8],
     base: u64,
     encoding: AsnEncoding,
+) -> Result<Option<PathAttributes>, WireError> {
+    decode_attributes_form(bytes, base, encoding, false)
+}
+
+/// [`decode_attributes`] for `TABLE_DUMP_V2` RIB entries, where
+/// `MP_REACH_NLRI` is abbreviated to `<next-hop length, next hop>`
+/// (RFC 6396 §4.3.4).
+pub(crate) fn decode_attributes_rib(
+    bytes: &[u8],
+    base: u64,
+    encoding: AsnEncoding,
+) -> Result<Option<PathAttributes>, WireError> {
+    decode_attributes_form(bytes, base, encoding, true)
+}
+
+fn decode_attributes_form(
+    bytes: &[u8],
+    base: u64,
+    encoding: AsnEncoding,
+    rib_form: bool,
 ) -> Result<Option<PathAttributes>, WireError> {
     if bytes.is_empty() {
         return Ok(None);
@@ -571,6 +741,8 @@ pub(crate) fn decode_attributes(
     let mut next_hop = None;
     let mut local_pref = None;
     let mut communities = Vec::new();
+    let mut mp_reach = None;
+    let mut mp_unreach = None;
 
     while cur.remaining() > 0 {
         let flags = cur.u8()?;
@@ -626,6 +798,12 @@ pub(crate) fn decode_attributes(
                     ])));
                 }
             }
+            ATTR_MP_REACH_NLRI => {
+                mp_reach = decode_mp_reach(body, at, rib_form)?.or(mp_reach);
+            }
+            ATTR_MP_UNREACH_NLRI => {
+                mp_unreach = decode_mp_unreach(body, at)?.or(mp_unreach);
+            }
             // Unrecognized attributes are skipped, as BGP speakers do with
             // optional attributes they do not implement.
             _ => {}
@@ -634,13 +812,85 @@ pub(crate) fn decode_attributes(
 
     let end = cur.position();
     let missing = |name| WireError::new(WireErrorKind::MissingAttribute(name), end);
+    let origin = origin.ok_or_else(|| missing("ORIGIN"))?;
+    let as_path = as_path.ok_or_else(|| missing("AS_PATH"))?;
+    // An IPv6-only update carries its next hop inside MP_REACH_NLRI and has
+    // no NEXT_HOP attribute at all (RFC 4760 §7); zero stands in for it.
+    let next_hop = match (next_hop, &mp_reach) {
+        (Some(nh), _) => nh,
+        (None, Some(_)) => 0,
+        (None, None) => return Err(missing("NEXT_HOP")),
+    };
     Ok(Some(PathAttributes {
-        origin: origin.ok_or_else(|| missing("ORIGIN"))?,
-        as_path: as_path.ok_or_else(|| missing("AS_PATH"))?,
-        next_hop: next_hop.ok_or_else(|| missing("NEXT_HOP"))?,
+        origin,
+        as_path,
+        next_hop,
         local_pref,
         communities,
+        mp_reach,
+        mp_unreach,
     }))
+}
+
+/// Decodes an `MP_REACH_NLRI` body at absolute offset `base`. Returns
+/// `None` (skip, like any unimplemented optional attribute) for AFI/SAFI
+/// pairs other than IPv6 unicast; the abbreviated `rib_form` carries no
+/// AFI/SAFI and always decodes.
+fn decode_mp_reach(body: &[u8], base: u64, rib_form: bool) -> Result<Option<MpReach>, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    if rib_form {
+        let nh_at = cur.position();
+        let nh_len = usize::from(cur.u8()?);
+        let next_hop = cur.take(nh_len)?.to_vec();
+        if cur.remaining() > 0 {
+            return Err(WireError::new(
+                WireErrorKind::BadAttributeLength {
+                    type_code: ATTR_MP_REACH_NLRI,
+                    length: body.len(),
+                },
+                nh_at,
+            ));
+        }
+        return Ok(Some(MpReach {
+            next_hop,
+            nlri: Vec::new(),
+        }));
+    }
+    let afi = cur.u16()?;
+    let safi = cur.u8()?;
+    let nh_at = cur.position();
+    let nh_len = usize::from(cur.u8()?);
+    let next_hop = cur.take(nh_len)?.to_vec();
+    cur.u8()?; // reserved (SNPA count)
+    if afi != AFI_IPV6 || safi != SAFI_UNICAST {
+        return Ok(None);
+    }
+    if nh_len != 16 && nh_len != 32 {
+        return Err(WireError::new(
+            WireErrorKind::BadAttributeLength {
+                type_code: ATTR_MP_REACH_NLRI,
+                length: nh_len,
+            },
+            nh_at,
+        ));
+    }
+    let nlri_base = cur.position();
+    let nlri = decode_prefix6_run(cur.rest(), nlri_base)?;
+    Ok(Some(MpReach { next_hop, nlri }))
+}
+
+/// Decodes an `MP_UNREACH_NLRI` body at absolute offset `base`. Returns
+/// `None` for AFI/SAFI pairs other than IPv6 unicast.
+fn decode_mp_unreach(body: &[u8], base: u64) -> Result<Option<MpUnreach>, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let afi = cur.u16()?;
+    let safi = cur.u8()?;
+    if afi != AFI_IPV6 || safi != SAFI_UNICAST {
+        return Ok(None);
+    }
+    let run_base = cur.position();
+    let withdrawn = decode_prefix6_run(cur.rest(), run_base)?;
+    Ok(Some(MpUnreach { withdrawn }))
 }
 
 fn decode_as_path(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<AsPath, WireError> {

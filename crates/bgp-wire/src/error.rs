@@ -17,8 +17,21 @@ pub enum WireErrorKind {
     BadMessageLength(u16),
     /// The message type is not UPDATE (2).
     UnsupportedMessageType(u8),
-    /// A prefix length field exceeded 32 bits.
+    /// A prefix length field exceeded its address family's width.
     BadPrefixLength(u8),
+    /// An OPEN message carried a BGP version other than 4.
+    BadVersion(u8),
+    /// An OPEN hold time of 1 or 2 seconds, which RFC 4271 forbids.
+    BadHoldTime(u16),
+    /// A capability body length disagreed with its code's fixed size.
+    BadCapabilityLength {
+        /// Capability code.
+        code: u8,
+        /// Observed body length.
+        length: u8,
+    },
+    /// A NOTIFICATION carried an undefined error code.
+    BadNotificationCode(u8),
     /// A length field pointed past the end of its enclosing structure.
     BadFieldLength {
         /// The offending length value.
@@ -112,7 +125,19 @@ impl fmt::Display for WireError {
             WireErrorKind::UnsupportedMessageType(t) => {
                 write!(f, "unsupported BGP message type {t}")
             }
-            WireErrorKind::BadPrefixLength(len) => write!(f, "prefix length {len} exceeds 32"),
+            WireErrorKind::BadPrefixLength(len) => {
+                write!(f, "prefix length {len} exceeds the address width")
+            }
+            WireErrorKind::BadVersion(v) => write!(f, "unsupported BGP version {v}"),
+            WireErrorKind::BadHoldTime(t) => {
+                write!(f, "OPEN hold time {t} is forbidden by RFC 4271")
+            }
+            WireErrorKind::BadCapabilityLength { code, length } => {
+                write!(f, "capability code {code} has impossible length {length}")
+            }
+            WireErrorKind::BadNotificationCode(code) => {
+                write!(f, "undefined NOTIFICATION error code {code}")
+            }
             WireErrorKind::BadFieldLength { length, available } => {
                 write!(
                     f,

@@ -231,6 +231,9 @@ impl<R: io::Read> DailyDumpStream<R> {
                     .dump
                     .observe_all(rib.prefix(), self.scratch_origins.iter().copied());
             }
+            // The measurement pipeline is IPv4-only (§2 of the paper); IPv6
+            // RIB records decode and validate but do not enter daily dumps.
+            MrtBodyView::RibIpv6Unicast(_) => {}
             MrtBodyView::Bgp4mpMessage(_) => self.skipped_messages += 1,
         }
         Ok(())

@@ -59,6 +59,7 @@ mod error;
 pub mod export;
 pub mod import;
 pub mod mrt;
+pub mod msg;
 pub mod view;
 
 pub use error::{WireError, WireErrorKind};
@@ -67,8 +68,9 @@ pub use import::{
     import_table_dumps, import_update_stream, DailyDumpStream, DayImport, ImportedTables,
 };
 pub use view::{
-    AttrInterner, AttrsView, Bgp4mpView, MrtBodyView, MrtRecordView, MrtViewReader,
-    PeerIndexTableView, RibEntryView, RibView, UpdateView,
+    AttrInterner, AttrsView, Bgp4mpView, CapabilityIter, MessageView, MrtBodyView, MrtRecordView,
+    MrtViewReader, NotificationView, OpenView, PeerIndexTableView, Prefix6Iter, Rib6View,
+    RibEntryView, RibView, UpdateView,
 };
 
 use bgp_types::Asn;

@@ -3,8 +3,9 @@
 //! Covers the records the MOAS pipeline consumes and produces:
 //!
 //! * `TABLE_DUMP_V2` / `PEER_INDEX_TABLE` — the collector's peer roster;
-//! * `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST` — one prefix with the route each
-//!   peer held for it (a daily Route Views table snapshot);
+//! * `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST` and `RIB_IPV6_UNICAST` — one
+//!   prefix with the route each peer held for it (a daily Route Views table
+//!   snapshot);
 //! * `BGP4MP` / `MESSAGE` and `MESSAGE_AS4` — individual BGP UPDATEs in
 //!   flight, wrapping the [`crate::bgp`] codec.
 //!
@@ -15,7 +16,7 @@
 use std::io;
 
 use bgp_types::Asn;
-use bgp_types::Ipv4Prefix;
+use bgp_types::{Ipv4Prefix, Ipv6Prefix};
 
 use crate::bgp::{self, AsnEncoding, Cursor, PathAttributes, UpdateMessage};
 use crate::error::{WireError, WireErrorKind};
@@ -28,6 +29,8 @@ pub const TYPE_BGP4MP: u16 = 16;
 pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
 /// `TABLE_DUMP_V2` subtype `RIB_IPV4_UNICAST`.
 pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+/// `TABLE_DUMP_V2` subtype `RIB_IPV6_UNICAST`.
+pub const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
 /// `BGP4MP` subtype `BGP4MP_MESSAGE` (2-octet ASNs).
 pub const SUBTYPE_BGP4MP_MESSAGE: u16 = 1;
 /// `BGP4MP` subtype `BGP4MP_MESSAGE_AS4` (4-octet ASNs).
@@ -83,6 +86,21 @@ pub struct RibIpv4Unicast {
     pub entries: Vec<RibEntry>,
 }
 
+/// A `RIB_IPV6_UNICAST` record: every peer's route for one IPv6 prefix.
+///
+/// Entries reuse [`RibEntry`]; per RFC 6396 §4.3.4 their `MP_REACH_NLRI`
+/// attribute is abbreviated to `<next-hop length, next hop>` and the prefix
+/// lives here in the record header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibIpv6Unicast {
+    /// Record sequence number.
+    pub sequence: u32,
+    /// The prefix.
+    pub prefix: Ipv6Prefix,
+    /// One entry per peer that held a route.
+    pub entries: Vec<RibEntry>,
+}
+
 /// A `BGP4MP_MESSAGE` / `BGP4MP_MESSAGE_AS4` record: one BGP message as
 /// exchanged between two peers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +141,8 @@ pub enum MrtBody {
     PeerIndexTable(PeerIndexTable),
     /// `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST`.
     RibIpv4Unicast(RibIpv4Unicast),
+    /// `TABLE_DUMP_V2` / `RIB_IPV6_UNICAST`.
+    RibIpv6Unicast(RibIpv6Unicast),
     /// `BGP4MP` / `MESSAGE` or `MESSAGE_AS4` (chosen on encode by
     /// [`Bgp4mpMessage::needs_as4`]).
     Bgp4mpMessage(Bgp4mpMessage),
@@ -171,6 +191,7 @@ impl MrtRecord {
         let (mrt_type, subtype) = match &self.body {
             MrtBody::PeerIndexTable(_) => (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE),
             MrtBody::RibIpv4Unicast(_) => (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST),
+            MrtBody::RibIpv6Unicast(_) => (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST),
             MrtBody::Bgp4mpMessage(msg) => (
                 TYPE_BGP4MP,
                 if msg.needs_as4() {
@@ -188,6 +209,7 @@ impl MrtRecord {
         match &self.body {
             MrtBody::PeerIndexTable(table) => encode_peer_index_table(out, table)?,
             MrtBody::RibIpv4Unicast(rib) => encode_rib(out, rib)?,
+            MrtBody::RibIpv6Unicast(rib) => encode_rib6(out, rib)?,
             MrtBody::Bgp4mpMessage(msg) => {
                 encode_bgp4mp(out, msg, subtype == SUBTYPE_BGP4MP_MESSAGE_AS4)?;
             }
@@ -226,20 +248,31 @@ fn encode_peer_index_table(out: &mut Vec<u8>, table: &PeerIndexTable) -> Result<
     Ok(())
 }
 
-fn encode_rib(out: &mut Vec<u8>, rib: &RibIpv4Unicast) -> Result<(), WireError> {
-    out.extend_from_slice(&rib.sequence.to_be_bytes());
-    bgp::encode_prefix(out, rib.prefix);
-    out.extend_from_slice(&bgp::checked_u16("RIB entry count", rib.entries.len())?.to_be_bytes());
-    for entry in &rib.entries {
+fn encode_rib_entries(out: &mut Vec<u8>, entries: &[RibEntry]) -> Result<(), WireError> {
+    out.extend_from_slice(&bgp::checked_u16("RIB entry count", entries.len())?.to_be_bytes());
+    for entry in entries {
         out.extend_from_slice(&entry.peer_index.to_be_bytes());
         out.extend_from_slice(&entry.originated_time.to_be_bytes());
         let attrs_at = bgp::reserve_u16(out);
-        // RFC 6396 §4.3.4: TABLE_DUMP_V2 attributes always use 4-octet ASNs.
-        bgp::encode_attributes(out, &entry.attrs, AsnEncoding::FourOctet)?;
+        // RFC 6396 §4.3.4: TABLE_DUMP_V2 attributes always use 4-octet ASNs
+        // and the abbreviated MP_REACH_NLRI form.
+        bgp::encode_attributes_rib(out, &entry.attrs, AsnEncoding::FourOctet)?;
         let attrs_len = bgp::checked_u16("RIB entry attributes", out.len() - attrs_at - 2)?;
         bgp::patch_u16(out, attrs_at, attrs_len);
     }
     Ok(())
+}
+
+fn encode_rib(out: &mut Vec<u8>, rib: &RibIpv4Unicast) -> Result<(), WireError> {
+    out.extend_from_slice(&rib.sequence.to_be_bytes());
+    bgp::encode_prefix(out, rib.prefix);
+    encode_rib_entries(out, &rib.entries)
+}
+
+fn encode_rib6(out: &mut Vec<u8>, rib: &RibIpv6Unicast) -> Result<(), WireError> {
+    out.extend_from_slice(&rib.sequence.to_be_bytes());
+    bgp::encode_prefix6(out, rib.prefix);
+    encode_rib_entries(out, &rib.entries)
 }
 
 fn encode_bgp4mp(out: &mut Vec<u8>, msg: &Bgp4mpMessage, as4: bool) -> Result<(), WireError> {
@@ -305,10 +338,7 @@ fn decode_peer_index_table(body: &[u8], base: u64) -> Result<PeerIndexTable, Wir
     })
 }
 
-fn decode_rib(body: &[u8], base: u64) -> Result<RibIpv4Unicast, WireError> {
-    let mut cur = Cursor::with_base(body, base);
-    let sequence = cur.u32()?;
-    let prefix = bgp::decode_one_prefix(&mut cur)?;
+fn decode_rib_entries(cur: &mut Cursor<'_>) -> Result<Vec<RibEntry>, WireError> {
     let entry_count = usize::from(cur.u16()?);
     let mut entries = Vec::with_capacity(entry_count.min(1024));
     for _ in 0..entry_count {
@@ -317,7 +347,7 @@ fn decode_rib(body: &[u8], base: u64) -> Result<RibIpv4Unicast, WireError> {
         let attr_len = usize::from(cur.u16()?);
         let attrs_base = cur.position();
         let attr_bytes = cur.take(attr_len)?;
-        let attrs = bgp::decode_attributes(attr_bytes, attrs_base, AsnEncoding::FourOctet)?
+        let attrs = bgp::decode_attributes_rib(attr_bytes, attrs_base, AsnEncoding::FourOctet)?
             .ok_or_else(|| {
                 WireError::new(WireErrorKind::MissingAttribute("AS_PATH"), attrs_base)
             })?;
@@ -327,8 +357,29 @@ fn decode_rib(body: &[u8], base: u64) -> Result<RibIpv4Unicast, WireError> {
             attrs,
         });
     }
+    Ok(entries)
+}
+
+fn decode_rib(body: &[u8], base: u64) -> Result<RibIpv4Unicast, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let sequence = cur.u32()?;
+    let prefix = bgp::decode_one_prefix(&mut cur)?;
+    let entries = decode_rib_entries(&mut cur)?;
     expect_consumed(&cur)?;
     Ok(RibIpv4Unicast {
+        sequence,
+        prefix,
+        entries,
+    })
+}
+
+fn decode_rib6(body: &[u8], base: u64) -> Result<RibIpv6Unicast, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let sequence = cur.u32()?;
+    let prefix = bgp::decode_one_prefix6(&mut cur)?;
+    let entries = decode_rib_entries(&mut cur)?;
+    expect_consumed(&cur)?;
+    Ok(RibIpv6Unicast {
         sequence,
         prefix,
         entries,
@@ -399,6 +450,9 @@ fn decode_record(
         }
         (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
             MrtBody::RibIpv4Unicast(decode_rib(body, body_base)?)
+        }
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => {
+            MrtBody::RibIpv6Unicast(decode_rib6(body, body_base)?)
         }
         (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE) => {
             MrtBody::Bgp4mpMessage(decode_bgp4mp(body, body_base, false)?)

@@ -30,19 +30,28 @@
 
 use std::io;
 
-use bgp_types::{AsPath, AsPathSegment, Asn, Community, Interner, Ipv4Prefix, Route, RouteOrigin};
+use bgp_types::{
+    AsPath, AsPathSegment, Asn, Community, Interner, Ipv4Prefix, Ipv6Prefix, Route, RouteOrigin,
+};
 
 use crate::bgp::{
-    decode_one_prefix, prefix_octets, AsnEncoding, Cursor, PathAttributes, UpdateMessage,
-    ATTR_AS_PATH, ATTR_COMMUNITIES, ATTR_LOCAL_PREF, ATTR_NEXT_HOP, ATTR_ORIGIN,
-    FLAG_EXTENDED_LENGTH, HEADER_LEN, MAX_MESSAGE_LEN, MAX_SEGMENT_ASNS, MESSAGE_TYPE_UPDATE,
+    decode_one_prefix, decode_one_prefix6, prefix_octets, AsnEncoding, Cursor, MpReach, MpUnreach,
+    PathAttributes, UpdateMessage, AFI_IPV6, ATTR_AS_PATH, ATTR_COMMUNITIES, ATTR_LOCAL_PREF,
+    ATTR_MP_REACH_NLRI, ATTR_MP_UNREACH_NLRI, ATTR_NEXT_HOP, ATTR_ORIGIN, FLAG_EXTENDED_LENGTH,
+    HEADER_LEN, MAX_MESSAGE_LEN, MAX_SEGMENT_ASNS, MESSAGE_TYPE_UPDATE, SAFI_UNICAST,
     SEGMENT_AS_SEQUENCE, SEGMENT_AS_SET,
 };
 use crate::error::{WireError, WireErrorKind};
 use crate::mrt::{
     read_exact_or_eof, Bgp4mpMessage, MrtBody, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
-    RibIpv4Unicast, MAX_RECORD_LEN, SUBTYPE_BGP4MP_MESSAGE, SUBTYPE_BGP4MP_MESSAGE_AS4,
-    SUBTYPE_PEER_INDEX_TABLE, SUBTYPE_RIB_IPV4_UNICAST, TYPE_BGP4MP, TYPE_TABLE_DUMP_V2,
+    RibIpv4Unicast, RibIpv6Unicast, MAX_RECORD_LEN, SUBTYPE_BGP4MP_MESSAGE,
+    SUBTYPE_BGP4MP_MESSAGE_AS4, SUBTYPE_PEER_INDEX_TABLE, SUBTYPE_RIB_IPV4_UNICAST,
+    SUBTYPE_RIB_IPV6_UNICAST, TYPE_BGP4MP, TYPE_TABLE_DUMP_V2,
+};
+use crate::msg::{
+    decode_one_capability, Capability, Message, NotificationMessage, OpenMessage, BGP_VERSION,
+    CAP_FOUR_OCTET_AS, CAP_MULTIPROTOCOL, MESSAGE_TYPE_KEEPALIVE, MESSAGE_TYPE_NOTIFICATION,
+    MESSAGE_TYPE_OPEN, MIN_NOTIFICATION_LEN, MIN_OPEN_LEN, PARAM_CAPABILITIES,
 };
 
 // ---------------------------------------------------------------------------
@@ -86,9 +95,78 @@ fn validate_as_path(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<()
     Ok(())
 }
 
+/// Mirrors the IPv6 prefix-run walk without building a Vec.
+fn validate_prefix6_run(bytes: &[u8], base: u64) -> Result<(), WireError> {
+    let mut cur = Cursor::with_base(bytes, base);
+    while cur.remaining() > 0 {
+        decode_one_prefix6(&mut cur)?;
+    }
+    Ok(())
+}
+
+/// Mirrors `decode_mp_reach` without building [`MpReach`]. Returns whether
+/// the attribute applied (`Some` in owned terms — IPv6 unicast, or any body
+/// in the abbreviated RIB form).
+fn validate_mp_reach(body: &[u8], base: u64, rib_form: bool) -> Result<bool, WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    if rib_form {
+        let nh_at = cur.position();
+        let nh_len = usize::from(cur.u8()?);
+        cur.take(nh_len)?;
+        if cur.remaining() > 0 {
+            return Err(WireError::new(
+                WireErrorKind::BadAttributeLength {
+                    type_code: ATTR_MP_REACH_NLRI,
+                    length: body.len(),
+                },
+                nh_at,
+            ));
+        }
+        return Ok(true);
+    }
+    let afi = cur.u16()?;
+    let safi = cur.u8()?;
+    let nh_at = cur.position();
+    let nh_len = usize::from(cur.u8()?);
+    cur.take(nh_len)?;
+    cur.u8()?; // reserved (SNPA count)
+    if afi != AFI_IPV6 || safi != SAFI_UNICAST {
+        return Ok(false);
+    }
+    if nh_len != 16 && nh_len != 32 {
+        return Err(WireError::new(
+            WireErrorKind::BadAttributeLength {
+                type_code: ATTR_MP_REACH_NLRI,
+                length: nh_len,
+            },
+            nh_at,
+        ));
+    }
+    let nlri_base = cur.position();
+    validate_prefix6_run(cur.rest(), nlri_base)?;
+    Ok(true)
+}
+
+/// Mirrors `decode_mp_unreach` without building [`MpUnreach`].
+fn validate_mp_unreach(body: &[u8], base: u64) -> Result<(), WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let afi = cur.u16()?;
+    let safi = cur.u8()?;
+    if afi != AFI_IPV6 || safi != SAFI_UNICAST {
+        return Ok(());
+    }
+    let run_base = cur.position();
+    validate_prefix6_run(cur.rest(), run_base)
+}
+
 /// Mirrors `decode_attributes` without building [`PathAttributes`]. Returns
 /// whether the block is non-empty (`Some` in owned terms).
-fn validate_attributes(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result<bool, WireError> {
+fn validate_attributes(
+    bytes: &[u8],
+    base: u64,
+    encoding: AsnEncoding,
+    rib_form: bool,
+) -> Result<bool, WireError> {
     if bytes.is_empty() {
         return Ok(false);
     }
@@ -96,6 +174,7 @@ fn validate_attributes(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result
     let mut has_origin = false;
     let mut has_as_path = false;
     let mut has_next_hop = false;
+    let mut has_mp_reach = false;
     while cur.remaining() > 0 {
         let flags = cur.u8()?;
         let type_code = cur.u8()?;
@@ -135,6 +214,10 @@ fn validate_attributes(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result
             }
             ATTR_LOCAL_PREF if body.len() != 4 => return Err(bad_len()),
             ATTR_COMMUNITIES if body.len() % 4 != 0 => return Err(bad_len()),
+            ATTR_MP_REACH_NLRI => {
+                has_mp_reach = validate_mp_reach(body, at, rib_form)? || has_mp_reach;
+            }
+            ATTR_MP_UNREACH_NLRI => validate_mp_unreach(body, at)?,
             _ => {}
         }
     }
@@ -146,10 +229,61 @@ fn validate_attributes(bytes: &[u8], base: u64, encoding: AsnEncoding) -> Result
     if !has_as_path {
         return Err(missing("AS_PATH"));
     }
-    if !has_next_hop {
+    // An IPv6-only update carries its next hop inside MP_REACH_NLRI.
+    if !has_next_hop && !has_mp_reach {
         return Err(missing("NEXT_HOP"));
     }
     Ok(true)
+}
+
+/// Mirrors `decode_open_body` without building [`OpenMessage`]. Capability
+/// bytes run through the owned per-capability decoder so errors stay
+/// identical by construction.
+fn validate_open_body(body: &[u8], base: u64) -> Result<(), WireError> {
+    let mut cur = Cursor::with_base(body, base);
+    let version_at = cur.position();
+    let version = cur.u8()?;
+    if version != BGP_VERSION {
+        return Err(WireError::new(
+            WireErrorKind::BadVersion(version),
+            version_at,
+        ));
+    }
+    cur.u16()?; // my_as
+    let hold_at = cur.position();
+    let hold_time = cur.u16()?;
+    if hold_time == 1 || hold_time == 2 {
+        return Err(WireError::new(
+            WireErrorKind::BadHoldTime(hold_time),
+            hold_at,
+        ));
+    }
+    cur.u32()?; // bgp id
+    let opt_len = usize::from(cur.u8()?);
+    let opt_base = cur.position();
+    let opt = cur.take(opt_len)?;
+    if cur.remaining() > 0 {
+        return Err(WireError::new(
+            WireErrorKind::TrailingBytes {
+                remaining: cur.remaining(),
+            },
+            cur.position(),
+        ));
+    }
+    let mut params = Cursor::with_base(opt, opt_base);
+    while params.remaining() > 0 {
+        let ptype = params.u8()?;
+        let plen = usize::from(params.u8()?);
+        let pbase = params.position();
+        let pbody = params.take(plen)?;
+        if ptype == PARAM_CAPABILITIES {
+            let mut caps = Cursor::with_base(pbody, pbase);
+            while caps.remaining() > 0 {
+                decode_one_capability(&mut caps)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +312,27 @@ impl Iterator for PrefixIter<'_> {
         let mut buf = [0u8; 4];
         buf[..body.len()].copy_from_slice(body);
         Ipv4Prefix::try_new(u32::from_be_bytes(buf), bits).ok()
+    }
+}
+
+/// Iterates a validated run of IPv6 `<length, prefix>` tuples.
+#[derive(Debug, Clone, Copy)]
+pub struct Prefix6Iter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Iterator for Prefix6Iter<'_> {
+    type Item = Ipv6Prefix;
+
+    fn next(&mut self) -> Option<Ipv6Prefix> {
+        let bits = *self.bytes.get(self.pos)?;
+        let octets = prefix_octets(bits);
+        let body = self.bytes.get(self.pos + 1..self.pos + 1 + octets)?;
+        self.pos += 1 + octets;
+        let mut buf = [0u8; 16];
+        buf[..body.len()].copy_from_slice(body);
+        Ipv6Prefix::try_new(u128::from_be_bytes(buf), bits).ok()
     }
 }
 
@@ -320,6 +475,9 @@ impl<'a> Iterator for SegmentIter<'a> {
 pub struct AttrsView<'a> {
     bytes: &'a [u8],
     encoding: AsnEncoding,
+    /// Whether `MP_REACH_NLRI` bodies use the abbreviated `TABLE_DUMP_V2`
+    /// RIB-entry form (RFC 6396 §4.3.4) instead of the full RFC 4760 one.
+    rib_form: bool,
 }
 
 impl<'a> AttrsView<'a> {
@@ -467,6 +625,66 @@ impl<'a> AttrsView<'a> {
         found
     }
 
+    /// The `MP_REACH_NLRI` attribute for IPv6 unicast, rebuilt owned (its
+    /// next hop is variable-length, so there is no borrowed form). Follows
+    /// the owned decoder's semantics: the last applicable attribute wins and
+    /// other AFI/SAFI pairs are skipped.
+    #[must_use]
+    pub fn mp_reach(&self) -> Option<MpReach> {
+        let mut found = None;
+        for (type_code, body) in self.raw() {
+            if type_code != ATTR_MP_REACH_NLRI {
+                continue;
+            }
+            if self.rib_form {
+                let nh_len = usize::from(*body.first().unwrap_or(&0));
+                let next_hop = body.get(1..1 + nh_len).unwrap_or(&[]).to_vec();
+                found = Some(MpReach {
+                    next_hop,
+                    nlri: Vec::new(),
+                });
+            } else {
+                if read_u16(body, 0) != AFI_IPV6 || *body.get(2).unwrap_or(&0) != SAFI_UNICAST {
+                    continue;
+                }
+                let nh_len = usize::from(*body.get(3).unwrap_or(&0));
+                let next_hop = body.get(4..4 + nh_len).unwrap_or(&[]).to_vec();
+                let nlri = Prefix6Iter {
+                    bytes: body.get(5 + nh_len..).unwrap_or(&[]),
+                    pos: 0,
+                };
+                found = Some(MpReach {
+                    next_hop,
+                    nlri: nlri.collect(),
+                });
+            }
+        }
+        found
+    }
+
+    /// The IPv6 prefixes withdrawn via `MP_UNREACH_NLRI` (last applicable
+    /// attribute wins, matching the owned decoder).
+    #[must_use]
+    pub fn mp_unreach(&self) -> Option<MpUnreach> {
+        let mut found = None;
+        for (type_code, body) in self.raw() {
+            if type_code != ATTR_MP_UNREACH_NLRI {
+                continue;
+            }
+            if read_u16(body, 0) != AFI_IPV6 || *body.get(2).unwrap_or(&0) != SAFI_UNICAST {
+                continue;
+            }
+            let withdrawn = Prefix6Iter {
+                bytes: body.get(3..).unwrap_or(&[]),
+                pos: 0,
+            };
+            found = Some(MpUnreach {
+                withdrawn: withdrawn.collect(),
+            });
+        }
+        found
+    }
+
     /// Rebuilds the owned [`AsPath`], re-joining encoder-split segments the
     /// way the owned decoder does.
     #[must_use]
@@ -503,6 +721,8 @@ impl<'a> AttrsView<'a> {
             next_hop: self.next_hop(),
             local_pref: self.local_pref(),
             communities: self.communities().collect(),
+            mp_reach: self.mp_reach(),
+            mp_unreach: self.mp_unreach(),
         }
     }
 }
@@ -552,11 +772,21 @@ impl<'a> UpdateView<'a> {
             ));
         }
         let body = cur.take(total - HEADER_LEN)?;
+        let view = Self::parse_body(body, HEADER_LEN as u64, encoding)?;
+        Ok((view, total))
+    }
 
-        let mut body_cur = Cursor::with_base(body, HEADER_LEN as u64);
+    /// Parses (and fully validates) an UPDATE body — the bytes after the
+    /// 19-byte header — mirroring `decode_update_body`.
+    pub(crate) fn parse_body(
+        body: &'a [u8],
+        base: u64,
+        encoding: AsnEncoding,
+    ) -> Result<Self, WireError> {
+        let mut body_cur = Cursor::with_base(body, base);
         let withdrawn_len = usize::from(body_cur.u16()?);
         let withdrawn = body_cur.take(withdrawn_len)?;
-        validate_prefix_run(withdrawn, HEADER_LEN as u64 + 2)?;
+        validate_prefix_run(withdrawn, base + 2)?;
 
         let attrs_len = usize::from(body_cur.u16()?);
         let attrs_base = body_cur.position();
@@ -565,7 +795,7 @@ impl<'a> UpdateView<'a> {
         let nlri = body_cur.rest();
         validate_prefix_run(nlri, nlri_base)?;
 
-        let has_attrs = validate_attributes(attr_bytes, attrs_base, encoding)?;
+        let has_attrs = validate_attributes(attr_bytes, attrs_base, encoding, false)?;
         if !has_attrs && !nlri.is_empty() {
             return Err(WireError::new(
                 WireErrorKind::MissingAttribute("AS_PATH"),
@@ -573,17 +803,15 @@ impl<'a> UpdateView<'a> {
             ));
         }
 
-        Ok((
-            UpdateView {
-                withdrawn,
-                attrs: has_attrs.then_some(AttrsView {
-                    bytes: attr_bytes,
-                    encoding,
-                }),
-                nlri,
-            },
-            total,
-        ))
+        Ok(UpdateView {
+            withdrawn,
+            attrs: has_attrs.then_some(AttrsView {
+                bytes: attr_bytes,
+                encoding,
+                rib_form: false,
+            }),
+            nlri,
+        })
     }
 
     /// Parses one message filling all of `bytes`, mirroring
@@ -638,6 +866,308 @@ impl<'a> UpdateView<'a> {
             withdrawn: self.withdrawn().collect(),
             attrs: self.attrs.as_ref().map(AttrsView::to_attributes),
             nlri: self.nlri().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session message views (OPEN / NOTIFICATION / KEEPALIVE)
+// ---------------------------------------------------------------------------
+
+/// A validated, borrowed BGP OPEN message body.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenView<'a> {
+    body: &'a [u8],
+}
+
+impl<'a> OpenView<'a> {
+    fn parse_body(body: &'a [u8], base: u64) -> Result<Self, WireError> {
+        validate_open_body(body, base)?;
+        Ok(OpenView { body })
+    }
+
+    /// The BGP version field (always 4 on validated bytes).
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        *self.body.first().unwrap_or(&0)
+    }
+
+    /// The raw 2-octet My-AS field ([`crate::msg::AS_TRANS`] when the real
+    /// ASN rides in a capability — see [`OpenView::effective_asn`]).
+    #[must_use]
+    pub fn my_as(&self) -> u16 {
+        read_u16(self.body, 1)
+    }
+
+    /// Proposed hold time in seconds.
+    #[must_use]
+    pub fn hold_time(&self) -> u16 {
+        read_u16(self.body, 3)
+    }
+
+    /// The sender's BGP identifier.
+    #[must_use]
+    pub fn bgp_id(&self) -> u32 {
+        read_u32(self.body, 5)
+    }
+
+    /// The announced capabilities, in wire order.
+    #[must_use]
+    pub fn capabilities(&self) -> CapabilityIter<'a> {
+        let opt_len = usize::from(*self.body.get(9).unwrap_or(&0));
+        CapabilityIter {
+            params: self.body.get(10..10 + opt_len).unwrap_or(&[]),
+            caps: &[],
+        }
+    }
+
+    /// The ASN the peer actually speaks for: the 4-octet capability value
+    /// when announced, the My-AS field otherwise (mirrors
+    /// [`OpenMessage::effective_asn`]).
+    #[must_use]
+    pub fn effective_asn(&self) -> Asn {
+        self.capabilities()
+            .find_map(|c| match c {
+                Capability::FourOctetAs(asn) => Some(asn),
+                _ => None,
+            })
+            .unwrap_or(Asn(u32::from(self.my_as())))
+    }
+
+    /// Rebuilds the owned [`OpenMessage`], equal to what the owned decoder
+    /// returns for the same bytes.
+    #[must_use]
+    pub fn to_open(&self) -> OpenMessage {
+        OpenMessage {
+            asn: Asn(u32::from(self.my_as())),
+            hold_time: self.hold_time(),
+            bgp_id: self.bgp_id(),
+            capabilities: self.capabilities().collect(),
+        }
+    }
+}
+
+/// Iterates the capabilities of a validated OPEN's optional parameters,
+/// crossing parameter boundaries (several type-2 parameters concatenate,
+/// matching the owned decoder).
+#[derive(Debug, Clone, Copy)]
+pub struct CapabilityIter<'a> {
+    params: &'a [u8],
+    caps: &'a [u8],
+}
+
+impl Iterator for CapabilityIter<'_> {
+    type Item = Capability;
+
+    fn next(&mut self) -> Option<Capability> {
+        loop {
+            if let Some(&code) = self.caps.first() {
+                let len = usize::from(*self.caps.get(1)?);
+                let body = self.caps.get(2..2 + len)?;
+                self.caps = &self.caps[2 + len..];
+                // Validated bytes: fixed-size codes are guaranteed len 4, so
+                // the mapping below agrees with `decode_one_capability`.
+                return Some(match code {
+                    CAP_MULTIPROTOCOL if body.len() == 4 => {
+                        match (u16::from_be_bytes([body[0], body[1]]), body[3]) {
+                            (1, 1) => Capability::MultiprotocolIpv4Unicast,
+                            (2, 1) => Capability::MultiprotocolIpv6Unicast,
+                            _ => Capability::Unknown {
+                                code,
+                                data: body.to_vec(),
+                            },
+                        }
+                    }
+                    CAP_FOUR_OCTET_AS if body.len() == 4 => {
+                        Capability::FourOctetAs(Asn(u32::from_be_bytes([
+                            body[0], body[1], body[2], body[3],
+                        ])))
+                    }
+                    _ => Capability::Unknown {
+                        code,
+                        data: body.to_vec(),
+                    },
+                });
+            }
+            let ptype = *self.params.first()?;
+            let plen = usize::from(*self.params.get(1)?);
+            let pbody = self.params.get(2..2 + plen)?;
+            self.params = &self.params[2 + plen..];
+            if ptype == PARAM_CAPABILITIES {
+                self.caps = pbody;
+            }
+        }
+    }
+}
+
+/// A validated, borrowed BGP NOTIFICATION message body.
+#[derive(Debug, Clone, Copy)]
+pub struct NotificationView<'a> {
+    body: &'a [u8],
+}
+
+impl<'a> NotificationView<'a> {
+    fn parse_body(body: &'a [u8], base: u64) -> Result<Self, WireError> {
+        let mut cur = Cursor::with_base(body, base);
+        let code_at = cur.position();
+        let code = cur.u8()?;
+        if !(1..=6).contains(&code) {
+            return Err(WireError::new(
+                WireErrorKind::BadNotificationCode(code),
+                code_at,
+            ));
+        }
+        cur.u8()?; // subcode
+        Ok(NotificationView { body })
+    }
+
+    /// Error code (see [`crate::msg::notif`]).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        *self.body.first().unwrap_or(&0)
+    }
+
+    /// Error subcode.
+    #[must_use]
+    pub fn subcode(&self) -> u8 {
+        *self.body.get(1).unwrap_or(&0)
+    }
+
+    /// Diagnostic data, verbatim.
+    #[must_use]
+    pub fn data(&self) -> &'a [u8] {
+        self.body.get(2..).unwrap_or(&[])
+    }
+
+    /// Rebuilds the owned [`NotificationMessage`].
+    #[must_use]
+    pub fn to_notification(&self) -> NotificationMessage {
+        NotificationMessage {
+            code: self.code(),
+            subcode: self.subcode(),
+            data: self.data().to_vec(),
+        }
+    }
+}
+
+/// A validated, borrowed message of any RFC 4271 type — the zero-copy twin
+/// of [`Message`].
+#[derive(Debug, Clone, Copy)]
+pub enum MessageView<'a> {
+    /// An OPEN handshake message.
+    Open(OpenView<'a>),
+    /// An UPDATE carrying routes.
+    Update(UpdateView<'a>),
+    /// A NOTIFICATION closing the session.
+    Notification(NotificationView<'a>),
+    /// A KEEPALIVE heartbeat.
+    Keepalive,
+}
+
+impl<'a> MessageView<'a> {
+    /// Parses (and fully validates) one message from the start of `bytes`,
+    /// returning the view and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// The same [`WireError`]s, at the same offsets, as
+    /// [`Message::decode_prefix_of`].
+    pub fn parse(bytes: &'a [u8], encoding: AsnEncoding) -> Result<(Self, usize), WireError> {
+        let mut cur = Cursor::new(bytes);
+        let marker = cur.take(16)?;
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(WireError::new(WireErrorKind::BadMarker, 0));
+        }
+        let total = usize::from(cur.u16()?);
+        let msg_type = cur.u8()?;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+            return Err(WireError::new(
+                WireErrorKind::BadMessageLength(total as u16),
+                16,
+            ));
+        }
+        let body = cur.take(total - HEADER_LEN)?;
+        let base = HEADER_LEN as u64;
+        let view = match msg_type {
+            MESSAGE_TYPE_OPEN => {
+                if body.len() < MIN_OPEN_LEN - HEADER_LEN {
+                    return Err(WireError::new(
+                        WireErrorKind::BadMessageLength(total as u16),
+                        16,
+                    ));
+                }
+                MessageView::Open(OpenView::parse_body(body, base)?)
+            }
+            MESSAGE_TYPE_UPDATE => {
+                MessageView::Update(UpdateView::parse_body(body, base, encoding)?)
+            }
+            MESSAGE_TYPE_NOTIFICATION => {
+                if body.len() < MIN_NOTIFICATION_LEN - HEADER_LEN {
+                    return Err(WireError::new(
+                        WireErrorKind::BadMessageLength(total as u16),
+                        16,
+                    ));
+                }
+                MessageView::Notification(NotificationView::parse_body(body, base)?)
+            }
+            MESSAGE_TYPE_KEEPALIVE => {
+                if !body.is_empty() {
+                    return Err(WireError::new(
+                        WireErrorKind::BadMessageLength(total as u16),
+                        16,
+                    ));
+                }
+                MessageView::Keepalive
+            }
+            other => {
+                return Err(WireError::new(
+                    WireErrorKind::UnsupportedMessageType(other),
+                    18,
+                ));
+            }
+        };
+        Ok((view, total))
+    }
+
+    /// Parses one message filling all of `bytes`, mirroring
+    /// [`Message::decode`] (trailing bytes are an error).
+    ///
+    /// # Errors
+    ///
+    /// The same [`WireError`]s, at the same offsets, as [`Message::decode`].
+    pub fn parse_exact(bytes: &'a [u8], encoding: AsnEncoding) -> Result<Self, WireError> {
+        let (view, used) = Self::parse(bytes, encoding)?;
+        if used != bytes.len() {
+            return Err(WireError::new(
+                WireErrorKind::TrailingBytes {
+                    remaining: bytes.len() - used,
+                },
+                used as u64,
+            ));
+        }
+        Ok(view)
+    }
+
+    /// The message's RFC 4271 type code.
+    #[must_use]
+    pub fn type_code(&self) -> u8 {
+        match self {
+            MessageView::Open(_) => MESSAGE_TYPE_OPEN,
+            MessageView::Update(_) => MESSAGE_TYPE_UPDATE,
+            MessageView::Notification(_) => MESSAGE_TYPE_NOTIFICATION,
+            MessageView::Keepalive => MESSAGE_TYPE_KEEPALIVE,
+        }
+    }
+
+    /// Rebuilds the owned [`Message`], equal to what the owned decoder
+    /// returns for the same bytes.
+    #[must_use]
+    pub fn to_message(&self) -> Message {
+        match self {
+            MessageView::Open(v) => Message::Open(v.to_open()),
+            MessageView::Update(v) => Message::Update(v.to_message()),
+            MessageView::Notification(v) => Message::Notification(v.to_notification()),
+            MessageView::Keepalive => Message::Keepalive,
         }
     }
 }
@@ -773,7 +1303,7 @@ impl<'a> RibView<'a> {
             let attr_len = usize::from(entry_cur.u16()?);
             let attrs_base = entry_cur.position();
             let attr_bytes = entry_cur.take(attr_len)?;
-            if !validate_attributes(attr_bytes, attrs_base, AsnEncoding::FourOctet)? {
+            if !validate_attributes(attr_bytes, attrs_base, AsnEncoding::FourOctet, true)? {
                 return Err(WireError::new(
                     WireErrorKind::MissingAttribute("AS_PATH"),
                     attrs_base,
@@ -864,8 +1394,95 @@ impl<'a> Iterator for RibEntryIter<'a> {
             attrs: AttrsView {
                 bytes: attrs,
                 encoding: AsnEncoding::FourOctet,
+                rib_form: true,
             },
         })
+    }
+}
+
+/// A validated, borrowed `RIB_IPV6_UNICAST` record body.
+#[derive(Debug, Clone, Copy)]
+pub struct Rib6View<'a> {
+    sequence: u32,
+    prefix: Ipv6Prefix,
+    entry_count: usize,
+    entries: &'a [u8],
+}
+
+impl<'a> Rib6View<'a> {
+    fn parse(body: &'a [u8], base: u64) -> Result<Self, WireError> {
+        let mut cur = Cursor::with_base(body, base);
+        let sequence = cur.u32()?;
+        let prefix = decode_one_prefix6(&mut cur)?;
+        let entry_count = usize::from(cur.u16()?);
+        let entries = cur.rest();
+        // Validate each entry in order; a per-entry error must surface
+        // before the trailing-bytes check, as the owned decoder orders it.
+        let entries_base = base + 4 + 1 + prefix_octets(prefix.len()) as u64 + 2;
+        let mut entry_cur = Cursor::with_base(entries, entries_base);
+        for _ in 0..entry_count {
+            entry_cur.u16()?; // peer index
+            entry_cur.u32()?; // originated time
+            let attr_len = usize::from(entry_cur.u16()?);
+            let attrs_base = entry_cur.position();
+            let attr_bytes = entry_cur.take(attr_len)?;
+            if !validate_attributes(attr_bytes, attrs_base, AsnEncoding::FourOctet, true)? {
+                return Err(WireError::new(
+                    WireErrorKind::MissingAttribute("AS_PATH"),
+                    attrs_base,
+                ));
+            }
+        }
+        expect_consumed(&entry_cur)?;
+        Ok(Rib6View {
+            sequence,
+            prefix,
+            entry_count,
+            entries,
+        })
+    }
+
+    /// Record sequence number.
+    #[must_use]
+    pub fn sequence(&self) -> u32 {
+        self.sequence
+    }
+
+    /// The prefix all entries describe.
+    #[must_use]
+    pub fn prefix(&self) -> Ipv6Prefix {
+        self.prefix
+    }
+
+    /// Number of per-peer entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// The per-peer entries, in record order.
+    #[must_use]
+    pub fn entries(&self) -> RibEntryIter<'a> {
+        RibEntryIter {
+            bytes: self.entries,
+        }
+    }
+
+    /// Rebuilds the owned [`RibIpv6Unicast`].
+    #[must_use]
+    pub fn to_rib(&self) -> RibIpv6Unicast {
+        RibIpv6Unicast {
+            sequence: self.sequence,
+            prefix: self.prefix,
+            entries: self
+                .entries()
+                .map(|entry| RibEntry {
+                    peer_index: entry.peer_index,
+                    originated_time: entry.originated_time,
+                    attrs: entry.attrs.to_attributes(),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -945,6 +1562,8 @@ pub enum MrtBodyView<'a> {
     PeerIndexTable(PeerIndexTableView<'a>),
     /// `TABLE_DUMP_V2` / `RIB_IPV4_UNICAST`.
     RibIpv4Unicast(RibView<'a>),
+    /// `TABLE_DUMP_V2` / `RIB_IPV6_UNICAST`.
+    RibIpv6Unicast(Rib6View<'a>),
     /// `BGP4MP` / `MESSAGE` or `MESSAGE_AS4`.
     Bgp4mpMessage(Bgp4mpView<'a>),
 }
@@ -981,6 +1600,9 @@ impl<'a> MrtRecordView<'a> {
             (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
                 MrtBodyView::RibIpv4Unicast(RibView::parse(body, body_base)?)
             }
+            (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => {
+                MrtBodyView::RibIpv6Unicast(Rib6View::parse(body, body_base)?)
+            }
             (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE) => {
                 MrtBodyView::Bgp4mpMessage(Bgp4mpView::parse(body, body_base, false)?)
             }
@@ -1006,6 +1628,7 @@ impl<'a> MrtRecordView<'a> {
             body: match &self.body {
                 MrtBodyView::PeerIndexTable(v) => MrtBody::PeerIndexTable(v.to_table()),
                 MrtBodyView::RibIpv4Unicast(v) => MrtBody::RibIpv4Unicast(v.to_rib()),
+                MrtBodyView::RibIpv6Unicast(v) => MrtBody::RibIpv6Unicast(v.to_rib()),
                 MrtBodyView::Bgp4mpMessage(v) => MrtBody::Bgp4mpMessage(v.to_bgp4mp()),
             },
         }

@@ -1,11 +1,11 @@
 //! Property tests for the wire codecs: encode→decode is the identity on
 //! well-formed messages, and decoding never panics on corrupted bytes.
 
-use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, RouteOrigin};
-use bgp_wire::bgp::{AsnEncoding, PathAttributes, UpdateMessage};
+use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, Ipv6Prefix, RouteOrigin};
+use bgp_wire::bgp::{AsnEncoding, MpReach, MpUnreach, PathAttributes, UpdateMessage};
 use bgp_wire::mrt::{
     Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
-    RibIpv4Unicast,
+    RibIpv4Unicast, RibIpv6Unicast,
 };
 use bgp_wire::WireErrorKind;
 use proptest::prelude::*;
@@ -67,6 +67,8 @@ fn attrs(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = PathA
                 next_hop,
                 local_pref,
                 communities,
+                mp_reach: None,
+                mp_unreach: None,
             },
         )
 }
@@ -212,6 +214,92 @@ proptest! {
     }
 }
 
+// --- IPv6 round trips -----------------------------------------------------
+
+/// A canonical IPv6 prefix.
+fn prefix6() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| Ipv6Prefix::new(addr, len))
+}
+
+proptest! {
+    /// UPDATEs carrying the full RFC 4760 MP attributes — including
+    /// IPv6-only ones with no IPv4 NLRI at all — round-trip exactly.
+    #[test]
+    fn ipv6_update_round_trips(
+        path in as_path(asn32()),
+        nh_len in prop_oneof![Just(16usize), Just(32)],
+        reach_nlri in prop::collection::vec(prefix6(), 0..4),
+        withdrawn6 in prop::collection::vec(prefix6(), 0..4),
+        nlri4 in prop::collection::vec(prefix(), 0..3),
+    ) {
+        let msg = UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(PathAttributes {
+                origin: RouteOrigin::Igp,
+                as_path: path,
+                next_hop: if nlri4.is_empty() { 0 } else { 0x0A00_0001 },
+                local_pref: None,
+                communities: Vec::new(),
+                mp_reach: Some(MpReach {
+                    next_hop: vec![0xFE; nh_len],
+                    nlri: reach_nlri,
+                }),
+                mp_unreach: Some(MpUnreach { withdrawn: withdrawn6 }),
+            }),
+            nlri: nlri4,
+        };
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        let back = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// `RIB_IPV6_UNICAST` records round-trip exactly. The abbreviated MRT
+    /// form of MP_REACH_NLRI carries only the next hop, so entries use the
+    /// empty-NLRI shape the decoder reconstructs.
+    #[test]
+    fn rib6_record_round_trips(
+        timestamp in any::<u32>(),
+        sequence in any::<u32>(),
+        prefix in prefix6(),
+        raw_entries in prop::collection::vec(
+            (0u16..64, any::<u32>(), as_path(asn32()), prop_oneof![Just(16usize), Just(32)]),
+            0..4,
+        ),
+    ) {
+        let record = MrtRecord {
+            timestamp,
+            body: MrtBody::RibIpv6Unicast(RibIpv6Unicast {
+                sequence,
+                prefix,
+                entries: raw_entries
+                    .into_iter()
+                    .map(|(peer_index, originated_time, path, nh_len)| RibEntry {
+                        peer_index,
+                        originated_time,
+                        attrs: PathAttributes {
+                            origin: RouteOrigin::Igp,
+                            as_path: path,
+                            next_hop: 0,
+                            local_pref: None,
+                            communities: Vec::new(),
+                            mp_reach: Some(MpReach {
+                                next_hop: vec![0xFE; nh_len],
+                                nlri: Vec::new(),
+                            }),
+                            mp_unreach: None,
+                        },
+                    })
+                    .collect(),
+            }),
+        };
+        let bytes = record.encode().expect("encodes");
+        let mut reader = MrtReader::new(bytes.as_slice());
+        let back = reader.next_record().expect("decodes").expect("one record");
+        prop_assert_eq!(back, record);
+        prop_assert_eq!(reader.next_record().expect("clean EOF"), None);
+    }
+}
+
 // --- decoder never panics -------------------------------------------------
 
 proptest! {
@@ -284,6 +372,8 @@ fn attrs_with(path: AsPath, communities: Vec<Community>) -> PathAttributes {
         next_hop: 0xC0A8_0001,
         local_pref: None,
         communities,
+        mp_reach: None,
+        mp_unreach: None,
     }
 }
 

@@ -6,11 +6,11 @@
 //! owned decoder is the reference; these tests are what lets the hot path
 //! chase throughput without re-litigating correctness.
 
-use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, RouteOrigin};
-use bgp_wire::bgp::{AsnEncoding, PathAttributes, UpdateMessage};
+use bgp_types::{AsPath, AsPathSegment, Asn, Community, Ipv4Prefix, Ipv6Prefix, RouteOrigin};
+use bgp_wire::bgp::{AsnEncoding, MpReach, MpUnreach, PathAttributes, UpdateMessage};
 use bgp_wire::mrt::{
     Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
-    RibIpv4Unicast,
+    RibIpv4Unicast, RibIpv6Unicast,
 };
 use bgp_wire::{MrtViewReader, UpdateView, WireError};
 use proptest::prelude::*;
@@ -42,6 +42,25 @@ fn as_path(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = AsP
         })
 }
 
+fn prefix6() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| Ipv6Prefix::new(addr, len))
+}
+
+fn mp_reach() -> impl Strategy<Value = MpReach> {
+    (
+        prop_oneof![Just(16usize), Just(32)],
+        prop::collection::vec(prefix6(), 0..3),
+    )
+        .prop_map(|(nh_len, nlri)| MpReach {
+            next_hop: vec![0xFE; nh_len],
+            nlri,
+        })
+}
+
+fn mp_unreach() -> impl Strategy<Value = MpUnreach> {
+    prop::collection::vec(prefix6(), 0..3).prop_map(|withdrawn| MpUnreach { withdrawn })
+}
+
 fn origin() -> impl Strategy<Value = RouteOrigin> {
     prop_oneof![
         Just(RouteOrigin::Igp),
@@ -60,14 +79,20 @@ fn attrs(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value = PathA
             (asn16(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)),
             0..4,
         ),
+        prop_oneof![Just(None), mp_reach().prop_map(Some)],
+        prop_oneof![Just(None), mp_unreach().prop_map(Some)],
     )
         .prop_map(
-            |(origin, as_path, next_hop, local_pref, communities)| PathAttributes {
-                origin,
-                as_path,
-                next_hop,
-                local_pref,
-                communities,
+            |(origin, as_path, next_hop, local_pref, communities, mp_reach, mp_unreach)| {
+                PathAttributes {
+                    origin,
+                    as_path,
+                    next_hop,
+                    local_pref,
+                    communities,
+                    mp_reach,
+                    mp_unreach,
+                }
             },
         )
 }
@@ -106,6 +131,30 @@ fn rib_record() -> impl Strategy<Value = MrtRecord> {
         .prop_map(|(timestamp, sequence, prefix, raw_entries)| MrtRecord {
             timestamp,
             body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence,
+                prefix,
+                entries: raw_entries
+                    .into_iter()
+                    .map(|(peer_index, originated_time, attrs)| RibEntry {
+                        peer_index,
+                        originated_time,
+                        attrs,
+                    })
+                    .collect(),
+            }),
+        })
+}
+
+fn rib6_record() -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prefix6(),
+        prop::collection::vec((0u16..64, any::<u32>(), attrs(asn32())), 0..4),
+    )
+        .prop_map(|(timestamp, sequence, prefix, raw_entries)| MrtRecord {
+            timestamp,
+            body: MrtBody::RibIpv6Unicast(RibIpv6Unicast {
                 sequence,
                 prefix,
                 entries: raw_entries
@@ -165,6 +214,7 @@ fn bgp4mp_record(asn: impl Strategy<Value = Asn> + Clone) -> impl Strategy<Value
 fn mrt_record() -> impl Strategy<Value = MrtRecord> {
     prop_oneof![
         rib_record(),
+        rib6_record(),
         peer_index_record(),
         bgp4mp_record(asn16()),
         bgp4mp_record(asn32()),
@@ -199,6 +249,8 @@ fn assert_update_parity(bytes: &[u8], encoding: AsnEncoding) {
                     prop_assert_eq!(asns, owned_asns);
                     let communities: Vec<Community> = va.communities().collect();
                     prop_assert_eq!(communities, oa.communities);
+                    prop_assert_eq!(va.mp_reach(), oa.mp_reach);
+                    prop_assert_eq!(va.mp_unreach(), oa.mp_unreach);
                 }
                 (None, None) => {}
                 (va, oa) => prop_assert!(false, "attrs presence diverged: {va:?} vs {oa:?}"),
@@ -278,6 +330,8 @@ proptest! {
                 next_hop: 0xC0A8_0001,
                 local_pref: None,
                 communities: Vec::new(),
+                mp_reach: None,
+                mp_unreach: None,
             }),
             nlri: vec![Ipv4Prefix::new(0x0A00_0000, 8)],
         };
@@ -306,6 +360,8 @@ proptest! {
                 next_hop: 0xC0A8_0001,
                 local_pref: None,
                 communities: Vec::new(),
+                mp_reach: None,
+                mp_unreach: None,
             }),
             nlri: vec![Ipv4Prefix::new(0x0A00_0000, 8)],
         };
@@ -316,6 +372,84 @@ proptest! {
         prop_assert_eq!(va.origin_asn(), None);
         assert_update_parity(&bytes, AsnEncoding::FourOctet);
     }
+
+    /// IPv6-only UPDATEs (no IPv4 NLRI, reachability and withdrawals in
+    /// the MP attributes) decode identically in both decoders.
+    #[test]
+    fn view_matches_owned_ipv6_only_update(
+        reach in prop_oneof![Just(None), mp_reach().prop_map(Some)],
+        unreach in mp_unreach(),
+        path in as_path(asn32()),
+    ) {
+        let msg = UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(PathAttributes {
+                origin: RouteOrigin::Igp,
+                as_path: path,
+                next_hop: 0,
+                local_pref: None,
+                communities: Vec::new(),
+                mp_reach: reach,
+                mp_unreach: Some(unreach),
+            }),
+            nlri: Vec::new(),
+        };
+        let bytes = msg.encode(AsnEncoding::FourOctet).expect("encodes");
+        assert_update_parity(&bytes, AsnEncoding::FourOctet);
+    }
+}
+
+/// An UPDATE whose attribute block has MP_REACH_NLRI but *no* NEXT_HOP —
+/// the shape a real IPv6-only speaker sends (RFC 4760 makes NEXT_HOP
+/// redundant there). The encoder never produces this, so the wire image is
+/// built by hand; both decoders must accept it with the zero stand-in.
+#[test]
+fn ipv6_update_without_next_hop_decodes_identically() {
+    let mut attrs = Vec::new();
+    attrs.extend_from_slice(&[0x40, 1, 1, 0]); // ORIGIN: IGP
+    attrs.extend_from_slice(&[0x40, 2, 6, 2, 1, 0, 0, 0xFD, 0xE9]); // AS_PATH: seq [65001]
+                                                                    // MP_REACH_NLRI: AFI 2, SAFI 1, 16-byte next hop, reserved, ::/0 + 2001:db8::/32
+    let mp_body_len = 3 + 1 + 16 + 1 + 1 + 5;
+    attrs.extend_from_slice(&[0x80, 14, mp_body_len as u8, 0, 2, 1, 16]);
+    attrs.extend_from_slice(&[0x20; 16]);
+    attrs.push(0); // reserved
+    attrs.push(0); // ::/0
+    attrs.extend_from_slice(&[32, 0x20, 0x01, 0x0D, 0xB8]); // 2001:db8::/32
+    let mut bytes = vec![0xFF; 16];
+    let total = 19 + 2 + 2 + attrs.len();
+    bytes.extend_from_slice(&(total as u16).to_be_bytes());
+    bytes.push(2); // UPDATE
+    bytes.extend_from_slice(&[0, 0]); // no withdrawn routes
+    bytes.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    bytes.extend_from_slice(&attrs);
+
+    let owned = UpdateMessage::decode(&bytes, AsnEncoding::FourOctet).expect("decodes");
+    let attrs = owned.attrs.as_ref().expect("attrs");
+    assert_eq!(attrs.next_hop, 0);
+    let reach = attrs.mp_reach.as_ref().expect("mp_reach");
+    assert_eq!(reach.next_hop, vec![0x20; 16]);
+    assert_eq!(
+        reach.nlri,
+        vec![Ipv6Prefix::DEFAULT, Ipv6Prefix::new(0x2001_0DB8 << 96, 32)]
+    );
+    assert_update_parity(&bytes, AsnEncoding::FourOctet);
+
+    // Strip the MP_REACH attribute: now NEXT_HOP really is missing, and
+    // both decoders must say so at the same offset.
+    let attrs_no_mp = &bytes[23..23 + 13];
+    let mut broken = vec![0xFF; 16];
+    let total = 19 + 2 + 2 + attrs_no_mp.len();
+    broken.extend_from_slice(&(total as u16).to_be_bytes());
+    broken.push(2);
+    broken.extend_from_slice(&[0, 0]);
+    broken.extend_from_slice(&(attrs_no_mp.len() as u16).to_be_bytes());
+    broken.extend_from_slice(attrs_no_mp);
+    let owned = UpdateMessage::decode(&broken, AsnEncoding::FourOctet).unwrap_err();
+    assert!(matches!(
+        owned.kind,
+        bgp_wire::WireErrorKind::MissingAttribute("NEXT_HOP")
+    ));
+    assert_update_parity(&broken, AsnEncoding::FourOctet);
 }
 
 // --- corrupted corpora: identical rejection --------------------------------

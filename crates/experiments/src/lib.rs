@@ -55,6 +55,7 @@ pub mod json;
 pub mod metrics;
 mod overhead;
 mod report;
+pub mod session_chaos;
 mod stats;
 mod sweep;
 mod trial;
@@ -83,6 +84,10 @@ pub use overhead::{
     OverheadReport, WireModel, MRT_FRAMING_BYTES,
 };
 pub use report::{FigureReport, SeriesReport};
+pub use session_chaos::{
+    run_session_chaos, run_session_chaos_jobs, SessionChaosConfig, SessionChaosReport,
+    SessionChaosScenario, UnknownSessionScenario,
+};
 pub use stats::{mean, stddev};
 pub use sweep::{
     attacker_count_for, run_sweep, run_sweep_jobs, run_sweep_metrics_jobs, run_sweep_sharded,

@@ -254,6 +254,8 @@ fn measured_cost(prefix: Ipv4Prefix, origins: &std::collections::BTreeSet<Asn>) 
         next_hop: PathAttributes::synthetic_next_hop(Some(Asn(701))),
         local_pref: None,
         communities: Vec::new(),
+        mp_reach: None,
+        mp_unreach: None,
     };
     let without = encoded_rib_len(prefix, base_attrs.clone());
     let with = if origins.len() > 1 {

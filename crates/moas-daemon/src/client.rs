@@ -8,12 +8,109 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use bgp_session::Backoff;
 use bgp_types::{Asn, Ipv4Prefix};
 
 use crate::feed::Pdu;
 
 fn invalid_data(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+// ---------------------------------------------------------------------------
+// Connection policy
+// ---------------------------------------------------------------------------
+
+/// How aggressively a client chases a daemon that is down or wedged.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// Per-attempt TCP connect budget.
+    pub connect_timeout: Duration,
+    /// Read/write timeout applied to the established stream.
+    pub io_timeout: Duration,
+    /// Total connect attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// First retry delay; later retries grow exponentially with jitter
+    /// (same [`Backoff`] the BGP FSM uses for session retries).
+    pub retry_base_ms: u64,
+    /// Retry delay ceiling.
+    pub retry_max_ms: u64,
+    /// Seed for the jitter stream (deterministic tests pin it).
+    pub seed: u64,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            connect_timeout: Duration::from_secs(3),
+            io_timeout: Duration::from_secs(10),
+            max_attempts: 3,
+            retry_base_ms: 100,
+            retry_max_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// All connect attempts to the daemon failed.
+#[derive(Debug)]
+pub struct ConnectError {
+    /// The address every attempt targeted.
+    pub addr: SocketAddr,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub last: io::Error,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "could not reach daemon at {} after {} attempt(s): {}",
+            self.addr, self.attempts, self.last
+        )
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+impl From<ConnectError> for io::Error {
+    fn from(e: ConnectError) -> io::Error {
+        io::Error::new(e.last.kind(), e.to_string())
+    }
+}
+
+/// Bounded, jitter-backed connect loop shared by both clients.
+fn connect_stream(addr: SocketAddr, opts: &ConnectOptions) -> Result<TcpStream, ConnectError> {
+    let attempts = opts.max_attempts.max(1);
+    let mut backoff = Backoff::new(opts.retry_base_ms, opts.retry_max_ms, opts.seed);
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(backoff.next_delay_ms()));
+        }
+        match TcpStream::connect_timeout(&addr, opts.connect_timeout) {
+            Ok(stream) => {
+                let configure = stream
+                    .set_read_timeout(Some(opts.io_timeout))
+                    .and_then(|()| stream.set_write_timeout(Some(opts.io_timeout)))
+                    .and_then(|()| stream.set_nodelay(true));
+                match configure {
+                    Ok(()) => return Ok(stream),
+                    Err(e) => last = Some(e),
+                }
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ConnectError {
+        addr,
+        attempts,
+        last: last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "no attempt recorded an error")
+        }),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -28,25 +125,40 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects with a 10-second I/O timeout.
+    /// Connects with the default [`ConnectOptions`] (bounded connect
+    /// timeout, 10-second I/O timeout, up to 3 attempts).
     ///
     /// # Errors
     ///
-    /// Returns the underlying connect error.
+    /// Returns the flattened [`ConnectError`].
     pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
-        Self::connect_with_timeout(addr, Duration::from_secs(10))
+        Ok(Self::connect_with_retry(addr, &ConnectOptions::default())?)
     }
 
-    /// Connects with an explicit per-read timeout.
+    /// Connects with an explicit per-read timeout (single attempt).
     ///
     /// # Errors
     ///
-    /// Returns the underlying connect error.
+    /// Returns the flattened [`ConnectError`].
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<HttpClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        stream.set_nodelay(true)?;
+        let opts = ConnectOptions {
+            io_timeout: timeout,
+            max_attempts: 1,
+            ..ConnectOptions::default()
+        };
+        Ok(Self::connect_with_retry(addr, &opts)?)
+    }
+
+    /// Connects under an explicit retry policy, keeping the typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectError`] once every attempt has failed.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        opts: &ConnectOptions,
+    ) -> Result<HttpClient, ConnectError> {
+        let stream = connect_stream(addr, opts)?;
         Ok(HttpClient {
             stream,
             buf: Vec::new(),
@@ -183,26 +295,40 @@ pub struct FeedClient {
 }
 
 impl FeedClient {
-    /// Connects with a 10-second I/O timeout. The client holds no state
-    /// until the first [`reset_sync`](Self::reset_sync).
+    /// Connects with the default [`ConnectOptions`]. The client holds no
+    /// state until the first [`reset_sync`](Self::reset_sync).
     ///
     /// # Errors
     ///
-    /// Returns the underlying connect error.
+    /// Returns the flattened [`ConnectError`].
     pub fn connect(addr: SocketAddr) -> io::Result<FeedClient> {
-        Self::connect_with_timeout(addr, Duration::from_secs(10))
+        Ok(Self::connect_with_retry(addr, &ConnectOptions::default())?)
     }
 
-    /// Connects with an explicit per-read timeout.
+    /// Connects with an explicit per-read timeout (single attempt).
     ///
     /// # Errors
     ///
-    /// Returns the underlying connect error.
+    /// Returns the flattened [`ConnectError`].
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<FeedClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        stream.set_nodelay(true)?;
+        let opts = ConnectOptions {
+            io_timeout: timeout,
+            max_attempts: 1,
+            ..ConnectOptions::default()
+        };
+        Ok(Self::connect_with_retry(addr, &opts)?)
+    }
+
+    /// Connects under an explicit retry policy, keeping the typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectError`] once every attempt has failed.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        opts: &ConnectOptions,
+    ) -> Result<FeedClient, ConnectError> {
+        let stream = connect_stream(addr, opts)?;
         Ok(FeedClient {
             stream,
             buf: Vec::new(),
@@ -394,5 +520,52 @@ impl FeedClient {
                 Err(e) => return Err(invalid_data(e.to_string())),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// A port with nothing listening: bind then drop so the OS refuses
+    /// connections there for the moment the test needs.
+    fn dead_addr() -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn connect_gives_up_after_bounded_attempts() {
+        let addr = dead_addr();
+        let opts = ConnectOptions {
+            connect_timeout: Duration::from_millis(500),
+            max_attempts: 3,
+            retry_base_ms: 5,
+            retry_max_ms: 20,
+            ..ConnectOptions::default()
+        };
+        let started = Instant::now();
+        let err = HttpClient::connect_with_retry(addr, &opts).expect_err("must fail");
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.addr, addr);
+        // Refused connections fail instantly; three attempts plus two
+        // jittered delays must stay well under a second.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        let rendered = err.to_string();
+        assert!(rendered.contains("3 attempt(s)"), "message: {rendered}");
+    }
+
+    #[test]
+    fn feed_connect_error_flattens_to_io_error() {
+        let addr = dead_addr();
+        let opts = ConnectOptions {
+            connect_timeout: Duration::from_millis(500),
+            max_attempts: 1,
+            ..ConnectOptions::default()
+        };
+        let err = FeedClient::connect_with_retry(addr, &opts).expect_err("must fail");
+        let io_err: io::Error = err.into();
+        assert!(io_err.to_string().contains("could not reach daemon"));
     }
 }

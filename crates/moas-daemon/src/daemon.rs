@@ -1,6 +1,6 @@
-//! The daemon: shared table state served over two loopback TCP listeners
-//! (HTTP query/control, binary push feed), each driven by a vendored
-//! [`minisock`] reactor on its own worker thread.
+//! The daemon: shared table state served over loopback TCP listeners
+//! (HTTP query/control, binary push feed, optional live BGP ingest), each
+//! driven by a vendored [`minisock`] reactor on its own worker thread.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -9,7 +9,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use bgp_session::{BgpListener, PeerInfo, SessionConfig, SessionHandler};
 use bgp_types::{Asn, Ipv4Prefix};
+use bgp_wire::bgp::UpdateMessage;
 use experiments::json::Json;
 use minisock::{Action, Config, ConnId, Server, ServerStats, Service};
 
@@ -32,6 +34,10 @@ struct DaemonMetrics {
     feed_diff_syncs: u64,
     feed_cache_resets: u64,
     feed_notifies: u64,
+    bgp_sessions_established: u64,
+    bgp_sessions_closed: u64,
+    bgp_updates: u64,
+    bgp_table_changes: u64,
 }
 
 /// Lock-free counters for the read-mostly query path.
@@ -99,6 +105,19 @@ pub struct DaemonConfig {
     pub max_connections: usize,
     /// Per-connection read/write timeout on both listeners.
     pub io_timeout: Duration,
+    /// Slow-client guard on the HTTP listener: once the first byte of a
+    /// request has arrived, the whole head and body must follow within
+    /// this budget or the daemon answers 408 and closes. A slowloris peer
+    /// trickling one byte at a time would otherwise hold its connection
+    /// (and its slot under [`max_connections`](Self::max_connections))
+    /// indefinitely, because every byte resets the reactor's idle timeout.
+    pub request_deadline: Duration,
+    /// Bind address of the live BGP ingest listener, or `None` to run
+    /// without one. Peers that establish a session here feed decoded
+    /// UPDATEs straight into the origin table (see [`crate::bgp`]).
+    pub bgp_addr: Option<String>,
+    /// Local ASN the BGP listener announces in its OPEN.
+    pub bgp_asn: Asn,
     /// Local exception rules active at start-up.
     pub exceptions: ExceptionSet,
 }
@@ -113,6 +132,9 @@ impl DaemonConfig {
             delta_ring_capacity: 64,
             max_connections: 64,
             io_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(10),
+            bgp_addr: None,
+            bgp_asn: Asn(64512),
             exceptions: ExceptionSet::empty(),
         }
     }
@@ -124,6 +146,7 @@ pub struct Daemon {
     shared: Arc<Mutex<Shared>>,
     http_server: Server,
     feed_server: Server,
+    bgp_server: Option<Server>,
 }
 
 impl Daemon {
@@ -154,6 +177,8 @@ impl Daemon {
             config.http_addr.as_str(),
             HttpService {
                 shared: Arc::clone(&shared),
+                request_deadline: config.request_deadline,
+                pending_since: BTreeMap::new(),
             },
             sock_config.clone(),
         )?;
@@ -163,12 +188,29 @@ impl Daemon {
                 shared: Arc::clone(&shared),
                 synced: BTreeMap::new(),
             },
-            sock_config,
+            sock_config.clone(),
         )?;
+        let bgp_server = match &config.bgp_addr {
+            Some(addr) => {
+                // The BGP identifier is cosmetic for a loopback listener;
+                // 127.0.0.1 keeps it recognisable in packet dumps.
+                let template = SessionConfig::new(config.bgp_asn, 0x7F00_0001);
+                let handler = BgpHandler {
+                    shared: Arc::clone(&shared),
+                };
+                Some(Server::bind(
+                    addr.as_str(),
+                    BgpListener::new(template, handler),
+                    sock_config,
+                )?)
+            }
+            None => None,
+        };
         Ok(Daemon {
             shared,
             http_server,
             feed_server,
+            bgp_server,
         })
     }
 
@@ -191,6 +233,12 @@ impl Daemon {
     #[must_use]
     pub fn feed_addr(&self) -> SocketAddr {
         self.feed_server.local_addr()
+    }
+
+    /// The BGP ingest listener's bound address, when one was configured.
+    #[must_use]
+    pub fn bgp_addr(&self) -> Option<SocketAddr> {
+        self.bgp_server.as_ref().map(Server::local_addr)
     }
 
     /// The table's current serial.
@@ -227,10 +275,19 @@ impl Daemon {
         self.feed_server.stats()
     }
 
-    /// Stops both listeners gracefully (pending output drains first).
+    /// Socket-level counters of the BGP listener, when one was configured.
+    #[must_use]
+    pub fn bgp_stats(&self) -> Option<ServerStats> {
+        self.bgp_server.as_ref().map(Server::stats)
+    }
+
+    /// Stops all listeners gracefully (pending output drains first).
     pub fn shutdown(self) {
         self.http_server.shutdown();
         self.feed_server.shutdown();
+        if let Some(bgp) = self.bgp_server {
+            bgp.shutdown();
+        }
     }
 }
 
@@ -239,6 +296,7 @@ impl std::fmt::Debug for Daemon {
         f.debug_struct("Daemon")
             .field("http_addr", &self.http_addr())
             .field("feed_addr", &self.feed_addr())
+            .field("bgp_addr", &self.bgp_addr())
             .finish_non_exhaustive()
     }
 }
@@ -260,6 +318,12 @@ fn json_escape(text: &str) -> String {
 
 struct HttpService {
     shared: Arc<Mutex<Shared>>,
+    /// Budget for a started request to arrive completely.
+    request_deadline: Duration,
+    /// When each connection's currently-buffered partial request began
+    /// arriving. Present only while a request is incomplete; the sweep
+    /// hook answers 408 and closes once the deadline passes.
+    pending_since: BTreeMap<ConnId, std::time::Instant>,
 }
 
 impl HttpService {
@@ -291,12 +355,15 @@ impl HttpService {
 }
 
 impl Service for HttpService {
-    fn on_data(&mut self, _conn: ConnId, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action {
+    fn on_data(&mut self, conn: ConnId, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) -> Action {
         let mut consumed = 0;
         loop {
             match Request::parse(&inbuf[consumed..]) {
                 Ok(Some((req, used))) => {
                     consumed += used;
+                    // A complete request landed; the slow-client clock
+                    // restarts with the next partial one.
+                    self.pending_since.remove(&conn);
                     // The hot read path: grab the current query snapshot
                     // under the lock, then parse, validate and render the
                     // response with the lock released — concurrent queries
@@ -325,16 +392,45 @@ impl Service for HttpService {
                     }
                 }
                 Ok(None) => break,
-                Err(HttpError { message }) => {
+                Err(HttpError { status, message }) => {
                     let body = format!("{{\"error\":{}}}", json_escape(&message));
-                    out.extend_from_slice(&json_response(400, &body, false));
+                    out.extend_from_slice(&json_response(status, &body, false));
                     inbuf.clear();
+                    self.pending_since.remove(&conn);
                     return Action::CloseAfterFlush;
                 }
             }
         }
         inbuf.drain(..consumed);
+        if inbuf.is_empty() {
+            self.pending_since.remove(&conn);
+        } else {
+            // A request has started but not finished; remember when its
+            // first byte arrived (kept across later trickled bytes).
+            self.pending_since
+                .entry(conn)
+                .or_insert_with(std::time::Instant::now);
+        }
         Action::Continue
+    }
+
+    fn on_sweep(&mut self, conn: ConnId, out: &mut Vec<u8>) -> Action {
+        let expired = self
+            .pending_since
+            .get(&conn)
+            .is_some_and(|since| since.elapsed() > self.request_deadline);
+        if !expired {
+            return Action::Continue;
+        }
+        self.pending_since.remove(&conn);
+        let err = crate::http::timeout_error();
+        let body = format!("{{\"error\":{}}}", json_escape(&err.message));
+        out.extend_from_slice(&json_response(err.status, &body, false));
+        Action::CloseAfterFlush
+    }
+
+    fn on_close(&mut self, conn: ConnId) {
+        self.pending_since.remove(&conn);
     }
 }
 
@@ -513,6 +609,10 @@ fn render_metrics(shared: &Shared) -> String {
         ("feed_cache_resets_total", m.feed_cache_resets),
         ("feed_notifies_total", m.feed_notifies),
         ("feed_connections_open", shared.feed_conns_open),
+        ("bgp_sessions_established_total", m.bgp_sessions_established),
+        ("bgp_sessions_closed_total", m.bgp_sessions_closed),
+        ("bgp_updates_total", m.bgp_updates),
+        ("bgp_table_changes_total", m.bgp_table_changes),
         ("table_serial", u64::from(shared.table().serial())),
         ("table_prefixes", shared.table().prefix_count() as u64),
         ("table_entries", shared.table().entry_count() as u64),
@@ -664,6 +764,38 @@ impl Service for FeedService {
         self.synced.remove(&conn);
         let mut shared = lock_shared(&self.shared);
         shared.feed_conns_open = shared.feed_conns_open.saturating_sub(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BGP ingest side
+// ---------------------------------------------------------------------------
+
+/// Routes decoded UPDATEs from established BGP sessions into the table.
+/// One handler instance serves every session on the listener; sessions on
+/// the same listener interleave their batches, which is fine because each
+/// UPDATE applies atomically under the shared lock.
+struct BgpHandler {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl SessionHandler for BgpHandler {
+    fn on_update(&mut self, _peer: &PeerInfo, update: UpdateMessage) {
+        let mut shared = lock_shared(&self.shared);
+        let updates = crate::bgp::table_updates(shared.table(), &update);
+        shared.metrics.bgp_updates += 1;
+        shared.metrics.bgp_table_changes += updates.len() as u64;
+        if !updates.is_empty() {
+            shared.apply(&updates);
+        }
+    }
+
+    fn on_established(&mut self, _peer: &PeerInfo) {
+        lock_shared(&self.shared).metrics.bgp_sessions_established += 1;
+    }
+
+    fn on_session_closed(&mut self) {
+        lock_shared(&self.shared).metrics.bgp_sessions_closed += 1;
     }
 }
 

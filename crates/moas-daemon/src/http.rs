@@ -10,13 +10,17 @@ use std::fmt;
 /// peer cannot buffer unbounded data).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpError {
-    /// Human-readable reason, used in the 400 response body.
+    /// The status the server should answer before closing: 400 for
+    /// malformed requests, 431 when a size limit is exceeded, 408 when a
+    /// read deadline expires.
+    pub status: u16,
+    /// Human-readable reason, used in the error response body.
     pub message: String,
 }
 
 impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad request: {}", self.message)
+        write!(f, "bad request ({}): {}", self.status, self.message)
     }
 }
 
@@ -24,7 +28,25 @@ impl Error for HttpError {}
 
 fn bad(message: impl Into<String>) -> HttpError {
     HttpError {
+        status: 400,
         message: message.into(),
+    }
+}
+
+fn too_large(message: impl Into<String>) -> HttpError {
+    HttpError {
+        status: 431,
+        message: message.into(),
+    }
+}
+
+/// The error a server answers when a client feeds a request too slowly
+/// (per-connection read deadline expired mid-request).
+#[must_use]
+pub fn timeout_error() -> HttpError {
+    HttpError {
+        status: 408,
+        message: "request not completed within the read deadline".to_string(),
     }
 }
 
@@ -64,12 +86,12 @@ impl Request {
     pub fn parse(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
         let Some(head_end) = find_head_end(buf) else {
             if buf.len() > MAX_HEAD {
-                return Err(bad("request head too large"));
+                return Err(too_large("request head too large"));
             }
             return Ok(None);
         };
         if head_end > MAX_HEAD {
-            return Err(bad("request head too large"));
+            return Err(too_large("request head too large"));
         }
         let head =
             std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("request head is not UTF-8"))?;
@@ -105,7 +127,7 @@ impl Request {
             None => 0,
         };
         if content_length > MAX_BODY {
-            return Err(bad("body too large"));
+            return Err(too_large("body too large"));
         }
         let total = head_end + 4 + content_length;
         if buf.len() < total {
@@ -194,6 +216,8 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -283,13 +307,41 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(Request::parse(b"NOT-HTTP\r\n\r\n").is_err());
-        assert!(Request::parse(b"GET / HTTP/2.0\r\n\r\n").is_err());
+        assert_eq!(Request::parse(b"NOT-HTTP\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            Request::parse(b"GET / HTTP/2.0\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
         assert!(Request::parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
         assert!(Request::parse(b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n").is_err());
-        // An over-long head errors rather than buffering forever.
+    }
+
+    #[test]
+    fn size_limits_answer_431() {
+        // An over-long head errors rather than buffering forever…
         let long = vec![b'a'; MAX_HEAD + 1];
-        assert!(Request::parse(&long).is_err());
+        assert_eq!(Request::parse(&long).unwrap_err().status, 431);
+        // …including a completed head past the limit…
+        let mut huge = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD));
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(Request::parse(&huge).unwrap_err().status, 431);
+        // …and a declared body beyond the cap.
+        let raw = format!(
+            "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(Request::parse(raw.as_bytes()).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn timeout_error_is_a_408() {
+        let err = timeout_error();
+        assert_eq!(err.status, 408);
+        let rendered = String::from_utf8(text_response(err.status, &err.message, false)).unwrap();
+        assert!(rendered.starts_with("HTTP/1.1 408 Request Timeout\r\n"));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod bgp;
 pub mod client;
 mod daemon;
 pub mod exceptions;

@@ -343,6 +343,9 @@ impl OriginTable {
                         pairs.push((rib.prefix(), origin));
                     }
                 }
+                // The daemon serves the paper's IPv4 MOAS lists; IPv6 RIB
+                // records are validated but not tabulated.
+                MrtBodyView::RibIpv6Unicast(_) => {}
                 MrtBodyView::Bgp4mpMessage(_) => {}
             }
         }
@@ -397,6 +400,7 @@ impl OriginTable {
                         origins.entry(rib.prefix).or_default().insert(origin);
                     }
                 }
+                MrtBody::RibIpv6Unicast(_) => {}
                 MrtBody::Bgp4mpMessage(_) => {}
             }
         }

@@ -299,3 +299,144 @@ fn malformed_feed_bytes_get_error_pdu_and_close() {
     }
     daemon.shutdown();
 }
+
+#[test]
+fn slowloris_gets_408_without_stalling_other_queries() {
+    use std::io::{Read, Write};
+    let config = DaemonConfig {
+        request_deadline: Duration::from_millis(300),
+        ..DaemonConfig::loopback()
+    };
+    let daemon = Daemon::start(config, fixture_table()).unwrap();
+
+    // The attacker: trickle a request one byte at a time, far slower than
+    // the deadline allows.
+    let mut slow = std::net::TcpStream::connect(daemon.http_addr()).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    slow.write_all(b"G").unwrap();
+
+    // While the slow request dribbles in, a well-behaved client must be
+    // served normally.
+    let started = std::time::Instant::now();
+    for chunk in [b"E".as_slice(), b"T", b" ", b"/"] {
+        std::thread::sleep(Duration::from_millis(50));
+        // Ignore write errors: the server may close us mid-loop.
+        let _ = slow.write_all(chunk);
+        let mut http = HttpClient::connect(daemon.http_addr()).unwrap();
+        let (status, _) = http.get("/status").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    // The slow connection is answered 408 and closed once the deadline
+    // passes; read_to_string returns after the server's close.
+    let mut response = String::new();
+    slow.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+        "{response}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "408 took {:?}",
+        started.elapsed()
+    );
+
+    // And the listener keeps serving afterwards.
+    let mut http = HttpClient::connect(daemon.http_addr()).unwrap();
+    assert_eq!(http.get("/status").unwrap().0, 200);
+    daemon.shutdown();
+}
+
+#[test]
+fn oversized_head_gets_431_and_close() {
+    use std::io::{Read, Write};
+    let daemon = Daemon::start(DaemonConfig::loopback(), fixture_table()).unwrap();
+    let mut raw = std::net::TcpStream::connect(daemon.http_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // 9 KiB of header without a terminator blows the 8 KiB head cap.
+    let mut req = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+    req.extend(std::iter::repeat_n(b'a', 9 * 1024));
+    raw.write_all(&req).unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+        "{response}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn live_bgp_session_feeds_the_table() {
+    use bgp_session::{replay_updates, ReplayConfig, SessionConfig};
+    use bgp_types::{AsPath, RouteOrigin};
+    use bgp_wire::bgp::{PathAttributes, UpdateMessage};
+
+    fn update(withdrawn: &[&str], origin: Option<u32>, nlri: &[&str]) -> UpdateMessage {
+        let attrs = origin.map(|asn| {
+            let as_path = AsPath::from_sequence([Asn(64_900), Asn(asn)]);
+            PathAttributes {
+                origin: RouteOrigin::Igp,
+                next_hop: PathAttributes::synthetic_next_hop(as_path.first()),
+                as_path,
+                local_pref: None,
+                communities: Vec::new(),
+                mp_reach: None,
+                mp_unreach: None,
+            }
+        });
+        UpdateMessage {
+            withdrawn: withdrawn.iter().map(|s| p(s)).collect(),
+            attrs,
+            nlri: nlri.iter().map(|s| p(s)).collect(),
+        }
+    }
+
+    let config = DaemonConfig {
+        bgp_addr: Some("127.0.0.1:0".to_string()),
+        ..DaemonConfig::loopback()
+    };
+    let daemon = Daemon::start(config, fixture_table()).unwrap();
+    let bgp_addr = daemon.bgp_addr().expect("bgp listener configured");
+
+    // One live session announces a new origin for a fixture prefix plus a
+    // brand-new prefix, and withdraws 192.0.2.0/24 (all origins).
+    let mut session = SessionConfig::new(Asn(70_000), 0x7F00_0002);
+    session.retry_base_ms = 20;
+    let mut stream = [
+        update(&[], Some(65_001), &["10.1.0.0/16", "203.0.113.0/24"]),
+        update(&["192.0.2.0/24"], None, &[]),
+    ]
+    .into_iter();
+    let report = replay_updates(bgp_addr, &ReplayConfig::new(session), &mut stream).unwrap();
+    assert_eq!(report.updates_sent, 2);
+    assert_eq!(report.stats.established, 1);
+
+    // The writes land asynchronously (reactor thread); poll the serial.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while daemon.serial() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(daemon.serial(), 2, "BGP batches never applied");
+
+    let mut http = HttpClient::connect(daemon.http_addr()).unwrap();
+    let (status, body) = http.get("/validity?prefix=10.1.0.0/16&asn=65001").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"state\":\"valid\""), "{body}");
+    let (_, body) = http
+        .get("/validity?prefix=203.0.113.0/24&asn=65001")
+        .unwrap();
+    assert!(body.contains("\"state\":\"valid\""), "{body}");
+    let (_, body) = http.get("/validity?prefix=192.0.2.0/24&asn=64496").unwrap();
+    assert!(body.contains("\"state\":\"not-found\""), "{body}");
+
+    let (_, metrics) = http.get("/metrics").unwrap();
+    assert!(
+        metrics.contains("bgp_sessions_established_total 1\n"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("bgp_updates_total 2\n"), "{metrics}");
+    assert!(metrics.contains("bgp_table_changes_total 3\n"), "{metrics}");
+    daemon.shutdown();
+}

@@ -25,10 +25,11 @@ use moas::experiments::{
     experiment3_metrics_jobs, experiment3_sharded, forgery_ablation_jobs,
     forgery_ablation_metrics_jobs, measure_moas_list_overhead_jobs, moas_list_overhead,
     overhead_metrics, render_metrics_summary, run_chaos_jobs, run_chaos_metrics_jobs,
-    run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs, run_trial,
-    run_trial_sharded, stripping_ablation_jobs, stripping_ablation_metrics_jobs,
-    subprefix_ablation_jobs, valley_free_ablation_jobs, ChaosConfig, ChaosScenario, SweepConfig,
-    TrialConfig, WireModel,
+    run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs,
+    run_session_chaos_jobs, run_trial, run_trial_sharded, stripping_ablation_jobs,
+    stripping_ablation_metrics_jobs, subprefix_ablation_jobs, valley_free_ablation_jobs,
+    ChaosConfig, ChaosScenario, SessionChaosConfig, SessionChaosScenario, SweepConfig, TrialConfig,
+    WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
@@ -59,7 +60,12 @@ COMMANDS:
     chaos --scenario NAME [--trials N] [--seed S] [--jobs N] [--shards N] [--quick] [--out FILE]
                                     Replay a fault/churn scenario (failover, origin-flap,
                                     lossy-core, session-reset, flap-storm, mrai-deferral)
-                                    and report the MOAS detector's accuracy under it as JSON
+                                    and report the MOAS detector's accuracy under it as JSON.
+                                    Session-layer scenarios (session-hold-expiry,
+                                    session-notification-storm, session-capability-mismatch,
+                                    session-tcp-reset, session-corruption) replay seeded fault
+                                    campaigns against live RFC 4271 FSM pairs instead and
+                                    report recovery/delivery rates (same flags minus --shards)
     chaos --scenario NAME --deployment-sweep [--fractions a,b,c] ...
                                     Same scenario at several detector deployment
                                     fractions (default 0,0.25,0.5,0.75,1): accuracy
@@ -83,6 +89,11 @@ COMMANDS:
     import-mrt FILE [--offline-scan] [--in-memory]
                                     Import MRT table dumps and report daily MOAS counts
                                     (streams one day at a time unless --in-memory)
+    session-replay --mrt FILE --bgp ADDR [--asn N] [--hold N] [--limit N]
+                                    Stream an MRT archive's routes through a live BGP
+                                    session into a running moas-labd --bgp listener
+                                    (RIB snapshot entries replay as announcements,
+                                    BGP4MP records as-is)
     daemon-probe --http ADDR --feed ADDR [--prefix P --asn N] [--read-only]
                                     Drive a full round against a running moas-labd:
                                     status, a validity query, feed full-sync, an
@@ -107,6 +118,7 @@ fn main() -> ExitCode {
         "export-mrt" => export_mrt(&args),
         "import-mrt" => import_mrt(&args),
         "daemon-probe" => daemon_probe(&args),
+        "session-replay" => session_replay(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -378,9 +390,14 @@ fn ablations(args: &[String]) -> ExitCode {
 /// The output deliberately omits the worker count: the report is
 /// bit-identical for every `--jobs N`, and so is this command's stdout.
 fn chaos(args: &[String]) -> ExitCode {
+    // Session-layer scenario names route to the FSM-pair campaigns.
+    if let Some(scenario) = option::<SessionChaosScenario>(args, "--scenario") {
+        return session_chaos(args, scenario);
+    }
     let Some(scenario) = option::<ChaosScenario>(args, "--scenario") else {
         eprintln!(
-            "usage: moas-lab chaos --scenario <failover|origin-flap|lossy-core|session-reset|flap-storm|mrai-deferral> \
+            "usage: moas-lab chaos --scenario <failover|origin-flap|lossy-core|session-reset|flap-storm|mrai-deferral\
+             |session-hold-expiry|session-notification-storm|session-capability-mismatch|session-tcp-reset|session-corruption> \
              [--trials N] [--seed S] [--jobs N] [--shards N] [--quick] [--out FILE] [--metrics FILE]"
         );
         return ExitCode::FAILURE;
@@ -792,10 +809,18 @@ fn daemon_probe_run(
     http: std::net::SocketAddr,
     feed: std::net::SocketAddr,
 ) -> std::io::Result<()> {
-    use moas::daemon::client::{FeedClient, HttpClient, SyncOutcome};
+    use moas::daemon::client::{ConnectOptions, FeedClient, HttpClient, SyncOutcome};
 
     let fail = |message: String| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
-    let mut web = HttpClient::connect(http)?;
+    // Fail fast on a dead or wedged daemon: bounded attempts with a short
+    // connect budget, so CI gets a typed refusal instead of a hang.
+    let probe_opts = ConnectOptions {
+        connect_timeout: std::time::Duration::from_secs(2),
+        io_timeout: std::time::Duration::from_secs(10),
+        max_attempts: option::<u32>(args, "--connect-attempts").unwrap_or(3),
+        ..ConnectOptions::default()
+    };
+    let mut web = HttpClient::connect_with_retry(http, &probe_opts)?;
 
     let (status, body) = web.get("/status")?;
     if status != 200 {
@@ -814,7 +839,7 @@ fn daemon_probe_run(
         println!("validity {prefix} AS{asn}: {body}");
     }
 
-    let mut sync = FeedClient::connect(feed)?;
+    let mut sync = FeedClient::connect_with_retry(feed, &probe_opts)?;
     let count = sync.reset_sync()?;
     let session = sync.session().unwrap_or_default();
     println!(
@@ -939,4 +964,158 @@ fn metrics_summary(args: &[String]) -> ExitCode {
     };
     print!("{}", render_metrics_summary(&snapshot));
     ExitCode::SUCCESS
+}
+
+/// Runs one session-layer chaos campaign (see [`SessionChaosScenario`]).
+fn session_chaos(args: &[String], scenario: SessionChaosScenario) -> ExitCode {
+    let mut config = if flag(args, "--quick") {
+        SessionChaosConfig::quick(scenario)
+    } else {
+        SessionChaosConfig::new(scenario)
+    };
+    if let Some(trials) = option::<usize>(args, "--trials") {
+        config.trials = trials;
+    }
+    if let Some(seed) = option::<u64>(args, "--seed") {
+        config.seed = seed;
+    }
+    let report = run_session_chaos_jobs(&config, jobs_option(args));
+    println!(
+        "scenario {}: {} trials, seed {:#x}",
+        report.scenario.name(),
+        report.trials,
+        report.seed
+    );
+    println!(
+        "sessions: {} established, {} recovered after the final fault",
+        report.established_trials, report.recovered_trials
+    );
+    println!(
+        "faults: {} injected, recovery rate {:.3}, update delivery rate {:.3}",
+        report.total_faults, report.recovery_rate, report.delivery_rate
+    );
+    println!(
+        "per trial: {:.1} establishments, {:.1} notifications sent, {:.1} received, \
+         {:.1} hold expirations, {:.1} decode errors, {:.0} virtual ms",
+        report.mean_establishments,
+        report.mean_notifications_sent,
+        report.mean_notifications_received,
+        report.mean_hold_expirations,
+        report.mean_decode_errors,
+        report.mean_virtual_ms
+    );
+    let json = report.to_json();
+    match option::<String>(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Streams an MRT archive through a live BGP session into a running
+/// `moas-labd --bgp` listener.
+fn session_replay(args: &[String]) -> ExitCode {
+    use moas::session::{replay_updates, ReplayConfig, SessionConfig};
+    use moas::wire::bgp::UpdateMessage;
+    use moas::wire::mrt::{MrtBody, MrtReader};
+
+    let (Some(path), Some(addr)) = (
+        option::<String>(args, "--mrt"),
+        option::<std::net::SocketAddr>(args, "--bgp"),
+    ) else {
+        eprintln!(
+            "usage: moas-lab session-replay --mrt FILE --bgp HOST:PORT [--asn N] [--hold N] [--limit N]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut session = SessionConfig::new(
+        Asn(option::<u32>(args, "--asn").unwrap_or(65_000)),
+        0x7F00_00FE,
+    );
+    if let Some(hold) = option::<u16>(args, "--hold") {
+        session.hold_time = hold;
+    }
+    let limit = option::<u64>(args, "--limit").unwrap_or(u64::MAX);
+
+    // Pull UPDATEs out of the archive lazily: BGP4MP records replay
+    // verbatim; RIB snapshot entries become one announcement per (prefix,
+    // first peer entry). Decode errors end the stream with a diagnostic.
+    let mut reader = MrtReader::new(BufReader::new(file));
+    let mut records: u64 = 0;
+    let mut produced: u64 = 0;
+    let mut read_error: Option<String> = None;
+    let mut updates = std::iter::from_fn(|| loop {
+        if produced >= limit {
+            return None;
+        }
+        match reader.next_record() {
+            Ok(Some(record)) => {
+                records += 1;
+                match record.body {
+                    MrtBody::Bgp4mpMessage(msg) => {
+                        produced += 1;
+                        return Some(msg.message);
+                    }
+                    MrtBody::RibIpv4Unicast(rib) => {
+                        if let Some(entry) = rib.entries.into_iter().next() {
+                            produced += 1;
+                            return Some(UpdateMessage {
+                                withdrawn: Vec::new(),
+                                attrs: Some(entry.attrs),
+                                nlri: vec![rib.prefix],
+                            });
+                        }
+                    }
+                    MrtBody::PeerIndexTable(_) | MrtBody::RibIpv6Unicast(_) => {}
+                }
+            }
+            Ok(None) => return None,
+            Err(e) => {
+                read_error = Some(e.to_string());
+                return None;
+            }
+        }
+    });
+
+    match replay_updates(addr, &ReplayConfig::new(session), &mut updates) {
+        Ok(report) => {
+            if let Some(e) = &read_error {
+                eprintln!("archive truncated: {e}");
+            }
+            println!(
+                "session-replay OK: {} MRT records, {} updates sent over {} connection attempt(s)",
+                records, report.updates_sent, report.connects
+            );
+            println!(
+                "session: {} establishment(s), {} keepalives sent, {} received, {} notifications received",
+                report.stats.established,
+                report.stats.keepalives_sent,
+                report.stats.keepalives_received,
+                report.stats.notifications_received
+            );
+            if read_error.is_some() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("session-replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

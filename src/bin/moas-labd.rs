@@ -43,6 +43,9 @@ OPTIONS:
                         (hot-reloadable via POST /reload-exceptions)
     --http ADDR         HTTP bind address       [default: 127.0.0.1:8323]
     --feed ADDR         Feed bind address       [default: 127.0.0.1:8324]
+    --bgp ADDR          Also listen for live BGP sessions on ADDR; decoded
+                        UPDATEs are ingested like POST /ingest batches
+    --bgp-asn N         Local ASN in the BGP OPEN  [default: 64512]
     --session N         Feed session id         [default: derived from table]
     --ring N            Delta-ring capacity     [default: 256]
     --max-conns N       Per-listener connection cap [default: 64]
@@ -143,6 +146,16 @@ fn main() -> ExitCode {
         }
     }
     config.exceptions = exceptions;
+    config.bgp_addr = option(&args, "--bgp").map(str::to_string);
+    if let Some(asn) = option(&args, "--bgp-asn") {
+        match asn.parse() {
+            Ok(n) => config.bgp_asn = moas::types::Asn(n),
+            Err(_) => {
+                eprintln!("--bgp-asn must be a 32-bit AS number");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let daemon = match Daemon::start(config, table) {
         Ok(d) => d,
@@ -151,11 +164,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "listening http={} feed={}",
-        daemon.http_addr(),
-        daemon.feed_addr()
-    );
+    match daemon.bgp_addr() {
+        Some(bgp) => println!(
+            "listening http={} feed={} bgp={bgp}",
+            daemon.http_addr(),
+            daemon.feed_addr()
+        ),
+        None => println!(
+            "listening http={} feed={}",
+            daemon.http_addr(),
+            daemon.feed_addr()
+        ),
+    }
 
     // Serve until a client posts /shutdown. The listeners run on their own
     // threads; this thread only watches the flag.

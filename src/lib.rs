@@ -27,7 +27,10 @@
 //!   passed; see `experiments::metrics` for serialization);
 //! * [`daemon`] — the MOAS-list serving daemon behind the `moas-labd`
 //!   binary: HTTP validity queries, an RTR-style incremental push feed, and
-//!   SLURM-style local exceptions.
+//!   SLURM-style local exceptions;
+//! * [`session`] — live RFC 4271 BGP sessions: the deterministic FSM, the
+//!   two-peer simulation harness behind the session chaos scenarios, and
+//!   the real-TCP listener/replay shells.
 //!
 //! # Quickstart
 //!
@@ -118,4 +121,12 @@ pub mod metrics {
 /// RTR-style push feed, plus SLURM-style local exceptions.
 pub mod daemon {
     pub use moas_daemon::*;
+}
+
+/// Live RFC 4271 BGP sessions ([`bgp_session`]): the deterministic FSM
+/// with retry/backoff and hold timers, the in-memory two-peer harness, and
+/// the real-TCP shells behind `moas-labd --bgp` and `moas-lab
+/// session-replay`.
+pub mod session {
+    pub use bgp_session::*;
 }

@@ -99,6 +99,18 @@ pub trait Service: Send + 'static {
         let _ = push;
     }
 
+    /// Called at tick cadence once per open connection, with that
+    /// connection's output buffer. Unlike [`Service::on_tick`] this hook
+    /// can also *close* the connection by returning
+    /// [`Action::CloseAfterFlush`] — which is how services enforce
+    /// per-connection deadlines (request timeouts, protocol hold timers)
+    /// that must fire even when the peer sends nothing. The default keeps
+    /// the connection open.
+    fn on_sweep(&mut self, conn: ConnId, out: &mut Vec<u8>) -> Action {
+        let _ = (conn, out);
+        Action::Continue
+    }
+
     /// Called when a connection closes for any reason (peer EOF, timeout,
     /// service-requested close, shutdown).
     fn on_close(&mut self, conn: ConnId) {
@@ -427,7 +439,8 @@ fn run_loop<S: Service>(
             }
         }
 
-        // Periodic service tick (push path).
+        // Periodic service tick (push path), then the per-connection sweep
+        // (deadline path: a sweep may close its connection).
         if draining_since.is_none() && now.duration_since(last_tick) >= config.tick_interval {
             last_tick = now;
             let mut pushes: Vec<(ConnId, Vec<u8>)> = Vec::new();
@@ -438,6 +451,20 @@ fn run_loop<S: Service>(
                         conn.last_write_progress = now;
                     }
                     conn.outbuf.extend_from_slice(&bytes);
+                    progressed = true;
+                }
+            }
+            for conn in &mut conns {
+                if conn.closing {
+                    continue;
+                }
+                let had_output = !conn.outbuf.is_empty();
+                if service.on_sweep(conn.id, &mut conn.outbuf) == Action::CloseAfterFlush {
+                    conn.closing = true;
+                    progressed = true;
+                }
+                if !had_output && !conn.outbuf.is_empty() {
+                    conn.last_write_progress = now;
                     progressed = true;
                 }
             }
@@ -493,6 +520,61 @@ mod tests {
             write_timeout: Duration::from_millis(200),
             ..Config::default()
         }
+    }
+
+    /// Swallows input; closes any connection older than 50 ms from the
+    /// sweep hook, sending a farewell first.
+    struct Sweeper {
+        opened: std::collections::HashMap<ConnId, Instant>,
+    }
+
+    impl Service for Sweeper {
+        fn on_open(&mut self, conn: ConnId, _out: &mut Vec<u8>) {
+            self.opened.insert(conn, Instant::now());
+        }
+
+        fn on_data(&mut self, _conn: ConnId, inbuf: &mut Vec<u8>, _out: &mut Vec<u8>) -> Action {
+            inbuf.clear();
+            Action::Continue
+        }
+
+        fn on_sweep(&mut self, conn: ConnId, out: &mut Vec<u8>) -> Action {
+            if self.opened[&conn].elapsed() > Duration::from_millis(50) {
+                out.extend_from_slice(b"bye");
+                Action::CloseAfterFlush
+            } else {
+                Action::Continue
+            }
+        }
+
+        fn on_close(&mut self, conn: ConnId) {
+            self.opened.remove(&conn);
+        }
+    }
+
+    #[test]
+    fn sweep_closes_connections_the_peer_never_touches() {
+        let service = Sweeper {
+            opened: std::collections::HashMap::new(),
+        };
+        // read_timeout far above the sweep deadline: the close below can
+        // only come from the sweep hook, not the idle timeout.
+        let config = Config {
+            read_timeout: Duration::from_secs(30),
+            ..Config::default()
+        };
+        let server = Server::bind("127.0.0.1:0", service, config).unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        let start = Instant::now();
+        let mut rest = Vec::new();
+        client.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"bye");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "sweep close took {:?}",
+            start.elapsed()
+        );
+        server.shutdown();
     }
 
     #[test]

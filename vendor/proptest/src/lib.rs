@@ -216,6 +216,8 @@ pub mod strategy {
         (A/0, B/1, C/2, D/3)
         (A/0, B/1, C/2, D/3, E/4)
         (A/0, B/1, C/2, D/3, E/4, F/5)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
     }
 }
 
@@ -255,6 +257,12 @@ pub mod arbitrary {
     }
 
     arb_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
