@@ -40,6 +40,7 @@ mod gen;
 mod graph;
 mod infer;
 mod metrics;
+mod orgs;
 pub mod paper;
 mod partition;
 mod relationships;
@@ -50,6 +51,7 @@ pub use gen::{InternetModel, ScaleFreeModel};
 pub use graph::{AsGraph, AsRole};
 pub use infer::infer_graph;
 pub use metrics::GraphMetrics;
+pub use orgs::OrgAnnotations;
 pub use partition::Partition;
 pub use relationships::{infer_relationships, AsRelationships, LinkKind, Relationship};
 pub use table::{prefix_for_asn, RouteTable, RouteTableEntry};

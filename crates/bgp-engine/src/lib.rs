@@ -50,6 +50,7 @@ mod fault;
 mod forwarding;
 mod monitor;
 mod network;
+mod policy;
 mod router;
 mod sharded;
 mod update;
@@ -60,6 +61,7 @@ pub use fault::{FaultEvent, NetFaultPlan};
 pub use forwarding::{ForwardOutcome, ForwardingPlane};
 pub use monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
 pub use network::{Network, NetworkStats, SessionCounters};
+pub use policy::{CommunityPolicies, CommunityPolicy, CommunityPolicyMap, REWRITE_MARKER_VALUE};
 pub use router::Router;
 pub use sharded::ShardedNetwork;
 pub use update::SharedUpdate;

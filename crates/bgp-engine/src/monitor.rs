@@ -1,6 +1,6 @@
 //! The route-monitor extension point.
 
-use bgp_types::{Asn, Route};
+use bgp_types::{Asn, Ipv4Prefix, Route};
 use sim_engine::SimTime;
 
 /// Everything a monitor can see when a router imports a route.
@@ -105,6 +105,14 @@ pub trait RouteMonitor {
     ) -> ExportAction {
         let _ = (local, to_peer, learned_from, route);
         ExportAction::Forward
+    }
+
+    /// Called after a peer's route for `prefix` is removed from the
+    /// Adj-RIB-In by an explicit WITHDRAW. Observational only — the removal
+    /// has already happened. Route-history detectors (RFC 2439 flap damping)
+    /// need withdrawal visibility; the default ignores it.
+    fn on_withdraw(&mut self, local: Asn, from_peer: Asn, prefix: Ipv4Prefix) {
+        let _ = (local, from_peer, prefix);
     }
 
     /// Called whenever simulated time advances (once per distinct event

@@ -251,6 +251,7 @@ impl Router {
                 if !removed {
                     return Vec::new();
                 }
+                monitor.on_withdraw(self.asn, from, prefix);
             }
             SharedUpdate::Announce(route) => {
                 // Loop suppression: never accept a path containing ourselves.

@@ -1,7 +1,8 @@
 //! Valley-free (Gao-Rexford) export policy as a composable monitor.
 
 use as_topology::{AsRelationships, Relationship};
-use bgp_types::{Asn, Route};
+use bgp_types::{Asn, Ipv4Prefix, Route};
+use sim_engine::SimTime;
 
 use crate::monitor::{ExportAction, ImportContext, ImportDecision, NoopMonitor, RouteMonitor};
 
@@ -138,6 +139,14 @@ impl<M: RouteMonitor> RouteMonitor for ValleyFree<M> {
             return ExportAction::Suppress;
         }
         self.inner.on_export(local, to_peer, learned_from, route)
+    }
+
+    fn on_withdraw(&mut self, local: Asn, from_peer: Asn, prefix: Ipv4Prefix) {
+        self.inner.on_withdraw(local, from_peer, prefix);
+    }
+
+    fn on_clock(&mut self, now: SimTime) {
+        self.inner.on_clock(now);
     }
 }
 

@@ -142,6 +142,13 @@ impl Route {
         self
     }
 
+    /// Replaces the whole community set in place — the primitive behind
+    /// per-AS community-handling policies (strip-all, rewrite) that act on
+    /// more than the MOAS markers.
+    pub fn set_communities(&mut self, communities: Vec<Community>) {
+        self.communities = communities;
+    }
+
     /// Replaces the MOAS list in place. `None` strips all MOAS communities —
     /// the "optional transitive attribute dropped by a router" behavior of
     /// §4.3.

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use as_topology::{AsGraph, InternetModel};
-use bgp_engine::{ForwardingPlane, Network, ValleyFree};
+use bgp_engine::{CommunityPolicy, CommunityPolicyMap, ForwardingPlane, Network, ValleyFree};
 use bgp_types::{Asn, MoasList};
 use minimetrics::{MetricsSink, MetricsSnapshot, NoopSink, RecordingSink, Scoped};
 use moas_core::{
@@ -603,6 +603,142 @@ pub fn unresolved_policy_ablation_jobs(
         .collect()
 }
 
+/// Outcome of the community-policy ablation for one Krenc-style class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityPolicyPoint {
+    /// The policy class every transit AS applied, as a display string.
+    pub policy: String,
+    /// Mean % of remaining ASes adopting the false route (full deployment).
+    pub mean_adoption_pct: f64,
+    /// Mean dropped-list false alarms per run.
+    pub mean_false_alarms: f64,
+    /// Mean verifier-confirmed alarms per run.
+    pub mean_confirmed_alarms: f64,
+}
+
+json::impl_json_struct!(CommunityPolicyPoint {
+    policy,
+    mean_adoption_pct,
+    mean_false_alarms,
+    mean_confirmed_alarms,
+});
+
+/// Generalizes the binary stripping ablation to the Krenc et al. community
+/// handling classes: every transit AS applies one [`CommunityPolicy`] class
+/// on export (`propagate`, `strip-moas`, `strip-all`, `rewrite`), and each
+/// class replays the same parties. Expect `propagate` to stay clean,
+/// the stripping classes to trade false alarms for unchanged protection
+/// (the §4.3 claim), and `rewrite` to behave like `strip-all` for MOAS
+/// purposes — the marker community replaces the list.
+#[must_use]
+pub fn community_policy_ablation(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+) -> Vec<CommunityPolicyPoint> {
+    community_policy_ablation_jobs(graph, runs, seed, 1)
+}
+
+/// [`community_policy_ablation`] with its `4 × runs` independent
+/// `(class, run)` cells fanned across up to `jobs` worker threads;
+/// per-class aggregates fold in run order, bit-identical for every `jobs`
+/// value.
+#[must_use]
+pub fn community_policy_ablation_jobs(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<CommunityPolicyPoint> {
+    let cells = minipool::map_indexed(jobs, CommunityPolicy::ALL.len() * runs, |i| {
+        community_policy_cell(graph, runs, seed, i, &mut NoopSink)
+    });
+    aggregate_community_policy(runs, &cells)
+}
+
+/// [`community_policy_ablation_jobs`] plus a merged metrics snapshot of
+/// every run (network metrics under the `community_policy.` prefix), merged
+/// in cell order so the snapshot is bit-identical for every `jobs` value.
+#[must_use]
+pub fn community_policy_ablation_metrics_jobs(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+) -> (Vec<CommunityPolicyPoint>, MetricsSnapshot) {
+    let results = minipool::map_indexed(jobs, CommunityPolicy::ALL.len() * runs, |i| {
+        let mut sink = RecordingSink::new();
+        let cell = community_policy_cell(graph, runs, seed, i, &mut sink);
+        (cell, sink.into_snapshot())
+    });
+    let cells: Vec<(f64, f64, f64)> = results.iter().map(|(c, _)| *c).collect();
+    let mut snapshot = MetricsSnapshot::new();
+    for (_, cell_snapshot) in &results {
+        snapshot.merge(cell_snapshot);
+    }
+    (aggregate_community_policy(runs, &cells), snapshot)
+}
+
+/// One `(class, run)` cell of the community-policy ablation. The run seed
+/// depends only on the run index, so every class faces the same parties.
+fn community_policy_cell<S: MetricsSink>(
+    graph: &AsGraph,
+    runs: usize,
+    seed: u64,
+    i: usize,
+    sink: &mut S,
+) -> (f64, f64, f64) {
+    let stubs = graph.stub_asns();
+    let asns: Vec<Asn> = graph.asns().collect();
+    let (policy, run) = (CommunityPolicy::ALL[i / runs], i % runs);
+    let run_seed = sim_engine::rng::derive_seed(seed, run as u64);
+    let mut rng = sim_engine::rng::from_seed(run_seed);
+    // Two origins so valid announcements carry a meaningful list.
+    let origins = sim_engine::rng::sample_distinct(&mut rng, &stubs, 2);
+    let candidates: Vec<Asn> = asns
+        .iter()
+        .copied()
+        .filter(|a| !origins.contains(a))
+        .collect();
+    let attackers = sim_engine::rng::sample_distinct(&mut rng, &candidates, 2);
+    let mut policies = CommunityPolicyMap::new();
+    for transit in graph.transit_asns() {
+        policies.set(transit, policy);
+    }
+    let trial = TrialConfig {
+        policies,
+        seed: run_seed,
+        ..TrialConfig::new(origins, attackers, Deployment::Full)
+    };
+    let outcome = run_trial_metrics(graph, &trial, &mut Scoped::new(sink, "community_policy"))
+        .expect("experiment networks always converge");
+    (
+        100.0 * outcome.adoption_fraction(),
+        outcome.false_alarms as f64,
+        outcome.confirmed_alarms as f64,
+    )
+}
+
+/// Folds community-policy cells into per-class points, in cell order.
+fn aggregate_community_policy(runs: usize, cells: &[(f64, f64, f64)]) -> Vec<CommunityPolicyPoint> {
+    CommunityPolicy::ALL
+        .iter()
+        .enumerate()
+        .map(|(px, policy)| {
+            let point_cells = &cells[px * runs..(px + 1) * runs];
+            let adoption: Vec<f64> = point_cells.iter().map(|c| c.0).collect();
+            let false_alarms: Vec<f64> = point_cells.iter().map(|c| c.1).collect();
+            let confirmed: Vec<f64> = point_cells.iter().map(|c| c.2).collect();
+            CommunityPolicyPoint {
+                policy: policy.to_string(),
+                mean_adoption_pct: mean(&adoption),
+                mean_false_alarms: mean(&false_alarms),
+                mean_confirmed_alarms: mean(&confirmed),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,6 +823,45 @@ mod tests {
             result.subprefix_adoption_pct
         );
         assert!(result.subprefix_traffic_capture_pct > 90.0);
+    }
+
+    #[test]
+    fn community_policies_trade_false_alarms_not_protection() {
+        let graph = PaperTopology::As25.graph();
+        let points = community_policy_ablation(graph, 4, 29);
+        assert_eq!(points.len(), 4);
+        let propagate = &points[0];
+        assert_eq!(propagate.policy, "propagate");
+        assert_eq!(
+            propagate.mean_false_alarms, 0.0,
+            "transparent transit drops no lists"
+        );
+        for point in &points[1..] {
+            // §4.3 generalized: any lossy class may cry wolf, but none may
+            // let the false route through.
+            assert!(
+                point.mean_adoption_pct <= propagate.mean_adoption_pct + 5.0,
+                "{}: adoption {:.1}%",
+                point.policy,
+                point.mean_adoption_pct
+            );
+            assert!(
+                point.mean_confirmed_alarms > 0.0,
+                "{}: the attack must still be confirmed",
+                point.policy
+            );
+        }
+    }
+
+    #[test]
+    fn community_policy_ablation_is_jobs_invariant() {
+        let graph = PaperTopology::As25.graph();
+        let serial = community_policy_ablation(graph, 2, 31);
+        assert_eq!(community_policy_ablation_jobs(graph, 2, 31, 3), serial);
+        let (points, snapshot) = community_policy_ablation_metrics_jobs(graph, 2, 31, 2);
+        assert_eq!(points, serial);
+        let (_, snapshot1) = community_policy_ablation_metrics_jobs(graph, 2, 31, 1);
+        assert_eq!(snapshot, snapshot1);
     }
 
     #[test]

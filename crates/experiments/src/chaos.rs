@@ -38,10 +38,10 @@ use crate::json::{self, FromJson, Json, JsonError, ToJson};
 use crate::stats::mean;
 
 /// Tick at which scripted churn begins.
-const T_CHURN: u64 = 40;
+pub(crate) const T_CHURN: u64 = 40;
 /// Tick at which the attack run injects the forged announcement — inside the
 /// churn window of every scenario.
-const T_ATTACK: u64 = 120;
+pub(crate) const T_ATTACK: u64 = 120;
 /// Tick at which failover scenarios restore the failed link.
 const T_RESTORE: u64 = 200;
 /// Watchdog sampling interval for the flap-storm scenario.
@@ -218,19 +218,21 @@ impl ChaosConfig {
     }
 }
 
-/// The cast of one trial, drawn during the serial planning phase.
+/// The cast of one trial, drawn during the serial planning phase. Shared
+/// with the [`crate::ensemble`] driver, which replays the same casts under
+/// passive tap monitors.
 #[derive(Debug, Clone)]
-struct TrialPlan {
+pub(crate) struct TrialPlan {
     /// The multihomed victim stub (primary origin).
-    victim: Asn,
+    pub(crate) victim: Asn,
     /// The victim's multihoming partner (backup / second origin).
-    partner: Asn,
+    pub(crate) partner: Asn,
     /// The victim's primary provider (the failed/reset link's far end).
-    provider: Asn,
+    pub(crate) provider: Asn,
     /// The compromised AS injecting the forged origin in the attack run.
-    attacker: Asn,
+    pub(crate) attacker: Asn,
     /// Per-trial seed for link jitter and the fault RNG.
-    seed: u64,
+    pub(crate) seed: u64,
 }
 
 /// What one trial (both runs) produced.
@@ -537,7 +539,7 @@ pub fn run_chaos_sharded_metrics(
 }
 
 /// The generated topology a chaos run plays out on.
-fn chaos_graph(config: &ChaosConfig) -> AsGraph {
+pub(crate) fn chaos_graph(config: &ChaosConfig) -> AsGraph {
     InternetModel::new()
         .transit_count(config.transit_count)
         .stub_count(config.stub_count)
@@ -547,7 +549,7 @@ fn chaos_graph(config: &ChaosConfig) -> AsGraph {
 
 /// Phase 1: plans every trial's cast serially (per-trial seeds derive from
 /// `(config.seed, trial index)`, so no shared RNG state is consumed).
-fn plan_casts(graph: &AsGraph, config: &ChaosConfig) -> Vec<TrialPlan> {
+pub(crate) fn plan_casts(graph: &AsGraph, config: &ChaosConfig) -> Vec<TrialPlan> {
     let multihomed: Vec<Asn> = graph
         .stub_asns()
         .into_iter()
@@ -658,24 +660,24 @@ fn ratio(num: usize, den: usize) -> f64 {
 }
 
 /// The scenario-specific parts of one trial's setup.
-struct Scenario {
+pub(crate) struct Scenario {
     /// The churn timeline (without the attack injection).
-    plan: NetFaultPlan,
+    pub(crate) plan: NetFaultPlan,
     /// MOAS lists attached by the legitimate origins (`None` = implicit).
-    origin_list: Option<MoasList>,
+    pub(crate) origin_list: Option<MoasList>,
     /// Whether the partner originates from the start (vs only via timeline).
-    partner_originates: bool,
+    pub(crate) partner_originates: bool,
     /// Transit ASes that strip MOAS communities on export.
-    strippers: BTreeSet<Asn>,
+    pub(crate) strippers: BTreeSet<Asn>,
     /// MRAI ticks (0 = disabled).
-    mrai: u64,
+    pub(crate) mrai: u64,
     /// Watchdog interval (0 = off); set only where oscillation is expected.
-    watchdog: u64,
+    pub(crate) watchdog: u64,
     /// Whether the churn run is expected to end in oscillation.
-    expect_oscillation: bool,
+    pub(crate) expect_oscillation: bool,
 }
 
-fn build_scenario(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> Scenario {
+pub(crate) fn build_scenario(graph: &AsGraph, config: &ChaosConfig, cast: &TrialPlan) -> Scenario {
     let prefix: Ipv4Prefix = crate::VICTIM_PREFIX
         .parse()
         .expect("victim prefix constant");

@@ -50,6 +50,7 @@
 
 mod ablation;
 mod chaos;
+mod ensemble;
 mod figures;
 pub mod json;
 pub mod metrics;
@@ -61,10 +62,12 @@ mod sweep;
 mod trial;
 
 pub use ablation::{
-    forgery_ablation, forgery_ablation_jobs, forgery_ablation_metrics_jobs, stripping_ablation,
-    stripping_ablation_jobs, stripping_ablation_metrics_jobs, subprefix_ablation,
-    subprefix_ablation_jobs, unresolved_policy_ablation, unresolved_policy_ablation_jobs,
-    valley_free_ablation, valley_free_ablation_jobs, ForgeryPoint, StrippingPoint,
+    community_policy_ablation, community_policy_ablation_jobs,
+    community_policy_ablation_metrics_jobs, forgery_ablation, forgery_ablation_jobs,
+    forgery_ablation_metrics_jobs, stripping_ablation, stripping_ablation_jobs,
+    stripping_ablation_metrics_jobs, subprefix_ablation, subprefix_ablation_jobs,
+    unresolved_policy_ablation, unresolved_policy_ablation_jobs, valley_free_ablation,
+    valley_free_ablation_jobs, CommunityPolicyPoint, ForgeryPoint, StrippingPoint,
     SubPrefixAblation, ValleyFreePoint,
 };
 pub use chaos::{
@@ -72,6 +75,11 @@ pub use chaos::{
     run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs, ChaosConfig,
     ChaosReport, ChaosScenario, DeploymentSweep, DeploymentSweepPoint, UnknownScenario,
     DEPLOYMENT_SWEEP_FRACTIONS,
+};
+pub use ensemble::{
+    run_ensemble, run_ensemble_jobs, run_ensemble_metrics_jobs, DetectorReport, EnsembleConfig,
+    EnsembleDeploymentPoint, EnsembleReport, EnsembleWorkload, UnknownWorkload, WorkloadReport,
+    ENSEMBLE_DEPLOYMENT_FRACTIONS,
 };
 pub use figures::{
     experiment1, experiment1_jobs, experiment1_metrics_jobs, experiment1_sharded, experiment2,

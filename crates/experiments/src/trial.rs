@@ -3,7 +3,9 @@
 use std::collections::BTreeSet;
 
 use as_topology::AsGraph;
-use bgp_engine::{ConvergenceError, Network, ShardedNetwork};
+use bgp_engine::{
+    CommunityPolicies, CommunityPolicyMap, ConvergenceError, Network, ShardedNetwork,
+};
 use bgp_types::{Asn, Ipv4Prefix, MoasList};
 use minimetrics::{MetricsSink, NoopSink};
 use moas_core::{
@@ -24,6 +26,10 @@ pub struct TrialConfig {
     pub forgery: ListForgery,
     /// ASes that strip community attributes on export (§4.3 hazard).
     pub strippers: BTreeSet<Asn>,
+    /// Per-AS community-handling classes applied on export (Krenc-style),
+    /// layered on top of `strippers`' list-dropping. Empty = everyone
+    /// propagates unchanged.
+    pub policies: CommunityPolicyMap,
     /// Behaviour when the verifier cannot adjudicate.
     pub unresolved: UnresolvedPolicy,
     /// Maximum per-link message delay (jitter explores propagation races).
@@ -46,6 +52,7 @@ impl TrialConfig {
             deployment,
             forgery: ListForgery::IncludeSelf,
             strippers: BTreeSet::new(),
+            policies: CommunityPolicyMap::new(),
             unresolved: UnresolvedPolicy::Accept,
             max_link_delay: 4,
             seed: 0,
@@ -141,13 +148,19 @@ pub fn run_trial_metrics<S: MetricsSink>(
     let mut registry = RegistryVerifier::new();
     registry.register(config.prefix, valid_list.clone());
 
-    let monitor = MoasMonitor::new(
-        MoasConfig {
-            deployment: config.deployment.clone(),
-            strippers: config.strippers.clone(),
-            on_unresolved: config.unresolved,
-        },
-        registry,
+    // The per-AS community policies wrap the MOAS monitor; with an empty map
+    // every export forwards untouched, so the wrapper is a strict no-op for
+    // legacy configurations.
+    let monitor = CommunityPolicies::wrapping(
+        config.policies.clone(),
+        MoasMonitor::new(
+            MoasConfig {
+                deployment: config.deployment.clone(),
+                strippers: config.strippers.clone(),
+                on_unresolved: config.unresolved,
+            },
+            registry,
+        ),
     );
 
     let mut net =
@@ -194,14 +207,14 @@ pub fn run_trial_metrics<S: MetricsSink>(
         }
     }
 
-    let alarms = net.monitor().alarms();
+    let alarms = net.monitor().inner().alarms();
     Ok(TrialOutcome {
         eligible,
         adopted_false,
         alarms: alarms.len(),
         confirmed_alarms: alarms.confirmed_count(),
         false_alarms: alarms.false_alarm_count(),
-        verifier_queries: net.monitor().verifier().query_count(),
+        verifier_queries: net.monitor().inner().verifier().query_count(),
         messages: net.stats().total_messages(),
     })
 }
@@ -259,13 +272,16 @@ pub fn run_trial_sharded_metrics<S: MetricsSink>(
     let monitor = || {
         let mut registry = RegistryVerifier::new();
         registry.register(config.prefix, valid_list.clone());
-        MoasMonitor::new(
-            MoasConfig {
-                deployment: config.deployment.clone(),
-                strippers: config.strippers.clone(),
-                on_unresolved: config.unresolved,
-            },
-            registry,
+        CommunityPolicies::wrapping(
+            config.policies.clone(),
+            MoasMonitor::new(
+                MoasConfig {
+                    deployment: config.deployment.clone(),
+                    strippers: config.strippers.clone(),
+                    on_unresolved: config.unresolved,
+                },
+                registry,
+            ),
         )
     };
     let mut net = ShardedNetwork::with_monitor_and_jitter(
@@ -325,11 +341,11 @@ pub fn run_trial_sharded_metrics<S: MetricsSink>(
         ..TrialOutcome::default()
     };
     for monitor in net.monitors() {
-        let alarms = monitor.alarms();
+        let alarms = monitor.inner().alarms();
         outcome.alarms += alarms.len();
         outcome.confirmed_alarms += alarms.confirmed_count();
         outcome.false_alarms += alarms.false_alarm_count();
-        outcome.verifier_queries += monitor.verifier().query_count();
+        outcome.verifier_queries += monitor.inner().verifier().query_count();
     }
     Ok(outcome)
 }

@@ -1,0 +1,82 @@
+//! The ensemble driver's determinism contract: report JSON and metrics
+//! snapshot are byte-identical for every `--jobs N`, the metrics variant
+//! agrees with the plain variant, and the report round-trips through the
+//! hand-rolled JSON codec.
+
+use experiments::json::{from_str, to_string_pretty};
+use experiments::{
+    run_ensemble, run_ensemble_jobs, run_ensemble_metrics_jobs, EnsembleConfig, EnsembleReport,
+};
+
+fn config() -> EnsembleConfig {
+    let mut config = EnsembleConfig::quick();
+    config.trials = 2;
+    config.seed = 0xE57E;
+    config
+}
+
+#[test]
+fn ensemble_report_is_byte_identical_across_jobs() {
+    let config = config();
+    let serial = run_ensemble(&config);
+    let serial_json = serial.to_json();
+    for jobs in [2, 4] {
+        let report = run_ensemble_jobs(&config, jobs);
+        assert_eq!(report.to_json(), serial_json, "jobs={jobs} bytes diverged");
+    }
+}
+
+#[test]
+fn ensemble_metrics_snapshot_is_byte_identical_across_jobs() {
+    let config = config();
+    let (serial_report, serial_metrics) = run_ensemble_metrics_jobs(&config, 1);
+    let serial_json = to_string_pretty(&serial_metrics);
+    for jobs in [2, 4] {
+        let (report, metrics) = run_ensemble_metrics_jobs(&config, jobs);
+        assert_eq!(report, serial_report, "jobs={jobs} report diverged");
+        assert_eq!(
+            to_string_pretty(&metrics),
+            serial_json,
+            "jobs={jobs} snapshot bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn ensemble_metrics_variant_matches_plain_variant() {
+    let config = config();
+    let (report, metrics) = run_ensemble_metrics_jobs(&config, 2);
+    assert_eq!(report, run_ensemble(&config));
+
+    // Per-run network metrics and the per-detector verdict counters are both
+    // present in one snapshot.
+    for key in ["churn.sim.events.fired", "attack.sim.events.fired"] {
+        assert!(metrics.counters.contains_key(key), "missing {key}");
+    }
+    for workload in [
+        "failover",
+        "origin-flap",
+        "session-reset",
+        "long-lived-moas",
+    ] {
+        for detector in ["moas-list", "flap-damping", "communities-anomaly"] {
+            for metric in ["detections", "missed", "churn_alarms"] {
+                let key = format!("ensemble.{workload}.{detector}.{metric}");
+                assert!(metrics.counters.contains_key(&key), "missing {key}");
+            }
+        }
+    }
+    assert_eq!(
+        metrics.counters["ensemble.trials"],
+        4 * 2, // workloads × trials
+        "one trial counter per recorded cell"
+    );
+}
+
+#[test]
+fn ensemble_report_round_trips_through_json() {
+    let config = config();
+    let report = run_ensemble(&config);
+    let back: EnsembleReport = from_str(&report.to_json()).expect("self-produced JSON parses");
+    assert_eq!(back, report);
+}

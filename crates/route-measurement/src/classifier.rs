@@ -231,6 +231,7 @@ mod tests {
                 prefix_count: 60,
                 duration_days: 1,
             }],
+            modern: crate::timeline::ModernMoasConfig::default(),
             seed: 17,
         })
     }

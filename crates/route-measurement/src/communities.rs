@@ -1,0 +1,225 @@
+//! Communities-anomaly detection: origin changes judged by community weather.
+//!
+//! CommunityWatch's core observation is that BGP communities, although
+//! opaque, are *consistent* per prefix: the set of communities accompanying a
+//! prefix's announcements is stable over time, so an origin change whose
+//! community set diverges from the learned baseline is suspicious even when
+//! no MOAS list is present. This detector learns a per `(observer, prefix)`
+//! baseline — the origins seen and the union of communities observed — during
+//! a configurable learning window, then alarms on announcements from a *new*
+//! origin whose communities are not a subset of the baseline.
+//!
+//! Honest failure modes, measured by the ensemble driver: a forged MOAS list
+//! necessarily carries the attacker's own membership marker (never in the
+//! baseline) and is caught; an attacker announcing with *no* communities at
+//! all evades it; and rewrite-class transit policies shred the baseline and
+//! cause false alarms.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgp_types::{Asn, Community, Ipv4Prefix};
+
+use crate::detector::{AlarmKind, Detector, DetectorAlarm, ObservationKind, RouteObservation};
+
+/// Tuning of the [`CommunitiesAnomalyDetector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunitiesConfig {
+    /// Observations with `time` strictly below this feed the baseline;
+    /// everything at or after it is judged against the baseline. Uses the
+    /// stream's own time unit (ticks or days).
+    pub learning_window: u64,
+}
+
+impl Default for CommunitiesConfig {
+    fn default() -> Self {
+        CommunitiesConfig {
+            learning_window: 100,
+        }
+    }
+}
+
+/// Learned per `(observer, prefix)` baseline.
+#[derive(Debug, Clone, Default)]
+struct Baseline {
+    origins: BTreeSet<Asn>,
+    communities: BTreeSet<Community>,
+}
+
+/// The communities-anomaly [`Detector`].
+#[derive(Debug, Clone, Default)]
+pub struct CommunitiesAnomalyDetector {
+    config: CommunitiesConfig,
+    baselines: BTreeMap<(Asn, Ipv4Prefix), Baseline>,
+    /// Deduplication: one alarm per `(observer, prefix, origin)`.
+    alarmed: BTreeSet<(Asn, Ipv4Prefix, Asn)>,
+}
+
+impl CommunitiesAnomalyDetector {
+    /// A detector with the given tuning.
+    #[must_use]
+    pub fn new(config: CommunitiesConfig) -> Self {
+        CommunitiesAnomalyDetector {
+            config,
+            ..CommunitiesAnomalyDetector::default()
+        }
+    }
+
+    /// The tuning in force.
+    #[must_use]
+    pub fn config(&self) -> &CommunitiesConfig {
+        &self.config
+    }
+}
+
+impl Detector for CommunitiesAnomalyDetector {
+    fn name(&self) -> &'static str {
+        "communities-anomaly"
+    }
+
+    fn observe(&mut self, obs: &RouteObservation, alarms: &mut Vec<DetectorAlarm>) {
+        let ObservationKind::Announce {
+            origin,
+            communities,
+            ..
+        } = &obs.kind
+        else {
+            return; // withdrawals carry no communities to judge
+        };
+        let baseline = self
+            .baselines
+            .entry((obs.observer, obs.prefix))
+            .or_default();
+        if obs.time < self.config.learning_window {
+            baseline.origins.insert(*origin);
+            baseline.communities.extend(communities.iter().copied());
+            return;
+        }
+        if baseline.origins.contains(origin) {
+            return; // a known origin is never anomalous here
+        }
+        let divergent = communities
+            .iter()
+            .any(|c| !baseline.communities.contains(c));
+        if divergent && self.alarmed.insert((obs.observer, obs.prefix, *origin)) {
+            alarms.push(DetectorAlarm {
+                time: obs.time,
+                observer: obs.observer,
+                prefix: obs.prefix,
+                origin: Some(*origin),
+                kind: AlarmKind::CommunityAnomaly,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Ipv4Prefix {
+        "208.8.0.0/16".parse().unwrap()
+    }
+
+    fn announce(time: u64, origin: u32, communities: &[Community]) -> RouteObservation {
+        RouteObservation {
+            time,
+            observer: Asn(1),
+            from_peer: Some(Asn(10)),
+            prefix: p(),
+            kind: ObservationKind::Announce {
+                origin: Asn(origin),
+                moas_list: None,
+                communities: communities.to_vec(),
+            },
+        }
+    }
+
+    fn run(events: &[RouteObservation]) -> Vec<DetectorAlarm> {
+        let mut d = CommunitiesAnomalyDetector::default();
+        let mut alarms = Vec::new();
+        for e in events {
+            d.observe(e, &mut alarms);
+        }
+        alarms
+    }
+
+    #[test]
+    fn known_origin_with_new_communities_is_quiet() {
+        let alarms = run(&[
+            announce(0, 4, &[Community::moas_member(Asn(4))]),
+            announce(150, 4, &[Community::new(Asn(701), 120)]),
+        ]);
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn forged_moas_list_marker_is_caught() {
+        // The attacker's forged list must include its own membership marker,
+        // which the baseline has never seen.
+        let alarms = run(&[
+            announce(0, 4, &[Community::moas_member(Asn(4))]),
+            announce(
+                150,
+                66,
+                &[
+                    Community::moas_member(Asn(4)),
+                    Community::moas_member(Asn(66)),
+                ],
+            ),
+        ]);
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].origin, Some(Asn(66)));
+        assert_eq!(alarms[0].kind, AlarmKind::CommunityAnomaly);
+    }
+
+    #[test]
+    fn bare_announcement_from_new_origin_evades() {
+        // Honest miss: no communities at all means nothing diverges.
+        let alarms = run(&[
+            announce(0, 4, &[Community::moas_member(Asn(4))]),
+            announce(150, 66, &[]),
+        ]);
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn new_origin_with_baseline_subset_is_quiet() {
+        // A sibling AS announcing with the same community set as the
+        // baseline: exactly the long-lived legitimate MOAS shape.
+        let set = [
+            Community::moas_member(Asn(4)),
+            Community::moas_member(Asn(5)),
+        ];
+        let alarms = run(&[announce(0, 4, &set), announce(150, 5, &set)]);
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn alarm_fires_once_per_origin() {
+        let marker = [Community::moas_member(Asn(66))];
+        let alarms = run(&[
+            announce(0, 4, &[Community::moas_member(Asn(4))]),
+            announce(150, 66, &marker),
+            announce(160, 66, &marker),
+        ]);
+        assert_eq!(alarms.len(), 1);
+    }
+
+    #[test]
+    fn learning_during_window_absorbs_everything() {
+        // Both origins appear inside the window: no alarms ever, even with
+        // disjoint community sets.
+        let alarms = run(&[
+            announce(0, 4, &[Community::new(Asn(701), 1)]),
+            announce(50, 5, &[Community::new(Asn(702), 2)]),
+            announce(150, 5, &[Community::new(Asn(703), 3)]),
+        ]);
+        assert!(alarms.is_empty());
+    }
+
+    #[test]
+    fn config_is_exposed() {
+        let d = CommunitiesAnomalyDetector::new(CommunitiesConfig { learning_window: 7 });
+        assert_eq!(d.config().learning_window, 7);
+    }
+}

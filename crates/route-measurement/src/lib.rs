@@ -32,17 +32,26 @@
 #![warn(missing_docs)]
 
 mod classifier;
+mod communities;
+mod detector;
 mod dump;
+mod flap;
 mod stats;
 mod stream;
 mod timeline;
 
 pub use classifier::{classify, score, ClassifiedCase, ClassifierConfig, ClassifierScore, Verdict};
+pub use communities::{CommunitiesAnomalyDetector, CommunitiesConfig};
+pub use detector::{
+    AlarmKind, Detector, DetectorAlarm, MoasListDetector, ObservationKind, RouteObservation,
+};
 pub use dump::DailyDump;
+pub use flap::{FlapDampingConfig, FlapDampingDetector};
 pub use stats::{daily_moas_counts, duration_histogram, median, MeasurementSummary};
 pub use stream::{
     daily_moas_onsets, origin_events, OriginEvent, OriginEventKind, OriginEventTracker,
 };
 pub use timeline::{
-    generate_timeline, CaseRecord, Cause, FaultEvent, GeneratedTimeline, TimelineConfig,
+    generate_timeline, CaseRecord, Cause, FaultEvent, GeneratedTimeline, ModernMoasConfig,
+    TimelineConfig,
 };

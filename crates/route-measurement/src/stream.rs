@@ -267,6 +267,7 @@ mod tests {
                 prefix_count: 25,
                 duration_days: 1,
             }],
+            modern: crate::timeline::ModernMoasConfig::default(),
             seed: 3,
         };
         let timeline = generate_timeline(&config);

@@ -1,0 +1,150 @@
+//! Property tests for the long-lived legitimate MOAS generators (anycast,
+//! sibling, CDN handoff): whatever the knobs, the generated cases must not
+//! overlap or contradict their own ground truth.
+
+use std::collections::BTreeSet;
+
+use bgp_types::Ipv4Prefix;
+use proptest::prelude::*;
+use route_measurement::{
+    generate_timeline, Cause, GeneratedTimeline, ModernMoasConfig, TimelineConfig,
+};
+
+fn modern_config() -> impl Strategy<Value = TimelineConfig> {
+    (
+        30u32..80,    // days
+        0usize..4,    // anycast cases
+        2usize..5,    // anycast set size
+        0u32..=100,   // sibling fraction, in percent
+        0usize..4,    // cdn cases
+        1u32..10,     // cdn dwell days
+        0usize..8,    // background prefixes
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(days, anycast, set_size, sibling, cdn, dwell, background, seed)| TimelineConfig {
+                days,
+                active_start: (days / 4) as usize,
+                active_end: (days / 2) as usize,
+                // Deterministic presence: every live MOAS case is visible
+                // every day, so duration properties are exact.
+                presence_prob: 1.0,
+                churn_prob: 0.2,
+                background_prefixes: background,
+                events: Vec::new(),
+                modern: ModernMoasConfig {
+                    anycast_cases: anycast,
+                    anycast_set_size: set_size,
+                    sibling_fraction: f64::from(sibling) / 100.0,
+                    cdn_cases: cdn,
+                    cdn_dwell_days: dwell,
+                },
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No two generated cases ever share a prefix: timelines cannot overlap
+    /// and fabricate conflicts the ground truth does not record.
+    #[test]
+    fn case_prefixes_are_unique(config in modern_config()) {
+        let GeneratedTimeline { cases, .. } = generate_timeline(&config);
+        let distinct: BTreeSet<Ipv4Prefix> = cases.iter().map(|c| c.prefix).collect();
+        prop_assert_eq!(distinct.len(), cases.len(), "duplicate case prefix");
+    }
+
+    /// Every origin observed in any dump for a case's prefix is sanctioned
+    /// by that case's ground-truth origin set — the generators never leak a
+    /// conflicting origin onto someone else's timeline.
+    #[test]
+    fn observed_origins_stay_within_ground_truth(config in modern_config()) {
+        let GeneratedTimeline { dumps, cases } = generate_timeline(&config);
+        for case in &cases {
+            for dump in &dumps {
+                for (prefix, origins) in dump.moas_cases() {
+                    if prefix == case.prefix {
+                        prop_assert!(
+                            origins.is_subset(&case.origins),
+                            "day {}: {prefix} observed {origins:?} beyond {:?} ({:?})",
+                            dump.day(),
+                            case.origins,
+                            case.cause
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// CDN handoff alternates between exactly two origins: any single day
+    /// shows at most two (both only on handoff days), and the case's
+    /// lifetime origin set is exactly two.
+    #[test]
+    fn cdn_handoff_shows_at_most_two_origins_per_day(config in modern_config()) {
+        let GeneratedTimeline { dumps, cases } = generate_timeline(&config);
+        for case in cases.iter().filter(|c| c.cause == Cause::CdnHandoff) {
+            prop_assert_eq!(case.origins.len(), 2, "CDN case has two origins total");
+            for dump in &dumps {
+                for (prefix, origins) in dump.moas_cases() {
+                    if prefix == case.prefix {
+                        prop_assert!(
+                            origins.len() <= 2,
+                            "day {}: CDN case {prefix} showed {} origins",
+                            dump.day(),
+                            origins.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Anycast and sibling cases are persistent: under full presence they
+    /// stay in MOAS state from birth to the end of collection — the modern
+    /// long-lived population the §3 duration heuristic judges valid. Sibling
+    /// pairs are additionally numerically adjacent registrations, and
+    /// anycast sets have the configured size.
+    #[test]
+    fn anycast_and_sibling_cases_are_long_lived(config in modern_config()) {
+        let GeneratedTimeline { cases, .. } = generate_timeline(&config);
+        for case in cases
+            .iter()
+            .filter(|c| matches!(c.cause, Cause::Anycast | Cause::Sibling))
+        {
+            let first = *case.active_days.first().expect("cases have active days");
+            let last = *case.active_days.last().expect("cases have active days");
+            prop_assert_eq!(
+                last,
+                config.days - 1,
+                "{:?} case {} went quiet before the end",
+                case.cause,
+                case.prefix
+            );
+            prop_assert_eq!(
+                case.duration(),
+                last - first + 1,
+                "{:?} case {} has gaps under full presence",
+                case.cause,
+                case.prefix
+            );
+            match case.cause {
+                Cause::Anycast => {
+                    prop_assert_eq!(first, 0, "anycast spawns on day 0");
+                    prop_assert_eq!(
+                        case.origins.len(),
+                        config.modern.anycast_set_size.max(2)
+                    );
+                }
+                _ => {
+                    let mut origins = case.origins.iter();
+                    let (a, b) = (origins.next().unwrap(), origins.next().unwrap());
+                    prop_assert_eq!(case.origins.len(), 2);
+                    prop_assert_eq!(b.0, a.0 + 1, "sibling ASNs are adjacent");
+                }
+            }
+        }
+    }
+}

@@ -19,17 +19,19 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use moas::bgp::CommunityPolicy;
 use moas::detection::{Deployment, OfflineMonitor};
 use moas::experiments::{
+    community_policy_ablation_jobs, community_policy_ablation_metrics_jobs,
     experiment1_metrics_jobs, experiment1_sharded, experiment2_metrics_jobs, experiment2_sharded,
     experiment3_metrics_jobs, experiment3_sharded, forgery_ablation_jobs,
     forgery_ablation_metrics_jobs, measure_moas_list_overhead_jobs, moas_list_overhead,
     overhead_metrics, render_metrics_summary, run_chaos_jobs, run_chaos_metrics_jobs,
-    run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs,
-    run_session_chaos_jobs, run_trial, run_trial_sharded, stripping_ablation_jobs,
-    stripping_ablation_metrics_jobs, subprefix_ablation_jobs, valley_free_ablation_jobs,
-    ChaosConfig, ChaosScenario, SessionChaosConfig, SessionChaosScenario, SweepConfig, TrialConfig,
-    WireModel,
+    run_chaos_sharded, run_chaos_sharded_metrics, run_deployment_sweep_jobs, run_ensemble_jobs,
+    run_ensemble_metrics_jobs, run_session_chaos_jobs, run_trial, run_trial_sharded,
+    stripping_ablation_jobs, stripping_ablation_metrics_jobs, subprefix_ablation_jobs,
+    valley_free_ablation_jobs, ChaosConfig, ChaosScenario, EnsembleConfig, SessionChaosConfig,
+    SessionChaosScenario, SweepConfig, TrialConfig, WireModel,
 };
 use moas::measurement::{
     daily_moas_counts, generate_timeline, median, MeasurementSummary, OriginEventTracker,
@@ -70,6 +72,18 @@ COMMANDS:
                                     Same scenario at several detector deployment
                                     fractions (default 0,0.25,0.5,0.75,1): accuracy
                                     vs partial deployment under churn
+    ensemble [--quick] [--trials N] [--seed S] [--jobs N] [--out FILE] [--metrics FILE]
+             [--dwell N] [--sibling-fraction F]
+             [--community-policy propagate|strip-moas|strip-all|rewrite]
+                                    Run three detectors (moas-list, flap-damping,
+                                    communities-anomaly) over identical recorded trial
+                                    streams: the failover / origin-flap / session-reset
+                                    chaos workloads plus a long-lived legitimate MOAS
+                                    workload (anycast groups, sibling pairs, CDN handoff
+                                    every --dwell ticks), with a deployment sweep; one
+                                    JSON report comparing false alarms, latency and
+                                    misses per detector. --strip-communities is a
+                                    deprecated alias for --community-policy strip-all
     metrics-summary FILE            Render a --metrics snapshot as a readable table
 
     figures, ablations, overhead and chaos accept --metrics FILE: write a
@@ -114,6 +128,7 @@ fn main() -> ExitCode {
         "ablations" => ablations(&args),
         "overhead" => overhead(&args),
         "chaos" => chaos(&args),
+        "ensemble" => ensemble(&args),
         "metrics-summary" => metrics_summary(&args),
         "export-mrt" => export_mrt(&args),
         "import-mrt" => import_mrt(&args),
@@ -353,6 +368,21 @@ fn ablations(args: &[String]) -> ExitCode {
         );
     }
 
+    println!("\ncommunity handling classes (all transit ASes):");
+    let policy_points = if metrics_path.is_some() {
+        let (points, m) = community_policy_ablation_metrics_jobs(graph, 8, 0xAB6, jobs);
+        metrics.merge(&m);
+        points
+    } else {
+        community_policy_ablation_jobs(graph, 8, 0xAB6, jobs)
+    };
+    for p in policy_points {
+        println!(
+            "  {:<12} adoption {:.2}%, false alarms {:.1}, confirmed {:.1}",
+            p.policy, p.mean_adoption_pct, p.mean_false_alarms, p.mean_confirmed_alarms
+        );
+    }
+
     println!("\nlist forgery strategies:");
     let forgery = if metrics_path.is_some() {
         let (points, m) = forgery_ablation_metrics_jobs(graph, 8, 0xAB3, jobs);
@@ -462,6 +492,10 @@ fn chaos(args: &[String]) -> ExitCode {
         report.mean_reordered,
         report.mean_messages
     );
+    println!(
+        "mrai: {:.1} updates deferred per churn-only trial",
+        report.mean_mrai_deferred
+    );
     match option::<String>(args, "--out") {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, json + "\n") {
@@ -520,6 +554,106 @@ fn chaos_deployment_sweep(args: &[String], config: &ChaosConfig) -> ExitCode {
             println!("sweep written to {path}");
         }
         None => println!("{}", sweep.to_json()),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the detector ensemble: three detectors replayed over identical
+/// recorded trial streams across the chaos and long-lived-MOAS workloads.
+///
+/// Like `chaos`, the output omits the worker count: report, metrics snapshot
+/// and stdout are bit-identical for every `--jobs N`.
+fn ensemble(args: &[String]) -> ExitCode {
+    let mut config = if flag(args, "--quick") {
+        EnsembleConfig::quick()
+    } else {
+        EnsembleConfig::new()
+    };
+    if let Some(trials) = option::<usize>(args, "--trials") {
+        config.trials = trials;
+    }
+    if let Some(seed) = option::<u64>(args, "--seed") {
+        config.seed = seed;
+    }
+    if let Some(dwell) = option::<u64>(args, "--dwell") {
+        config.dwell_ticks = dwell;
+    }
+    if let Some(fraction) = option::<f64>(args, "--sibling-fraction") {
+        if !(0.0..=1.0).contains(&fraction) {
+            eprintln!("--sibling-fraction must be within 0..=1, got {fraction}");
+            return ExitCode::FAILURE;
+        }
+        config.sibling_fraction = fraction;
+    }
+    if let Some(raw) = option::<String>(args, "--community-policy") {
+        match raw.parse::<CommunityPolicy>() {
+            Ok(policy) => config.policy = policy,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if flag(args, "--strip-communities") {
+        eprintln!(
+            "warning: --strip-communities is deprecated; use --community-policy strip-all \
+             (stripping is no longer binary — see `moas-lab help`)"
+        );
+        config.policy = CommunityPolicy::StripAll;
+    }
+
+    let report = match option::<String>(args, "--metrics") {
+        Some(path) => {
+            let (report, metrics) = run_ensemble_metrics_jobs(&config, jobs_option(args));
+            if !write_metrics(&path, &metrics) {
+                return ExitCode::FAILURE;
+            }
+            report
+        }
+        None => run_ensemble_jobs(&config, jobs_option(args)),
+    };
+
+    println!(
+        "ensemble: {} trials per workload, seed {:#x}, transit policy {}",
+        report.trials, report.seed, report.policy
+    );
+    for workload in &report.workloads {
+        println!("workload {}:", workload.workload);
+        for d in &workload.detectors {
+            println!(
+                "  {:<20} false-alarm rate {:.3} (mean {:.2}), missed {:.3}, latency {:.1} ticks ({} detected)",
+                d.detector,
+                d.false_alarm_rate,
+                d.mean_false_alarms,
+                d.missed_detection_rate,
+                d.mean_detection_latency_ticks,
+                d.detected_trials
+            );
+        }
+    }
+    println!("deployment sweep (failover streams):");
+    for point in &report.deployment {
+        for d in &point.detectors {
+            println!(
+                "  {:>3.0}% {:<20} missed {:.3}, false-alarm rate {:.3}",
+                100.0 * point.deployment_fraction,
+                d.detector,
+                d.missed_detection_rate,
+                d.false_alarm_rate
+            );
+        }
+    }
+
+    let json = report.to_json();
+    match option::<String>(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("report written to {path}");
+        }
+        None => println!("{json}"),
     }
     ExitCode::SUCCESS
 }
